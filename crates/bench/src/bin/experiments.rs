@@ -1,0 +1,65 @@
+//! The experiment harness: regenerates every figure/table of the paper
+//! and prints the results as markdown (the source of `EXPERIMENTS.md`).
+//!
+//! ```sh
+//! cargo run --release -p cfmap-bench --bin experiments            # all
+//! cargo run --release -p cfmap-bench --bin experiments -- E4 E5  # subset
+//! ```
+
+use cfmap_bench::*;
+
+fn main() {
+    let mut filter: Vec<String> = std::env::args().skip(1).map(|a| a.to_uppercase()).collect();
+    let json = filter.iter().any(|f| f == "--JSON");
+    filter.retain(|f| f != "--JSON");
+    let run = |id: &str| filter.is_empty() || filter.iter().any(|f| f == id);
+
+    let mut reports = Vec::new();
+    if run("E1") {
+        reports.push(e1_feasibility());
+    }
+    if run("E2") {
+        reports.push(e2_conflict_vectors());
+    }
+    if run("E3") {
+        reports.push(e3_hnf());
+    }
+    if run("E4") {
+        reports.push(e4_matmul(&[2, 3, 4, 5, 6, 8, 12]).0);
+    }
+    if run("E5") {
+        reports.push(e5_transitive_closure(&[2, 3, 4, 5, 6, 8, 12]));
+    }
+    if run("E6") {
+        reports.push(e6_bitlevel());
+    }
+    if run("E7") {
+        reports.push(e7_search_vs_ilp(&[2, 3, 4, 5]));
+        reports.push(e7b_closedform_vs_enumeration(&[4, 6, 8, 10, 14]));
+    }
+    if run("E8") {
+        reports.push(e8_thm48());
+    }
+    if run("E9") {
+        reports.push(e9_scaling());
+    }
+    if run("E10") {
+        reports.push(e10_condition_ablation());
+    }
+    if run("E11") {
+        reports.push(e11_space_optimal());
+    }
+    if run("E12") {
+        reports.push(e12_joint_and_bounds());
+    }
+
+    if json {
+        let objs: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", objs.join(",\n"));
+    } else {
+        for r in &reports {
+            println!("{}", r.to_markdown());
+        }
+    }
+    eprintln!("({} experiment tables rendered)", reports.len());
+}

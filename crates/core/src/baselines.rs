@@ -1,0 +1,115 @@
+//! Prior-work baseline mappings the paper compares against.
+//!
+//! * **[23]** (Lee & Kedem-style linear-array matmul): with the same space
+//!   map `S = [1, 1, −1]`, the schedule `Π' = [2, 1, μ]`, total time
+//!   `t' = μ(μ+3)+1`, needing `Σ(Π'd̄ᵢ − 1) = 4` buffers. Optimal for
+//!   `μ = 3` but not `μ ≥ 4` (Example 5.1's closing discussion).
+//! * **[22]** (heuristic lower-dimensional mapping): for the reindexed
+//!   transitive closure with `S = [0, 0, 1]`, the schedule
+//!   `Π' = [2μ+1, 1, 1]`, total time `t' = μ(2μ+3)+1` — improved by the
+//!   paper to `μ(μ+3)+1` (Example 5.2).
+
+use crate::mapping::{MappingMatrix, SpaceMap};
+use cfmap_model::{LinearSchedule, Uda};
+
+/// A named baseline design: (citation tag, space map, schedule).
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    /// Paper-reference tag, e.g. `"[23]"`.
+    pub source: &'static str,
+    /// Human-readable description.
+    pub description: &'static str,
+    /// The space map used by the baseline.
+    pub space: SpaceMap,
+    /// The baseline's schedule.
+    pub schedule: LinearSchedule,
+}
+
+impl Baseline {
+    /// The full mapping matrix `T' = [S; Π']`.
+    pub fn mapping(&self) -> MappingMatrix {
+        MappingMatrix::new(self.space.clone(), self.schedule.clone())
+    }
+
+    /// Total execution time on the given algorithm (Equation 2.7).
+    pub fn total_time(&self, alg: &Uda) -> i64 {
+        self.schedule.total_time(&alg.index_set)
+    }
+}
+
+/// The matmul baseline of [23]: `S = [1, 1, −1]`, `Π' = [2, 1, μ]`.
+pub fn matmul_baseline_23(mu: i64) -> Baseline {
+    Baseline {
+        source: "[23]",
+        description: "matmul → linear array, Π' = [2, 1, μ] (t' = μ(μ+3)+1, 4 buffers)",
+        space: SpaceMap::row(&[1, 1, -1]),
+        schedule: LinearSchedule::new(&[2, 1, mu]),
+    }
+}
+
+/// The transitive-closure baseline of [22]: `S = [0, 0, 1]`,
+/// `Π' = [2μ+1, 1, 1]`.
+pub fn transitive_closure_baseline_22(mu: i64) -> Baseline {
+    Baseline {
+        source: "[22]",
+        description: "transitive closure → linear array, Π' = [2μ+1, 1, 1] (t' = μ(2μ+3)+1)",
+        space: SpaceMap::row(&[0, 0, 1]),
+        schedule: LinearSchedule::new(&[2 * mu + 1, 1, 1]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use cfmap_model::algorithms;
+
+    #[test]
+    fn baseline_23_times_match_paper() {
+        for mu in 2..=6 {
+            let alg = algorithms::matmul(mu);
+            let b = matmul_baseline_23(mu);
+            assert_eq!(b.total_time(&alg), mu * (mu + 3) + 1, "μ = {mu}");
+        }
+    }
+
+    #[test]
+    fn baseline_22_times_match_paper() {
+        for mu in 2..=6 {
+            let alg = algorithms::transitive_closure(mu);
+            let b = transitive_closure_baseline_22(mu);
+            assert_eq!(b.total_time(&alg), mu * (2 * mu + 3) + 1, "μ = {mu}");
+        }
+    }
+
+    #[test]
+    fn baselines_are_valid_and_conflict_free() {
+        // Both prior designs are correct (just slower): they must respect
+        // dependencies and be conflict-free.
+        for mu in 2..=5 {
+            let alg = algorithms::matmul(mu);
+            let b = matmul_baseline_23(mu);
+            assert!(b.schedule.is_valid_for(&alg.deps));
+            assert!(oracle::is_conflict_free_by_enumeration(&b.mapping(), &alg.index_set));
+
+            let alg = algorithms::transitive_closure(mu);
+            let b = transitive_closure_baseline_22(mu);
+            assert!(b.schedule.is_valid_for(&alg.deps));
+            assert!(oracle::is_conflict_free_by_enumeration(&b.mapping(), &alg.index_set));
+        }
+    }
+
+    #[test]
+    fn baseline_23_conflict_vector_matches_paper() {
+        // The paper: "the corresponding conflict vector is
+        // γ = [−(μ+1), 2+μ, 1]" for Π' = [2, 1, μ].
+        let mu = 4;
+        let b = matmul_baseline_23(mu);
+        let alg = algorithms::matmul(mu);
+        let mapping = b.mapping();
+        let analysis = crate::conflict::ConflictAnalysis::new(&mapping, &alg.index_set);
+        let gamma = analysis.unique_conflict_vector().unwrap();
+        // Canonical form of ±[−(μ+1), μ+2, 1]: first entry positive.
+        assert_eq!(gamma.to_i64s().unwrap(), vec![mu + 1, -(mu + 2), -1]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Structured mapping diagnosis: every condition of Definition 2.2,
+//! checked and explained.
+//!
+//! `Procedure 5.1` tells you *which* mapping to use; this module tells you
+//! *why* a mapping you already have is (or is not) valid — with concrete
+//! witnesses for every failure. The CLI's `analyze` command and the
+//! examples print these.
+
+use crate::conflict::{feasibility, ConflictAnalysis, ConflictWitness, Feasibility};
+use crate::mapping::{route, InterconnectionPrimitives, MappingMatrix};
+use cfmap_model::Uda;
+use std::fmt;
+
+/// Verdict on one condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Check {
+    /// Condition satisfied.
+    Pass,
+    /// Condition violated; the string explains how.
+    Fail(String),
+    /// Not applicable / not requested (e.g. routing without primitives).
+    Skipped,
+}
+
+impl Check {
+    /// `true` for [`Check::Pass`].
+    pub fn passed(&self) -> bool {
+        matches!(self, Check::Pass)
+    }
+}
+
+/// The full diagnosis of a mapping against Definition 2.2.
+#[derive(Clone, Debug)]
+pub struct MappingDiagnosis {
+    /// Condition 1: `ΠD > 0`.
+    pub dependencies: Check,
+    /// Condition 2: `SD = PK` with timely arrival (when primitives given).
+    pub routability: Check,
+    /// Condition 3: conflict-freedom (exact lattice decision).
+    pub conflict_free: Check,
+    /// Condition 4: `rank(T) = k`.
+    pub full_rank: Check,
+    /// The conflict-lattice basis with per-vector feasibility.
+    pub lattice: Vec<(String, Feasibility)>,
+    /// A concrete collision pair when condition 3 fails.
+    pub witness: Option<ConflictWitness>,
+    /// Total execution time (Equation 2.7) — meaningful when valid.
+    pub total_time: i64,
+}
+
+impl MappingDiagnosis {
+    /// `true` iff every checked condition passed.
+    pub fn is_valid(&self) -> bool {
+        self.dependencies.passed()
+            && self.conflict_free.passed()
+            && self.full_rank.passed()
+            && !matches!(self.routability, Check::Fail(_))
+    }
+}
+
+impl fmt::Display for MappingDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |c: &Check| match c {
+            Check::Pass => "PASS".to_string(),
+            Check::Fail(why) => format!("FAIL — {why}"),
+            Check::Skipped => "skipped".to_string(),
+        };
+        writeln!(f, "Definition 2.2 conditions:")?;
+        writeln!(f, "  1. ΠD > 0            : {}", show(&self.dependencies))?;
+        writeln!(f, "  2. SD = PK, on time  : {}", show(&self.routability))?;
+        writeln!(f, "  3. conflict-free     : {}", show(&self.conflict_free))?;
+        writeln!(f, "  4. rank(T) = k       : {}", show(&self.full_rank))?;
+        writeln!(f, "conflict lattice ({} basis vector(s)):", self.lattice.len())?;
+        for (v, feas) in &self.lattice {
+            writeln!(f, "  {v} → {feas:?}")?;
+        }
+        if let Some(w) = &self.witness {
+            writeln!(f, "collision witness: {:?} and {:?}", w.j1, w.j2)?;
+        }
+        write!(f, "total time (Eq 2.7): {}", self.total_time)
+    }
+}
+
+/// Diagnose `mapping` for `alg`, optionally against an interconnect.
+pub fn diagnose(
+    alg: &Uda,
+    mapping: &MappingMatrix,
+    primitives: Option<&InterconnectionPrimitives>,
+) -> MappingDiagnosis {
+    // Condition 1 with a per-dependence witness.
+    let dep_times = mapping.schedule().dep_times(&alg.deps);
+    let dependencies = match dep_times.iter().position(|t| !t.is_positive()) {
+        None => Check::Pass,
+        Some(i) => Check::Fail(format!(
+            "Π·d̄{} = {} ≤ 0 (dependence {:?})",
+            i + 1,
+            dep_times[i],
+            alg.deps.dep_i64(i)
+        )),
+    };
+
+    // Condition 4.
+    let analysis = ConflictAnalysis::new(mapping, &alg.index_set);
+    let full_rank = if analysis.rank() == mapping.k() {
+        Check::Pass
+    } else {
+        Check::Fail(format!("rank(T) = {} < k = {}", analysis.rank(), mapping.k()))
+    };
+
+    // Condition 3 with witness.
+    let (conflict_free, witness) = match analysis.find_small_kernel_vector() {
+        None => (Check::Pass, None),
+        Some(gamma) => {
+            let w = analysis.witness_from_kernel_vector(&gamma);
+            (
+                Check::Fail(format!(
+                    "kernel vector {gamma} stays inside the box (Theorem 2.2)"
+                )),
+                Some(w),
+            )
+        }
+    };
+
+    // Condition 2.
+    let routability = match primitives {
+        None => Check::Skipped,
+        Some(p) => match route(mapping, &alg.deps, p) {
+            Some(r) => {
+                debug_assert!(r.hops.iter().zip(&r.dep_times).all(|(h, t)| h <= t));
+                Check::Pass
+            }
+            None => Check::Fail("no K with P·K = S·D arriving within Π·d̄ᵢ".to_string()),
+        },
+    };
+
+    let lattice = analysis
+        .lattice_basis()
+        .iter()
+        .map(|v| (v.to_string(), feasibility(v, &alg.index_set)))
+        .collect();
+
+    MappingDiagnosis {
+        dependencies,
+        routability,
+        conflict_free,
+        full_rank,
+        lattice,
+        witness,
+        total_time: mapping.schedule().total_time(&alg.index_set),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::SpaceMap;
+    use cfmap_model::{algorithms, LinearSchedule};
+
+    #[test]
+    fn valid_design_all_pass() {
+        let alg = algorithms::matmul(4);
+        let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 4, 1]));
+        let p = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
+        let d = diagnose(&alg, &m, Some(&p));
+        assert!(d.is_valid());
+        assert!(d.dependencies.passed());
+        assert!(d.routability.passed());
+        assert!(d.conflict_free.passed());
+        assert!(d.full_rank.passed());
+        assert!(d.witness.is_none());
+        assert_eq!(d.total_time, 25);
+        let text = d.to_string();
+        assert!(text.contains("1. ΠD > 0            : PASS"));
+        assert!(text.contains("total time (Eq 2.7): 25"));
+    }
+
+    #[test]
+    fn each_failure_mode_explained() {
+        let alg = algorithms::matmul(4);
+        // Condition 1 failure.
+        let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[0, 4, 1]));
+        let d = diagnose(&alg, &m, None);
+        assert!(matches!(&d.dependencies, Check::Fail(why) if why.contains("≤ 0")));
+        assert!(!d.is_valid());
+
+        // Condition 3 failure, with witness.
+        let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 1, 4]));
+        let d = diagnose(&alg, &m, None);
+        assert!(matches!(&d.conflict_free, Check::Fail(why) if why.contains("Theorem 2.2")));
+        let w = d.witness.as_ref().expect("witness provided");
+        assert_eq!(m.apply(&w.j1), m.apply(&w.j2));
+        assert!(d.to_string().contains("collision witness"));
+
+        // Condition 4 failure.
+        let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[2, 2, -2]));
+        let d = diagnose(&alg, &m, None);
+        assert!(matches!(&d.full_rank, Check::Fail(why) if why.contains("rank")));
+
+        // Condition 2 failure.
+        let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 4, 1]));
+        let only_left = InterconnectionPrimitives::from_columns(&[&[-1]]);
+        let d = diagnose(&alg, &m, Some(&only_left));
+        assert!(matches!(&d.routability, Check::Fail(_)));
+    }
+
+    #[test]
+    fn skipped_routing_does_not_invalidate() {
+        let alg = algorithms::transitive_closure(3);
+        let m = MappingMatrix::new(SpaceMap::row(&[0, 0, 1]), LinearSchedule::new(&[4, 1, 1]));
+        let d = diagnose(&alg, &m, None);
+        assert_eq!(d.routability, Check::Skipped);
+        assert!(d.is_valid());
+        assert_eq!(d.lattice.len(), 1);
+    }
+}

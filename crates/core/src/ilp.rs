@@ -1,0 +1,317 @@
+//! The integer-programming formulation of Problem 2.2 (Section 5,
+//! formulations (5.1)–(5.2)) for `T ∈ Z^{(n−1)×n}`.
+//!
+//! With the space map `S` fixed, the entries `f_i(π)` of the unique
+//! conflict vector (Equation 3.2) are **linear** functions of `Π`
+//! (Proposition 3.2), so "the conflict vector is feasible" becomes the
+//! disjunction `∃i: |f_i(π)| ≥ μ_i + 1` — a union of `2n` half-spaces.
+//! Combined with an orthant split to linearize `Σ μ_i·|π_i|`, Problem 2.2
+//! decomposes into small exact ILPs (appendix technique), each solved by
+//! branch & bound *and* integral-vertex enumeration.
+//!
+//! The paper knowingly drops the constraint `gcd(f₁, …, f_n) = 1` ("this
+//! constraint is ignored and the resulting conflict vector is checked")
+//! — we do the same: every branch candidate is post-verified with the
+//! exact lattice test, in objective order, and the best verified one is
+//! returned. Experiment E7 cross-checks the result against Procedure 5.1.
+
+use crate::conflict::ConflictAnalysis;
+use crate::mapping::{MappingMatrix, SpaceMap};
+use cfmap_intlin::{IMat, Rat};
+use cfmap_lp::problem::{LpProblem, Relation};
+use cfmap_lp::vertex::enumerate_vertices;
+use cfmap_lp::{solve_ilp, LpOutcome};
+use cfmap_model::{LinearSchedule, Uda};
+
+/// The coefficient vectors of the conflict functions `f_i(π)`
+/// (Equation 3.2): `f_i(π) = Σ_j coeffs[i][j]·π_j`, where `f_i` is (up to
+/// a global sign irrelevant to `|f_i|`) the determinant of `T` with its
+/// `i`-th column removed.
+///
+/// Computed by evaluation: the coefficient of `π_j` in `f_i` is the
+/// determinant of `[S; e_j]` minus column `i` — linearity is
+/// Proposition 3.2.
+pub fn conflict_functions(space: &SpaceMap) -> Vec<Vec<i64>> {
+    let n = space.dim();
+    assert_eq!(space.array_dims(), n - 2, "conflict_functions requires k = n−1");
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let cols: Vec<usize> = (0..n).filter(|&c| c != i).collect();
+        let mut coeffs = vec![0i64; n];
+        for (j, c) in coeffs.iter_mut().enumerate() {
+            if j == i {
+                continue; // π_i's column is removed from T_i
+            }
+            let mut unit = vec![0i64; n];
+            unit[j] = 1;
+            let t_i = space
+                .as_mat()
+                .vstack(&IMat::from_rows(&[&unit]))
+                .select_cols(&cols);
+            // Cramer sign (−1)^i makes (f₁, …, f_n) an actual kernel
+            // vector of T, handy for diagnostics; |f_i| is unaffected.
+            let d = t_i.det();
+            let signed = if i % 2 == 0 { d } else { -d };
+            *c = signed.to_i64().expect("conflict function coefficient fits i64");
+        }
+        out.push(coeffs);
+    }
+    out
+}
+
+/// One verified solution of the ILP decomposition.
+#[derive(Clone, Debug)]
+pub struct IlpSolution {
+    /// The optimal schedule.
+    pub schedule: LinearSchedule,
+    /// `f = Σ μ_i |π_i|`.
+    pub objective: i64,
+    /// Total time `t = f + 1`.
+    pub total_time: i64,
+    /// Number of convex branches solved (orthants × disjuncts).
+    pub branches_solved: usize,
+    /// Candidates that failed post-verification (the `gcd(f) = 1` caveat
+    /// in action — e.g. `Π₁ = [1, 1, μ]` in the appendix).
+    pub rejected_candidates: Vec<Vec<i64>>,
+}
+
+/// Solve Problem 2.2 for `k = n−1` via the (5.1)–(5.2) decomposition.
+///
+/// `bound` caps `|π_i|`; the appendix's extreme points fit in
+/// `bound = μ_max + 2`, and Theorem 2.1 means larger entries only help if
+/// smaller ones all fail, so callers typically pass `2μ_max + 4`.
+pub fn optimal_schedule_ilp(alg: &Uda, space: &SpaceMap, bound: i64) -> Option<IlpSolution> {
+    let n = alg.dim();
+    assert_eq!(space.dim(), n, "space map dimension mismatch");
+    let coeffs = conflict_functions(space);
+    let mu = alg.index_set.mu();
+    let deps = alg.deps.as_mat();
+
+    // Collect candidate points (objective, π) across all branches.
+    let mut candidates: Vec<(i64, Vec<i64>)> = Vec::new();
+    let mut branches = 0usize;
+
+    for orthant in 0..(1usize << n) {
+        let signs: Vec<i64> = (0..n).map(|b| if orthant >> b & 1 == 1 { -1 } else { 1 }).collect();
+        // Base problem for this orthant.
+        let mut base = LpProblem::minimize(
+            &signs.iter().zip(mu).map(|(&s, &m)| s * m).collect::<Vec<_>>(),
+        );
+        for j in 0..n {
+            let mut orth = vec![0i64; n];
+            orth[j] = signs[j];
+            base.constrain_i64(&orth, Relation::Ge, 0);
+            base.constrain_i64(&orth, Relation::Le, bound);
+        }
+        // ΠD ≥ 1 per dependence.
+        for d in 0..deps.ncols() {
+            let col: Vec<i64> = (0..n)
+                .map(|r| deps.get(r, d).to_i64().expect("dependence entry fits i64"))
+                .collect();
+            base.constrain_i64(&col, Relation::Ge, 1);
+        }
+
+        for (i, f_i) in coeffs.iter().enumerate() {
+            for sign in [1i64, -1] {
+                branches += 1;
+                let mut p = base.clone();
+                let scaled: Vec<i64> = f_i.iter().map(|&c| sign * c).collect();
+                p.constrain_i64(&scaled, Relation::Ge, mu[i] + 1);
+                // Branch optimum by branch & bound.
+                if let LpOutcome::Optimal { x, value } = solve_ilp(&p, 100_000) {
+                    push_candidate(&mut candidates, &value, &x);
+                }
+                // Plus every integral vertex (appendix technique) so that
+                // post-verification failures can fall through to the next
+                // extreme point at equal objective.
+                for v in enumerate_vertices(&p) {
+                    if v.iter().all(Rat::is_integer) {
+                        let val = p.objective_value(&v);
+                        push_candidate(&mut candidates, &val, &v);
+                    }
+                }
+            }
+        }
+    }
+
+    candidates.sort();
+    candidates.dedup();
+    let lower_bound = candidates.first().map(|(v, _)| *v)?;
+
+    // Post-verification. The branch optima and extreme points ignore the
+    // gcd(f) = 1 constraint (as the paper prescribes), so the candidate at
+    // the ILP optimum can fail — and the *true* optimum can then be a
+    // non-vertex point of the same region (e.g. matmul μ = 3, where both
+    // extreme points [1,1,3] and [1,3,1] collapse to non-primitive
+    // conflict vectors but the edge point [1,2,2] is conflict-free). The
+    // ILP therefore supplies the exact lower bound, and each objective
+    // fiber above it is swept exhaustively until a verified schedule
+    // appears — preserving optimality.
+    let mut rejected = Vec::new();
+    let max_objective: i64 = mu.iter().map(|&m| bound * m.max(1)).sum();
+    for objective in lower_bound..=max_objective {
+        let mut found: Option<LinearSchedule> = None;
+        crate::search::enumerate_weighted(n, mu, objective, &mut |pi| {
+            if found.is_some() {
+                return;
+            }
+            let schedule = LinearSchedule::new(pi);
+            if !schedule.is_valid_for(&alg.deps) {
+                return;
+            }
+            let mapping = MappingMatrix::new(space.clone(), schedule.clone());
+            if !mapping.has_full_rank() {
+                return;
+            }
+            let analysis = ConflictAnalysis::new(&mapping, &alg.index_set);
+            if !analysis.is_conflict_free_exact() {
+                rejected.push(pi.to_vec());
+                return;
+            }
+            found = Some(schedule);
+        });
+        if let Some(schedule) = found {
+            return Some(IlpSolution {
+                total_time: objective + 1,
+                objective,
+                schedule,
+                branches_solved: branches,
+                rejected_candidates: rejected,
+            });
+        }
+    }
+    None
+}
+
+fn push_candidate(candidates: &mut Vec<(i64, Vec<i64>)>, value: &Rat, x: &[Rat]) {
+    let Some(v) = value.to_int().and_then(|i| i.to_i64()) else { return };
+    let Some(pi) = x
+        .iter()
+        .map(|r| r.to_int().and_then(|i| i.to_i64()))
+        .collect::<Option<Vec<i64>>>()
+    else {
+        return;
+    };
+    candidates.push((v, pi));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Procedure51;
+    use cfmap_model::algorithms;
+
+    #[test]
+    fn conflict_functions_matmul() {
+        // S = [1, 1, −1]: Eq 3.5 gives γ = [−π2−π3, π1+π3, π1−π2].
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let f = conflict_functions(&s);
+        // As a kernel vector (up to global sign): check T·f(π) = 0 for a
+        // sample π by direct evaluation.
+        for pi in [[1i64, 4, 1], [2, 1, 4], [3, 1, 2]] {
+            let vals: Vec<i64> = f
+                .iter()
+                .map(|row| row.iter().zip(&pi).map(|(c, p)| c * p).sum())
+                .collect();
+            // T = [[1,1,-1],[π]] · vals = 0.
+            assert_eq!(vals[0] + vals[1] - vals[2], 0, "S row");
+            assert_eq!(
+                pi[0] * vals[0] + pi[1] * vals[1] + pi[2] * vals[2],
+                0,
+                "Π row"
+            );
+            // And |f| matches the paper's formula entries.
+            assert_eq!(vals[0].abs(), (pi[1] + pi[2]).abs());
+            assert_eq!(vals[1].abs(), (pi[0] + pi[2]).abs());
+            assert_eq!(vals[2].abs(), (pi[0] - pi[1]).abs());
+        }
+    }
+
+    #[test]
+    fn conflict_functions_transitive_closure() {
+        // S = [0, 0, 1]: Eq 3.7 gives γ ∝ [π2, −π1, 0].
+        let s = SpaceMap::row(&[0, 0, 1]);
+        let f = conflict_functions(&s);
+        let pi = [5i64, 1, 1];
+        let vals: Vec<i64> = f
+            .iter()
+            .map(|row| row.iter().zip(&pi).map(|(c, p)| c * p).sum())
+            .collect();
+        assert_eq!(vals[0].abs(), 1); // |π2|
+        assert_eq!(vals[1].abs(), 5); // |π1|
+        assert_eq!(vals[2], 0);
+    }
+
+    #[test]
+    fn ilp_matches_paper_matmul() {
+        let alg = algorithms::matmul(4);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let sol = optimal_schedule_ilp(&alg, &s, 12).expect("solvable");
+        assert_eq!(sol.objective, 24);
+        assert_eq!(sol.total_time, 25);
+        // The non-feasible extreme point [1, 1, 4] must be among the
+        // rejected candidates (the gcd caveat) unless a verified candidate
+        // at the same objective sorts before it.
+        assert!(sol.schedule.is_valid_for(&alg.deps));
+    }
+
+    #[test]
+    fn ilp_matches_paper_transitive_closure() {
+        let alg = algorithms::transitive_closure(4);
+        let s = SpaceMap::row(&[0, 0, 1]);
+        let sol = optimal_schedule_ilp(&alg, &s, 12).expect("solvable");
+        assert_eq!(sol.schedule.as_slice(), &[5, 1, 1]);
+        assert_eq!(sol.total_time, 29);
+    }
+
+    #[test]
+    fn ilp_agrees_with_procedure_5_1() {
+        for mu in 2..=5 {
+            let alg = algorithms::matmul(mu);
+            let s = SpaceMap::row(&[1, 1, -1]);
+            let ilp = optimal_schedule_ilp(&alg, &s, 2 * mu + 4).expect("ILP solvable");
+            let search = Procedure51::new(&alg, &s).solve().expect("search solvable");
+            assert_eq!(ilp.objective, search.objective, "matmul μ = {mu}");
+
+            let alg = algorithms::transitive_closure(mu);
+            let s = SpaceMap::row(&[0, 0, 1]);
+            let ilp = optimal_schedule_ilp(&alg, &s, 2 * mu + 4).expect("ILP solvable");
+            let search = Procedure51::new(&alg, &s).solve().expect("search solvable");
+            assert_eq!(ilp.objective, search.objective, "TC μ = {mu}");
+        }
+    }
+
+    #[test]
+    fn ilp_agrees_with_search_on_random_space_maps() {
+        // Random 1×3 space maps over matmul: wherever both optimizers find
+        // a solution within their bounds, the objectives must match.
+        for seed in 0..30i64 {
+            let v = |k: i64| ((seed * 31 + k * 17) % 5) - 2;
+            let s_row = [v(1), v(2), v(3)];
+            if s_row.iter().all(|&x| x == 0) {
+                continue;
+            }
+            let alg = algorithms::matmul(3);
+            let s = SpaceMap::row(&s_row);
+            let search = Procedure51::new(&alg, &s).max_objective(40).solve();
+            let ilp = optimal_schedule_ilp(&alg, &s, 10);
+            match (search, ilp) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.objective, b.objective, "S = {s_row:?}");
+                }
+                // Different caps can make exactly one side give up; only
+                // flag contradictions where both answered.
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ilp_respects_bound() {
+        // With a bound too tight to reach any conflict-free schedule the
+        // solver must return None rather than an invalid design.
+        let alg = algorithms::matmul(4);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        assert!(optimal_schedule_ilp(&alg, &s, 1).is_none());
+    }
+}

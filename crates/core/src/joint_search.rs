@@ -1,0 +1,254 @@
+//! Problem 6.2 — optimal conflict-free mapping with **both** `S` and `Π`
+//! free (the paper's second future-work problem, Section 6).
+//!
+//! *"Given an n-dimensional uniform dependence algorithm and a
+//! (k−1)-dimensional processor array, find a conflict-free mapping matrix
+//! `T ∈ Z^{k×n}` such that a certain criterion is optimized."*
+//!
+//! The search composes the two single-variable procedures: enumerate
+//! canonical space maps (as in Problem 6.1) and run Procedure 5.1 under
+//! each, ranking complete designs by the chosen criterion. Pruning: under
+//! the time-first criterion, once some design achieves time `t*`, later
+//! space maps only search schedules with objective `< t* − 1`.
+
+use crate::conditions::ConditionKind;
+use crate::mapping::{MappingMatrix, SpaceMap};
+use crate::search::Procedure51;
+use cfmap_intlin::Int;
+use cfmap_model::{LinearSchedule, Uda};
+
+/// What "optimal" means for a complete design (Problem 6.2's "certain
+/// criterion").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JointCriterion {
+    /// Minimize total time; break ties by VLSI cost (sites + wires).
+    TimeThenSpace,
+    /// Minimize VLSI cost; break ties by total time.
+    SpaceThenTime,
+    /// Minimize `time·tw + cost·sw`.
+    WeightedSum {
+        /// Weight on total execution time.
+        time_weight: i64,
+        /// Weight on VLSI cost.
+        space_weight: i64,
+    },
+}
+
+/// A complete Problem 6.2 solution.
+#[derive(Clone, Debug)]
+pub struct JointOptimal {
+    /// The chosen space map.
+    pub space: SpaceMap,
+    /// The chosen schedule.
+    pub schedule: LinearSchedule,
+    /// The full mapping.
+    pub mapping: MappingMatrix,
+    /// Total execution time.
+    pub total_time: i64,
+    /// VLSI cost (sites + wire length, as in Problem 6.1).
+    pub space_cost: i64,
+    /// Space maps tried.
+    pub space_maps_tried: u64,
+}
+
+/// Problem 6.2 search over 1-row space maps.
+pub struct JointSearch<'a> {
+    alg: &'a Uda,
+    entry_bound: i64,
+    criterion: JointCriterion,
+    condition: ConditionKind,
+    max_objective: Option<i64>,
+}
+
+impl<'a> JointSearch<'a> {
+    /// Start a joint search for `alg` targeting a linear array.
+    pub fn new(alg: &'a Uda) -> Self {
+        JointSearch {
+            alg,
+            entry_bound: 1,
+            criterion: JointCriterion::TimeThenSpace,
+            condition: ConditionKind::Exact,
+            max_objective: None,
+        }
+    }
+
+    /// Bound on `|s_i|` (default 1).
+    pub fn entry_bound(mut self, bound: i64) -> Self {
+        self.entry_bound = bound;
+        self
+    }
+
+    /// The optimization criterion (default: time, then space).
+    pub fn criterion(mut self, c: JointCriterion) -> Self {
+        self.criterion = c;
+        self
+    }
+
+    /// Conflict test (default exact).
+    pub fn condition(mut self, kind: ConditionKind) -> Self {
+        self.condition = kind;
+        self
+    }
+
+    /// Cap each inner schedule search.
+    pub fn max_objective(mut self, cap: i64) -> Self {
+        self.max_objective = Some(cap);
+        self
+    }
+
+    fn space_cost(&self, space: &SpaceMap) -> i64 {
+        // Sites: bounding span of the 1-row image; wires: Σ‖S·d̄ᵢ‖₁.
+        let row = space.as_mat().row(0);
+        let (mut lo, mut hi) = (Int::zero(), Int::zero());
+        for (i, c) in row.iter().enumerate() {
+            let m = Int::from(self.alg.index_set.mu_i(i));
+            if c.is_positive() {
+                hi += &(c * &m);
+            } else {
+                lo += &(c * &m);
+            }
+        }
+        let sites = (&hi - &lo).to_i64().expect("span fits i64") + 1;
+        let wires: i64 = (0..self.alg.num_deps())
+            .map(|i| row.dot(&self.alg.deps.dep(i)).abs().to_i64().expect("fits"))
+            .sum();
+        sites + wires
+    }
+
+    fn score(&self, time: i64, cost: i64) -> (i64, i64) {
+        match self.criterion {
+            JointCriterion::TimeThenSpace => (time, cost),
+            JointCriterion::SpaceThenTime => (cost, time),
+            JointCriterion::WeightedSum { time_weight, space_weight } => {
+                (time * time_weight + cost * space_weight, 0)
+            }
+        }
+    }
+
+    /// Run the search.
+    pub fn solve(&self) -> Option<JointOptimal> {
+        let n = self.alg.dim();
+        let mut rows: Vec<Vec<i64>> = Vec::new();
+        collect_rows_rec(&mut vec![0i64; n], 0, self.entry_bound, &mut |r| {
+            if r.iter().all(|&x| x == 0) {
+                return;
+            }
+            if r.iter().find(|&&x| x != 0).is_some_and(|&x| x < 0) {
+                return;
+            }
+            rows.push(r.to_vec());
+        });
+
+        let mut best: Option<(JointOptimal, (i64, i64))> = None;
+        let mut tried = 0u64;
+        for r in &rows {
+            tried += 1;
+            let space = SpaceMap::row(r);
+            let mut proc = Procedure51::new(self.alg, &space).condition(self.condition);
+            if let Some(cap) = self.max_objective {
+                proc = proc.max_objective(cap);
+            }
+            // Time-first pruning: no point searching past the incumbent.
+            if self.criterion == JointCriterion::TimeThenSpace {
+                if let Some((ref inc, _)) = best {
+                    proc = proc.max_objective(
+                        (inc.total_time - 1).min(self.max_objective.unwrap_or(i64::MAX)),
+                    );
+                }
+            }
+            let Some(opt) = proc.solve() else { continue };
+            let cost = self.space_cost(&space);
+            let score = self.score(opt.total_time, cost);
+            let better = match &best {
+                None => true,
+                Some((_, bs)) => score < *bs,
+            };
+            if better {
+                best = Some((
+                    JointOptimal {
+                        space: space.clone(),
+                        schedule: opt.schedule.clone(),
+                        mapping: opt.mapping,
+                        total_time: opt.total_time,
+                        space_cost: cost,
+                        space_maps_tried: tried,
+                    },
+                    score,
+                ));
+            }
+        }
+        best.map(|(mut sol, _)| {
+            sol.space_maps_tried = tried;
+            sol
+        })
+    }
+}
+
+fn collect_rows_rec(row: &mut Vec<i64>, idx: usize, bound: i64, f: &mut impl FnMut(&[i64])) {
+    if idx == row.len() {
+        f(row);
+        return;
+    }
+    for v in -bound..=bound {
+        row[idx] = v;
+        collect_rows_rec(row, idx + 1, bound, f);
+    }
+    row[idx] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use cfmap_model::algorithms;
+
+    #[test]
+    fn joint_matmul_beats_fixed_space_design() {
+        // With S also free, the μ=4 matmul admits designs at least as
+        // good as the paper's S = [1,1,−1] / t = 25.
+        let alg = algorithms::matmul(4);
+        let sol = JointSearch::new(&alg).solve().expect("solvable");
+        assert!(sol.total_time <= 25, "joint optimum {} worse than fixed-S", sol.total_time);
+        assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
+        assert!(sol.mapping.has_full_rank());
+    }
+
+    #[test]
+    fn joint_tc() {
+        let alg = algorithms::transitive_closure(3);
+        let sol = JointSearch::new(&alg).solve().expect("solvable");
+        assert!(sol.total_time <= 3 * (3 + 3) + 1);
+        assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
+    }
+
+    #[test]
+    fn criteria_trade_time_for_space() {
+        let alg = algorithms::matmul(3);
+        let fast = JointSearch::new(&alg)
+            .criterion(JointCriterion::TimeThenSpace)
+            .solve()
+            .unwrap();
+        let small = JointSearch::new(&alg)
+            .criterion(JointCriterion::SpaceThenTime)
+            .solve()
+            .unwrap();
+        assert!(fast.total_time <= small.total_time);
+        assert!(small.space_cost <= fast.space_cost);
+    }
+
+    #[test]
+    fn weighted_criterion_is_feasible() {
+        let alg = algorithms::matmul(3);
+        let sol = JointSearch::new(&alg)
+            .criterion(JointCriterion::WeightedSum { time_weight: 1, space_weight: 2 })
+            .solve()
+            .unwrap();
+        assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
+    }
+
+    #[test]
+    fn cap_propagates() {
+        let alg = algorithms::matmul(4);
+        assert!(JointSearch::new(&alg).max_objective(3).solve().is_none());
+    }
+}

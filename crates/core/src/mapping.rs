@@ -1,0 +1,394 @@
+//! Mapping matrices `T = [S; Π]` and the conditions of Definition 2.2.
+//!
+//! A linear algorithm transformation maps index point `j̄` to processor
+//! `S·j̄` (space) and time `Π·j̄` (schedule). Definition 2.2 imposes:
+//!
+//! 1. `ΠD > 0` — dependencies respected (checked by
+//!    [`cfmap_model::LinearSchedule::is_valid_for`]);
+//! 2. `SD = P·K` with `Σ_j k_{ji} ≤ Π·d̄ᵢ` — routable on the target
+//!    interconnect with data arriving no later than use ([`routing`] /
+//!    [`InterconnectionPrimitives`]);
+//! 3. injectivity on `J` — no computational conflicts (the subject of
+//!    [`crate::conflict`] and [`crate::conditions`]);
+//! 4. `rank(T) = k` — the array is genuinely `(k−1)`-dimensional.
+
+use cfmap_intlin::{hermite_normal_form, Hnf, IMat, IVec, Int};
+use cfmap_lp::{solve_ilp, LpOutcome, LpProblem, Relation};
+use cfmap_model::{DependenceMatrix, LinearSchedule};
+use std::fmt;
+
+/// The space mapping matrix `S ∈ Z^{(k−1)×n}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpaceMap {
+    mat: IMat,
+}
+
+impl SpaceMap {
+    /// Build from rows.
+    pub fn from_rows(rows: &[&[i64]]) -> SpaceMap {
+        SpaceMap { mat: IMat::from_rows(rows) }
+    }
+
+    /// A single-row space map (→ linear array).
+    pub fn row(row: &[i64]) -> SpaceMap {
+        SpaceMap::from_rows(&[row])
+    }
+
+    /// Number of array dimensions `k − 1`.
+    pub fn array_dims(&self) -> usize {
+        self.mat.nrows()
+    }
+
+    /// Algorithm dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.mat.ncols()
+    }
+
+    /// The matrix `S`.
+    pub fn as_mat(&self) -> &IMat {
+        &self.mat
+    }
+
+    /// Processor coordinates of index point `j̄`: `S·j̄` (machine ints).
+    pub fn place(&self, j: &[i64]) -> Vec<i64> {
+        (0..self.mat.nrows())
+            .map(|r| {
+                (0..self.mat.ncols())
+                    .map(|c| {
+                        self.mat.get(r, c).to_i64().expect("space map entry fits i64") * j[c]
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for SpaceMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mat)
+    }
+}
+
+/// The full mapping matrix `T = [S; Π] ∈ Z^{k×n}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MappingMatrix {
+    space: SpaceMap,
+    schedule: LinearSchedule,
+    t: IMat,
+}
+
+impl MappingMatrix {
+    /// Stack a space map and a schedule into `T = [S; Π]`.
+    pub fn new(space: SpaceMap, schedule: LinearSchedule) -> MappingMatrix {
+        assert_eq!(space.dim(), schedule.dim(), "S and Π dimension mismatch");
+        let pi_row = IMat::from_rows(&[schedule.as_slice()]);
+        let t = space.as_mat().vstack(&pi_row);
+        MappingMatrix { space, schedule, t }
+    }
+
+    /// Build directly from rows (last row is `Π`).
+    pub fn from_rows(rows: &[&[i64]]) -> MappingMatrix {
+        assert!(rows.len() >= 2, "mapping matrix needs at least S and Π rows");
+        let space = SpaceMap::from_rows(&rows[..rows.len() - 1]);
+        let schedule = LinearSchedule::new(rows[rows.len() - 1]);
+        MappingMatrix::new(space, schedule)
+    }
+
+    /// `k` = number of rows of `T` (array dimension + 1).
+    pub fn k(&self) -> usize {
+        self.t.nrows()
+    }
+
+    /// Algorithm dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.t.ncols()
+    }
+
+    /// The space part `S`.
+    pub fn space(&self) -> &SpaceMap {
+        &self.space
+    }
+
+    /// The schedule part `Π`.
+    pub fn schedule(&self) -> &LinearSchedule {
+        &self.schedule
+    }
+
+    /// The matrix `T`.
+    pub fn as_mat(&self) -> &IMat {
+        &self.t
+    }
+
+    /// `τ(j̄) = T·j̄` as machine integers: `(processor coords, time)`.
+    pub fn apply(&self, j: &[i64]) -> (Vec<i64>, i64) {
+        (self.space.place(j), self.schedule.time_of(j))
+    }
+
+    /// Condition 4 of Definition 2.2: `rank(T) = k`.
+    pub fn has_full_rank(&self) -> bool {
+        self.t.rank() == self.k()
+    }
+
+    /// Condition 1 of Definition 2.2: `ΠD > 0`.
+    pub fn respects_dependencies(&self, deps: &DependenceMatrix) -> bool {
+        self.schedule.is_valid_for(deps)
+    }
+
+    /// The Hermite normal form `T·U = [L, 0]` (Theorem 4.1) — the engine
+    /// behind all the conflict conditions of Section 4.
+    pub fn hnf(&self) -> Hnf {
+        hermite_normal_form(&self.t)
+    }
+}
+
+impl fmt::Display for MappingMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T =\n{}", self.t)
+    }
+}
+
+/// The matrix `P` of interconnection primitives of the target array
+/// (Definition 2.2): one column per physical link direction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterconnectionPrimitives {
+    mat: IMat,
+}
+
+impl InterconnectionPrimitives {
+    /// Build from columns (each a `(k−1)`-dimensional direction).
+    pub fn from_columns(cols: &[&[i64]]) -> InterconnectionPrimitives {
+        let vecs: Vec<IVec> = cols.iter().map(|c| IVec::from_i64s(c)).collect();
+        InterconnectionPrimitives { mat: IMat::from_cols(&vecs) }
+    }
+
+    /// The nearest-neighbour mesh primitives in `d` dimensions:
+    /// `±e₁, …, ±e_d` (the paper's east/south/west/north example for
+    /// `d = 2`).
+    pub fn mesh(d: usize) -> InterconnectionPrimitives {
+        let mut cols: Vec<IVec> = Vec::with_capacity(2 * d);
+        for i in 0..d {
+            cols.push(IVec::unit(d, i));
+            cols.push(-&IVec::unit(d, i));
+        }
+        InterconnectionPrimitives { mat: IMat::from_cols(&cols) }
+    }
+
+    /// Number of primitives `r`.
+    pub fn num_primitives(&self) -> usize {
+        self.mat.ncols()
+    }
+
+    /// Array dimension `k − 1`.
+    pub fn array_dims(&self) -> usize {
+        self.mat.nrows()
+    }
+
+    /// The matrix `P`.
+    pub fn as_mat(&self) -> &IMat {
+        &self.mat
+    }
+}
+
+/// A routing certificate: the matrix `K` of Definition 2.2 condition 2,
+/// with per-dependence diagnostics.
+#[derive(Clone, Debug)]
+pub struct Routing {
+    /// `K ∈ N^{r×m}` with `P·K = S·D`.
+    pub k: IMat,
+    /// `Π·d̄ᵢ` for each dependence (available time budget).
+    pub dep_times: Vec<Int>,
+    /// `Σ_j k_{ji}` for each dependence (hops used).
+    pub hops: Vec<Int>,
+    /// Buffers per dependence: `Π·d̄ᵢ − Σ_j k_{ji}` (the paper's
+    /// shift-register count, cf. Example 5.1's "three buffers").
+    pub buffers: Vec<Int>,
+}
+
+impl Routing {
+    /// Appendix criterion: *"there is no data link collision because in
+    /// every column of matrix K there is only one non-zero entry"* — each
+    /// datum uses a link exactly once on its way.
+    pub fn is_collision_free_by_k(&self) -> bool {
+        (0..self.k.ncols()).all(|c| {
+            let nonzeros = (0..self.k.nrows()).filter(|&r| !self.k.get(r, c).is_zero()).count();
+            nonzeros <= 1
+        })
+    }
+
+    /// Total buffer count `Σᵢ (Π·d̄ᵢ − Σ_j k_{ji})` — the quantity the
+    /// paper compares against [23] at the end of Example 5.1.
+    pub fn total_buffers(&self) -> Int {
+        self.buffers.iter().sum()
+    }
+}
+
+/// Solve condition 2 of Definition 2.2: find `K ≥ 0` integral with
+/// `P·K = S·D` and `Σ_j k_{ji} ≤ Π·d̄ᵢ`, minimizing hops per dependence.
+///
+/// Each dependence is an independent small ILP (minimize `Σ_j k_j` s.t.
+/// `P·k = (S·D) column`, `k ≥ 0`). Returns `None` if any dependence is
+/// unroutable within its time budget.
+pub fn route(
+    mapping: &MappingMatrix,
+    deps: &DependenceMatrix,
+    primitives: &InterconnectionPrimitives,
+) -> Option<Routing> {
+    assert_eq!(primitives.array_dims(), mapping.k() - 1, "P has wrong array dimension");
+    let sd = mapping.space().as_mat() * deps.as_mat();
+    let r = primitives.num_primitives();
+    let m = deps.num_deps();
+    let dep_times = mapping.schedule().dep_times(deps);
+
+    let mut k = IMat::zeros(r, m);
+    let mut hops = Vec::with_capacity(m);
+    for i in 0..m {
+        let target = sd.col(i);
+        // min Σ k_j  s.t.  P·k = target, 0 ≤ k_j ≤ Π·d̄ᵢ.
+        let mut p = LpProblem::minimize(&vec![1; r]);
+        let budget = dep_times[i].to_i64().expect("schedule times fit i64");
+        for j in 0..r {
+            p.set_lower(j, cfmap_intlin::Rat::zero());
+            p.set_upper(j, cfmap_intlin::Rat::from_i64(budget));
+        }
+        for row in 0..primitives.array_dims() {
+            let coeffs: Vec<i64> = (0..r)
+                .map(|j| primitives.as_mat().get(row, j).to_i64().expect("P entry fits i64"))
+                .collect();
+            let rhs = target[row].to_i64().expect("SD entry fits i64");
+            p.constrain_i64(&coeffs, Relation::Eq, rhs);
+        }
+        match solve_ilp(&p, 50_000) {
+            LpOutcome::Optimal { x, value } => {
+                if value > cfmap_intlin::Rat::from_int(dep_times[i].clone()) {
+                    return None; // cannot arrive in time
+                }
+                for (j, v) in x.iter().enumerate() {
+                    k.set(j, i, v.to_int().expect("ILP solution is integral"));
+                }
+                hops.push(value.to_int().expect("integral hops"));
+            }
+            _ => return None,
+        }
+    }
+
+    let buffers: Vec<Int> = dep_times.iter().zip(&hops).map(|(t, h)| t - h).collect();
+    Some(Routing { k, dep_times, hops, buffers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfmap_model::algorithms;
+
+    #[test]
+    fn space_map_placement() {
+        let s = SpaceMap::row(&[1, 1, -1]);
+        assert_eq!(s.array_dims(), 1);
+        assert_eq!(s.dim(), 3);
+        assert_eq!(s.place(&[2, 3, 1]), vec![4]);
+        let s2 = SpaceMap::from_rows(&[&[1, 0, 0, 0], &[0, 1, 0, 0]]);
+        assert_eq!(s2.place(&[5, 7, 9, 11]), vec![5, 7]);
+    }
+
+    #[test]
+    fn mapping_matrix_stacking() {
+        let t = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 4, 1]));
+        assert_eq!(t.k(), 2);
+        assert_eq!(t.dim(), 3);
+        assert_eq!(t.as_mat(), &IMat::from_rows(&[&[1, 1, -1], &[1, 4, 1]]));
+        let (proc, time) = t.apply(&[2, 3, 1]);
+        assert_eq!(proc, vec![4]);
+        assert_eq!(time, 2 + 12 + 1);
+        assert!(t.has_full_rank());
+    }
+
+    #[test]
+    fn rank_condition_detects_degenerate_mapping() {
+        // Π parallel to S ⇒ rank 1 < 2 (condition 4 violated).
+        let t = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[2, 2, -2]));
+        assert!(!t.has_full_rank());
+    }
+
+    #[test]
+    fn dependency_condition() {
+        let alg = algorithms::matmul(4);
+        let good = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 4, 1]));
+        assert!(good.respects_dependencies(&alg.deps));
+        let bad = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[0, 4, 1]));
+        assert!(!bad.respects_dependencies(&alg.deps));
+    }
+
+    #[test]
+    fn mesh_primitives() {
+        let p = InterconnectionPrimitives::mesh(2);
+        assert_eq!(p.num_primitives(), 4);
+        assert_eq!(p.array_dims(), 2);
+        // The paper's P for the 4-neighbour mesh, up to column order.
+        let cols: Vec<Vec<i64>> =
+            (0..4).map(|c| p.as_mat().col(c).to_i64s().unwrap()).collect();
+        for want in [vec![0, 1], vec![0, -1], vec![1, 0], vec![-1, 0]] {
+            assert!(cols.contains(&want), "missing primitive {want:?}");
+        }
+    }
+
+    #[test]
+    fn routing_example_5_1() {
+        // Example 5.1: P = SD = [1, 1, −1], K = I; Πd̄ = (1, 4, 1) ⇒
+        // hops (1, 1, 1), buffers (0, 3, 0) — "three buffers are needed on
+        // the data link for d̄₂ induced by data A".
+        let alg = algorithms::matmul(4);
+        let mapping =
+            MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 4, 1]));
+        let p = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
+        let routing = route(&mapping, &alg.deps, &p).expect("routable");
+        assert_eq!(routing.dep_times, vec![Int::from(1), Int::from(4), Int::from(1)]);
+        assert_eq!(routing.hops, vec![Int::from(1), Int::from(1), Int::from(1)]);
+        assert_eq!(routing.buffers, vec![Int::from(0), Int::from(3), Int::from(0)]);
+        assert_eq!(routing.total_buffers(), Int::from(3));
+        assert!(routing.is_collision_free_by_k());
+        // P·K = S·D.
+        let sd = mapping.space().as_mat() * alg.deps.as_mat();
+        assert_eq!(&(p.as_mat() * &routing.k), &sd);
+    }
+
+    #[test]
+    fn routing_baseline_23_needs_four_buffers() {
+        // [23]'s Π' = [2, 1, μ]: Σ(Πd̄ᵢ − 1) = (2−1)+(1−1)+(4−1) = 4.
+        let alg = algorithms::matmul(4);
+        let mapping =
+            MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[2, 1, 4]));
+        let p = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
+        let routing = route(&mapping, &alg.deps, &p).expect("routable");
+        assert_eq!(routing.total_buffers(), Int::from(4));
+    }
+
+    #[test]
+    fn routing_transitive_closure_example_5_2() {
+        // Example 5.2: P = SD = [1, 0, −1, 0, −1], K = I.
+        let alg = algorithms::transitive_closure(4);
+        let mapping =
+            MappingMatrix::new(SpaceMap::row(&[0, 0, 1]), LinearSchedule::new(&[5, 1, 1]));
+        let sd = mapping.space().as_mat() * alg.deps.as_mat();
+        assert_eq!(sd, IMat::from_rows(&[&[1, 0, -1, 0, -1]]));
+        let p = InterconnectionPrimitives::from_columns(&[&[1], &[0], &[-1], &[0], &[-1]]);
+        // A primitive with a zero column is degenerate; use the distinct
+        // directions {+1, −1} plus a "stay" omitted — route must still
+        // work with the minimal set {+1, −1}.
+        let p_minimal = InterconnectionPrimitives::from_columns(&[&[1], &[-1]]);
+        let routing = route(&mapping, &alg.deps, &p_minimal).expect("routable");
+        assert!(routing.is_collision_free_by_k());
+        assert_eq!(&(p_minimal.as_mat() * &routing.k), &sd);
+        // d̄₂ = [0,1,0] maps to processor-distance 0 and needs 0 hops.
+        assert_eq!(routing.hops[1], Int::zero());
+        let _ = p;
+    }
+
+    #[test]
+    fn unroutable_when_budget_too_small() {
+        // Processor distance 3 in one hop budget 1 ⇒ unroutable.
+        let deps = DependenceMatrix::from_columns(&[&[1, 0]]);
+        let mapping = MappingMatrix::new(SpaceMap::row(&[3, 0]), LinearSchedule::new(&[1, 1]));
+        let p = InterconnectionPrimitives::from_columns(&[&[1], &[-1]]);
+        assert!(route(&mapping, &deps, &p).is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Brute-force conflict detection by exhaustive enumeration.
+//!
+//! The paper's conclusion stresses that *"without these necessary and
+//! sufficient conditions … even the optimization procedure has to
+//! enumerate all index points of the algorithm to see if there is a
+//! computational conflict."* This module is that enumeration — kept as
+//! (a) the ground-truth oracle our closed-form conditions are validated
+//! against in tests, and (b) the baseline whose cost experiment E7b
+//! measures against the closed-form test.
+
+use crate::conflict::ConflictWitness;
+use crate::mapping::MappingMatrix;
+use cfmap_model::IndexSet;
+use std::collections::HashMap;
+
+/// Scan every index point, hashing its image `T·j̄`; report the first
+/// colliding pair, or `None` if the mapping is injective on `J`.
+///
+/// Cost: `O(|J|)` time and space — exponential in `n`, which is exactly
+/// why the paper's closed-form conditions matter.
+pub fn find_conflict(mapping: &MappingMatrix, index_set: &IndexSet) -> Option<ConflictWitness> {
+    assert_eq!(mapping.dim(), index_set.dim(), "T and J dimension mismatch");
+    let mut seen: HashMap<(Vec<i64>, i64), Vec<i64>> =
+        HashMap::with_capacity(index_set.len().min(1 << 22) as usize);
+    for j in index_set.iter() {
+        let image = mapping.apply(&j);
+        if let Some(prev) = seen.get(&image) {
+            return Some(ConflictWitness { j1: prev.clone(), j2: j });
+        }
+        seen.insert(image, j);
+    }
+    None
+}
+
+/// `true` iff the mapping is injective on the index set (conflict-free),
+/// decided by enumeration.
+pub fn is_conflict_free_by_enumeration(mapping: &MappingMatrix, index_set: &IndexSet) -> bool {
+    find_conflict(mapping, index_set).is_none()
+}
+
+/// Count all conflicting *pairs* — useful for reporting how bad a
+/// non-conflict-free mapping is (e.g. Figure 1's diagonal chain collapses
+/// 5 points onto one (processor, time) pair → C(5,2) = 10 pairs).
+pub fn count_conflicting_pairs(mapping: &MappingMatrix, index_set: &IndexSet) -> u128 {
+    let mut buckets: HashMap<(Vec<i64>, i64), u128> = HashMap::new();
+    for j in index_set.iter() {
+        *buckets.entry(mapping.apply(&j)).or_insert(0) += 1;
+    }
+    buckets.values().map(|&c| c * (c - 1) / 2).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::ConflictAnalysis;
+    use crate::mapping::MappingMatrix;
+    use cfmap_model::IndexSet;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_optimal_matmul_mapping_is_clean() {
+        let t = MappingMatrix::from_rows(&[&[1, 1, -1], &[1, 4, 1]]);
+        let j = IndexSet::cube(3, 4);
+        assert!(is_conflict_free_by_enumeration(&t, &j));
+        assert_eq!(count_conflicting_pairs(&t, &j), 0);
+    }
+
+    #[test]
+    fn rejected_candidate_pi1_conflicts() {
+        // Π1 = [1, 1, μ] from the appendix: conflict vector [1, −1, 0].
+        let t = MappingMatrix::from_rows(&[&[1, 1, -1], &[1, 1, 4]]);
+        let j = IndexSet::cube(3, 4);
+        let w = find_conflict(&t, &j).expect("must conflict");
+        assert_eq!(t.apply(&w.j1), t.apply(&w.j2));
+        assert_ne!(w.j1, w.j2);
+        assert!(count_conflicting_pairs(&t, &j) > 0);
+    }
+
+    #[test]
+    fn eq_2_8_mapping_conflicts_via_gamma3() {
+        let t = MappingMatrix::from_rows(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]);
+        let j = IndexSet::cube(4, 6);
+        let w = find_conflict(&t, &j).expect("Example 2.1 mapping is not conflict-free");
+        // Difference of the witness pair must be an in-box kernel vector.
+        let diff: Vec<i64> = w.j2.iter().zip(&w.j1).map(|(a, b)| a - b).collect();
+        let diff_vec = cfmap_intlin::IVec::from_i64s(&diff);
+        assert!(t.as_mat().mul_vec(&diff_vec).is_zero());
+    }
+
+    #[test]
+    fn figure_1_conflict_count() {
+        // A 2-D sanity instance in the spirit of Figure 1: T = [1, −1]
+        // (1×2 mapping: k = 1, a "0-dimensional array" = single point in
+        // space-time per value) over {0..4}²: γ = [1, 1] collapses each
+        // diagonal; diagonals have sizes 1,2,3,4,5,4,3,2,1 →
+        // Σ C(s,2) = 0+1+3+6+10+6+3+1+0 = 30 pairs.
+        let t = MappingMatrix::from_rows(&[&[1, -1], &[1, -1]]);
+        // from_rows needs ≥ 2 rows; duplicate row keeps image identical to
+        // the 1-row mapping for counting purposes.
+        let j = IndexSet::new(&[4, 4]);
+        assert_eq!(count_conflicting_pairs(&t, &j), 30);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// The oracle and the exact lattice checker must always agree.
+        #[test]
+        fn oracle_agrees_with_exact_checker(
+            s in prop::collection::vec(-3i64..=3, 3),
+            pi in prop::collection::vec(-3i64..=3, 3),
+            mu in 1i64..5,
+        ) {
+            let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
+            let j = IndexSet::cube(3, mu);
+            let analysis = ConflictAnalysis::new(&t, &j);
+            prop_assert_eq!(
+                analysis.is_conflict_free_exact(),
+                is_conflict_free_by_enumeration(&t, &j),
+                "disagreement for S={:?} Π={:?} μ={}", s, pi, mu
+            );
+        }
+
+        /// 4-D, k = 2 (two-dimensional kernel): same agreement.
+        #[test]
+        fn oracle_agrees_with_exact_checker_4d(
+            s in prop::collection::vec(-2i64..=2, 4),
+            pi in prop::collection::vec(-2i64..=2, 4),
+            mu in 1i64..4,
+        ) {
+            let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
+            let j = IndexSet::cube(4, mu);
+            let analysis = ConflictAnalysis::new(&t, &j);
+            prop_assert_eq!(
+                analysis.is_conflict_free_exact(),
+                is_conflict_free_by_enumeration(&t, &j),
+                "disagreement for S={:?} Π={:?} μ={}", s, pi, mu
+            );
+        }
+    }
+}

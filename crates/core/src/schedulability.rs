@@ -1,0 +1,124 @@
+//! Schedulability: does *any* linear schedule exist?
+//!
+//! A uniform dependence algorithm is computable by a systolic schedule iff
+//! some hyperplane strictly separates the dependence cone from the origin
+//! — `∃ Π: ΠD > 0` (Definition 2.2 condition 1; the existence question
+//! behind the paper's standing assumption that candidates exist). Over
+//! the rationals this is an LP feasibility question, decided exactly by
+//! the workspace's simplex: maximize nothing subject to `Π·d̄ᵢ ≥ 1`
+//! (strict positivity and ≥ 1 are equivalent up to scaling). Integrality
+//! is free — scale a rational solution by the lcm of denominators.
+
+use cfmap_intlin::{Int, Rat};
+use cfmap_lp::problem::{LpProblem, Relation};
+use cfmap_lp::{solve_lp, LpOutcome};
+use cfmap_model::{LinearSchedule, Uda};
+
+/// A witness schedule with `ΠD > 0`, or `None` when the dependence cone
+/// is not strictly separable (the algorithm has no linear schedule — e.g.
+/// antiparallel dependence pairs).
+pub fn find_valid_schedule(alg: &Uda) -> Option<LinearSchedule> {
+    let n = alg.dim();
+    // Feasibility LP: Π free, Π·d̄ᵢ ≥ 1, |π_j| ≤ M. A basic feasible
+    // solution's entries are bounded by subdeterminant ratios of D, so
+    // for adversarial dependence matrices a fixed M could wrongly report
+    // infeasibility — start from a heuristic box and double it a few
+    // times before concluding (an unbounded cone-feasibility LP would
+    // also work but the simplex needs a bounded region to return a
+    // point).
+    let mut big: i64 = alg
+        .deps
+        .deps()
+        .iter()
+        .map(|d| d.iter().map(|e| e.abs().to_i64().unwrap_or(0)).sum::<i64>())
+        .sum::<i64>()
+        + n as i64;
+    let mut solution: Option<Vec<Rat>> = None;
+    for _ in 0..8 {
+        let mut p = LpProblem::minimize(&vec![0i64; n]);
+        for i in 0..alg.num_deps() {
+            let d = alg.deps.dep_i64(i);
+            p.constrain_i64(&d, Relation::Ge, 1);
+        }
+        for j in 0..n {
+            p.set_lower(j, Rat::from_i64(-big));
+            p.set_upper(j, Rat::from_i64(big));
+        }
+        if let LpOutcome::Optimal { x, .. } = solve_lp(&p) {
+            solution = Some(x);
+            break;
+        }
+        big = big.saturating_mul(16);
+    }
+    let x = solution?;
+    // Scale to integers: multiply by the lcm of denominators.
+    let lcm = x.iter().fold(Int::one(), |acc, r| acc.lcm(r.denom()));
+    let pi: Vec<i64> = x
+        .iter()
+        .map(|r| {
+            (r.numer() * &lcm.exact_div(r.denom()))
+                .to_i64()
+                .expect("scaled schedule fits i64")
+        })
+        .collect();
+    let schedule = LinearSchedule::new(&pi);
+    debug_assert!(schedule.is_valid_for(&alg.deps));
+    Some(schedule)
+}
+
+/// `true` iff the algorithm admits some linear schedule.
+pub fn is_schedulable(alg: &Uda) -> bool {
+    find_valid_schedule(alg).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfmap_model::{algorithms, DependenceMatrix, IndexSet};
+
+    #[test]
+    fn library_algorithms_all_schedulable() {
+        for alg in algorithms::all_small() {
+            let pi = find_valid_schedule(&alg)
+                .unwrap_or_else(|| panic!("{} must be schedulable", alg.name));
+            assert!(pi.is_valid_for(&alg.deps), "{}", alg.name);
+        }
+    }
+
+    #[test]
+    fn antiparallel_pair_is_not_schedulable() {
+        // d and −d cannot both be strictly positive under any Π.
+        let alg = Uda::new(
+            "cycle",
+            IndexSet::cube(2, 3),
+            DependenceMatrix::from_columns(&[&[1, 0], &[-1, 0]]),
+        );
+        assert!(!is_schedulable(&alg));
+        assert!(alg.has_antiparallel_dependence_pair());
+    }
+
+    #[test]
+    fn subtler_infeasible_cone() {
+        // Three vectors whose positive combination hits zero:
+        // (1,0), (−1,1), (0,−1) sum to (0,0) ⇒ no separating hyperplane,
+        // even though no antiparallel pair exists.
+        let alg = Uda::new(
+            "zero-sum-cone",
+            IndexSet::cube(2, 3),
+            DependenceMatrix::from_columns(&[&[1, 0], &[-1, 1], &[0, -1]]),
+        );
+        assert!(!alg.has_antiparallel_dependence_pair());
+        assert!(!is_schedulable(&alg));
+    }
+
+    #[test]
+    fn witness_scales_to_integers() {
+        let alg = algorithms::transitive_closure(4);
+        let pi = find_valid_schedule(&alg).unwrap();
+        // Integral by construction and strictly valid.
+        assert!(pi.is_valid_for(&alg.deps));
+        // TC requires π1 > π2 + π3 — the witness must satisfy it.
+        let p = pi.as_slice();
+        assert!(p[0] > p[1] + p[2]);
+    }
+}

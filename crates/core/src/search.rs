@@ -1,0 +1,482 @@
+//! Procedure 5.1: time-optimal conflict-free schedule search.
+//!
+//! Candidates `Π` are enumerated in increasing order of the objective
+//! `f = Σ |π_i|·μ_i` (by Theorem 2.1 the total execution time is monotone
+//! in the `|π_i|`, so the first accepted candidate is optimal). Each
+//! candidate is screened by the conditions of Definition 2.2:
+//!
+//! 1. `ΠD > 0`;
+//! 2. (optional) routability `SD = PK`, `Σ_j k_{ji} ≤ Π·d̄ᵢ`;
+//! 3. conflict-freedom — the paper's closed-form conditions
+//!    (Theorem 3.1 / 4.7 / 4.8 / 4.5 depending on `n − k`) or the exact
+//!    lattice test, selectable via [`ConditionKind`];
+//! 4. `rank(T) = k`.
+//!
+//! With [`ConditionKind::Exact`] the search is optimal for every `k`;
+//! with [`ConditionKind::Paper`] it is optimal whenever the dispatched
+//! condition is necessary-and-sufficient (`k ≥ n−3` per the paper; see
+//! the necessity caveat in [`crate::conditions`]) and otherwise sound but
+//! possibly conservative.
+
+use crate::conditions::{check, ConditionKind};
+use crate::conflict::ConflictAnalysis;
+use crate::mapping::{route, InterconnectionPrimitives, MappingMatrix, Routing, SpaceMap};
+use cfmap_model::{LinearSchedule, Uda};
+
+/// The result of a successful optimal-mapping search.
+#[derive(Clone, Debug)]
+pub struct OptimalMapping {
+    /// The full mapping matrix `T = [S; Π°]`.
+    pub mapping: MappingMatrix,
+    /// The optimal schedule `Π°`.
+    pub schedule: LinearSchedule,
+    /// Objective value `f = Σ |π_i| μ_i` (total time − 1).
+    pub objective: i64,
+    /// Total execution time `t = f + 1` (Equation 2.7).
+    pub total_time: i64,
+    /// Routing certificate, when interconnection primitives were given.
+    pub routing: Option<Routing>,
+    /// Number of candidates examined before acceptance (search effort).
+    pub candidates_examined: u64,
+}
+
+/// Procedure 5.1, configured via the builder methods.
+///
+/// # Examples
+///
+/// Example 5.1 of the paper — the optimal matmul linear-array schedule:
+///
+/// ```
+/// use cfmap_core::{Procedure51, SpaceMap};
+/// use cfmap_model::algorithms;
+///
+/// let alg = algorithms::matmul(4);
+/// let s = SpaceMap::row(&[1, 1, -1]);
+/// let opt = Procedure51::new(&alg, &s).solve().expect("mapping exists");
+/// assert_eq!(opt.total_time, 4 * (4 + 2) + 1); // t = μ(μ+2)+1
+/// ```
+pub struct Procedure51<'a> {
+    alg: &'a Uda,
+    space: &'a SpaceMap,
+    condition: ConditionKind,
+    primitives: Option<&'a InterconnectionPrimitives>,
+    max_objective: i64,
+    /// Column indices where `S` is entirely zero — used by the exact
+    /// pairwise pre-filter (see [`Self::pairwise_prefilter_rejects`]).
+    zero_space_cols: Vec<usize>,
+}
+
+impl<'a> Procedure51<'a> {
+    /// Start a search for `alg` with the given space mapping.
+    pub fn new(alg: &'a Uda, space: &'a SpaceMap) -> Self {
+        assert_eq!(alg.dim(), space.dim(), "algorithm / space map dimension mismatch");
+        // Default cap: the paper bounds the useful search at |π_i| ≤ μ_i
+        // plus slack for the μ+2-style extreme points.
+        let cap: i64 = alg
+            .index_set
+            .mu()
+            .iter()
+            .map(|&m| m * (m + 3))
+            .sum::<i64>()
+            .max(16);
+        let zero_space_cols = (0..space.dim())
+            .filter(|&c| space.as_mat().col(c).is_zero())
+            .collect();
+        Procedure51 {
+            alg,
+            space,
+            condition: ConditionKind::Exact,
+            primitives: None,
+            max_objective: cap,
+            zero_space_cols,
+        }
+    }
+
+    /// Exact O(z²) pre-filter: for columns `i < j` where `S` is zero, the
+    /// vector with `γ_i = π_j/g`, `γ_j = −π_i/g` (`g = gcd(π_i, π_j)`) is
+    /// a primitive kernel vector of `T`; if it fits inside the box it is a
+    /// non-feasible conflict vector and the candidate can be rejected
+    /// without computing a Hermite form. Only ever rejects genuinely
+    /// conflicting candidates, so optimality is unaffected.
+    fn pairwise_prefilter_rejects(&self, pi: &[i64]) -> bool {
+        let mu = self.alg.index_set.mu();
+        for (a, &i) in self.zero_space_cols.iter().enumerate() {
+            for &j in &self.zero_space_cols[a + 1..] {
+                let g = cfmap_intlin::gcd::gcd_i64(pi[i], pi[j]);
+                let (gi, gj) = if g == 0 {
+                    (1, 0) // both π entries zero: e_i itself is in the kernel
+                } else {
+                    (pi[j].abs() / g, pi[i].abs() / g)
+                };
+                if gi <= mu[i] && gj <= mu[j] {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Select the conflict-freedom test (default: exact).
+    pub fn condition(mut self, kind: ConditionKind) -> Self {
+        self.condition = kind;
+        self
+    }
+
+    /// Require routability on the given interconnection primitives
+    /// (Definition 2.2 condition 2).
+    pub fn primitives(mut self, p: &'a InterconnectionPrimitives) -> Self {
+        self.primitives = Some(p);
+        self
+    }
+
+    /// Override the objective cap at which the search gives up.
+    pub fn max_objective(mut self, cap: i64) -> Self {
+        self.max_objective = cap;
+        self
+    }
+
+    /// Run the search: the first accepted candidate in increasing
+    /// objective order is returned.
+    pub fn solve(&self) -> Option<OptimalMapping> {
+        let mu = self.alg.index_set.mu();
+        let n = self.alg.dim();
+        let mut examined = 0u64;
+        for cost in 1..=self.max_objective {
+            let mut found: Option<OptimalMapping> = None;
+            enumerate_weighted(n, mu, cost, &mut |pi| {
+                if found.is_some() {
+                    return;
+                }
+                examined += 1;
+                if let Some(result) = self.try_candidate(pi, cost, examined) {
+                    found = Some(result);
+                }
+            });
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    /// Evaluate one candidate against all conditions of Definition 2.2.
+    fn try_candidate(&self, pi: &[i64], cost: i64, examined: u64) -> Option<OptimalMapping> {
+        let schedule = LinearSchedule::new(pi);
+        // Condition 1: ΠD > 0.
+        if !schedule.is_valid_for(&self.alg.deps) {
+            return None;
+        }
+        // Cheap exact conflict pre-filter (see pairwise_prefilter_rejects).
+        if self.pairwise_prefilter_rejects(pi) {
+            return None;
+        }
+        let mapping = MappingMatrix::new(self.space.clone(), schedule.clone());
+        // Conditions 4 and 3 share the Hermite decomposition: the analysis
+        // computes it once; its rank is rank(T).
+        let analysis = ConflictAnalysis::new(&mapping, &self.alg.index_set);
+        if analysis.rank() != mapping.k() {
+            return None; // condition 4: rank(T) = k
+        }
+        if !check(self.condition, &analysis, &self.alg.index_set).accepts() {
+            return None; // condition 3: conflict-freedom
+        }
+        // Condition 2: routability (optional).
+        let routing = match self.primitives {
+            Some(p) => Some(route(&mapping, &self.alg.deps, p)?),
+            None => None,
+        };
+        let total_time = cost + 1;
+        Some(OptimalMapping {
+            mapping,
+            schedule,
+            objective: cost,
+            total_time,
+            routing,
+            candidates_examined: examined,
+        })
+    }
+
+    /// [`Self::solve`] with each objective level's candidates evaluated on
+    /// `threads` worker threads (crossbeam scoped threads). Returns the
+    /// same optimum as the sequential search: within a level every worker
+    /// records its first accepted candidate *with its enumeration index*,
+    /// and the globally smallest index wins — so the result is
+    /// deterministic and identical to the sequential tie-breaking.
+    pub fn solve_parallel(&self, threads: usize) -> Option<OptimalMapping> {
+        assert!(threads >= 1, "need at least one worker");
+        if threads == 1 {
+            return self.solve();
+        }
+        let mu = self.alg.index_set.mu();
+        let n = self.alg.dim();
+        let mut examined_before = 0u64;
+        for cost in 1..=self.max_objective {
+            let mut level: Vec<Vec<i64>> = Vec::new();
+            enumerate_weighted(n, mu, cost, &mut |pi| level.push(pi.to_vec()));
+            if level.is_empty() {
+                continue;
+            }
+            let chunk = level.len().div_ceil(threads).max(1);
+            let hits: Vec<Option<(usize, OptimalMapping)>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = level
+                        .chunks(chunk)
+                        .enumerate()
+                        .map(|(ci, slice)| {
+                            scope.spawn(move |_| {
+                                for (off, pi) in slice.iter().enumerate() {
+                                    if let Some(r) = self.try_candidate(pi, cost, 0) {
+                                        return Some((ci * chunk + off, r));
+                                    }
+                                }
+                                None
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                })
+                .expect("scope failed");
+            if let Some((idx, mut win)) = hits.into_iter().flatten().min_by_key(|(i, _)| *i) {
+                win.candidates_examined = examined_before + idx as u64 + 1;
+                return Some(win);
+            }
+            examined_before += level.len() as u64;
+        }
+        None
+    }
+
+    /// Count (without accepting) how many candidates exist up to the given
+    /// objective — the search-space measurement of experiment E9.
+    pub fn count_candidates(&self, max_objective: i64) -> u64 {
+        let mu = self.alg.index_set.mu();
+        let n = self.alg.dim();
+        let mut count = 0u64;
+        for cost in 1..=max_objective {
+            enumerate_weighted(n, mu, cost, &mut |_| count += 1);
+        }
+        count
+    }
+}
+
+/// Enumerate all `Π ∈ Z^n` with `Σ |π_i|·μ_i == cost` (each candidate
+/// visited exactly once, sign choices included, `π_i = 0` allowed where
+/// the remaining weight permits).
+///
+/// A zero weight `μ_i = 0` would make axis `i` cost-free and the candidate
+/// set infinite; such axes are capped at `|π_i| ≤ cost` — they do not
+/// affect the objective, and larger entries only worsen rank/validity, so
+/// the truncation preserves optimality for the searches the paper runs.
+pub(crate) fn enumerate_weighted(n: usize, mu: &[i64], cost: i64, f: &mut impl FnMut(&[i64])) {
+    let mut pi = vec![0i64; n];
+    rec(0, cost, n, mu, &mut pi, f);
+
+    fn rec(i: usize, remaining: i64, n: usize, mu: &[i64], pi: &mut Vec<i64>, f: &mut impl FnMut(&[i64])) {
+        if i == n {
+            if remaining == 0 {
+                f(pi);
+            }
+            return;
+        }
+        let w = mu[i];
+        let max_abs = if w == 0 { remaining } else { remaining / w };
+        for a in 0..=max_abs {
+            let used = if w == 0 { 0 } else { a * w };
+            // Zero-weight axes must still terminate: spend nothing but cap |π|.
+            pi[i] = a;
+            rec(i + 1, remaining - used, n, mu, pi, f);
+            if a != 0 {
+                pi[i] = -a;
+                rec(i + 1, remaining - used, n, mu, pi, f);
+            }
+        }
+        pi[i] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfmap_model::algorithms;
+
+    #[test]
+    fn enumerate_weighted_small() {
+        // n = 2, μ = (1, 1), cost 2: vectors with |π1| + |π2| = 2:
+        // (±2, 0), (0, ±2), (±1, ±1) → 8 candidates.
+        let mut seen = Vec::new();
+        enumerate_weighted(2, &[1, 1], 2, &mut |pi| seen.push(pi.to_vec()));
+        assert_eq!(seen.len(), 8);
+        let mut set: Vec<Vec<i64>> = seen.clone();
+        set.sort();
+        set.dedup();
+        assert_eq!(set.len(), 8, "duplicates produced");
+        for pi in &seen {
+            assert_eq!(pi[0].abs() + pi[1].abs(), 2);
+        }
+    }
+
+    #[test]
+    fn enumerate_weighted_heterogeneous() {
+        // μ = (2, 3), cost 6: |π1|·2 + |π2|·3 = 6 → (±3, 0), (0, ±2).
+        let mut seen = Vec::new();
+        enumerate_weighted(2, &[2, 3], 6, &mut |pi| seen.push(pi.to_vec()));
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![vec![-3, 0], vec![0, -2], vec![0, 2], vec![3, 0]]
+        );
+    }
+
+    #[test]
+    fn matmul_search_finds_paper_optimum() {
+        // Example 5.1 (μ = 4, S = [1, 1, −1]): optimum f = 24,
+        // Π° ∈ {[1, 4, 1], [4, 1, 1]}, t = 25 = μ(μ+2)+1.
+        let alg = algorithms::matmul(4);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let opt = Procedure51::new(&alg, &s).solve().expect("optimum exists");
+        assert_eq!(opt.objective, 24);
+        assert_eq!(opt.total_time, 25);
+        // The optimum is not unique: the whole edge between the paper's
+        // extreme points [1, μ, 1] and [1, 1, μ]... (strictly: the edge of
+        // subset I minus the non-feasible vertex) achieves f = 24, e.g.
+        // Π = [1, 2, 3]. Procedure 5.1 returns *an* optimum; verify it is
+        // one, and separately that the paper's Π₂ = [1, μ, 1] is too.
+        let found = opt.schedule.as_slice();
+        assert_eq!(found.iter().map(|p| p.abs() * 4).sum::<i64>(), 24);
+        let paper_mapping = MappingMatrix::new(s.clone(), LinearSchedule::new(&[1, 4, 1]));
+        assert!(crate::oracle::is_conflict_free_by_enumeration(
+            &paper_mapping,
+            &alg.index_set
+        ));
+        // Same answer under the paper's closed-form conditions.
+        let opt_paper = Procedure51::new(&alg, &s)
+            .condition(ConditionKind::Paper)
+            .solve()
+            .expect("optimum exists");
+        assert_eq!(opt_paper.objective, 24);
+    }
+
+    #[test]
+    fn transitive_closure_search_finds_paper_optimum() {
+        // Example 5.2 (μ = 4, S = [0, 0, 1]): Π° = [μ+1, 1, 1] = [5, 1, 1],
+        // t = μ(μ+3)+1 = 29.
+        let alg = algorithms::transitive_closure(4);
+        let s = SpaceMap::row(&[0, 0, 1]);
+        let opt = Procedure51::new(&alg, &s).solve().expect("optimum exists");
+        assert_eq!(opt.schedule.as_slice(), &[5, 1, 1]);
+        assert_eq!(opt.total_time, 29);
+        assert_eq!(opt.total_time, 4 * (4 + 3) + 1);
+    }
+
+    #[test]
+    fn transitive_closure_beats_prior_work() {
+        // The paper's improvement claim: t = μ(μ+3)+1 improves on [22]'s
+        // μ(2μ+3)+1 for every μ ≥ 1.
+        for mu in 2..=6 {
+            let alg = algorithms::transitive_closure(mu);
+            let s = SpaceMap::row(&[0, 0, 1]);
+            let opt = Procedure51::new(&alg, &s).solve().expect("optimum exists");
+            assert_eq!(opt.total_time, mu * (mu + 3) + 1, "μ = {mu}");
+            assert!(opt.total_time < mu * (2 * mu + 3) + 1);
+        }
+    }
+
+    #[test]
+    fn matmul_with_routing_requirement() {
+        let alg = algorithms::matmul(4);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let p = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
+        let opt = Procedure51::new(&alg, &s)
+            .primitives(&p)
+            .solve()
+            .expect("routable optimum exists");
+        assert_eq!(opt.objective, 24);
+        let routing = opt.routing.expect("routing present");
+        assert!(routing.is_collision_free_by_k());
+        assert_eq!(routing.total_buffers(), cfmap_intlin::Int::from(3));
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        for (alg, s_row) in [
+            (algorithms::matmul(4), vec![1i64, 1, -1]),
+            (algorithms::transitive_closure(4), vec![0, 0, 1]),
+        ] {
+            let s = SpaceMap::row(&s_row);
+            let seq = Procedure51::new(&alg, &s).solve().unwrap();
+            for threads in [2, 4] {
+                let par = Procedure51::new(&alg, &s).solve_parallel(threads).unwrap();
+                assert_eq!(par.objective, seq.objective, "{} × {threads}", alg.name);
+                assert_eq!(
+                    par.schedule.as_slice(),
+                    seq.schedule.as_slice(),
+                    "{} × {threads}: deterministic tie-break",
+                    alg.name
+                );
+                assert_eq!(par.candidates_examined, seq.candidates_examined);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_search_single_thread_delegates() {
+        let alg = algorithms::matmul(3);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let a = Procedure51::new(&alg, &s).solve().unwrap();
+        let b = Procedure51::new(&alg, &s).solve_parallel(1).unwrap();
+        assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn search_gives_up_at_cap() {
+        // An impossible requirement: space map equal to a dependence
+        // direction with tiny cap.
+        let alg = algorithms::matmul(2);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let none = Procedure51::new(&alg, &s).max_objective(2).solve();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn candidate_counting_grows_with_cost() {
+        let alg = algorithms::matmul(3);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let proc = Procedure51::new(&alg, &s);
+        let c10 = proc.count_candidates(10);
+        let c20 = proc.count_candidates(20);
+        assert!(c20 > c10);
+        assert!(c10 > 0);
+    }
+
+    #[test]
+    fn first_found_is_optimal_invariant() {
+        // Cross-check: no valid conflict-free candidate with a smaller
+        // objective exists below the reported optimum (probe a grid).
+        let alg = algorithms::matmul(3);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let opt = Procedure51::new(&alg, &s).solve().unwrap();
+        let mu = alg.index_set.mu();
+        for p1 in -3i64..=3 {
+            for p2 in -3i64..=3 {
+                for p3 in -3i64..=3 {
+                    let pi = [p1, p2, p3];
+                    let cost: i64 = pi.iter().zip(mu).map(|(p, m)| p.abs() * m).sum();
+                    if cost >= opt.objective || cost == 0 {
+                        continue;
+                    }
+                    let sched = LinearSchedule::new(&pi);
+                    if !sched.is_valid_for(&alg.deps) {
+                        continue;
+                    }
+                    let m = MappingMatrix::new(s.clone(), sched);
+                    if !m.has_full_rank() {
+                        continue;
+                    }
+                    assert!(
+                        !crate::oracle::is_conflict_free_by_enumeration(&m, &alg.index_set),
+                        "Π = {pi:?} beats the reported optimum"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Greatest-common-divisor helpers on machine integers.
+//!
+//! The paper leans on gcds in two places: a *conflict vector* must have
+//! relatively prime entries (Definition 2.3), and the sufficient condition of
+//! Theorem 4.5 bounds `gcd(u_{i,k+1}, …, u_{i,n})` rows of the Hermite
+//! multiplier. These helpers cover the machine-word cases; [`crate::Int`]
+//! has its own big-integer gcd.
+
+/// Greatest common divisor of two `i64`s, always non-negative.
+///
+/// `gcd(0, 0) == 0` by convention.
+pub fn gcd_i64(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    if a == 0 {
+        return b as i64;
+    }
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a as i64
+}
+
+/// Greatest common divisor of a slice, always non-negative.
+///
+/// Empty slices and all-zero slices yield 0.
+pub fn gcd_slice(xs: &[i64]) -> i64 {
+    xs.iter().fold(0, |acc, &x| gcd_i64(acc, x))
+}
+
+/// `true` iff the entries of `xs` are relatively prime (gcd is exactly 1).
+///
+/// This is the primitivity requirement on conflict vectors in
+/// Definition 2.3 of the paper.
+pub fn is_primitive(xs: &[i64]) -> bool {
+    gcd_slice(xs) == 1
+}
+
+/// Extended Euclid on `i64`: returns `(g, x, y)` with `a·x + b·y = g` and
+/// `g = gcd(a, b) ≥ 0`.
+pub fn extended_gcd_i64(a: i64, b: i64) -> (i64, i64, i64) {
+    // Invariants: old_r = a*old_s + b*old_t, r = a*s + b*t.
+    let (mut old_r, mut r) = (a as i128, b as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    let (mut old_t, mut t) = (0i128, 1i128);
+    while r != 0 {
+        let q = old_r.div_euclid(r);
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+        (old_t, t) = (t, old_t - q * t);
+    }
+    if old_r < 0 {
+        old_r = -old_r;
+        old_s = -old_s;
+        old_t = -old_t;
+    }
+    (old_r as i64, old_s as i64, old_t as i64)
+}
+
+/// Least common multiple of two `i64`s (non-negative; 0 if either is 0).
+///
+/// Panics on overflow in debug builds (the library only uses this on small
+/// schedule entries).
+pub fn lcm_i64(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd_i64(a, b)).abs().checked_mul(b.abs()).expect("lcm overflow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd_i64(0, 0), 0);
+        assert_eq!(gcd_i64(0, 7), 7);
+        assert_eq!(gcd_i64(7, 0), 7);
+        assert_eq!(gcd_i64(12, 18), 6);
+        assert_eq!(gcd_i64(-12, 18), 6);
+        assert_eq!(gcd_i64(12, -18), 6);
+        assert_eq!(gcd_i64(-12, -18), 6);
+        assert_eq!(gcd_i64(1, i64::MAX), 1);
+        assert_eq!(gcd_i64(i64::MIN, i64::MIN), -(i64::MIN as i128) as i64);
+    }
+
+    #[test]
+    fn gcd_slice_basics() {
+        assert_eq!(gcd_slice(&[]), 0);
+        assert_eq!(gcd_slice(&[0, 0]), 0);
+        assert_eq!(gcd_slice(&[4, 6, 8]), 2);
+        assert_eq!(gcd_slice(&[3, 5, 7]), 1);
+        assert_eq!(gcd_slice(&[-4, 6]), 2);
+    }
+
+    #[test]
+    fn primitivity_matches_paper_example_2_1() {
+        // γ1 = [0,1,-7,0], γ2 = [7,-1,0,0], γ3 = [1,0,-1,0] are conflict
+        // vectors (primitive); [2,0,-2,0] is not (gcd 2).
+        assert!(is_primitive(&[0, 1, -7, 0]));
+        assert!(is_primitive(&[7, -1, 0, 0]));
+        assert!(is_primitive(&[1, 0, -1, 0]));
+        assert!(!is_primitive(&[2, 0, -2, 0]));
+    }
+
+    #[test]
+    fn extended_gcd_small() {
+        let (g, x, y) = extended_gcd_i64(240, 46);
+        assert_eq!(g, 2);
+        assert_eq!(240 * x + 46 * y, 2);
+        let (g, x, y) = extended_gcd_i64(-5, 3);
+        assert_eq!(g, 1);
+        assert_eq!(-5 * x + 3 * y, 1);
+        let (g, _, _) = extended_gcd_i64(0, 0);
+        assert_eq!(g, 0);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm_i64(4, 6), 12);
+        assert_eq!(lcm_i64(0, 5), 0);
+        assert_eq!(lcm_i64(-4, 6), 12);
+        assert_eq!(lcm_i64(7, 7), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn gcd_divides_both(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+            let g = gcd_i64(a, b);
+            if g != 0 {
+                prop_assert_eq!(a % g, 0);
+                prop_assert_eq!(b % g, 0);
+            } else {
+                prop_assert_eq!(a, 0);
+                prop_assert_eq!(b, 0);
+            }
+        }
+
+        #[test]
+        fn gcd_is_greatest(a in 1i64..5_000, b in 1i64..5_000) {
+            let g = gcd_i64(a, b);
+            for d in (g + 1)..=a.min(b) {
+                prop_assert!(!(a % d == 0 && b % d == 0));
+            }
+        }
+
+        #[test]
+        fn bezout_identity(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+            let (g, x, y) = extended_gcd_i64(a, b);
+            prop_assert_eq!(
+                (a as i128) * (x as i128) + (b as i128) * (y as i128),
+                g as i128
+            );
+            prop_assert_eq!(g, gcd_i64(a, b));
+        }
+
+        #[test]
+        fn lcm_gcd_product(a in 1i64..100_000, b in 1i64..100_000) {
+            prop_assert_eq!(
+                (gcd_i64(a, b) as i128) * (lcm_i64(a, b) as i128),
+                (a as i128) * (b as i128)
+            );
+        }
+    }
+}

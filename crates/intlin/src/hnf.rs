@@ -1,0 +1,395 @@
+//! Column-style Hermite normal form with unimodular multiplier.
+//!
+//! Theorem 4.1 of the paper: for `T ∈ Z^{k×n}` with `rank(T) = k` there is a
+//! unimodular `U ∈ Z^{n×n}` with `T·U = H = [L, 0]`, `L` lower triangular
+//! and nonsingular. The paper deliberately uses a *relaxed* Hermite form —
+//! only the `[L, 0]` shape matters, not positivity or reduction of
+//! off-diagonal entries — and so do we.
+//!
+//! Theorem 4.2 then reads all conflict vectors of `T` off the multiplier:
+//! they are exactly the primitive integral combinations of the last `n−k`
+//! columns of `U`. [`Hnf::kernel_cols`] exposes those columns.
+//!
+//! The implementation is the classical extended-gcd column elimination and
+//! also handles rank-deficient input (pivots simply skip dependent rows),
+//! which [`crate::kernel::kernel_basis`] relies on.
+
+use crate::int::Int;
+use crate::mat::IMat;
+use crate::vec::IVec;
+
+/// The result of a Hermite normal form computation `T·U = H`.
+#[derive(Clone, Debug)]
+pub struct Hnf {
+    /// `H = T·U`, lower-trapezoidal with trailing zero columns.
+    pub h: IMat,
+    /// The unimodular multiplier `U`.
+    pub u: IMat,
+    /// `V = U⁻¹`, also unimodular (`T = H·V`).
+    pub v: IMat,
+    /// `rank(T)`: the number of pivot columns of `H`.
+    pub rank: usize,
+}
+
+impl Hnf {
+    /// The last `n − rank` columns of `U`: a basis of the integer kernel
+    /// lattice `{γ : Tγ = 0}` (Theorem 4.2 (3)).
+    pub fn kernel_cols(&self) -> Vec<IVec> {
+        (self.rank..self.u.ncols()).map(|c| self.u.col(c)).collect()
+    }
+
+    /// The square lower-triangular pivot block `L` (first `rank` rows and
+    /// columns of `H` restricted to pivot rows). Only meaningful when `T`
+    /// has full row rank, in which case `H = [L, 0]`.
+    pub fn pivot_block(&self) -> IMat {
+        let r = self.rank;
+        IMat::from_fn(r, r, |i, j| self.h.get(i, j).clone())
+    }
+}
+
+/// Compute the column-style Hermite normal form `T·U = H = [L, 0]`.
+///
+/// Works for any integer matrix; for full-row-rank `T` the result matches
+/// Theorem 4.1 exactly. Column operations are unimodular 2×2 extended-gcd
+/// combinations plus swaps and negations, accumulated into `U`.
+///
+/// # Examples
+///
+/// ```
+/// use cfmap_intlin::{hermite_normal_form, IMat};
+///
+/// // The mapping matrix of the paper's Example 4.2 (Equation 2.8).
+/// let t = IMat::from_rows(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]);
+/// let hnf = hermite_normal_form(&t);
+/// assert_eq!(hnf.rank, 2);
+/// assert_eq!(&(&t * &hnf.u), &hnf.h);          // T·U = H
+/// assert!(hnf.u.is_unimodular());
+/// for gamma in hnf.kernel_cols() {             // conflict-vector lattice
+///     assert!(t.mul_vec(&gamma).is_zero());
+/// }
+/// ```
+pub fn hermite_normal_form(t: &IMat) -> Hnf {
+    let k = t.nrows();
+    let n = t.ncols();
+    let mut h = t.clone();
+    let mut u = IMat::identity(n);
+    let mut pivot = 0usize; // next pivot column
+
+    for row in 0..k {
+        if pivot >= n {
+            break;
+        }
+        // Find any nonzero entry in this row at or right of the pivot column.
+        let Some(first) = (pivot..n).find(|&c| !h.get(row, c).is_zero()) else {
+            continue; // dependent row: no pivot here
+        };
+        if first != pivot {
+            swap_cols(&mut h, &mut u, pivot, first);
+        }
+        // Eliminate the rest of the row with extended-gcd column combos.
+        for c in pivot + 1..n {
+            if h.get(row, c).is_zero() {
+                continue;
+            }
+            let a = h.get(row, pivot).clone();
+            let b = h.get(row, c).clone();
+            let (g, x, y) = a.extended_gcd(&b);
+            // [col_pivot, col_c] ← [col_pivot, col_c] · [[x, -b/g], [y, a/g]]
+            // has determinant (x·a + y·b)/g = 1, hence unimodular.
+            let bg = b.exact_div(&g);
+            let ag = a.exact_div(&g);
+            combine_cols(&mut h, pivot, c, &x, &y, &bg, &ag);
+            combine_cols(&mut u, pivot, c, &x, &y, &bg, &ag);
+            debug_assert_eq!(h.get(row, pivot), &g);
+            debug_assert!(h.get(row, c).is_zero());
+        }
+        // Canonicalize: make the pivot entry positive (negating a column is
+        // unimodular).
+        if h.get(row, pivot).is_negative() {
+            negate_col(&mut h, pivot);
+            negate_col(&mut u, pivot);
+        }
+        pivot += 1;
+    }
+
+    let rank = pivot;
+    let v = u
+        .inverse_unimodular()
+        .expect("HNF multiplier must be unimodular by construction");
+    debug_assert_eq!(&(t * &u), &h);
+    Hnf { h, u, v, rank }
+}
+
+fn swap_cols(h: &mut IMat, u: &mut IMat, a: usize, b: usize) {
+    for m in [h, u] {
+        for r in 0..m.nrows() {
+            let va = m.get(r, a).clone();
+            let vb = m.get(r, b).clone();
+            m.set(r, a, vb);
+            m.set(r, b, va);
+        }
+    }
+}
+
+fn negate_col(m: &mut IMat, c: usize) {
+    for r in 0..m.nrows() {
+        let v = -m.get(r, c);
+        m.set(r, c, v);
+    }
+}
+
+/// `[col_i, col_j] ← [x·col_i + y·col_j, −bg·col_i + ag·col_j]`.
+fn combine_cols(m: &mut IMat, i: usize, j: usize, x: &Int, y: &Int, bg: &Int, ag: &Int) {
+    for r in 0..m.nrows() {
+        let vi = m.get(r, i).clone();
+        let vj = m.get(r, j).clone();
+        m.set(r, i, &(x * &vi) + &(y * &vj));
+        m.set(r, j, &(ag * &vj) - &(bg * &vi));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(rows: &[&[i64]]) -> IMat {
+        IMat::from_rows(rows)
+    }
+
+    /// Check every postcondition of Theorem 4.1 / 4.2 on an HNF result.
+    fn check_hnf(t: &IMat, hnf: &Hnf) {
+        // T·U = H
+        assert_eq!(&(t * &hnf.u), &hnf.h, "TU != H");
+        // U unimodular, V its inverse.
+        assert!(hnf.u.is_unimodular(), "U not unimodular");
+        assert_eq!(&(&hnf.u * &hnf.v), &IMat::identity(t.ncols()), "UV != I");
+        // rank agrees with rational elimination.
+        assert_eq!(hnf.rank, t.rank(), "rank mismatch");
+        // Trailing columns of H are zero.
+        for c in hnf.rank..t.ncols() {
+            assert!(hnf.h.col(c).is_zero(), "nonzero column past rank");
+        }
+        // Lower-trapezoidal: zero strictly above the staircase, and for
+        // full-row-rank T the pivot block is lower triangular nonsingular.
+        if hnf.rank == t.nrows() {
+            for r in 0..t.nrows() {
+                for c in r + 1..t.ncols() {
+                    assert!(hnf.h.get(r, c).is_zero(), "H not lower triangular at ({r},{c})");
+                }
+                assert!(!hnf.h.get(r, r).is_zero(), "zero diagonal in L");
+            }
+            assert!(!hnf.pivot_block().det().is_zero());
+        }
+        // Kernel columns are killed by T.
+        for gamma in hnf.kernel_cols() {
+            assert!(t.mul_vec(&gamma).is_zero(), "kernel column not in kernel");
+        }
+    }
+
+    #[test]
+    fn paper_example_4_2() {
+        // T of Equation 2.8; paper finds H = [[1,0,0,0],[1,-1,0,0]].
+        let t = m(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]);
+        let hnf = hermite_normal_form(&t);
+        check_hnf(&t, &hnf);
+        assert_eq!(hnf.rank, 2);
+        assert_eq!(hnf.kernel_cols().len(), 2);
+        // Our pivots are positive; diag = (1, 1) since gcd-based.
+        assert!(hnf.h.get(0, 0).is_one());
+        // The paper's stated multiplier also satisfies all postconditions —
+        // verify it independently (it differs from ours by a unimodular
+        // column transform on the kernel block).
+        let u_paper = m(&[
+            &[1, -1, -1, -7],
+            &[0, 0, 0, 1],
+            &[0, 0, 1, 0],
+            &[0, 1, 0, 0],
+        ]);
+        let h_paper = &t * &u_paper;
+        assert_eq!(h_paper, m(&[&[1, 0, 0, 0], &[1, -1, 0, 0]]));
+        assert!(u_paper.is_unimodular());
+    }
+
+    #[test]
+    fn kernel_lattices_agree_with_paper() {
+        // Paper Example 4.2: conflict vectors are integral combinations of
+        // u3 = [-1,0,1,0], u4 = [-7,1,0,0]. Our kernel basis must span the
+        // same lattice: each paper vector must be an integral combination of
+        // ours and vice versa.
+        let t = m(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]);
+        let hnf = hermite_normal_form(&t);
+        let ours = IMat::from_cols(&hnf.kernel_cols());
+        let paper = IMat::from_cols(&[
+            IVec::from_i64s(&[-1, 0, 1, 0]),
+            IVec::from_i64s(&[-7, 1, 0, 0]),
+        ]);
+        assert!(same_lattice(&ours, &paper));
+    }
+
+    /// Two full-column-rank integer matrices generate the same column
+    /// lattice iff each column of one is an integral combination of the
+    /// other's columns (checked by exact rational solve + integrality).
+    fn same_lattice(a: &IMat, b: &IMat) -> bool {
+        contains_lattice(a, b) && contains_lattice(b, a)
+    }
+
+    fn contains_lattice(a: &IMat, b: &IMat) -> bool {
+        // Solve a · x = b_col over rationals via least-squares-free direct
+        // elimination: since both span the same Q-subspace in our tests,
+        // pick rank many independent rows.
+        use crate::rat::Rat;
+        let rows = a.nrows();
+        let cols = a.ncols();
+        for bc in 0..b.ncols() {
+            let target = b.col(bc);
+            // Gaussian elimination on [a | target].
+            let mut aug: Vec<Vec<Rat>> = (0..rows)
+                .map(|r| {
+                    let mut row: Vec<Rat> = (0..cols)
+                        .map(|c| Rat::from_int(a.get(r, c).clone()))
+                        .collect();
+                    row.push(Rat::from_int(target[r].clone()));
+                    row
+                })
+                .collect();
+            let mut piv_rows = Vec::new();
+            let mut rr = 0;
+            for cc in 0..cols {
+                let Some(p) = (rr..rows).find(|&r| !aug[r][cc].is_zero()) else {
+                    continue;
+                };
+                aug.swap(rr, p);
+                let pv = aug[rr][cc].clone();
+                for r in 0..rows {
+                    if r == rr || aug[r][cc].is_zero() {
+                        continue;
+                    }
+                    let f = &aug[r][cc] / &pv;
+                    for c in cc..=cols {
+                        let d = &f * &aug[rr][c];
+                        aug[r][c] = &aug[r][c] - &d;
+                    }
+                }
+                piv_rows.push((rr, cc));
+                rr += 1;
+            }
+            // Inconsistent system ⇒ not in the span at all.
+            for r in rr..rows {
+                if !aug[r][cols].is_zero() {
+                    return false;
+                }
+            }
+            // Solution must be integral.
+            for &(r, c) in &piv_rows {
+                let x = &aug[r][cols] / &aug[r][c];
+                if !x.is_integer() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn matmul_mapping_hnf() {
+        // T = [[1,1,-1],[1,4,1]] (Example 5.1 optimal mapping, μ=4).
+        let t = m(&[&[1, 1, -1], &[1, 4, 1]]);
+        let hnf = hermite_normal_form(&t);
+        check_hnf(&t, &hnf);
+        assert_eq!(hnf.rank, 2);
+        let kernel = hnf.kernel_cols();
+        assert_eq!(kernel.len(), 1);
+        // The unique conflict direction: Eq 3.2 gives γ ∝ [−(π2+π3), π1+π3, π1−π2]
+        // = [-5, 2, -3]; primitive, first nonzero positive → [5, -2, 3].
+        let gamma = kernel[0].primitive_part().unwrap();
+        assert_eq!(gamma, IVec::from_i64s(&[5, -2, 3]));
+    }
+
+    #[test]
+    fn full_rank_square_has_empty_kernel() {
+        let t = m(&[&[2, 1], &[1, 1]]);
+        let hnf = hermite_normal_form(&t);
+        check_hnf(&t, &hnf);
+        assert_eq!(hnf.rank, 2);
+        assert!(hnf.kernel_cols().is_empty());
+    }
+
+    #[test]
+    fn rank_deficient_input() {
+        let t = m(&[&[1, 2, 3], &[2, 4, 6]]);
+        let hnf = hermite_normal_form(&t);
+        check_hnf(&t, &hnf);
+        assert_eq!(hnf.rank, 1);
+        assert_eq!(hnf.kernel_cols().len(), 2);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let t = IMat::zeros(2, 3);
+        let hnf = hermite_normal_form(&t);
+        check_hnf(&t, &hnf);
+        assert_eq!(hnf.rank, 0);
+        assert_eq!(hnf.kernel_cols().len(), 3);
+    }
+
+    #[test]
+    fn single_row() {
+        let t = m(&[&[6, 10, 15]]);
+        let hnf = hermite_normal_form(&t);
+        check_hnf(&t, &hnf);
+        assert_eq!(hnf.rank, 1);
+        // gcd(6,10,15) = 1 must land in the pivot.
+        assert!(hnf.h.get(0, 0).is_one());
+    }
+
+    fn arb_mat(k: usize, n: usize) -> impl Strategy<Value = IMat> {
+        prop::collection::vec(-9i64..=9, k * n)
+            .prop_map(move |v| IMat::from_fn(k, n, |i, j| Int::from(v[i * n + j])))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn hnf_postconditions_2x4(t in arb_mat(2, 4)) {
+            let hnf = hermite_normal_form(&t);
+            check_hnf(&t, &hnf);
+        }
+
+        #[test]
+        fn hnf_postconditions_3x5(t in arb_mat(3, 5)) {
+            let hnf = hermite_normal_form(&t);
+            check_hnf(&t, &hnf);
+        }
+
+        #[test]
+        fn hnf_postconditions_4x4(t in arb_mat(4, 4)) {
+            let hnf = hermite_normal_form(&t);
+            check_hnf(&t, &hnf);
+        }
+
+        #[test]
+        fn kernel_dimension(t in arb_mat(2, 5)) {
+            let hnf = hermite_normal_form(&t);
+            prop_assert_eq!(hnf.kernel_cols().len(), 5 - t.rank());
+        }
+
+        /// Magnitude stress: million-scale entries exercise the bigint
+        /// paths (multi-limb gcds and multiplier growth).
+        #[test]
+        fn hnf_large_entries(v in prop::collection::vec(-1_000_000i64..=1_000_000, 6)) {
+            let t = IMat::from_fn(2, 3, |i, j| Int::from(v[i * 3 + j]));
+            let hnf = hermite_normal_form(&t);
+            check_hnf(&t, &hnf);
+        }
+
+        /// Wide shapes: 3×8 with a 5-dimensional kernel.
+        #[test]
+        fn hnf_wide(t in arb_mat(3, 8)) {
+            let hnf = hermite_normal_form(&t);
+            check_hnf(&t, &hnf);
+            prop_assert_eq!(hnf.kernel_cols().len(), 8 - t.rank());
+        }
+    }
+}

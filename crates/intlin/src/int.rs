@@ -1,0 +1,874 @@
+//! Arbitrary-precision signed integers.
+//!
+//! Hermite multipliers, adjugate matrices and exact simplex pivots grow
+//! beyond machine words even for the small mapping matrices the paper deals
+//! with (a 5×5 adjugate of entries ≤ μ+2 already reaches ~μ⁴·5!), so every
+//! matrix entry in this workspace is an [`Int`].
+//!
+//! Representation: a sign in {−1, 0, +1} plus a little-endian vector of
+//! `u32` limbs with no trailing zero limb. `sign == 0` iff the limb vector
+//! is empty. All arithmetic is exact; division is Knuth Algorithm D.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+const BASE_BITS: u32 = 32;
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Int {
+    /// −1, 0 or +1. Zero iff `mag` is empty.
+    sign: i8,
+    /// Little-endian `u32` limbs, no trailing zeros.
+    mag: Vec<u32>,
+}
+
+impl Int {
+    /// The integer 0.
+    pub fn zero() -> Self {
+        Int { sign: 0, mag: Vec::new() }
+    }
+
+    /// The integer 1.
+    pub fn one() -> Self {
+        Int { sign: 1, mag: vec![1] }
+    }
+
+    /// The integer −1.
+    pub fn neg_one() -> Self {
+        Int { sign: -1, mag: vec![1] }
+    }
+
+    /// `true` iff this is 0.
+    pub fn is_zero(&self) -> bool {
+        self.sign == 0
+    }
+
+    /// `true` iff this is exactly 1.
+    pub fn is_one(&self) -> bool {
+        self.sign == 1 && self.mag.len() == 1 && self.mag[0] == 1
+    }
+
+    /// `true` iff this is exactly −1.
+    pub fn is_neg_one(&self) -> bool {
+        self.sign == -1 && self.mag.len() == 1 && self.mag[0] == 1
+    }
+
+    /// The sign as −1, 0 or +1.
+    pub fn signum(&self) -> i8 {
+        self.sign
+    }
+
+    /// `true` iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign > 0
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign < 0
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        Int { sign: self.sign.abs(), mag: self.mag.clone() }
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => (self.mag.len() - 1) * BASE_BITS as usize + (32 - top.leading_zeros()) as usize,
+        }
+    }
+
+    fn from_mag(sign: i8, mag: Vec<u32>) -> Int {
+        let mut v = Int { sign, mag };
+        v.normalize();
+        v
+    }
+
+    fn normalize(&mut self) {
+        while self.mag.last() == Some(&0) {
+            self.mag.pop();
+        }
+        if self.mag.is_empty() {
+            self.sign = 0;
+        } else if self.sign == 0 {
+            self.sign = 1;
+        }
+    }
+
+    /// Construct from an `i128` (covers all machine-word constructions).
+    pub fn from_i128(v: i128) -> Int {
+        if v == 0 {
+            return Int::zero();
+        }
+        let sign = if v < 0 { -1 } else { 1 };
+        let mut u = v.unsigned_abs();
+        let mut mag = Vec::with_capacity(4);
+        while u != 0 {
+            mag.push((u & 0xFFFF_FFFF) as u32);
+            u >>= 32;
+        }
+        Int { sign, mag }
+    }
+
+    /// Convert to `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        self.to_i128().and_then(|v| i64::try_from(v).ok())
+    }
+
+    /// Convert to `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.mag.len() > 4 {
+            return None;
+        }
+        let mut u: u128 = 0;
+        for &limb in self.mag.iter().rev() {
+            u = (u << 32) | limb as u128;
+        }
+        if self.sign >= 0 {
+            i128::try_from(u).ok()
+        } else if u == (1u128 << 127) {
+            Some(i128::MIN)
+        } else {
+            i128::try_from(u).ok().map(|v| -v)
+        }
+    }
+
+    /// Magnitude comparison (ignores signs).
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            if x != y {
+                return x.cmp(y);
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `|a| + |b|`.
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push((s & 0xFFFF_FFFF) as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// `|a| − |b|`, requiring `|a| ≥ |b|`.
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Int::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for i in 0..a.len() {
+            let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+
+    /// Schoolbook `|a| · |b|`.
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &bj) in b.iter().enumerate() {
+                let t = ai as u64 * bj as u64 + out[i + j] as u64 + carry;
+                out[i + j] = (t & 0xFFFF_FFFF) as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = (t & 0xFFFF_FFFF) as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Shift magnitude left by `bits` (< 32) bits.
+    fn shl_bits(a: &[u32], bits: u32) -> Vec<u32> {
+        debug_assert!(bits < 32);
+        if bits == 0 {
+            return a.to_vec();
+        }
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = 0u32;
+        for &limb in a {
+            out.push((limb << bits) | carry);
+            carry = (limb >> (32 - bits)) as u32;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    /// Shift magnitude right by `bits` (< 32) bits.
+    fn shr_bits(a: &[u32], bits: u32) -> Vec<u32> {
+        debug_assert!(bits < 32);
+        if bits == 0 {
+            return a.to_vec();
+        }
+        let mut out = vec![0u32; a.len()];
+        let mut carry = 0u32;
+        for (i, &limb) in a.iter().enumerate().rev() {
+            out[i] = (limb >> bits) | carry;
+            carry = limb << (32 - bits);
+        }
+        out
+    }
+
+    /// `(|a| / d, |a| % d)` for a single nonzero limb `d`.
+    fn divrem_mag_single(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+        debug_assert!(d != 0);
+        let mut q = vec![0u32; a.len()];
+        let mut rem = 0u64;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 32) | a[i] as u64;
+            q[i] = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        (q, rem as u32)
+    }
+
+    /// Knuth Algorithm D: `(|a| / |b|, |a| % |b|)` for `|b| ≥ 2` limbs.
+    fn divrem_mag_knuth(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        debug_assert!(b.len() >= 2);
+        let shift = b.last().unwrap().leading_zeros();
+        let bn = Int::shl_bits(b, shift);
+        let mut an = Int::shl_bits(a, shift);
+        an.push(0); // extra high limb for the algorithm
+        let n = bn.len();
+        let m = an.len() - 1 - n; // quotient has m+1 limbs
+        let mut q = vec![0u32; m + 1];
+        let b_high = bn[n - 1] as u64;
+        let b_next = bn[n - 2] as u64;
+
+        for j in (0..=m).rev() {
+            // Estimate qhat from the top two limbs of the current remainder.
+            let top = ((an[j + n] as u64) << 32) | an[j + n - 1] as u64;
+            let mut qhat = top / b_high;
+            let mut rhat = top % b_high;
+            while qhat > 0xFFFF_FFFF
+                || qhat * b_next > ((rhat << 32) | an[j + n - 2] as u64)
+            {
+                qhat -= 1;
+                rhat += b_high;
+                if rhat > 0xFFFF_FFFF {
+                    break;
+                }
+            }
+            // Multiply-subtract qhat * bn from an[j .. j+n].
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * bn[i] as u64 + carry;
+                carry = p >> 32;
+                let sub = an[j + i] as i64 - (p & 0xFFFF_FFFF) as i64 - borrow;
+                if sub < 0 {
+                    an[j + i] = (sub + (1i64 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    an[j + i] = sub as u32;
+                    borrow = 0;
+                }
+            }
+            let sub = an[j + n] as i64 - carry as i64 - borrow;
+            if sub < 0 {
+                // qhat was one too large: add back.
+                an[j + n] = (sub + (1i64 << 32)) as u32;
+                qhat -= 1;
+                let mut c = 0u64;
+                for i in 0..n {
+                    let s = an[j + i] as u64 + bn[i] as u64 + c;
+                    an[j + i] = (s & 0xFFFF_FFFF) as u32;
+                    c = s >> 32;
+                }
+                an[j + n] = an[j + n].wrapping_add(c as u32);
+            } else {
+                an[j + n] = sub as u32;
+            }
+            q[j] = qhat as u32;
+        }
+        let rem = Int::shr_bits(&an[..n], shift);
+        (q, rem)
+    }
+
+    /// Truncated division with remainder: `self = q·rhs + r`, `|r| < |rhs|`,
+    /// `r` has the sign of `self` (like Rust's `/` and `%` on primitives).
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn divrem(&self, rhs: &Int) -> (Int, Int) {
+        assert!(!rhs.is_zero(), "Int division by zero");
+        if Int::cmp_mag(&self.mag, &rhs.mag) == Ordering::Less {
+            return (Int::zero(), self.clone());
+        }
+        let (qm, rm) = if rhs.mag.len() == 1 {
+            let (q, r) = Int::divrem_mag_single(&self.mag, rhs.mag[0]);
+            (q, if r == 0 { Vec::new() } else { vec![r] })
+        } else {
+            Int::divrem_mag_knuth(&self.mag, &rhs.mag)
+        };
+        let q = Int::from_mag(self.sign * rhs.sign, qm);
+        let r = Int::from_mag(self.sign, rm);
+        (q, r)
+    }
+
+    /// Euclidean division: remainder is always in `[0, |rhs|)`.
+    pub fn div_euclid(&self, rhs: &Int) -> Int {
+        let (q, r) = self.divrem(rhs);
+        if r.is_negative() {
+            if rhs.is_positive() {
+                q - Int::one()
+            } else {
+                q + Int::one()
+            }
+        } else {
+            q
+        }
+    }
+
+    /// Euclidean remainder, always in `[0, |rhs|)`.
+    pub fn rem_euclid(&self, rhs: &Int) -> Int {
+        let (_, r) = self.divrem(rhs);
+        if r.is_negative() {
+            r + rhs.abs()
+        } else {
+            r
+        }
+    }
+
+    /// `true` iff `rhs` divides `self` exactly (`0` divides only `0`).
+    pub fn divisible_by(&self, rhs: &Int) -> bool {
+        if rhs.is_zero() {
+            return self.is_zero();
+        }
+        self.divrem(rhs).1.is_zero()
+    }
+
+    /// Exact division; panics if `rhs` does not divide `self`.
+    ///
+    /// Used by the Bareiss fraction-free elimination, where divisions are
+    /// guaranteed exact by construction.
+    pub fn exact_div(&self, rhs: &Int) -> Int {
+        let (q, r) = self.divrem(rhs);
+        assert!(r.is_zero(), "exact_div: non-exact division");
+        q
+    }
+
+    /// Greatest common divisor (non-negative; `gcd(0,0) = 0`).
+    pub fn gcd(&self, rhs: &Int) -> Int {
+        let mut a = self.abs();
+        let mut b = rhs.abs();
+        while !b.is_zero() {
+            let r = a.divrem(&b).1;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Extended gcd: `(g, x, y)` with `self·x + rhs·y = g = gcd ≥ 0`.
+    pub fn extended_gcd(&self, rhs: &Int) -> (Int, Int, Int) {
+        let (mut old_r, mut r) = (self.clone(), rhs.clone());
+        let (mut old_s, mut s) = (Int::one(), Int::zero());
+        let (mut old_t, mut t) = (Int::zero(), Int::one());
+        while !r.is_zero() {
+            let (q, rem) = old_r.divrem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            let ns = &old_s - &(&q * &s);
+            old_s = std::mem::replace(&mut s, ns);
+            let nt = &old_t - &(&q * &t);
+            old_t = std::mem::replace(&mut t, nt);
+        }
+        if old_r.is_negative() {
+            old_r = -old_r;
+            old_s = -old_s;
+            old_t = -old_t;
+        }
+        (old_r, old_s, old_t)
+    }
+
+    /// Least common multiple (non-negative; 0 if either operand is 0).
+    pub fn lcm(&self, rhs: &Int) -> Int {
+        if self.is_zero() || rhs.is_zero() {
+            return Int::zero();
+        }
+        (self.exact_div(&self.gcd(rhs)) * rhs).abs()
+    }
+
+    /// Non-negative integer power.
+    pub fn pow(&self, mut e: u32) -> Int {
+        let mut base = self.clone();
+        let mut acc = Int::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Parse from a decimal string with an optional leading `-` or `+`.
+    pub fn parse_decimal(s: &str) -> Option<Int> {
+        let s = s.trim();
+        let (sign, digits) = match s.as_bytes().first()? {
+            b'-' => (-1i8, &s[1..]),
+            b'+' => (1, &s[1..]),
+            _ => (1, s),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut v = Int::zero();
+        for chunk in digits.as_bytes().chunks(9) {
+            let chunk_str = std::str::from_utf8(chunk).ok()?;
+            let part: u64 = chunk_str.parse().ok()?;
+            let scale = Int::from(10i64.pow(chunk.len() as u32));
+            v = &(&v * &scale) + &Int::from(part as i64);
+        }
+        if sign < 0 {
+            v = -v;
+        }
+        Some(v)
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeatedly divide the magnitude by 10^9.
+        let mut mag = self.mag.clone();
+        let mut chunks: Vec<u32> = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = Int::divrem_mag_single(&mag, 1_000_000_000);
+            mag = q;
+            while mag.last() == Some(&0) {
+                mag.pop();
+            }
+            chunks.push(r);
+        }
+        let mut s = String::new();
+        s.push_str(&chunks.pop().unwrap().to_string());
+        for c in chunks.iter().rev() {
+            s.push_str(&format!("{c:09}"));
+        }
+        f.pad_integral(self.sign >= 0, "", &s)
+    }
+}
+
+impl FromStr for Int {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Int::parse_decimal(s).ok_or_else(|| format!("invalid integer literal: {s:?}"))
+    }
+}
+
+macro_rules! impl_from_prim {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Int {
+                Int::from_i128(v as i128)
+            }
+        }
+    )*};
+}
+impl_from_prim!(i8, i16, i32, i64, i128, u8, u16, u32, u64);
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        let mag_ord = Int::cmp_mag(&self.mag, &other.mag);
+        if self.sign >= 0 {
+            mag_ord
+        } else {
+            mag_ord.reverse()
+        }
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(mut self) -> Int {
+        self.sign = -self.sign;
+        self
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int { sign: -self.sign, mag: self.mag.clone() }
+    }
+}
+
+impl Add for &Int {
+    type Output = Int;
+    fn add(self, rhs: &Int) -> Int {
+        if self.is_zero() {
+            return rhs.clone();
+        }
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        if self.sign == rhs.sign {
+            Int::from_mag(self.sign, Int::add_mag(&self.mag, &rhs.mag))
+        } else {
+            match Int::cmp_mag(&self.mag, &rhs.mag) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => Int::from_mag(self.sign, Int::sub_mag(&self.mag, &rhs.mag)),
+                Ordering::Less => Int::from_mag(rhs.sign, Int::sub_mag(&rhs.mag, &self.mag)),
+            }
+        }
+    }
+}
+
+impl Sub for &Int {
+    type Output = Int;
+    fn sub(self, rhs: &Int) -> Int {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &Int {
+    type Output = Int;
+    fn mul(self, rhs: &Int) -> Int {
+        Int::from_mag(self.sign * rhs.sign, Int::mul_mag(&self.mag, &rhs.mag))
+    }
+}
+
+impl Div for &Int {
+    type Output = Int;
+    fn div(self, rhs: &Int) -> Int {
+        self.divrem(rhs).0
+    }
+}
+
+impl Rem for &Int {
+    type Output = Int;
+    fn rem(self, rhs: &Int) -> Int {
+        self.divrem(rhs).1
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: &Int) -> Int {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Int> for &Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+forward_binop!(Rem, rem);
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, rhs: &Int) {
+        *self = &*self + rhs;
+    }
+}
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, rhs: &Int) {
+        *self = &*self - rhs;
+    }
+}
+impl MulAssign<&Int> for Int {
+    fn mul_assign(&mut self, rhs: &Int) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Sum for Int {
+    fn sum<I: Iterator<Item = Int>>(iter: I) -> Int {
+        iter.fold(Int::zero(), |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Int> for Int {
+    fn sum<I: Iterator<Item = &'a Int>>(iter: I) -> Int {
+        iter.fold(Int::zero(), |a, b| a + b)
+    }
+}
+
+impl Product for Int {
+    fn product<I: Iterator<Item = Int>>(iter: I) -> Int {
+        iter.fold(Int::one(), |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn int(v: i128) -> Int {
+        Int::from_i128(v)
+    }
+
+    #[test]
+    fn construction_and_roundtrip() {
+        for v in [0i128, 1, -1, 42, -42, i64::MAX as i128, i64::MIN as i128, i128::MAX, i128::MIN] {
+            assert_eq!(int(v).to_i128(), Some(v), "roundtrip {v}");
+        }
+        assert!(int(0).is_zero());
+        assert!(int(1).is_one());
+        assert!(int(-1).is_neg_one());
+        assert_eq!(int(5).signum(), 1);
+        assert_eq!(int(-5).signum(), -1);
+        assert_eq!(int(0).signum(), 0);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(int(0).to_string(), "0");
+        assert_eq!(int(-1).to_string(), "-1");
+        assert_eq!(int(1234567890123456789).to_string(), "1234567890123456789");
+        let big = int(i128::MAX);
+        assert_eq!(big.to_string(), i128::MAX.to_string());
+        assert_eq!("-170141183460469231731687303715884105728".parse::<Int>().unwrap(), int(i128::MIN));
+        let huge: Int = "123456789012345678901234567890123456789012345".parse().unwrap();
+        assert_eq!(huge.to_string(), "123456789012345678901234567890123456789012345");
+        assert!("".parse::<Int>().is_err());
+        assert!("12a".parse::<Int>().is_err());
+        assert!("-".parse::<Int>().is_err());
+    }
+
+    #[test]
+    fn big_multiplication_known_value() {
+        // (2^64 + 1)^2 = 2^128 + 2^65 + 1
+        let a = &int(1i128 << 64) + &int(1);
+        let sq = &a * &a;
+        let expected: Int = "340282366920938463500268095579187314689".parse().unwrap();
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn division_basics() {
+        assert_eq!(int(7).divrem(&int(2)), (int(3), int(1)));
+        assert_eq!(int(-7).divrem(&int(2)), (int(-3), int(-1)));
+        assert_eq!(int(7).divrem(&int(-2)), (int(-3), int(1)));
+        assert_eq!(int(-7).divrem(&int(-2)), (int(3), int(-1)));
+        assert_eq!(int(0).divrem(&int(5)), (int(0), int(0)));
+        assert_eq!(int(4).divrem(&int(5)), (int(0), int(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = int(5).divrem(&int(0));
+    }
+
+    #[test]
+    fn knuth_d_add_back_case() {
+        // A case engineered to exercise the qhat correction path:
+        // dividend with high limbs just below divisor multiples.
+        let a: Int = "340282366920938463463374607431768211455".parse().unwrap(); // 2^128-1
+        let b: Int = "18446744073709551616".parse().unwrap(); // 2^64
+        let (q, r) = a.divrem(&b);
+        assert_eq!(q.to_string(), "18446744073709551615");
+        assert_eq!(r.to_string(), "18446744073709551615");
+    }
+
+    #[test]
+    fn euclid_division() {
+        assert_eq!(int(-7).div_euclid(&int(2)), int(-4));
+        assert_eq!(int(-7).rem_euclid(&int(2)), int(1));
+        assert_eq!(int(7).div_euclid(&int(-2)), int(-3));
+        assert_eq!(int(7).rem_euclid(&int(-2)), int(1));
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(int(12).gcd(&int(18)), int(6));
+        assert_eq!(int(-12).gcd(&int(18)), int(6));
+        assert_eq!(int(0).gcd(&int(0)), int(0));
+        assert_eq!(int(0).gcd(&int(-7)), int(7));
+        assert_eq!(int(4).lcm(&int(6)), int(12));
+        assert_eq!(int(0).lcm(&int(6)), int(0));
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        let (g, x, y) = int(240).extended_gcd(&int(46));
+        assert_eq!(g, int(2));
+        assert_eq!(&(&int(240) * &x) + &(&int(46) * &y), int(2));
+    }
+
+    #[test]
+    fn pow_and_bits() {
+        assert_eq!(int(2).pow(100).to_string(), "1267650600228229401496703205376");
+        assert_eq!(int(0).pow(0), int(1));
+        assert_eq!(int(3).pow(0), int(1));
+        assert_eq!(int(-2).pow(3), int(-8));
+        assert_eq!(int(0).bits(), 0);
+        assert_eq!(int(1).bits(), 1);
+        assert_eq!(int(255).bits(), 8);
+        assert_eq!(int(256).bits(), 9);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(int(-5) < int(-4));
+        assert!(int(-1) < int(0));
+        assert!(int(0) < int(1));
+        assert!(int(i64::MAX as i128) < int(i64::MAX as i128 + 1));
+        let mut v = vec![int(3), int(-10), int(0), int(7), int(-1)];
+        v.sort();
+        assert_eq!(v, vec![int(-10), int(-1), int(0), int(3), int(7)]);
+    }
+
+    #[test]
+    fn exact_div_ok_and_panic() {
+        assert_eq!(int(84).exact_div(&int(7)), int(12));
+        let r = std::panic::catch_unwind(|| int(85).exact_div(&int(7)));
+        assert!(r.is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_i128(a in -(1i128<<96)..(1i128<<96), b in -(1i128<<96)..(1i128<<96)) {
+            prop_assert_eq!(&int(a) + &int(b), int(a + b));
+        }
+
+        #[test]
+        fn sub_matches_i128(a in -(1i128<<96)..(1i128<<96), b in -(1i128<<96)..(1i128<<96)) {
+            prop_assert_eq!(&int(a) - &int(b), int(a - b));
+        }
+
+        #[test]
+        fn mul_matches_i128(a in -(1i128<<62)..(1i128<<62), b in -(1i128<<62)..(1i128<<62)) {
+            prop_assert_eq!(&int(a) * &int(b), int(a * b));
+        }
+
+        #[test]
+        fn divrem_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+            prop_assume!(b != 0);
+            // Avoid the single overflowing case i128::MIN / -1.
+            prop_assume!(!(a == i128::MIN && b == -1));
+            let (q, r) = int(a).divrem(&int(b));
+            prop_assert_eq!(q, int(a / b));
+            prop_assert_eq!(r, int(a % b));
+        }
+
+        #[test]
+        fn divrem_reconstructs(a_s in "[1-9][0-9]{0,60}", b_s in "[1-9][0-9]{0,30}", sa in any::<bool>(), sb in any::<bool>()) {
+            let mut a: Int = a_s.parse().unwrap();
+            let mut b: Int = b_s.parse().unwrap();
+            if sa { a = -a; }
+            if sb { b = -b; }
+            let (q, r) = a.divrem(&b);
+            prop_assert_eq!(&(&q * &b) + &r, a.clone());
+            prop_assert!(r.abs() < b.abs());
+            if !r.is_zero() {
+                prop_assert_eq!(r.signum(), a.signum());
+            }
+        }
+
+        #[test]
+        fn display_parse_roundtrip(s in "-?[1-9][0-9]{0,80}") {
+            let v: Int = s.parse().unwrap();
+            prop_assert_eq!(v.to_string(), s);
+        }
+
+        #[test]
+        fn gcd_divides(a_s in "[0-9]{1,40}", b_s in "[0-9]{1,40}") {
+            let a: Int = a_s.parse().unwrap();
+            let b: Int = b_s.parse().unwrap();
+            let g = a.gcd(&b);
+            if !g.is_zero() {
+                prop_assert!(a.divisible_by(&g));
+                prop_assert!(b.divisible_by(&g));
+            }
+        }
+
+        #[test]
+        fn extended_gcd_holds(a in any::<i128>(), b in any::<i128>()) {
+            prop_assume!(a != i128::MIN && b != i128::MIN);
+            let (g, x, y) = int(a).extended_gcd(&int(b));
+            prop_assert_eq!(&(&int(a) * &x) + &(&int(b) * &y), g.clone());
+            prop_assert_eq!(g, int(a).gcd(&int(b)));
+        }
+
+        #[test]
+        fn mul_commutes_and_associates(a_s in "[0-9]{1,30}", b_s in "[0-9]{1,30}", c_s in "[0-9]{1,30}") {
+            let a: Int = a_s.parse().unwrap();
+            let b: Int = b_s.parse().unwrap();
+            let c: Int = c_s.parse().unwrap();
+            prop_assert_eq!(&a * &b, &b * &a);
+            prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        }
+
+        #[test]
+        fn ord_consistent_with_sub(a in any::<i128>(), b in any::<i128>()) {
+            prop_assert_eq!(int(a).cmp(&int(b)), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Integer kernel lattices of mapping matrices.
+//!
+//! The set of *conflict vectors* of a mapping matrix `T` (Definition 2.3) is
+//! exactly the set of primitive vectors of the integer lattice
+//! `ker_Z(T) = {γ ∈ Z^n : Tγ = 0}`. Theorem 4.2 (3) shows this lattice is
+//! generated — over the *integers*, which is the whole point of the paper's
+//! Hermite detour — by the last `n−k` columns of the Hermite multiplier `U`.
+//!
+//! A basis of rational solutions (e.g. `n−k` arbitrary linearly independent
+//! integer solutions) is **not** enough: Example 4.1 of the paper shows two
+//! feasible conflict vectors whose *rational* combination `γ/7 + γ'/7` is a
+//! new, non-feasible conflict vector. The HNF basis rules this out because
+//! every integral kernel vector is an *integral* combination of it.
+
+use crate::hnf::hermite_normal_form;
+use crate::int::Int;
+use crate::mat::IMat;
+use crate::vec::IVec;
+
+/// A basis of the integer kernel lattice `{γ : Tγ = 0}`, obtained from the
+/// last `n − rank(T)` columns of the Hermite multiplier `U` (Theorem 4.2).
+///
+/// Every integral solution of `Tγ = 0` is an integral combination of the
+/// returned vectors, and every integral combination is a solution.
+pub fn kernel_basis(t: &IMat) -> Vec<IVec> {
+    hermite_normal_form(t).kernel_cols()
+}
+
+/// Enumerate all *primitive* kernel vectors `γ = Σ βᵢ·basisᵢ` with
+/// coefficient vectors `β` ranging over `[-bound, bound]^{n-k}`, `β ≠ 0`,
+/// `gcd(β) = 1`, and the first nonzero coefficient positive (so each
+/// ±-pair is produced once).
+///
+/// Theorem 4.2 (3): these are exactly the conflict vectors of `T` whose
+/// coefficients lie in the box. Used by the brute-force cross-checks and by
+/// the necessary-condition counterexample search.
+pub fn primitive_combinations(basis: &[IVec], bound: i64) -> Vec<IVec> {
+    let m = basis.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut beta = vec![0i64; m];
+    enumerate(basis, bound, 0, &mut beta, &mut out);
+    out
+}
+
+fn enumerate(basis: &[IVec], bound: i64, idx: usize, beta: &mut [i64], out: &mut Vec<IVec>) {
+    if idx == basis.len() {
+        if beta.iter().all(|&b| b == 0) {
+            return;
+        }
+        if crate::gcd::gcd_slice(beta) != 1 {
+            return;
+        }
+        // Canonical sign: first nonzero β positive.
+        if beta.iter().find(|&&b| b != 0).is_some_and(|&b| b < 0) {
+            return;
+        }
+        let n = basis[0].dim();
+        let mut gamma = IVec::zeros(n);
+        for (b, vec) in beta.iter().zip(basis) {
+            gamma = &gamma + &vec.scale(&Int::from(*b));
+        }
+        out.push(gamma);
+        return;
+    }
+    for b in -bound..=bound {
+        beta[idx] = b;
+        enumerate(basis, bound, idx + 1, beta, out);
+    }
+    beta[idx] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(rows: &[&[i64]]) -> IMat {
+        IMat::from_rows(rows)
+    }
+
+    #[test]
+    fn kernel_of_paper_eq_2_8() {
+        let t = m(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]);
+        let basis = kernel_basis(&t);
+        assert_eq!(basis.len(), 2);
+        for gamma in &basis {
+            assert!(t.mul_vec(gamma).is_zero());
+            assert!(gamma.is_primitive());
+        }
+    }
+
+    #[test]
+    fn primitive_combinations_yield_conflict_vectors() {
+        // Example 2.1: γ1 = [0,1,-7,0], γ2 = [7,-1,0,0], γ3 = [1,0,-1,0]
+        // are all conflict vectors of T — so each must appear (up to sign)
+        // among the primitive combinations of the HNF kernel basis.
+        let t = m(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]);
+        let basis = kernel_basis(&t);
+        let combos = primitive_combinations(&basis, 8);
+        let want = [
+            IVec::from_i64s(&[0, 1, -7, 0]),
+            IVec::from_i64s(&[7, -1, 0, 0]),
+            IVec::from_i64s(&[1, 0, -1, 0]),
+        ];
+        for w in &want {
+            let neg = -w;
+            assert!(
+                combos.iter().any(|g| g == w || g == &neg),
+                "missing conflict vector {w}"
+            );
+        }
+        // Every combination is a primitive kernel vector.
+        for g in &combos {
+            assert!(t.mul_vec(g).is_zero());
+            assert!(g.is_primitive(), "non-primitive combination {g}");
+        }
+    }
+
+    #[test]
+    fn empty_kernel_for_full_column_rank() {
+        let t = m(&[&[1, 0], &[0, 1], &[1, 1]]);
+        assert!(kernel_basis(&t).is_empty());
+        assert!(primitive_combinations(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn combinations_canonical_signs_unique() {
+        let t = m(&[&[1, 1, -1], &[1, 4, 1]]);
+        let basis = kernel_basis(&t);
+        let combos = primitive_combinations(&basis, 5);
+        // One-dimensional kernel: primitive combos are exactly ±basis with
+        // canonical sign ⇒ a single vector regardless of the bound.
+        assert_eq!(combos.len(), 1);
+        let mut seen = std::collections::HashSet::new();
+        for g in &combos {
+            assert!(seen.insert(format!("{g}")), "duplicate combination");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn kernel_vectors_are_killed(entries in prop::collection::vec(-9i64..=9, 8)) {
+            let t = IMat::from_fn(2, 4, |i, j| Int::from(entries[i * 4 + j]));
+            for gamma in kernel_basis(&t) {
+                prop_assert!(t.mul_vec(&gamma).is_zero());
+            }
+        }
+
+        #[test]
+        fn kernel_is_saturated(entries in prop::collection::vec(-5i64..=5, 8)) {
+            // Theorem 4.2: every integral solution γ of Tγ = 0 has β = V·γ
+            // with β integral (automatic: V is integral) and its first
+            // `rank` entries zero — i.e. γ is an *integral* combination of
+            // the kernel columns of U. Scan a small box of solutions.
+            let t = IMat::from_fn(2, 4, |i, j| Int::from(entries[i * 4 + j]));
+            let hnf = crate::hnf::hermite_normal_form(&t);
+            for a in -3i64..=3 {
+                for b in -3i64..=3 {
+                    for c in -3i64..=3 {
+                        for d in -3i64..=3 {
+                            let g = IVec::from_i64s(&[a, b, c, d]);
+                            if g.is_zero() || !t.mul_vec(&g).is_zero() {
+                                continue;
+                            }
+                            let beta = hnf.v.mul_vec(&g);
+                            for i in 0..hnf.rank {
+                                prop_assert!(
+                                    beta[i].is_zero(),
+                                    "β = V·γ has nonzero leading entry for γ = {}", g
+                                );
+                            }
+                            // Reconstruct γ from kernel coefficients alone.
+                            let mut rebuilt = IVec::zeros(4);
+                            for (i, col) in hnf.kernel_cols().iter().enumerate() {
+                                rebuilt = &rebuilt + &col.scale(&beta[hnf.rank + i]);
+                            }
+                            prop_assert_eq!(rebuilt, g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Exact integer and rational linear algebra for the conflict-free mapping
+//! library.
+//!
+//! This crate is the mathematical substrate of the Shang–Fortes (ICPP 1990)
+//! reproduction. Everything here is exact: there is no floating point
+//! anywhere. The centrepiece is the column-style **Hermite normal form**
+//! `T·U = H = [L, 0]` with a unimodular multiplier `U` (Theorem 4.1 of the
+//! paper), from which all conflict vectors of a mapping matrix are read off
+//! as integral combinations of the last `n−k` columns of `U` (Theorem 4.2).
+//!
+//! Contents:
+//!
+//! * [`Int`] — arbitrary-precision signed integers (sign + little-endian
+//!   `u32` limbs). Hermite multipliers, adjugates and simplex pivots can
+//!   overflow machine words, so every matrix entry in this crate is an
+//!   [`Int`].
+//! * [`Rat`] — exact rationals over [`Int`], always kept in lowest terms
+//!   with a positive denominator. Used by the exact simplex in `cfmap-lp`
+//!   and by matrix inversion.
+//! * [`IVec`] / [`IMat`] — dense integer vectors and matrices with the
+//!   operations the paper needs: products, transpose, Bareiss determinant,
+//!   rank, cofactors/adjugate, rational inverse.
+//! * [`hnf`] — Hermite normal form with unimodular multiplier `U` and its
+//!   inverse `V = U⁻¹`.
+//! * [`smith`] — Smith normal form (diagonal `d_1 | d_2 | …` with
+//!   unimodular `P`, `Q`), used for lattice-theoretic sanity checks.
+//! * [`kernel`] — integer kernel lattice bases (the conflict-vector
+//!   lattice of a mapping matrix).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gcd;
+pub mod hnf;
+pub mod int;
+pub mod kernel;
+pub mod lll;
+pub mod mat;
+pub mod rat;
+pub mod smith;
+pub mod vec;
+
+pub use hnf::{hermite_normal_form, Hnf};
+pub use int::Int;
+pub use kernel::kernel_basis;
+pub use lll::{lll_reduce, norm_sq};
+pub use mat::IMat;
+pub use rat::Rat;
+pub use smith::{smith_normal_form, Smith};
+pub use vec::IVec;

@@ -1,0 +1,607 @@
+//! Dense integer matrices.
+//!
+//! Mapping matrices `T = [S; Π]`, dependence matrices `D`, interconnection
+//! matrices `P`, `K` and Hermite multipliers `U`, `V` are all [`IMat`]s.
+//! Everything is exact: determinants use fraction-free Bareiss elimination,
+//! rank uses exact rational elimination, and the adjugate is computed from
+//! cofactors exactly as in Section 3 of the paper (Equations 3.2/3.3).
+
+use crate::int::Int;
+use crate::rat::Rat;
+use crate::vec::IVec;
+use std::fmt;
+use std::ops::Mul;
+
+/// A dense, row-major matrix of arbitrary-precision integers.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Int>,
+}
+
+impl IMat {
+    /// Build from a row-major closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Int) -> IMat {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        IMat { rows, cols, data }
+    }
+
+    /// Build from machine-integer rows (panics if rows are ragged).
+    pub fn from_rows(rows: &[&[i64]]) -> IMat {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged rows");
+        }
+        IMat::from_fn(nrows, ncols, |i, j| Int::from(rows[i][j]))
+    }
+
+    /// Build from big-integer rows (panics if rows are ragged).
+    pub fn from_int_rows(rows: Vec<Vec<Int>>) -> IMat {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        for r in &rows {
+            assert_eq!(r.len(), ncols, "ragged rows");
+        }
+        IMat { rows: nrows, cols: ncols, data: rows.into_iter().flatten().collect() }
+    }
+
+    /// Build a matrix whose columns are the given vectors.
+    pub fn from_cols(cols: &[IVec]) -> IMat {
+        let ncols = cols.len();
+        let nrows = cols.first().map_or(0, IVec::dim);
+        for c in cols {
+            assert_eq!(c.dim(), nrows, "ragged columns");
+        }
+        IMat::from_fn(nrows, ncols, |i, j| cols[j][i].clone())
+    }
+
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> IMat {
+        IMat { rows, cols, data: vec![Int::zero(); rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> IMat {
+        IMat::from_fn(n, n, |i, j| if i == j { Int::one() } else { Int::zero() })
+    }
+
+    /// A 1×n matrix from a row slice.
+    pub fn row_vector(row: &[i64]) -> IMat {
+        IMat::from_rows(&[row])
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, r: usize, c: usize) -> &Int {
+        assert!(r < self.rows && c < self.cols, "IMat index out of range");
+        &self.data[r * self.cols + c]
+    }
+
+    /// Entry mutator.
+    pub fn set(&mut self, r: usize, c: usize, v: Int) {
+        assert!(r < self.rows && c < self.cols, "IMat index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a vector.
+    pub fn row(&self, r: usize) -> IVec {
+        assert!(r < self.rows);
+        (0..self.cols).map(|c| self.get(r, c).clone()).collect()
+    }
+
+    /// Column `c` as a vector.
+    pub fn col(&self, c: usize) -> IVec {
+        assert!(c < self.cols);
+        (0..self.rows).map(|r| self.get(r, c).clone()).collect()
+    }
+
+    /// All columns as vectors.
+    pub fn columns(&self) -> Vec<IVec> {
+        (0..self.cols).map(|c| self.col(c)).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> IMat {
+        IMat::from_fn(self.cols, self.rows, |i, j| self.get(j, i).clone())
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &IVec) -> IVec {
+        assert_eq!(self.cols, v.dim(), "mul_vec: dimension mismatch");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * &v[c]).sum())
+            .collect()
+    }
+
+    /// Stack another matrix below this one.
+    pub fn vstack(&self, below: &IMat) -> IMat {
+        assert_eq!(self.cols, below.cols, "vstack: column mismatch");
+        IMat::from_fn(self.rows + below.rows, self.cols, |i, j| {
+            if i < self.rows {
+                self.get(i, j).clone()
+            } else {
+                below.get(i - self.rows, j).clone()
+            }
+        })
+    }
+
+    /// Stack another matrix to the right of this one.
+    pub fn hstack(&self, right: &IMat) -> IMat {
+        assert_eq!(self.rows, right.rows, "hstack: row mismatch");
+        IMat::from_fn(self.rows, self.cols + right.cols, |i, j| {
+            if j < self.cols {
+                self.get(i, j).clone()
+            } else {
+                right.get(i, j - self.cols).clone()
+            }
+        })
+    }
+
+    /// The submatrix obtained by deleting row `dr` and column `dc`.
+    pub fn minor_matrix(&self, dr: usize, dc: usize) -> IMat {
+        assert!(dr < self.rows && dc < self.cols);
+        IMat::from_fn(self.rows - 1, self.cols - 1, |i, j| {
+            let r = if i < dr { i } else { i + 1 };
+            let c = if j < dc { j } else { j + 1 };
+            self.get(r, c).clone()
+        })
+    }
+
+    /// Keep only the listed columns, in order.
+    pub fn select_cols(&self, cols: &[usize]) -> IMat {
+        IMat::from_fn(self.rows, cols.len(), |i, j| self.get(i, cols[j]).clone())
+    }
+
+    /// Keep only the listed rows, in order.
+    pub fn select_rows(&self, rows: &[usize]) -> IMat {
+        IMat::from_fn(rows.len(), self.cols, |i, j| self.get(rows[i], j).clone())
+    }
+
+    /// `true` iff all entries are zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(Int::is_zero)
+    }
+
+    /// Determinant by fraction-free Bareiss elimination (exact, panics if
+    /// not square).
+    pub fn det(&self) -> Int {
+        assert_eq!(self.rows, self.cols, "det of non-square matrix");
+        let n = self.rows;
+        if n == 0 {
+            return Int::one();
+        }
+        let mut a: Vec<Vec<Int>> =
+            (0..n).map(|r| (0..n).map(|c| self.get(r, c).clone()).collect()).collect();
+        let mut sign = 1i8;
+        let mut prev = Int::one();
+        for k in 0..n - 1 {
+            if a[k][k].is_zero() {
+                // Find a row below with a nonzero pivot and swap.
+                match (k + 1..n).find(|&r| !a[r][k].is_zero()) {
+                    Some(r) => {
+                        a.swap(k, r);
+                        sign = -sign;
+                    }
+                    None => return Int::zero(),
+                }
+            }
+            for i in k + 1..n {
+                for j in k + 1..n {
+                    let num = &(&a[i][j] * &a[k][k]) - &(&a[i][k] * &a[k][j]);
+                    a[i][j] = num.exact_div(&prev);
+                }
+                a[i][k] = Int::zero();
+            }
+            prev = a[k][k].clone();
+        }
+        let d = a[n - 1][n - 1].clone();
+        if sign < 0 {
+            -d
+        } else {
+            d
+        }
+    }
+
+    /// Determinant by cofactor expansion (exponential; used to cross-check
+    /// Bareiss in tests and for tiny matrices).
+    pub fn det_cofactor(&self) -> Int {
+        assert_eq!(self.rows, self.cols, "det of non-square matrix");
+        let n = self.rows;
+        match n {
+            0 => Int::one(),
+            1 => self.get(0, 0).clone(),
+            2 => {
+                &(self.get(0, 0) * self.get(1, 1)) - &(self.get(0, 1) * self.get(1, 0))
+            }
+            _ => {
+                let mut acc = Int::zero();
+                for c in 0..n {
+                    if self.get(0, c).is_zero() {
+                        continue;
+                    }
+                    let m = self.minor_matrix(0, c).det_cofactor();
+                    let term = self.get(0, c) * &m;
+                    if c % 2 == 0 {
+                        acc += &term;
+                    } else {
+                        acc -= &term;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Rank by exact rational Gaussian elimination.
+    pub fn rank(&self) -> usize {
+        let mut a: Vec<Vec<Rat>> = (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| Rat::from_int(self.get(r, c).clone())).collect())
+            .collect();
+        let mut rank = 0;
+        let mut row = 0;
+        for col in 0..self.cols {
+            if row >= self.rows {
+                break;
+            }
+            let pivot = (row..self.rows).find(|&r| !a[r][col].is_zero());
+            let Some(p) = pivot else { continue };
+            a.swap(row, p);
+            let pv = a[row][col].clone();
+            for r in row + 1..self.rows {
+                if a[r][col].is_zero() {
+                    continue;
+                }
+                let factor = &a[r][col] / &pv;
+                for c in col..self.cols {
+                    let delta = &factor * &a[row][c];
+                    a[r][c] = &a[r][c] - &delta;
+                }
+            }
+            row += 1;
+            rank += 1;
+        }
+        rank
+    }
+
+    /// `true` iff square with full rank.
+    pub fn is_nonsingular(&self) -> bool {
+        self.rows == self.cols && !self.det().is_zero()
+    }
+
+    /// `true` iff integral with determinant ±1 (the paper's footnote
+    /// definition of unimodularity, page preceding Theorem 4.2).
+    pub fn is_unimodular(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let d = self.det();
+        d.is_one() || d.is_neg_one()
+    }
+
+    /// Cofactor `C_{r,c} = (−1)^{r+c}·minor(r,c)` — the `B_{ij}` of
+    /// Equation 3.3 in the paper.
+    pub fn cofactor(&self, r: usize, c: usize) -> Int {
+        let m = self.minor_matrix(r, c).det();
+        if (r + c) % 2 == 0 {
+            m
+        } else {
+            -m
+        }
+    }
+
+    /// Adjugate (classical adjoint): `adj(A)·A = A·adj(A) = det(A)·I`.
+    ///
+    /// This is the `B*` of Equation 3.3, used to derive the unique conflict
+    /// vector of an `(n−1)×n` mapping (Equation 3.2).
+    pub fn adjugate(&self) -> IMat {
+        assert_eq!(self.rows, self.cols, "adjugate of non-square matrix");
+        IMat::from_fn(self.rows, self.cols, |i, j| self.cofactor(j, i))
+    }
+
+    /// Exact integer inverse, available iff the matrix is unimodular.
+    pub fn inverse_unimodular(&self) -> Option<IMat> {
+        if !self.is_unimodular() {
+            return None;
+        }
+        let d = self.det();
+        let adj = self.adjugate();
+        Some(if d.is_one() {
+            adj
+        } else {
+            IMat::from_fn(self.rows, self.cols, |i, j| -adj.get(i, j))
+        })
+    }
+
+    /// Exact rational inverse (Gauss–Jordan); `None` if singular.
+    pub fn inverse_rational(&self) -> Option<Vec<Vec<Rat>>> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        let mut a: Vec<Vec<Rat>> = (0..n)
+            .map(|r| {
+                let mut row: Vec<Rat> =
+                    (0..n).map(|c| Rat::from_int(self.get(r, c).clone())).collect();
+                for c in 0..n {
+                    row.push(if r == c { Rat::one() } else { Rat::zero() });
+                }
+                row
+            })
+            .collect();
+        for col in 0..n {
+            let pivot = (col..n).find(|&r| !a[r][col].is_zero())?;
+            a.swap(col, pivot);
+            let pv = a[col][col].clone();
+            for c in 0..2 * n {
+                a[col][c] = &a[col][c] / &pv;
+            }
+            for r in 0..n {
+                if r == col || a[r][col].is_zero() {
+                    continue;
+                }
+                let factor = a[r][col].clone();
+                for c in 0..2 * n {
+                    let delta = &factor * &a[col][c];
+                    a[r][c] = &a[r][c] - &delta;
+                }
+            }
+        }
+        Some(a.into_iter().map(|row| row[n..].to_vec()).collect())
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> Int {
+        self.data.iter().map(Int::abs).max().unwrap_or_else(Int::zero)
+    }
+
+    /// Entries as `i64` row-major rows; `None` if any entry does not fit.
+    pub fn to_i64_rows(&self) -> Option<Vec<Vec<i64>>> {
+        (0..self.rows).map(|r| self.row(r).to_i64s()).collect()
+    }
+}
+
+impl fmt::Debug for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column-aligned pretty printer.
+        let strings: Vec<Vec<String>> = (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c).to_string()).collect())
+            .collect();
+        let widths: Vec<usize> = (0..self.cols)
+            .map(|c| strings.iter().map(|row| row[c].len()).max().unwrap_or(0))
+            .collect();
+        for (r, row) in strings.iter().enumerate() {
+            write!(f, "[")?;
+            for (c, s) in row.iter().enumerate() {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{s:>width$}", width = widths[c])?;
+            }
+            write!(f, "]")?;
+            if r + 1 < self.rows {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Mul for &IMat {
+    type Output = IMat;
+    fn mul(self, rhs: &IMat) -> IMat {
+        assert_eq!(self.cols, rhs.rows, "matrix product: dimension mismatch");
+        IMat::from_fn(self.rows, rhs.cols, |i, j| {
+            (0..self.cols).map(|k| self.get(i, k) * rhs.get(k, j)).sum()
+        })
+    }
+}
+
+impl Mul<&IVec> for &IMat {
+    type Output = IVec;
+    fn mul(self, rhs: &IVec) -> IVec {
+        self.mul_vec(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn m(rows: &[&[i64]]) -> IMat {
+        IMat::from_rows(rows)
+    }
+
+    #[test]
+    fn construction() {
+        let a = m(&[&[1, 2], &[3, 4]]);
+        assert_eq!(a.nrows(), 2);
+        assert_eq!(a.ncols(), 2);
+        assert_eq!(a.get(1, 0), &Int::from(3));
+        assert_eq!(a.row(0), IVec::from_i64s(&[1, 2]));
+        assert_eq!(a.col(1), IVec::from_i64s(&[2, 4]));
+        assert_eq!(IMat::identity(3).det(), Int::one());
+        let c = IMat::from_cols(&[IVec::from_i64s(&[1, 3]), IVec::from_i64s(&[2, 4])]);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn product_and_transpose() {
+        let a = m(&[&[1, 2], &[3, 4]]);
+        let b = m(&[&[5, 6], &[7, 8]]);
+        assert_eq!(&a * &b, m(&[&[19, 22], &[43, 50]]));
+        assert_eq!(a.transpose(), m(&[&[1, 3], &[2, 4]]));
+        let v = IVec::from_i64s(&[1, -1]);
+        assert_eq!(a.mul_vec(&v), IVec::from_i64s(&[-1, -1]));
+    }
+
+    #[test]
+    fn stacking_and_selection() {
+        let s = m(&[&[1, 1, -1]]);
+        let pi = m(&[&[1, 4, 1]]);
+        let t = s.vstack(&pi);
+        assert_eq!(t, m(&[&[1, 1, -1], &[1, 4, 1]]));
+        assert_eq!(t.select_cols(&[0, 2]), m(&[&[1, -1], &[1, 1]]));
+        assert_eq!(t.select_rows(&[1]), pi);
+        let h = s.hstack(&m(&[&[9]]));
+        assert_eq!(h, m(&[&[1, 1, -1, 9]]));
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        assert_eq!(m(&[&[2]]).det(), Int::from(2));
+        assert_eq!(m(&[&[1, 2], &[3, 4]]).det(), Int::from(-2));
+        assert_eq!(m(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]).det(), Int::zero());
+        assert_eq!(
+            m(&[&[3, 0, 2], &[2, 0, -2], &[0, 1, 1]]).det(),
+            Int::from(10)
+        );
+        // Zero pivot requiring a swap.
+        assert_eq!(m(&[&[0, 1], &[1, 0]]).det(), Int::from(-1));
+        assert_eq!(
+            m(&[&[0, 0, 1], &[0, 1, 0], &[1, 0, 0]]).det(),
+            Int::from(-1)
+        );
+    }
+
+    #[test]
+    fn rank_values() {
+        assert_eq!(m(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]).rank(), 2);
+        assert_eq!(IMat::identity(4).rank(), 4);
+        assert_eq!(IMat::zeros(3, 5).rank(), 0);
+        // The paper's matmul mapping T (Eq 3.5) with Π=[1,4,1] has rank 2.
+        assert_eq!(m(&[&[1, 1, -1], &[1, 4, 1]]).rank(), 2);
+        // Eq 2.8 mapping has rank 2.
+        assert_eq!(m(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]).rank(), 2);
+    }
+
+    #[test]
+    fn adjugate_identity() {
+        let a = m(&[&[3, 0, 2], &[2, 0, -2], &[0, 1, 1]]);
+        let adj = a.adjugate();
+        let d = a.det();
+        let prod = &a * &adj;
+        let expect = IMat::from_fn(3, 3, |i, j| if i == j { d.clone() } else { Int::zero() });
+        assert_eq!(prod, expect);
+        let prod2 = &adj * &a;
+        assert_eq!(prod2, expect);
+    }
+
+    #[test]
+    fn unimodular_inverse() {
+        // The multiplier U from Example 4.2 of the paper.
+        let u = m(&[
+            &[1, -1, -1, -7],
+            &[0, 0, 0, 1],
+            &[0, 0, 1, 0],
+            &[0, 1, 0, 0],
+        ]);
+        assert!(u.is_unimodular());
+        let v = u.inverse_unimodular().unwrap();
+        assert_eq!(&u * &v, IMat::identity(4));
+        assert_eq!(&v * &u, IMat::identity(4));
+        // And V matches the paper's stated inverse.
+        assert_eq!(
+            v,
+            m(&[&[1, 7, 1, 1], &[0, 0, 0, 1], &[0, 0, 1, 0], &[0, 1, 0, 0]])
+        );
+    }
+
+    #[test]
+    fn rational_inverse() {
+        let a = m(&[&[2, 0], &[0, 4]]);
+        let inv = a.inverse_rational().unwrap();
+        assert_eq!(inv[0][0], "1/2".parse().unwrap());
+        assert_eq!(inv[1][1], "1/4".parse().unwrap());
+        assert_eq!(inv[0][1], Rat::zero());
+        assert!(m(&[&[1, 2], &[2, 4]]).inverse_rational().is_none());
+    }
+
+    #[test]
+    fn display_alignment() {
+        let a = m(&[&[1, -10], &[100, 2]]);
+        let s = a.to_string();
+        assert!(s.contains('\n'));
+        assert!(s.starts_with('['));
+    }
+
+    fn arb_square(n: usize) -> impl Strategy<Value = IMat> {
+        prop::collection::vec(-6i64..=6, n * n).prop_map(move |v| {
+            IMat::from_fn(n, n, |i, j| Int::from(v[i * n + j]))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn bareiss_matches_cofactor(a in arb_square(4)) {
+            prop_assert_eq!(a.det(), a.det_cofactor());
+        }
+
+        #[test]
+        fn det_of_product(a in arb_square(3), b in arb_square(3)) {
+            prop_assert_eq!((&a * &b).det(), a.det() * b.det());
+        }
+
+        #[test]
+        fn det_transpose_invariant(a in arb_square(4)) {
+            prop_assert_eq!(a.det(), a.transpose().det());
+        }
+
+        #[test]
+        fn adjugate_postcondition(a in arb_square(3)) {
+            let d = a.det();
+            let adj = a.adjugate();
+            let prod = &a * &adj;
+            let expect = IMat::from_fn(3, 3, |i, j| if i == j { d.clone() } else { Int::zero() });
+            prop_assert_eq!(prod, expect);
+        }
+
+        #[test]
+        fn rank_le_min_dim(a in arb_square(4)) {
+            let r = a.rank();
+            prop_assert!(r <= 4);
+            prop_assert_eq!(r == 4, !a.det().is_zero());
+        }
+
+        #[test]
+        fn rational_inverse_roundtrip(a in arb_square(3)) {
+            if let Some(inv) = a.inverse_rational() {
+                // A · A⁻¹ = I, entrywise over Rat.
+                for i in 0..3 {
+                    for j in 0..3 {
+                        let mut acc = Rat::zero();
+                        for k in 0..3 {
+                            acc += &(&Rat::from_int(a.get(i, k).clone()) * &inv[k][j]);
+                        }
+                        let expect = if i == j { Rat::one() } else { Rat::zero() };
+                        prop_assert_eq!(acc, expect);
+                    }
+                }
+            } else {
+                prop_assert_eq!(a.det(), Int::zero());
+            }
+        }
+    }
+}

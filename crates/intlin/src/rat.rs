@@ -1,0 +1,426 @@
+//! Exact rational numbers over [`Int`].
+//!
+//! Invariants: the denominator is always strictly positive and
+//! `gcd(num, den) == 1` (zero is represented as `0/1`). These are exactly
+//! the numbers the exact simplex in `cfmap-lp` pivots on, and what matrix
+//! inversion produces. No floating point appears anywhere in the workspace.
+
+use crate::int::Int;
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number in lowest terms with a positive denominator.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: Int,
+    den: Int,
+}
+
+impl Rat {
+    /// Construct `num/den`, normalizing sign and common factors.
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: Int, den: Int) -> Rat {
+        assert!(!den.is_zero(), "Rat with zero denominator");
+        let mut r = Rat { num, den };
+        r.normalize();
+        r
+    }
+
+    /// The rational 0.
+    pub fn zero() -> Rat {
+        Rat { num: Int::zero(), den: Int::one() }
+    }
+
+    /// The rational 1.
+    pub fn one() -> Rat {
+        Rat { num: Int::one(), den: Int::one() }
+    }
+
+    /// An integer as a rational.
+    pub fn from_int(v: Int) -> Rat {
+        Rat { num: v, den: Int::one() }
+    }
+
+    /// A machine integer as a rational.
+    pub fn from_i64(v: i64) -> Rat {
+        Rat::from_int(Int::from(v))
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &Int {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &Int {
+        &self.den
+    }
+
+    /// `true` iff exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// `true` iff the denominator is 1.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sign as −1, 0 or +1.
+    pub fn signum(&self) -> i8 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer ≤ self.
+    pub fn floor(&self) -> Int {
+        self.num.div_euclid(&self.den)
+    }
+
+    /// Smallest integer ≥ self.
+    pub fn ceil(&self) -> Int {
+        -((-&self.num).div_euclid(&self.den))
+    }
+
+    /// The integer value if the denominator is 1.
+    pub fn to_int(&self) -> Option<Int> {
+        if self.is_integer() {
+            Some(self.num.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Approximate `f64` value (for diagnostics only — never used in
+    /// decision logic).
+    pub fn to_f64_lossy(&self) -> f64 {
+        // Scale through strings only when small enough; otherwise do a
+        // coarse bit-based estimate.
+        match (self.num.to_i128(), self.den.to_i128()) {
+            (Some(n), Some(d)) => n as f64 / d as f64,
+            _ => {
+                let shift = (self.num.bits().max(self.den.bits())).saturating_sub(60) as u32;
+                let scale = Int::from(2i64).pow(shift);
+                let n = (&self.num / &scale).to_i128().unwrap_or(0) as f64;
+                let d = (&self.den / &scale).to_i128().unwrap_or(1).max(1) as f64;
+                n / d
+            }
+        }
+    }
+
+    fn normalize(&mut self) {
+        if self.num.is_zero() {
+            self.den = Int::one();
+            return;
+        }
+        if self.den.is_negative() {
+            self.num = -std::mem::take(&mut self.num);
+            self.den = -std::mem::take(&mut self.den);
+        }
+        let g = self.num.gcd(&self.den);
+        if !g.is_one() {
+            self.num = self.num.exact_div(&g);
+            self.den = self.den.exact_div(&g);
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl FromStr for Rat {
+    type Err = String;
+    /// Parses `"a"` or `"a/b"` in decimal.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            None => Ok(Rat::from_int(s.parse::<Int>()?)),
+            Some((n, d)) => {
+                let num = n.trim().parse::<Int>()?;
+                let den = d.trim().parse::<Int>()?;
+                if den.is_zero() {
+                    return Err(format!("zero denominator in {s:?}"));
+                }
+                Ok(Rat::new(num, den))
+            }
+        }
+    }
+}
+
+impl From<Int> for Rat {
+    fn from(v: Int) -> Rat {
+        Rat::from_int(v)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d (b,d > 0)  ⇔  a·d vs c·b
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(mut self) -> Rat {
+        self.num = -self.num;
+        self
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Add for &Rat {
+    type Output = Rat;
+    fn add(self, rhs: &Rat) -> Rat {
+        Rat::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &Rat {
+    type Output = Rat;
+    fn sub(self, rhs: &Rat) -> Rat {
+        Rat::new(
+            &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Mul for &Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &Rat) -> Rat {
+        Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Rat {
+    type Output = Rat;
+    fn div(self, rhs: &Rat) -> Rat {
+        assert!(!rhs.is_zero(), "Rat division by zero");
+        Rat::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+forward_rat_binop!(Add, add);
+forward_rat_binop!(Sub, sub);
+forward_rat_binop!(Mul, mul);
+forward_rat_binop!(Div, div);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = &*self + rhs;
+    }
+}
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::zero(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rat(n: i64, d: i64) -> Rat {
+        Rat::new(Int::from(n), Int::from(d))
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, 7), Rat::zero());
+        assert_eq!(rat(0, -7).denom(), &Int::one());
+        assert!(rat(6, 3).is_integer());
+        assert_eq!(rat(6, 3).to_int(), Some(Int::from(2)));
+        assert_eq!(rat(1, 2).to_int(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = rat(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(&rat(1, 2) + &rat(1, 3), rat(5, 6));
+        assert_eq!(&rat(1, 2) - &rat(1, 3), rat(1, 6));
+        assert_eq!(&rat(2, 3) * &rat(3, 4), rat(1, 2));
+        assert_eq!(&rat(2, 3) / &rat(4, 9), rat(3, 2));
+        assert_eq!(-rat(1, 2), rat(-1, 2));
+        assert_eq!(rat(-3, 4).abs(), rat(3, 4));
+        assert_eq!(rat(2, 3).recip(), rat(3, 2));
+        assert_eq!(rat(-2, 3).recip(), rat(-3, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(rat(7, 2).floor(), Int::from(3));
+        assert_eq!(rat(7, 2).ceil(), Int::from(4));
+        assert_eq!(rat(-7, 2).floor(), Int::from(-4));
+        assert_eq!(rat(-7, 2).ceil(), Int::from(-3));
+        assert_eq!(rat(6, 2).floor(), Int::from(3));
+        assert_eq!(rat(6, 2).ceil(), Int::from(3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(-1, 2) < rat(0, 1));
+        let mut v = vec![rat(1, 2), rat(-3, 4), rat(5, 6), rat(0, 1)];
+        v.sort();
+        assert_eq!(v, vec![rat(-3, 4), rat(0, 1), rat(1, 2), rat(5, 6)]);
+    }
+
+    #[test]
+    fn display_parse() {
+        assert_eq!(rat(1, 2).to_string(), "1/2");
+        assert_eq!(rat(4, 2).to_string(), "2");
+        assert_eq!(rat(-1, 2).to_string(), "-1/2");
+        assert_eq!("3/6".parse::<Rat>().unwrap(), rat(1, 2));
+        assert_eq!("-5".parse::<Rat>().unwrap(), rat(-5, 1));
+        assert!("1/0".parse::<Rat>().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(
+            an in -1000i64..1000, ad in 1i64..50,
+            bn in -1000i64..1000, bd in 1i64..50,
+            cn in -1000i64..1000, cd in 1i64..50,
+        ) {
+            let a = rat(an, ad);
+            let b = rat(bn, bd);
+            let c = rat(cn, cd);
+            prop_assert_eq!(&a + &b, &b + &a);
+            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+            if !b.is_zero() {
+                prop_assert_eq!(&(&a / &b) * &b, a.clone());
+            }
+            prop_assert_eq!(&a - &a, Rat::zero());
+        }
+
+        #[test]
+        fn always_lowest_terms(n in -100_000i64..100_000, d in 1i64..100_000) {
+            let r = rat(n, d);
+            prop_assert!(r.denom().is_positive());
+            prop_assert!(r.numer().gcd(r.denom()).is_one() || r.is_zero());
+        }
+
+        #[test]
+        fn floor_le_value_le_ceil(n in -10_000i64..10_000, d in 1i64..100) {
+            let r = rat(n, d);
+            let fl = Rat::from_int(r.floor());
+            let ce = Rat::from_int(r.ceil());
+            prop_assert!(fl <= r && r <= ce);
+            prop_assert!(&ce - &fl <= Rat::one());
+        }
+
+        #[test]
+        fn cmp_matches_f64(an in -1000i64..1000, ad in 1i64..100, bn in -1000i64..1000, bd in 1i64..100) {
+            let a = rat(an, ad);
+            let b = rat(bn, bd);
+            let fa = an as f64 / ad as f64;
+            let fb = bn as f64 / bd as f64;
+            if (fa - fb).abs() > 1e-9 {
+                prop_assert_eq!(a < b, fa < fb);
+            }
+        }
+    }
+}

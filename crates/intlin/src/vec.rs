@@ -1,0 +1,283 @@
+//! Dense integer (column) vectors.
+//!
+//! Index points `j̄`, dependence vectors `d̄ᵢ` and conflict vectors `γ̄` are
+//! all [`IVec`]s. The paper's primitivity normalization of conflict vectors
+//! (Definition 2.3: entries relatively prime, first nonzero entry positive —
+//! see Theorem 3.1's convention) is [`IVec::primitive_part`].
+
+use crate::int::Int;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense column vector of arbitrary-precision integers.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct IVec(Vec<Int>);
+
+impl IVec {
+    /// Build from big integers.
+    pub fn new(entries: Vec<Int>) -> IVec {
+        IVec(entries)
+    }
+
+    /// Build from machine integers.
+    pub fn from_i64s(entries: &[i64]) -> IVec {
+        IVec(entries.iter().map(|&e| Int::from(e)).collect())
+    }
+
+    /// The zero vector of dimension `n`.
+    pub fn zeros(n: usize) -> IVec {
+        IVec(vec![Int::zero(); n])
+    }
+
+    /// The `i`-th standard basis vector of dimension `n`.
+    pub fn unit(n: usize, i: usize) -> IVec {
+        assert!(i < n, "unit vector index out of range");
+        let mut v = IVec::zeros(n);
+        v[i] = Int::one();
+        v
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` iff empty or all entries are zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(Int::is_zero)
+    }
+
+    /// Entries as a slice.
+    pub fn as_slice(&self) -> &[Int] {
+        &self.0
+    }
+
+    /// Entries converted to `i64`; `None` if any does not fit.
+    pub fn to_i64s(&self) -> Option<Vec<i64>> {
+        self.0.iter().map(Int::to_i64).collect()
+    }
+
+    /// Iterate over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, Int> {
+        self.0.iter()
+    }
+
+    /// Dot product (panics on dimension mismatch).
+    pub fn dot(&self, rhs: &IVec) -> Int {
+        assert_eq!(self.dim(), rhs.dim(), "dot: dimension mismatch");
+        self.0.iter().zip(rhs.0.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// Scale by an integer.
+    pub fn scale(&self, c: &Int) -> IVec {
+        IVec(self.0.iter().map(|e| e * c).collect())
+    }
+
+    /// Non-negative gcd of all entries (0 for the zero vector).
+    pub fn content(&self) -> Int {
+        self.0.iter().fold(Int::zero(), |acc, e| acc.gcd(e))
+    }
+
+    /// `true` iff the entries are relatively prime (gcd exactly 1) —
+    /// Definition 2.3's requirement on conflict vectors.
+    pub fn is_primitive(&self) -> bool {
+        self.content().is_one()
+    }
+
+    /// Divide out the content and make the first nonzero entry positive.
+    ///
+    /// This is the canonical representative the paper uses for the unique
+    /// conflict vector of a `(n−1)×n` mapping (Theorem 3.1). Returns `None`
+    /// for the zero vector.
+    pub fn primitive_part(&self) -> Option<IVec> {
+        let g = self.content();
+        if g.is_zero() {
+            return None;
+        }
+        let mut v = IVec(self.0.iter().map(|e| e.exact_div(&g)).collect());
+        if let Some(first) = v.0.iter().find(|e| !e.is_zero()) {
+            if first.is_negative() {
+                v = -&v;
+            }
+        }
+        Some(v)
+    }
+
+    /// Sum of `|entries|·weights` — the weighted L1 norm `Σ |π_i| μ_i`
+    /// appearing in the total-execution-time formula (Eq 2.7).
+    pub fn weighted_abs_sum(&self, weights: &[Int]) -> Int {
+        assert_eq!(self.dim(), weights.len(), "weighted_abs_sum: dimension mismatch");
+        self.0.iter().zip(weights).map(|(e, w)| e.abs() * w).sum()
+    }
+
+    /// Maximum absolute entry (zero vector → 0).
+    pub fn max_abs(&self) -> Int {
+        self.0.iter().map(Int::abs).max().unwrap_or_else(Int::zero)
+    }
+}
+
+impl fmt::Debug for IVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for IVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<usize> for IVec {
+    type Output = Int;
+    fn index(&self, i: usize) -> &Int {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for IVec {
+    fn index_mut(&mut self, i: usize) -> &mut Int {
+        &mut self.0[i]
+    }
+}
+
+impl FromIterator<Int> for IVec {
+    fn from_iter<T: IntoIterator<Item = Int>>(iter: T) -> Self {
+        IVec(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a IVec {
+    type Item = &'a Int;
+    type IntoIter = std::slice::Iter<'a, Int>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl Add for &IVec {
+    type Output = IVec;
+    fn add(self, rhs: &IVec) -> IVec {
+        assert_eq!(self.dim(), rhs.dim(), "IVec add: dimension mismatch");
+        IVec(self.0.iter().zip(&rhs.0).map(|(a, b)| a + b).collect())
+    }
+}
+
+impl Sub for &IVec {
+    type Output = IVec;
+    fn sub(self, rhs: &IVec) -> IVec {
+        assert_eq!(self.dim(), rhs.dim(), "IVec sub: dimension mismatch");
+        IVec(self.0.iter().zip(&rhs.0).map(|(a, b)| a - b).collect())
+    }
+}
+
+impl Neg for &IVec {
+    type Output = IVec;
+    fn neg(self) -> IVec {
+        IVec(self.0.iter().map(|e| -e).collect())
+    }
+}
+
+impl Mul<&IVec> for &Int {
+    type Output = IVec;
+    fn mul(self, rhs: &IVec) -> IVec {
+        rhs.scale(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(xs: &[i64]) -> IVec {
+        IVec::from_i64s(xs)
+    }
+
+    #[test]
+    fn basics() {
+        let a = v(&[1, -2, 3]);
+        assert_eq!(a.dim(), 3);
+        assert!(!a.is_zero());
+        assert!(IVec::zeros(3).is_zero());
+        assert_eq!(IVec::unit(3, 1), v(&[0, 1, 0]));
+        assert_eq!(a.to_i64s(), Some(vec![1, -2, 3]));
+        assert_eq!(a.to_string(), "[1, -2, 3]");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = v(&[1, 2, 3]);
+        let b = v(&[4, -5, 6]);
+        assert_eq!(&a + &b, v(&[5, -3, 9]));
+        assert_eq!(&a - &b, v(&[-3, 7, -3]));
+        assert_eq!(-&a, v(&[-1, -2, -3]));
+        assert_eq!(a.dot(&b), Int::from(4 - 10 + 18));
+        assert_eq!(a.scale(&Int::from(-2)), v(&[-2, -4, -6]));
+    }
+
+    #[test]
+    fn content_and_primitivity() {
+        assert_eq!(v(&[4, 6, -8]).content(), Int::from(2));
+        assert!(v(&[3, 5]).is_primitive());
+        assert!(!v(&[2, 0, -2, 0]).is_primitive());
+        assert_eq!(v(&[2, 0, -2, 0]).primitive_part(), Some(v(&[1, 0, -1, 0])));
+        // First nonzero entry forced positive (Theorem 3.1 convention).
+        assert_eq!(v(&[-3, 6]).primitive_part(), Some(v(&[1, -2])));
+        assert_eq!(v(&[0, -5, 10]).primitive_part(), Some(v(&[0, 1, -2])));
+        assert_eq!(IVec::zeros(3).primitive_part(), None);
+    }
+
+    #[test]
+    fn weighted_abs_sum_matches_eq_2_7() {
+        // Π = [1, 4, 1], μ = [4, 4, 4] ⇒ Σ|π_i|μ_i = 24 ⇒ t = 25 = μ(μ+2)+1.
+        let pi = v(&[1, 4, 1]);
+        let mu: Vec<Int> = [4, 4, 4].iter().map(|&m| Int::from(m)).collect();
+        assert_eq!(pi.weighted_abs_sum(&mu), Int::from(24));
+    }
+
+    #[test]
+    fn max_abs() {
+        assert_eq!(v(&[1, -7, 3]).max_abs(), Int::from(7));
+        assert_eq!(IVec::zeros(2).max_abs(), Int::zero());
+    }
+
+    proptest! {
+        #[test]
+        fn dot_symmetric(a in prop::collection::vec(-100i64..100, 1..6)) {
+            let b: Vec<i64> = a.iter().rev().cloned().collect();
+            let av = v(&a);
+            let bv = v(&b);
+            prop_assert_eq!(av.dot(&bv), bv.dot(&av));
+        }
+
+        #[test]
+        fn primitive_part_is_primitive(a in prop::collection::vec(-50i64..50, 1..6)) {
+            let av = v(&a);
+            match av.primitive_part() {
+                None => prop_assert!(av.is_zero()),
+                Some(p) => {
+                    prop_assert!(p.is_primitive());
+                    // p is parallel to a: a = content * (±p)
+                    let c = av.content();
+                    let scaled = p.scale(&c);
+                    prop_assert!(scaled == av || -&scaled == av);
+                    let first = p.iter().find(|e| !e.is_zero()).unwrap();
+                    prop_assert!(first.is_positive());
+                }
+            }
+        }
+
+        #[test]
+        fn add_commutes(a in prop::collection::vec(-100i64..100, 3), b in prop::collection::vec(-100i64..100, 3)) {
+            prop_assert_eq!(&v(&a) + &v(&b), &v(&b) + &v(&a));
+        }
+    }
+}

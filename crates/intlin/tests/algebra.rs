@@ -1,0 +1,131 @@
+//! Cross-module algebraic identities at scale: the normal forms, the
+//! reduction, and the elementary matrix operations must all tell one
+//! consistent story about the same random matrices.
+
+use cfmap_intlin::{
+    hermite_normal_form, lll_reduce, norm_sq, smith_normal_form, IMat, IVec, Int,
+};
+use proptest::prelude::*;
+
+fn arb_mat(k: usize, n: usize, scale: i64) -> impl Strategy<Value = IMat> {
+    prop::collection::vec(-scale..=scale, k * n)
+        .prop_map(move |v| IMat::from_fn(k, n, |i, j| Int::from(v[i * n + j])))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// HNF and SNF agree on rank and kernel dimension; the lattice index
+    /// |det L| equals the product of the invariant factors for full
+    /// row rank.
+    #[test]
+    fn hnf_snf_consistency(t in arb_mat(3, 5, 7)) {
+        let h = hermite_normal_form(&t);
+        let s = smith_normal_form(&t);
+        prop_assert_eq!(h.rank, s.rank);
+        prop_assert_eq!(h.kernel_cols().len(), s.kernel_cols().len());
+        if h.rank == 3 {
+            let det_l = h.pivot_block().det().abs();
+            let inv: Int = s.invariant_factors().into_iter().product();
+            prop_assert_eq!(det_l, inv);
+        }
+    }
+
+    /// LLL on the HNF kernel: same lattice (checked via V·γ saturation),
+    /// never longer than the worst original vector by more than the 2×
+    /// LLL slack, and all still kernel vectors.
+    #[test]
+    fn lll_on_kernels(t in arb_mat(2, 5, 9)) {
+        let h = hermite_normal_form(&t);
+        let kernel = h.kernel_cols();
+        if kernel.len() < 2 {
+            return Ok(());
+        }
+        let red = lll_reduce(&kernel);
+        prop_assert_eq!(red.len(), kernel.len());
+        for g in &red {
+            prop_assert!(t.mul_vec(g).is_zero());
+            let beta = h.v.mul_vec(g);
+            for i in 0..h.rank {
+                prop_assert!(beta[i].is_zero(), "reduced vector left the lattice");
+            }
+        }
+        // Sorted reduced norms never exceed sorted original norms
+        // pairwise by more than the LLL approximation factor 2^{d−1}.
+        let mut orig: Vec<Int> = kernel.iter().map(norm_sq).collect();
+        let mut new: Vec<Int> = red.iter().map(norm_sq).collect();
+        orig.sort();
+        new.sort();
+        let factor = Int::from(1i64 << (kernel.len() - 1));
+        for (a, b) in new.iter().zip(&orig) {
+            prop_assert!(a <= &(b * &factor));
+        }
+    }
+
+    /// Adjugate, determinant and rational inverse agree:
+    /// A⁻¹ = adj(A)/det(A) whenever det ≠ 0.
+    #[test]
+    fn adjugate_inverse_consistency(a in arb_mat(4, 4, 6)) {
+        let d = a.det();
+        if d.is_zero() {
+            prop_assert!(a.inverse_rational().is_none());
+            return Ok(());
+        }
+        let adj = a.adjugate();
+        let inv = a.inverse_rational().unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = cfmap_intlin::Rat::new(adj.get(i, j).clone(), d.clone());
+                prop_assert_eq!(&inv[i][j], &expected, "entry ({}, {})", i, j);
+            }
+        }
+    }
+
+    /// Unimodular products: U from HNF times V gives I, and the products'
+    /// determinants multiply.
+    #[test]
+    fn multiplier_group_structure(t1 in arb_mat(2, 4, 5), t2 in arb_mat(2, 4, 5)) {
+        let h1 = hermite_normal_form(&t1);
+        let h2 = hermite_normal_form(&t2);
+        let prod = &h1.u * &h2.u;
+        prop_assert!(prod.is_unimodular(), "unimodular group closed under product");
+        let back = &(&prod * &h2.v) * &h1.v;
+        prop_assert_eq!(back, IMat::identity(4));
+    }
+
+    /// Large-magnitude stress through the whole pipeline.
+    #[test]
+    fn magnitude_stress(v in prop::collection::vec(-1_000_000_000i64..=1_000_000_000, 6)) {
+        let t = IMat::from_fn(2, 3, |i, j| Int::from(v[i * 3 + j]));
+        let h = hermite_normal_form(&t);
+        prop_assert_eq!(&(&t * &h.u), &h.h);
+        prop_assert!(h.u.is_unimodular());
+        let s = smith_normal_form(&t);
+        prop_assert_eq!(s.rank, h.rank);
+        for g in h.kernel_cols() {
+            prop_assert!(t.mul_vec(&g).is_zero());
+        }
+    }
+}
+
+#[test]
+fn kernel_vectors_survive_the_full_pipeline() {
+    // One deterministic end-to-end thread: matrix → HNF → kernel → LLL →
+    // membership via V — every stage preserves the kernel lattice.
+    let t = IMat::from_rows(&[&[2, 4, 6, 1, 3], &[1, 2, 3, 5, 7]]);
+    let h = hermite_normal_form(&t);
+    assert_eq!(h.rank, 2);
+    let kernel = h.kernel_cols();
+    assert_eq!(kernel.len(), 3);
+    let red = lll_reduce(&kernel);
+    for g in &red {
+        assert!(t.mul_vec(g).is_zero());
+        assert!(g.is_primitive() || g.is_zero());
+    }
+    // The reduced basis contains a genuinely short vector: the direction
+    // [1, 1, -1, 0, 0] (2+4-6 = 0, 1+2-3 = 0) has norm² 3.
+    let short = IVec::from_i64s(&[1, 1, -1, 0, 0]);
+    assert!(t.mul_vec(&short).is_zero());
+    let best = red.iter().map(norm_sq).min().unwrap();
+    assert!(best <= Int::from(3), "LLL missed the short direction: {best}");
+}

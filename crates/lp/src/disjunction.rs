@@ -1,0 +1,158 @@
+//! Disjunctive decomposition of non-convex feasible sets.
+//!
+//! Constraint 3 of formulation (5.2) in the paper is an existential
+//! disjunction — `∃ i: |f_i(π)| > μ_i` — so the feasible set is a union of
+//! convex pieces, not a convex set. The appendix handles this by
+//! *"partition[ing] the solution set as three convex subsets"*, solving
+//! each, and taking the best optimum. [`solve_disjunctive`] is that
+//! technique: a base problem plus a list of disjuncts (each a conjunction
+//! of extra constraints); one ILP per disjunct; best wins.
+
+use crate::ilp::solve_ilp;
+use crate::problem::{Constraint, LpOutcome, LpProblem, Sense};
+
+/// A named disjunct: a conjunction of constraints to add to the base
+/// problem, with a human-readable label for experiment reporting.
+#[derive(Clone, Debug)]
+pub struct Disjunct {
+    /// Label, e.g. `"π2 + π3 ≥ μ+1"`.
+    pub label: String,
+    /// Constraints of this branch.
+    pub constraints: Vec<Constraint>,
+}
+
+impl Disjunct {
+    /// Build a disjunct.
+    pub fn new(label: impl Into<String>, constraints: Vec<Constraint>) -> Disjunct {
+        Disjunct { label: label.into(), constraints }
+    }
+}
+
+/// The outcome of a disjunctive solve: the best branch, if any is feasible.
+#[derive(Clone, Debug)]
+pub struct DisjunctiveOutcome {
+    /// The overall outcome (best across branches).
+    pub outcome: LpOutcome,
+    /// Index of the winning disjunct (when `outcome` is optimal).
+    pub winning_disjunct: Option<usize>,
+    /// Per-branch outcomes, for experiment reporting.
+    pub branches: Vec<LpOutcome>,
+}
+
+/// Solve `min/max objective` over the **union** of the feasible sets
+/// `base ∧ disjunct_i`, each branch as an exact ILP.
+pub fn solve_disjunctive(
+    base: &LpProblem,
+    disjuncts: &[Disjunct],
+    max_nodes_per_branch: usize,
+) -> DisjunctiveOutcome {
+    let mut branches = Vec::with_capacity(disjuncts.len());
+    let mut best: Option<(usize, LpOutcome)> = None;
+    for (i, d) in disjuncts.iter().enumerate() {
+        let mut p = base.clone();
+        for c in &d.constraints {
+            p.constrain(c.clone());
+        }
+        let out = solve_ilp(&p, max_nodes_per_branch);
+        if let LpOutcome::Optimal { ref value, .. } = out {
+            let better = match &best {
+                None => true,
+                Some((_, LpOutcome::Optimal { value: bv, .. })) => match base.sense {
+                    Sense::Minimize => value < bv,
+                    Sense::Maximize => value > bv,
+                },
+                _ => true,
+            };
+            if better {
+                best = Some((i, out.clone()));
+            }
+        }
+        branches.push(out);
+    }
+    match best {
+        Some((i, out)) => DisjunctiveOutcome {
+            outcome: out,
+            winning_disjunct: Some(i),
+            branches,
+        },
+        None => DisjunctiveOutcome {
+            outcome: LpOutcome::Infeasible,
+            winning_disjunct: None,
+            branches,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LpProblem, Relation};
+    use cfmap_intlin::Rat;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn matmul_example_5_1_full_decomposition() {
+        // Example 5.1, μ = 4: min μ(π1+π2+π3), π_i ≥ 1, and
+        //   (I)  π2 + π3 ≥ μ+1
+        //   (II) π1 + π3 ≥ μ+1
+        //   (III)|π1 − π2| ≥ μ+1 (itself split into two branches).
+        // Paper: optimal value 24 at Π = [1,4,1] or [μ,1,1]; branch III
+        // gives the worse extreme points [1, μ+2, 1], [μ+2, 1, 1].
+        let mu = 4;
+        let mut base = LpProblem::minimize(&[mu, mu, mu]);
+        for i in 0..3 {
+            base.set_lower(i, r(1));
+            base.set_upper(i, r(2 * mu + 4));
+        }
+        let disjuncts = vec![
+            Disjunct::new("π2+π3 ≥ μ+1", vec![Constraint::new_i64(&[0, 1, 1], Relation::Ge, mu + 1)]),
+            Disjunct::new("π1+π3 ≥ μ+1", vec![Constraint::new_i64(&[1, 0, 1], Relation::Ge, mu + 1)]),
+            Disjunct::new("π1−π2 ≥ μ+1", vec![Constraint::new_i64(&[1, -1, 0], Relation::Ge, mu + 1)]),
+            Disjunct::new("π2−π1 ≥ μ+1", vec![Constraint::new_i64(&[-1, 1, 0], Relation::Ge, mu + 1)]),
+        ];
+        let result = solve_disjunctive(&base, &disjuncts, 10_000);
+        let LpOutcome::Optimal { value, x } = &result.outcome else {
+            panic!("expected optimum");
+        };
+        assert_eq!(value, &r(24));
+        // Winner is branch I or II (both achieve 24).
+        assert!(matches!(result.winning_disjunct, Some(0) | Some(1)));
+        assert!(x.iter().all(Rat::is_integer));
+        // Branch III extreme points cost μ(μ+4) = 32 > 24.
+        let LpOutcome::Optimal { value: v3, .. } = &result.branches[2] else {
+            panic!("branch III should be feasible");
+        };
+        assert_eq!(v3, &r(mu * (mu + 4)));
+    }
+
+    #[test]
+    fn all_branches_infeasible() {
+        let base = LpProblem::minimize(&[1]);
+        let disjuncts = vec![
+            Disjunct::new("x ≥ 5 ∧ x ≤ 3", vec![
+                Constraint::new_i64(&[1], Relation::Ge, 5),
+                Constraint::new_i64(&[1], Relation::Le, 3),
+            ]),
+        ];
+        let result = solve_disjunctive(&base, &disjuncts, 100);
+        assert_eq!(result.outcome, LpOutcome::Infeasible);
+        assert_eq!(result.winning_disjunct, None);
+    }
+
+    #[test]
+    fn ties_keep_first_branch() {
+        let mut base = LpProblem::minimize(&[1]);
+        base.set_lower(0, r(0));
+        base.set_upper(0, r(10));
+        let disjuncts = vec![
+            Disjunct::new("x ≥ 2", vec![Constraint::new_i64(&[1], Relation::Ge, 2)]),
+            Disjunct::new("x ≥ 2 too", vec![Constraint::new_i64(&[1], Relation::Ge, 2)]),
+        ];
+        let result = solve_disjunctive(&base, &disjuncts, 100);
+        assert_eq!(result.winning_disjunct, Some(0));
+        assert_eq!(result.outcome.value(), Some(&r(2)));
+    }
+}

@@ -1,0 +1,36 @@
+//! Exact rational linear and integer-linear programming.
+//!
+//! Section 5 of Shang & Fortes formulates the time-optimal conflict-free
+//! mapping problem (Problem 2.2) as an integer programming problem
+//! ((5.1)–(5.2) for `k = n−1`, (5.5)–(5.6) for `T ∈ Z^{3×5}`), and the
+//! appendix solves the matrix-multiplication and transitive-closure
+//! instances by *partitioning the non-convex solution set into convex
+//! subsets* (one per disjunct of the conflict-freedom condition) *and
+//! enumerating the integral extreme points of each*. This crate provides
+//! exactly that toolbox, with no floating point anywhere:
+//!
+//! * [`problem`] — LP/ILP problem construction (constraints `≤`, `≥`, `=`,
+//!   free or sign-constrained variables, bounds).
+//! * [`simplex`] — two-phase primal simplex over [`cfmap_intlin::Rat`]
+//!   with Bland's anti-cycling rule.
+//! * [`ilp`] — branch & bound on top of the exact relaxation.
+//! * [`vertex`] — extreme-point enumeration for small systems (the
+//!   appendix technique: all extreme points are integral when the
+//!   constraint coefficients are in {−1, 0, 1}).
+//! * [`disjunction`] — "∃ i" constraint splitting: solve one convex
+//!   subproblem per disjunct and keep the best optimum.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disjunction;
+pub mod ilp;
+pub mod problem;
+pub mod simplex;
+pub mod vertex;
+
+pub use disjunction::solve_disjunctive;
+pub use ilp::solve_ilp;
+pub use problem::{Constraint, LinExpr, LpOutcome, LpProblem, Relation};
+pub use simplex::solve_lp;
+pub use vertex::enumerate_vertices;

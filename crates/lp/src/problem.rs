@@ -1,0 +1,306 @@
+//! LP / ILP problem construction.
+//!
+//! A problem is `min c·x` (or `max`) subject to linear constraints over
+//! rational coefficients, with per-variable lower bounds (default: free).
+//! The formulations of Section 5 of the paper build directly on this: the
+//! objective is the weighted schedule length `Σ μ_i·π_i` (Equation 5.1) and
+//! constraints come from `ΠD > 0`, the conflict-freedom disjuncts, and the
+//! interconnection inequalities of Definition 2.2.
+
+use cfmap_intlin::{Int, Rat};
+use std::fmt;
+
+/// The relation of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// A linear expression `Σ coeffs[i]·x_i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinExpr {
+    /// One rational coefficient per variable.
+    pub coeffs: Vec<Rat>,
+}
+
+impl LinExpr {
+    /// Zero expression over `n` variables.
+    pub fn zeros(n: usize) -> LinExpr {
+        LinExpr { coeffs: vec![Rat::zero(); n] }
+    }
+
+    /// From machine-integer coefficients.
+    pub fn from_i64s(coeffs: &[i64]) -> LinExpr {
+        LinExpr { coeffs: coeffs.iter().map(|&c| Rat::from_i64(c)).collect() }
+    }
+
+    /// From big-integer coefficients.
+    pub fn from_ints(coeffs: &[Int]) -> LinExpr {
+        LinExpr { coeffs: coeffs.iter().cloned().map(Rat::from_int).collect() }
+    }
+
+    /// A single variable `x_i` over `n` variables.
+    pub fn var(n: usize, i: usize) -> LinExpr {
+        let mut e = LinExpr::zeros(n);
+        e.coeffs[i] = Rat::one();
+        e
+    }
+
+    /// Evaluate at a point.
+    pub fn eval(&self, x: &[Rat]) -> Rat {
+        assert_eq!(self.coeffs.len(), x.len(), "eval: dimension mismatch");
+        self.coeffs.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+}
+
+/// A single linear constraint `expr ⟨rel⟩ rhs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Relation.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: Rat,
+}
+
+impl Constraint {
+    /// Build `coeffs · x  rel  rhs` from machine integers.
+    pub fn new_i64(coeffs: &[i64], rel: Relation, rhs: i64) -> Constraint {
+        Constraint { expr: LinExpr::from_i64s(coeffs), rel, rhs: Rat::from_i64(rhs) }
+    }
+
+    /// Build from big integers.
+    pub fn new_int(coeffs: &[Int], rel: Relation, rhs: Int) -> Constraint {
+        Constraint { expr: LinExpr::from_ints(coeffs), rel, rhs: Rat::from_int(rhs) }
+    }
+
+    /// `true` iff `x` satisfies the constraint.
+    pub fn is_satisfied(&self, x: &[Rat]) -> bool {
+        let lhs = self.expr.eval(x);
+        match self.rel {
+            Relation::Le => lhs <= self.rhs,
+            Relation::Ge => lhs >= self.rhs,
+            Relation::Eq => lhs == self.rhs,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, c) in self.expr.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if first {
+                write!(f, "{c}·x{i}")?;
+                first = false;
+            } else if c.is_negative() {
+                write!(f, " - {}·x{i}", c.abs())?;
+            } else {
+                write!(f, " + {c}·x{i}")?;
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        let rel = match self.rel {
+            Relation::Le => "≤",
+            Relation::Ge => "≥",
+            Relation::Eq => "=",
+        };
+        write!(f, " {rel} {}", self.rhs)
+    }
+}
+
+/// Optimization sense.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// A linear program over `n_vars` variables.
+///
+/// Variables are **free** unless a lower bound is set; the simplex layer
+/// splits free variables internally.
+#[derive(Clone, Debug)]
+pub struct LpProblem {
+    /// Number of decision variables.
+    pub n_vars: usize,
+    /// Objective coefficients.
+    pub objective: LinExpr,
+    /// Sense (minimize by default).
+    pub sense: Sense,
+    /// Constraints.
+    pub constraints: Vec<Constraint>,
+    /// Optional per-variable lower bounds (`None` = free below).
+    pub lower_bounds: Vec<Option<Rat>>,
+    /// Optional per-variable upper bounds (`None` = free above).
+    pub upper_bounds: Vec<Option<Rat>>,
+}
+
+impl LpProblem {
+    /// A minimization problem with the given objective coefficients.
+    pub fn minimize(objective: &[i64]) -> LpProblem {
+        LpProblem {
+            n_vars: objective.len(),
+            objective: LinExpr::from_i64s(objective),
+            sense: Sense::Minimize,
+            constraints: Vec::new(),
+            lower_bounds: vec![None; objective.len()],
+            upper_bounds: vec![None; objective.len()],
+        }
+    }
+
+    /// A minimization problem with big-integer objective coefficients.
+    pub fn minimize_ints(objective: &[Int]) -> LpProblem {
+        LpProblem {
+            n_vars: objective.len(),
+            objective: LinExpr::from_ints(objective),
+            sense: Sense::Minimize,
+            constraints: Vec::new(),
+            lower_bounds: vec![None; objective.len()],
+            upper_bounds: vec![None; objective.len()],
+        }
+    }
+
+    /// Add a constraint (builder style).
+    pub fn constrain(&mut self, c: Constraint) -> &mut Self {
+        assert_eq!(c.expr.coeffs.len(), self.n_vars, "constraint arity mismatch");
+        self.constraints.push(c);
+        self
+    }
+
+    /// Add `coeffs·x rel rhs` from machine integers.
+    pub fn constrain_i64(&mut self, coeffs: &[i64], rel: Relation, rhs: i64) -> &mut Self {
+        self.constrain(Constraint::new_i64(coeffs, rel, rhs))
+    }
+
+    /// Set a lower bound on variable `i`.
+    pub fn set_lower(&mut self, i: usize, bound: Rat) -> &mut Self {
+        self.lower_bounds[i] = Some(bound);
+        self
+    }
+
+    /// Set an upper bound on variable `i`.
+    pub fn set_upper(&mut self, i: usize, bound: Rat) -> &mut Self {
+        self.upper_bounds[i] = Some(bound);
+        self
+    }
+
+    /// `true` iff `x` satisfies every constraint and bound.
+    pub fn is_feasible(&self, x: &[Rat]) -> bool {
+        if x.len() != self.n_vars {
+            return false;
+        }
+        for (i, lb) in self.lower_bounds.iter().enumerate() {
+            if let Some(lb) = lb {
+                if &x[i] < lb {
+                    return false;
+                }
+            }
+        }
+        for (i, ub) in self.upper_bounds.iter().enumerate() {
+            if let Some(ub) = ub {
+                if &x[i] > ub {
+                    return false;
+                }
+            }
+        }
+        self.constraints.iter().all(|c| c.is_satisfied(x))
+    }
+
+    /// Objective value at `x`.
+    pub fn objective_value(&self, x: &[Rat]) -> Rat {
+        self.objective.eval(x)
+    }
+}
+
+/// The outcome of an LP or ILP solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// The optimal point.
+        x: Vec<Rat>,
+        /// The optimal objective value.
+        value: Rat,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// The optimal value, if any.
+    pub fn value(&self) -> Option<&Rat> {
+        match self {
+            LpOutcome::Optimal { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The optimal point, if any.
+    pub fn point(&self) -> Option<&[Rat]> {
+        match self {
+            LpOutcome::Optimal { x, .. } => Some(x),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_eval() {
+        let e = LinExpr::from_i64s(&[1, -2, 3]);
+        let x = vec![Rat::from_i64(4), Rat::from_i64(5), Rat::from_i64(6)];
+        assert_eq!(e.eval(&x), Rat::from_i64(4 - 10 + 18));
+        assert_eq!(LinExpr::var(3, 1).eval(&x), Rat::from_i64(5));
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        let c = Constraint::new_i64(&[1, 1], Relation::Ge, 5);
+        assert!(c.is_satisfied(&[Rat::from_i64(3), Rat::from_i64(2)]));
+        assert!(!c.is_satisfied(&[Rat::from_i64(3), Rat::from_i64(1)]));
+        let e = Constraint::new_i64(&[2, 0], Relation::Eq, 4);
+        assert!(e.is_satisfied(&[Rat::from_i64(2), Rat::from_i64(99)]));
+        assert!(!e.is_satisfied(&[Rat::from_i64(3), Rat::from_i64(0)]));
+    }
+
+    #[test]
+    fn constraint_display() {
+        let c = Constraint::new_i64(&[1, -2, 0], Relation::Le, 7);
+        assert_eq!(c.to_string(), "1·x0 - 2·x1 ≤ 7");
+        let z = Constraint::new_i64(&[0, 0], Relation::Ge, 0);
+        assert_eq!(z.to_string(), "0 ≥ 0");
+    }
+
+    #[test]
+    fn problem_feasibility() {
+        let mut p = LpProblem::minimize(&[1, 1]);
+        p.constrain_i64(&[1, 0], Relation::Ge, 1);
+        p.constrain_i64(&[0, 1], Relation::Ge, 1);
+        p.set_upper(0, Rat::from_i64(10));
+        assert!(p.is_feasible(&[Rat::from_i64(1), Rat::from_i64(2)]));
+        assert!(!p.is_feasible(&[Rat::from_i64(0), Rat::from_i64(2)]));
+        assert!(!p.is_feasible(&[Rat::from_i64(11), Rat::from_i64(2)]));
+        assert_eq!(
+            p.objective_value(&[Rat::from_i64(1), Rat::from_i64(2)]),
+            Rat::from_i64(3)
+        );
+    }
+}

@@ -1,0 +1,541 @@
+//! Two-phase primal simplex over exact rationals.
+//!
+//! Bland's anti-cycling rule guarantees termination; every pivot is exact
+//! [`Rat`] arithmetic, so the optima match the paper's appendix derivations
+//! digit for digit (there is no tolerance anywhere). The instances the
+//! paper produces are tiny (≤ 10 variables, ≤ 20 constraints), so the
+//! dense-tableau method is entirely adequate.
+
+use crate::problem::{LpOutcome, LpProblem, Relation, Sense};
+use cfmap_intlin::Rat;
+
+/// Solve a linear program exactly. Returns the optimum, `Infeasible`, or
+/// `Unbounded`.
+///
+/// # Examples
+///
+/// ```
+/// use cfmap_intlin::Rat;
+/// use cfmap_lp::problem::{LpProblem, Relation};
+/// use cfmap_lp::{solve_lp, LpOutcome};
+///
+/// // min x + y  s.t.  x ≥ 1, y ≥ 2.
+/// let mut p = LpProblem::minimize(&[1, 1]);
+/// p.constrain_i64(&[1, 0], Relation::Ge, 1);
+/// p.constrain_i64(&[0, 1], Relation::Ge, 2);
+/// let out = solve_lp(&p);
+/// assert_eq!(out.value(), Some(&Rat::from_i64(3)));
+/// ```
+pub fn solve_lp(problem: &LpProblem) -> LpOutcome {
+    Standardized::build(problem).solve()
+}
+
+/// How an original variable is represented in standard form.
+#[derive(Clone, Debug)]
+enum VarRepr {
+    /// `x = y_pos − y_neg`, both ≥ 0 (free variable).
+    Split { pos: usize, neg: usize },
+    /// `x = y + shift`, `y ≥ 0` (lower-bounded variable).
+    Shifted { idx: usize, shift: Rat },
+}
+
+/// A problem in standard form: `min c·y`, `A·y = b`, `y ≥ 0`, `b ≥ 0`.
+struct Standardized {
+    /// Rows of `A` with their right-hand sides.
+    rows: Vec<(Vec<Rat>, Rat)>,
+    /// Objective over standard variables (always a minimization).
+    cost: Vec<Rat>,
+    /// Number of structural (non-slack) standard variables.
+    n_std: usize,
+    /// Mapping back to original variables.
+    reprs: Vec<VarRepr>,
+    /// `true` if the original problem was a maximization (flip value back).
+    maximized: bool,
+}
+
+impl Standardized {
+    fn build(p: &LpProblem) -> Standardized {
+        // 1. Represent each original variable by non-negative standard vars.
+        let mut reprs = Vec::with_capacity(p.n_vars);
+        let mut n_std = 0usize;
+        for i in 0..p.n_vars {
+            match &p.lower_bounds[i] {
+                Some(lb) => {
+                    reprs.push(VarRepr::Shifted { idx: n_std, shift: lb.clone() });
+                    n_std += 1;
+                }
+                None => {
+                    reprs.push(VarRepr::Split { pos: n_std, neg: n_std + 1 });
+                    n_std += 2;
+                }
+            }
+        }
+
+        // 2. Rewrite every constraint (and upper bounds as constraints)
+        //    over the standard variables.
+        let mut ineqs: Vec<(Vec<Rat>, Relation, Rat)> = Vec::new();
+        let mut push_expr = |coeffs: &[Rat], rel: Relation, rhs: &Rat, reprs: &[VarRepr]| {
+            let mut row = vec![Rat::zero(); n_std];
+            let mut rhs = rhs.clone();
+            for (i, c) in coeffs.iter().enumerate() {
+                if c.is_zero() {
+                    continue;
+                }
+                match &reprs[i] {
+                    VarRepr::Split { pos, neg } => {
+                        row[*pos] = &row[*pos] + c;
+                        row[*neg] = &row[*neg] - c;
+                    }
+                    VarRepr::Shifted { idx, shift } => {
+                        row[*idx] = &row[*idx] + c;
+                        rhs = &rhs - &(c * shift);
+                    }
+                }
+            }
+            ineqs.push((row, rel, rhs));
+        };
+        for c in &p.constraints {
+            push_expr(&c.expr.coeffs, c.rel, &c.rhs, &reprs);
+        }
+        for (i, ub) in p.upper_bounds.iter().enumerate() {
+            if let Some(ub) = ub {
+                let mut coeffs = vec![Rat::zero(); p.n_vars];
+                coeffs[i] = Rat::one();
+                push_expr(&coeffs, Relation::Le, ub, &reprs);
+            }
+        }
+
+        // 3. Slack/surplus variables turn inequalities into equalities.
+        let n_slack = ineqs.iter().filter(|(_, rel, _)| *rel != Relation::Eq).count();
+        let total = n_std + n_slack;
+        let mut rows = Vec::with_capacity(ineqs.len());
+        let mut slack_idx = n_std;
+        for (mut row, rel, rhs) in ineqs {
+            row.resize(total, Rat::zero());
+            match rel {
+                Relation::Le => {
+                    row[slack_idx] = Rat::one();
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    row[slack_idx] = -Rat::one();
+                    slack_idx += 1;
+                }
+                Relation::Eq => {}
+            }
+            rows.push((row, rhs));
+        }
+        // 4. Make every rhs non-negative.
+        for (row, rhs) in &mut rows {
+            if rhs.is_negative() {
+                for c in row.iter_mut() {
+                    *c = -c.clone();
+                }
+                *rhs = -rhs.clone();
+            }
+        }
+
+        // 5. Objective over standard variables (minimization).
+        let mut cost = vec![Rat::zero(); total];
+        for (i, c) in p.objective.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            let c = if p.sense == Sense::Maximize { -c.clone() } else { c.clone() };
+            match &reprs[i] {
+                VarRepr::Split { pos, neg } => {
+                    cost[*pos] = &cost[*pos] + &c;
+                    cost[*neg] = &cost[*neg] - &c;
+                }
+                VarRepr::Shifted { idx, .. } => {
+                    cost[*idx] = &cost[*idx] + &c;
+                    // Constant shift·c does not affect the argmin; the
+                    // caller evaluates the true objective at the solution.
+                }
+            }
+        }
+
+        Standardized { rows, cost, n_std, reprs, maximized: p.sense == Sense::Maximize }
+    }
+
+    fn solve(self) -> LpOutcome {
+        let m = self.rows.len();
+        let n = self.cost.len();
+
+        if m == 0 {
+            // No constraints: optimum is 0 iff no negative cost direction.
+            if self.cost.iter().any(|c| !c.is_zero()) {
+                return LpOutcome::Unbounded;
+            }
+            let x = self.recover(&[], &[], n);
+            return LpOutcome::Optimal { value: self.true_value(&x), x };
+        }
+
+        // Phase 1: artificial variables n..n+m, minimize their sum.
+        let total = n + m;
+        let mut tab: Vec<Vec<Rat>> = Vec::with_capacity(m);
+        let mut basis: Vec<usize> = Vec::with_capacity(m);
+        for (i, (row, rhs)) in self.rows.iter().enumerate() {
+            let mut t = row.clone();
+            t.resize(total, Rat::zero());
+            t[n + i] = Rat::one();
+            t.push(rhs.clone()); // rhs column at index `total`
+            tab.push(t);
+            basis.push(n + i);
+        }
+        let mut phase1_cost = vec![Rat::zero(); total];
+        for j in n..total {
+            phase1_cost[j] = Rat::one();
+        }
+        let mut obj = reduced_costs(&phase1_cost, &tab, &basis, total);
+        if !run_simplex(&mut tab, &mut basis, &mut obj, total) {
+            unreachable!("phase 1 cannot be unbounded: objective bounded below by 0");
+        }
+        // Infeasible iff some artificial is basic at a nonzero value.
+        let art_sum: Rat = basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b >= n)
+            .map(|(i, _)| tab[i][total].clone())
+            .sum();
+        if !art_sum.is_zero() {
+            return LpOutcome::Infeasible;
+        }
+        // Drive out artificials still basic at zero, or drop redundant rows.
+        let mut drop_rows = Vec::new();
+        for i in 0..m {
+            if basis[i] < n {
+                continue;
+            }
+            match (0..n).find(|&j| !tab[i][j].is_zero()) {
+                Some(j) => pivot(&mut tab, &mut obj, &mut basis, i, j, total),
+                None => drop_rows.push(i),
+            }
+        }
+        for &i in drop_rows.iter().rev() {
+            tab.remove(i);
+            basis.remove(i);
+        }
+        // Remove artificial columns.
+        for row in &mut tab {
+            let rhs = row.remove(row.len() - 1);
+            row.truncate(n);
+            row.push(rhs);
+        }
+
+        // Phase 2.
+        let mut obj = reduced_costs(&self.cost, &tab, &basis, n);
+        if !run_simplex(&mut tab, &mut basis, &mut obj, n) {
+            return LpOutcome::Unbounded;
+        }
+        let x = self.recover(&tab, &basis, n);
+        LpOutcome::Optimal { value: self.true_value(&x), x }
+    }
+
+    /// Map a standard-form basic solution back to original variables.
+    fn recover(&self, tab: &[Vec<Rat>], basis: &[usize], n: usize) -> Vec<Rat> {
+        let mut std_vals = vec![Rat::zero(); n];
+        for (i, &b) in basis.iter().enumerate() {
+            if b < n {
+                std_vals[b] = tab[i][tab[i].len() - 1].clone();
+            }
+        }
+        let _ = self.n_std;
+        self.reprs
+            .iter()
+            .map(|r| match r {
+                VarRepr::Split { pos, neg } => &std_vals[*pos] - &std_vals[*neg],
+                VarRepr::Shifted { idx, shift } => &std_vals[*idx] + shift,
+            })
+            .collect()
+    }
+
+    /// Evaluate the original objective (undoing the max→min flip).
+    fn true_value(&self, x: &[Rat]) -> Rat {
+        // `cost` was built over standard vars; recompute from the original
+        // representation instead: Σ c_i x_i with the original sense.
+        // The caller stored the flipped cost, so flip back if needed.
+        let mut v = Rat::zero();
+        for (i, repr) in self.reprs.iter().enumerate() {
+            // Reconstruct the original coefficient from the standard cost.
+            let c = match repr {
+                VarRepr::Split { pos, .. } => self.cost[*pos].clone(),
+                VarRepr::Shifted { idx, .. } => self.cost[*idx].clone(),
+            };
+            let c = if self.maximized { -c } else { c };
+            v += &(&c * &x[i]);
+        }
+        v
+    }
+}
+
+/// Reduced-cost row for the given basis: `c_j − c_B·B⁻¹·A_j`, with the
+/// current objective value (negated) in the rhs slot.
+fn reduced_costs(cost: &[Rat], tab: &[Vec<Rat>], basis: &[usize], width: usize) -> Vec<Rat> {
+    let mut obj: Vec<Rat> = cost.to_vec();
+    obj.push(Rat::zero());
+    for (i, &b) in basis.iter().enumerate() {
+        if cost[b].is_zero() {
+            continue;
+        }
+        let f = cost[b].clone();
+        for j in 0..=width {
+            let idx = if j == width { tab[i].len() - 1 } else { j };
+            let delta = &f * &tab[i][idx];
+            let slot = if j == width { width } else { j };
+            obj[slot] = &obj[slot] - &delta;
+        }
+    }
+    obj
+}
+
+/// Run simplex iterations until optimal (`true`) or unbounded (`false`).
+fn run_simplex(
+    tab: &mut Vec<Vec<Rat>>,
+    basis: &mut [usize],
+    obj: &mut Vec<Rat>,
+    width: usize,
+) -> bool {
+    loop {
+        // Bland: entering variable = smallest index with negative reduced cost.
+        let Some(enter) = (0..width).find(|&j| obj[j].is_negative()) else {
+            return true; // optimal
+        };
+        // Ratio test with Bland tie-breaking (smallest basis index).
+        let mut leave: Option<usize> = None;
+        let mut best: Option<Rat> = None;
+        for (i, row) in tab.iter().enumerate() {
+            let a = &row[enter];
+            if !a.is_positive() {
+                continue;
+            }
+            let ratio = &row[row.len() - 1] / a;
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    ratio < *b || (ratio == *b && basis[i] < basis[leave.unwrap()])
+                }
+            };
+            if better {
+                best = Some(ratio);
+                leave = Some(i);
+            }
+        }
+        let Some(leave) = leave else {
+            return false; // unbounded
+        };
+        pivot(tab, obj, basis, leave, enter, width);
+    }
+}
+
+/// Pivot on `(row, col)`: normalize the pivot row and eliminate the column
+/// from every other row and the objective row.
+fn pivot(
+    tab: &mut [Vec<Rat>],
+    obj: &mut [Rat],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    width: usize,
+) {
+    let rhs_idx = tab[row].len() - 1;
+    let pv = tab[row][col].clone();
+    for j in 0..tab[row].len() {
+        tab[row][j] = &tab[row][j] / &pv;
+    }
+    for i in 0..tab.len() {
+        if i == row || tab[i][col].is_zero() {
+            continue;
+        }
+        let f = tab[i][col].clone();
+        for j in 0..tab[i].len() {
+            let delta = &f * &tab[row][j];
+            tab[i][j] = &tab[i][j] - &delta;
+        }
+    }
+    if !obj[col].is_zero() {
+        let f = obj[col].clone();
+        for j in 0..width {
+            let delta = &f * &tab[row][j];
+            obj[j] = &obj[j] - &delta;
+        }
+        let delta = &f * &tab[row][rhs_idx];
+        obj[width] = &obj[width] - &delta;
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LpProblem, Relation};
+    use cfmap_intlin::Rat;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn simple_bounded_minimum() {
+        // min x + y  s.t.  x ≥ 1, y ≥ 2  →  (1, 2), value 3.
+        let mut p = LpProblem::minimize(&[1, 1]);
+        p.constrain_i64(&[1, 0], Relation::Ge, 1);
+        p.constrain_i64(&[0, 1], Relation::Ge, 2);
+        let out = solve_lp(&p);
+        assert_eq!(out, LpOutcome::Optimal { x: vec![r(1), r(2)], value: r(3) });
+    }
+
+    #[test]
+    fn classic_max_as_min() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0 → (2, 6), 36.
+        let mut p = LpProblem::minimize(&[-3, -5]);
+        p.set_lower(0, Rat::zero());
+        p.set_lower(1, Rat::zero());
+        p.constrain_i64(&[1, 0], Relation::Le, 4);
+        p.constrain_i64(&[0, 2], Relation::Le, 12);
+        p.constrain_i64(&[3, 2], Relation::Le, 18);
+        let out = solve_lp(&p);
+        assert_eq!(out, LpOutcome::Optimal { x: vec![r(2), r(6)], value: r(-36) });
+    }
+
+    #[test]
+    fn fractional_optimum() {
+        // min x s.t. 2x ≥ 3 → x = 3/2.
+        let mut p = LpProblem::minimize(&[1]);
+        p.constrain_i64(&[2], Relation::Ge, 3);
+        let out = solve_lp(&p);
+        assert_eq!(
+            out,
+            LpOutcome::Optimal { x: vec!["3/2".parse().unwrap()], value: "3/2".parse().unwrap() }
+        );
+    }
+
+    #[test]
+    fn infeasible() {
+        let mut p = LpProblem::minimize(&[1]);
+        p.constrain_i64(&[1], Relation::Ge, 5);
+        p.constrain_i64(&[1], Relation::Le, 3);
+        assert_eq!(solve_lp(&p), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded() {
+        // min x with x free, no constraints.
+        let p = LpProblem::minimize(&[1]);
+        assert_eq!(solve_lp(&p), LpOutcome::Unbounded);
+        // min -x with x ≥ 0 only.
+        let mut p = LpProblem::minimize(&[-1]);
+        p.set_lower(0, Rat::zero());
+        assert_eq!(solve_lp(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 10, x − y = 2 → (6, 4).
+        let mut p = LpProblem::minimize(&[1, 1]);
+        p.constrain_i64(&[1, 1], Relation::Eq, 10);
+        p.constrain_i64(&[1, -1], Relation::Eq, 2);
+        let out = solve_lp(&p);
+        assert_eq!(out, LpOutcome::Optimal { x: vec![r(6), r(4)], value: r(10) });
+    }
+
+    #[test]
+    fn free_variables_can_go_negative() {
+        // min x s.t. x ≥ −7 encoded as a constraint on a free variable.
+        let mut p = LpProblem::minimize(&[1]);
+        p.constrain_i64(&[1], Relation::Ge, -7);
+        let out = solve_lp(&p);
+        assert_eq!(out, LpOutcome::Optimal { x: vec![r(-7)], value: r(-7) });
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        let mut p = LpProblem::minimize(&[-1]);
+        p.set_lower(0, Rat::zero());
+        p.set_upper(0, r(9));
+        let out = solve_lp(&p);
+        assert_eq!(out, LpOutcome::Optimal { x: vec![r(9)], value: r(-9) });
+    }
+
+    #[test]
+    fn redundant_rows_are_dropped() {
+        // Duplicate equality rows force phase-1 zero-artificial handling.
+        let mut p = LpProblem::minimize(&[1, 1]);
+        p.constrain_i64(&[1, 1], Relation::Eq, 4);
+        p.constrain_i64(&[2, 2], Relation::Eq, 8);
+        p.set_lower(0, Rat::zero());
+        p.set_lower(1, Rat::zero());
+        let out = solve_lp(&p);
+        assert_eq!(out.value(), Some(&r(4)));
+    }
+
+    #[test]
+    fn degenerate_cycling_guard() {
+        // The classic Beale cycling example (terminates under Bland).
+        // min -3/4·x4 + 150·x5 - 1/50·x6 + 6·x7
+        // s.t. 1/4·x4 - 60·x5 - 1/25·x6 + 9·x7 ≤ 0
+        //      1/2·x4 - 90·x5 - 1/50·x6 + 3·x7 ≤ 0
+        //      x6 ≤ 1, all ≥ 0.
+        let mut p = LpProblem::minimize(&[0, 0, 0, 0]);
+        p.objective.coeffs = vec![
+            "-3/4".parse().unwrap(),
+            r(150),
+            "-1/50".parse().unwrap(),
+            r(6),
+        ];
+        for i in 0..4 {
+            p.set_lower(i, Rat::zero());
+        }
+        p.constrain(crate::problem::Constraint {
+            expr: crate::problem::LinExpr {
+                coeffs: vec!["1/4".parse().unwrap(), r(-60), "-1/25".parse().unwrap(), r(9)],
+            },
+            rel: Relation::Le,
+            rhs: Rat::zero(),
+        });
+        p.constrain(crate::problem::Constraint {
+            expr: crate::problem::LinExpr {
+                coeffs: vec!["1/2".parse().unwrap(), r(-90), "-1/50".parse().unwrap(), r(3)],
+            },
+            rel: Relation::Le,
+            rhs: Rat::zero(),
+        });
+        p.constrain_i64(&[0, 0, 1, 0], Relation::Le, 1);
+        let out = solve_lp(&p);
+        assert_eq!(out.value(), Some(&"-1/20".parse().unwrap()));
+    }
+
+    #[test]
+    fn matmul_convex_subset_i() {
+        // Appendix Formulation I for Example 5.1, μ = 4:
+        // min 4(π1+π2+π3) s.t. πi ≥ 1, π2+π3 ≥ μ+1 = 5.
+        // Optimal value 4·(1+5) = 24 at e.g. (1, 1, 4) / (1, 4, 1).
+        let mut p = LpProblem::minimize(&[4, 4, 4]);
+        for i in 0..3 {
+            p.set_lower(i, r(1));
+        }
+        p.constrain_i64(&[0, 1, 1], Relation::Ge, 5);
+        let out = solve_lp(&p);
+        assert_eq!(out.value(), Some(&r(24)));
+        let x = out.point().unwrap();
+        // Vertex of the region: π1 = 1, π2 + π3 = 5.
+        assert_eq!(x[0], r(1));
+        assert_eq!(&x[1] + &x[2], r(5));
+    }
+
+    #[test]
+    fn transitive_closure_subset_ii() {
+        // Appendix Formulation II for Example 5.2, μ = 4:
+        // min 4(π1+π2+π3) s.t. π2,π3 ≥ 1, π1−π2−π3 ≥ 1, π1−π2 ≥ 1,
+        // π1−π3 ≥ 1, π1 ≥ μ+1 = 5. Optimal: Π = (5, 1, 1), f = 28.
+        let mut p = LpProblem::minimize(&[4, 4, 4]);
+        p.constrain_i64(&[0, 1, 0], Relation::Ge, 1);
+        p.constrain_i64(&[0, 0, 1], Relation::Ge, 1);
+        p.constrain_i64(&[1, -1, -1], Relation::Ge, 1);
+        p.constrain_i64(&[1, -1, 0], Relation::Ge, 1);
+        p.constrain_i64(&[1, 0, -1], Relation::Ge, 1);
+        p.constrain_i64(&[1, 0, 0], Relation::Ge, 5);
+        let out = solve_lp(&p);
+        assert_eq!(out, LpOutcome::Optimal { x: vec![r(5), r(1), r(1)], value: r(28) });
+    }
+}

@@ -1,0 +1,229 @@
+//! Extreme-point enumeration for small polyhedra.
+//!
+//! The appendix of the paper solves the matrix-multiplication and
+//! transitive-closure instances by hand: *"Each extreme point is the
+//! solution of three of the following four equations …"*. This module
+//! mechanizes exactly that: choose `n` constraints, solve the `n×n` linear
+//! system exactly, keep the solutions that satisfy every constraint. The
+//! paper's observation that all extreme points are integral when the
+//! coefficients are in {−1, 0, 1} is then checkable (and checked in tests),
+//! which is what licenses replacing the integer program by linear programs.
+
+use crate::problem::LpProblem;
+use cfmap_intlin::Rat;
+
+/// Enumerate all vertices (basic feasible solutions) of the constraint set
+/// of `problem` (bounds included). Intended for small systems — the cost is
+/// `C(m, n)` exact solves.
+///
+/// Returns deduplicated vertices in no particular order.
+pub fn enumerate_vertices(problem: &LpProblem) -> Vec<Vec<Rat>> {
+    let n = problem.n_vars;
+    // Gather all constraints as (coeffs, rhs) hyperplanes.
+    let mut planes: Vec<(Vec<Rat>, Rat)> = Vec::new();
+    for c in &problem.constraints {
+        planes.push((c.expr.coeffs.clone(), c.rhs.clone()));
+    }
+    for (i, lb) in problem.lower_bounds.iter().enumerate() {
+        if let Some(lb) = lb {
+            let mut coeffs = vec![Rat::zero(); n];
+            coeffs[i] = Rat::one();
+            planes.push((coeffs, lb.clone()));
+        }
+    }
+    for (i, ub) in problem.upper_bounds.iter().enumerate() {
+        if let Some(ub) = ub {
+            let mut coeffs = vec![Rat::zero(); n];
+            coeffs[i] = Rat::one();
+            planes.push((coeffs, ub.clone()));
+        }
+    }
+
+    let m = planes.len();
+    let mut vertices: Vec<Vec<Rat>> = Vec::new();
+    let mut choice: Vec<usize> = Vec::with_capacity(n);
+    combinations(m, n, &mut choice, &mut |subset| {
+        if let Some(x) = solve_square(&planes, subset) {
+            if problem.is_feasible(&x) && !vertices.contains(&x) {
+                vertices.push(x);
+            }
+        }
+    });
+    vertices
+}
+
+/// The vertex minimizing the objective, with its value (ties broken by
+/// first found). `None` if there are no vertices.
+pub fn best_vertex(problem: &LpProblem) -> Option<(Vec<Rat>, Rat)> {
+    let verts = enumerate_vertices(problem);
+    let mut best: Option<(Vec<Rat>, Rat)> = None;
+    for v in verts {
+        let val = problem.objective_value(&v);
+        let better = match (&best, problem.sense) {
+            (None, _) => true,
+            (Some((_, bv)), crate::problem::Sense::Minimize) => &val < bv,
+            (Some((_, bv)), crate::problem::Sense::Maximize) => &val > bv,
+        };
+        if better {
+            best = Some((v, val));
+        }
+    }
+    best
+}
+
+fn combinations(m: usize, k: usize, choice: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+    fn rec(start: usize, m: usize, k: usize, choice: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+        if choice.len() == k {
+            f(choice);
+            return;
+        }
+        let need = k - choice.len();
+        for i in start..=m.saturating_sub(need) {
+            choice.push(i);
+            rec(i + 1, m, k, choice, f);
+            choice.pop();
+        }
+    }
+    if k <= m {
+        rec(0, m, k, choice, f);
+    }
+}
+
+/// Solve the square system formed by the chosen hyperplanes; `None` if
+/// singular.
+fn solve_square(planes: &[(Vec<Rat>, Rat)], subset: &[usize]) -> Option<Vec<Rat>> {
+    let n = subset.len();
+    let mut a: Vec<Vec<Rat>> = subset
+        .iter()
+        .map(|&i| {
+            let mut row = planes[i].0.clone();
+            row.push(planes[i].1.clone());
+            row
+        })
+        .collect();
+    // Gauss–Jordan with exact pivoting.
+    for col in 0..n {
+        let pivot = (col..n).find(|&r| !a[r][col].is_zero())?;
+        a.swap(col, pivot);
+        let pv = a[col][col].clone();
+        for c in col..=n {
+            a[col][c] = &a[col][c] / &pv;
+        }
+        for r in 0..n {
+            if r == col || a[r][col].is_zero() {
+                continue;
+            }
+            let f = a[r][col].clone();
+            for c in col..=n {
+                let delta = &f * &a[col][c];
+                a[r][c] = &a[r][c] - &delta;
+            }
+        }
+    }
+    Some(a.into_iter().map(|row| row[n].clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LpProblem, Relation};
+    use crate::simplex::solve_lp;
+    use cfmap_intlin::Rat;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_i64(v)
+    }
+
+    #[test]
+    fn unit_square() {
+        let mut p = LpProblem::minimize(&[1, 1]);
+        p.set_lower(0, r(0));
+        p.set_lower(1, r(0));
+        p.set_upper(0, r(1));
+        p.set_upper(1, r(1));
+        let mut vs = enumerate_vertices(&p);
+        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(
+            vs,
+            vec![
+                vec![r(0), r(0)],
+                vec![r(0), r(1)],
+                vec![r(1), r(0)],
+                vec![r(1), r(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn matmul_formulation_i_extreme_points() {
+        // Appendix, Formulation I (μ = 4): constraints π_i ≥ 1 and
+        // π2 + π3 ≥ 5. The paper lists exactly two extreme points,
+        // Π1 = [1, 1, μ] and Π2 = [1, μ, 1] — here [1,1,4] and [1,4,1].
+        let mu = 4;
+        let mut p = LpProblem::minimize(&[mu, mu, mu]);
+        for i in 0..3 {
+            p.set_lower(i, r(1));
+        }
+        p.constrain_i64(&[0, 1, 1], Relation::Ge, mu + 1);
+        let mut vs = enumerate_vertices(&p);
+        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vs, vec![vec![r(1), r(1), r(4)], vec![r(1), r(4), r(1)]]);
+        // Both are integral — the paper's premise for LP-ification.
+        for v in &vs {
+            assert!(v.iter().all(Rat::is_integer));
+        }
+    }
+
+    #[test]
+    fn transitive_closure_formulation_ii_extreme_points() {
+        // Appendix, Formulation II (Example 5.2): π2,π3 ≥ 1,
+        // π1−π2−π3 ≥ 1, π1−π2 ≥ 1, π1−π3 ≥ 1, π1 = μ+1. With the equality
+        // π1 = μ+1 the polytope in (π2, π3) is {π2,π3 ≥ 1, π2+π3 ≤ μ},
+        // whose extreme points include the paper's Π1 = [μ+1, 1, 1] and
+        // the [μ+1, 1, μ−1]/[μ+1, μ−1, 1] pair. For μ = 4:
+        let mu = 4i64;
+        let mut p = LpProblem::minimize(&[mu, mu, mu]);
+        p.constrain_i64(&[0, 1, 0], Relation::Ge, 1);
+        p.constrain_i64(&[0, 0, 1], Relation::Ge, 1);
+        p.constrain_i64(&[1, -1, -1], Relation::Ge, 1);
+        p.constrain_i64(&[1, -1, 0], Relation::Ge, 1);
+        p.constrain_i64(&[1, 0, -1], Relation::Ge, 1);
+        p.constrain_i64(&[1, 0, 0], Relation::Eq, mu + 1);
+        let mut vs = enumerate_vertices(&p);
+        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(
+            vs,
+            vec![
+                vec![r(5), r(1), r(1)],
+                vec![r(5), r(1), r(3)],
+                vec![r(5), r(3), r(1)],
+            ]
+        );
+        let best = best_vertex(&p).unwrap();
+        assert_eq!(best.0, vec![r(5), r(1), r(1)]);
+        assert_eq!(best.1, r(mu * (mu + 3))); // f = μ(π1+π2+π3) = 4·7 = 28, t = f+1
+    }
+
+    #[test]
+    fn best_vertex_matches_simplex() {
+        let mut p = LpProblem::minimize(&[3, 5]);
+        p.set_lower(0, r(0));
+        p.set_lower(1, r(0));
+        p.constrain_i64(&[1, 1], Relation::Ge, 4);
+        p.constrain_i64(&[1, 3], Relation::Ge, 6);
+        p.set_upper(0, r(50));
+        p.set_upper(1, r(50));
+        let bv = best_vertex(&p).unwrap();
+        let lp = solve_lp(&p);
+        assert_eq!(Some(&bv.1), lp.value());
+    }
+
+    #[test]
+    fn empty_polytope() {
+        let mut p = LpProblem::minimize(&[1]);
+        p.constrain_i64(&[1], Relation::Ge, 5);
+        p.constrain_i64(&[1], Relation::Le, 3);
+        assert!(enumerate_vertices(&p).is_empty());
+        assert!(best_vertex(&p).is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Randomized cross-validation of the exact LP stack: the simplex, the
+//! vertex enumerator and the branch-and-bound ILP must tell one story.
+
+use cfmap_intlin::Rat;
+use cfmap_lp::problem::{LpProblem, Relation};
+use cfmap_lp::vertex::{best_vertex, enumerate_vertices};
+use cfmap_lp::{solve_ilp, solve_lp, LpOutcome};
+use proptest::prelude::*;
+
+/// Random bounded problems: 2 variables in a box plus up to 4 random
+/// half-planes — always feasible at worst in the empty sense.
+fn arb_problem() -> impl Strategy<Value = LpProblem> {
+    (
+        prop::collection::vec((-5i64..=5, -5i64..=5, -12i64..=12), 0..4),
+        (-4i64..=4, -4i64..=4),
+    )
+        .prop_map(|(cuts, (c1, c2))| {
+            let mut p = LpProblem::minimize(&[c1, c2]);
+            p.set_lower(0, Rat::from_i64(0));
+            p.set_lower(1, Rat::from_i64(0));
+            p.set_upper(0, Rat::from_i64(10));
+            p.set_upper(1, Rat::from_i64(10));
+            for (a, b, rhs) in cuts {
+                p.constrain_i64(&[a, b], Relation::Le, rhs);
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// On bounded problems the simplex optimum equals the best vertex.
+    #[test]
+    fn simplex_matches_vertex_enumeration(p in arb_problem()) {
+        let lp = solve_lp(&p);
+        let bv = best_vertex(&p);
+        match (lp, bv) {
+            (LpOutcome::Optimal { value, .. }, Some((_, vval))) => {
+                prop_assert_eq!(value, vval);
+            }
+            (LpOutcome::Infeasible, None) => {}
+            (lp, bv) => {
+                return Err(TestCaseError::fail(format!(
+                    "disagreement: simplex {lp:?} vs vertices {bv:?}"
+                )));
+            }
+        }
+    }
+
+    /// Every reported optimum is feasible and no enumerated vertex beats it.
+    #[test]
+    fn simplex_optimum_is_feasible_and_minimal(p in arb_problem()) {
+        if let LpOutcome::Optimal { x, value } = solve_lp(&p) {
+            prop_assert!(p.is_feasible(&x), "optimum not feasible");
+            prop_assert_eq!(p.objective_value(&x), value.clone());
+            for v in enumerate_vertices(&p) {
+                prop_assert!(p.objective_value(&v) >= value);
+            }
+        }
+    }
+
+    /// ILP optimum is integral, feasible, and no worse than any integral
+    /// point found by scanning the box.
+    #[test]
+    fn ilp_is_exact_on_small_boxes(p in arb_problem()) {
+        let out = solve_ilp(&p, 100_000);
+        // Brute-force the 11×11 integer grid.
+        let mut best: Option<Rat> = None;
+        for x0 in 0..=10i64 {
+            for x1 in 0..=10i64 {
+                let x = vec![Rat::from_i64(x0), Rat::from_i64(x1)];
+                if p.is_feasible(&x) {
+                    let v = p.objective_value(&x);
+                    if best.as_ref().is_none_or(|b| &v < b) {
+                        best = Some(v);
+                    }
+                }
+            }
+        }
+        match (out, best) {
+            (LpOutcome::Optimal { x, value }, Some(brute)) => {
+                prop_assert!(x.iter().all(Rat::is_integer));
+                prop_assert!(p.is_feasible(&x));
+                prop_assert_eq!(value, brute);
+            }
+            (LpOutcome::Infeasible, None) => {}
+            (out, brute) => {
+                return Err(TestCaseError::fail(format!(
+                    "disagreement: ILP {out:?} vs brute {brute:?}"
+                )));
+            }
+        }
+    }
+}

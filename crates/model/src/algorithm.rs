@@ -1,0 +1,151 @@
+//! The uniform dependence algorithm `(J, D)` (Definition 2.1).
+//!
+//! For mapping purposes the paper characterizes an algorithm *"simply by
+//! the pair (J, D)"* — index set plus dependence matrix. Executable
+//! semantics (what `g_j̄` actually computes) live in `cfmap-systolic`,
+//! which attaches computation closures when it simulates a mapped design.
+
+use crate::dependence::DependenceMatrix;
+use crate::index_set::{IndexSet, Point};
+use std::fmt;
+
+/// A uniform dependence algorithm: the structural pair `(J, D)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Uda {
+    /// Human-readable name (e.g. `"matmul(μ=4)"`).
+    pub name: String,
+    /// The index set `J`.
+    pub index_set: IndexSet,
+    /// The dependence matrix `D`.
+    pub deps: DependenceMatrix,
+}
+
+impl Uda {
+    /// Build an algorithm, checking that `J` and `D` agree on `n`.
+    pub fn new(name: impl Into<String>, index_set: IndexSet, deps: DependenceMatrix) -> Uda {
+        assert_eq!(
+            index_set.dim(),
+            deps.dim(),
+            "index set and dependence matrix dimension mismatch"
+        );
+        Uda { name: name.into(), index_set, deps }
+    }
+
+    /// Algorithm dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.index_set.dim()
+    }
+
+    /// Number of dependence vectors `m`.
+    pub fn num_deps(&self) -> usize {
+        self.deps.num_deps()
+    }
+
+    /// The predecessors of `j̄` *inside* the index set: the points
+    /// `j̄ − d̄ᵢ ∈ J` whose values computation `j̄` consumes.
+    pub fn predecessors(&self, j: &[i64]) -> Vec<(usize, Point)> {
+        let mut preds = Vec::new();
+        for i in 0..self.num_deps() {
+            let d = self.deps.dep_i64(i);
+            let p: Point = j.iter().zip(&d).map(|(&ji, &di)| ji - di).collect();
+            if self.index_set.contains(&p) {
+                preds.push((i, p));
+            }
+        }
+        preds
+    }
+
+    /// Total number of computations `|J|`.
+    pub fn num_computations(&self) -> u128 {
+        self.index_set.len()
+    }
+
+    /// Sanity check used by tests and the harness: the dependence graph
+    /// restricted to `J` must be acyclic, which for uniform dependencies
+    /// holds iff some strictly separating hyperplane exists. A sufficient
+    /// *witness* is any valid schedule; this method checks the cheap
+    /// necessary condition that no dependence vector is the negation of
+    /// another (which would create a 2-cycle whenever both endpoints lie
+    /// in `J`).
+    pub fn has_antiparallel_dependence_pair(&self) -> bool {
+        let deps = self.deps.deps();
+        for (i, a) in deps.iter().enumerate() {
+            for b in deps.iter().skip(i + 1) {
+                if &-a == b {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Uda {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: n={} m={} J={}", self.name, self.dim(), self.num_deps(), self.index_set)?;
+        write!(f, "D =\n{}", self.deps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul(mu: i64) -> Uda {
+        Uda::new(
+            format!("matmul(μ={mu})"),
+            IndexSet::cube(3, mu),
+            DependenceMatrix::from_columns(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]),
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = matmul(4);
+        assert_eq!(a.dim(), 3);
+        assert_eq!(a.num_deps(), 3);
+        assert_eq!(a.num_computations(), 125);
+        assert!(!a.has_antiparallel_dependence_pair());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_rejected() {
+        let _ = Uda::new(
+            "bad",
+            IndexSet::cube(2, 3),
+            DependenceMatrix::from_columns(&[&[1, 0, 0]]),
+        );
+    }
+
+    #[test]
+    fn predecessors_respect_boundary() {
+        let a = matmul(4);
+        // Interior point: all three predecessors present.
+        assert_eq!(a.predecessors(&[2, 2, 2]).len(), 3);
+        // Origin: no predecessors in J.
+        assert!(a.predecessors(&[0, 0, 0]).is_empty());
+        // Face point: partial.
+        let preds = a.predecessors(&[0, 3, 3]);
+        assert_eq!(preds.len(), 2);
+        assert!(preds.iter().all(|(_, p)| a.index_set.contains(p)));
+    }
+
+    #[test]
+    fn antiparallel_detection() {
+        let a = Uda::new(
+            "cycle-risk",
+            IndexSet::cube(2, 3),
+            DependenceMatrix::from_columns(&[&[1, 0], &[-1, 0]]),
+        );
+        assert!(a.has_antiparallel_dependence_pair());
+    }
+
+    #[test]
+    fn display_contains_name_and_sizes() {
+        let s = matmul(2).to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("n=3"));
+        assert!(s.contains("m=3"));
+    }
+}

@@ -1,0 +1,348 @@
+//! The paper's workload library.
+//!
+//! Every algorithm the paper uses or motivates, as a structural `(J, D)`
+//! pair:
+//!
+//! * [`matmul`] — Example 3.1 / Equation 3.4 (word-level matrix product).
+//! * [`transitive_closure`] — Example 3.2 / Equation 3.6 (reindexed
+//!   transitive closure of [17]/[23]).
+//! * [`convolution`] — the 2-D convolution kernel (intro motivation).
+//! * [`lu_decomposition`] — the LU kernel (intro motivation).
+//! * [`bitlevel_matmul`] — a 5-D bit-level matrix product in the style the
+//!   RAB tool [26] produces (see the substitution note below).
+//! * [`bitlevel_convolution`] — a 4-D bit-level convolution, the paper's
+//!   "mapping of 4-dimensional convolution algorithm at bit-level into a
+//!   2-dimensional systolic array" use case (Section 3).
+//! * [`example_2_1`] — the 4-D index set of Example 2.1.
+//!
+//! **Substitution note (bit-level kernels).** The paper relies on RAB [26]
+//! to expand C programs into bit-level uniform dependence algorithms but
+//! never prints the expanded dependence matrices. We construct bit-level
+//! kernels with the dependence structure of bit-serial arithmetic: the
+//! word-level dependencies extended into the bit axes, plus a carry-ripple
+//! dependence between adjacent bit positions. Any 4-/5-dimensional uniform
+//! dependence structure exercises exactly the same mapping machinery
+//! (Theorems 4.7/4.8, Proposition 8.1), which is all the paper's
+//! experiments need. Documented in `DESIGN.md` §5.
+
+use crate::algorithm::Uda;
+use crate::dependence::DependenceMatrix;
+use crate::index_set::IndexSet;
+
+/// Word-level matrix multiplication `C = A·B` (Example 3.1).
+///
+/// `n = 3`, `J = {0 ≤ j ≤ μ}³`, `D = I₃` (Equation 3.4): `d̄₁`, `d̄₂`, `d̄₃`
+/// are induced by `B`, `A` and `C` respectively — computation
+/// `c_{j₁j₂} += a_{j₁j₃}·b_{j₃j₂}` at `j̄ = [j₁, j₂, j₃]ᵀ`.
+pub fn matmul(mu: i64) -> Uda {
+    Uda::new(
+        format!("matmul(μ={mu})"),
+        IndexSet::cube(3, mu),
+        DependenceMatrix::from_columns(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]),
+    )
+}
+
+/// Reindexed transitive closure (Example 3.2 / Equation 3.6, from
+/// [17]/[22]/[23]).
+///
+/// `n = 3`, `J = {0 ≤ j ≤ μ}³`,
+/// `D = [[0,0,1,1,1], [0,1,−1,−1,0], [1,0,−1,0,−1]]` (columns are the five
+/// dependence vectors).
+pub fn transitive_closure(mu: i64) -> Uda {
+    Uda::new(
+        format!("transitive-closure(μ={mu})"),
+        IndexSet::cube(3, mu),
+        DependenceMatrix::from_columns(&[
+            &[0, 0, 1],
+            &[0, 1, 0],
+            &[1, -1, -1],
+            &[1, -1, 0],
+            &[1, 0, -1],
+        ]),
+    )
+}
+
+/// 1-D convolution `y_i = Σ_j w_j·x_{i−j}` as a 2-D uniform dependence
+/// algorithm.
+///
+/// Loop nest: `for i in 0..=μ_y { for j in 0..=μ_w { y[i] += w[j]·x[i−j] } }`
+/// with index point `[i, j]ᵀ`. Dependencies: the running sum `y`
+/// accumulates along `j` (`[0, 1]ᵀ`), the weight `w_j` is reused along `i`
+/// (`[1, 0]ᵀ`), and the sample `x_{i−j}` is reused along the diagonal
+/// (`[1, 1]ᵀ`).
+pub fn convolution(mu_out: i64, mu_weights: i64) -> Uda {
+    Uda::new(
+        format!("convolution(μ_y={mu_out}, μ_w={mu_weights})"),
+        IndexSet::new(&[mu_out, mu_weights]),
+        DependenceMatrix::from_columns(&[&[0, 1], &[1, 0], &[1, 1]]),
+    )
+}
+
+/// LU decomposition as a 3-D uniform dependence algorithm (uniformized
+/// Gaussian elimination, one of the paper's motivating bit-level-able
+/// kernels).
+///
+/// Loop nest `for k { for i { for j { a[i][j] −= l[i][k]·u[k][j] } } }`
+/// with index `[k, i, j]ᵀ`: the pivot row `u` propagates down `i`
+/// (`[0, 1, 0]ᵀ`), the multiplier column `l` propagates across `j`
+/// (`[0, 0, 1]ᵀ`), and the updated matrix value feeds step `k+1`
+/// (`[1, 0, 0]ᵀ`).
+pub fn lu_decomposition(mu: i64) -> Uda {
+    Uda::new(
+        format!("lu-decomposition(μ={mu})"),
+        IndexSet::cube(3, mu),
+        DependenceMatrix::from_columns(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]),
+    )
+}
+
+/// 5-D bit-level matrix multiplication (RAB-style expansion; see module
+/// docs for the substitution rationale).
+///
+/// Axes: `[j₁, j₂, j₃, b, p]ᵀ` = (row, column, reduction, multiplier bit,
+/// bit position). `0 ≤ j₁,j₂,j₃ ≤ μ_w` (word loops), `0 ≤ b,p ≤ μ_b` (bit
+/// loops). Dependencies:
+///
+/// * word-level `A`/`B`/`C` reuse: `e₁`, `e₂`, `e₃`;
+/// * bit-serial partial-product accumulation along the multiplier bit
+///   axis: `e₄`;
+/// * carry ripple from bit position `p−1` into `p` within one addition
+///   step: `e₅`;
+/// * shifted partial product: bit `p` of step `b` consumes bit `p−1` of
+///   step `b−1` (the ×2 shift of long multiplication): `[0,0,0,1,1]ᵀ`.
+pub fn bitlevel_matmul(mu_word: i64, mu_bit: i64) -> Uda {
+    Uda::new(
+        format!("bitlevel-matmul(μ_w={mu_word}, μ_b={mu_bit})"),
+        IndexSet::new(&[mu_word, mu_word, mu_word, mu_bit, mu_bit]),
+        DependenceMatrix::from_columns(&[
+            &[1, 0, 0, 0, 0],
+            &[0, 1, 0, 0, 0],
+            &[0, 0, 1, 0, 0],
+            &[0, 0, 0, 1, 0],
+            &[0, 0, 0, 0, 1],
+            &[0, 0, 0, 1, 1],
+        ]),
+    )
+}
+
+/// 4-D bit-level convolution (the paper's Section 3 use case: map a 4-D
+/// bit-level convolution into a 2-D systolic array).
+///
+/// Axes: `[i, j, b, p]ᵀ` = (output, tap, multiplier bit, bit position),
+/// word loops bounded by `μ_w`, bit loops by `μ_b`. Dependencies are the
+/// word-level convolution structure (`y` along `j`, `w` along `i`, `x`
+/// along the diagonal) extended with the bit-serial accumulate and carry
+/// chains of [`bitlevel_matmul`].
+pub fn bitlevel_convolution(mu_word: i64, mu_bit: i64) -> Uda {
+    Uda::new(
+        format!("bitlevel-convolution(μ_w={mu_word}, μ_b={mu_bit})"),
+        IndexSet::new(&[mu_word, mu_word, mu_bit, mu_bit]),
+        DependenceMatrix::from_columns(&[
+            &[0, 1, 0, 0],
+            &[1, 0, 0, 0],
+            &[1, 1, 0, 0],
+            &[0, 0, 1, 0],
+            &[0, 0, 0, 1],
+            &[0, 0, 1, 1],
+        ]),
+    )
+}
+
+/// The 4-D algorithm of Example 2.1: `J = {0 ≤ j_i ≤ 6}⁴`.
+///
+/// Example 2.1 exercises only the index set (its mapping matrix is given
+/// directly); the paper does not state `D`, so the identity dependence
+/// structure is supplied — it admits every positive schedule, leaving the
+/// conflict analysis (the point of the example) unaffected.
+pub fn example_2_1() -> Uda {
+    Uda::new(
+        "example-2.1",
+        IndexSet::cube(4, 6),
+        DependenceMatrix::from_columns(&[
+            &[1, 0, 0, 0],
+            &[0, 1, 0, 0],
+            &[0, 0, 1, 0],
+            &[0, 0, 0, 1],
+        ]),
+    )
+}
+
+/// 2-D successive over-relaxation / Gauss–Seidel sweep: at `[t, i]ᵀ` the
+/// cell updates `x_i` from its own previous iterate (`[1, 0]ᵀ`), its left
+/// neighbour's *current* iterate (`[0, 1]ᵀ`) and its right neighbour's
+/// previous iterate (`[1, −1]ᵀ`) — the classic skewed-stencil UDA used
+/// throughout the systolic literature.
+pub fn sor(iterations: i64, points: i64) -> Uda {
+    Uda::new(
+        format!("sor(T={iterations}, N={points})"),
+        IndexSet::new(&[iterations, points]),
+        DependenceMatrix::from_columns(&[&[1, 0], &[0, 1], &[1, -1]]),
+    )
+}
+
+/// Banded matrix–vector product `y = A·x` as a 2-D UDA: `[i, j]ᵀ`
+/// accumulates `y_i += a_{ij}·x_j` along `j` (`[0, 1]ᵀ`) while `x_j`
+/// streams across rows (`[1, 0]ᵀ`).
+pub fn matvec(rows: i64, cols: i64) -> Uda {
+    Uda::new(
+        format!("matvec({rows}×{cols})"),
+        IndexSet::new(&[rows, cols]),
+        DependenceMatrix::from_columns(&[&[0, 1], &[1, 0]]),
+    )
+}
+
+/// 5-D bit-level LU decomposition (the other kernel the paper names as a
+/// frequent RAB mapping target, Section 4 after Theorem 4.7). Word-level
+/// LU structure (`e₁, e₂, e₃`) extended with the bit-serial accumulate
+/// (`e₄`), carry (`e₅`) and shifted-partial-product (`e₄+e₅`) chains of
+/// [`bitlevel_matmul`].
+pub fn bitlevel_lu(mu_word: i64, mu_bit: i64) -> Uda {
+    Uda::new(
+        format!("bitlevel-lu(μ_w={mu_word}, μ_b={mu_bit})"),
+        IndexSet::new(&[mu_word, mu_word, mu_word, mu_bit, mu_bit]),
+        DependenceMatrix::from_columns(&[
+            &[1, 0, 0, 0, 0],
+            &[0, 1, 0, 0, 0],
+            &[0, 0, 1, 0, 0],
+            &[0, 0, 0, 1, 0],
+            &[0, 0, 0, 0, 1],
+            &[0, 0, 0, 1, 1],
+        ]),
+    )
+}
+
+/// An `n`-dimensional cube algorithm with identity dependencies — the
+/// simplest UDA of each dimension, used by property tests and scaling
+/// benches.
+pub fn identity_cube(n: usize, mu: i64) -> Uda {
+    let cols: Vec<Vec<i64>> = (0..n)
+        .map(|i| (0..n).map(|j| i64::from(i == j)).collect())
+        .collect();
+    let col_refs: Vec<&[i64]> = cols.iter().map(Vec::as_slice).collect();
+    Uda::new(
+        format!("identity-cube(n={n}, μ={mu})"),
+        IndexSet::cube(n, mu),
+        DependenceMatrix::from_columns(&col_refs),
+    )
+}
+
+/// Every library algorithm at a small representative size, for exhaustive
+/// integration sweeps.
+pub fn all_small() -> Vec<Uda> {
+    vec![
+        matmul(4),
+        transitive_closure(4),
+        convolution(5, 3),
+        lu_decomposition(4),
+        bitlevel_matmul(2, 3),
+        bitlevel_convolution(3, 3),
+        bitlevel_lu(2, 3),
+        sor(4, 4),
+        matvec(4, 4),
+        example_2_1(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::LinearSchedule;
+
+    #[test]
+    fn matmul_matches_paper_eq_3_4() {
+        let a = matmul(4);
+        assert_eq!(a.dim(), 3);
+        assert_eq!(a.num_deps(), 3);
+        assert_eq!(a.index_set.mu(), &[4, 4, 4]);
+        assert_eq!(a.deps.as_mat(), &cfmap_intlin::IMat::identity(3));
+    }
+
+    #[test]
+    fn transitive_closure_matches_paper_eq_3_6() {
+        let a = transitive_closure(4);
+        assert_eq!(a.dim(), 3);
+        assert_eq!(a.num_deps(), 5);
+        let d = a.deps.as_mat().to_i64_rows().unwrap();
+        assert_eq!(d[0], vec![0, 0, 1, 1, 1]);
+        assert_eq!(d[1], vec![0, 1, -1, -1, 0]);
+        assert_eq!(d[2], vec![1, 0, -1, 0, -1]);
+    }
+
+    #[test]
+    fn all_algorithms_admit_a_valid_schedule() {
+        // Every library algorithm must be schedulable (acyclic): exhibit a
+        // concrete witness Π with ΠD > 0.
+        let witnesses: Vec<(Uda, Vec<i64>)> = vec![
+            (matmul(3), vec![1, 1, 1]),
+            (transitive_closure(3), vec![3, 1, 1]),
+            (convolution(4, 3), vec![1, 1]),
+            (lu_decomposition(3), vec![1, 1, 1]),
+            (bitlevel_matmul(2, 2), vec![1, 1, 1, 1, 1]),
+            (bitlevel_convolution(2, 2), vec![1, 1, 1, 1]),
+            (example_2_1(), vec![1, 1, 1, 1]),
+        ];
+        for (alg, pi) in witnesses {
+            let sched = LinearSchedule::new(&pi);
+            assert!(
+                sched.is_valid_for(&alg.deps),
+                "no valid witness schedule for {}",
+                alg.name
+            );
+            assert!(!alg.has_antiparallel_dependence_pair(), "{}", alg.name);
+        }
+    }
+
+    #[test]
+    fn dimensions_match_paper_claims() {
+        // "Many bit level algorithms are four or five dimensional."
+        assert_eq!(bitlevel_matmul(2, 3).dim(), 5);
+        assert_eq!(bitlevel_convolution(3, 3).dim(), 4);
+    }
+
+    #[test]
+    fn unit_range_coefficients_for_lp_conversion() {
+        // Section 5: the ILP→LP conversion needs D entries in {−1,0,1}.
+        for alg in all_small() {
+            assert!(
+                alg.deps.entries_in_unit_range(),
+                "{} has non-unit dependence entries",
+                alg.name
+            );
+        }
+    }
+
+    #[test]
+    fn identity_cube_generic() {
+        let a = identity_cube(6, 2);
+        assert_eq!(a.dim(), 6);
+        assert_eq!(a.num_deps(), 6);
+        assert_eq!(a.num_computations(), 3u128.pow(6));
+    }
+
+    #[test]
+    fn all_small_is_complete() {
+        assert_eq!(all_small().len(), 10);
+        let names: Vec<String> = all_small().iter().map(|a| a.name.clone()).collect();
+        assert!(names.iter().any(|n| n.contains("matmul")));
+        assert!(names.iter().any(|n| n.contains("transitive")));
+        assert!(names.iter().any(|n| n.contains("lu")));
+        assert!(names.iter().any(|n| n.contains("sor")));
+    }
+
+    #[test]
+    fn sor_and_matvec_schedulable() {
+        let sor_alg = sor(4, 4);
+        // Π = [2, 1]: Πd = (2, 1, 1) > 0.
+        assert!(LinearSchedule::new(&[2, 1]).is_valid_for(&sor_alg.deps));
+        assert!(!LinearSchedule::new(&[1, 1]).is_valid_for(&sor_alg.deps)); // d₃ gives 0
+        let mv = matvec(4, 4);
+        assert!(LinearSchedule::new(&[1, 1]).is_valid_for(&mv.deps));
+    }
+
+    #[test]
+    fn bitlevel_lu_is_five_dimensional() {
+        let alg = bitlevel_lu(2, 3);
+        assert_eq!(alg.dim(), 5);
+        assert_eq!(alg.num_deps(), 6);
+        assert!(LinearSchedule::new(&[1, 1, 1, 1, 1]).is_valid_for(&alg.deps));
+    }
+}

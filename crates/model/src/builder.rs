@@ -1,0 +1,148 @@
+//! Fluent construction of custom uniform dependence algorithms.
+//!
+//! The library ships the paper's workloads in [`crate::algorithms`], but a
+//! downstream user bringing their own loop nest builds it here:
+//!
+//! ```
+//! use cfmap_model::builder::UdaBuilder;
+//!
+//! // for i in 0..=7 { for j in 0..=3 { a[i][j] = f(a[i-1][j], a[i][j-1]) } }
+//! let alg = UdaBuilder::new("wavefront")
+//!     .bounds(&[7, 3])
+//!     .dep(&[1, 0])
+//!     .dep(&[0, 1])
+//!     .build();
+//! assert_eq!(alg.dim(), 2);
+//! assert_eq!(alg.num_deps(), 2);
+//! ```
+
+use crate::algorithm::Uda;
+use crate::dependence::DependenceMatrix;
+use crate::index_set::IndexSet;
+use cfmap_intlin::{IMat, IVec};
+
+/// Builder for [`Uda`] values.
+#[derive(Clone, Debug)]
+pub struct UdaBuilder {
+    name: String,
+    bounds: Option<Vec<i64>>,
+    deps: Vec<Vec<i64>>,
+}
+
+impl UdaBuilder {
+    /// Start a new algorithm with the given name.
+    pub fn new(name: impl Into<String>) -> UdaBuilder {
+        UdaBuilder { name: name.into(), bounds: None, deps: Vec::new() }
+    }
+
+    /// Set the loop upper bounds `μ_i` (inclusive; lower bounds are 0 per
+    /// Assumption 2.1).
+    pub fn bounds(mut self, mu: &[i64]) -> UdaBuilder {
+        self.bounds = Some(mu.to_vec());
+        self
+    }
+
+    /// Convenience: an `n`-cube `0 ≤ j_i ≤ μ`.
+    pub fn cube(mut self, n: usize, mu: i64) -> UdaBuilder {
+        self.bounds = Some(vec![mu; n]);
+        self
+    }
+
+    /// Add one dependence vector (a column of `D`).
+    pub fn dep(mut self, d: &[i64]) -> UdaBuilder {
+        self.deps.push(d.to_vec());
+        self
+    }
+
+    /// Add several dependence vectors.
+    pub fn deps(mut self, ds: &[&[i64]]) -> UdaBuilder {
+        for d in ds {
+            self.deps.push(d.to_vec());
+        }
+        self
+    }
+
+    /// Finish, validating dimensions, non-zero dependencies and duplicate
+    /// columns.
+    ///
+    /// Panics with a descriptive message on an ill-formed algorithm —
+    /// builders are used at configuration time where panics are the right
+    /// failure mode.
+    pub fn build(self) -> Uda {
+        let bounds = self.bounds.expect("UdaBuilder: bounds not set");
+        let n = bounds.len();
+        assert!(n > 0, "UdaBuilder: zero-dimensional algorithm");
+        assert!(!self.deps.is_empty(), "UdaBuilder: no dependence vectors");
+        for (i, d) in self.deps.iter().enumerate() {
+            assert_eq!(d.len(), n, "UdaBuilder: dependence {i} has arity {} ≠ n = {n}", d.len());
+        }
+        // Reject duplicate dependence columns — harmless mathematically
+        // but always a user mistake.
+        for i in 0..self.deps.len() {
+            for j in i + 1..self.deps.len() {
+                assert_ne!(self.deps[i], self.deps[j], "UdaBuilder: duplicate dependence vector");
+            }
+        }
+        let cols: Vec<IVec> = self.deps.iter().map(|d| IVec::from_i64s(d)).collect();
+        let mat = IMat::from_cols(&cols);
+        Uda::new(self.name, IndexSet::new(&bounds), DependenceMatrix::from_mat(mat))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_wavefront() {
+        let alg = UdaBuilder::new("wavefront")
+            .bounds(&[7, 3])
+            .dep(&[1, 0])
+            .dep(&[0, 1])
+            .build();
+        assert_eq!(alg.name, "wavefront");
+        assert_eq!(alg.dim(), 2);
+        assert_eq!(alg.num_deps(), 2);
+        assert_eq!(alg.index_set.mu(), &[7, 3]);
+    }
+
+    #[test]
+    fn cube_and_deps_helpers() {
+        let alg = UdaBuilder::new("x")
+            .cube(3, 4)
+            .deps(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]])
+            .build();
+        assert_eq!(alg.dim(), 3);
+        assert_eq!(alg.num_computations(), 125);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds not set")]
+    fn missing_bounds_rejected() {
+        let _ = UdaBuilder::new("x").dep(&[1]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "no dependence vectors")]
+    fn missing_deps_rejected() {
+        let _ = UdaBuilder::new("x").bounds(&[3]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_rejected() {
+        let _ = UdaBuilder::new("x").bounds(&[3, 3]).dep(&[1]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_dep_rejected() {
+        let _ = UdaBuilder::new("x").bounds(&[3]).dep(&[1]).dep(&[1]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dependence")]
+    fn zero_dep_rejected() {
+        let _ = UdaBuilder::new("x").bounds(&[3, 3]).dep(&[0, 0]).build();
+    }
+}

@@ -1,0 +1,129 @@
+//! Dependence matrices `D = [d̄₁, …, d̄_m]` (Definition 2.1 (4)).
+//!
+//! Each column is a constant dependence vector: computation `j̄` consumes
+//! the value produced at `j̄ − d̄ᵢ` (when that point is in the index set).
+
+use cfmap_intlin::{IMat, IVec};
+use std::fmt;
+
+/// A dependence matrix: `n × m`, one column per dependence vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DependenceMatrix {
+    mat: IMat,
+}
+
+impl DependenceMatrix {
+    /// Build from columns given as machine-integer slices.
+    ///
+    /// Panics if columns are ragged or if any dependence vector is zero
+    /// (a zero dependence would make a computation depend on itself).
+    pub fn from_columns(cols: &[&[i64]]) -> DependenceMatrix {
+        let vecs: Vec<IVec> = cols.iter().map(|c| IVec::from_i64s(c)).collect();
+        for (i, v) in vecs.iter().enumerate() {
+            assert!(!v.is_zero(), "zero dependence vector at column {i}");
+        }
+        DependenceMatrix { mat: IMat::from_cols(&vecs) }
+    }
+
+    /// Build from an existing matrix (columns are the dependencies).
+    pub fn from_mat(mat: IMat) -> DependenceMatrix {
+        for c in 0..mat.ncols() {
+            assert!(!mat.col(c).is_zero(), "zero dependence vector at column {c}");
+        }
+        DependenceMatrix { mat }
+    }
+
+    /// Algorithm dimension `n` (rows).
+    pub fn dim(&self) -> usize {
+        self.mat.nrows()
+    }
+
+    /// Number of dependence vectors `m` (columns).
+    pub fn num_deps(&self) -> usize {
+        self.mat.ncols()
+    }
+
+    /// Dependence vector `d̄ᵢ`.
+    pub fn dep(&self, i: usize) -> IVec {
+        self.mat.col(i)
+    }
+
+    /// All dependence vectors.
+    pub fn deps(&self) -> Vec<IVec> {
+        self.mat.columns()
+    }
+
+    /// Dependence vector `d̄ᵢ` as machine integers.
+    pub fn dep_i64(&self, i: usize) -> Vec<i64> {
+        self.dep(i).to_i64s().expect("dependence entries fit i64 by construction")
+    }
+
+    /// The underlying matrix `D`.
+    pub fn as_mat(&self) -> &IMat {
+        &self.mat
+    }
+
+    /// `true` iff every entry of every dependence is in {−1, 0, 1}.
+    ///
+    /// This is the condition under which the paper's integer programming
+    /// formulation converts to linear programs (Section 5, discussion
+    /// following (5.2)).
+    pub fn entries_in_unit_range(&self) -> bool {
+        self.mat.max_abs() <= cfmap_intlin::Int::one()
+    }
+}
+
+impl fmt::Display for DependenceMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_dependencies() {
+        // Example 3.1 / Equation 3.4: D = I₃.
+        let d = DependenceMatrix::from_columns(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.num_deps(), 3);
+        assert_eq!(d.dep_i64(1), vec![0, 1, 0]);
+        assert!(d.entries_in_unit_range());
+    }
+
+    #[test]
+    fn transitive_closure_dependencies() {
+        // Example 3.2 / Equation 3.6.
+        let d = DependenceMatrix::from_columns(&[
+            &[0, 0, 1],
+            &[0, 1, 0],
+            &[1, -1, -1],
+            &[1, -1, 0],
+            &[1, 0, -1],
+        ]);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.num_deps(), 5);
+        assert!(d.entries_in_unit_range());
+        assert_eq!(d.dep_i64(2), vec![1, -1, -1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dependence")]
+    fn zero_dependence_rejected() {
+        let _ = DependenceMatrix::from_columns(&[&[1, 0], &[0, 0]]);
+    }
+
+    #[test]
+    fn unit_range_detection() {
+        let d = DependenceMatrix::from_columns(&[&[2, 0], &[0, 1]]);
+        assert!(!d.entries_in_unit_range());
+    }
+
+    #[test]
+    fn display_is_matrix_form() {
+        let d = DependenceMatrix::from_columns(&[&[1, 0], &[0, 1]]);
+        assert_eq!(d.to_string(), "[1 0]\n[0 1]");
+    }
+}

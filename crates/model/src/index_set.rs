@@ -1,0 +1,255 @@
+//! Constant-bounded index sets (Equation 2.5, Assumption 2.1).
+//!
+//! `J = { [j₁, …, j_n]ᵀ : 0 ≤ j_i ≤ μ_i }` — the iteration space of an
+//! `n`-deep nested loop with constant bounds. The upper bounds `μ_i` are
+//! the paper's *problem size variables*. Points are plain `Vec<i64>`
+//! because simulators iterate over millions of them; conversion to the
+//! exact [`IVec`] type happens only at the linear-algebra boundary.
+
+use cfmap_intlin::IVec;
+use std::fmt;
+
+/// An index point `j̄ ∈ Z^n` (machine precision; the boxes of interest are
+/// tiny relative to `i64`).
+pub type Point = Vec<i64>;
+
+/// A constant-bounded index set `{0 ≤ j_i ≤ μ_i}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexSet {
+    /// Upper bounds `μ_i` (inclusive); lower bounds are all zero.
+    mu: Vec<i64>,
+}
+
+impl IndexSet {
+    /// Build from upper bounds `μ_i ≥ 0` (inclusive).
+    ///
+    /// Panics on a negative bound.
+    pub fn new(mu: &[i64]) -> IndexSet {
+        assert!(mu.iter().all(|&m| m >= 0), "negative index-set bound");
+        IndexSet { mu: mu.to_vec() }
+    }
+
+    /// The cube `0 ≤ j_i ≤ μ` in `n` dimensions (the paper's usual
+    /// single-problem-size case).
+    pub fn cube(n: usize, mu: i64) -> IndexSet {
+        IndexSet::new(&vec![mu; n])
+    }
+
+    /// Algorithm dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.mu.len()
+    }
+
+    /// The upper bounds `μ_i`.
+    pub fn mu(&self) -> &[i64] {
+        &self.mu
+    }
+
+    /// Upper bound of loop `i`.
+    pub fn mu_i(&self, i: usize) -> i64 {
+        self.mu[i]
+    }
+
+    /// Number of index points `Π (μ_i + 1)`.
+    pub fn len(&self) -> u128 {
+        self.mu.iter().map(|&m| (m as u128) + 1).product()
+    }
+
+    /// `true` iff the set has no points (never, given `μ_i ≥ 0` — kept for
+    /// API completeness with zero-dimensional sets).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Membership test.
+    pub fn contains(&self, j: &[i64]) -> bool {
+        j.len() == self.dim() && j.iter().zip(&self.mu).all(|(&ji, &mi)| ji >= 0 && ji <= mi)
+    }
+
+    /// Membership of `j + γ` for an offset given as exact integers; returns
+    /// `false` when any entry of γ overflows the box arithmetic (such a
+    /// point is far outside the box anyway).
+    pub fn contains_offset(&self, j: &[i64], gamma: &IVec) -> bool {
+        if gamma.dim() != self.dim() || j.len() != self.dim() {
+            return false;
+        }
+        for i in 0..self.dim() {
+            let Some(g) = gamma[i].to_i64() else { return false };
+            match j[i].checked_add(g) {
+                Some(v) if v >= 0 && v <= self.mu[i] => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Iterate all points in lexicographic order.
+    pub fn iter(&self) -> IndexIter<'_> {
+        IndexIter { set: self, next: Some(vec![0; self.dim()]) }
+    }
+
+    /// The extremal corner `[μ₁, …, μ_n]`.
+    pub fn max_corner(&self) -> Point {
+        self.mu.clone()
+    }
+}
+
+impl fmt::Display for IndexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{0 ≤ j ≤ (")?;
+        for (i, m) in self.mu.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, ")}}")
+    }
+}
+
+/// Lexicographic iterator over all points of an [`IndexSet`].
+pub struct IndexIter<'a> {
+    set: &'a IndexSet,
+    next: Option<Point>,
+}
+
+impl Iterator for IndexIter<'_> {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        let cur = self.next.take()?;
+        // Compute the successor (odometer increment from the last axis).
+        let mut succ = cur.clone();
+        let mut i = succ.len();
+        loop {
+            if i == 0 {
+                // Wrapped past the first axis: exhausted. A 0-dimensional
+                // set has exactly one (empty) point.
+                self.next = None;
+                break;
+            }
+            i -= 1;
+            if succ[i] < self.set.mu[i] {
+                succ[i] += 1;
+                for s in succ.iter_mut().skip(i + 1) {
+                    *s = 0;
+                }
+                self.next = Some(succ);
+                break;
+            }
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction() {
+        let j = IndexSet::new(&[4, 4]);
+        assert_eq!(j.dim(), 2);
+        assert_eq!(j.len(), 25);
+        assert_eq!(IndexSet::cube(4, 6).len(), 7u128.pow(4));
+        assert_eq!(j.max_corner(), vec![4, 4]);
+        assert_eq!(j.to_string(), "{0 ≤ j ≤ (4, 4)}");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_bound_rejected() {
+        let _ = IndexSet::new(&[3, -1]);
+    }
+
+    #[test]
+    fn membership() {
+        let j = IndexSet::new(&[4, 4]);
+        assert!(j.contains(&[0, 0]));
+        assert!(j.contains(&[4, 4]));
+        assert!(!j.contains(&[5, 0]));
+        assert!(!j.contains(&[0, -1]));
+        assert!(!j.contains(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn offset_membership_matches_figure_1() {
+        // Figure 1: J = {0..4}², γ1 = [1,1] lands inside from [0,0];
+        // γ2 = [3,5] never lands inside from any point.
+        let j = IndexSet::new(&[4, 4]);
+        let g1 = IVec::from_i64s(&[1, 1]);
+        let g2 = IVec::from_i64s(&[3, 5]);
+        assert!(j.contains_offset(&[0, 0], &g1));
+        for p in j.iter() {
+            assert!(!j.contains_offset(&p, &g2), "γ2 should be feasible");
+        }
+    }
+
+    #[test]
+    fn offset_overflow_is_outside() {
+        let j = IndexSet::new(&[4]);
+        let huge = IVec::new(vec![cfmap_intlin::Int::from(2i64).pow(80)]);
+        assert!(!j.contains_offset(&[0], &huge));
+        let near_max = IVec::from_i64s(&[i64::MAX]);
+        assert!(!j.contains_offset(&[1], &near_max));
+    }
+
+    #[test]
+    fn iteration_lexicographic_and_complete() {
+        let j = IndexSet::new(&[1, 2]);
+        let pts: Vec<Point> = j.iter().collect();
+        assert_eq!(
+            pts,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2],
+            ]
+        );
+        assert_eq!(pts.len() as u128, j.len());
+    }
+
+    #[test]
+    fn zero_dimensional_set() {
+        let j = IndexSet::new(&[]);
+        assert_eq!(j.len(), 1);
+        let pts: Vec<Point> = j.iter().collect();
+        assert_eq!(pts, vec![Vec::<i64>::new()]);
+    }
+
+    #[test]
+    fn degenerate_axis() {
+        let j = IndexSet::new(&[0, 2]);
+        let pts: Vec<Point> = j.iter().collect();
+        assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![0, 2]]);
+    }
+
+    proptest! {
+        #[test]
+        fn iter_count_matches_len(mu in prop::collection::vec(0i64..4, 1..4)) {
+            let j = IndexSet::new(&mu);
+            prop_assert_eq!(j.iter().count() as u128, j.len());
+        }
+
+        #[test]
+        fn all_iterated_points_are_members(mu in prop::collection::vec(0i64..4, 1..4)) {
+            let j = IndexSet::new(&mu);
+            for p in j.iter() {
+                prop_assert!(j.contains(&p));
+            }
+        }
+
+        #[test]
+        fn iteration_is_strictly_increasing(mu in prop::collection::vec(0i64..4, 1..4)) {
+            let j = IndexSet::new(&mu);
+            let pts: Vec<Point> = j.iter().collect();
+            for w in pts.windows(2) {
+                prop_assert!(w[0] < w[1], "not lexicographically increasing");
+            }
+        }
+    }
+}

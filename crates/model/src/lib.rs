@@ -1,0 +1,35 @@
+//! The uniform dependence algorithm model of Shang & Fortes (ICPP 1990).
+//!
+//! Definition 2.1 of the paper: a *uniform dependence algorithm* is
+//! `v(j̄) = g_j̄(v(j̄−d̄₁), …, v(j̄−d̄_m))` over an index set `J ⊆ Z^n`, with
+//! constant dependence vectors `d̄ᵢ`. For the mapping theory only the
+//! *structure* `(J, D)` matters, and that is what this crate models:
+//!
+//! * [`index_set`] — constant-bounded index sets (Equation 2.5 /
+//!   Assumption 2.1): boxes `0 ≤ j_i ≤ μ_i`.
+//! * [`dependence`] — dependence matrices `D` and their validity checks.
+//! * [`algorithm`] — the `(J, D)` pair.
+//! * [`schedule`] — linear schedule vectors `Π` (`ΠD > 0`, Equation 2.7's
+//!   total execution time).
+//! * [`algorithms`] — the paper's workload library: matrix multiplication
+//!   (Example 3.1), reindexed transitive closure (Example 3.2), plus the
+//!   bit-level and classic kernels the introduction motivates
+//!   (convolution, LU decomposition, 4-D/5-D bit-level matmul …).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod algorithms;
+pub mod bitexpand;
+pub mod bounds;
+pub mod builder;
+pub mod dependence;
+pub mod index_set;
+pub mod schedule;
+
+pub use algorithm::Uda;
+pub use builder::UdaBuilder;
+pub use dependence::DependenceMatrix;
+pub use index_set::{IndexSet, Point};
+pub use schedule::LinearSchedule;

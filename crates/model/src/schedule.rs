@@ -1,0 +1,210 @@
+//! Linear schedule vectors `Π` (Definition 2.2, condition 1; Equation 2.7).
+//!
+//! A linear schedule executes computation `j̄` at time `Π·j̄`. Validity
+//! (`ΠD > 0`) preserves the dependence partial order; for constant-bounded
+//! index sets the total execution time has the closed form
+//! `t = 1 + Σ |π_i|·μ_i` (Equation 2.7), which is also what Problem 2.2
+//! minimizes (its objective `f` is `t − 1`).
+
+use crate::algorithm::Uda;
+use crate::dependence::DependenceMatrix;
+use crate::index_set::IndexSet;
+use cfmap_intlin::{IVec, Int};
+use std::fmt;
+
+/// A linear schedule vector `Π ∈ Z^{1×n}`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LinearSchedule {
+    pi: Vec<i64>,
+}
+
+impl LinearSchedule {
+    /// Build from entries.
+    pub fn new(pi: &[i64]) -> LinearSchedule {
+        LinearSchedule { pi: pi.to_vec() }
+    }
+
+    /// Entries.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.pi
+    }
+
+    /// Dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// As an exact row vector.
+    pub fn as_ivec(&self) -> IVec {
+        IVec::from_i64s(&self.pi)
+    }
+
+    /// Execution time of index point `j̄`: `Π·j̄`.
+    pub fn time_of(&self, j: &[i64]) -> i64 {
+        assert_eq!(j.len(), self.dim(), "time_of: dimension mismatch");
+        self.pi.iter().zip(j).map(|(&p, &ji)| p * ji).sum()
+    }
+
+    /// `Π·d̄ᵢ` for each dependence: the data travel times of
+    /// Definition 2.2 condition 2.
+    pub fn dep_times(&self, deps: &DependenceMatrix) -> Vec<Int> {
+        let pi = self.as_ivec();
+        (0..deps.num_deps()).map(|i| pi.dot(&deps.dep(i))).collect()
+    }
+
+    /// Condition 1 of Definition 2.2: `ΠD > 0` (every dependence strictly
+    /// positive).
+    pub fn is_valid_for(&self, deps: &DependenceMatrix) -> bool {
+        self.dep_times(deps).iter().all(Int::is_positive)
+    }
+
+    /// The closed-form total execution time `t = 1 + Σ |π_i| μ_i`
+    /// (Equation 2.7), valid for constant-bounded index sets.
+    pub fn total_time(&self, j: &IndexSet) -> i64 {
+        assert_eq!(j.dim(), self.dim(), "total_time: dimension mismatch");
+        1 + self
+            .pi
+            .iter()
+            .zip(j.mu())
+            .map(|(&p, &m)| p.unsigned_abs() as i64 * m)
+            .sum::<i64>()
+    }
+
+    /// The schedule length `f = max Π(j̄₁ − j̄₂)` measured by brute force
+    /// over the index set (Equation 2.4 minus the `+1`). Used in tests to
+    /// validate Equation 2.7.
+    pub fn makespan_brute_force(&self, j: &IndexSet) -> i64 {
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for p in j.iter() {
+            let t = self.time_of(&p);
+            min = min.min(t);
+            max = max.max(t);
+        }
+        if min == i64::MAX {
+            0
+        } else {
+            max - min
+        }
+    }
+
+    /// Convenience: `total_time` for an algorithm.
+    pub fn total_time_for(&self, alg: &Uda) -> i64 {
+        self.total_time(&alg.index_set)
+    }
+}
+
+impl fmt::Display for LinearSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Π = [")?;
+        for (i, p) in self.pi.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn matmul_deps() -> DependenceMatrix {
+        DependenceMatrix::from_columns(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]])
+    }
+
+    fn tc_deps() -> DependenceMatrix {
+        DependenceMatrix::from_columns(&[
+            &[0, 0, 1],
+            &[0, 1, 0],
+            &[1, -1, -1],
+            &[1, -1, 0],
+            &[1, 0, -1],
+        ])
+    }
+
+    #[test]
+    fn validity_for_matmul() {
+        // ΠD > 0 for D = I means all entries positive.
+        assert!(LinearSchedule::new(&[1, 4, 1]).is_valid_for(&matmul_deps()));
+        assert!(LinearSchedule::new(&[1, 1, 1]).is_valid_for(&matmul_deps()));
+        assert!(!LinearSchedule::new(&[0, 4, 1]).is_valid_for(&matmul_deps()));
+        assert!(!LinearSchedule::new(&[-1, 4, 1]).is_valid_for(&matmul_deps()));
+    }
+
+    #[test]
+    fn validity_for_transitive_closure() {
+        // Example 5.2: needs π2, π3 > 0, π1−π2−π3 > 0, π1−π2 > 0, π1−π3 > 0.
+        assert!(LinearSchedule::new(&[5, 1, 1]).is_valid_for(&tc_deps()));
+        assert!(LinearSchedule::new(&[3, 1, 1]).is_valid_for(&tc_deps()));
+        // π1 − π2 − π3 = 0 violates strictness.
+        assert!(!LinearSchedule::new(&[2, 1, 1]).is_valid_for(&tc_deps()));
+        assert!(!LinearSchedule::new(&[5, 0, 1]).is_valid_for(&tc_deps()));
+    }
+
+    #[test]
+    fn paper_total_times() {
+        let j = IndexSet::cube(3, 4);
+        // Example 5.1: Π = [1, μ, 1] → t = μ(μ+2)+1 = 25.
+        assert_eq!(LinearSchedule::new(&[1, 4, 1]).total_time(&j), 25);
+        // [23]'s Π' = [2, 1, μ] → t = μ(μ+3)+1 = 29.
+        assert_eq!(LinearSchedule::new(&[2, 1, 4]).total_time(&j), 29);
+        // Example 5.2: Π = [μ+1, 1, 1] → t = μ(μ+3)+1 = 29.
+        assert_eq!(LinearSchedule::new(&[5, 1, 1]).total_time(&j), 29);
+        // [22]'s Π' = [2μ+1, 1, 1] → t = μ(2μ+3)+1 = 45.
+        assert_eq!(LinearSchedule::new(&[9, 1, 1]).total_time(&j), 45);
+    }
+
+    #[test]
+    fn dep_times_count_buffers() {
+        // Example 5.1: Πd̄₂ = μ = 4 with one link hop ⇒ 3 buffers.
+        let pi = LinearSchedule::new(&[1, 4, 1]);
+        let times = pi.dep_times(&matmul_deps());
+        assert_eq!(times, vec![Int::from(1), Int::from(4), Int::from(1)]);
+    }
+
+    #[test]
+    fn negative_entries_use_absolute_value() {
+        let j = IndexSet::new(&[3, 5]);
+        let pi = LinearSchedule::new(&[-2, 1]);
+        assert_eq!(pi.total_time(&j), 1 + 2 * 3 + 5);
+        assert_eq!(pi.makespan_brute_force(&j), 2 * 3 + 5);
+    }
+
+    proptest! {
+        #[test]
+        fn eq_2_7_matches_brute_force(
+            pi in prop::collection::vec(-4i64..=4, 3),
+            mu in prop::collection::vec(0i64..4, 3),
+        ) {
+            let sched = LinearSchedule::new(&pi);
+            let j = IndexSet::new(&mu);
+            prop_assert_eq!(
+                sched.total_time(&j),
+                sched.makespan_brute_force(&j) + 1,
+                "Equation 2.7 disagrees with Equation 2.4"
+            );
+        }
+
+        #[test]
+        fn monotonicity_theorem_2_1(
+            pi in prop::collection::vec(1i64..5, 3),
+            mu in prop::collection::vec(1i64..5, 3),
+            axis in 0usize..3,
+        ) {
+            // Theorem 2.1: t is monotonically increasing in |π_i|.
+            let j = IndexSet::new(&mu);
+            let base = LinearSchedule::new(&pi).total_time(&j);
+            let mut bumped = pi.clone();
+            bumped[axis] += 1;
+            let bigger = LinearSchedule::new(&bumped).total_time(&j);
+            prop_assert!(bigger >= base);
+            if mu[axis] > 0 {
+                prop_assert!(bigger > base);
+            }
+        }
+    }
+}

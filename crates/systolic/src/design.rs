@@ -1,0 +1,279 @@
+//! One-call array design: algorithm + space map in, complete validated
+//! design out.
+//!
+//! [`ArrayDesign::synthesize`] bundles the whole pipeline — Problem 2.2
+//! optimization (Procedure 5.1), routing (`SD = PK`), geometry synthesis,
+//! cycle-level validation — into the call a downstream user actually
+//! wants, with every paper-level observable exposed on the result.
+
+use crate::array::SystolicArray;
+use crate::diagram;
+use crate::sim::{SimReport, Simulator};
+use crate::stats::UtilizationStats;
+use cfmap_core::conditions::ConditionKind;
+use cfmap_core::mapping::Routing;
+use cfmap_core::{InterconnectionPrimitives, MappingMatrix, Procedure51, SpaceMap};
+use cfmap_model::{LinearSchedule, Uda};
+
+/// Errors from design synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// No conflict-free schedule exists within the search cap.
+    NoSchedule {
+        /// The objective cap that was exhausted.
+        cap: i64,
+    },
+    /// The requested schedule is invalid (`ΠD ≤ 0` somewhere).
+    InvalidSchedule,
+    /// The mapping has conflicts (only when a fixed schedule is supplied).
+    Conflicting,
+    /// Routing on the given primitives failed.
+    Unroutable,
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::NoSchedule { cap } => {
+                write!(f, "no conflict-free schedule within objective cap {cap}")
+            }
+            DesignError::InvalidSchedule => write!(f, "schedule violates ΠD > 0"),
+            DesignError::Conflicting => write!(f, "mapping has computational conflicts"),
+            DesignError::Unroutable => write!(f, "dependencies unroutable on the given primitives"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// A complete, validated processor-array design.
+#[derive(Debug)]
+pub struct ArrayDesign {
+    /// The algorithm being mapped.
+    pub algorithm: Uda,
+    /// The mapping matrix `T = [S; Π]`.
+    pub mapping: MappingMatrix,
+    /// Array geometry.
+    pub array: SystolicArray,
+    /// Routing certificate (present when primitives were supplied).
+    pub routing: Option<Routing>,
+    /// The validation simulation.
+    pub report: SimReport,
+    /// Utilization statistics.
+    pub stats: UtilizationStats,
+    /// Total execution time `t` (Equation 2.7).
+    pub total_time: i64,
+}
+
+/// Builder for [`ArrayDesign`].
+pub struct DesignBuilder<'a> {
+    alg: &'a Uda,
+    space: SpaceMap,
+    schedule: Option<LinearSchedule>,
+    primitives: Option<&'a InterconnectionPrimitives>,
+    condition: ConditionKind,
+    max_objective: Option<i64>,
+}
+
+impl ArrayDesign {
+    /// Start building a design for `alg` with the given space map.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfmap_core::SpaceMap;
+    /// use cfmap_model::algorithms;
+    /// use cfmap_systolic::ArrayDesign;
+    ///
+    /// let alg = algorithms::matmul(4);
+    /// let design = ArrayDesign::synthesize(&alg, SpaceMap::row(&[1, 1, -1]))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(design.total_time, 25);
+    /// assert!(design.report.is_clean());
+    /// ```
+    pub fn synthesize<'a>(alg: &'a Uda, space: SpaceMap) -> DesignBuilder<'a> {
+        DesignBuilder {
+            alg,
+            space,
+            schedule: None,
+            primitives: None,
+            condition: ConditionKind::Exact,
+            max_objective: None,
+        }
+    }
+
+    /// Figure 3-style space-time diagram (linear arrays only).
+    pub fn space_time_diagram(&self) -> String {
+        diagram::space_time_diagram(&self.report, &self.mapping)
+    }
+
+    /// Figure 2-style block diagram (linear arrays with routing only).
+    pub fn block_diagram(&self, labels: &[&str]) -> Option<String> {
+        let routing = self.routing.as_ref()?;
+        Some(diagram::block_diagram(&self.algorithm, &self.mapping, routing, labels))
+    }
+}
+
+impl<'a> DesignBuilder<'a> {
+    /// Fix the schedule instead of optimizing (it will be validated).
+    pub fn with_schedule(mut self, schedule: LinearSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Require routability on the given interconnection primitives.
+    pub fn with_primitives(mut self, p: &'a InterconnectionPrimitives) -> Self {
+        self.primitives = Some(p);
+        self
+    }
+
+    /// Select the conflict test driving the optimizer.
+    pub fn condition(mut self, kind: ConditionKind) -> Self {
+        self.condition = kind;
+        self
+    }
+
+    /// Cap the optimizer's objective search.
+    pub fn max_objective(mut self, cap: i64) -> Self {
+        self.max_objective = Some(cap);
+        self
+    }
+
+    /// Synthesize and validate the design.
+    pub fn build(self) -> Result<ArrayDesign, DesignError> {
+        let alg = self.alg;
+        let (mapping, routing) = match self.schedule {
+            Some(schedule) => {
+                // Fixed schedule path: validate everything explicitly.
+                if !schedule.is_valid_for(&alg.deps) {
+                    return Err(DesignError::InvalidSchedule);
+                }
+                let mapping = MappingMatrix::new(self.space.clone(), schedule);
+                let analysis =
+                    cfmap_core::ConflictAnalysis::new(&mapping, &alg.index_set);
+                if !analysis.is_conflict_free_exact() {
+                    return Err(DesignError::Conflicting);
+                }
+                let routing = match self.primitives {
+                    Some(p) => Some(
+                        cfmap_core::mapping::route(&mapping, &alg.deps, p)
+                            .ok_or(DesignError::Unroutable)?,
+                    ),
+                    None => None,
+                };
+                (mapping, routing)
+            }
+            None => {
+                let mut proc = Procedure51::new(alg, &self.space).condition(self.condition);
+                if let Some(p) = self.primitives {
+                    proc = proc.primitives(p);
+                }
+                let cap = self.max_objective;
+                if let Some(c) = cap {
+                    proc = proc.max_objective(c);
+                }
+                let opt = proc.solve().ok_or(DesignError::NoSchedule {
+                    cap: cap.unwrap_or(-1),
+                })?;
+                (opt.mapping, opt.routing)
+            }
+        };
+
+        let array = SystolicArray::synthesize(alg, &mapping);
+        let mut sim = Simulator::new(alg, &mapping);
+        if let Some(r) = routing.as_ref() {
+            sim = sim.with_routing(r);
+        }
+        let report = sim.run();
+        debug_assert!(report.conflicts.is_empty(), "validated design must be conflict-free");
+        let stats = UtilizationStats::from_report(&report);
+        let total_time = report.makespan();
+        Ok(ArrayDesign {
+            algorithm: alg.clone(),
+            mapping,
+            array,
+            routing,
+            report,
+            stats,
+            total_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfmap_model::algorithms;
+
+    #[test]
+    fn one_call_synthesis_example_5_1() {
+        let alg = algorithms::matmul(4);
+        let prims = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
+        let design = ArrayDesign::synthesize(&alg, SpaceMap::row(&[1, 1, -1]))
+            .with_primitives(&prims)
+            .build()
+            .expect("synthesizable");
+        assert_eq!(design.total_time, 25);
+        assert_eq!(design.array.num_processors(), 13);
+        assert!(design.report.is_clean());
+        assert!(design.routing.is_some());
+        assert!(design.block_diagram(&["B", "A", "C"]).unwrap().contains("13 PEs"));
+        assert!(design.space_time_diagram().contains("PE0"));
+        assert!(design.stats.mean_utilization() > 0.3);
+    }
+
+    #[test]
+    fn fixed_schedule_path_validates() {
+        let alg = algorithms::matmul(4);
+        // The paper's Π₂ = [1, μ, 1].
+        let design = ArrayDesign::synthesize(&alg, SpaceMap::row(&[1, 1, -1]))
+            .with_schedule(cfmap_model::LinearSchedule::new(&[1, 4, 1]))
+            .build()
+            .expect("valid design");
+        assert_eq!(design.total_time, 25);
+    }
+
+    #[test]
+    fn fixed_schedule_conflicts_rejected() {
+        let alg = algorithms::matmul(4);
+        let err = ArrayDesign::synthesize(&alg, SpaceMap::row(&[1, 1, -1]))
+            .with_schedule(cfmap_model::LinearSchedule::new(&[1, 1, 4]))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DesignError::Conflicting);
+    }
+
+    #[test]
+    fn invalid_schedule_rejected() {
+        let alg = algorithms::matmul(4);
+        let err = ArrayDesign::synthesize(&alg, SpaceMap::row(&[1, 1, -1]))
+            .with_schedule(cfmap_model::LinearSchedule::new(&[0, 1, 1]))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DesignError::InvalidSchedule);
+    }
+
+    #[test]
+    fn cap_exhaustion_reports_no_schedule() {
+        let alg = algorithms::matmul(4);
+        let err = ArrayDesign::synthesize(&alg, SpaceMap::row(&[1, 1, -1]))
+            .max_objective(3)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DesignError::NoSchedule { cap: 3 });
+        assert!(err.to_string().contains("cap 3"));
+    }
+
+    #[test]
+    fn unroutable_reported() {
+        let alg = algorithms::matmul(4);
+        let prims = InterconnectionPrimitives::from_columns(&[&[-1]]);
+        let err = ArrayDesign::synthesize(&alg, SpaceMap::row(&[1, 1, -1]))
+            .with_schedule(cfmap_model::LinearSchedule::new(&[1, 4, 1]))
+            .with_primitives(&prims)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DesignError::Unroutable);
+    }
+}

@@ -1,0 +1,202 @@
+//! Register-transfer-level execution: values physically travel.
+//!
+//! [`crate::exec`] validates *what* the array computes by reading produced
+//! values from a global map. This module validates *how* they get there:
+//! every dependence channel is a clocked delay line of
+//! `Π·d̄ᵢ = bufferᵢ + hopᵢ` register stages between producer and consumer
+//! (Definition 2.2 condition 2 with source-side buffers). A PE may only
+//! read a value that is **sitting in its input register this cycle** — if
+//! the inequality of Equation 2.3 were violated, or buffers mis-sized, the
+//! value would not be there and the run reports a delivery failure instead
+//! of silently computing the right answer.
+//!
+//! The paper's claim being tested end to end: with `K` from the routing
+//! and `Π·d̄ᵢ − Σ_j k_{ji}` buffers, every operand arrives exactly on
+//! time, so the RTL run must produce bit-identical results to the
+//! idealized executor.
+
+use crate::exec::Kernel;
+use cfmap_core::mapping::Routing;
+use cfmap_core::MappingMatrix;
+use cfmap_model::{Point, Uda};
+use std::collections::HashMap;
+
+/// A delivery failure: a consumer's input register did not hold the
+/// expected operand at execution time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeliveryFailure {
+    /// The consuming index point.
+    pub consumer: Point,
+    /// Which dependence channel.
+    pub dep: usize,
+    /// Cycle at which the read failed.
+    pub time: i64,
+}
+
+/// Result of an RTL execution.
+#[derive(Clone, Debug)]
+pub struct RtlResult<V> {
+    /// `v(j̄)` for every index point (as computed from delivered operands).
+    pub values: HashMap<Point, V>,
+    /// Cycles simulated.
+    pub cycles: i64,
+    /// Delivery failures (empty iff the routing certificate is honest).
+    pub failures: Vec<DeliveryFailure>,
+    /// Total register-stage occupancy summed over cycles (pipeline work).
+    pub register_occupancy: u64,
+}
+
+/// Execute `alg` with values clocked through per-dependence delay lines.
+///
+/// `routing` supplies the per-dependence latency split
+/// (`buffers + hops = Π·d̄ᵢ`); correctness only depends on the total,
+/// which the delay-line model uses directly — the structural hop/collision
+/// story is covered by [`crate::links`].
+pub fn execute_rtl<K: Kernel>(
+    alg: &Uda,
+    mapping: &MappingMatrix,
+    routing: &Routing,
+    kernel: &K,
+) -> RtlResult<K::Value> {
+    let m = alg.num_deps();
+    // Latency per channel: Π·d̄ᵢ (buffers + hops).
+    let latency: Vec<i64> = routing
+        .dep_times
+        .iter()
+        .map(|t| t.to_i64().expect("latency fits i64"))
+        .collect();
+
+    // Group computations by cycle.
+    let mut by_time: HashMap<i64, Vec<Point>> = HashMap::new();
+    for j in alg.index_set.iter() {
+        by_time.entry(mapping.schedule().time_of(&j)).or_default().push(j);
+    }
+    let mut times: Vec<i64> = by_time.keys().copied().collect();
+    times.sort_unstable();
+
+    // In-flight registers: (channel, consumer point) → (arrival time, value).
+    // A datum produced at `p = j − d̄ᵢ` at time t_p is addressed to its
+    // unique consumer `j` and becomes readable exactly at t_p + latency_i.
+    let mut in_flight: HashMap<(usize, Point), (i64, K::Value)> = HashMap::new();
+    let mut values: HashMap<Point, K::Value> = HashMap::new();
+    let mut failures: Vec<DeliveryFailure> = Vec::new();
+    let mut occupancy = 0u64;
+
+    let deps_i64: Vec<Vec<i64>> = (0..m).map(|i| alg.deps.dep_i64(i)).collect();
+
+    for &t in &times {
+        occupancy += in_flight.len() as u64;
+        let mut staged: Vec<(Point, K::Value)> = Vec::new();
+        for j in &by_time[&t] {
+            let mut inputs: Vec<Option<K::Value>> = Vec::with_capacity(m);
+            for (i, d) in deps_i64.iter().enumerate() {
+                let pred: Point = j.iter().zip(d).map(|(&ji, &di)| ji - di).collect();
+                if !alg.index_set.contains(&pred) {
+                    inputs.push(None); // boundary operand: kernel supplies it
+                    continue;
+                }
+                // Read the input register: the datum addressed to `j` on
+                // channel `i` must have arrived at exactly this cycle (it
+                // was latched on arrival and holds until consumed).
+                match in_flight.remove(&(i, j.clone())) {
+                    Some((arrival, v)) if arrival <= t => inputs.push(Some(v)),
+                    Some((arrival, _)) => {
+                        failures.push(DeliveryFailure { consumer: j.clone(), dep: i, time: t });
+                        let _ = arrival;
+                        inputs.push(None);
+                    }
+                    None => {
+                        failures.push(DeliveryFailure { consumer: j.clone(), dep: i, time: t });
+                        inputs.push(None);
+                    }
+                }
+            }
+            staged.push((j.clone(), kernel.compute(j, &inputs)));
+        }
+        // Launch the produced values into their channels (visible to
+        // consumers only after the channel latency).
+        for (j, v) in staged {
+            for (i, d) in deps_i64.iter().enumerate() {
+                let consumer: Point = j.iter().zip(d).map(|(&ji, &di)| ji + di).collect();
+                if alg.index_set.contains(&consumer) {
+                    in_flight.insert((i, consumer), (t + latency[i], v.clone()));
+                }
+            }
+            values.insert(j, v);
+        }
+    }
+
+    let cycles = times.last().map_or(0, |last| last - times[0] + 1);
+    RtlResult { values, cycles, failures, register_occupancy: occupancy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, MatmulKernel};
+    use cfmap_core::mapping::{route, InterconnectionPrimitives, Routing};
+    use cfmap_core::{MappingMatrix, SpaceMap};
+    use cfmap_intlin::Int;
+    use cfmap_model::{algorithms, LinearSchedule};
+
+    fn matmul_routed(mu: i64, pi: &[i64]) -> (cfmap_model::Uda, MappingMatrix, Routing) {
+        let alg = algorithms::matmul(mu);
+        let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(pi));
+        let p = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
+        let routing = route(&m, &alg.deps, &p).unwrap();
+        (alg, m, routing)
+    }
+
+    #[test]
+    fn rtl_matches_idealized_execution() {
+        let mu = 4;
+        let (alg, m, routing) = matmul_routed(mu, &[1, 4, 1]);
+        let kernel = MatmulKernel::random((mu + 1) as usize, 11);
+        let ideal = execute(&alg, &m, &kernel);
+        let rtl = execute_rtl(&alg, &m, &routing, &kernel);
+        assert!(rtl.failures.is_empty(), "failures: {:?}", &rtl.failures[..rtl.failures.len().min(3)]);
+        assert_eq!(rtl.values, ideal.values, "RTL delivery must be transparent");
+        assert_eq!(rtl.cycles, 25);
+        assert!(rtl.register_occupancy > 0);
+        // And the product is right.
+        assert_eq!(kernel.extract_product_rtl(&rtl, mu), kernel.reference_product());
+    }
+
+    #[test]
+    fn rtl_works_for_baseline_design_too() {
+        let mu = 4;
+        let (alg, m, routing) = matmul_routed(mu, &[2, 1, 4]);
+        let kernel = MatmulKernel::random((mu + 1) as usize, 23);
+        let rtl = execute_rtl(&alg, &m, &routing, &kernel);
+        assert!(rtl.failures.is_empty());
+        assert_eq!(rtl.cycles, 29);
+        assert_eq!(kernel.extract_product_rtl(&rtl, mu), kernel.reference_product());
+    }
+
+    #[test]
+    fn undersized_latency_is_caught() {
+        // Failure injection: corrupt the routing certificate so channel 1
+        // claims a longer latency than the schedule provides — data then
+        // arrive *late* and the RTL run must report delivery failures.
+        let mu = 3;
+        let (alg, m, mut routing) = matmul_routed(mu, &[1, 3, 1]);
+        routing.dep_times[1] = Int::from(10); // real Πd̄₂ is 3
+        let kernel = MatmulKernel::random((mu + 1) as usize, 9);
+        let rtl = execute_rtl(&alg, &m, &routing, &kernel);
+        assert!(!rtl.failures.is_empty(), "late delivery must be observed");
+        assert!(rtl.failures.iter().all(|f| f.dep == 1));
+    }
+
+    #[test]
+    fn occupancy_reflects_buffer_depth() {
+        // More buffers (slower channel) ⇒ more register-cycles of
+        // occupancy for the same data volume.
+        let mu = 4;
+        let (alg, m_fast, r_fast) = matmul_routed(mu, &[1, 1, 2]); // conflicts, but RTL runs anyway
+        let (_, m_slow, r_slow) = matmul_routed(mu, &[2, 4, 3]);
+        let kernel = MatmulKernel::random((mu + 1) as usize, 5);
+        let fast = execute_rtl(&alg, &m_fast, &r_fast, &kernel);
+        let slow = execute_rtl(&alg, &m_slow, &r_slow, &kernel);
+        assert!(slow.register_occupancy > fast.register_occupancy);
+    }
+}

@@ -1,0 +1,150 @@
+//! Array utilization statistics.
+//!
+//! The paper's Problem 6.1 trades execution time against VLSI resources;
+//! this module measures what a given design actually spends: per-PE busy
+//! cycles, utilization ratios, load imbalance, and activity-over-time
+//! profiles. The experiment harness uses these to compare the optimal and
+//! baseline designs beyond raw makespan.
+
+use crate::sim::SimReport;
+use std::collections::HashMap;
+
+/// Per-processor and whole-array utilization derived from a [`SimReport`].
+#[derive(Clone, Debug)]
+pub struct UtilizationStats {
+    /// Busy cycles per processor.
+    pub busy_cycles: HashMap<Vec<i64>, u64>,
+    /// Computations per cycle (index 0 = first busy cycle).
+    pub activity_profile: Vec<u64>,
+    /// Makespan in cycles.
+    pub makespan: i64,
+    /// Number of processors that executed at least one computation.
+    pub active_processors: usize,
+}
+
+impl UtilizationStats {
+    /// Compute statistics from a simulation report.
+    pub fn from_report(report: &SimReport) -> UtilizationStats {
+        let (t0, t1) = report.time_range;
+        let mut busy: HashMap<Vec<i64>, u64> = HashMap::new();
+        let mut profile = vec![0u64; (t1 - t0 + 1).max(0) as usize];
+        for (&t, per_proc) in &report.schedule {
+            let mut count = 0u64;
+            for (p, points) in per_proc {
+                *busy.entry(p.clone()).or_insert(0) += points.len() as u64;
+                count += points.len() as u64;
+            }
+            profile[(t - t0) as usize] = count;
+        }
+        UtilizationStats {
+            active_processors: busy.len(),
+            busy_cycles: busy,
+            activity_profile: profile,
+            makespan: t1 - t0 + 1,
+        }
+    }
+
+    /// Mean utilization: busy PE-cycles / (PEs × makespan), in `[0, 1]`
+    /// for conflict-free designs.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.active_processors == 0 || self.makespan == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.busy_cycles.values().sum();
+        busy as f64 / (self.active_processors as f64 * self.makespan as f64)
+    }
+
+    /// Load imbalance: max PE busy-cycles / mean PE busy-cycles (1.0 =
+    /// perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        if self.busy_cycles.is_empty() {
+            return 1.0;
+        }
+        let max = *self.busy_cycles.values().max().unwrap() as f64;
+        let mean = self.busy_cycles.values().sum::<u64>() as f64 / self.busy_cycles.len() as f64;
+        max / mean
+    }
+
+    /// The busiest cycle's computation count (equals peak parallelism for
+    /// conflict-free designs).
+    pub fn peak_activity(&self) -> u64 {
+        self.activity_profile.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Cycles during which no computation executed (pipeline bubbles
+    /// between the first and last busy cycle).
+    pub fn idle_cycles(&self) -> usize {
+        self.activity_profile.iter().filter(|&&c| c == 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use cfmap_core::{MappingMatrix, SpaceMap};
+    use cfmap_model::{algorithms, LinearSchedule};
+
+    fn stats_for(pi: &[i64], mu: i64) -> UtilizationStats {
+        let alg = algorithms::matmul(mu);
+        let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(pi));
+        let report = Simulator::new(&alg, &m).run();
+        UtilizationStats::from_report(&report)
+    }
+
+    #[test]
+    fn matmul_optimal_utilization() {
+        let s = stats_for(&[1, 4, 1], 4);
+        assert_eq!(s.makespan, 25);
+        assert_eq!(s.active_processors, 13);
+        // 125 computations / (13 PEs × 25 cycles) ≈ 0.385.
+        let u = s.mean_utilization();
+        assert!((u - 125.0 / (13.0 * 25.0)).abs() < 1e-12);
+        assert!(s.load_imbalance() >= 1.0);
+        // No cycle is fully idle inside the busy span.
+        assert_eq!(s.idle_cycles(), 0);
+        // Activity profile sums to |J|.
+        assert_eq!(s.activity_profile.iter().sum::<u64>(), 125);
+    }
+
+    #[test]
+    fn faster_design_has_higher_utilization() {
+        let opt = stats_for(&[1, 4, 1], 4);
+        let base = stats_for(&[2, 1, 4], 4);
+        assert!(opt.mean_utilization() > base.mean_utilization());
+    }
+
+    #[test]
+    fn peak_matches_report_when_conflict_free() {
+        // Π = [1, 2, 2] is the conflict-free μ = 3 optimum, so activity
+        // (computations/cycle) equals busy-PE count per cycle.
+        let alg = algorithms::matmul(3);
+        let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 2, 2]));
+        let report = Simulator::new(&alg, &m).run();
+        assert!(report.conflicts.is_empty());
+        let s = UtilizationStats::from_report(&report);
+        assert_eq!(s.peak_activity(), report.peak_parallelism as u64);
+    }
+
+    #[test]
+    fn conflicting_design_has_activity_above_parallelism() {
+        // Π = [1, 3, 1] conflicts at μ = 3 (γ = [2,−1,1] fits the box):
+        // some PE executes two computations in one cycle.
+        let alg = algorithms::matmul(3);
+        let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 3, 1]));
+        let report = Simulator::new(&alg, &m).run();
+        assert!(!report.conflicts.is_empty());
+        let s = UtilizationStats::from_report(&report);
+        assert!(s.peak_activity() >= report.peak_parallelism as u64);
+    }
+
+    #[test]
+    fn center_processor_is_busiest() {
+        // Under S = [1,1,−1] the central PEs see the most index points.
+        let s = stats_for(&[1, 4, 1], 4);
+        let central = s.busy_cycles.get(&vec![4]).copied().unwrap_or(0);
+        let edge = s.busy_cycles.get(&vec![-4]).copied().unwrap_or(0);
+        assert!(central > edge);
+        assert_eq!(edge, 1); // only [0,0,4] maps to PE −4
+    }
+}

@@ -1,0 +1,78 @@
+//! Example 5.2 of the paper: the time-optimal linear-array design for the
+//! reindexed transitive closure algorithm, improving the total execution
+//! time of the heuristic in [22] from μ(2μ+3)+1 to μ(μ+3)+1.
+//!
+//! ```sh
+//! cargo run --release --example transitive_closure -- [μ]
+//! ```
+
+use cfmap::prelude::*;
+
+fn main() {
+    let mu: i64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let alg = algorithms::transitive_closure(mu);
+    let s = SpaceMap::row(&[0, 0, 1]);
+
+    println!("═══ Example 5.2: transitive closure (μ = {mu}) onto a linear array ═══\n");
+    println!("Dependence matrix (Equation 3.6):\n{}\n", alg.deps);
+
+    // ---- Optimal design ----------------------------------------------
+    let opt = Procedure51::new(&alg, &s).solve().expect("optimal mapping exists");
+    println!("This paper:   Π° = {:?}", opt.schedule.as_slice());
+    println!("              t  = {} (= μ(μ+3)+1 = {})", opt.total_time, mu * (mu + 3) + 1);
+
+    // The conflict vector the paper reports: γ = [1, −(μ+1), 0].
+    let analysis = ConflictAnalysis::new(&opt.mapping, &alg.index_set);
+    let gamma = analysis.unique_conflict_vector().expect("one conflict vector");
+    println!("              γ  = {gamma} ({:?})", feasibility(&gamma, &alg.index_set));
+
+    // ---- Baseline [22] -----------------------------------------------
+    let base = baselines::transitive_closure_baseline_22(mu);
+    println!("\nBaseline {}: Π' = {:?}", base.source, base.schedule.as_slice());
+    println!(
+        "              t' = {} (= μ(2μ+3)+1 = {})",
+        base.total_time(&alg),
+        mu * (2 * mu + 3) + 1
+    );
+    println!(
+        "\nSpeedup of this paper over [22]: {:.2}×",
+        base.total_time(&alg) as f64 / opt.total_time as f64
+    );
+
+    // ---- Simulate both -------------------------------------------------
+    let prims = InterconnectionPrimitives::from_columns(&[&[1], &[-1]]);
+    let routing = route(&opt.mapping, &alg.deps, &prims).expect("routable");
+    let report = Simulator::new(&alg, &opt.mapping).with_routing(&routing).run();
+    let base_mapping = base.mapping();
+    let base_report = Simulator::new(&alg, &base_mapping).run();
+    println!("\n─── Simulation ───");
+    println!(
+        "optimal : {} PEs, makespan {:3}, conflicts {}, link collisions {}",
+        SystolicArray::synthesize(&alg, &opt.mapping).num_processors(),
+        report.makespan(),
+        report.conflicts.len(),
+        report.link_collisions.len()
+    );
+    println!(
+        "baseline: {} PEs, makespan {:3}, conflicts {}",
+        SystolicArray::synthesize(&alg, &base_mapping).num_processors(),
+        base_report.makespan(),
+        base_report.conflicts.len()
+    );
+    assert!(report.is_clean());
+    assert!(base_report.conflicts.is_empty());
+
+    // ---- Structural execution (longest dependence chain) --------------
+    let depth = execute(&alg, &opt.mapping, &DepthKernel);
+    assert!(depth.causality_violations.is_empty());
+    let max_chain = depth.values.values().copied().max().unwrap_or(0);
+    println!(
+        "\nLongest dependence chain: {max_chain} ≤ makespan {} (schedule is causal) ✓",
+        report.makespan()
+    );
+
+    if mu <= 3 {
+        println!("\n─── Space-time diagram (cells are j₁j₂j₃) ───");
+        println!("{}", space_time_diagram(&report, &opt.mapping));
+    }
+}

@@ -1,0 +1,275 @@
+//! `cfmap` — command-line front end to the conflict-free mapping library.
+//!
+//! ```text
+//! cfmap map       --alg matmul --mu 4 --space 1,1,-1        # Problem 2.2
+//! cfmap analyze   --alg matmul --mu 4 --space 1,1,-1 --pi 1,4,1
+//! cfmap simulate  --alg matmul --mu 4 --space 1,1,-1 --pi 1,4,1 [--diagram]
+//! cfmap space-opt --alg matmul --mu 4 --pi 1,4,1             # Problem 6.1
+//! cfmap list                                                 # workloads
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (`--key value` pairs).
+
+use cfmap::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Dying with a panic backtrace when stdout is closed early
+    // (`cfmap … | head`) is hostile; treat a broken pipe as the normal
+    // end of output, like every other Unix filter. Rust only exposes
+    // SIGPIPE through the print panic, so intercept exactly that panic.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info.payload().downcast_ref::<String>().map(String::as_str);
+        if msg.is_some_and(|m| m.contains("Broken pipe")) {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "map" => cmd_map(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "space-opt" => cmd_space_opt(&opts),
+        "joint" => cmd_joint(&opts),
+        "bounds" => cmd_bounds(&opts),
+        "list" => cmd_list(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cfmap — time-optimal conflict-free mappings onto lower-dimensional arrays
+
+USAGE:
+  cfmap map       --alg <name> --mu <n> --space <row[;row]>      find Π° (Problem 2.2)
+  cfmap analyze   --alg <name> --mu <n> --space <row> --pi <row> conflict analysis of T = [S; Π]
+  cfmap simulate  --alg <name> --mu <n> --space <row> --pi <row> [--diagram] cycle-level simulation
+  cfmap space-opt --alg <name> --mu <n> --pi <row>               find S° (Problem 6.1)
+  cfmap joint     --alg <name> --mu <n> [--criterion time|space] find (S°, Π°) (Problem 6.2)
+  cfmap bounds    --alg <name> --mu <n>                          absolute lower bounds
+  cfmap list                                                     available workloads
+
+OPTIONS:
+  --alg       matmul | transitive-closure | convolution | lu | sor | matvec |
+              bitlevel-matmul | bitlevel-convolution | bitlevel-lu
+  --mu        problem size μ (bit-level kernels use μ_w = μ and μ_b = μ+1)
+  --space     space map rows, comma-separated entries, ';' between rows: \"1,1,-1\" or \"1,0,0,0,0;0,1,0,0,0\"
+  --pi        schedule vector: \"1,4,1\"
+  --cap       objective cap for searches (default: heuristic)
+  --diagram   print the space-time diagram (linear arrays)";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("expected --option, got {a:?}"));
+        };
+        if key == "diagram" {
+            map.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn parse_row(s: &str) -> Result<Vec<i64>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse::<i64>().map_err(|_| format!("bad integer {p:?}")))
+        .collect()
+}
+
+fn get_alg(opts: &Opts) -> Result<Uda, String> {
+    let name = opts.get("alg").ok_or("--alg required")?;
+    let mu: i64 = opts
+        .get("mu")
+        .ok_or("--mu required")?
+        .parse()
+        .map_err(|_| "bad --mu")?;
+    if mu < 1 {
+        return Err("--mu must be ≥ 1".into());
+    }
+    Ok(match name.as_str() {
+        "matmul" => algorithms::matmul(mu),
+        "transitive-closure" | "tc" => algorithms::transitive_closure(mu),
+        "convolution" | "conv" => algorithms::convolution(mu, (mu / 2).max(1)),
+        "lu" => algorithms::lu_decomposition(mu),
+        "sor" => algorithms::sor(mu, mu),
+        "matvec" => algorithms::matvec(mu, mu),
+        "bitlevel-matmul" => algorithms::bitlevel_matmul(mu, mu + 1),
+        "bitlevel-convolution" => algorithms::bitlevel_convolution(mu, mu + 1),
+        "bitlevel-lu" => algorithms::bitlevel_lu(mu, mu + 1),
+        other => return Err(format!("unknown algorithm {other:?} (try `cfmap list`)")),
+    })
+}
+
+fn get_space(opts: &Opts, n: usize) -> Result<SpaceMap, String> {
+    let spec = opts.get("space").ok_or("--space required")?;
+    let rows: Result<Vec<Vec<i64>>, String> = spec.split(';').map(parse_row).collect();
+    let rows = rows?;
+    for r in &rows {
+        if r.len() != n {
+            return Err(format!("space row has {} entries, algorithm has n = {n}", r.len()));
+        }
+    }
+    let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    Ok(SpaceMap::from_rows(&refs))
+}
+
+fn get_pi(opts: &Opts, n: usize) -> Result<LinearSchedule, String> {
+    let row = parse_row(opts.get("pi").ok_or("--pi required")?)?;
+    if row.len() != n {
+        return Err(format!("--pi has {} entries, algorithm has n = {n}", row.len()));
+    }
+    Ok(LinearSchedule::new(&row))
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("available workloads (all sizes parameterized by --mu):");
+    for alg in algorithms::all_small() {
+        println!("  {}", alg.name);
+    }
+    Ok(())
+}
+
+fn cmd_map(opts: &Opts) -> Result<(), String> {
+    let alg = get_alg(opts)?;
+    let space = get_space(opts, alg.dim())?;
+    let mut proc = Procedure51::new(&alg, &space);
+    if let Some(cap) = opts.get("cap") {
+        proc = proc.max_objective(cap.parse().map_err(|_| "bad --cap")?);
+    }
+    let opt = proc.solve().ok_or("no conflict-free schedule within the cap")?;
+    println!("algorithm : {}", alg.name);
+    println!("space map :\n{space}");
+    println!("schedule  : {}", opt.schedule);
+    println!("mapping   :\n{}", opt.mapping);
+    println!("time      : t = {} cycles (objective f = {})", opt.total_time, opt.objective);
+    println!("examined  : {} candidates", opt.candidates_examined);
+    let array = SystolicArray::synthesize(&alg, &opt.mapping);
+    println!("array     : {} PEs, {}-D, bounds {:?}", array.num_processors(), array.dims(), array.bounds());
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+    let alg = get_alg(opts)?;
+    let space = get_space(opts, alg.dim())?;
+    let pi = get_pi(opts, alg.dim())?;
+    let mapping = MappingMatrix::new(space, pi);
+    println!("{mapping}");
+    let diagnosis = cfmap::core::diagnose(&alg, &mapping, None);
+    println!("{diagnosis}");
+    if diagnosis.is_valid() {
+        println!("\nverdict: CONFLICT-FREE (exact lattice test)");
+    } else {
+        println!("\nverdict: CONFLICTS / INVALID (see failed conditions above)");
+    }
+    Ok(())
+}
+
+fn cmd_joint(opts: &Opts) -> Result<(), String> {
+    let alg = get_alg(opts)?;
+    let criterion = match opts.get("criterion").map(String::as_str) {
+        None | Some("time") => JointCriterion::TimeThenSpace,
+        Some("space") => JointCriterion::SpaceThenTime,
+        Some(other) => return Err(format!("unknown criterion {other:?} (time|space)")),
+    };
+    let sol = JointSearch::new(&alg)
+        .criterion(criterion)
+        .solve()
+        .ok_or("no conflict-free joint design found")?;
+    println!("space map  : {}", sol.space);
+    println!("schedule   : {}", sol.schedule);
+    println!("total time : {} cycles", sol.total_time);
+    println!("space cost : {} (sites + wires)", sol.space_cost);
+    Ok(())
+}
+
+fn cmd_bounds(opts: &Opts) -> Result<(), String> {
+    let alg = get_alg(opts)?;
+    println!("algorithm             : {}", alg.name);
+    println!("computations |J|      : {}", alg.num_computations());
+    println!("critical path         : {} cycles", critical_path(&alg));
+    match linear_schedule_bound(&alg, 200) {
+        Some(t) => println!("best linear schedule  : {t} cycles (conflicts ignored)"),
+        None => println!("best linear schedule  : none within cap"),
+    }
+    for pes in [1usize, 4, 16] {
+        println!(
+            "pigeonhole ({pes:>3} PEs)  : {} cycles",
+            pigeonhole_bound(&alg, pes)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<(), String> {
+    let alg = get_alg(opts)?;
+    let space = get_space(opts, alg.dim())?;
+    let pi = get_pi(opts, alg.dim())?;
+    let mapping = MappingMatrix::new(space, pi);
+    let report = Simulator::new(&alg, &mapping).run();
+    println!("computations : {}", report.computations);
+    println!("makespan     : {} cycles", report.makespan());
+    println!("conflicts    : {}", report.conflicts.len());
+    println!("peak par.    : {}", report.peak_parallelism);
+    let stats = UtilizationStats::from_report(&report);
+    println!("utilization  : {:.1}% mean, imbalance {:.2}", stats.mean_utilization() * 100.0, stats.load_imbalance());
+    if opts.contains_key("diagram") {
+        if mapping.k() == 2 {
+            println!("\n{}", cfmap::systolic::diagram::space_time_diagram(&report, &mapping));
+        } else {
+            eprintln!("(diagram only available for linear arrays)");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_space_opt(opts: &Opts) -> Result<(), String> {
+    let alg = get_alg(opts)?;
+    let pi = get_pi(opts, alg.dim())?;
+    let bound = opts
+        .get("cap")
+        .map(|c| c.parse().map_err(|_| "bad --cap"))
+        .transpose()?
+        .unwrap_or(2);
+    let sol = SpaceSearch::new(&alg, &pi)
+        .entry_bound(bound)
+        .solve()
+        .ok_or("no conflict-free space map within the entry bound")?;
+    println!("schedule      : {pi}");
+    println!("space map     : {}", sol.space);
+    println!("processors    : {}", sol.processors);
+    println!("wire length   : {}", sol.wire_length);
+    println!("combined cost : {}", sol.cost);
+    Ok(())
+}

@@ -1,0 +1,161 @@
+//! End-to-end tests of the `cfmap` command-line tool.
+
+use std::process::Command;
+
+fn cfmap(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cfmap"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn map_finds_paper_optimum() {
+    let (ok, stdout, _) = cfmap(&["map", "--alg", "matmul", "--mu", "4", "--space", "1,1,-1"]);
+    assert!(ok);
+    assert!(stdout.contains("t = 25 cycles"), "{stdout}");
+    assert!(stdout.contains("13 PEs"), "{stdout}");
+}
+
+#[test]
+fn analyze_flags_conflicting_schedule() {
+    let (ok, stdout, _) = cfmap(&[
+        "analyze", "--alg", "matmul", "--mu", "4", "--space", "1,1,-1", "--pi", "1,1,4",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("CONFLICTS"), "{stdout}");
+    assert!(stdout.contains("NonFeasible"), "{stdout}");
+}
+
+#[test]
+fn analyze_certifies_clean_schedule() {
+    let (ok, stdout, _) = cfmap(&[
+        "analyze", "--alg", "matmul", "--mu", "4", "--space", "1,1,-1", "--pi", "1,4,1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("CONFLICT-FREE"), "{stdout}");
+}
+
+#[test]
+fn simulate_reports_makespan_and_diagram() {
+    let (ok, stdout, _) = cfmap(&[
+        "simulate", "--alg", "matmul", "--mu", "2", "--space", "1,1,-1", "--pi", "1,2,1",
+        "--diagram",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("makespan     : 9 cycles"), "{stdout}");
+    assert!(stdout.contains("conflicts    : 0"), "{stdout}");
+    assert!(stdout.contains("PE0"), "{stdout}");
+}
+
+#[test]
+fn space_opt_matches_library() {
+    let (ok, stdout, _) = cfmap(&["space-opt", "--alg", "matmul", "--mu", "4", "--pi", "1,4,1"]);
+    assert!(ok);
+    assert!(stdout.contains("combined cost : 11"), "{stdout}");
+}
+
+#[test]
+fn transitive_closure_via_cli() {
+    let (ok, stdout, _) = cfmap(&[
+        "map", "--alg", "transitive-closure", "--mu", "4", "--space", "0,0,1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("t = 29 cycles"), "{stdout}");
+    assert!(stdout.contains("[5, 1, 1]"), "{stdout}");
+}
+
+#[test]
+fn joint_finds_problem_6_2_design() {
+    let (ok, stdout, _) = cfmap(&["joint", "--alg", "matmul", "--mu", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("total time : 16 cycles"), "{stdout}");
+    let (ok, stdout, _) = cfmap(&["joint", "--alg", "matmul", "--mu", "3", "--criterion", "space"]);
+    assert!(ok);
+    assert!(stdout.contains("space cost"), "{stdout}");
+}
+
+#[test]
+fn bounds_reports_floors() {
+    let (ok, stdout, _) = cfmap(&["bounds", "--alg", "matmul", "--mu", "4"]);
+    assert!(ok);
+    assert!(stdout.contains("critical path         : 13 cycles"), "{stdout}");
+    assert!(stdout.contains("pigeonhole"), "{stdout}");
+}
+
+#[test]
+fn analyze_prints_condition_table() {
+    let (ok, stdout, _) = cfmap(&[
+        "analyze", "--alg", "matmul", "--mu", "4", "--space", "1,1,-1", "--pi", "1,1,4",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("1. ΠD > 0"), "{stdout}");
+    assert!(stdout.contains("collision witness"), "{stdout}");
+}
+
+#[test]
+fn list_shows_workloads() {
+    let (ok, stdout, _) = cfmap(&["list"]);
+    assert!(ok);
+    assert!(stdout.contains("matmul"));
+    assert!(stdout.contains("bitlevel"));
+}
+
+#[test]
+fn errors_are_reported_cleanly() {
+    let (ok, _, stderr) = cfmap(&["map", "--alg", "nonsense", "--mu", "4", "--space", "1,1,-1"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"), "{stderr}");
+
+    let (ok, _, stderr) = cfmap(&["map", "--alg", "matmul", "--mu", "4", "--space", "1,1"]);
+    assert!(!ok);
+    assert!(stderr.contains("entries"), "{stderr}");
+
+    let (ok, _, stderr) = cfmap(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+
+    let (ok, _, stderr) = cfmap(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn broken_pipe_exits_quietly() {
+    // `cfmap … | head` closes stdout early; the CLI must end like a
+    // normal Unix filter (no panic backtrace, success-ish exit).
+    use std::io::Read;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cfmap"))
+        // μ = 16 produces ~110 KB of diagram — larger than the 64 KB pipe
+        // buffer, so the early close genuinely triggers the broken pipe.
+        .args(["simulate", "--alg", "matmul", "--mu", "16", "--space", "1,1,-1", "--pi", "1,16,1", "--diagram"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    // Read a few bytes, then drop the pipe while the diagram is still
+    // being written.
+    let mut buf = [0u8; 64];
+    let _ = child.stdout.as_mut().unwrap().read(&mut buf);
+    drop(child.stdout.take());
+    let status = child.wait().expect("wait");
+    let mut stderr = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut stderr).unwrap();
+    assert!(!stderr.contains("panicked"), "backtrace leaked: {stderr}");
+    assert!(status.success(), "status: {status:?}, stderr: {stderr}");
+}
+
+#[test]
+fn cap_exhaustion_is_an_error() {
+    let (ok, _, stderr) = cfmap(&[
+        "map", "--alg", "matmul", "--mu", "4", "--space", "1,1,-1", "--cap", "2",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("no conflict-free schedule"), "{stderr}");
+}

@@ -1,0 +1,151 @@
+//! Randomized cross-validation across the full stack: closed-form
+//! conditions vs exact lattice decision vs exhaustive oracle vs simulator,
+//! and Procedure 5.1 vs the ILP decomposition.
+
+use cfmap::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Four deciders, one verdict (3-D, k = 2).
+    #[test]
+    fn all_deciders_agree_3d(
+        s in prop::collection::vec(-3i64..=3, 3),
+        pi in prop::collection::vec(-3i64..=3, 3),
+        mu in 1i64..5,
+    ) {
+        let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
+        let j = IndexSet::cube(3, mu);
+        let analysis = ConflictAnalysis::new(&t, &j);
+        let exact = analysis.is_conflict_free_exact();
+        let by_oracle = oracle::is_conflict_free_by_enumeration(&t, &j);
+        prop_assert_eq!(exact, by_oracle);
+
+        // Simulator agrees (use a small algorithm shell around J).
+        let alg = Uda::new(
+            "probe",
+            j.clone(),
+            DependenceMatrix::from_columns(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]),
+        );
+        let report = Simulator::new(&alg, &t).run();
+        prop_assert_eq!(exact, report.conflicts.is_empty());
+
+        // Closed form never contradicts.
+        match conditions::paper_condition(&analysis, &j) {
+            ConditionVerdict::ConflictFree => prop_assert!(exact),
+            ConditionVerdict::HasConflict => prop_assert!(!exact),
+            ConditionVerdict::Unknown => {}
+        }
+    }
+
+    /// Witnesses extracted from the lattice are real collisions (4-D).
+    #[test]
+    fn lattice_witnesses_collide_4d(
+        s in prop::collection::vec(-2i64..=2, 4),
+        pi in prop::collection::vec(-2i64..=2, 4),
+        mu in 1i64..4,
+    ) {
+        let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
+        let j = IndexSet::cube(4, mu);
+        let analysis = ConflictAnalysis::new(&t, &j);
+        if let Some(gamma) = analysis.find_small_kernel_vector() {
+            let w = analysis.witness_from_kernel_vector(&gamma);
+            prop_assert!(j.contains(&w.j1));
+            prop_assert!(j.contains(&w.j2));
+            prop_assert_ne!(&w.j1, &w.j2);
+            prop_assert_eq!(t.apply(&w.j1), t.apply(&w.j2));
+        }
+    }
+
+    /// Equation 3.2's adjugate formula and the HNF kernel agree for every
+    /// full-rank (n−1)×n mapping.
+    #[test]
+    fn eq_3_2_equals_hnf(
+        s in prop::collection::vec(-3i64..=3, 4),
+        pi in prop::collection::vec(-3i64..=3, 4),
+        s2 in prop::collection::vec(-3i64..=3, 4),
+    ) {
+        let t = MappingMatrix::from_rows(&[&s[..], &s2[..], &pi[..]]);
+        let j = IndexSet::cube(4, 3);
+        let analysis = ConflictAnalysis::new(&t, &j);
+        if analysis.rank() != 3 {
+            return Ok(());
+        }
+        let via_hnf = analysis.unique_conflict_vector();
+        let via_adj = analysis.conflict_vector_eq_3_2();
+        if let (Some(a), Some(b)) = (&via_hnf, &via_adj) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// Procedure 5.1 and the ILP decomposition find the same optimum across a
+/// μ sweep on both paper workloads (experiment E7's core claim).
+#[test]
+fn search_and_ilp_agree() {
+    for mu in 2..=5i64 {
+        let alg = algorithms::matmul(mu);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let a = Procedure51::new(&alg, &s).solve().unwrap();
+        let b = optimal_schedule_ilp(&alg, &s, 2 * mu + 4).unwrap();
+        assert_eq!(a.objective, b.objective, "matmul μ = {mu}");
+
+        let alg = algorithms::transitive_closure(mu);
+        let s = SpaceMap::row(&[0, 0, 1]);
+        let a = Procedure51::new(&alg, &s).solve().unwrap();
+        let b = optimal_schedule_ilp(&alg, &s, 2 * mu + 4).unwrap();
+        assert_eq!(a.objective, b.objective, "TC μ = {mu}");
+    }
+}
+
+/// Paper-condition-driven search is never better than the exact search
+/// (sufficiency ⇒ soundness) and agrees on the paper workloads.
+#[test]
+fn paper_conditions_sound_in_search() {
+    for mu in 2..=4i64 {
+        let alg = algorithms::matmul(mu);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let exact = Procedure51::new(&alg, &s).solve().unwrap();
+        let paper = Procedure51::new(&alg, &s)
+            .condition(ConditionKind::Paper)
+            .solve()
+            .unwrap();
+        assert!(paper.objective >= exact.objective, "μ = {mu}");
+        assert_eq!(paper.objective, exact.objective, "μ = {mu}: Thm 3.1 is exact for r = 1");
+    }
+}
+
+/// Proposition 8.1's closed form plugged into the repaired Theorem 4.7/4.8
+/// test is sound against the oracle on random normalized 3×5 mappings.
+#[test]
+fn prop81_plus_sign_conditions_sound() {
+    let mut checked = 0;
+    for seed in 0..200i64 {
+        // Simple deterministic pseudo-random pattern.
+        let v = |k: i64| ((seed * 37 + k * 101) % 7) - 3;
+        let s12 = v(1);
+        let s21 = v(2);
+        let s22 = 1 + s21 * s12;
+        let s_rows: [Vec<i64>; 2] = [
+            vec![1, s12, v(3), v(4), v(5)],
+            vec![s21, s22, v(6), v(7), v(8)],
+        ];
+        let pi: Vec<i64> = (9..14).map(v).collect();
+        let t = MappingMatrix::from_rows(&[&s_rows[0][..], &s_rows[1][..], &pi[..]]);
+        if t.as_mat().rank() < 3 {
+            continue;
+        }
+        let Some((u4, u5)) = prop_8_1_basis(&t) else { continue };
+        let j = IndexSet::cube(5, 2);
+        let verdict = conditions::sign_pattern_condition_on_basis(&[u4, u5], &j);
+        if verdict == ConditionVerdict::ConflictFree {
+            assert!(
+                oracle::is_conflict_free_by_enumeration(&t, &j),
+                "false certificate at seed {seed}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no certificates fired — strengthen the instance family");
+}

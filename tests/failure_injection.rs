@@ -1,0 +1,113 @@
+//! Failure injection: deliberately broken mappings must be caught at
+//! every layer — closed-form conditions, exact lattice test, exhaustive
+//! oracle, and the cycle-level simulator.
+
+use cfmap::prelude::*;
+
+/// A catalogue of broken designs and the property they violate.
+fn broken_designs() -> Vec<(&'static str, Uda, MappingMatrix)> {
+    vec![
+        (
+            "matmul Π₁ = [1,1,μ] (appendix reject: conflicts)",
+            algorithms::matmul(4),
+            MappingMatrix::from_rows(&[&[1, 1, -1], &[1, 1, 4]]),
+        ),
+        (
+            "matmul Π = [1,1,1] (diagonal collapse)",
+            algorithms::matmul(4),
+            MappingMatrix::from_rows(&[&[1, 1, -1], &[1, 1, 1]]),
+        ),
+        (
+            "Eq 2.8 mapping over {0..6}⁴",
+            algorithms::example_2_1(),
+            MappingMatrix::from_rows(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]),
+        ),
+        (
+            "TC with undersized schedule [3,1,1] (γ = [1,−3,0] fits μ=4)",
+            algorithms::transitive_closure(4),
+            MappingMatrix::from_rows(&[&[0, 0, 1], &[3, 1, 1]]),
+        ),
+        (
+            "Theorem 4.8 repair regression instance",
+            algorithms::bitlevel_matmul(2, 1),
+            MappingMatrix::from_rows(&[&[1, 1, 0, 0, 0], &[1, 3, 6, 6, 1]]),
+        ),
+    ]
+}
+
+#[test]
+fn every_layer_catches_conflicts() {
+    for (name, alg, t) in broken_designs() {
+        // Layer 1: exact lattice decision.
+        let analysis = ConflictAnalysis::new(&t, &alg.index_set);
+        assert!(!analysis.is_conflict_free_exact(), "exact missed: {name}");
+
+        // Layer 2: a concrete small kernel vector with a witness pair.
+        let gamma = analysis.find_small_kernel_vector().expect(name);
+        let w = analysis.witness_from_kernel_vector(&gamma);
+        assert!(alg.index_set.contains(&w.j1), "{name}");
+        assert!(alg.index_set.contains(&w.j2), "{name}");
+        assert_eq!(t.apply(&w.j1), t.apply(&w.j2), "{name}");
+
+        // Layer 3: exhaustive oracle.
+        assert!(!oracle::is_conflict_free_by_enumeration(&t, &alg.index_set), "oracle missed: {name}");
+
+        // Layer 4: the paper's closed-form condition never certifies it.
+        let verdict = conditions::paper_condition(&analysis, &alg.index_set);
+        assert_ne!(verdict, ConditionVerdict::ConflictFree, "closed form certified: {name}");
+
+        // Layer 5: the simulator observes the collision on the "hardware".
+        let report = Simulator::new(&alg, &t).run();
+        assert!(!report.conflicts.is_empty(), "simulator missed: {name}");
+    }
+}
+
+/// Schedules violating `ΠD > 0` are rejected by validity checks and
+/// produce causality violations in execution.
+#[test]
+fn dependence_violations_detected() {
+    let alg = algorithms::transitive_closure(3);
+    // π₁ − π₂ − π₃ = 0 violates strict positivity on d̄₃.
+    let bad = LinearSchedule::new(&[2, 1, 1]);
+    assert!(!bad.is_valid_for(&alg.deps));
+    let t = MappingMatrix::new(SpaceMap::row(&[0, 0, 1]), bad);
+    let result = execute(&alg, &t, &DepthKernel);
+    assert!(!result.causality_violations.is_empty());
+}
+
+/// Rank-deficient mappings (condition 4 of Definition 2.2) are rejected,
+/// and the search never returns one.
+#[test]
+fn rank_deficiency_detected() {
+    let t = MappingMatrix::from_rows(&[&[1, 1, -1], &[2, 2, -2]]);
+    assert!(!t.has_full_rank());
+    let alg = algorithms::matmul(3);
+    let s = SpaceMap::row(&[1, 1, -1]);
+    let opt = Procedure51::new(&alg, &s).solve().unwrap();
+    assert!(opt.mapping.has_full_rank());
+}
+
+/// Unroutable interconnects are refused rather than silently misrouted.
+#[test]
+fn unroutable_interconnect_detected() {
+    let alg = algorithms::matmul(3);
+    // Only a leftward primitive, but B and A must move right.
+    let prims = InterconnectionPrimitives::from_columns(&[&[-1]]);
+    let t = MappingMatrix::from_rows(&[&[1, 1, -1], &[1, 3, 1]]);
+    assert!(route(&t, &alg.deps, &prims).is_none());
+}
+
+/// Sanity: a mapping that conflicts on a *sub-box* only — bound tightness
+/// of Theorem 2.2. γ = [1, −(μ+1), 0] is feasible for bound μ but not for
+/// bound μ+1 on axis 2.
+#[test]
+fn feasibility_is_bound_tight() {
+    let mu = 4;
+    let t = MappingMatrix::from_rows(&[&[0, 0, 1], &[mu + 1, 1, 1]]);
+    let tight = IndexSet::new(&[mu, mu, mu]);
+    let loose = IndexSet::new(&[mu, mu + 1, mu]);
+    let a_tight = ConflictAnalysis::new(&t, &tight);
+    let a_loose = ConflictAnalysis::new(&t, &loose);
+    assert!(a_tight.is_conflict_free_exact());
+    assert!(!a_loose.is_conflict_free_exact());
+}

@@ -1,0 +1,230 @@
+//! Every numbered example and quantitative claim of the paper, end to end.
+//!
+//! Each test names the paper artifact it reproduces; `EXPERIMENTS.md`
+//! indexes them.
+
+use cfmap::prelude::*;
+
+/// Example 2.1: the 4-D algorithm with T of Equation 2.8 — γ₁, γ₂ are
+/// feasible conflict vectors, γ₃ is non-feasible, [2,0,−2,0] is not a
+/// conflict vector at all, and T is not conflict-free.
+#[test]
+fn example_2_1() {
+    let j = IndexSet::cube(4, 6);
+    let t = MappingMatrix::from_rows(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]);
+    let g1 = IVec::from_i64s(&[0, 1, -7, 0]);
+    let g2 = IVec::from_i64s(&[7, -1, 0, 0]);
+    let g3 = IVec::from_i64s(&[1, 0, -1, 0]);
+    let not_primitive = IVec::from_i64s(&[2, 0, -2, 0]);
+
+    for g in [&g1, &g2, &g3, &not_primitive] {
+        assert!(t.as_mat().mul_vec(g).is_zero(), "Tγ = 0 required");
+    }
+    assert!(g1.is_primitive() && g2.is_primitive() && g3.is_primitive());
+    assert!(!not_primitive.is_primitive());
+    assert_eq!(feasibility(&g1, &j), Feasibility::Feasible);
+    assert_eq!(feasibility(&g2, &j), Feasibility::Feasible);
+    assert_eq!(feasibility(&g3, &j), Feasibility::NonFeasible);
+
+    // "Therefore, T is not conflict-free." — by all three deciders.
+    let analysis = ConflictAnalysis::new(&t, &j);
+    assert!(!analysis.is_conflict_free_exact());
+    assert!(!oracle::is_conflict_free_by_enumeration(&t, &j));
+    let report = Simulator::new(&algorithms::example_2_1(), &t).run();
+    assert!(!report.conflicts.is_empty());
+}
+
+/// Theorem 2.2 on the Figure 1 instance, both directions.
+#[test]
+fn theorem_2_2_figure_1() {
+    let j = IndexSet::new(&[4, 4]);
+    // Non-feasible γ₁ = [1,1]: exhibit the witness pair.
+    let g1 = IVec::from_i64s(&[1, 1]);
+    assert_eq!(feasibility(&g1, &j), Feasibility::NonFeasible);
+    assert!(j.iter().any(|p| j.contains_offset(&p, &g1)));
+    // Feasible γ₂ = [3,5]: no pair anywhere.
+    let g2 = IVec::from_i64s(&[3, 5]);
+    assert_eq!(feasibility(&g2, &j), Feasibility::Feasible);
+    assert!(j.iter().all(|p| !j.contains_offset(&p, &g2)));
+}
+
+/// Example 3.1 / Equation 3.5: the symbolic conflict vector of the matmul
+/// mapping and its rank condition.
+#[test]
+fn example_3_1() {
+    let j = IndexSet::cube(3, 4);
+    for pi in [[1i64, 4, 1], [2, 1, 4], [3, 2, 5]] {
+        let t = MappingMatrix::from_rows(&[&[1, 1, -1], &pi]);
+        let analysis = ConflictAnalysis::new(&t, &j);
+        let gamma = analysis.conflict_vector_eq_3_2().expect("B nonsingular");
+        let raw = IVec::from_i64s(&[-(pi[1] + pi[2]), pi[0] + pi[2], pi[0] - pi[1]]);
+        assert_eq!(gamma, raw.primitive_part().unwrap());
+        // "T·γ = −d̄₃-direction": γ is in the kernel.
+        assert!(t.as_mat().mul_vec(&gamma).is_zero());
+        // rank(T) = 2 whenever some entry of the formula is nonzero.
+        assert!(t.has_full_rank());
+    }
+}
+
+/// Example 3.2 / Equation 3.7: the transitive-closure conflict vector.
+#[test]
+fn example_3_2() {
+    let j = IndexSet::cube(3, 4);
+    let t = MappingMatrix::from_rows(&[&[0, 0, 1], &[5, 1, 1]]);
+    let analysis = ConflictAnalysis::new(&t, &j);
+    let gamma = analysis.conflict_vector_eq_3_2().unwrap();
+    // γ ∝ [π₂, −π₁, 0] = [1, −5, 0].
+    assert_eq!(gamma, IVec::from_i64s(&[1, -5, 0]));
+}
+
+/// Example 4.1: two feasible conflict vectors whose rational combination
+/// is a non-feasible conflict vector — the motivation for the Hermite
+/// (integral-combination) representation.
+#[test]
+fn example_4_1() {
+    let j = IndexSet::cube(4, 6);
+    let g1 = IVec::from_i64s(&[0, 1, -7, 0]);
+    let g2 = IVec::from_i64s(&[7, -1, 0, 0]);
+    // γ = (γ₁ + γ₂)/7 — integral, primitive, non-feasible.
+    let sum = &g1 + &g2;
+    let g = sum.primitive_part().unwrap();
+    assert_eq!(g, IVec::from_i64s(&[1, 0, -1, 0]));
+    assert_eq!(feasibility(&g, &j), Feasibility::NonFeasible);
+    assert_eq!(feasibility(&g1, &j), Feasibility::Feasible);
+    assert_eq!(feasibility(&g2, &j), Feasibility::Feasible);
+}
+
+/// Example 4.2: the Hermite normal form of the Eq 2.8 mapping — the
+/// paper's stated H, U, V verify, and our hand-rolled HNF produces an
+/// equivalent decomposition.
+#[test]
+fn example_4_2() {
+    let t = IMat::from_rows(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]);
+    let u_paper = IMat::from_rows(&[
+        &[1, -1, -1, -7],
+        &[0, 0, 0, 1],
+        &[0, 0, 1, 0],
+        &[0, 1, 0, 0],
+    ]);
+    let v_paper = IMat::from_rows(&[
+        &[1, 7, 1, 1],
+        &[0, 0, 0, 1],
+        &[0, 0, 1, 0],
+        &[0, 1, 0, 0],
+    ]);
+    // TU = H = [[1,0,0,0],[1,−1,0,0]], U unimodular, V = U⁻¹.
+    let h = &t * &u_paper;
+    assert_eq!(h, IMat::from_rows(&[&[1, 0, 0, 0], &[1, -1, 0, 0]]));
+    assert!(u_paper.is_unimodular());
+    assert_eq!(&u_paper * &v_paper, IMat::identity(4));
+
+    // Our HNF: same defining properties, same kernel lattice.
+    let ours = hermite_normal_form(&t);
+    assert_eq!(ours.rank, 2);
+    assert_eq!(&(&t * &ours.u), &ours.h);
+    assert!(ours.u.is_unimodular());
+    // The paper's kernel columns are integral combinations of ours.
+    for c in [2usize, 3] {
+        let beta = ours.v.mul_vec(&u_paper.col(c));
+        assert!(beta[0].is_zero() && beta[1].is_zero());
+    }
+}
+
+/// Example 5.1: optimal matmul design — objective, time formula,
+/// buffers, conflict-freedom, link-collision-freedom, and the claim that
+/// the [23] baseline needs one more buffer and four more cycles (μ = 4).
+#[test]
+fn example_5_1_complete() {
+    let mu = 4i64;
+    let alg = algorithms::matmul(mu);
+    let s = SpaceMap::row(&[1, 1, -1]);
+    let prims = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
+
+    let opt = Procedure51::new(&alg, &s).primitives(&prims).solve().unwrap();
+    assert_eq!(opt.total_time, mu * (mu + 2) + 1);
+    let routing = opt.routing.unwrap();
+    assert_eq!(routing.total_buffers(), Int::from(3));
+    assert!(routing.is_collision_free_by_k());
+
+    // The paper's own Π₂ = [1, μ, 1] is an optimum too.
+    let paper_mapping = MappingMatrix::new(s.clone(), LinearSchedule::new(&[1, mu, 1]));
+    assert!(oracle::is_conflict_free_by_enumeration(&paper_mapping, &alg.index_set));
+    assert_eq!(paper_mapping.schedule().total_time(&alg.index_set), opt.total_time);
+
+    // Baseline [23].
+    let base = baselines::matmul_baseline_23(mu);
+    assert_eq!(base.total_time(&alg), mu * (mu + 3) + 1);
+    let base_routing = route(&base.mapping(), &alg.deps, &prims).unwrap();
+    assert_eq!(base_routing.total_buffers(), Int::from(4));
+
+    // Simulated, both clean; optimal faster by exactly μ cycles.
+    let r_opt = Simulator::new(&alg, &opt.mapping).with_routing(&routing).run();
+    let bm = base.mapping();
+    let r_base = Simulator::new(&alg, &bm).with_routing(&base_routing).run();
+    assert!(r_opt.is_clean() && r_base.is_clean());
+    assert_eq!(r_base.makespan() - r_opt.makespan(), mu);
+}
+
+/// Example 5.2: optimal transitive-closure design vs the [22] heuristic.
+#[test]
+fn example_5_2_complete() {
+    for mu in 2..=5i64 {
+        let alg = algorithms::transitive_closure(mu);
+        let s = SpaceMap::row(&[0, 0, 1]);
+        let opt = Procedure51::new(&alg, &s).solve().unwrap();
+        assert_eq!(opt.schedule.as_slice(), &[mu + 1, 1, 1], "μ = {mu}");
+        assert_eq!(opt.total_time, mu * (mu + 3) + 1);
+
+        // Conflict vector γ = [1, −(μ+1), 0] (the paper's, canonicalized).
+        let analysis = ConflictAnalysis::new(&opt.mapping, &alg.index_set);
+        let gamma = analysis.unique_conflict_vector().unwrap();
+        assert_eq!(gamma.to_i64s().unwrap(), vec![1, -(mu + 1), 0]);
+
+        // Improvement over [22]: μ(2μ+3)+1 → μ(μ+3)+1.
+        let base = baselines::transitive_closure_baseline_22(mu);
+        assert_eq!(base.total_time(&alg) - opt.total_time, mu * mu);
+    }
+}
+
+/// Section 5's complexity remark made concrete: the candidate space
+/// Procedure 5.1 wades through grows quickly with the objective cap, while
+/// the closed-form conflict test needs no index-point enumeration at all.
+#[test]
+fn procedure_5_1_candidate_growth() {
+    let alg = algorithms::matmul(4);
+    let s = SpaceMap::row(&[1, 1, -1]);
+    let p = Procedure51::new(&alg, &s);
+    let counts: Vec<u64> = [8, 16, 24, 32].iter().map(|&c| p.count_candidates(c)).collect();
+    assert!(counts.windows(2).all(|w| w[0] < w[1]));
+}
+
+/// Extension finding (Problem 6.2): freeing the space map improves the
+/// transitive closure beyond the paper's fixed-S design — `S = [1, −1, 0]`
+/// with `Π = [4, 1, 1]` achieves `t = 25 < μ(μ+3)+1 = 29` at μ = 4,
+/// conflict-free by every decider.
+#[test]
+fn transitive_closure_joint_design_beats_paper_fixed_s() {
+    let mu = 4;
+    let alg = algorithms::transitive_closure(mu);
+    let t = MappingMatrix::from_rows(&[&[1, -1, 0], &[4, 1, 1]]);
+    assert!(t.schedule().is_valid_for(&alg.deps));
+    assert!(t.has_full_rank());
+    assert!(oracle::is_conflict_free_by_enumeration(&t, &alg.index_set));
+    let report = Simulator::new(&alg, &t).run();
+    assert!(report.conflicts.is_empty());
+    assert_eq!(report.makespan(), 25);
+    assert!(report.makespan() < mu * (mu + 3) + 1);
+}
+
+/// The appendix's rejected candidate: Π₁ = [1, 1, μ] has the non-feasible
+/// (after gcd reduction) conflict vector — all three deciders agree.
+#[test]
+fn appendix_pi1_rejection() {
+    let mu = 4;
+    let alg = algorithms::matmul(mu);
+    let t = MappingMatrix::from_rows(&[&[1, 1, -1], &[1, 1, mu]]);
+    let analysis = ConflictAnalysis::new(&t, &alg.index_set);
+    assert!(!analysis.is_conflict_free_exact());
+    assert!(!oracle::is_conflict_free_by_enumeration(&t, &alg.index_set));
+    assert!(!Simulator::new(&alg, &t).run().conflicts.is_empty());
+}
