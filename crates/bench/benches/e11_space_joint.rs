@@ -1,60 +1,49 @@
 //! E11/E12 — Problems 6.1 and 6.2: cost of the space-optimal and joint
 //! searches.
 
+use cfmap_bench::timing::{bench, group};
 use cfmap_core::joint_search::{JointCriterion, JointSearch};
 use cfmap_core::space_search::SpaceSearch;
 use cfmap_model::{algorithms, bounds, LinearSchedule};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e11_space_search");
-    group.sample_size(10);
+fn main() {
+    group("e11_space_search");
     for mu in [3i64, 4] {
         let alg = algorithms::matmul(mu);
         let pi = LinearSchedule::new(&[1, mu, 1]);
-        group.bench_with_input(BenchmarkId::new("bound1", mu), &mu, |b, _| {
-            b.iter(|| SpaceSearch::new(black_box(&alg), &pi).entry_bound(1).solve())
+        bench(&format!("bound1/{mu}"), || {
+            SpaceSearch::new(black_box(&alg), &pi).entry_bound(1).solve().unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("bound2", mu), &mu, |b, _| {
-            b.iter(|| SpaceSearch::new(black_box(&alg), &pi).entry_bound(2).solve())
+        bench(&format!("bound2/{mu}"), || {
+            SpaceSearch::new(black_box(&alg), &pi).entry_bound(2).solve().unwrap()
         });
     }
     {
         let alg = algorithms::bitlevel_convolution(2, 2);
         let pi = LinearSchedule::new(&[1, 1, 1, 3]);
-        group.bench_function("two_rows_bitlevel", |b| {
-            b.iter(|| SpaceSearch::new(black_box(&alg), &pi).rows(2).entry_bound(1).solve())
+        bench("two_rows_bitlevel", || {
+            SpaceSearch::new(black_box(&alg), &pi).rows(2).entry_bound(1).solve().unwrap()
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("e12_joint_search");
-    group.sample_size(10);
+    group("e12_joint_search");
     for mu in [3i64, 4] {
         let alg = algorithms::matmul(mu);
-        group.bench_with_input(BenchmarkId::new("time_first", mu), &mu, |b, _| {
-            b.iter(|| JointSearch::new(black_box(&alg)).solve())
+        bench(&format!("time_first/{mu}"), || {
+            JointSearch::new(black_box(&alg)).solve().unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("space_first", mu), &mu, |b, _| {
-            b.iter(|| {
-                JointSearch::new(black_box(&alg))
-                    .criterion(JointCriterion::SpaceThenTime)
-                    .solve()
-            })
+        bench(&format!("space_first/{mu}"), || {
+            JointSearch::new(black_box(&alg))
+                .criterion(JointCriterion::SpaceThenTime)
+                .solve()
+                .unwrap()
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("e12_bounds");
+    group("e12_bounds");
     for mu in [3i64, 4, 6] {
         let alg = algorithms::matmul(mu);
-        group.bench_with_input(BenchmarkId::new("critical_path", mu), &mu, |b, _| {
-            b.iter(|| bounds::critical_path(black_box(&alg)))
-        });
+        bench(&format!("critical_path/{mu}"), || bounds::critical_path(black_box(&alg)));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,26 +1,22 @@
 //! E1 — Figure 1: cost of the Theorem 2.2 feasibility test vs the
 //! brute-force "does any j + γ stay in J" scan.
 
+use cfmap_bench::timing::{bench, group};
 use cfmap_core::conflict::feasibility;
 use cfmap_intlin::IVec;
 use cfmap_model::IndexSet;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_feasibility");
+fn main() {
+    group("e1_feasibility");
     for mu in [4i64, 16, 64] {
         let j = IndexSet::new(&[mu, mu]);
         let gamma = IVec::from_i64s(&[mu - 1, mu + 1]);
-        group.bench_with_input(BenchmarkId::new("theorem_2_2", mu), &mu, |b, _| {
-            b.iter(|| feasibility(black_box(&gamma), black_box(&j)))
+        bench(&format!("theorem_2_2/{mu}"), || {
+            feasibility(black_box(&gamma), black_box(&j))
         });
-        group.bench_with_input(BenchmarkId::new("brute_force_scan", mu), &mu, |b, _| {
-            b.iter(|| j.iter().filter(|p| j.contains_offset(p, &gamma)).count())
+        bench(&format!("brute_force_scan/{mu}"), || {
+            j.iter().filter(|p| j.contains_offset(p, &gamma)).count()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

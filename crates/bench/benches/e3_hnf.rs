@@ -1,8 +1,8 @@
 //! E3 — Example 4.2: Hermite normal form cost on mapping-matrix shapes
 //! (the inner loop of every conflict-freedom test).
 
+use cfmap_bench::timing::{bench, group};
 use cfmap_intlin::{hermite_normal_form, smith_normal_form, IMat, Int};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn paper_matrix() -> IMat {
@@ -15,30 +15,22 @@ fn synthetic(k: usize, n: usize, scale: i64) -> IMat {
     })
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e3_hnf");
-    group.bench_function("paper_eq_2_8", |b| {
+fn main() {
+    group("e3_hnf");
+    {
         let t = paper_matrix();
-        b.iter(|| hermite_normal_form(black_box(&t)))
-    });
+        bench("paper_eq_2_8", || hermite_normal_form(black_box(&t)));
+    }
     for (k, n) in [(2usize, 4usize), (3, 5), (4, 8), (6, 12)] {
         let t = synthetic(k, n, 9);
-        group.bench_with_input(BenchmarkId::new("hnf", format!("{k}x{n}")), &t, |b, t| {
-            b.iter(|| hermite_normal_form(black_box(t)))
-        });
-        group.bench_with_input(BenchmarkId::new("smith", format!("{k}x{n}")), &t, |b, t| {
-            b.iter(|| smith_normal_form(black_box(t)))
-        });
+        bench(&format!("hnf/{k}x{n}"), || hermite_normal_form(black_box(&t)));
+        bench(&format!("smith/{k}x{n}"), || smith_normal_form(black_box(&t)));
     }
     // Entry-magnitude sensitivity (bigint cost).
     for scale in [9i64, 999, 999_983] {
         let t = synthetic(3, 5, scale);
-        group.bench_with_input(BenchmarkId::new("hnf_magnitude", scale), &t, |b, t| {
-            b.iter(|| hermite_normal_form(black_box(t)))
+        bench(&format!("hnf_magnitude/{scale}"), || {
+            hermite_normal_form(black_box(&t))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

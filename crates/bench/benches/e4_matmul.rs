@@ -1,39 +1,34 @@
 //! E4 — Example 5.1 / Figures 2–3: optimizer, routing, simulation and
 //! numeric execution of the matmul linear-array design across μ.
 
+use cfmap_bench::timing::{bench, group};
 use cfmap_core::mapping::{route, InterconnectionPrimitives};
 use cfmap_core::{MappingMatrix, Procedure51, SpaceMap};
 use cfmap_model::{algorithms, LinearSchedule};
 use cfmap_systolic::exec::{execute, MatmulKernel};
 use cfmap_systolic::Simulator;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_matmul");
-    group.sample_size(10);
+fn main() {
+    group("e4_matmul");
     for mu in [3i64, 4, 6] {
         let alg = algorithms::matmul(mu);
         let s = SpaceMap::row(&[1, 1, -1]);
-        group.bench_with_input(BenchmarkId::new("procedure_5_1", mu), &mu, |b, _| {
-            b.iter(|| Procedure51::new(black_box(&alg), &s).solve().unwrap())
+        bench(&format!("procedure_5_1/{mu}"), || {
+            Procedure51::new(black_box(&alg), &s).solve().unwrap()
         });
         let mapping = MappingMatrix::new(s.clone(), LinearSchedule::new(&[1, mu, 1]));
         let prims = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
-        group.bench_with_input(BenchmarkId::new("route", mu), &mu, |b, _| {
-            b.iter(|| route(black_box(&mapping), &alg.deps, &prims).unwrap())
+        bench(&format!("route/{mu}"), || {
+            route(black_box(&mapping), &alg.deps, &prims).unwrap()
         });
         let routing = route(&mapping, &alg.deps, &prims).unwrap();
-        group.bench_with_input(BenchmarkId::new("simulate_with_links", mu), &mu, |b, _| {
-            b.iter(|| Simulator::new(black_box(&alg), &mapping).with_routing(&routing).run())
+        bench(&format!("simulate_with_links/{mu}"), || {
+            Simulator::new(black_box(&alg), &mapping).with_routing(&routing).run().unwrap()
         });
         let kernel = MatmulKernel::random((mu + 1) as usize, 1);
-        group.bench_with_input(BenchmarkId::new("numeric_execution", mu), &mu, |b, _| {
-            b.iter(|| execute(black_box(&alg), &mapping, &kernel))
+        bench(&format!("numeric_execution/{mu}"), || {
+            execute(black_box(&alg), &mapping, &kernel)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

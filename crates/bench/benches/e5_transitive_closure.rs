@@ -1,32 +1,27 @@
 //! E5 — Example 5.2: transitive-closure optimizer and simulation, optimal
 //! design vs the [22] baseline.
 
+use cfmap_bench::timing::{bench, group};
 use cfmap_core::{baselines, Procedure51, SpaceMap};
 use cfmap_model::algorithms;
 use cfmap_systolic::Simulator;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_transitive_closure");
-    group.sample_size(10);
+fn main() {
+    group("e5_transitive_closure");
     for mu in [3i64, 4, 6] {
         let alg = algorithms::transitive_closure(mu);
         let s = SpaceMap::row(&[0, 0, 1]);
-        group.bench_with_input(BenchmarkId::new("procedure_5_1", mu), &mu, |b, _| {
-            b.iter(|| Procedure51::new(black_box(&alg), &s).solve().unwrap())
+        bench(&format!("procedure_5_1/{mu}"), || {
+            Procedure51::new(black_box(&alg), &s).solve().unwrap()
         });
-        let opt = Procedure51::new(&alg, &s).solve().unwrap();
-        group.bench_with_input(BenchmarkId::new("simulate_optimal", mu), &mu, |b, _| {
-            b.iter(|| Simulator::new(black_box(&alg), &opt.mapping).run())
+        let opt = Procedure51::new(&alg, &s).solve().unwrap().expect_optimal("solvable");
+        bench(&format!("simulate_optimal/{mu}"), || {
+            Simulator::new(black_box(&alg), &opt.mapping).run().unwrap()
         });
         let base = baselines::transitive_closure_baseline_22(mu).mapping();
-        group.bench_with_input(BenchmarkId::new("simulate_baseline_22", mu), &mu, |b, _| {
-            b.iter(|| Simulator::new(black_box(&alg), &base).run())
+        bench(&format!("simulate_baseline_22/{mu}"), || {
+            Simulator::new(black_box(&alg), &base).run().unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,33 +1,29 @@
 //! E6 — bit-level mappings: Proposition 8.1 closed form vs hand-rolled
 //! HNF, and the repaired sign-pattern conditions.
 
+use cfmap_bench::timing::{bench, group};
 use cfmap_core::conditions::sign_pattern_condition_on_basis;
 use cfmap_core::prop81::prop_8_1_basis;
 use cfmap_core::{MappingMatrix, SpaceMap};
 use cfmap_intlin::hermite_normal_form;
 use cfmap_model::{algorithms, IndexSet, LinearSchedule};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_bitlevel");
+fn main() {
+    group("e6_bitlevel");
     let mapping = MappingMatrix::new(
         SpaceMap::from_rows(&[&[1, 0, 0, 0, 0], &[0, 1, 0, 0, 0]]),
         LinearSchedule::new(&[1, 1, 1, 3, 12]),
     );
 
-    group.bench_function("prop_8_1_closed_form", |b| {
-        b.iter(|| prop_8_1_basis(black_box(&mapping)).unwrap())
-    });
-    group.bench_function("hand_rolled_hnf", |b| {
-        b.iter(|| hermite_normal_form(black_box(mapping.as_mat())))
-    });
+    bench("prop_8_1_closed_form", || prop_8_1_basis(black_box(&mapping)).unwrap());
+    bench("hand_rolled_hnf", || hermite_normal_form(black_box(mapping.as_mat())));
 
     let alg = algorithms::bitlevel_matmul(2, 3);
     let (u4, u5) = prop_8_1_basis(&mapping).unwrap();
     let basis = [u4, u5];
-    group.bench_function("sign_pattern_condition_r2", |b| {
-        b.iter(|| sign_pattern_condition_on_basis(black_box(&basis), &alg.index_set))
+    bench("sign_pattern_condition_r2", || {
+        sign_pattern_condition_on_basis(black_box(&basis), &alg.index_set)
     });
 
     // r = 3 condition cost (subset repair adds pairwise patterns).
@@ -35,11 +31,7 @@ fn bench(c: &mut Criterion) {
     let j = IndexSet::new(&[2, 2, 2, 1, 1]);
     let hnf = hermite_normal_form(t1d.as_mat());
     let kernel = hnf.kernel_cols();
-    group.bench_function("sign_pattern_condition_r3", |b| {
-        b.iter(|| sign_pattern_condition_on_basis(black_box(&kernel), &j))
+    bench("sign_pattern_condition_r3", || {
+        sign_pattern_condition_on_basis(black_box(&kernel), &j)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,45 +1,38 @@
 //! E7 — the two optimizers head to head, and the closed-form conflict
 //! test vs index-point enumeration (E7b).
 
+use cfmap_bench::timing::{bench, group};
 use cfmap_core::conflict::ConflictAnalysis;
 use cfmap_core::ilp::optimal_schedule_ilp;
-use cfmap_core::{oracle, MappingMatrix, Procedure51, SpaceMap};
+use cfmap_core::{oracle, MappingMatrix, Procedure51, SearchBudget, SpaceMap};
 use cfmap_model::{algorithms, LinearSchedule};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_search_vs_ilp");
-    group.sample_size(10);
+fn main() {
+    group("e7_search_vs_ilp");
     for mu in [3i64, 4] {
         let alg = algorithms::matmul(mu);
         let s = SpaceMap::row(&[1, 1, -1]);
-        group.bench_with_input(BenchmarkId::new("procedure_5_1", mu), &mu, |b, _| {
-            b.iter(|| Procedure51::new(black_box(&alg), &s).solve().unwrap())
+        bench(&format!("procedure_5_1/{mu}"), || {
+            Procedure51::new(black_box(&alg), &s).solve().unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("ilp_decomposition", mu), &mu, |b, _| {
-            b.iter(|| optimal_schedule_ilp(black_box(&alg), &s, 2 * mu + 4).unwrap())
+        bench(&format!("ilp_decomposition/{mu}"), || {
+            optimal_schedule_ilp(black_box(&alg), &s, 2 * mu + 4, SearchBudget::unlimited())
+                .unwrap()
         });
     }
-    group.finish();
 
     // E7b: closed-form conflict decision vs exhaustive enumeration.
-    let mut group = c.benchmark_group("e7b_closedform_vs_enum");
+    group("e7b_closedform_vs_enum");
     for mu in [4i64, 8, 12] {
         let alg = algorithms::matmul(mu);
         let t = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, mu, 1]));
-        group.bench_with_input(BenchmarkId::new("closed_form", mu), &mu, |b, _| {
-            b.iter(|| {
-                let analysis = ConflictAnalysis::new(black_box(&t), &alg.index_set);
-                analysis.is_conflict_free_exact()
-            })
+        bench(&format!("closed_form/{mu}"), || {
+            let analysis = ConflictAnalysis::new(black_box(&t), &alg.index_set);
+            analysis.is_conflict_free_exact()
         });
-        group.bench_with_input(BenchmarkId::new("enumeration", mu), &mu, |b, _| {
-            b.iter(|| oracle::is_conflict_free_by_enumeration(black_box(&t), &alg.index_set))
+        bench(&format!("enumeration/{mu}"), || {
+            oracle::is_conflict_free_by_enumeration(black_box(&t), &alg.index_set)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

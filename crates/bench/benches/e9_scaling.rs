@@ -1,27 +1,24 @@
 //! E9 — scaling: candidate enumeration, exact conflict decision and
 //! simulation cost as μ and n grow.
 
+use cfmap_bench::timing::{bench, group};
 use cfmap_core::conflict::ConflictAnalysis;
 use cfmap_core::{MappingMatrix, Procedure51, SpaceMap};
 use cfmap_model::{algorithms, LinearSchedule};
 use cfmap_systolic::Simulator;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e9_candidate_enumeration");
+fn main() {
+    group("e9_candidate_enumeration");
     for mu in [3i64, 4, 6] {
         let alg = algorithms::matmul(mu);
         let s = SpaceMap::row(&[1, 1, -1]);
         let proc = Procedure51::new(&alg, &s);
         let cap = mu * (mu + 2);
-        group.bench_with_input(BenchmarkId::from_parameter(mu), &mu, |b, _| {
-            b.iter(|| proc.count_candidates(black_box(cap)))
-        });
+        bench(&format!("matmul/{mu}"), || proc.count_candidates(black_box(cap)));
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("e9_exact_decision_by_dim");
+    group("e9_exact_decision_by_dim");
     for n in [3usize, 4, 5, 6] {
         let alg = algorithms::identity_cube(n, 3);
         let mut s_row = vec![0i64; n];
@@ -29,26 +26,19 @@ fn bench(c: &mut Criterion) {
         s_row[n - 1] = -1;
         let pi: Vec<i64> = (0..n).map(|i| 1 + (i as i64 * 2) % 5).collect();
         let t = MappingMatrix::new(SpaceMap::row(&s_row), LinearSchedule::new(&pi));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let analysis = ConflictAnalysis::new(black_box(&t), &alg.index_set);
-                analysis.is_conflict_free_exact()
-            })
+        bench(&format!("n={n}"), || {
+            let analysis = ConflictAnalysis::new(black_box(&t), &alg.index_set);
+            analysis.is_conflict_free_exact()
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("e9_simulation_throughput");
+    group("e9_simulation_throughput");
     for mu in [4i64, 8, 12] {
         let alg = algorithms::matmul(mu);
         let t = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, mu, 1]));
-        group.throughput(Throughput::Elements(alg.num_computations() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(mu), &mu, |b, _| {
-            b.iter(|| Simulator::new(black_box(&alg), &t).run())
+        let points = alg.num_computations();
+        bench(&format!("mu={mu} ({points} points)"), || {
+            Simulator::new(black_box(&alg), &t).run().unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

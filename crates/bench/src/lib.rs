@@ -3,12 +3,14 @@
 //!
 //! Each `eN_*` function runs one experiment and returns an
 //! [`ExperimentReport`] — a table plus notes — that the `experiments`
-//! binary prints and `EXPERIMENTS.md` records. The Criterion benches in
-//! `benches/` measure the computational kernels behind the same
-//! experiments.
+//! binary prints and `EXPERIMENTS.md` records. The plain timing benches
+//! in `benches/` (see [`timing`]) measure the computational kernels
+//! behind the same experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use cfmap_core::baselines;
 use cfmap_core::conditions::{self, ConditionKind, ConditionVerdict};
@@ -18,15 +20,15 @@ use cfmap_core::mapping::{route, InterconnectionPrimitives, MappingMatrix, Space
 use cfmap_core::oracle;
 use cfmap_core::prop81::prop_8_1_basis;
 use cfmap_core::search::Procedure51;
+use cfmap_core::SearchBudget;
 use cfmap_intlin::{hermite_normal_form, IMat, IVec};
 use cfmap_model::{algorithms, IndexSet, LinearSchedule};
 use cfmap_systolic::exec::{execute, MatmulKernel};
 use cfmap_systolic::Simulator;
-use serde::Serialize;
 use std::time::Instant;
 
 /// One experiment's rendered result.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentReport {
     /// Experiment id, e.g. `"E4"`.
     pub id: String,
@@ -42,8 +44,8 @@ pub struct ExperimentReport {
 
 impl ExperimentReport {
     /// Render as a JSON object (hand-rolled emitter — the workspace's
-    /// dependency policy sanctions `serde` but not `serde_json`; reports
-    /// are strings all the way down, so the emitter is 30 lines).
+    /// hermetic dependency policy allows no registry crates at all;
+    /// reports are strings all the way down, so the emitter is 30 lines).
     pub fn to_json(&self) -> String {
         fn esc(s: &str) -> String {
             let mut out = String::with_capacity(s.len() + 2);
@@ -219,7 +221,7 @@ pub fn e3_hnf() -> ExperimentReport {
 }
 
 /// Per-μ outcome of the matmul experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct MatmulRow {
     /// Problem size μ.
     pub mu: i64,
@@ -248,12 +250,12 @@ pub fn e4_matmul(mus: &[i64]) -> (ExperimentReport, Vec<MatmulRow>) {
     for &mu in mus {
         let alg = algorithms::matmul(mu);
         let space = SpaceMap::row(&[1, 1, -1]);
-        let opt = Procedure51::new(&alg, &space).primitives(&prims).solve().expect("solvable");
+        let opt = Procedure51::new(&alg, &space).primitives(&prims).solve().unwrap().expect_optimal("solvable");
         let routing = opt.routing.as_ref().unwrap();
         let base = baselines::matmul_baseline_23(mu);
         let base_routing = route(&base.mapping(), &alg.deps, &prims).unwrap();
 
-        let report = Simulator::new(&alg, &opt.mapping).with_routing(routing).run();
+        let report = Simulator::new(&alg, &opt.mapping).with_routing(routing).run().unwrap();
         let kernel = MatmulKernel::random((mu + 1) as usize, mu as u64);
         let result = execute(&alg, &opt.mapping, &kernel);
         let numeric_ok = kernel.extract_product(&result, mu) == kernel.reference_product();
@@ -317,9 +319,9 @@ pub fn e5_transitive_closure(mus: &[i64]) -> ExperimentReport {
     for &mu in mus {
         let alg = algorithms::transitive_closure(mu);
         let space = SpaceMap::row(&[0, 0, 1]);
-        let opt = Procedure51::new(&alg, &space).solve().expect("solvable");
+        let opt = Procedure51::new(&alg, &space).solve().unwrap().expect_optimal("solvable");
         let base = baselines::transitive_closure_baseline_22(mu);
-        let report = Simulator::new(&alg, &opt.mapping).run();
+        let report = Simulator::new(&alg, &opt.mapping).run().unwrap();
         let analysis = ConflictAnalysis::new(&opt.mapping, &alg.index_set);
         let gamma = analysis.unique_conflict_vector().unwrap();
         rows.push(vec![
@@ -362,7 +364,7 @@ pub fn e6_bitlevel() -> ExperimentReport {
     {
         let alg = algorithms::bitlevel_matmul(2, 3);
         let space = SpaceMap::from_rows(&[&[1, 0, 0, 0, 0], &[0, 1, 0, 0, 0]]);
-        let opt = Procedure51::new(&alg, &space).solve().expect("solvable");
+        let opt = Procedure51::new(&alg, &space).solve().unwrap().expect_optimal("solvable");
         let (u4, u5) = prop_8_1_basis(&opt.mapping).expect("normalized");
         // Closed form generates the same lattice as the hand-rolled HNF.
         let hnf = opt.mapping.hnf();
@@ -375,7 +377,7 @@ pub fn e6_bitlevel() -> ExperimentReport {
         }
         let verdict =
             conditions::sign_pattern_condition_on_basis(&[u4, u5], &alg.index_set);
-        let report = Simulator::new(&alg, &opt.mapping).run();
+        let report = Simulator::new(&alg, &opt.mapping).run().unwrap();
         rows.push(vec![
             "5-D matmul → 2-D".into(),
             format!("{:?}", opt.schedule.as_slice()),
@@ -393,10 +395,10 @@ pub fn e6_bitlevel() -> ExperimentReport {
     {
         let alg = algorithms::bitlevel_convolution(3, 3);
         let space = SpaceMap::from_rows(&[&[1, 0, 0, 0], &[0, 1, 0, 0]]);
-        let opt = Procedure51::new(&alg, &space).solve().expect("solvable");
+        let opt = Procedure51::new(&alg, &space).solve().unwrap().expect_optimal("solvable");
         let analysis = ConflictAnalysis::new(&opt.mapping, &alg.index_set);
         let verdict = conditions::theorem_3_1(&analysis, &alg.index_set);
-        let report = Simulator::new(&alg, &opt.mapping).run();
+        let report = Simulator::new(&alg, &opt.mapping).run().unwrap();
         rows.push(vec![
             "4-D convolution → 2-D".into(),
             format!("{:?}", opt.schedule.as_slice()),
@@ -411,13 +413,14 @@ pub fn e6_bitlevel() -> ExperimentReport {
     {
         let alg = algorithms::bitlevel_matmul(2, 1);
         let space = SpaceMap::row(&[1, 1, 0, 0, 0]);
-        let exact = Procedure51::new(&alg, &space).max_objective(45).solve().expect("solvable");
+        let exact = Procedure51::new(&alg, &space).max_objective(45).solve().unwrap().expect_optimal("solvable");
         let paper = Procedure51::new(&alg, &space)
             .condition(ConditionKind::Paper)
             .max_objective(45)
             .solve()
-            .expect("solvable");
-        let report = Simulator::new(&alg, &exact.mapping).run();
+            .unwrap()
+            .expect_optimal("solvable");
+        let report = Simulator::new(&alg, &exact.mapping).run().unwrap();
         rows.push(vec![
             "5-D matmul → 1-D".into(),
             format!("{:?}", exact.schedule.as_slice()),
@@ -455,10 +458,12 @@ pub fn e7_search_vs_ilp(mus: &[i64]) -> ExperimentReport {
             (algorithms::transitive_closure(mu), SpaceMap::row(&[0, 0, 1]), "transitive closure"),
         ] {
             let t0 = Instant::now();
-            let search = Procedure51::new(&alg, &space).solve().expect("solvable");
+            let search = Procedure51::new(&alg, &space).solve().unwrap().expect_optimal("solvable");
             let t_search = t0.elapsed();
             let t0 = Instant::now();
-            let ilp = optimal_schedule_ilp(&alg, &space, 2 * mu + 4).expect("solvable");
+            let ilp = optimal_schedule_ilp(&alg, &space, 2 * mu + 4, SearchBudget::unlimited())
+                .unwrap()
+                .expect_optimal("solvable");
             let t_ilp = t0.elapsed();
             rows.push(vec![
                 s(name),
@@ -589,7 +594,7 @@ pub fn e9_scaling() -> ExperimentReport {
         let alg = algorithms::matmul(mu);
         let space = SpaceMap::row(&[1, 1, -1]);
         let proc = Procedure51::new(&alg, &space);
-        let opt = proc.solve().unwrap();
+        let opt = proc.solve().unwrap().expect_optimal("solvable");
         let cands = proc.count_candidates(opt.objective);
         rows.push(vec![
             format!("matmul n=3 μ={mu}"),
@@ -603,7 +608,7 @@ pub fn e9_scaling() -> ExperimentReport {
         let s_row: Vec<i64> = (0..n).map(|i| i64::from(i == 0)).collect();
         let space = SpaceMap::row(&s_row);
         let proc = Procedure51::new(&alg, &space);
-        match proc.solve() {
+        match proc.solve().unwrap().into_mapping() {
             Some(opt) => rows.push(vec![
                 format!("identity n={n} μ=2"),
                 s(opt.objective),
@@ -660,10 +665,10 @@ pub fn e10_condition_ablation() -> ExperimentReport {
             p
         };
         let t0 = Instant::now();
-        let exact = mk(ConditionKind::Exact).solve();
+        let exact = mk(ConditionKind::Exact).solve().unwrap().into_mapping();
         let t_exact = t0.elapsed();
         let t0 = Instant::now();
-        let paper = mk(ConditionKind::Paper).solve();
+        let paper = mk(ConditionKind::Paper).solve().unwrap().into_mapping();
         let t_paper = t0.elapsed();
         let fmt = |o: &Option<cfmap_core::OptimalMapping>| match o {
             Some(m) => format!("t = {}", m.total_time),
@@ -711,7 +716,7 @@ pub fn e11_space_optimal() -> ExperimentReport {
     ];
     for (name, alg, pi, paper_space, paper_cost) in &cases {
         let schedule = LinearSchedule::new(pi);
-        let sol = SpaceSearch::new(alg, &schedule).entry_bound(2).solve();
+        let sol = SpaceSearch::new(alg, &schedule).entry_bound(2).solve().unwrap().into_mapping();
         match sol {
             Some(sol) => {
                 let clean = oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set);
@@ -772,10 +777,14 @@ pub fn e12_joint_and_bounds() -> ExperimentReport {
         let lin = bounds::linear_schedule_bound(alg, 80).map_or("—".into(), |t| t.to_string());
         let fast = JointSearch::new(alg)
             .criterion(JointCriterion::TimeThenSpace)
-            .solve();
+            .solve()
+            .unwrap()
+            .into_mapping();
         let small = JointSearch::new(alg)
             .criterion(JointCriterion::SpaceThenTime)
-            .solve();
+            .solve()
+            .unwrap()
+            .into_mapping();
         let fmt = |o: &Option<cfmap_core::JointOptimal>| match o {
             Some(s) => format!("t={} cost={} (S={:?})", s.total_time, s.space_cost,
                 s.space.as_mat().row(0).to_i64s().unwrap()),

@@ -1,0 +1,77 @@
+//! Minimal wall-clock timing harness behind the `benches/` binaries.
+//!
+//! The workspace's hermetic build policy rules out external bench
+//! frameworks, so each bench target is a plain `fn main()` (Cargo
+//! `harness = false`) that calls [`bench`] per measured kernel. The
+//! output is one aligned line per kernel: min / mean over an adaptive
+//! number of runs inside a fixed wall-clock budget.
+//!
+//! Set `CFMAP_BENCH_MS` to change the per-kernel budget (default 200 ms;
+//! CI smoke runs can use `CFMAP_BENCH_MS=20`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-kernel measurement budget.
+fn budget() -> Duration {
+    let ms = std::env::var("CFMAP_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Print a group header, mirroring the old benchmark-group structure.
+pub fn group(name: &str) {
+    println!("\n## {name}");
+}
+
+/// Time `f`: a short warm-up, then repeated runs until the wall-clock
+/// budget is spent (at least one run, at most 10 000). Reports min and
+/// mean, which is what the experiment write-ups quote.
+pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) {
+    let b = budget();
+    // Warm-up: a few runs or 1/10 of the budget, whichever ends first.
+    let warm_deadline = Instant::now() + b / 10;
+    for _ in 0..3 {
+        black_box(f());
+        if Instant::now() > warm_deadline {
+            break;
+        }
+    }
+
+    let mut samples: Vec<Duration> = Vec::new();
+    let deadline = Instant::now() + b;
+    loop {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed());
+        if Instant::now() >= deadline || samples.len() >= 10_000 {
+            break;
+        }
+    }
+
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!("{label:<48} min {min:>12?}  mean {mean:>12?}  ({} runs)", samples.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_at_least_once() {
+        // Even a kernel slower than the budget yields one sample and
+        // does not panic (guards the min/mean math against empty input).
+        std::env::set_var("CFMAP_BENCH_MS", "1");
+        let mut calls = 0u32;
+        bench("noop", || {
+            calls += 1;
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert!(calls >= 1);
+        std::env::remove_var("CFMAP_BENCH_MS");
+    }
+}

@@ -1,0 +1,326 @@
+//! Resource budgets and graceful degradation for the searches.
+//!
+//! Procedure 5.1, the ILP decomposition and the Problem 6.1/6.2
+//! searches all enumerate candidate spaces whose size grows
+//! combinatorially with the extents `μ`. A [`SearchBudget`] bounds the
+//! work (candidates screened, branch-and-bound nodes, wall-clock time);
+//! when a limit trips, the searches degrade gracefully: they return the
+//! best mapping found so far — or a cheap deterministic fallback — tagged
+//! with a [`Certification`] instead of hanging or panicking.
+//!
+//! Degradation with a candidate budget is **deterministic**: the
+//! enumeration order is fixed, so the same budget always yields the same
+//! outcome. Wall-clock budgets are inherently machine-dependent and
+//! reproducibility is limited to "some prefix of the same ordered
+//! enumeration".
+
+use crate::error::BudgetLimit;
+use std::time::{Duration, Instant};
+
+/// Resource limits for a search. The default is unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Maximum number of schedule candidates screened.
+    pub max_candidates: Option<u64>,
+    /// Maximum number of branch-and-bound nodes (ILP searches).
+    pub max_nodes: Option<u64>,
+    /// Maximum wall-clock time.
+    pub max_wall: Option<Duration>,
+}
+
+impl SearchBudget {
+    /// No limits: searches run to completion (the pre-budget behaviour).
+    pub fn unlimited() -> SearchBudget {
+        SearchBudget::default()
+    }
+
+    /// Budget limited to `n` candidates.
+    pub fn candidates(n: u64) -> SearchBudget {
+        SearchBudget { max_candidates: Some(n), ..SearchBudget::default() }
+    }
+
+    /// Budget limited to `n` branch-and-bound nodes.
+    pub fn nodes(n: u64) -> SearchBudget {
+        SearchBudget { max_nodes: Some(n), ..SearchBudget::default() }
+    }
+
+    /// Budget limited to `d` of wall-clock time.
+    pub fn wall_clock(d: Duration) -> SearchBudget {
+        SearchBudget { max_wall: Some(d), ..SearchBudget::default() }
+    }
+
+    /// Add a candidate-count limit.
+    pub fn with_candidates(mut self, n: u64) -> SearchBudget {
+        self.max_candidates = Some(n);
+        self
+    }
+
+    /// Add a node limit.
+    pub fn with_nodes(mut self, n: u64) -> SearchBudget {
+        self.max_nodes = Some(n);
+        self
+    }
+
+    /// Add a wall-clock limit.
+    pub fn with_wall_clock(mut self, d: Duration) -> SearchBudget {
+        self.max_wall = Some(d);
+        self
+    }
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_candidates.is_none() && self.max_nodes.is_none() && self.max_wall.is_none()
+    }
+
+    /// Start metering against this budget.
+    pub fn start(&self) -> BudgetMeter {
+        BudgetMeter { budget: *self, started: Instant::now(), candidates: 0, nodes: 0 }
+    }
+}
+
+/// Running tally of work performed against a [`SearchBudget`].
+#[derive(Clone, Debug)]
+pub struct BudgetMeter {
+    budget: SearchBudget,
+    started: Instant,
+    /// Candidates charged so far.
+    pub candidates: u64,
+    /// Nodes charged so far.
+    pub nodes: u64,
+}
+
+impl BudgetMeter {
+    /// Charge one screened candidate. Returns the limit that tripped,
+    /// if any (the charged candidate itself is still within budget; the
+    /// *next* one would not be).
+    pub fn charge_candidate(&mut self) -> Option<BudgetLimit> {
+        self.candidates += 1;
+        if let Some(max) = self.budget.max_candidates {
+            if self.candidates >= max {
+                return Some(BudgetLimit::Candidates);
+            }
+        }
+        self.check_wall()
+    }
+
+    /// Charge `n` branch-and-bound nodes.
+    pub fn charge_nodes(&mut self, n: u64) -> Option<BudgetLimit> {
+        self.nodes += n;
+        if let Some(max) = self.budget.max_nodes {
+            if self.nodes >= max {
+                return Some(BudgetLimit::Nodes);
+            }
+        }
+        self.check_wall()
+    }
+
+    /// Branch-and-bound nodes still available (for passing down to the
+    /// ILP solver's own node cap). `None` means unlimited.
+    pub fn nodes_remaining(&self) -> Option<u64> {
+        self.budget.max_nodes.map(|max| max.saturating_sub(self.nodes))
+    }
+
+    /// Candidates still available. `None` means unlimited.
+    pub fn candidates_remaining(&self) -> Option<u64> {
+        self.budget.max_candidates.map(|max| max.saturating_sub(self.candidates))
+    }
+
+    /// Check only the wall clock.
+    pub fn check_wall(&self) -> Option<BudgetLimit> {
+        if let Some(max) = self.budget.max_wall {
+            if self.started.elapsed() >= max {
+                return Some(BudgetLimit::WallClock);
+            }
+        }
+        None
+    }
+}
+
+/// How much trust a search result carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Certification {
+    /// The search ran to completion; the mapping is provably optimal
+    /// for its objective (first accepted candidate in increasing-cost
+    /// order, Theorem 2.1).
+    Optimal,
+    /// A budget limit tripped; the mapping is valid and conflict-free
+    /// but may be suboptimal.
+    BestEffort {
+        /// Candidates screened before degradation.
+        candidates_examined: u64,
+    },
+    /// The candidate space (up to the configured objective cap) was
+    /// exhausted without finding any acceptable mapping.
+    Infeasible,
+}
+
+impl Certification {
+    /// True for [`Certification::Optimal`].
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, Certification::Optimal)
+    }
+
+    /// True for [`Certification::BestEffort`].
+    pub fn is_best_effort(&self) -> bool {
+        matches!(self, Certification::BestEffort { .. })
+    }
+}
+
+impl std::fmt::Display for Certification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Certification::Optimal => write!(f, "optimal"),
+            Certification::BestEffort { candidates_examined } => {
+                write!(f, "best-effort (budget exhausted after {candidates_examined} candidates)")
+            }
+            Certification::Infeasible => write!(f, "infeasible"),
+        }
+    }
+}
+
+/// A search result tagged with its [`Certification`].
+///
+/// `mapping` is `Some` exactly when the certification is `Optimal` or
+/// `BestEffort`; an `Infeasible` outcome carries no mapping.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome<T> {
+    /// The mapping found, if any.
+    pub mapping: Option<T>,
+    /// Trust level of the result.
+    pub certification: Certification,
+    /// Total candidates screened by the search.
+    pub candidates_examined: u64,
+}
+
+impl<T> SearchOutcome<T> {
+    /// A completed search with a provably optimal result.
+    pub fn optimal(mapping: T, candidates_examined: u64) -> SearchOutcome<T> {
+        SearchOutcome { mapping: Some(mapping), certification: Certification::Optimal, candidates_examined }
+    }
+
+    /// A budget-degraded but valid result.
+    pub fn best_effort(mapping: T, candidates_examined: u64) -> SearchOutcome<T> {
+        SearchOutcome {
+            mapping: Some(mapping),
+            certification: Certification::BestEffort { candidates_examined },
+            candidates_examined,
+        }
+    }
+
+    /// A completed search that proved the candidate space empty.
+    pub fn infeasible(candidates_examined: u64) -> SearchOutcome<T> {
+        SearchOutcome { mapping: None, certification: Certification::Infeasible, candidates_examined }
+    }
+
+    /// The mapping, discarding the certification.
+    pub fn into_mapping(self) -> Option<T> {
+        self.mapping
+    }
+
+    /// Borrow the mapping.
+    pub fn mapping(&self) -> Option<&T> {
+        self.mapping.as_ref()
+    }
+
+    /// True when the result is certified optimal.
+    pub fn is_optimal(&self) -> bool {
+        self.certification.is_optimal()
+    }
+
+    /// Unwrap a mapping that must be certified optimal; panics (with
+    /// the caller's message) otherwise. Intended for tests and examples
+    /// where optimality is part of the claim being checked.
+    pub fn expect_optimal(self, msg: &str) -> T {
+        assert!(self.certification.is_optimal(), "{msg}: certification was {}", self.certification);
+        self.mapping.expect(msg)
+    }
+
+    /// Map the carried mapping type.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> SearchOutcome<U> {
+        SearchOutcome {
+            mapping: self.mapping.map(f),
+            certification: self.certification,
+            candidates_examined: self.candidates_examined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut meter = SearchBudget::unlimited().start();
+        for _ in 0..10_000 {
+            assert_eq!(meter.charge_candidate(), None);
+        }
+        assert_eq!(meter.charge_nodes(1 << 40), None);
+    }
+
+    #[test]
+    fn candidate_budget_trips_at_limit() {
+        let mut meter = SearchBudget::candidates(3).start();
+        assert_eq!(meter.charge_candidate(), None);
+        assert_eq!(meter.charge_candidate(), None);
+        assert_eq!(meter.charge_candidate(), Some(BudgetLimit::Candidates));
+        assert_eq!(meter.candidates, 3);
+    }
+
+    #[test]
+    fn node_budget_trips_and_reports_remaining() {
+        let mut meter = SearchBudget::nodes(100).start();
+        assert_eq!(meter.charge_nodes(40), None);
+        assert_eq!(meter.nodes_remaining(), Some(60));
+        assert_eq!(meter.charge_nodes(60), Some(BudgetLimit::Nodes));
+        assert_eq!(meter.nodes_remaining(), Some(0));
+    }
+
+    #[test]
+    fn zero_wall_clock_trips_immediately() {
+        let meter = SearchBudget::wall_clock(Duration::ZERO).start();
+        assert_eq!(meter.check_wall(), Some(BudgetLimit::WallClock));
+    }
+
+    #[test]
+    fn builder_composes_limits() {
+        let b = SearchBudget::unlimited()
+            .with_candidates(5)
+            .with_nodes(7)
+            .with_wall_clock(Duration::from_secs(1));
+        assert_eq!(b.max_candidates, Some(5));
+        assert_eq!(b.max_nodes, Some(7));
+        assert!(!b.is_unlimited());
+        assert!(SearchBudget::unlimited().is_unlimited());
+    }
+
+    #[test]
+    fn outcome_constructors_are_consistent() {
+        let o = SearchOutcome::optimal("m", 4);
+        assert!(o.is_optimal());
+        assert_eq!(o.into_mapping(), Some("m"));
+
+        let b = SearchOutcome::best_effort("m", 9);
+        assert!(b.certification.is_best_effort());
+        assert_eq!(b.candidates_examined, 9);
+
+        let i: SearchOutcome<&str> = SearchOutcome::infeasible(12);
+        assert_eq!(i.certification, Certification::Infeasible);
+        assert!(i.mapping().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "best-effort")]
+    fn expect_optimal_rejects_degraded_results() {
+        SearchOutcome::best_effort((), 1).expect_optimal("must be optimal");
+    }
+
+    #[test]
+    fn certification_display() {
+        assert_eq!(Certification::Optimal.to_string(), "optimal");
+        assert!(Certification::BestEffort { candidates_examined: 3 }
+            .to_string()
+            .contains("3 candidates"));
+        assert_eq!(Certification::Infeasible.to_string(), "infeasible");
+    }
+}

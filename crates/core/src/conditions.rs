@@ -331,7 +331,6 @@ mod tests {
     use crate::mapping::MappingMatrix;
     use crate::oracle;
     use cfmap_model::IndexSet;
-    use proptest::prelude::*;
 
     fn mapping(rows: &[&[i64]]) -> MappingMatrix {
         MappingMatrix::from_rows(rows)
@@ -492,16 +491,15 @@ mod tests {
         assert_eq!(check(ConditionKind::Exact, &ab, &j), ConditionVerdict::HasConflict);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(60))]
+    cfmap_testkit::props! {
+        cases = 60;
 
         /// Soundness of every closed-form certificate: whenever any paper
         /// condition answers ConflictFree/HasConflict, the exhaustive
         /// oracle agrees.
-        #[test]
         fn certificates_are_sound_3d(
-            s in prop::collection::vec(-3i64..=3, 3),
-            pi in prop::collection::vec(-3i64..=3, 3),
+            s in cfmap_testkit::gen::vec(-3i64..=3, 3),
+            pi in cfmap_testkit::gen::vec(-3i64..=3, 3),
             mu in 1i64..5,
         ) {
             let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
@@ -509,21 +507,20 @@ mod tests {
             let a = ConflictAnalysis::new(&t, &j);
             let truth = oracle::is_conflict_free_by_enumeration(&t, &j);
             match paper_condition(&a, &j) {
-                ConditionVerdict::ConflictFree => prop_assert!(truth, "false certificate"),
-                ConditionVerdict::HasConflict => prop_assert!(!truth, "false refutation"),
+                ConditionVerdict::ConflictFree => assert!(truth, "false certificate"),
+                ConditionVerdict::HasConflict => assert!(!truth, "false refutation"),
                 ConditionVerdict::Unknown => {}
             }
             // Necessary conditions really are necessary.
             if truth {
-                prop_assert!(theorem_4_3_necessary(&a));
-                prop_assert!(theorem_4_4_necessary(&a, &j));
+                assert!(theorem_4_3_necessary(&a));
+                assert!(theorem_4_4_necessary(&a, &j));
             }
         }
 
-        #[test]
         fn certificates_are_sound_4d(
-            s in prop::collection::vec(-2i64..=2, 4),
-            pi in prop::collection::vec(-2i64..=2, 4),
+            s in cfmap_testkit::gen::vec(-2i64..=2, 4),
+            pi in cfmap_testkit::gen::vec(-2i64..=2, 4),
             mu in 1i64..4,
         ) {
             let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
@@ -531,26 +528,23 @@ mod tests {
             let a = ConflictAnalysis::new(&t, &j);
             let truth = oracle::is_conflict_free_by_enumeration(&t, &j);
             match paper_condition(&a, &j) {
-                ConditionVerdict::ConflictFree => prop_assert!(truth, "false certificate"),
-                ConditionVerdict::HasConflict => prop_assert!(!truth, "false refutation"),
+                ConditionVerdict::ConflictFree => assert!(truth, "false certificate"),
+                ConditionVerdict::HasConflict => assert!(!truth, "false refutation"),
                 ConditionVerdict::Unknown => {}
             }
-            match theorem_4_5_sufficient(&a, &j) {
-                ConditionVerdict::ConflictFree => prop_assert!(truth, "Thm 4.5 false certificate"),
-                _ => {}
+            if let ConditionVerdict::ConflictFree = theorem_4_5_sufficient(&a, &j) {
+                assert!(truth, "Thm 4.5 false certificate");
             }
-            match theorem_4_6_sufficient(&a, &j) {
-                ConditionVerdict::ConflictFree => prop_assert!(truth, "Thm 4.6 false certificate"),
-                _ => {}
+            if let ConditionVerdict::ConflictFree = theorem_4_6_sufficient(&a, &j) {
+                assert!(truth, "Thm 4.6 false certificate");
             }
         }
 
         /// Kernel dimension 3 (the repaired Theorem 4.8): soundness against
         /// the oracle on random 2×5 mappings.
-        #[test]
         fn certificates_are_sound_5d(
-            s in prop::collection::vec(-2i64..=2, 5),
-            pi in prop::collection::vec(-2i64..=2, 5),
+            s in cfmap_testkit::gen::vec(-2i64..=2, 5),
+            pi in cfmap_testkit::gen::vec(-2i64..=2, 5),
             mu in 1i64..3,
         ) {
             let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
@@ -558,31 +552,30 @@ mod tests {
             let a = ConflictAnalysis::new(&t, &j);
             let truth = oracle::is_conflict_free_by_enumeration(&t, &j);
             match paper_condition(&a, &j) {
-                ConditionVerdict::ConflictFree => prop_assert!(truth, "false certificate (5d)"),
-                ConditionVerdict::HasConflict => prop_assert!(!truth, "false refutation (5d)"),
+                ConditionVerdict::ConflictFree => assert!(truth, "false certificate (5d)"),
+                ConditionVerdict::HasConflict => assert!(!truth, "false refutation (5d)"),
                 ConditionVerdict::Unknown => {}
             }
         }
 
         /// For r = 1 (Theorem 3.1) the condition is exactly
         /// necessary-and-sufficient — verify equivalence with the oracle.
-        #[test]
         fn theorem_3_1_is_exact(
-            s in prop::collection::vec(-3i64..=3, 3),
-            pi in prop::collection::vec(-3i64..=3, 3),
+            s in cfmap_testkit::gen::vec(-3i64..=3, 3),
+            pi in cfmap_testkit::gen::vec(-3i64..=3, 3),
             mu in 1i64..5,
         ) {
             let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
             let j = IndexSet::cube(3, mu);
             let a = ConflictAnalysis::new(&t, &j);
             if a.lattice_basis().len() != 1 {
-                return Ok(()); // rank-deficient: Thm 3.1 out of scope
+                return; // rank-deficient: Thm 3.1 out of scope
             }
             let truth = oracle::is_conflict_free_by_enumeration(&t, &j);
             match theorem_3_1(&a, &j) {
-                ConditionVerdict::ConflictFree => prop_assert!(truth),
-                ConditionVerdict::HasConflict => prop_assert!(!truth),
-                ConditionVerdict::Unknown => prop_assert!(false, "must decide r = 1"),
+                ConditionVerdict::ConflictFree => assert!(truth),
+                ConditionVerdict::HasConflict => assert!(!truth),
+                ConditionVerdict::Unknown => panic!("must decide r = 1"),
             }
         }
     }

@@ -9,6 +9,7 @@
 //! [`ConflictAnalysis::is_conflict_free_exact`]) iff the integer kernel
 //! lattice of `T` contains no nonzero point of the box `[−μ, μ]^n`.
 
+use crate::error::CfmapError;
 use crate::mapping::MappingMatrix;
 use cfmap_intlin::{Hnf, IMat, IVec, Int, Rat};
 use cfmap_model::IndexSet;
@@ -60,7 +61,7 @@ pub struct ConflictWitness {
 /// let analysis = ConflictAnalysis::new(&t, &j);
 /// assert!(!analysis.is_conflict_free_exact());
 /// let gamma = analysis.find_small_kernel_vector().unwrap();
-/// let witness = analysis.witness_from_kernel_vector(&gamma);
+/// let witness = analysis.witness_from_kernel_vector(&gamma).unwrap();
 /// assert_eq!(t.apply(&witness.j1), t.apply(&witness.j2));
 /// ```
 pub struct ConflictAnalysis<'a> {
@@ -245,19 +246,33 @@ impl<'a> ConflictAnalysis<'a> {
     /// Turn a small kernel vector into a concrete conflict witness pair
     /// (the construction in the proof of Theorem 2.2): `j_i = 0` where
     /// `γ_i ≥ 0`, `j_i = −γ_i` where `γ_i < 0`.
-    pub fn witness_from_kernel_vector(&self, gamma: &IVec) -> ConflictWitness {
+    ///
+    /// Kernel vectors produced by [`Self::find_small_kernel_vector`] are
+    /// box-bounded and always convert; a caller-supplied `γ` with
+    /// entries outside the `i64` interchange range reports
+    /// [`CfmapError::Overflow`] instead of aborting (the exact `Int`
+    /// layer promotes past `i128` internally, so such vectors exist).
+    pub fn witness_from_kernel_vector(
+        &self,
+        gamma: &IVec,
+    ) -> Result<ConflictWitness, CfmapError> {
         let n = gamma.dim();
+        let overflow = || CfmapError::Overflow {
+            context: "witness_from_kernel_vector: kernel vector entry".into(),
+        };
         let mut j1 = vec![0i64; n];
         for i in 0..n {
-            let g = gamma[i].to_i64().expect("small kernel vector fits i64");
+            let g = gamma[i].to_i64().ok_or_else(overflow)?;
             if g < 0 {
-                j1[i] = -g;
+                j1[i] = g.checked_neg().ok_or_else(overflow)?;
             }
         }
-        let j2: Vec<i64> = (0..n)
-            .map(|i| j1[i] + gamma[i].to_i64().unwrap())
-            .collect();
-        ConflictWitness { j1, j2 }
+        let mut j2 = Vec::with_capacity(n);
+        for i in 0..n {
+            let g = gamma[i].to_i64().ok_or_else(overflow)?;
+            j2.push(j1[i].checked_add(g).ok_or_else(overflow)?);
+        }
+        Ok(ConflictWitness { j1, j2 })
     }
 }
 
@@ -379,7 +394,7 @@ mod tests {
         let j = IndexSet::cube(3, 4);
         let analysis = ConflictAnalysis::new(&t, &j);
         let gamma = analysis.find_small_kernel_vector().unwrap();
-        let w = analysis.witness_from_kernel_vector(&gamma);
+        let w = analysis.witness_from_kernel_vector(&gamma).unwrap();
         assert!(j.contains(&w.j1));
         assert!(j.contains(&w.j2));
         assert_ne!(w.j1, w.j2);
@@ -402,6 +417,23 @@ mod tests {
         let analysis = ConflictAnalysis::new(&t, &j);
         assert!(analysis.lattice_basis().is_empty());
         assert!(analysis.is_conflict_free_exact());
+    }
+
+    #[test]
+    fn witness_overflow_is_reported_not_fatal() {
+        // A kernel vector with entries past i64 cannot index the box;
+        // the conversion must surface CfmapError::Overflow.
+        let t = mapping(&[&[1, 1, -1], &[1, 1, 4]]);
+        let j = IndexSet::cube(3, 4);
+        let analysis = ConflictAnalysis::new(&t, &j);
+        let huge = Int::from(i64::MAX) * Int::from(4);
+        let gamma = IVec::new(vec![huge.clone(), -&huge, Int::zero()]);
+        match analysis.witness_from_kernel_vector(&gamma) {
+            Err(crate::CfmapError::Overflow { context }) => {
+                assert!(context.contains("witness"));
+            }
+            other => panic!("expected Overflow, got {other:?}"),
+        }
     }
 
     #[test]

@@ -107,29 +107,25 @@ pub fn diagnose(
         Check::Fail(format!("rank(T) = {} < k = {}", analysis.rank(), mapping.k()))
     };
 
-    // Condition 3 with witness.
+    // Condition 3 with witness. A witness conversion overflow is itself
+    // a finding, not a crash: the conflict is real either way.
     let (conflict_free, witness) = match analysis.find_small_kernel_vector() {
         None => (Check::Pass, None),
-        Some(gamma) => {
-            let w = analysis.witness_from_kernel_vector(&gamma);
-            (
-                Check::Fail(format!(
-                    "kernel vector {gamma} stays inside the box (Theorem 2.2)"
-                )),
-                Some(w),
-            )
-        }
+        Some(gamma) => (
+            Check::Fail(format!("kernel vector {gamma} stays inside the box (Theorem 2.2)")),
+            analysis.witness_from_kernel_vector(&gamma).ok(),
+        ),
     };
 
     // Condition 2.
     let routability = match primitives {
         None => Check::Skipped,
         Some(p) => match route(mapping, &alg.deps, p) {
-            Some(r) => {
+            Ok(r) => {
                 debug_assert!(r.hops.iter().zip(&r.dep_times).all(|(h, t)| h <= t));
                 Check::Pass
             }
-            None => Check::Fail("no K with P·K = S·D arriving within Π·d̄ᵢ".to_string()),
+            Err(e) => Check::Fail(e.to_string()),
         },
     };
 

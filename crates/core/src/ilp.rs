@@ -15,13 +15,20 @@
 //! exact lattice test, in objective order, and the best verified one is
 //! returned. Experiment E7 cross-checks the result against Procedure 5.1.
 
+use crate::budget::{SearchBudget, SearchOutcome};
 use crate::conflict::ConflictAnalysis;
+use crate::error::{BudgetLimit, CfmapError};
 use crate::mapping::{MappingMatrix, SpaceMap};
 use cfmap_intlin::{IMat, Rat};
 use cfmap_lp::problem::{LpProblem, Relation};
 use cfmap_lp::vertex::enumerate_vertices;
-use cfmap_lp::{solve_ilp, LpOutcome};
+use cfmap_lp::{solve_ilp_counted, LpOutcome};
 use cfmap_model::{LinearSchedule, Uda};
+
+/// Per-branch safety cap on branch-and-bound nodes when the caller's
+/// budget is unlimited. The mapping formulations carry box bounds, so real
+/// instances stay far below this.
+const DEFAULT_BRANCH_NODE_CAP: u64 = 100_000;
 
 /// The coefficient vectors of the conflict functions `f_i(π)`
 /// (Equation 3.2): `f_i(π) = Σ_j coeffs[i][j]·π_j`, where `f_i` is (up to
@@ -31,9 +38,15 @@ use cfmap_model::{LinearSchedule, Uda};
 /// Computed by evaluation: the coefficient of `π_j` in `f_i` is the
 /// determinant of `[S; e_j]` minus column `i` — linearity is
 /// Proposition 3.2.
-pub fn conflict_functions(space: &SpaceMap) -> Vec<Vec<i64>> {
+pub fn conflict_functions(space: &SpaceMap) -> Result<Vec<Vec<i64>>, CfmapError> {
     let n = space.dim();
-    assert_eq!(space.array_dims(), n - 2, "conflict_functions requires k = n−1");
+    if space.array_dims() != n - 2 {
+        return Err(CfmapError::DimensionMismatch {
+            context: "conflict functions require k = n−1 (space map with n−2 rows)".to_string(),
+            expected: n - 2,
+            actual: space.array_dims(),
+        });
+    }
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         let cols: Vec<usize> = (0..n).filter(|&c| c != i).collect();
@@ -52,11 +65,13 @@ pub fn conflict_functions(space: &SpaceMap) -> Vec<Vec<i64>> {
             // vector of T, handy for diagnostics; |f_i| is unaffected.
             let d = t_i.det();
             let signed = if i % 2 == 0 { d } else { -d };
-            *c = signed.to_i64().expect("conflict function coefficient fits i64");
+            *c = signed.to_i64().ok_or_else(|| CfmapError::Overflow {
+                context: format!("conflict function coefficient f_{}[π_{}] exceeds i64", i + 1, j + 1),
+            })?;
         }
         out.push(coeffs);
     }
-    out
+    Ok(out)
 }
 
 /// One verified solution of the ILP decomposition.
@@ -80,18 +95,39 @@ pub struct IlpSolution {
 /// `bound` caps `|π_i|`; the appendix's extreme points fit in
 /// `bound = μ_max + 2`, and Theorem 2.1 means larger entries only help if
 /// smaller ones all fail, so callers typically pass `2μ_max + 4`.
-pub fn optimal_schedule_ilp(alg: &Uda, space: &SpaceMap, bound: i64) -> Option<IlpSolution> {
+///
+/// `budget` bounds the work: `max_nodes` is shared across every convex
+/// branch's branch-and-bound tree, `max_candidates` meters the
+/// post-verification sweep, and `max_wall` covers both phases. When the
+/// branch phase is cut short the exact lower bound is lost, so a schedule
+/// verified afterwards is tagged `BestEffort` rather than `Optimal`;
+/// exhaustion before *any* verified schedule is
+/// [`CfmapError::BudgetExhausted`].
+pub fn optimal_schedule_ilp(
+    alg: &Uda,
+    space: &SpaceMap,
+    bound: i64,
+    budget: SearchBudget,
+) -> Result<SearchOutcome<IlpSolution>, CfmapError> {
     let n = alg.dim();
-    assert_eq!(space.dim(), n, "space map dimension mismatch");
-    let coeffs = conflict_functions(space);
+    if space.dim() != n {
+        return Err(CfmapError::DimensionMismatch {
+            context: "ILP schedule search: space map vs algorithm".to_string(),
+            expected: n,
+            actual: space.dim(),
+        });
+    }
+    let coeffs = conflict_functions(space)?;
     let mu = alg.index_set.mu();
     let deps = alg.deps.as_mat();
+    let mut meter = budget.start();
+    let mut tripped: Option<BudgetLimit> = None;
 
     // Collect candidate points (objective, π) across all branches.
     let mut candidates: Vec<(i64, Vec<i64>)> = Vec::new();
     let mut branches = 0usize;
 
-    for orthant in 0..(1usize << n) {
+    'orthants: for orthant in 0..(1usize << n) {
         let signs: Vec<i64> = (0..n).map(|b| if orthant >> b & 1 == 1 { -1 } else { 1 }).collect();
         // Base problem for this orthant.
         let mut base = LpProblem::minimize(
@@ -106,20 +142,48 @@ pub fn optimal_schedule_ilp(alg: &Uda, space: &SpaceMap, bound: i64) -> Option<I
         // ΠD ≥ 1 per dependence.
         for d in 0..deps.ncols() {
             let col: Vec<i64> = (0..n)
-                .map(|r| deps.get(r, d).to_i64().expect("dependence entry fits i64"))
-                .collect();
+                .map(|r| {
+                    deps.get(r, d).to_i64().ok_or_else(|| CfmapError::Overflow {
+                        context: format!("ILP formulation: dependence entry d̄{} exceeds i64", d + 1),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
             base.constrain_i64(&col, Relation::Ge, 1);
         }
 
         for (i, f_i) in coeffs.iter().enumerate() {
             for sign in [1i64, -1] {
+                if let Some(limit) = meter.check_wall() {
+                    tripped = Some(limit);
+                    break 'orthants;
+                }
                 branches += 1;
                 let mut p = base.clone();
                 let scaled: Vec<i64> = f_i.iter().map(|&c| sign * c).collect();
                 p.constrain_i64(&scaled, Relation::Ge, mu[i] + 1);
-                // Branch optimum by branch & bound.
-                if let LpOutcome::Optimal { x, value } = solve_ilp(&p, 100_000) {
-                    push_candidate(&mut candidates, &value, &x);
+                // Branch optimum by branch & bound, capped by whichever is
+                // tighter: the remaining node budget or the safety cap.
+                let cap = meter
+                    .nodes_remaining()
+                    .map_or(DEFAULT_BRANCH_NODE_CAP, |r| r.min(DEFAULT_BRANCH_NODE_CAP))
+                    .max(1) as usize;
+                match solve_ilp_counted(&p, cap) {
+                    Ok((out, nodes)) => {
+                        if let LpOutcome::Optimal { x, value } = out {
+                            push_candidate(&mut candidates, &value, &x);
+                        }
+                        if let Some(limit) = meter.charge_nodes(nodes as u64) {
+                            tripped = Some(limit);
+                            break 'orthants;
+                        }
+                    }
+                    Err(e) => {
+                        // Node horizon hit — the branch (and hence the
+                        // global lower bound) is unresolved.
+                        meter.charge_nodes(e.nodes as u64);
+                        tripped = Some(BudgetLimit::Nodes);
+                        break 'orthants;
+                    }
                 }
                 // Plus every integral vertex (appendix technique) so that
                 // post-verification failures can fall through to the next
@@ -136,7 +200,17 @@ pub fn optimal_schedule_ilp(alg: &Uda, space: &SpaceMap, bound: i64) -> Option<I
 
     candidates.sort();
     candidates.dedup();
-    let lower_bound = candidates.first().map(|(v, _)| *v)?;
+    let Some(lower_bound) = candidates.first().map(|(v, _)| *v) else {
+        return match tripped {
+            // Nothing collected before the budget fired: no degradation
+            // target exists.
+            Some(limit) => {
+                Err(CfmapError::BudgetExhausted { limit, candidates_examined: meter.candidates })
+            }
+            // Every branch solved and all were infeasible.
+            None => Ok(SearchOutcome::infeasible(meter.candidates)),
+        };
+    };
 
     // Post-verification. The branch optima and extreme points ignore the
     // gcd(f) = 1 constraint (as the paper prescribes), so the candidate at
@@ -146,41 +220,68 @@ pub fn optimal_schedule_ilp(alg: &Uda, space: &SpaceMap, bound: i64) -> Option<I
     // conflict vectors but the edge point [1,2,2] is conflict-free). The
     // ILP therefore supplies the exact lower bound, and each objective
     // fiber above it is swept exhaustively until a verified schedule
-    // appears — preserving optimality.
+    // appears — preserving optimality (when the branch phase completed).
     let mut rejected = Vec::new();
     let max_objective: i64 = mu.iter().map(|&m| bound * m.max(1)).sum();
     for objective in lower_bound..=max_objective {
         let mut found: Option<LinearSchedule> = None;
+        let mut sweep_limit: Option<BudgetLimit> = None;
         crate::search::enumerate_weighted(n, mu, objective, &mut |pi| {
-            if found.is_some() {
+            if found.is_some() || sweep_limit.is_some() {
                 return;
             }
+            // The charged schedule is still screened (budget N means N
+            // candidates examined); the trip stops the sweep afterwards.
+            let limit = meter.charge_candidate();
             let schedule = LinearSchedule::new(pi);
-            if !schedule.is_valid_for(&alg.deps) {
-                return;
+            let acceptable = schedule.is_valid_for(&alg.deps) && {
+                let mapping = MappingMatrix::new(space.clone(), schedule.clone());
+                mapping.has_full_rank()
+                    && if ConflictAnalysis::new(&mapping, &alg.index_set).is_conflict_free_exact() {
+                        true
+                    } else {
+                        rejected.push(pi.to_vec());
+                        false
+                    }
+            };
+            if acceptable {
+                found = Some(schedule);
             }
-            let mapping = MappingMatrix::new(space.clone(), schedule.clone());
-            if !mapping.has_full_rank() {
-                return;
-            }
-            let analysis = ConflictAnalysis::new(&mapping, &alg.index_set);
-            if !analysis.is_conflict_free_exact() {
-                rejected.push(pi.to_vec());
-                return;
-            }
-            found = Some(schedule);
+            sweep_limit = limit;
         });
         if let Some(schedule) = found {
-            return Some(IlpSolution {
+            let sol = IlpSolution {
                 total_time: objective + 1,
                 objective,
                 schedule,
                 branches_solved: branches,
                 rejected_candidates: rejected,
+            };
+            // A branch phase cut short loses the exact lower bound (the
+            // true optimum may sit *below* the swept range), so the
+            // verified schedule is only best-effort.
+            return Ok(match tripped {
+                None => SearchOutcome::optimal(sol, meter.candidates),
+                Some(_) => SearchOutcome::best_effort(sol, meter.candidates),
+            });
+        }
+        if let Some(limit) = sweep_limit {
+            return Err(CfmapError::BudgetExhausted {
+                limit,
+                candidates_examined: meter.candidates,
             });
         }
     }
-    None
+    match tripped {
+        // Full branch phase + full sweep: provably no conflict-free
+        // schedule within the bound.
+        None => Ok(SearchOutcome::infeasible(meter.candidates)),
+        // Partial branch phase and the (possibly misplaced) sweep came up
+        // empty: nothing can be certified.
+        Some(limit) => {
+            Err(CfmapError::BudgetExhausted { limit, candidates_examined: meter.candidates })
+        }
+    }
 }
 
 fn push_candidate(candidates: &mut Vec<(i64, Vec<i64>)>, value: &Rat, x: &[Rat]) {
@@ -205,7 +306,7 @@ mod tests {
     fn conflict_functions_matmul() {
         // S = [1, 1, −1]: Eq 3.5 gives γ = [−π2−π3, π1+π3, π1−π2].
         let s = SpaceMap::row(&[1, 1, -1]);
-        let f = conflict_functions(&s);
+        let f = conflict_functions(&s).unwrap();
         // As a kernel vector (up to global sign): check T·f(π) = 0 for a
         // sample π by direct evaluation.
         for pi in [[1i64, 4, 1], [2, 1, 4], [3, 1, 2]] {
@@ -231,7 +332,7 @@ mod tests {
     fn conflict_functions_transitive_closure() {
         // S = [0, 0, 1]: Eq 3.7 gives γ ∝ [π2, −π1, 0].
         let s = SpaceMap::row(&[0, 0, 1]);
-        let f = conflict_functions(&s);
+        let f = conflict_functions(&s).unwrap();
         let pi = [5i64, 1, 1];
         let vals: Vec<i64> = f
             .iter()
@@ -246,7 +347,9 @@ mod tests {
     fn ilp_matches_paper_matmul() {
         let alg = algorithms::matmul(4);
         let s = SpaceMap::row(&[1, 1, -1]);
-        let sol = optimal_schedule_ilp(&alg, &s, 12).expect("solvable");
+        let sol = optimal_schedule_ilp(&alg, &s, 12, SearchBudget::unlimited())
+            .unwrap()
+            .expect_optimal("solvable");
         assert_eq!(sol.objective, 24);
         assert_eq!(sol.total_time, 25);
         // The non-feasible extreme point [1, 1, 4] must be among the
@@ -259,7 +362,9 @@ mod tests {
     fn ilp_matches_paper_transitive_closure() {
         let alg = algorithms::transitive_closure(4);
         let s = SpaceMap::row(&[0, 0, 1]);
-        let sol = optimal_schedule_ilp(&alg, &s, 12).expect("solvable");
+        let sol = optimal_schedule_ilp(&alg, &s, 12, SearchBudget::unlimited())
+            .unwrap()
+            .expect_optimal("solvable");
         assert_eq!(sol.schedule.as_slice(), &[5, 1, 1]);
         assert_eq!(sol.total_time, 29);
     }
@@ -269,14 +374,20 @@ mod tests {
         for mu in 2..=5 {
             let alg = algorithms::matmul(mu);
             let s = SpaceMap::row(&[1, 1, -1]);
-            let ilp = optimal_schedule_ilp(&alg, &s, 2 * mu + 4).expect("ILP solvable");
-            let search = Procedure51::new(&alg, &s).solve().expect("search solvable");
+            let ilp = optimal_schedule_ilp(&alg, &s, 2 * mu + 4, SearchBudget::unlimited())
+                .unwrap()
+                .expect_optimal("ILP solvable");
+            let search =
+                Procedure51::new(&alg, &s).solve().unwrap().expect_optimal("search solvable");
             assert_eq!(ilp.objective, search.objective, "matmul μ = {mu}");
 
             let alg = algorithms::transitive_closure(mu);
             let s = SpaceMap::row(&[0, 0, 1]);
-            let ilp = optimal_schedule_ilp(&alg, &s, 2 * mu + 4).expect("ILP solvable");
-            let search = Procedure51::new(&alg, &s).solve().expect("search solvable");
+            let ilp = optimal_schedule_ilp(&alg, &s, 2 * mu + 4, SearchBudget::unlimited())
+                .unwrap()
+                .expect_optimal("ILP solvable");
+            let search =
+                Procedure51::new(&alg, &s).solve().unwrap().expect_optimal("search solvable");
             assert_eq!(ilp.objective, search.objective, "TC μ = {mu}");
         }
     }
@@ -293,8 +404,11 @@ mod tests {
             }
             let alg = algorithms::matmul(3);
             let s = SpaceMap::row(&s_row);
-            let search = Procedure51::new(&alg, &s).max_objective(40).solve();
-            let ilp = optimal_schedule_ilp(&alg, &s, 10);
+            let search =
+                Procedure51::new(&alg, &s).max_objective(40).solve().unwrap().into_mapping();
+            let ilp = optimal_schedule_ilp(&alg, &s, 10, SearchBudget::unlimited())
+                .unwrap()
+                .into_mapping();
             match (search, ilp) {
                 (Some(a), Some(b)) => {
                     assert_eq!(a.objective, b.objective, "S = {s_row:?}");
@@ -309,9 +423,57 @@ mod tests {
     #[test]
     fn ilp_respects_bound() {
         // With a bound too tight to reach any conflict-free schedule the
-        // solver must return None rather than an invalid design.
+        // solver must certify infeasibility rather than emit an invalid
+        // design.
         let alg = algorithms::matmul(4);
         let s = SpaceMap::row(&[1, 1, -1]);
-        assert!(optimal_schedule_ilp(&alg, &s, 1).is_none());
+        let out = optimal_schedule_ilp(&alg, &s, 1, SearchBudget::unlimited()).unwrap();
+        assert_eq!(out.certification, crate::budget::Certification::Infeasible);
+        assert!(out.mapping().is_none());
+    }
+
+    #[test]
+    fn ilp_rejects_wrong_space_map_shape() {
+        let s = SpaceMap::from_rows(&[&[1, 0, 0], &[0, 1, 0]]); // n−1 rows, not n−2
+        assert!(matches!(
+            conflict_functions(&s),
+            Err(CfmapError::DimensionMismatch { expected: 1, actual: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn ilp_node_budget_degrades_or_reports_exhaustion() {
+        // An already-expired wall clock stops the search before any branch
+        // is resolved: no degradation target exists, so the search must
+        // fail loudly with BudgetExhausted, not panic or hang.
+        let alg = algorithms::matmul(4);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let err =
+            optimal_schedule_ilp(&alg, &s, 12, SearchBudget::wall_clock(std::time::Duration::ZERO))
+                .unwrap_err();
+        assert!(matches!(err, CfmapError::BudgetExhausted { limit: BudgetLimit::WallClock, .. }));
+
+        // Any node budget yields either a verified schedule (optimal or
+        // best-effort) or explicit exhaustion — and the result at a fixed
+        // budget is deterministic.
+        for nodes in [1u64, 8, 64, 512] {
+            let a = optimal_schedule_ilp(&alg, &s, 12, SearchBudget::nodes(nodes));
+            let b = optimal_schedule_ilp(&alg, &s, 12, SearchBudget::nodes(nodes));
+            match (a, b) {
+                (Ok(oa), Ok(ob)) => {
+                    let sa = oa.into_mapping().expect("non-infeasible outcome carries schedule");
+                    let sb = ob.into_mapping().unwrap();
+                    assert_eq!(sa.schedule.as_slice(), sb.schedule.as_slice());
+                    let mapping = MappingMatrix::new(s.clone(), sa.schedule.clone());
+                    assert!(ConflictAnalysis::new(&mapping, &alg.index_set)
+                        .is_conflict_free_exact());
+                }
+                (Err(ea), Err(eb)) => {
+                    assert!(matches!(ea, CfmapError::BudgetExhausted { .. }));
+                    assert_eq!(ea.to_string(), eb.to_string());
+                }
+                _ => panic!("same budget produced different outcome kinds"),
+            }
+        }
     }
 }

@@ -11,7 +11,9 @@
 //! the time-first criterion, once some design achieves time `t*`, later
 //! space maps only search schedules with objective `< t* − 1`.
 
+use crate::budget::{SearchBudget, SearchOutcome};
 use crate::conditions::ConditionKind;
+use crate::error::CfmapError;
 use crate::mapping::{MappingMatrix, SpaceMap};
 use crate::search::Procedure51;
 use cfmap_intlin::Int;
@@ -58,6 +60,7 @@ pub struct JointSearch<'a> {
     criterion: JointCriterion,
     condition: ConditionKind,
     max_objective: Option<i64>,
+    budget: SearchBudget,
 }
 
 impl<'a> JointSearch<'a> {
@@ -69,6 +72,7 @@ impl<'a> JointSearch<'a> {
             criterion: JointCriterion::TimeThenSpace,
             condition: ConditionKind::Exact,
             max_objective: None,
+            budget: SearchBudget::unlimited(),
         }
     }
 
@@ -96,8 +100,18 @@ impl<'a> JointSearch<'a> {
         self
     }
 
-    fn space_cost(&self, space: &SpaceMap) -> i64 {
+    /// Bound the work performed (space maps screened / wall clock).
+    /// Exhaustion degrades gracefully to the best design found so far.
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    fn space_cost(&self, space: &SpaceMap) -> Result<i64, CfmapError> {
         // Sites: bounding span of the 1-row image; wires: Σ‖S·d̄ᵢ‖₁.
+        let overflow = |what: &str| CfmapError::Overflow {
+            context: format!("joint-search space cost: {what} does not fit in i64"),
+        };
         let row = space.as_mat().row(0);
         let (mut lo, mut hi) = (Int::zero(), Int::zero());
         for (i, c) in row.iter().enumerate() {
@@ -108,11 +122,19 @@ impl<'a> JointSearch<'a> {
                 lo += &(c * &m);
             }
         }
-        let sites = (&hi - &lo).to_i64().expect("span fits i64") + 1;
-        let wires: i64 = (0..self.alg.num_deps())
-            .map(|i| row.dot(&self.alg.deps.dep(i)).abs().to_i64().expect("fits"))
-            .sum();
-        sites + wires
+        let sites = (&hi - &lo).to_i64().ok_or_else(|| overflow("processor span"))?
+            .checked_add(1)
+            .ok_or_else(|| overflow("processor count"))?;
+        let mut wires = 0i64;
+        for i in 0..self.alg.num_deps() {
+            let hop = row
+                .dot(&self.alg.deps.dep(i))
+                .abs()
+                .to_i64()
+                .ok_or_else(|| overflow("wire length"))?;
+            wires = wires.checked_add(hop).ok_or_else(|| overflow("total wire length"))?;
+        }
+        sites.checked_add(wires).ok_or_else(|| overflow("sites + wires"))
     }
 
     fn score(&self, time: i64, cost: i64) -> (i64, i64) {
@@ -126,7 +148,19 @@ impl<'a> JointSearch<'a> {
     }
 
     /// Run the search.
-    pub fn solve(&self) -> Option<JointOptimal> {
+    ///
+    /// Completion yields [`Certification::Optimal`] (every canonical space
+    /// map screened) or [`Certification::Infeasible`] (none admits a
+    /// conflict-free schedule under the configured caps). A tripped
+    /// [`SearchBudget`] degrades to the best complete design found so far,
+    /// tagged [`Certification::BestEffort`]; if the budget trips before
+    /// *any* design is found, the error is
+    /// [`CfmapError::BudgetExhausted`].
+    ///
+    /// [`Certification::Optimal`]: crate::budget::Certification::Optimal
+    /// [`Certification::Infeasible`]: crate::budget::Certification::Infeasible
+    /// [`Certification::BestEffort`]: crate::budget::Certification::BestEffort
+    pub fn solve(&self) -> Result<SearchOutcome<JointOptimal>, CfmapError> {
         let n = self.alg.dim();
         let mut rows: Vec<Vec<i64>> = Vec::new();
         collect_rows_rec(&mut vec![0i64; n], 0, self.entry_bound, &mut |r| {
@@ -140,9 +174,14 @@ impl<'a> JointSearch<'a> {
         });
 
         let mut best: Option<(JointOptimal, (i64, i64))> = None;
-        let mut tried = 0u64;
+        let mut meter = self.budget.start();
+        let mut tripped = None;
         for r in &rows {
-            tried += 1;
+            // The charged space map is still screened; the trip takes
+            // effect before the *next* one, keeping degradation
+            // deterministic for candidate budgets.
+            let limit = meter.charge_candidate();
+            let tried = meter.candidates;
             let space = SpaceMap::row(r);
             let mut proc = Procedure51::new(self.alg, &space).condition(self.condition);
             if let Some(cap) = self.max_objective {
@@ -156,31 +195,47 @@ impl<'a> JointSearch<'a> {
                     );
                 }
             }
-            let Some(opt) = proc.solve() else { continue };
-            let cost = self.space_cost(&space);
-            let score = self.score(opt.total_time, cost);
-            let better = match &best {
-                None => true,
-                Some((_, bs)) => score < *bs,
-            };
-            if better {
-                best = Some((
-                    JointOptimal {
-                        space: space.clone(),
-                        schedule: opt.schedule.clone(),
-                        mapping: opt.mapping,
-                        total_time: opt.total_time,
-                        space_cost: cost,
-                        space_maps_tried: tried,
-                    },
-                    score,
-                ));
+            if let Some(opt) = proc.solve()?.into_mapping() {
+                let cost = self.space_cost(&space)?;
+                let score = self.score(opt.total_time, cost);
+                let better = match &best {
+                    None => true,
+                    Some((_, bs)) => score < *bs,
+                };
+                if better {
+                    best = Some((
+                        JointOptimal {
+                            space: space.clone(),
+                            schedule: opt.schedule.clone(),
+                            mapping: opt.mapping,
+                            total_time: opt.total_time,
+                            space_cost: cost,
+                            space_maps_tried: tried,
+                        },
+                        score,
+                    ));
+                }
+            }
+            if let Some(limit) = limit {
+                tripped = Some(limit);
+                break;
             }
         }
-        best.map(|(mut sol, _)| {
-            sol.space_maps_tried = tried;
-            sol
-        })
+        let examined = meter.candidates;
+        match (best, tripped) {
+            (Some((mut sol, _)), None) => {
+                sol.space_maps_tried = examined;
+                Ok(SearchOutcome::optimal(sol, examined))
+            }
+            (Some((mut sol, _)), Some(_)) => {
+                sol.space_maps_tried = examined;
+                Ok(SearchOutcome::best_effort(sol, examined))
+            }
+            (None, None) => Ok(SearchOutcome::infeasible(examined)),
+            (None, Some(limit)) => {
+                Err(CfmapError::BudgetExhausted { limit, candidates_examined: examined })
+            }
+        }
     }
 }
 
@@ -207,7 +262,7 @@ mod tests {
         // With S also free, the μ=4 matmul admits designs at least as
         // good as the paper's S = [1,1,−1] / t = 25.
         let alg = algorithms::matmul(4);
-        let sol = JointSearch::new(&alg).solve().expect("solvable");
+        let sol = JointSearch::new(&alg).solve().unwrap().expect_optimal("solvable");
         assert!(sol.total_time <= 25, "joint optimum {} worse than fixed-S", sol.total_time);
         assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
         assert!(sol.mapping.has_full_rank());
@@ -216,7 +271,7 @@ mod tests {
     #[test]
     fn joint_tc() {
         let alg = algorithms::transitive_closure(3);
-        let sol = JointSearch::new(&alg).solve().expect("solvable");
+        let sol = JointSearch::new(&alg).solve().unwrap().expect_optimal("solvable");
         assert!(sol.total_time <= 3 * (3 + 3) + 1);
         assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
     }
@@ -227,11 +282,13 @@ mod tests {
         let fast = JointSearch::new(&alg)
             .criterion(JointCriterion::TimeThenSpace)
             .solve()
-            .unwrap();
+            .unwrap()
+            .expect_optimal("solvable");
         let small = JointSearch::new(&alg)
             .criterion(JointCriterion::SpaceThenTime)
             .solve()
-            .unwrap();
+            .unwrap()
+            .expect_optimal("solvable");
         assert!(fast.total_time <= small.total_time);
         assert!(small.space_cost <= fast.space_cost);
     }
@@ -242,13 +299,49 @@ mod tests {
         let sol = JointSearch::new(&alg)
             .criterion(JointCriterion::WeightedSum { time_weight: 1, space_weight: 2 })
             .solve()
-            .unwrap();
+            .unwrap()
+            .expect_optimal("solvable");
         assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
     }
 
     #[test]
     fn cap_propagates() {
         let alg = algorithms::matmul(4);
-        assert!(JointSearch::new(&alg).max_objective(3).solve().is_none());
+        let out = JointSearch::new(&alg).max_objective(3).solve().unwrap();
+        assert_eq!(out.certification, crate::budget::Certification::Infeasible);
+        assert!(out.mapping().is_none());
+    }
+
+    #[test]
+    fn budget_degrades_to_best_space_map_so_far() {
+        let alg = algorithms::matmul(3);
+        let full = JointSearch::new(&alg).solve().unwrap();
+        let total = full.candidates_examined;
+        assert!(total > 1, "need a multi-candidate search for this test");
+        // A budget big enough to reach at least one complete design but
+        // smaller than the full enumeration must degrade, not fail.
+        let out = JointSearch::new(&alg)
+            .budget(SearchBudget::candidates(total - 1))
+            .solve()
+            .unwrap();
+        assert!(out.certification.is_best_effort(), "got {}", out.certification);
+        assert_eq!(out.candidates_examined, total - 1);
+        let sol = out.into_mapping().expect("best-effort carries a design");
+        assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
+        assert!(sol.mapping.has_full_rank());
+    }
+
+    #[test]
+    fn budget_exhausted_before_any_design_is_an_error() {
+        // Entry bound 0 leaves no candidate rows at all, so even one
+        // charged candidate cannot exist; use a 1-candidate budget on a
+        // search whose first space map admits no schedule instead.
+        let alg = algorithms::matmul(4);
+        let err = JointSearch::new(&alg)
+            .max_objective(3) // nothing is schedulable this fast
+            .budget(SearchBudget::candidates(1))
+            .solve()
+            .unwrap_err();
+        assert!(matches!(err, CfmapError::BudgetExhausted { candidates_examined: 1, .. }));
     }
 }

@@ -26,9 +26,11 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod budget;
 pub mod conditions;
 pub mod conflict;
 pub mod diagnose;
+pub mod error;
 pub mod ilp;
 pub mod joint_search;
 pub mod mapping;
@@ -38,7 +40,9 @@ pub mod schedulability;
 pub mod search;
 pub mod space_search;
 
+pub use budget::{BudgetMeter, Certification, SearchBudget, SearchOutcome};
 pub use conflict::{ConflictAnalysis, Feasibility};
+pub use error::{BudgetLimit, CfmapError};
 pub use diagnose::{diagnose, Check, MappingDiagnosis};
 pub use mapping::{InterconnectionPrimitives, MappingMatrix, SpaceMap};
 pub use schedulability::{find_valid_schedule, is_schedulable};

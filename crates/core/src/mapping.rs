@@ -12,6 +12,7 @@
 //!    [`crate::conflict`] and [`crate::conditions`]);
 //! 4. `rank(T) = k` — the array is genuinely `(k−1)`-dimensional.
 
+use crate::error::CfmapError;
 use cfmap_intlin::{hermite_normal_form, Hnf, IMat, IVec, Int};
 use cfmap_lp::{solve_ilp, LpOutcome, LpProblem, Relation};
 use cfmap_model::{DependenceMatrix, LinearSchedule};
@@ -226,18 +227,28 @@ impl Routing {
 /// `P·K = S·D` and `Σ_j k_{ji} ≤ Π·d̄ᵢ`, minimizing hops per dependence.
 ///
 /// Each dependence is an independent small ILP (minimize `Σ_j k_j` s.t.
-/// `P·k = (S·D) column`, `k ≥ 0`). Returns `None` if any dependence is
-/// unroutable within its time budget.
+/// `P·k = (S·D) column`, `k ≥ 0`). Returns [`CfmapError::Unroutable`]
+/// naming the first dependence that cannot be delivered within its time
+/// budget, or [`CfmapError::Overflow`] when a quantity leaves the `i64`
+/// interchange range.
 pub fn route(
     mapping: &MappingMatrix,
     deps: &DependenceMatrix,
     primitives: &InterconnectionPrimitives,
-) -> Option<Routing> {
-    assert_eq!(primitives.array_dims(), mapping.k() - 1, "P has wrong array dimension");
+) -> Result<Routing, CfmapError> {
+    if primitives.array_dims() != mapping.k() - 1 {
+        return Err(CfmapError::DimensionMismatch {
+            context: "interconnection primitives vs mapping array dimension".into(),
+            expected: mapping.k() - 1,
+            actual: primitives.array_dims(),
+        });
+    }
     let sd = mapping.space().as_mat() * deps.as_mat();
     let r = primitives.num_primitives();
     let m = deps.num_deps();
     let dep_times = mapping.schedule().dep_times(deps);
+
+    let overflow = |context: &str| CfmapError::Overflow { context: format!("route: {context}") };
 
     let mut k = IMat::zeros(r, m);
     let mut hops = Vec::with_capacity(m);
@@ -245,34 +256,64 @@ pub fn route(
         let target = sd.col(i);
         // min Σ k_j  s.t.  P·k = target, 0 ≤ k_j ≤ Π·d̄ᵢ.
         let mut p = LpProblem::minimize(&vec![1; r]);
-        let budget = dep_times[i].to_i64().expect("schedule times fit i64");
+        let budget =
+            dep_times[i].to_i64().ok_or_else(|| overflow("schedule time Π·d̄ᵢ"))?;
         for j in 0..r {
             p.set_lower(j, cfmap_intlin::Rat::zero());
             p.set_upper(j, cfmap_intlin::Rat::from_i64(budget));
         }
         for row in 0..primitives.array_dims() {
-            let coeffs: Vec<i64> = (0..r)
-                .map(|j| primitives.as_mat().get(row, j).to_i64().expect("P entry fits i64"))
-                .collect();
-            let rhs = target[row].to_i64().expect("SD entry fits i64");
+            let mut coeffs = Vec::with_capacity(r);
+            for j in 0..r {
+                coeffs.push(
+                    primitives
+                        .as_mat()
+                        .get(row, j)
+                        .to_i64()
+                        .ok_or_else(|| overflow("primitive matrix entry"))?,
+                );
+            }
+            let rhs = target[row].to_i64().ok_or_else(|| overflow("S·D entry"))?;
             p.constrain_i64(&coeffs, Relation::Eq, rhs);
         }
         match solve_ilp(&p, 50_000) {
-            LpOutcome::Optimal { x, value } => {
+            Err(e) => {
+                return Err(CfmapError::Unroutable {
+                    dependence: i,
+                    reason: format!("routing ILP gave up: {e}"),
+                })
+            }
+            Ok(LpOutcome::Optimal { x, value }) => {
                 if value > cfmap_intlin::Rat::from_int(dep_times[i].clone()) {
-                    return None; // cannot arrive in time
+                    return Err(CfmapError::Unroutable {
+                        dependence: i,
+                        reason: format!(
+                            "needs {value} hops but only {} time steps are available",
+                            dep_times[i]
+                        ),
+                    });
                 }
                 for (j, v) in x.iter().enumerate() {
                     k.set(j, i, v.to_int().expect("ILP solution is integral"));
                 }
                 hops.push(value.to_int().expect("integral hops"));
             }
-            _ => return None,
+            Ok(_) => {
+                return Err(CfmapError::Unroutable {
+                    dependence: i,
+                    reason: format!(
+                        "no nonnegative integral combination of the {r} primitives \
+                         reaches processor offset {:?} within {} time steps",
+                        target.to_i64s().unwrap_or_default(),
+                        dep_times[i]
+                    ),
+                })
+            }
         }
     }
 
     let buffers: Vec<Int> = dep_times.iter().zip(&hops).map(|(t, h)| t - h).collect();
-    Some(Routing { k, dep_times, hops, buffers })
+    Ok(Routing { k, dep_times, hops, buffers })
 }
 
 #[cfg(test)]
@@ -389,6 +430,25 @@ mod tests {
         let deps = DependenceMatrix::from_columns(&[&[1, 0]]);
         let mapping = MappingMatrix::new(SpaceMap::row(&[3, 0]), LinearSchedule::new(&[1, 1]));
         let p = InterconnectionPrimitives::from_columns(&[&[1], &[-1]]);
-        assert!(route(&mapping, &deps, &p).is_none());
+        let err = route(&mapping, &deps, &p).unwrap_err();
+        match err {
+            CfmapError::Unroutable { dependence, reason } => {
+                assert_eq!(dependence, 0);
+                assert!(!reason.is_empty());
+            }
+            other => panic!("expected Unroutable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn route_rejects_mismatched_primitives() {
+        // 2-D primitives against a 1-D (linear) array.
+        let deps = DependenceMatrix::from_columns(&[&[1, 0]]);
+        let mapping = MappingMatrix::new(SpaceMap::row(&[1, 0]), LinearSchedule::new(&[1, 1]));
+        let p = InterconnectionPrimitives::mesh(2);
+        assert!(matches!(
+            route(&mapping, &deps, &p),
+            Err(CfmapError::DimensionMismatch { .. })
+        ));
     }
 }

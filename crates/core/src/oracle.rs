@@ -55,7 +55,6 @@ mod tests {
     use crate::conflict::ConflictAnalysis;
     use crate::mapping::MappingMatrix;
     use cfmap_model::IndexSet;
-    use proptest::prelude::*;
 
     #[test]
     fn paper_optimal_matmul_mapping_is_clean() {
@@ -101,20 +100,19 @@ mod tests {
         assert_eq!(count_conflicting_pairs(&t, &j), 30);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(40))]
+    cfmap_testkit::props! {
+        cases = 40;
 
         /// The oracle and the exact lattice checker must always agree.
-        #[test]
         fn oracle_agrees_with_exact_checker(
-            s in prop::collection::vec(-3i64..=3, 3),
-            pi in prop::collection::vec(-3i64..=3, 3),
+            s in cfmap_testkit::gen::vec(-3i64..=3, 3),
+            pi in cfmap_testkit::gen::vec(-3i64..=3, 3),
             mu in 1i64..5,
         ) {
             let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
             let j = IndexSet::cube(3, mu);
             let analysis = ConflictAnalysis::new(&t, &j);
-            prop_assert_eq!(
+            assert_eq!(
                 analysis.is_conflict_free_exact(),
                 is_conflict_free_by_enumeration(&t, &j),
                 "disagreement for S={:?} Π={:?} μ={}", s, pi, mu
@@ -122,16 +120,15 @@ mod tests {
         }
 
         /// 4-D, k = 2 (two-dimensional kernel): same agreement.
-        #[test]
         fn oracle_agrees_with_exact_checker_4d(
-            s in prop::collection::vec(-2i64..=2, 4),
-            pi in prop::collection::vec(-2i64..=2, 4),
+            s in cfmap_testkit::gen::vec(-2i64..=2, 4),
+            pi in cfmap_testkit::gen::vec(-2i64..=2, 4),
             mu in 1i64..4,
         ) {
             let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
             let j = IndexSet::cube(4, mu);
             let analysis = ConflictAnalysis::new(&t, &j);
-            prop_assert_eq!(
+            assert_eq!(
                 analysis.is_conflict_free_exact(),
                 is_conflict_free_by_enumeration(&t, &j),
                 "disagreement for S={:?} Π={:?} μ={}", s, pi, mu

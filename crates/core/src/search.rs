@@ -17,9 +17,22 @@
 //! condition is necessary-and-sufficient (`k ≥ n−3` per the paper; see
 //! the necessity caveat in [`crate::conditions`]) and otherwise sound but
 //! possibly conservative.
+//!
+//! ## Budgets and graceful degradation
+//!
+//! The search accepts a [`SearchBudget`]. When a limit trips before the
+//! optimum is found, [`Procedure51::solve`] does not hang or panic: it
+//! falls back to a deterministic family of *mixed-radix* schedules
+//! (`Π·j̄` injective on the bounding box of `J`, hence conflict-free for
+//! any `S`), screens them through the same validity/rank/routability
+//! gates, and returns the best one tagged
+//! [`Certification::BestEffort`]. Only when even that family is empty
+//! does it report [`CfmapError::BudgetExhausted`].
 
+use crate::budget::{SearchBudget, SearchOutcome};
 use crate::conditions::{check, ConditionKind};
 use crate::conflict::ConflictAnalysis;
+use crate::error::{BudgetLimit, CfmapError};
 use crate::mapping::{route, InterconnectionPrimitives, MappingMatrix, Routing, SpaceMap};
 use cfmap_model::{LinearSchedule, Uda};
 
@@ -52,8 +65,27 @@ pub struct OptimalMapping {
 ///
 /// let alg = algorithms::matmul(4);
 /// let s = SpaceMap::row(&[1, 1, -1]);
-/// let opt = Procedure51::new(&alg, &s).solve().expect("mapping exists");
+/// let opt = Procedure51::new(&alg, &s)
+///     .solve()
+///     .expect("search ran")
+///     .expect_optimal("mapping exists");
 /// assert_eq!(opt.total_time, 4 * (4 + 2) + 1); // t = μ(μ+2)+1
+/// ```
+///
+/// Budgeted search degrades instead of hanging:
+///
+/// ```
+/// use cfmap_core::{Certification, Procedure51, SearchBudget, SpaceMap};
+/// use cfmap_model::algorithms;
+///
+/// let alg = algorithms::matmul(4);
+/// let s = SpaceMap::row(&[1, 1, -1]);
+/// let out = Procedure51::new(&alg, &s)
+///     .budget(SearchBudget::candidates(2))
+///     .solve()
+///     .expect("degrades instead of failing");
+/// assert!(matches!(out.certification, Certification::BestEffort { .. }));
+/// assert!(out.mapping.is_some());
 /// ```
 pub struct Procedure51<'a> {
     alg: &'a Uda,
@@ -61,6 +93,7 @@ pub struct Procedure51<'a> {
     condition: ConditionKind,
     primitives: Option<&'a InterconnectionPrimitives>,
     max_objective: i64,
+    budget: SearchBudget,
     /// Column indices where `S` is entirely zero — used by the exact
     /// pairwise pre-filter (see [`Self::pairwise_prefilter_rejects`]).
     zero_space_cols: Vec<usize>,
@@ -88,6 +121,7 @@ impl<'a> Procedure51<'a> {
             condition: ConditionKind::Exact,
             primitives: None,
             max_objective: cap,
+            budget: SearchBudget::unlimited(),
             zero_space_cols,
         }
     }
@@ -135,28 +169,52 @@ impl<'a> Procedure51<'a> {
         self
     }
 
+    /// Bound the search effort (default: unlimited). With a
+    /// candidate-count limit the outcome is deterministic: the
+    /// enumeration order is fixed, so equal budgets give equal results.
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Run the search: the first accepted candidate in increasing
-    /// objective order is returned.
-    pub fn solve(&self) -> Option<OptimalMapping> {
+    /// objective order is certified [`Certification::Optimal`]. If the
+    /// budget trips first, a deterministic fallback mapping is returned
+    /// as [`Certification::BestEffort`]; an exhausted candidate space is
+    /// [`Certification::Infeasible`].
+    ///
+    /// [`Certification::Optimal`]: crate::Certification::Optimal
+    /// [`Certification::BestEffort`]: crate::Certification::BestEffort
+    /// [`Certification::Infeasible`]: crate::Certification::Infeasible
+    pub fn solve(&self) -> Result<SearchOutcome<OptimalMapping>, CfmapError> {
         let mu = self.alg.index_set.mu();
         let n = self.alg.dim();
-        let mut examined = 0u64;
+        let mut meter = self.budget.start();
+        if let Some(limit) = meter.check_wall() {
+            return self.degrade(limit, 0);
+        }
         for cost in 1..=self.max_objective {
             let mut found: Option<OptimalMapping> = None;
+            let mut tripped: Option<BudgetLimit> = None;
             enumerate_weighted(n, mu, cost, &mut |pi| {
-                if found.is_some() {
+                if found.is_some() || tripped.is_some() {
                     return;
                 }
-                examined += 1;
-                if let Some(result) = self.try_candidate(pi, cost, examined) {
+                let limit = meter.charge_candidate();
+                if let Some(result) = self.try_candidate(pi, cost, meter.candidates) {
                     found = Some(result);
+                } else {
+                    tripped = limit;
                 }
             });
-            if found.is_some() {
-                return found;
+            if let Some(win) = found {
+                return Ok(SearchOutcome::optimal(win, meter.candidates));
+            }
+            if let Some(limit) = tripped {
+                return self.degrade(limit, meter.candidates);
             }
         }
-        None
+        Ok(SearchOutcome::infeasible(meter.candidates))
     }
 
     /// Evaluate one candidate against all conditions of Definition 2.2.
@@ -180,9 +238,10 @@ impl<'a> Procedure51<'a> {
         if !check(self.condition, &analysis, &self.alg.index_set).accepts() {
             return None; // condition 3: conflict-freedom
         }
-        // Condition 2: routability (optional).
+        // Condition 2: routability (optional). An unroutable candidate is
+        // an ordinary rejection — the search keeps looking.
         let routing = match self.primitives {
-            Some(p) => Some(route(&mapping, &self.alg.deps, p)?),
+            Some(p) => Some(route(&mapping, &self.alg.deps, p).ok()?),
             None => None,
         };
         let total_time = cost + 1;
@@ -196,15 +255,118 @@ impl<'a> Procedure51<'a> {
         })
     }
 
+    /// Graceful degradation: the budget tripped before any candidate was
+    /// accepted (the enumeration is in increasing objective order, so
+    /// there is no "best so far" — the first acceptance *is* the
+    /// optimum). Fall back to the mixed-radix schedule family: weights
+    /// `w` assigned to the axes in some order with `w_next = w · (μ+1)`
+    /// make `Π·j̄` injective on the bounding box of `J`, hence
+    /// conflict-free for *any* space map. All `n!·2ⁿ` (permutation,
+    /// sign) variants are screened deterministically and the valid one
+    /// with the smallest objective wins.
+    fn degrade(
+        &self,
+        limit: BudgetLimit,
+        candidates_examined: u64,
+    ) -> Result<SearchOutcome<OptimalMapping>, CfmapError> {
+        let mu = self.alg.index_set.mu();
+        let n = self.alg.dim();
+        let mut best: Option<OptimalMapping> = None;
+        for perm in permutations(n) {
+            // Mixed-radix weights: the axis visited first varies fastest.
+            let mut w = vec![0i64; n];
+            let mut acc: i64 = 1;
+            let mut overflow = false;
+            for &ax in &perm {
+                w[ax] = acc;
+                match acc.checked_mul(mu[ax] + 1) {
+                    Some(next) => acc = next,
+                    None => {
+                        overflow = true;
+                        break;
+                    }
+                }
+            }
+            if overflow {
+                continue;
+            }
+            for signs in 0u32..(1 << n) {
+                let pi: Vec<i64> = (0..n)
+                    .map(|i| if signs >> i & 1 == 1 { -w[i] } else { w[i] })
+                    .collect();
+                let Some(objective) = weighted_objective(&pi, mu) else { continue };
+                if let Some(cand) = self.fallback_candidate(&pi, objective, candidates_examined) {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            cand.objective < b.objective
+                                || (cand.objective == b.objective
+                                    && cand.schedule.as_slice() < b.schedule.as_slice())
+                        }
+                    };
+                    if better {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        match best {
+            Some(mapping) => Ok(SearchOutcome::best_effort(mapping, candidates_examined)),
+            None => Err(CfmapError::BudgetExhausted { limit, candidates_examined }),
+        }
+    }
+
+    /// Screen a fallback schedule. Uses the *exact* conflict test
+    /// regardless of the configured [`ConditionKind`] — injectivity of
+    /// the mixed-radix `Π` guarantees conflict-freedom, and the exact
+    /// test certifies it without the conservatism of the closed forms.
+    fn fallback_candidate(
+        &self,
+        pi: &[i64],
+        objective: i64,
+        examined: u64,
+    ) -> Option<OptimalMapping> {
+        let schedule = LinearSchedule::new(pi);
+        if !schedule.is_valid_for(&self.alg.deps) {
+            return None;
+        }
+        let mapping = MappingMatrix::new(self.space.clone(), schedule.clone());
+        let analysis = ConflictAnalysis::new(&mapping, &self.alg.index_set);
+        if analysis.rank() != mapping.k() {
+            return None;
+        }
+        if !analysis.is_conflict_free_exact() {
+            return None;
+        }
+        let routing = match self.primitives {
+            Some(p) => Some(route(&mapping, &self.alg.deps, p).ok()?),
+            None => None,
+        };
+        Some(OptimalMapping {
+            mapping,
+            schedule,
+            objective,
+            total_time: objective + 1,
+            routing,
+            candidates_examined: examined,
+        })
+    }
+
     /// [`Self::solve`] with each objective level's candidates evaluated on
-    /// `threads` worker threads (crossbeam scoped threads). Returns the
-    /// same optimum as the sequential search: within a level every worker
+    /// `threads` worker threads (std scoped threads). Returns the same
+    /// optimum as the sequential search: within a level every worker
     /// records its first accepted candidate *with its enumeration index*,
     /// and the globally smallest index wins — so the result is
     /// deterministic and identical to the sequential tie-breaking.
-    pub fn solve_parallel(&self, threads: usize) -> Option<OptimalMapping> {
+    ///
+    /// A non-unlimited budget delegates to the sequential search so that
+    /// budget semantics stay exactly deterministic.
+    pub fn solve_parallel(
+        &self,
+        threads: usize,
+    ) -> Result<SearchOutcome<OptimalMapping>, CfmapError> {
         assert!(threads >= 1, "need at least one worker");
-        if threads == 1 {
+        if threads == 1 || !self.budget.is_unlimited() {
             return self.solve();
         }
         let mu = self.alg.index_set.mu();
@@ -217,32 +379,30 @@ impl<'a> Procedure51<'a> {
                 continue;
             }
             let chunk = level.len().div_ceil(threads).max(1);
-            let hits: Vec<Option<(usize, OptimalMapping)>> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = level
-                        .chunks(chunk)
-                        .enumerate()
-                        .map(|(ci, slice)| {
-                            scope.spawn(move |_| {
-                                for (off, pi) in slice.iter().enumerate() {
-                                    if let Some(r) = self.try_candidate(pi, cost, 0) {
-                                        return Some((ci * chunk + off, r));
-                                    }
+            let hits: Vec<Option<(usize, OptimalMapping)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = level
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(ci, slice)| {
+                        scope.spawn(move || {
+                            for (off, pi) in slice.iter().enumerate() {
+                                if let Some(r) = self.try_candidate(pi, cost, 0) {
+                                    return Some((ci * chunk + off, r));
                                 }
-                                None
-                            })
+                            }
+                            None
                         })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-                })
-                .expect("scope failed");
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
             if let Some((idx, mut win)) = hits.into_iter().flatten().min_by_key(|(i, _)| *i) {
                 win.candidates_examined = examined_before + idx as u64 + 1;
-                return Some(win);
+                return Ok(SearchOutcome::optimal(win, examined_before + idx as u64 + 1));
             }
             examined_before += level.len() as u64;
         }
-        None
+        Ok(SearchOutcome::infeasible(examined_before))
     }
 
     /// Count (without accepting) how many candidates exist up to the given
@@ -256,6 +416,39 @@ impl<'a> Procedure51<'a> {
         }
         count
     }
+}
+
+/// `Σ |π_i|·μ_i` with overflow checking.
+fn weighted_objective(pi: &[i64], mu: &[i64]) -> Option<i64> {
+    let mut acc: i64 = 0;
+    for (p, m) in pi.iter().zip(mu) {
+        acc = acc.checked_add(p.checked_abs()?.checked_mul(*m)?)?;
+    }
+    Some(acc)
+}
+
+/// All permutations of `0..n` in lexicographic order (deterministic).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    fn rec(n: usize, used: &mut Vec<bool>, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == n {
+            out.push(current.clone());
+            return;
+        }
+        for i in 0..n {
+            if !used[i] {
+                used[i] = true;
+                current.push(i);
+                rec(n, used, current, out);
+                current.pop();
+                used[i] = false;
+            }
+        }
+    }
+    rec(n, &mut used, &mut current, &mut out);
+    out
 }
 
 /// Enumerate all `Π ∈ Z^n` with `Σ |π_i|·μ_i == cost` (each candidate
@@ -296,6 +489,7 @@ pub(crate) fn enumerate_weighted(n: usize, mu: &[i64], cost: i64, f: &mut impl F
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::Certification;
     use cfmap_model::algorithms;
 
     #[test]
@@ -332,7 +526,10 @@ mod tests {
         // Π° ∈ {[1, 4, 1], [4, 1, 1]}, t = 25 = μ(μ+2)+1.
         let alg = algorithms::matmul(4);
         let s = SpaceMap::row(&[1, 1, -1]);
-        let opt = Procedure51::new(&alg, &s).solve().expect("optimum exists");
+        let opt = Procedure51::new(&alg, &s)
+            .solve()
+            .expect("search ran")
+            .expect_optimal("optimum exists");
         assert_eq!(opt.objective, 24);
         assert_eq!(opt.total_time, 25);
         // The optimum is not unique: the whole edge between the paper's
@@ -351,7 +548,8 @@ mod tests {
         let opt_paper = Procedure51::new(&alg, &s)
             .condition(ConditionKind::Paper)
             .solve()
-            .expect("optimum exists");
+            .expect("search ran")
+            .expect_optimal("optimum exists");
         assert_eq!(opt_paper.objective, 24);
     }
 
@@ -361,7 +559,10 @@ mod tests {
         // t = μ(μ+3)+1 = 29.
         let alg = algorithms::transitive_closure(4);
         let s = SpaceMap::row(&[0, 0, 1]);
-        let opt = Procedure51::new(&alg, &s).solve().expect("optimum exists");
+        let opt = Procedure51::new(&alg, &s)
+            .solve()
+            .expect("search ran")
+            .expect_optimal("optimum exists");
         assert_eq!(opt.schedule.as_slice(), &[5, 1, 1]);
         assert_eq!(opt.total_time, 29);
         assert_eq!(opt.total_time, 4 * (4 + 3) + 1);
@@ -374,7 +575,10 @@ mod tests {
         for mu in 2..=6 {
             let alg = algorithms::transitive_closure(mu);
             let s = SpaceMap::row(&[0, 0, 1]);
-            let opt = Procedure51::new(&alg, &s).solve().expect("optimum exists");
+            let opt = Procedure51::new(&alg, &s)
+                .solve()
+                .expect("search ran")
+                .expect_optimal("optimum exists");
             assert_eq!(opt.total_time, mu * (mu + 3) + 1, "μ = {mu}");
             assert!(opt.total_time < mu * (2 * mu + 3) + 1);
         }
@@ -388,7 +592,8 @@ mod tests {
         let opt = Procedure51::new(&alg, &s)
             .primitives(&p)
             .solve()
-            .expect("routable optimum exists");
+            .expect("search ran")
+            .expect_optimal("routable optimum exists");
         assert_eq!(opt.objective, 24);
         let routing = opt.routing.expect("routing present");
         assert!(routing.is_collision_free_by_k());
@@ -402,9 +607,13 @@ mod tests {
             (algorithms::transitive_closure(4), vec![0, 0, 1]),
         ] {
             let s = SpaceMap::row(&s_row);
-            let seq = Procedure51::new(&alg, &s).solve().unwrap();
+            let seq = Procedure51::new(&alg, &s).solve().unwrap().into_mapping().unwrap();
             for threads in [2, 4] {
-                let par = Procedure51::new(&alg, &s).solve_parallel(threads).unwrap();
+                let par = Procedure51::new(&alg, &s)
+                    .solve_parallel(threads)
+                    .unwrap()
+                    .into_mapping()
+                    .unwrap();
                 assert_eq!(par.objective, seq.objective, "{} × {threads}", alg.name);
                 assert_eq!(
                     par.schedule.as_slice(),
@@ -421,19 +630,86 @@ mod tests {
     fn parallel_search_single_thread_delegates() {
         let alg = algorithms::matmul(3);
         let s = SpaceMap::row(&[1, 1, -1]);
-        let a = Procedure51::new(&alg, &s).solve().unwrap();
-        let b = Procedure51::new(&alg, &s).solve_parallel(1).unwrap();
+        let a = Procedure51::new(&alg, &s).solve().unwrap().into_mapping().unwrap();
+        let b = Procedure51::new(&alg, &s).solve_parallel(1).unwrap().into_mapping().unwrap();
         assert_eq!(a.objective, b.objective);
     }
 
     #[test]
     fn search_gives_up_at_cap() {
-        // An impossible requirement: space map equal to a dependence
-        // direction with tiny cap.
+        // An impossible requirement: tiny objective cap means the candidate
+        // space is exhausted without an acceptable schedule.
         let alg = algorithms::matmul(2);
         let s = SpaceMap::row(&[1, 1, -1]);
-        let none = Procedure51::new(&alg, &s).max_objective(2).solve();
-        assert!(none.is_none());
+        let out = Procedure51::new(&alg, &s).max_objective(2).solve().unwrap();
+        assert_eq!(out.certification, Certification::Infeasible);
+        assert!(out.mapping.is_none());
+        assert!(out.candidates_examined > 0);
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_best_effort() {
+        let alg = algorithms::matmul(3);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let out = Procedure51::new(&alg, &s)
+            .budget(SearchBudget::candidates(2))
+            .solve()
+            .expect("degrades, does not fail");
+        let Certification::BestEffort { candidates_examined } = out.certification else {
+            panic!("expected BestEffort, got {:?}", out.certification);
+        };
+        assert_eq!(candidates_examined, 2);
+        let m = out.mapping.expect("fallback mapping present");
+        // The fallback is a genuinely valid conflict-free mapping.
+        assert!(m.mapping.respects_dependencies(&alg.deps));
+        assert!(m.mapping.has_full_rank());
+        assert!(crate::oracle::is_conflict_free_by_enumeration(&m.mapping, &alg.index_set));
+    }
+
+    #[test]
+    fn budget_degradation_is_deterministic() {
+        let alg = algorithms::matmul(3);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let a = Procedure51::new(&alg, &s)
+            .budget(SearchBudget::candidates(3))
+            .solve()
+            .unwrap();
+        let b = Procedure51::new(&alg, &s)
+            .budget(SearchBudget::candidates(3))
+            .solve()
+            .unwrap();
+        assert_eq!(a.certification, b.certification);
+        assert_eq!(
+            a.mapping.unwrap().schedule.as_slice(),
+            b.mapping.unwrap().schedule.as_slice()
+        );
+    }
+
+    #[test]
+    fn generous_budget_still_finds_optimum() {
+        let alg = algorithms::matmul(3);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let free = Procedure51::new(&alg, &s).solve().unwrap();
+        let budgeted = Procedure51::new(&alg, &s)
+            .budget(SearchBudget::candidates(1_000_000))
+            .solve()
+            .unwrap();
+        assert!(budgeted.is_optimal());
+        assert_eq!(
+            free.mapping.unwrap().objective,
+            budgeted.mapping.unwrap().objective
+        );
+    }
+
+    #[test]
+    fn zero_wall_clock_budget_degrades_immediately() {
+        let alg = algorithms::matmul(3);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let out = Procedure51::new(&alg, &s)
+            .budget(SearchBudget::wall_clock(std::time::Duration::ZERO))
+            .solve()
+            .expect("degrades, does not fail");
+        assert!(out.certification.is_best_effort());
     }
 
     #[test]
@@ -453,7 +729,7 @@ mod tests {
         // objective exists below the reported optimum (probe a grid).
         let alg = algorithms::matmul(3);
         let s = SpaceMap::row(&[1, 1, -1]);
-        let opt = Procedure51::new(&alg, &s).solve().unwrap();
+        let opt = Procedure51::new(&alg, &s).solve().unwrap().into_mapping().unwrap();
         let mu = alg.index_set.mu();
         for p1 in -3i64..=3 {
             for p2 in -3i64..=3 {

@@ -15,8 +15,10 @@
 //! to the time-optimal search so the two can be composed (alternate
 //! Π-step / S-step, Problem 6.2 style).
 
+use crate::budget::{SearchBudget, SearchOutcome};
 use crate::conditions::{check, ConditionKind};
 use crate::conflict::ConflictAnalysis;
+use crate::error::CfmapError;
 use crate::mapping::{MappingMatrix, SpaceMap};
 use cfmap_intlin::Int;
 use cfmap_model::{LinearSchedule, Uda};
@@ -48,13 +50,20 @@ pub struct SpaceSearch<'a> {
     entry_bound: i64,
     rows: usize,
     condition: ConditionKind,
+    budget: SearchBudget,
 }
 
 impl<'a> SpaceSearch<'a> {
     /// Start a search for `alg` under the given (fixed) schedule.
     pub fn new(alg: &'a Uda, schedule: &'a LinearSchedule) -> Self {
-        assert_eq!(alg.dim(), schedule.dim(), "algorithm / schedule dimension mismatch");
-        SpaceSearch { alg, schedule, entry_bound: 2, rows: 1, condition: ConditionKind::Exact }
+        SpaceSearch {
+            alg,
+            schedule,
+            entry_bound: 2,
+            rows: 1,
+            condition: ConditionKind::Exact,
+            budget: SearchBudget::unlimited(),
+        }
     }
 
     /// Bound on `|s_i|` for enumerated space maps (default 2).
@@ -65,9 +74,9 @@ impl<'a> SpaceSearch<'a> {
 
     /// Target array dimensionality `k − 1` (default 1 = linear array;
     /// 2 = mesh). The candidate pool is `O((2b+1)^{rows·n})`, so keep the
-    /// entry bound small for 2-D searches.
+    /// entry bound small for 2-D searches. Values outside `1..=2` are
+    /// rejected by [`SpaceSearch::solve`] with [`CfmapError::Unsupported`].
     pub fn rows(mut self, rows: usize) -> Self {
-        assert!((1..=2).contains(&rows), "1- and 2-row space maps supported");
         self.rows = rows;
         self
     }
@@ -75,6 +84,12 @@ impl<'a> SpaceSearch<'a> {
     /// Conflict test to use (default exact).
     pub fn condition(mut self, kind: ConditionKind) -> Self {
         self.condition = kind;
+        self
+    }
+
+    /// Bound the work performed (candidates screened / wall clock).
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -86,7 +101,10 @@ impl<'a> SpaceSearch<'a> {
     /// with coprime entries this equals the processor count exactly).
     /// Wire length is `Σᵢ ‖S·d̄ᵢ‖₁`, the per-dependence hop distance that
     /// must be wired between neighbouring cells.
-    fn cost_of(&self, space: &SpaceMap) -> (i64, usize, i64) {
+    fn cost_of(&self, space: &SpaceMap) -> Result<(i64, usize, i64), CfmapError> {
+        let overflow = |what: &str| CfmapError::Overflow {
+            context: format!("space-search VLSI cost: {what} does not fit in i64"),
+        };
         let mut sites = 1i64;
         for r in 0..space.array_dims() {
             let row = space.as_mat().row(r);
@@ -99,20 +117,48 @@ impl<'a> SpaceSearch<'a> {
                     lo += &(c * &m);
                 }
             }
-            sites *= (&hi - &lo).to_i64().expect("span fits i64") + 1;
+            let span = (&hi - &lo)
+                .to_i64()
+                .and_then(|s| s.checked_add(1))
+                .ok_or_else(|| overflow("processor span"))?;
+            sites = sites.checked_mul(span).ok_or_else(|| overflow("site count"))?;
         }
         let sd = space.as_mat() * self.alg.deps.as_mat();
         let mut wires = 0i64;
         for c in 0..sd.ncols() {
             for r in 0..sd.nrows() {
-                wires += sd.get(r, c).abs().to_i64().expect("wire length fits i64");
+                let hop =
+                    sd.get(r, c).abs().to_i64().ok_or_else(|| overflow("wire length"))?;
+                wires = wires.checked_add(hop).ok_or_else(|| overflow("total wire length"))?;
             }
         }
-        (sites + wires, sites as usize, wires)
+        let cost = sites.checked_add(wires).ok_or_else(|| overflow("sites + wires"))?;
+        Ok((cost, sites as usize, wires))
     }
 
     /// Run the search: minimal-cost conflict-free full-rank space map.
-    pub fn solve(&self) -> Option<SpaceOptimalMapping> {
+    ///
+    /// The candidate pool is screened in increasing cost order, so the
+    /// first acceptable map is certified `Optimal`. Because the search
+    /// accepts the *first* valid candidate there is no intermediate
+    /// best-so-far: a tripped [`SearchBudget`] before acceptance is
+    /// reported as [`CfmapError::BudgetExhausted`].
+    pub fn solve(&self) -> Result<SearchOutcome<SpaceOptimalMapping>, CfmapError> {
+        if !(1..=2).contains(&self.rows) {
+            return Err(CfmapError::Unsupported {
+                reason: format!(
+                    "only 1- and 2-row space maps supported, got {} rows",
+                    self.rows
+                ),
+            });
+        }
+        if self.alg.dim() != self.schedule.dim() {
+            return Err(CfmapError::DimensionMismatch {
+                context: "space search: algorithm vs schedule".to_string(),
+                expected: self.alg.dim(),
+                actual: self.schedule.dim(),
+            });
+        }
         let n = self.alg.dim();
         // Enumerate canonical nonzero rows (first nonzero entry positive —
         // negating a row of S only relabels processors).
@@ -134,7 +180,7 @@ impl<'a> SpaceSearch<'a> {
             1 => {
                 for r in &rows_pool {
                     let space = SpaceMap::row(r);
-                    let (cost, _, _) = self.cost_of(&space);
+                    let (cost, _, _) = self.cost_of(&space)?;
                     candidates.insert((cost, vec![r.clone()]));
                 }
             }
@@ -146,38 +192,59 @@ impl<'a> SpaceSearch<'a> {
                         if space.as_mat().rank() < 2 {
                             continue; // degenerate 2-D map
                         }
-                        let (cost, _, _) = self.cost_of(&space);
+                        let (cost, _, _) = self.cost_of(&space)?;
                         candidates.insert((cost, vec![r1.clone(), r2.clone()]));
                     }
                 }
             }
-            _ => unreachable!("rows validated in builder"),
+            _ => unreachable!("rows validated above"),
         }
 
-        let mut examined = 0u64;
+        let mut meter = self.budget.start();
         for (cost, rows) in candidates {
-            examined += 1;
+            // The charged candidate is still screened (budget N means
+            // exactly N candidates examined); acceptance of any screened
+            // candidate is the cost-order optimum, trip or not.
+            let limit = meter.charge_candidate();
             let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
-            let space = SpaceMap::from_rows(&refs);
-            let mapping = MappingMatrix::new(space.clone(), self.schedule.clone());
-            if !mapping.has_full_rank() {
-                continue;
+            if let Some(mut found) = self.screen(cost, &refs)? {
+                found.candidates_examined = meter.candidates;
+                return Ok(SearchOutcome::optimal(found, meter.candidates));
             }
-            let analysis = ConflictAnalysis::new(&mapping, &self.alg.index_set);
-            if !check(self.condition, &analysis, &self.alg.index_set).accepts() {
-                continue;
+            if let Some(limit) = limit {
+                return Err(CfmapError::BudgetExhausted {
+                    limit,
+                    candidates_examined: meter.candidates,
+                });
             }
-            let (_, processors, wires) = self.cost_of(&space);
-            return Some(SpaceOptimalMapping {
-                space,
-                mapping,
-                processors,
-                wire_length: wires,
-                cost,
-                candidates_examined: examined,
-            });
         }
-        None
+        Ok(SearchOutcome::infeasible(meter.candidates))
+    }
+
+    /// Screen a single candidate; `Some` when it is acceptable.
+    fn screen(
+        &self,
+        cost: i64,
+        refs: &[&[i64]],
+    ) -> Result<Option<SpaceOptimalMapping>, CfmapError> {
+        let space = SpaceMap::from_rows(refs);
+        let mapping = MappingMatrix::new(space.clone(), self.schedule.clone());
+        if !mapping.has_full_rank() {
+            return Ok(None);
+        }
+        let analysis = ConflictAnalysis::new(&mapping, &self.alg.index_set);
+        if !check(self.condition, &analysis, &self.alg.index_set).accepts() {
+            return Ok(None);
+        }
+        let (_, processors, wires) = self.cost_of(&space)?;
+        Ok(Some(SpaceOptimalMapping {
+            space,
+            mapping,
+            processors,
+            wire_length: wires,
+            cost,
+            candidates_examined: 0, // caller fills in
+        }))
     }
 }
 
@@ -205,7 +272,7 @@ mod tests {
         let mu = 4;
         let alg = algorithms::matmul(mu);
         let pi = LinearSchedule::new(&[1, mu, 1]);
-        let sol = SpaceSearch::new(&alg, &pi).solve().expect("some S works");
+        let sol = SpaceSearch::new(&alg, &pi).solve().unwrap().expect_optimal("some S works");
         // Whatever is found must be genuinely conflict-free and low-cost.
         assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
         assert!(sol.mapping.has_full_rank());
@@ -220,7 +287,7 @@ mod tests {
         let mu = 4;
         let alg = algorithms::transitive_closure(mu);
         let pi = LinearSchedule::new(&[mu + 1, 1, 1]);
-        let sol = SpaceSearch::new(&alg, &pi).solve().expect("some S works");
+        let sol = SpaceSearch::new(&alg, &pi).solve().unwrap().expect_optimal("some S works");
         assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
         // The paper's S = [0, 0, 1]: 5 PEs, wires |Sd̄| = (1,0,1,0,1) → 3,
         // cost 8. The search must match or beat it.
@@ -238,7 +305,8 @@ mod tests {
             .rows(2)
             .entry_bound(1)
             .solve()
-            .expect("some 2-D space map works");
+            .unwrap()
+            .expect_optimal("some 2-D space map works");
         assert_eq!(sol.space.array_dims(), 2);
         assert!(sol.mapping.has_full_rank());
         assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
@@ -246,11 +314,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "space maps supported")]
     fn three_rows_rejected() {
         let alg = algorithms::matmul(2);
         let pi = LinearSchedule::new(&[1, 2, 1]);
-        let _ = SpaceSearch::new(&alg, &pi).rows(3);
+        let err = SpaceSearch::new(&alg, &pi).rows(3).solve().unwrap_err();
+        assert!(matches!(&err, CfmapError::Unsupported { reason } if reason.contains("3 rows")));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let alg = algorithms::matmul(2);
+        let pi = LinearSchedule::new(&[1, 2]); // 2-D schedule, 3-D algorithm
+        let err = SpaceSearch::new(&alg, &pi).solve().unwrap_err();
+        assert!(matches!(err, CfmapError::DimensionMismatch { expected: 3, actual: 2, .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_deterministically() {
+        let alg = algorithms::matmul(4);
+        let pi = LinearSchedule::new(&[1, 4, 1]);
+        let full = SpaceSearch::new(&alg, &pi).solve().unwrap();
+        let accepted_at = full.candidates_examined;
+        assert!(accepted_at > 1, "need a multi-candidate search for this test");
+        // Stop one candidate short of the acceptance point: first-accept
+        // searches hold no best-so-far, so exhaustion is an error.
+        let err = SpaceSearch::new(&alg, &pi)
+            .budget(SearchBudget::candidates(accepted_at - 1))
+            .solve()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CfmapError::BudgetExhausted { candidates_examined, .. }
+                if candidates_examined == accepted_at - 1
+        ));
+        // A budget that reaches the acceptance point still certifies
+        // Optimal: cost-order first-accept is exact.
+        let out = SpaceSearch::new(&alg, &pi)
+            .budget(SearchBudget::candidates(accepted_at))
+            .solve()
+            .unwrap();
+        assert!(out.is_optimal());
     }
 
     #[test]
@@ -260,8 +363,9 @@ mod tests {
         // entry bound 0 candidates vanish entirely.
         let alg = algorithms::matmul(3);
         let pi = LinearSchedule::new(&[1, 1, 1]);
-        let none = SpaceSearch::new(&alg, &pi).entry_bound(0).solve();
-        assert!(none.is_none());
+        let out = SpaceSearch::new(&alg, &pi).entry_bound(0).solve().unwrap();
+        assert_eq!(out.certification, crate::budget::Certification::Infeasible);
+        assert!(out.mapping().is_none());
     }
 
     #[test]
@@ -269,7 +373,7 @@ mod tests {
         let alg = algorithms::matmul(2);
         let pi = LinearSchedule::new(&[1, 2, 1]);
         let search = SpaceSearch::new(&alg, &pi);
-        let (cost, pes, wires) = search.cost_of(&SpaceMap::row(&[1, 1, -1]));
+        let (cost, pes, wires) = search.cost_of(&SpaceMap::row(&[1, 1, -1])).unwrap();
         assert_eq!(pes, 7); // span of j1+j2−j3 over {0..2}³: −2..4
         assert_eq!(wires, 3); // |Sd̄ᵢ| = 1+1+1
         assert_eq!(cost, 10);
@@ -279,8 +383,8 @@ mod tests {
     fn examined_counter_monotone_in_bound() {
         let alg = algorithms::matmul(2);
         let pi = LinearSchedule::new(&[1, 2, 1]);
-        let a = SpaceSearch::new(&alg, &pi).entry_bound(1).solve().unwrap();
-        let b = SpaceSearch::new(&alg, &pi).entry_bound(2).solve().unwrap();
+        let a = SpaceSearch::new(&alg, &pi).entry_bound(1).solve().unwrap().expect_optimal("1");
+        let b = SpaceSearch::new(&alg, &pi).entry_bound(2).solve().unwrap().expect_optimal("2");
         // Larger candidate pools can only find equal-or-better optima.
         assert!(b.cost <= a.cost);
     }

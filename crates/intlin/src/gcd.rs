@@ -72,7 +72,6 @@ pub fn lcm_i64(a: i64, b: i64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn gcd_basics() {
@@ -126,40 +125,38 @@ mod tests {
         assert_eq!(lcm_i64(7, 7), 7);
     }
 
-    proptest! {
-        #[test]
+    cfmap_testkit::props! {
+        cases = 256;
+
         fn gcd_divides_both(a in -10_000i64..10_000, b in -10_000i64..10_000) {
             let g = gcd_i64(a, b);
             if g != 0 {
-                prop_assert_eq!(a % g, 0);
-                prop_assert_eq!(b % g, 0);
+                assert_eq!(a % g, 0);
+                assert_eq!(b % g, 0);
             } else {
-                prop_assert_eq!(a, 0);
-                prop_assert_eq!(b, 0);
+                assert_eq!(a, 0);
+                assert_eq!(b, 0);
             }
         }
 
-        #[test]
         fn gcd_is_greatest(a in 1i64..5_000, b in 1i64..5_000) {
             let g = gcd_i64(a, b);
             for d in (g + 1)..=a.min(b) {
-                prop_assert!(!(a % d == 0 && b % d == 0));
+                assert!(!(a % d == 0 && b % d == 0));
             }
         }
 
-        #[test]
         fn bezout_identity(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
             let (g, x, y) = extended_gcd_i64(a, b);
-            prop_assert_eq!(
+            assert_eq!(
                 (a as i128) * (x as i128) + (b as i128) * (y as i128),
                 g as i128
             );
-            prop_assert_eq!(g, gcd_i64(a, b));
+            assert_eq!(g, gcd_i64(a, b));
         }
 
-        #[test]
         fn lcm_gcd_product(a in 1i64..100_000, b in 1i64..100_000) {
-            prop_assert_eq!(
+            assert_eq!(
                 (gcd_i64(a, b) as i128) * (lcm_i64(a, b) as i128),
                 (a as i128) * (b as i128)
             );

@@ -151,7 +151,6 @@ fn combine_cols(m: &mut IMat, i: usize, j: usize, x: &Int, y: &Int, bg: &Int, ag
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn m(rows: &[&[i64]]) -> IMat {
         IMat::from_rows(rows)
@@ -343,53 +342,51 @@ mod tests {
         assert!(hnf.h.get(0, 0).is_one());
     }
 
-    fn arb_mat(k: usize, n: usize) -> impl Strategy<Value = IMat> {
-        prop::collection::vec(-9i64..=9, k * n)
-            .prop_map(move |v| IMat::from_fn(k, n, |i, j| Int::from(v[i * n + j])))
+    fn mat_from(v: &[i64], k: usize, n: usize) -> IMat {
+        IMat::from_fn(k, n, |i, j| Int::from(v[i * n + j]))
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    cfmap_testkit::props! {
+        cases = 64;
 
-        #[test]
-        fn hnf_postconditions_2x4(t in arb_mat(2, 4)) {
+        fn hnf_postconditions_2x4(v in cfmap_testkit::gen::vec(-9i64..=9, 8)) {
+            let t = mat_from(&v, 2, 4);
             let hnf = hermite_normal_form(&t);
             check_hnf(&t, &hnf);
         }
 
-        #[test]
-        fn hnf_postconditions_3x5(t in arb_mat(3, 5)) {
+        fn hnf_postconditions_3x5(v in cfmap_testkit::gen::vec(-9i64..=9, 15)) {
+            let t = mat_from(&v, 3, 5);
             let hnf = hermite_normal_form(&t);
             check_hnf(&t, &hnf);
         }
 
-        #[test]
-        fn hnf_postconditions_4x4(t in arb_mat(4, 4)) {
+        fn hnf_postconditions_4x4(v in cfmap_testkit::gen::vec(-9i64..=9, 16)) {
+            let t = mat_from(&v, 4, 4);
             let hnf = hermite_normal_form(&t);
             check_hnf(&t, &hnf);
         }
 
-        #[test]
-        fn kernel_dimension(t in arb_mat(2, 5)) {
+        fn kernel_dimension(v in cfmap_testkit::gen::vec(-9i64..=9, 10)) {
+            let t = mat_from(&v, 2, 5);
             let hnf = hermite_normal_form(&t);
-            prop_assert_eq!(hnf.kernel_cols().len(), 5 - t.rank());
+            assert_eq!(hnf.kernel_cols().len(), 5 - t.rank());
         }
 
         /// Magnitude stress: million-scale entries exercise the bigint
         /// paths (multi-limb gcds and multiplier growth).
-        #[test]
-        fn hnf_large_entries(v in prop::collection::vec(-1_000_000i64..=1_000_000, 6)) {
-            let t = IMat::from_fn(2, 3, |i, j| Int::from(v[i * 3 + j]));
+        fn hnf_large_entries(v in cfmap_testkit::gen::vec(-1_000_000i64..=1_000_000, 6)) {
+            let t = mat_from(&v, 2, 3);
             let hnf = hermite_normal_form(&t);
             check_hnf(&t, &hnf);
         }
 
         /// Wide shapes: 3×8 with a 5-dimensional kernel.
-        #[test]
-        fn hnf_wide(t in arb_mat(3, 8)) {
+        fn hnf_wide(v in cfmap_testkit::gen::vec(-9i64..=9, 24)) {
+            let t = mat_from(&v, 3, 8);
             let hnf = hermite_normal_form(&t);
             check_hnf(&t, &hnf);
-            prop_assert_eq!(hnf.kernel_cols().len(), 8 - t.rank());
+            assert_eq!(hnf.kernel_cols().len(), 8 - t.rank());
         }
     }
 }

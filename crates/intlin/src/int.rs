@@ -667,7 +667,6 @@ impl Product for Int {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn int(v: i128) -> Int {
         Int::from_i128(v)
@@ -792,83 +791,87 @@ mod tests {
         assert!(r.is_err());
     }
 
-    proptest! {
-        #[test]
+    cfmap_testkit::props! {
+        cases = 256;
+
         fn add_matches_i128(a in -(1i128<<96)..(1i128<<96), b in -(1i128<<96)..(1i128<<96)) {
-            prop_assert_eq!(&int(a) + &int(b), int(a + b));
+            assert_eq!(&int(a) + &int(b), int(a + b));
         }
 
-        #[test]
         fn sub_matches_i128(a in -(1i128<<96)..(1i128<<96), b in -(1i128<<96)..(1i128<<96)) {
-            prop_assert_eq!(&int(a) - &int(b), int(a - b));
+            assert_eq!(&int(a) - &int(b), int(a - b));
         }
 
-        #[test]
         fn mul_matches_i128(a in -(1i128<<62)..(1i128<<62), b in -(1i128<<62)..(1i128<<62)) {
-            prop_assert_eq!(&int(a) * &int(b), int(a * b));
+            assert_eq!(&int(a) * &int(b), int(a * b));
         }
 
-        #[test]
-        fn divrem_matches_i128(a in any::<i128>(), b in any::<i128>()) {
-            prop_assume!(b != 0);
+        fn divrem_matches_i128(a in cfmap_testkit::gen::any_i128(), b in cfmap_testkit::gen::any_i128()) {
+            cfmap_testkit::tk_assume!(b != 0);
             // Avoid the single overflowing case i128::MIN / -1.
-            prop_assume!(!(a == i128::MIN && b == -1));
+            cfmap_testkit::tk_assume!(!(a == i128::MIN && b == -1));
             let (q, r) = int(a).divrem(&int(b));
-            prop_assert_eq!(q, int(a / b));
-            prop_assert_eq!(r, int(a % b));
+            assert_eq!(q, int(a / b));
+            assert_eq!(r, int(a % b));
         }
 
-        #[test]
-        fn divrem_reconstructs(a_s in "[1-9][0-9]{0,60}", b_s in "[1-9][0-9]{0,30}", sa in any::<bool>(), sb in any::<bool>()) {
+        fn divrem_reconstructs(
+            a_s in cfmap_testkit::gen::nonzero_digit_string(61),
+            b_s in cfmap_testkit::gen::nonzero_digit_string(31),
+            sa in cfmap_testkit::gen::bools(),
+            sb in cfmap_testkit::gen::bools(),
+        ) {
             let mut a: Int = a_s.parse().unwrap();
             let mut b: Int = b_s.parse().unwrap();
             if sa { a = -a; }
             if sb { b = -b; }
             let (q, r) = a.divrem(&b);
-            prop_assert_eq!(&(&q * &b) + &r, a.clone());
-            prop_assert!(r.abs() < b.abs());
+            assert_eq!(&(&q * &b) + &r, a.clone());
+            assert!(r.abs() < b.abs());
             if !r.is_zero() {
-                prop_assert_eq!(r.signum(), a.signum());
+                assert_eq!(r.signum(), a.signum());
             }
         }
 
-        #[test]
-        fn display_parse_roundtrip(s in "-?[1-9][0-9]{0,80}") {
+        fn display_parse_roundtrip(s in cfmap_testkit::gen::signed_digit_string(81)) {
             let v: Int = s.parse().unwrap();
-            prop_assert_eq!(v.to_string(), s);
+            assert_eq!(v.to_string(), s);
         }
 
-        #[test]
-        fn gcd_divides(a_s in "[0-9]{1,40}", b_s in "[0-9]{1,40}") {
+        fn gcd_divides(
+            a_s in cfmap_testkit::gen::digit_string(1, 40),
+            b_s in cfmap_testkit::gen::digit_string(1, 40),
+        ) {
             let a: Int = a_s.parse().unwrap();
             let b: Int = b_s.parse().unwrap();
             let g = a.gcd(&b);
             if !g.is_zero() {
-                prop_assert!(a.divisible_by(&g));
-                prop_assert!(b.divisible_by(&g));
+                assert!(a.divisible_by(&g));
+                assert!(b.divisible_by(&g));
             }
         }
 
-        #[test]
-        fn extended_gcd_holds(a in any::<i128>(), b in any::<i128>()) {
-            prop_assume!(a != i128::MIN && b != i128::MIN);
+        fn extended_gcd_holds(a in cfmap_testkit::gen::any_i128(), b in cfmap_testkit::gen::any_i128()) {
+            cfmap_testkit::tk_assume!(a != i128::MIN && b != i128::MIN);
             let (g, x, y) = int(a).extended_gcd(&int(b));
-            prop_assert_eq!(&(&int(a) * &x) + &(&int(b) * &y), g.clone());
-            prop_assert_eq!(g, int(a).gcd(&int(b)));
+            assert_eq!(&(&int(a) * &x) + &(&int(b) * &y), g.clone());
+            assert_eq!(g, int(a).gcd(&int(b)));
         }
 
-        #[test]
-        fn mul_commutes_and_associates(a_s in "[0-9]{1,30}", b_s in "[0-9]{1,30}", c_s in "[0-9]{1,30}") {
+        fn mul_commutes_and_associates(
+            a_s in cfmap_testkit::gen::digit_string(1, 30),
+            b_s in cfmap_testkit::gen::digit_string(1, 30),
+            c_s in cfmap_testkit::gen::digit_string(1, 30),
+        ) {
             let a: Int = a_s.parse().unwrap();
             let b: Int = b_s.parse().unwrap();
             let c: Int = c_s.parse().unwrap();
-            prop_assert_eq!(&a * &b, &b * &a);
-            prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+            assert_eq!(&a * &b, &b * &a);
+            assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
         }
 
-        #[test]
-        fn ord_consistent_with_sub(a in any::<i128>(), b in any::<i128>()) {
-            prop_assert_eq!(int(a).cmp(&int(b)), a.cmp(&b));
+        fn ord_consistent_with_sub(a in cfmap_testkit::gen::any_i128(), b in cfmap_testkit::gen::any_i128()) {
+            assert_eq!(int(a).cmp(&int(b)), a.cmp(&b));
         }
     }
 }

@@ -75,7 +75,6 @@ fn enumerate(basis: &[IVec], bound: i64, idx: usize, beta: &mut [i64], out: &mut
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn m(rows: &[&[i64]]) -> IMat {
         IMat::from_rows(rows)
@@ -140,19 +139,17 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    cfmap_testkit::props! {
+        cases = 48;
 
-        #[test]
-        fn kernel_vectors_are_killed(entries in prop::collection::vec(-9i64..=9, 8)) {
+        fn kernel_vectors_are_killed(entries in cfmap_testkit::gen::vec(-9i64..=9, 8)) {
             let t = IMat::from_fn(2, 4, |i, j| Int::from(entries[i * 4 + j]));
             for gamma in kernel_basis(&t) {
-                prop_assert!(t.mul_vec(&gamma).is_zero());
+                assert!(t.mul_vec(&gamma).is_zero());
             }
         }
 
-        #[test]
-        fn kernel_is_saturated(entries in prop::collection::vec(-5i64..=5, 8)) {
+        fn kernel_is_saturated(entries in cfmap_testkit::gen::vec(-5i64..=5, 8)) {
             // Theorem 4.2: every integral solution γ of Tγ = 0 has β = V·γ
             // with β integral (automatic: V is integral) and its first
             // `rank` entries zero — i.e. γ is an *integral* combination of
@@ -169,7 +166,7 @@ mod tests {
                             }
                             let beta = hnf.v.mul_vec(&g);
                             for i in 0..hnf.rank {
-                                prop_assert!(
+                                assert!(
                                     beta[i].is_zero(),
                                     "β = V·γ has nonzero leading entry for γ = {}", g
                                 );
@@ -179,7 +176,7 @@ mod tests {
                             for (i, col) in hnf.kernel_cols().iter().enumerate() {
                                 rebuilt = &rebuilt + &col.scale(&beta[hnf.rank + i]);
                             }
-                            prop_assert_eq!(rebuilt, g);
+                            assert_eq!(rebuilt, g);
                         }
                     }
                 }

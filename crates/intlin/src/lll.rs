@@ -131,7 +131,6 @@ mod tests {
     use super::*;
     use crate::hnf::hermite_normal_form;
     use crate::mat::IMat;
-    use proptest::prelude::*;
 
     fn v(xs: &[i64]) -> IVec {
         IVec::from_i64s(xs)
@@ -241,41 +240,39 @@ mod tests {
         let _ = lll_reduce(&[v(&[1, 2]), v(&[2, 4])]);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(40))]
+    cfmap_testkit::props! {
+        cases = 40;
 
-        #[test]
         fn reduction_preserves_lattice_2d(
-            a in prop::collection::vec(-20i64..=20, 4),
+            a in cfmap_testkit::gen::vec(-20i64..=20, 4),
         ) {
             let b1 = v(&[a[0], a[1]]);
             let b2 = v(&[a[2], a[3]]);
             // Skip dependent inputs.
-            prop_assume!(a[0] * a[3] - a[1] * a[2] != 0);
+            cfmap_testkit::tk_assume!(a[0] * a[3] - a[1] * a[2] != 0);
             let basis = vec![b1, b2];
             let red = lll_reduce(&basis);
-            prop_assert!(same_lattice(&basis, &red));
+            assert!(same_lattice(&basis, &red));
             // Reduced vectors are not longer than the originals' max.
             let orig_max = basis.iter().map(norm_sq).max().unwrap();
             for r in &red {
-                prop_assert!(norm_sq(r) <= orig_max.clone() * crate::int::Int::from(2));
+                assert!(norm_sq(r) <= orig_max.clone() * crate::int::Int::from(2));
             }
         }
 
-        #[test]
         fn reduction_preserves_kernel_3d(
-            entries in prop::collection::vec(-6i64..=6, 10),
+            entries in cfmap_testkit::gen::vec(-6i64..=6, 10),
         ) {
             let t = IMat::from_fn(2, 5, |i, j| crate::int::Int::from(entries[i * 5 + j]));
             let hnf = hermite_normal_form(&t);
             let kernel = hnf.kernel_cols();
             if kernel.len() < 2 {
-                return Ok(());
+                return;
             }
             let red = lll_reduce(&kernel);
-            prop_assert!(same_lattice(&kernel, &red));
+            assert!(same_lattice(&kernel, &red));
             for g in &red {
-                prop_assert!(t.mul_vec(g).is_zero());
+                assert!(t.mul_vec(g).is_zero());
             }
         }
     }

@@ -428,7 +428,6 @@ impl Mul<&IVec> for &IMat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn m(rows: &[&[i64]]) -> IMat {
         IMat::from_rows(rows)
@@ -547,46 +546,50 @@ mod tests {
         assert!(s.starts_with('['));
     }
 
-    fn arb_square(n: usize) -> impl Strategy<Value = IMat> {
-        prop::collection::vec(-6i64..=6, n * n).prop_map(move |v| {
-            IMat::from_fn(n, n, |i, j| Int::from(v[i * n + j]))
-        })
+    fn square_from(v: &[i64], n: usize) -> IMat {
+        IMat::from_fn(n, n, |i, j| Int::from(v[i * n + j]))
     }
 
-    proptest! {
-        #[test]
-        fn bareiss_matches_cofactor(a in arb_square(4)) {
-            prop_assert_eq!(a.det(), a.det_cofactor());
+    cfmap_testkit::props! {
+        cases = 256;
+
+        fn bareiss_matches_cofactor(v in cfmap_testkit::gen::vec(-6i64..=6, 16)) {
+            let a = square_from(&v, 4);
+            assert_eq!(a.det(), a.det_cofactor());
         }
 
-        #[test]
-        fn det_of_product(a in arb_square(3), b in arb_square(3)) {
-            prop_assert_eq!((&a * &b).det(), a.det() * b.det());
+        fn det_of_product(
+            va in cfmap_testkit::gen::vec(-6i64..=6, 9),
+            vb in cfmap_testkit::gen::vec(-6i64..=6, 9),
+        ) {
+            let a = square_from(&va, 3);
+            let b = square_from(&vb, 3);
+            assert_eq!((&a * &b).det(), a.det() * b.det());
         }
 
-        #[test]
-        fn det_transpose_invariant(a in arb_square(4)) {
-            prop_assert_eq!(a.det(), a.transpose().det());
+        fn det_transpose_invariant(v in cfmap_testkit::gen::vec(-6i64..=6, 16)) {
+            let a = square_from(&v, 4);
+            assert_eq!(a.det(), a.transpose().det());
         }
 
-        #[test]
-        fn adjugate_postcondition(a in arb_square(3)) {
+        fn adjugate_postcondition(v in cfmap_testkit::gen::vec(-6i64..=6, 9)) {
+            let a = square_from(&v, 3);
             let d = a.det();
             let adj = a.adjugate();
             let prod = &a * &adj;
             let expect = IMat::from_fn(3, 3, |i, j| if i == j { d.clone() } else { Int::zero() });
-            prop_assert_eq!(prod, expect);
+            assert_eq!(prod, expect);
         }
 
-        #[test]
-        fn rank_le_min_dim(a in arb_square(4)) {
+        fn rank_le_min_dim(v in cfmap_testkit::gen::vec(-6i64..=6, 16)) {
+            let a = square_from(&v, 4);
             let r = a.rank();
-            prop_assert!(r <= 4);
-            prop_assert_eq!(r == 4, !a.det().is_zero());
+            assert!(r <= 4);
+            assert_eq!(r == 4, !a.det().is_zero());
         }
 
-        #[test]
-        fn rational_inverse_roundtrip(a in arb_square(3)) {
+        fn rational_inverse_roundtrip(v in cfmap_testkit::gen::vec(-6i64..=6, 9)) {
+            let a = square_from(&v, 3);
             if let Some(inv) = a.inverse_rational() {
                 // A · A⁻¹ = I, entrywise over Rat.
                 for i in 0..3 {
@@ -596,11 +599,11 @@ mod tests {
                             acc += &(&Rat::from_int(a.get(i, k).clone()) * &inv[k][j]);
                         }
                         let expect = if i == j { Rat::one() } else { Rat::zero() };
-                        prop_assert_eq!(acc, expect);
+                        assert_eq!(acc, expect);
                     }
                 }
             } else {
-                prop_assert_eq!(a.det(), Int::zero());
+                assert_eq!(a.det(), Int::zero());
             }
         }
     }

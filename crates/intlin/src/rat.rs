@@ -311,7 +311,6 @@ impl Sum for Rat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn rat(n: i64, d: i64) -> Rat {
         Rat::new(Int::from(n), Int::from(d))
@@ -377,8 +376,9 @@ mod tests {
         assert!("1/0".parse::<Rat>().is_err());
     }
 
-    proptest! {
-        #[test]
+    cfmap_testkit::props! {
+        cases = 256;
+
         fn field_axioms(
             an in -1000i64..1000, ad in 1i64..50,
             bn in -1000i64..1000, bd in 1i64..50,
@@ -387,39 +387,36 @@ mod tests {
             let a = rat(an, ad);
             let b = rat(bn, bd);
             let c = rat(cn, cd);
-            prop_assert_eq!(&a + &b, &b + &a);
-            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+            assert_eq!(&a + &b, &b + &a);
+            assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+            assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
             if !b.is_zero() {
-                prop_assert_eq!(&(&a / &b) * &b, a.clone());
+                assert_eq!(&(&a / &b) * &b, a.clone());
             }
-            prop_assert_eq!(&a - &a, Rat::zero());
+            assert_eq!(&a - &a, Rat::zero());
         }
 
-        #[test]
         fn always_lowest_terms(n in -100_000i64..100_000, d in 1i64..100_000) {
             let r = rat(n, d);
-            prop_assert!(r.denom().is_positive());
-            prop_assert!(r.numer().gcd(r.denom()).is_one() || r.is_zero());
+            assert!(r.denom().is_positive());
+            assert!(r.numer().gcd(r.denom()).is_one() || r.is_zero());
         }
 
-        #[test]
         fn floor_le_value_le_ceil(n in -10_000i64..10_000, d in 1i64..100) {
             let r = rat(n, d);
             let fl = Rat::from_int(r.floor());
             let ce = Rat::from_int(r.ceil());
-            prop_assert!(fl <= r && r <= ce);
-            prop_assert!(&ce - &fl <= Rat::one());
+            assert!(fl <= r && r <= ce);
+            assert!(&ce - &fl <= Rat::one());
         }
 
-        #[test]
         fn cmp_matches_f64(an in -1000i64..1000, ad in 1i64..100, bn in -1000i64..1000, bd in 1i64..100) {
             let a = rat(an, ad);
             let b = rat(bn, bd);
             let fa = an as f64 / ad as f64;
             let fb = bn as f64 / bd as f64;
             if (fa - fb).abs() > 1e-9 {
-                prop_assert_eq!(a < b, fa < fb);
+                assert_eq!(a < b, fa < fb);
             }
         }
     }

@@ -195,7 +195,6 @@ impl Mul<&IVec> for &Int {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn v(xs: &[i64]) -> IVec {
         IVec::from_i64s(xs)
@@ -249,35 +248,34 @@ mod tests {
         assert_eq!(IVec::zeros(2).max_abs(), Int::zero());
     }
 
-    proptest! {
-        #[test]
-        fn dot_symmetric(a in prop::collection::vec(-100i64..100, 1..6)) {
+    cfmap_testkit::props! {
+        cases = 256;
+
+        fn dot_symmetric(a in cfmap_testkit::gen::vec(-100i64..100, 1..6)) {
             let b: Vec<i64> = a.iter().rev().cloned().collect();
             let av = v(&a);
             let bv = v(&b);
-            prop_assert_eq!(av.dot(&bv), bv.dot(&av));
+            assert_eq!(av.dot(&bv), bv.dot(&av));
         }
 
-        #[test]
-        fn primitive_part_is_primitive(a in prop::collection::vec(-50i64..50, 1..6)) {
+        fn primitive_part_is_primitive(a in cfmap_testkit::gen::vec(-50i64..50, 1..6)) {
             let av = v(&a);
             match av.primitive_part() {
-                None => prop_assert!(av.is_zero()),
+                None => assert!(av.is_zero()),
                 Some(p) => {
-                    prop_assert!(p.is_primitive());
+                    assert!(p.is_primitive());
                     // p is parallel to a: a = content * (±p)
                     let c = av.content();
                     let scaled = p.scale(&c);
-                    prop_assert!(scaled == av || -&scaled == av);
+                    assert!(scaled == av || -&scaled == av);
                     let first = p.iter().find(|e| !e.is_zero()).unwrap();
-                    prop_assert!(first.is_positive());
+                    assert!(first.is_positive());
                 }
             }
         }
 
-        #[test]
-        fn add_commutes(a in prop::collection::vec(-100i64..100, 3), b in prop::collection::vec(-100i64..100, 3)) {
-            prop_assert_eq!(&v(&a) + &v(&b), &v(&b) + &v(&a));
+        fn add_commutes(a in cfmap_testkit::gen::vec(-100i64..100, 3), b in cfmap_testkit::gen::vec(-100i64..100, 3)) {
+            assert_eq!(&v(&a) + &v(&b), &v(&b) + &v(&a));
         }
     }
 }

@@ -5,49 +5,48 @@
 use cfmap_intlin::{
     hermite_normal_form, lll_reduce, norm_sq, smith_normal_form, IMat, IVec, Int,
 };
-use proptest::prelude::*;
+use cfmap_testkit::gen;
 
-fn arb_mat(k: usize, n: usize, scale: i64) -> impl Strategy<Value = IMat> {
-    prop::collection::vec(-scale..=scale, k * n)
-        .prop_map(move |v| IMat::from_fn(k, n, |i, j| Int::from(v[i * n + j])))
+fn mat_from(v: &[i64], k: usize, n: usize) -> IMat {
+    IMat::from_fn(k, n, |i, j| Int::from(v[i * n + j]))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+cfmap_testkit::props! {
+    cases = 48;
 
     /// HNF and SNF agree on rank and kernel dimension; the lattice index
     /// |det L| equals the product of the invariant factors for full
     /// row rank.
-    #[test]
-    fn hnf_snf_consistency(t in arb_mat(3, 5, 7)) {
+    fn hnf_snf_consistency(v in gen::vec(-7i64..=7, 15)) {
+        let t = mat_from(&v, 3, 5);
         let h = hermite_normal_form(&t);
         let s = smith_normal_form(&t);
-        prop_assert_eq!(h.rank, s.rank);
-        prop_assert_eq!(h.kernel_cols().len(), s.kernel_cols().len());
+        assert_eq!(h.rank, s.rank);
+        assert_eq!(h.kernel_cols().len(), s.kernel_cols().len());
         if h.rank == 3 {
             let det_l = h.pivot_block().det().abs();
             let inv: Int = s.invariant_factors().into_iter().product();
-            prop_assert_eq!(det_l, inv);
+            assert_eq!(det_l, inv);
         }
     }
 
     /// LLL on the HNF kernel: same lattice (checked via V·γ saturation),
     /// never longer than the worst original vector by more than the 2×
     /// LLL slack, and all still kernel vectors.
-    #[test]
-    fn lll_on_kernels(t in arb_mat(2, 5, 9)) {
+    fn lll_on_kernels(v in gen::vec(-9i64..=9, 10)) {
+        let t = mat_from(&v, 2, 5);
         let h = hermite_normal_form(&t);
         let kernel = h.kernel_cols();
         if kernel.len() < 2 {
-            return Ok(());
+            return;
         }
         let red = lll_reduce(&kernel);
-        prop_assert_eq!(red.len(), kernel.len());
+        assert_eq!(red.len(), kernel.len());
         for g in &red {
-            prop_assert!(t.mul_vec(g).is_zero());
+            assert!(t.mul_vec(g).is_zero());
             let beta = h.v.mul_vec(g);
             for i in 0..h.rank {
-                prop_assert!(beta[i].is_zero(), "reduced vector left the lattice");
+                assert!(beta[i].is_zero(), "reduced vector left the lattice");
             }
         }
         // Sorted reduced norms never exceed sorted original norms
@@ -58,52 +57,52 @@ proptest! {
         new.sort();
         let factor = Int::from(1i64 << (kernel.len() - 1));
         for (a, b) in new.iter().zip(&orig) {
-            prop_assert!(a <= &(b * &factor));
+            assert!(a <= &(b * &factor));
         }
     }
 
     /// Adjugate, determinant and rational inverse agree:
     /// A⁻¹ = adj(A)/det(A) whenever det ≠ 0.
-    #[test]
-    fn adjugate_inverse_consistency(a in arb_mat(4, 4, 6)) {
+    fn adjugate_inverse_consistency(v in gen::vec(-6i64..=6, 16)) {
+        let a = mat_from(&v, 4, 4);
         let d = a.det();
         if d.is_zero() {
-            prop_assert!(a.inverse_rational().is_none());
-            return Ok(());
+            assert!(a.inverse_rational().is_none());
+            return;
         }
         let adj = a.adjugate();
         let inv = a.inverse_rational().unwrap();
         for i in 0..4 {
             for j in 0..4 {
                 let expected = cfmap_intlin::Rat::new(adj.get(i, j).clone(), d.clone());
-                prop_assert_eq!(&inv[i][j], &expected, "entry ({}, {})", i, j);
+                assert_eq!(&inv[i][j], &expected, "entry ({}, {})", i, j);
             }
         }
     }
 
     /// Unimodular products: U from HNF times V gives I, and the products'
     /// determinants multiply.
-    #[test]
-    fn multiplier_group_structure(t1 in arb_mat(2, 4, 5), t2 in arb_mat(2, 4, 5)) {
+    fn multiplier_group_structure(v1 in gen::vec(-5i64..=5, 8), v2 in gen::vec(-5i64..=5, 8)) {
+        let t1 = mat_from(&v1, 2, 4);
+        let t2 = mat_from(&v2, 2, 4);
         let h1 = hermite_normal_form(&t1);
         let h2 = hermite_normal_form(&t2);
         let prod = &h1.u * &h2.u;
-        prop_assert!(prod.is_unimodular(), "unimodular group closed under product");
+        assert!(prod.is_unimodular(), "unimodular group closed under product");
         let back = &(&prod * &h2.v) * &h1.v;
-        prop_assert_eq!(back, IMat::identity(4));
+        assert_eq!(back, IMat::identity(4));
     }
 
     /// Large-magnitude stress through the whole pipeline.
-    #[test]
-    fn magnitude_stress(v in prop::collection::vec(-1_000_000_000i64..=1_000_000_000, 6)) {
-        let t = IMat::from_fn(2, 3, |i, j| Int::from(v[i * 3 + j]));
+    fn magnitude_stress(v in gen::vec(-1_000_000_000i64..=1_000_000_000, 6)) {
+        let t = mat_from(&v, 2, 3);
         let h = hermite_normal_form(&t);
-        prop_assert_eq!(&(&t * &h.u), &h.h);
-        prop_assert!(h.u.is_unimodular());
+        assert_eq!(&(&t * &h.u), &h.h);
+        assert!(h.u.is_unimodular());
         let s = smith_normal_form(&t);
-        prop_assert_eq!(s.rank, h.rank);
+        assert_eq!(s.rank, h.rank);
         for g in h.kernel_cols() {
-            prop_assert!(t.mul_vec(&g).is_zero());
+            assert!(t.mul_vec(&g).is_zero());
         }
     }
 }

@@ -8,7 +8,7 @@
 //! technique: a base problem plus a list of disjuncts (each a conjunction
 //! of extra constraints); one ILP per disjunct; best wins.
 
-use crate::ilp::solve_ilp;
+use crate::ilp::{solve_ilp, NodeLimitExceeded};
 use crate::problem::{Constraint, LpOutcome, LpProblem, Sense};
 
 /// A named disjunct: a conjunction of constraints to add to the base
@@ -41,11 +41,15 @@ pub struct DisjunctiveOutcome {
 
 /// Solve `min/max objective` over the **union** of the feasible sets
 /// `base ∧ disjunct_i`, each branch as an exact ILP.
+///
+/// Errs with [`NodeLimitExceeded`] when any branch exhausts its node
+/// budget — a partial answer over the other branches could silently miss
+/// the true optimum.
 pub fn solve_disjunctive(
     base: &LpProblem,
     disjuncts: &[Disjunct],
     max_nodes_per_branch: usize,
-) -> DisjunctiveOutcome {
+) -> Result<DisjunctiveOutcome, NodeLimitExceeded> {
     let mut branches = Vec::with_capacity(disjuncts.len());
     let mut best: Option<(usize, LpOutcome)> = None;
     for (i, d) in disjuncts.iter().enumerate() {
@@ -53,7 +57,7 @@ pub fn solve_disjunctive(
         for c in &d.constraints {
             p.constrain(c.clone());
         }
-        let out = solve_ilp(&p, max_nodes_per_branch);
+        let out = solve_ilp(&p, max_nodes_per_branch)?;
         if let LpOutcome::Optimal { ref value, .. } = out {
             let better = match &best {
                 None => true,
@@ -69,7 +73,7 @@ pub fn solve_disjunctive(
         }
         branches.push(out);
     }
-    match best {
+    Ok(match best {
         Some((i, out)) => DisjunctiveOutcome {
             outcome: out,
             winning_disjunct: Some(i),
@@ -80,7 +84,7 @@ pub fn solve_disjunctive(
             winning_disjunct: None,
             branches,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -113,7 +117,7 @@ mod tests {
             Disjunct::new("π1−π2 ≥ μ+1", vec![Constraint::new_i64(&[1, -1, 0], Relation::Ge, mu + 1)]),
             Disjunct::new("π2−π1 ≥ μ+1", vec![Constraint::new_i64(&[-1, 1, 0], Relation::Ge, mu + 1)]),
         ];
-        let result = solve_disjunctive(&base, &disjuncts, 10_000);
+        let result = solve_disjunctive(&base, &disjuncts, 10_000).unwrap();
         let LpOutcome::Optimal { value, x } = &result.outcome else {
             panic!("expected optimum");
         };
@@ -137,7 +141,7 @@ mod tests {
                 Constraint::new_i64(&[1], Relation::Le, 3),
             ]),
         ];
-        let result = solve_disjunctive(&base, &disjuncts, 100);
+        let result = solve_disjunctive(&base, &disjuncts, 100).unwrap();
         assert_eq!(result.outcome, LpOutcome::Infeasible);
         assert_eq!(result.winning_disjunct, None);
     }
@@ -151,7 +155,7 @@ mod tests {
             Disjunct::new("x ≥ 2", vec![Constraint::new_i64(&[1], Relation::Ge, 2)]),
             Disjunct::new("x ≥ 2 too", vec![Constraint::new_i64(&[1], Relation::Ge, 2)]),
         ];
-        let result = solve_disjunctive(&base, &disjuncts, 100);
+        let result = solve_disjunctive(&base, &disjuncts, 100).unwrap();
         assert_eq!(result.winning_disjunct, Some(0));
         assert_eq!(result.outcome.value(), Some(&r(2)));
     }

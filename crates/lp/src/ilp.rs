@@ -11,30 +11,61 @@
 use crate::problem::{Constraint, LinExpr, LpOutcome, LpProblem, Relation, Sense};
 use crate::simplex::solve_lp;
 use cfmap_intlin::Rat;
+use std::fmt;
+
+/// Branch & bound gave up: the node budget was exhausted before the search
+/// tree was fully explored. Nothing can be certified — there may or may
+/// not be an integral optimum beyond the horizon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeLimitExceeded {
+    /// Nodes expanded before giving up (equals the configured limit).
+    pub nodes: usize,
+}
+
+impl fmt::Display for NodeLimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ILP branch-and-bound exceeded {} nodes; raise the node budget or add box bounds",
+            self.nodes
+        )
+    }
+}
+
+impl std::error::Error for NodeLimitExceeded {}
 
 /// Solve `problem` with **all** variables required to be integral.
 ///
 /// Termination requires the feasible region (or at least the optimal face)
 /// to be bounded in the branching directions; the mapping formulations
 /// produced by `cfmap-core` always carry explicit box bounds derived from
-/// Theorem 2.1, so this holds. `max_nodes` guards against runaway trees.
-pub fn solve_ilp(problem: &LpProblem, max_nodes: usize) -> LpOutcome {
+/// Theorem 2.1, so this holds. `max_nodes` guards against runaway trees:
+/// exceeding it returns [`NodeLimitExceeded`] instead of looping forever.
+pub fn solve_ilp(problem: &LpProblem, max_nodes: usize) -> Result<LpOutcome, NodeLimitExceeded> {
+    solve_ilp_counted(problem, max_nodes).map(|(out, _)| out)
+}
+
+/// [`solve_ilp`], also reporting the number of branch-and-bound nodes
+/// expanded — the currency a caller's search budget is charged in.
+pub fn solve_ilp_counted(
+    problem: &LpProblem,
+    max_nodes: usize,
+) -> Result<(LpOutcome, usize), NodeLimitExceeded> {
     let mut best: Option<(Vec<Rat>, Rat)> = None;
     let mut stack: Vec<LpProblem> = vec![problem.clone()];
     let mut nodes = 0usize;
 
     while let Some(node) = stack.pop() {
         nodes += 1;
-        assert!(
-            nodes <= max_nodes,
-            "ILP branch-and-bound exceeded {max_nodes} nodes; add box bounds to the problem"
-        );
+        if nodes > max_nodes {
+            return Err(NodeLimitExceeded { nodes: max_nodes });
+        }
         match solve_lp(&node) {
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => {
                 // An unbounded relaxation at the root means the ILP is
                 // unbounded or needs bounds; deeper nodes inherit it.
-                return LpOutcome::Unbounded;
+                return Ok((LpOutcome::Unbounded, nodes));
             }
             LpOutcome::Optimal { x, value } => {
                 // Prune by bound.
@@ -82,10 +113,11 @@ pub fn solve_ilp(problem: &LpProblem, max_nodes: usize) -> LpOutcome {
         }
     }
 
-    match best {
+    let outcome = match best {
         Some((x, value)) => LpOutcome::Optimal { x, value },
         None => LpOutcome::Infeasible,
-    }
+    };
+    Ok((outcome, nodes))
 }
 
 #[cfg(test)]
@@ -103,7 +135,7 @@ mod tests {
         let mut p = LpProblem::minimize(&[1, 1]);
         p.constrain_i64(&[1, 0], Relation::Ge, 1);
         p.constrain_i64(&[0, 1], Relation::Ge, 2);
-        let out = solve_ilp(&p, 100);
+        let out = solve_ilp(&p, 100).unwrap();
         assert_eq!(out, LpOutcome::Optimal { x: vec![r(1), r(2)], value: r(3) });
     }
 
@@ -113,7 +145,7 @@ mod tests {
         let mut p = LpProblem::minimize(&[1]);
         p.constrain_i64(&[2], Relation::Ge, 3);
         p.set_upper(0, r(100));
-        let out = solve_ilp(&p, 1000);
+        let out = solve_ilp(&p, 1000).unwrap();
         assert_eq!(out, LpOutcome::Optimal { x: vec![r(2)], value: r(2) });
     }
 
@@ -126,7 +158,7 @@ mod tests {
         p.set_lower(1, Rat::zero());
         p.constrain_i64(&[6, 4], Relation::Le, 24);
         p.constrain_i64(&[1, 2], Relation::Le, 6);
-        let out = solve_ilp(&p, 1000);
+        let out = solve_ilp(&p, 1000).unwrap();
         assert_eq!(out.value(), Some(&r(-20)));
         let x = out.point().unwrap();
         assert!(x.iter().all(Rat::is_integer));
@@ -139,7 +171,7 @@ mod tests {
         let mut p = LpProblem::minimize(&[1]);
         p.constrain_i64(&[5], Relation::Ge, 6);
         p.constrain_i64(&[5], Relation::Le, 7);
-        assert_eq!(solve_ilp(&p, 1000), LpOutcome::Infeasible);
+        assert_eq!(solve_ilp(&p, 1000), Ok(LpOutcome::Infeasible));
     }
 
     #[test]
@@ -151,23 +183,34 @@ mod tests {
             p.set_upper(i, r(10));
         }
         p.constrain_i64(&[0, 1, 1], Relation::Ge, 5);
-        let out = solve_ilp(&p, 10_000);
+        let out = solve_ilp(&p, 10_000).unwrap();
         assert_eq!(out.value(), Some(&r(24)));
     }
 
     #[test]
-    #[should_panic(expected = "exceeded")]
     fn node_budget_enforced() {
         // An (intentionally) unbounded-in-branching direction problem with a
         // fractional face: x + y = 1/2 with x,y free integers has no
         // solution, and without bounds B&B would wander; the node budget
-        // must fire rather than hang.
+        // must fire — as an error, not a panic or a hang.
         let mut p = LpProblem::minimize(&[0, 0]);
         p.constrain(Constraint {
             expr: LinExpr::from_i64s(&[2, 2]),
             rel: Relation::Eq,
             rhs: r(1),
         });
-        let _ = solve_ilp(&p, 5);
+        let err = solve_ilp(&p, 5).unwrap_err();
+        assert_eq!(err, NodeLimitExceeded { nodes: 5 });
+        assert!(err.to_string().contains("exceeded 5 nodes"));
+    }
+
+    #[test]
+    fn counted_solve_reports_nodes() {
+        let mut p = LpProblem::minimize(&[1]);
+        p.constrain_i64(&[2], Relation::Ge, 3);
+        p.set_upper(0, r(100));
+        let (out, nodes) = solve_ilp_counted(&p, 1000).unwrap();
+        assert_eq!(out.value(), Some(&r(2)));
+        assert!(nodes >= 1 && nodes <= 1000);
     }
 }

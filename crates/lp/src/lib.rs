@@ -30,7 +30,7 @@ pub mod simplex;
 pub mod vertex;
 
 pub use disjunction::solve_disjunctive;
-pub use ilp::solve_ilp;
+pub use ilp::{solve_ilp, solve_ilp_counted, NodeLimitExceeded};
 pub use problem::{Constraint, LinExpr, LpOutcome, LpProblem, Relation};
 pub use simplex::solve_lp;
 pub use vertex::enumerate_vertices;

@@ -5,66 +5,71 @@ use cfmap_intlin::Rat;
 use cfmap_lp::problem::{LpProblem, Relation};
 use cfmap_lp::vertex::{best_vertex, enumerate_vertices};
 use cfmap_lp::{solve_ilp, solve_lp, LpOutcome};
-use proptest::prelude::*;
+use cfmap_testkit::gen;
 
 /// Random bounded problems: 2 variables in a box plus up to 4 random
-/// half-planes — always feasible at worst in the empty sense.
-fn arb_problem() -> impl Strategy<Value = LpProblem> {
-    (
-        prop::collection::vec((-5i64..=5, -5i64..=5, -12i64..=12), 0..4),
-        (-4i64..=4, -4i64..=4),
-    )
-        .prop_map(|(cuts, (c1, c2))| {
-            let mut p = LpProblem::minimize(&[c1, c2]);
-            p.set_lower(0, Rat::from_i64(0));
-            p.set_lower(1, Rat::from_i64(0));
-            p.set_upper(0, Rat::from_i64(10));
-            p.set_upper(1, Rat::from_i64(10));
-            for (a, b, rhs) in cuts {
-                p.constrain_i64(&[a, b], Relation::Le, rhs);
-            }
-            p
-        })
+/// half-planes — always feasible at worst in the empty sense. Generated
+/// as `(cuts, objective)` raw parts and assembled in each property.
+fn build_problem(cuts: &[(i64, i64, i64)], c1: i64, c2: i64) -> LpProblem {
+    let mut p = LpProblem::minimize(&[c1, c2]);
+    p.set_lower(0, Rat::from_i64(0));
+    p.set_lower(1, Rat::from_i64(0));
+    p.set_upper(0, Rat::from_i64(10));
+    p.set_upper(1, Rat::from_i64(10));
+    for &(a, b, rhs) in cuts {
+        p.constrain_i64(&[a, b], Relation::Le, rhs);
+    }
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+cfmap_testkit::props! {
+    cases = 128;
 
     /// On bounded problems the simplex optimum equals the best vertex.
-    #[test]
-    fn simplex_matches_vertex_enumeration(p in arb_problem()) {
+    fn simplex_matches_vertex_enumeration(
+        cuts in gen::vec((-5i64..=5, -5i64..=5, -12i64..=12), 0..4),
+        c1 in -4i64..=4,
+        c2 in -4i64..=4,
+    ) {
+        let p = build_problem(&cuts, c1, c2);
         let lp = solve_lp(&p);
         let bv = best_vertex(&p);
         match (lp, bv) {
             (LpOutcome::Optimal { value, .. }, Some((_, vval))) => {
-                prop_assert_eq!(value, vval);
+                assert_eq!(value, vval);
             }
             (LpOutcome::Infeasible, None) => {}
             (lp, bv) => {
-                return Err(TestCaseError::fail(format!(
-                    "disagreement: simplex {lp:?} vs vertices {bv:?}"
-                )));
+                panic!("disagreement: simplex {lp:?} vs vertices {bv:?}");
             }
         }
     }
 
     /// Every reported optimum is feasible and no enumerated vertex beats it.
-    #[test]
-    fn simplex_optimum_is_feasible_and_minimal(p in arb_problem()) {
+    fn simplex_optimum_is_feasible_and_minimal(
+        cuts in gen::vec((-5i64..=5, -5i64..=5, -12i64..=12), 0..4),
+        c1 in -4i64..=4,
+        c2 in -4i64..=4,
+    ) {
+        let p = build_problem(&cuts, c1, c2);
         if let LpOutcome::Optimal { x, value } = solve_lp(&p) {
-            prop_assert!(p.is_feasible(&x), "optimum not feasible");
-            prop_assert_eq!(p.objective_value(&x), value.clone());
+            assert!(p.is_feasible(&x), "optimum not feasible");
+            assert_eq!(p.objective_value(&x), value.clone());
             for v in enumerate_vertices(&p) {
-                prop_assert!(p.objective_value(&v) >= value);
+                assert!(p.objective_value(&v) >= value);
             }
         }
     }
 
     /// ILP optimum is integral, feasible, and no worse than any integral
     /// point found by scanning the box.
-    #[test]
-    fn ilp_is_exact_on_small_boxes(p in arb_problem()) {
-        let out = solve_ilp(&p, 100_000);
+    fn ilp_is_exact_on_small_boxes(
+        cuts in gen::vec((-5i64..=5, -5i64..=5, -12i64..=12), 0..4),
+        c1 in -4i64..=4,
+        c2 in -4i64..=4,
+    ) {
+        let p = build_problem(&cuts, c1, c2);
+        let out = solve_ilp(&p, 100_000).expect("box-bounded B&B stays under the node cap");
         // Brute-force the 11×11 integer grid.
         let mut best: Option<Rat> = None;
         for x0 in 0..=10i64 {
@@ -80,15 +85,13 @@ proptest! {
         }
         match (out, best) {
             (LpOutcome::Optimal { x, value }, Some(brute)) => {
-                prop_assert!(x.iter().all(Rat::is_integer));
-                prop_assert!(p.is_feasible(&x));
-                prop_assert_eq!(value, brute);
+                assert!(x.iter().all(Rat::is_integer));
+                assert!(p.is_feasible(&x));
+                assert_eq!(value, brute);
             }
             (LpOutcome::Infeasible, None) => {}
             (out, brute) => {
-                return Err(TestCaseError::fail(format!(
-                    "disagreement: ILP {out:?} vs brute {brute:?}"
-                )));
+                panic!("disagreement: ILP {out:?} vs brute {brute:?}");
             }
         }
     }

@@ -145,7 +145,6 @@ impl Iterator for IndexIter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn construction() {
@@ -228,27 +227,26 @@ mod tests {
         assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![0, 2]]);
     }
 
-    proptest! {
-        #[test]
-        fn iter_count_matches_len(mu in prop::collection::vec(0i64..4, 1..4)) {
+    cfmap_testkit::props! {
+        cases = 256;
+
+        fn iter_count_matches_len(mu in cfmap_testkit::gen::vec(0i64..4, 1..4)) {
             let j = IndexSet::new(&mu);
-            prop_assert_eq!(j.iter().count() as u128, j.len());
+            assert_eq!(j.iter().count() as u128, j.len());
         }
 
-        #[test]
-        fn all_iterated_points_are_members(mu in prop::collection::vec(0i64..4, 1..4)) {
+        fn all_iterated_points_are_members(mu in cfmap_testkit::gen::vec(0i64..4, 1..4)) {
             let j = IndexSet::new(&mu);
             for p in j.iter() {
-                prop_assert!(j.contains(&p));
+                assert!(j.contains(&p));
             }
         }
 
-        #[test]
-        fn iteration_is_strictly_increasing(mu in prop::collection::vec(0i64..4, 1..4)) {
+        fn iteration_is_strictly_increasing(mu in cfmap_testkit::gen::vec(0i64..4, 1..4)) {
             let j = IndexSet::new(&mu);
             let pts: Vec<Point> = j.iter().collect();
             for w in pts.windows(2) {
-                prop_assert!(w[0] < w[1], "not lexicographically increasing");
+                assert!(w[0] < w[1], "not lexicographically increasing");
             }
         }
     }

@@ -29,6 +29,9 @@ pub enum DesignError {
     Conflicting,
     /// Routing on the given primitives failed.
     Unroutable,
+    /// A lower layer reported a structured failure (overflow, budget
+    /// exhaustion, shape mismatch, …).
+    Failed(cfmap_core::CfmapError),
 }
 
 impl std::fmt::Display for DesignError {
@@ -40,6 +43,7 @@ impl std::fmt::Display for DesignError {
             DesignError::InvalidSchedule => write!(f, "schedule violates ΠD > 0"),
             DesignError::Conflicting => write!(f, "mapping has computational conflicts"),
             DesignError::Unroutable => write!(f, "dependencies unroutable on the given primitives"),
+            DesignError::Failed(e) => write!(f, "synthesis failed: {e}"),
         }
     }
 }
@@ -158,7 +162,7 @@ impl<'a> DesignBuilder<'a> {
                 let routing = match self.primitives {
                     Some(p) => Some(
                         cfmap_core::mapping::route(&mapping, &alg.deps, p)
-                            .ok_or(DesignError::Unroutable)?,
+                            .map_err(|_| DesignError::Unroutable)?,
                     ),
                     None => None,
                 };
@@ -173,9 +177,11 @@ impl<'a> DesignBuilder<'a> {
                 if let Some(c) = cap {
                     proc = proc.max_objective(c);
                 }
-                let opt = proc.solve().ok_or(DesignError::NoSchedule {
-                    cap: cap.unwrap_or(-1),
-                })?;
+                let opt = proc
+                    .solve()
+                    .map_err(DesignError::Failed)?
+                    .into_mapping()
+                    .ok_or(DesignError::NoSchedule { cap: cap.unwrap_or(-1) })?;
                 (opt.mapping, opt.routing)
             }
         };
@@ -185,7 +191,7 @@ impl<'a> DesignBuilder<'a> {
         if let Some(r) = routing.as_ref() {
             sim = sim.with_routing(r);
         }
-        let report = sim.run();
+        let report = sim.run().map_err(DesignError::Failed)?;
         debug_assert!(report.conflicts.is_empty(), "validated design must be conflict-free");
         let stats = UtilizationStats::from_report(&report);
         let total_time = report.makespan();

@@ -159,7 +159,7 @@ mod tests {
         let alg = algorithms::matmul(mu);
         let m =
             MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 2, 1]));
-        let report = Simulator::new(&alg, &m).run();
+        let report = Simulator::new(&alg, &m).run().unwrap();
         let diagram = space_time_diagram(&report, &m);
         let lines: Vec<&str> = diagram.lines().collect();
         // Header + separator + one line per cycle.
@@ -193,7 +193,7 @@ mod tests {
         // Conflicting schedule [1, 1, 2]: γ = [−3, 3, 0]/3 = [1,−1,0].
         let m =
             MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 1, 2]));
-        let report = Simulator::new(&alg, &m).run();
+        let report = Simulator::new(&alg, &m).run().unwrap();
         assert!(!report.conflicts.is_empty());
         let diagram = space_time_diagram(&report, &m);
         assert!(diagram.contains('|'), "conflicting points must share a cell");
@@ -204,7 +204,7 @@ mod tests {
         let alg = algorithms::matmul(2);
         let m =
             MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 2, 1]));
-        let report = Simulator::new(&alg, &m).run();
+        let report = Simulator::new(&alg, &m).run().unwrap();
         let diagram = space_time_diagram(&report, &m);
         for t in 0..report.makespan() {
             assert!(

@@ -16,7 +16,7 @@
 //!   usable with *any* algorithm to validate scheduling structurally.
 //!
 //! [`execute`] runs sequentially; [`execute_parallel`] runs each cycle's
-//! computations on worker threads (crossbeam scoped threads — cycles are
+//! computations on worker threads (`std::thread` scoped threads — cycles are
 //! synchronization barriers, exactly like the hardware), which doubles as
 //! a determinism check: both must produce identical results.
 
@@ -76,7 +76,7 @@ pub fn execute<K: Kernel>(alg: &Uda, mapping: &MappingMatrix, kernel: &K) -> Exe
 }
 
 /// Execute with each cycle's computations spread across `threads` workers
-/// (crossbeam scoped threads, barrier per cycle — the synchronous
+/// (`std::thread` scoped threads, barrier per cycle — the synchronous
 /// hardware model). Produces bit-identical results to [`execute`].
 pub fn execute_parallel<K: Kernel>(
     alg: &Uda,
@@ -100,12 +100,12 @@ pub fn execute_parallel<K: Kernel>(
         // Immutable view of past cycles shared across workers; each worker
         // returns its staged writes (cycle barrier = scope join).
         let staged: Vec<Vec<((Point, K::Value), Vec<(Point, usize)>)>> =
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let values_ref = &values;
                 let handles: Vec<_> = points
                     .chunks(chunk.max(1))
                     .map(|slice| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             slice
                                 .iter()
                                 .map(|j| {
@@ -118,8 +118,7 @@ pub fn execute_parallel<K: Kernel>(
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("scope failed");
+            });
         for worker in staged {
             for ((j, v), viols) in worker {
                 violations.extend(viols);

@@ -16,7 +16,7 @@
 //! dependence occupying the same directed link in the same cycle.
 
 use cfmap_core::mapping::Routing;
-use cfmap_core::MappingMatrix;
+use cfmap_core::{CfmapError, MappingMatrix};
 use cfmap_model::{Point, Uda};
 use std::collections::HashMap;
 
@@ -99,8 +99,19 @@ impl<'a> Simulator<'a> {
     /// detect link collisions; without it only computation placement is
     /// simulated.
     pub fn new(alg: &'a Uda, mapping: &'a MappingMatrix) -> Self {
-        assert_eq!(alg.dim(), mapping.dim(), "algorithm / mapping dimension mismatch");
         Simulator { alg, mapping, routing: None }
+    }
+
+    /// Fail fast on shape errors instead of producing garbage placements.
+    fn check_dims(&self) -> Result<(), CfmapError> {
+        if self.alg.dim() != self.mapping.dim() {
+            return Err(CfmapError::DimensionMismatch {
+                context: "simulator: algorithm vs mapping".into(),
+                expected: self.alg.dim(),
+                actual: self.mapping.dim(),
+            });
+        }
+        Ok(())
     }
 
     /// Attach a routing certificate for link-level simulation.
@@ -110,7 +121,8 @@ impl<'a> Simulator<'a> {
     }
 
     /// Run the simulation.
-    pub fn run(&self) -> SimReport {
+    pub fn run(&self) -> Result<SimReport, CfmapError> {
+        self.check_dims()?;
         let mut schedule: HashMap<i64, HashMap<Vec<i64>, Vec<Point>>> = HashMap::new();
         let mut tmin = i64::MAX;
         let mut tmax = i64::MIN;
@@ -124,15 +136,20 @@ impl<'a> Simulator<'a> {
             schedule.entry(t).or_default().entry(p).or_default().push(j);
         }
 
-        self.finish(schedule, tmin, tmax, computations)
+        Ok(self.finish(schedule, tmin, tmax, computations))
     }
 
-    /// Run the placement phase on `threads` worker threads (crossbeam
+    /// Run the placement phase on `threads` worker threads (`std::thread`
     /// scoped threads, partitioned along the outermost loop axis), then
     /// merge. Produces a report identical to [`Self::run`] up to the
     /// ordering of points within a (processor, time) cell.
-    pub fn run_parallel(&self, threads: usize) -> SimReport {
-        assert!(threads >= 1, "need at least one worker");
+    pub fn run_parallel(&self, threads: usize) -> Result<SimReport, CfmapError> {
+        if threads == 0 {
+            return Err(CfmapError::Unsupported {
+                reason: "parallel simulation needs at least one worker thread".into(),
+            });
+        }
+        self.check_dims()?;
         let mu = self.alg.index_set.mu();
         if mu.is_empty() || threads == 1 {
             return self.run();
@@ -143,12 +160,12 @@ impl<'a> Simulator<'a> {
         let chunk = outer_values.len().div_ceil(threads).max(1);
 
         type Partial = (HashMap<i64, HashMap<Vec<i64>, Vec<Point>>>, i64, i64, u64);
-        let partials: Vec<Partial> = crossbeam::thread::scope(|scope| {
+        let partials: Vec<Partial> = std::thread::scope(|scope| {
             let handles: Vec<_> = outer_values
                 .chunks(chunk)
                 .map(|slice| {
                     let inner = &inner;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut schedule: HashMap<i64, HashMap<Vec<i64>, Vec<Point>>> =
                             HashMap::new();
                         let mut tmin = i64::MAX;
@@ -171,8 +188,7 @@ impl<'a> Simulator<'a> {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("scope failed");
+        });
 
         let mut schedule: HashMap<i64, HashMap<Vec<i64>, Vec<Point>>> = HashMap::new();
         let mut tmin = i64::MAX;
@@ -189,7 +205,7 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        self.finish(schedule, tmin, tmax, computations)
+        Ok(self.finish(schedule, tmin, tmax, computations))
     }
 
     fn finish(
@@ -267,7 +283,7 @@ mod tests {
     #[test]
     fn optimal_matmul_simulation_is_clean() {
         let (alg, m) = matmul_setup(4, &[1, 4, 1]);
-        let report = Simulator::new(&alg, &m).run();
+        let report = Simulator::new(&alg, &m).run().unwrap();
         assert!(report.conflicts.is_empty(), "paper design must be conflict-free");
         assert_eq!(report.makespan(), 25);
         assert_eq!(report.computations, 125);
@@ -279,7 +295,7 @@ mod tests {
         // Failure injection: Π1 = [1, 1, μ] conflicts; the simulator must
         // observe it.
         let (alg, m) = matmul_setup(4, &[1, 1, 4]);
-        let report = Simulator::new(&alg, &m).run();
+        let report = Simulator::new(&alg, &m).run().unwrap();
         assert!(!report.conflicts.is_empty());
         let c = &report.conflicts[0];
         assert!(c.points.len() >= 2);
@@ -291,7 +307,7 @@ mod tests {
     #[test]
     fn makespan_matches_eq_2_7_even_with_conflicts() {
         let (alg, m) = matmul_setup(3, &[2, 1, 3]);
-        let report = Simulator::new(&alg, &m).run();
+        let report = Simulator::new(&alg, &m).run().unwrap();
         assert_eq!(report.makespan(), m.schedule().total_time(&alg.index_set));
     }
 
@@ -301,7 +317,7 @@ mod tests {
         let (alg, m) = matmul_setup(4, &[1, 4, 1]);
         let p = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
         let routing = route(&m, &alg.deps, &p).expect("routable");
-        let report = Simulator::new(&alg, &m).with_routing(&routing).run();
+        let report = Simulator::new(&alg, &m).with_routing(&routing).run().unwrap();
         assert!(report.is_clean(), "collisions: {:?}", report.link_collisions);
         assert!(report.hop_events > 0);
     }
@@ -312,7 +328,7 @@ mod tests {
         let (alg, m) = matmul_setup(4, &[2, 1, 4]);
         let p = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
         let routing = route(&m, &alg.deps, &p).expect("routable");
-        let report = Simulator::new(&alg, &m).with_routing(&routing).run();
+        let report = Simulator::new(&alg, &m).with_routing(&routing).run().unwrap();
         assert!(report.is_clean());
         assert_eq!(report.makespan(), 4 * (4 + 3) + 1);
     }
@@ -323,7 +339,7 @@ mod tests {
         let m = MappingMatrix::new(SpaceMap::row(&[0, 0, 1]), LinearSchedule::new(&[5, 1, 1]));
         let p = InterconnectionPrimitives::from_columns(&[&[1], &[-1]]);
         let routing = route(&m, &alg.deps, &p).expect("routable");
-        let report = Simulator::new(&alg, &m).with_routing(&routing).run();
+        let report = Simulator::new(&alg, &m).with_routing(&routing).run().unwrap();
         assert!(report.is_clean(), "collisions: {:?}", report.link_collisions);
         assert_eq!(report.makespan(), 29);
     }
@@ -331,9 +347,9 @@ mod tests {
     #[test]
     fn parallel_run_matches_sequential() {
         let (alg, m) = matmul_setup(4, &[1, 4, 1]);
-        let seq = Simulator::new(&alg, &m).run();
+        let seq = Simulator::new(&alg, &m).run().unwrap();
         for threads in [1, 2, 3, 8] {
-            let par = Simulator::new(&alg, &m).run_parallel(threads);
+            let par = Simulator::new(&alg, &m).run_parallel(threads).unwrap();
             assert_eq!(par.computations, seq.computations, "threads = {threads}");
             assert_eq!(par.time_range, seq.time_range);
             assert_eq!(par.conflicts.len(), seq.conflicts.len());
@@ -355,14 +371,14 @@ mod tests {
     #[test]
     fn parallel_run_detects_conflicts_too() {
         let (alg, m) = matmul_setup(4, &[1, 1, 4]);
-        let par = Simulator::new(&alg, &m).run_parallel(4);
+        let par = Simulator::new(&alg, &m).run_parallel(4).unwrap();
         assert!(!par.conflicts.is_empty());
     }
 
     #[test]
     fn average_parallelism_sane() {
         let (alg, m) = matmul_setup(4, &[1, 4, 1]);
-        let report = Simulator::new(&alg, &m).run();
+        let report = Simulator::new(&alg, &m).run().unwrap();
         let avg = report.average_parallelism();
         assert!(avg > 1.0 && avg <= 13.0, "avg parallelism {avg}");
         // 125 computations over 25 cycles = 5 busy-PE-cycles per cycle.

@@ -88,7 +88,7 @@ mod tests {
     fn stats_for(pi: &[i64], mu: i64) -> UtilizationStats {
         let alg = algorithms::matmul(mu);
         let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(pi));
-        let report = Simulator::new(&alg, &m).run();
+        let report = Simulator::new(&alg, &m).run().unwrap();
         UtilizationStats::from_report(&report)
     }
 
@@ -120,7 +120,7 @@ mod tests {
         // (computations/cycle) equals busy-PE count per cycle.
         let alg = algorithms::matmul(3);
         let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 2, 2]));
-        let report = Simulator::new(&alg, &m).run();
+        let report = Simulator::new(&alg, &m).run().unwrap();
         assert!(report.conflicts.is_empty());
         let s = UtilizationStats::from_report(&report);
         assert_eq!(s.peak_activity(), report.peak_parallelism as u64);
@@ -132,7 +132,7 @@ mod tests {
         // some PE executes two computations in one cycle.
         let alg = algorithms::matmul(3);
         let m = MappingMatrix::new(SpaceMap::row(&[1, 1, -1]), LinearSchedule::new(&[1, 3, 1]));
-        let report = Simulator::new(&alg, &m).run();
+        let report = Simulator::new(&alg, &m).run().unwrap();
         assert!(!report.conflicts.is_empty());
         let s = UtilizationStats::from_report(&report);
         assert!(s.peak_activity() >= report.peak_parallelism as u64);

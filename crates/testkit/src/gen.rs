@@ -1,0 +1,456 @@
+//! Generator combinators.
+//!
+//! A [`Gen`] produces random values and knows how to propose *smaller*
+//! variants of a failing value (shrinking). Plain integer ranges
+//! (`-3i64..=3`, `1i64..5`, `0usize..4`, i128 ranges) implement `Gen`
+//! directly, so property signatures read like the proptest originals.
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A value generator with shrink-on-failure support.
+pub trait Gen {
+    /// The generated value type. `Clone + Debug` so failures can be
+    /// re-run during shrinking and printed in panic messages.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Propose simpler candidates for a failing value. Candidates are
+    /// tried in order; the first that still fails becomes the new
+    /// current value. An empty vector stops shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Shrink candidates for an integer: move toward zero (and toward the
+/// range's in-range point closest to zero).
+fn shrink_i128_within(v: i128, lo: i128, hi: i128) -> Vec<i128> {
+    let anchor = if lo > 0 {
+        lo
+    } else if hi < 0 {
+        hi
+    } else {
+        0
+    };
+    let mut out = Vec::new();
+    if v != anchor {
+        out.push(anchor);
+        let half = anchor + (v - anchor) / 2;
+        if half != v && half != anchor {
+            out.push(half);
+        }
+        let step = v - (v - anchor).signum();
+        if step != half && step != anchor {
+            out.push(step);
+        }
+    }
+    out
+}
+
+macro_rules! int_range_gens {
+    ($($ty:ty),*) => {$(
+        impl Gen for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut Rng) -> $ty {
+                rng.i128_in(*self.start() as i128, *self.end() as i128) as $ty
+            }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                shrink_i128_within(*value as i128, *self.start() as i128, *self.end() as i128)
+                    .into_iter()
+                    .map(|v| v as $ty)
+                    .collect()
+            }
+        }
+
+        impl Gen for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut Rng) -> $ty {
+                assert!(self.start < self.end, "empty generator range");
+                rng.i128_in(self.start as i128, self.end as i128 - 1) as $ty
+            }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                shrink_i128_within(*value as i128, self.start as i128, self.end as i128 - 1)
+                    .into_iter()
+                    .map(|v| v as $ty)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+int_range_gens!(i64, i32, u32, u64, usize);
+
+// i128 ranges need width-safe sampling (the cast chain above would
+// truncate), so they get a dedicated implementation.
+impl Gen for RangeInclusive<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut Rng) -> i128 {
+        rng.i128_in(*self.start(), *self.end())
+    }
+    fn shrink(&self, value: &i128) -> Vec<i128> {
+        shrink_i128_within(*value, *self.start(), *self.end())
+    }
+}
+
+impl Gen for Range<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut Rng) -> i128 {
+        assert!(self.start < self.end, "empty generator range");
+        rng.i128_in(self.start, self.end - 1)
+    }
+    fn shrink(&self, value: &i128) -> Vec<i128> {
+        shrink_i128_within(*value, self.start, self.end - 1)
+    }
+}
+
+/// The full `i128` range (proptest's `any::<i128>()`).
+pub fn any_i128() -> RangeInclusive<i128> {
+    i128::MIN..=i128::MAX
+}
+
+/// Fair boolean generator (proptest's `any::<bool>()`).
+#[derive(Clone, Debug)]
+pub struct Bools;
+
+/// Fair boolean generator.
+pub fn bools() -> Bools {
+    Bools
+}
+
+impl Gen for Bools {
+    type Value = bool;
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.bool()
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Length specification for [`vec`]: a fixed size or a range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    pub min: usize,
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty length range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Vector generator: `len` elements drawn from `elem`.
+#[derive(Clone, Debug)]
+pub struct VecGen<G> {
+    elem: G,
+    len: SizeRange,
+}
+
+/// Generate a `Vec` of values from `elem` with a fixed or ranged
+/// length (proptest's `prop::collection::vec`).
+pub fn vec<G: Gen>(elem: G, len: impl Into<SizeRange>) -> VecGen<G> {
+    VecGen { elem, len: len.into() }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<G::Value> {
+        let n = rng.usize_in(self.len.min, self.len.max);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        // Structural shrinks first: drop elements while the minimum
+        // length permits.
+        if value.len() > self.len.min {
+            let keep = self.len.min.max(value.len() / 2);
+            if keep < value.len() {
+                out.push(value[..keep].to_vec());
+            }
+            for i in (0..value.len()).rev() {
+                let mut shorter = value.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Then element-wise shrinks.
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.elem.shrink(v) {
+                let mut copy = value.clone();
+                copy[i] = cand;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+/// Decimal digit-string generator mirroring the proptest regex
+/// strategies used in the integer tests:
+///
+/// * `digit_string(1, 40)`       ≈ `"[0-9]{1,40}"`
+/// * `nonzero_digit_string(61)`  ≈ `"[1-9][0-9]{0,60}"`
+/// * `signed_digit_string(81)`   ≈ `"-?[1-9][0-9]{0,80}"`
+#[derive(Clone, Debug)]
+pub struct DigitString {
+    min_len: usize,
+    max_len: usize,
+    leading_nonzero: bool,
+    signed: bool,
+}
+
+/// Digit string of `min_len..=max_len` digits, leading zeros allowed.
+pub fn digit_string(min_len: usize, max_len: usize) -> DigitString {
+    assert!(min_len >= 1 && min_len <= max_len);
+    DigitString { min_len, max_len, leading_nonzero: false, signed: false }
+}
+
+/// Digit string with a nonzero leading digit, total length `1..=max_len`.
+pub fn nonzero_digit_string(max_len: usize) -> DigitString {
+    assert!(max_len >= 1);
+    DigitString { min_len: 1, max_len, leading_nonzero: true, signed: false }
+}
+
+/// Optionally negated digit string with a nonzero leading digit.
+pub fn signed_digit_string(max_len: usize) -> DigitString {
+    assert!(max_len >= 1);
+    DigitString { min_len: 1, max_len, leading_nonzero: true, signed: true }
+}
+
+impl Gen for DigitString {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Rng) -> String {
+        let n = rng.usize_in(self.min_len, self.max_len);
+        let mut s = String::with_capacity(n + 1);
+        if self.signed && rng.bool() {
+            s.push('-');
+        }
+        for i in 0..n {
+            let lo = if i == 0 && self.leading_nonzero { 1 } else { 0 };
+            let d = rng.i64_in(lo, 9) as u8;
+            s.push((b'0' + d) as char);
+        }
+        s
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let mut out = Vec::new();
+        let (sign, digits) = match value.strip_prefix('-') {
+            Some(rest) => ("-", rest),
+            None => ("", value.as_str()),
+        };
+        if !sign.is_empty() {
+            out.push(digits.to_string());
+        }
+        if digits.len() > self.min_len {
+            out.push(format!("{sign}{}", &digits[..digits.len() / 2 + 1]));
+            out.push(format!("{sign}{}", &digits[..digits.len() - 1]));
+        }
+        let lead = if self.leading_nonzero { '1' } else { '0' };
+        if !digits.is_empty() && !digits.starts_with(lead) {
+            out.push(format!("{sign}{lead}{}", &digits[1..]));
+        }
+        out.retain(|s| s != value && !s.is_empty() && s != "-");
+        out
+    }
+}
+
+/// Map a generator's output through a function. Shrinking re-maps the
+/// shrunk *inputs*, so the underlying value is carried alongside.
+#[derive(Clone, Debug)]
+pub struct MapGen<G, F> {
+    inner: G,
+    f: F,
+}
+
+/// Transform generated values with `f` (proptest's `prop_map`). The
+/// carried value is a `(input, output)` pair; use `.1` in the body or
+/// destructure.
+pub fn map<G: Gen, T: Clone + Debug, F: Fn(&G::Value) -> T>(inner: G, f: F) -> MapGen<G, F> {
+    MapGen { inner, f }
+}
+
+impl<G: Gen, T: Clone + Debug, F: Fn(&G::Value) -> T> Gen for MapGen<G, F> {
+    type Value = (G::Value, T);
+
+    fn generate(&self, rng: &mut Rng) -> (G::Value, T) {
+        let input = self.inner.generate(rng);
+        let output = (self.f)(&input);
+        (input, output)
+    }
+
+    fn shrink(&self, value: &(G::Value, T)) -> Vec<(G::Value, T)> {
+        self.inner
+            .shrink(&value.0)
+            .into_iter()
+            .map(|input| {
+                let output = (self.f)(&input);
+                (input, output)
+            })
+            .collect()
+    }
+}
+
+macro_rules! tuple_gens {
+    ($(($($g:ident . $idx:tt),+))*) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_gens! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_gens_stay_in_range() {
+        let mut rng = Rng::new(3);
+        for _ in 0..500 {
+            let v = (-3i64..=3).generate(&mut rng);
+            assert!((-3..=3).contains(&v));
+            let w = (1i64..5).generate(&mut rng);
+            assert!((1..5).contains(&w));
+            let u = (0usize..4).generate(&mut rng);
+            assert!(u < 4);
+        }
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_zero() {
+        let g = -100i64..=100;
+        for cand in g.shrink(&64) {
+            assert!(cand.abs() < 64, "candidate {cand} is not smaller");
+        }
+        assert!(g.shrink(&0).is_empty());
+        // Strictly positive range anchors at its low end.
+        let pos = 5i64..=20;
+        assert!(pos.shrink(&5).is_empty());
+        assert!(pos.shrink(&17).contains(&5));
+    }
+
+    #[test]
+    fn vec_gen_respects_length() {
+        let mut rng = Rng::new(9);
+        let g = vec(-3i64..=3, 1..4);
+        for _ in 0..200 {
+            let v = g.generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+        }
+        let fixed = vec(-3i64..=3, 3);
+        assert_eq!(fixed.generate(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn vec_shrink_shortens_and_simplifies() {
+        let g = vec(-9i64..=9, 0..6);
+        let shrinks = g.shrink(&std::vec![5, -7, 3]);
+        assert!(shrinks.iter().any(|s| s.len() < 3));
+        assert!(shrinks.iter().any(|s| s.len() == 3 && s != &std::vec![5, -7, 3]));
+        // Fixed-length vectors only shrink element-wise.
+        let fixed = vec(-9i64..=9, 2);
+        for s in fixed.shrink(&std::vec![4, 4]) {
+            assert_eq!(s.len(), 2);
+        }
+    }
+
+    #[test]
+    fn digit_strings_match_their_patterns() {
+        let mut rng = Rng::new(5);
+        for _ in 0..300 {
+            let s = nonzero_digit_string(61).generate(&mut rng);
+            assert!((1..=61).contains(&s.len()));
+            assert!(s.chars().next().unwrap().is_ascii_digit());
+            assert_ne!(s.chars().next().unwrap(), '0');
+
+            let s = signed_digit_string(81).generate(&mut rng);
+            let body = s.strip_prefix('-').unwrap_or(&s);
+            assert!(!body.starts_with('0') && !body.is_empty());
+
+            let s = digit_string(1, 40).generate(&mut rng);
+            assert!((1..=40).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn digit_string_shrinks_stay_valid() {
+        let g = signed_digit_string(10);
+        for cand in g.shrink(&"-987".to_string()) {
+            let body = cand.strip_prefix('-').unwrap_or(&cand);
+            assert!(!body.is_empty() && !body.starts_with('0'));
+        }
+    }
+
+    #[test]
+    fn tuple_gen_shrinks_componentwise() {
+        let g = (-9i64..=9, bools());
+        let shrinks = g.shrink(&(4, true));
+        assert!(shrinks.contains(&(0, true)));
+        assert!(shrinks.contains(&(4, false)));
+    }
+
+    #[test]
+    fn map_gen_carries_input() {
+        let mut rng = Rng::new(1);
+        let g = map(vec(1i64..=9, 2), |v| v.iter().sum::<i64>());
+        let (input, output) = g.generate(&mut rng);
+        assert_eq!(output, input.iter().sum::<i64>());
+        for (i, o) in g.shrink(&(input, output)) {
+            assert_eq!(o, i.iter().sum::<i64>());
+        }
+    }
+}

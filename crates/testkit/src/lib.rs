@@ -1,0 +1,140 @@
+//! # cfmap-testkit
+//!
+//! A minimal, zero-dependency property-testing harness for the cfmap
+//! workspace. It exists so the build is *hermetic*: no registry crates,
+//! no network, no build scripts — just `std`.
+//!
+//! The moving parts:
+//!
+//! * [`Rng`] — deterministic xorshift64* PRNG. Each property derives its
+//!   seed from its own name (stable across runs); `TESTKIT_SEED=<u64>`
+//!   overrides it for reproduction, `TESTKIT_CASES=<n>` overrides the
+//!   case count.
+//! * [`gen`] — generator combinators. Integer ranges (`-3i64..=3`,
+//!   `1i64..5`) are generators themselves; [`gen::vec`], [`gen::bools`],
+//!   digit-string generators and tuples (up to arity 9) cover the rest.
+//! * [`check`] — the runner: draws values, catches assertion panics via
+//!   `catch_unwind`, shrinks the failing input, and re-panics with the
+//!   seed and the minimal counterexample.
+//! * [`props!`] — declares `#[test]` properties with a proptest-like
+//!   surface:
+//!
+//! ```
+//! cfmap_testkit::props! {
+//!     cases = 64;
+//!
+//!     fn addition_commutes(a in -100i64..=100, b in -100i64..=100) {
+//!         assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+//!
+//! Inside a property body, plain `assert!`/`assert_eq!` macros do the
+//! work; [`tk_assume!`] discards a case that does not meet a
+//! precondition (the analogue of `prop_assume!`).
+
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod rng;
+pub mod runner;
+
+pub use gen::Gen;
+pub use rng::Rng;
+pub use runner::{cases_for, check, seed_for, Discard};
+
+/// Discard the current case when a precondition fails (proptest's
+/// `prop_assume!`). Discards do not count toward the case total; a
+/// property that discards far more than it accepts aborts with a
+/// diagnostic instead of looping forever.
+#[macro_export]
+macro_rules! tk_assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::Discard);
+        }
+    };
+}
+
+/// Declare property tests.
+///
+/// ```text
+/// props! {
+///     cases = 48;                       // optional, defaults to 256
+///
+///     /// Doc comments and attributes pass through.
+///     fn my_property(x in -3i64..=3, v in gen::vec(0i64..=9, 1..4)) {
+///         assert!(x.abs() <= 3);
+///         assert!(!v.is_empty());
+///     }
+/// }
+/// ```
+///
+/// Each `fn` becomes a `#[test]` that runs `cases` random cases. The
+/// bound variables are generated from the expressions after `in`
+/// (anything implementing [`Gen`]); on failure the whole tuple of
+/// inputs is shrunk and reported together with the seed.
+#[macro_export]
+macro_rules! props {
+    (cases = $cases:expr; $($rest:tt)*) => {
+        $crate::__props_inner! { ($cases) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__props_inner! { (256) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __props_inner {
+    (($cases:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $gen:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let __gen = ($($gen,)+);
+                $crate::check(stringify!($name), $cases, &__gen, |__value| {
+                    #[allow(unused_parens)]
+                    let ($($arg),+) = {
+                        let ($($arg,)+) = __value;
+                        ($($arg),+)
+                    };
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod macro_tests {
+    crate::props! {
+        cases = 32;
+
+        /// Attributes and doc comments are forwarded.
+        fn single_binding(x in -5i64..=5) {
+            assert!(x.abs() <= 5);
+        }
+
+        fn multiple_bindings(
+            a in 0i64..=9,
+            b in crate::gen::vec(0i64..=3, 2..5),
+            c in crate::gen::bools(),
+        ) {
+            assert!((0..=9).contains(&a));
+            assert!((2..=4).contains(&b.len()));
+            let _ = c;
+        }
+
+        fn assume_works(x in -4i64..=4) {
+            crate::tk_assume!(x != 0);
+            assert_ne!(x, 0);
+        }
+    }
+
+    crate::props! {
+        fn default_case_count(x in 0i64..=1) {
+            let _ = x;
+        }
+    }
+}

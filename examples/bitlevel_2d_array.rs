@@ -32,7 +32,7 @@ fn five_d_matmul_to_2d() {
     // PE per (row, column) word position; the reduction and bit axes are
     // folded into time.
     let s = SpaceMap::from_rows(&[&[1, 0, 0, 0, 0], &[0, 1, 0, 0, 0]]);
-    let opt = Procedure51::new(&alg, &s).solve().expect("mapping exists");
+    let opt = Procedure51::new(&alg, &s).solve().expect("search ran to completion").expect_optimal("mapping exists");
     println!("Π° = {:?},  t = {}", opt.schedule.as_slice(), opt.total_time);
 
     // Proposition 8.1: the conflict lattice in closed form, checked
@@ -45,7 +45,7 @@ fn five_d_matmul_to_2d() {
     );
     println!("Theorem 4.7 on the closed-form basis: {verdict:?}");
 
-    let report = Simulator::new(&alg, &opt.mapping).run();
+    let report = Simulator::new(&alg, &opt.mapping).run().unwrap();
     assert!(report.conflicts.is_empty());
     let array = SystolicArray::synthesize(&alg, &opt.mapping);
     println!(
@@ -61,14 +61,14 @@ fn four_d_convolution_to_2d() {
     let alg = algorithms::bitlevel_convolution(mu_w, mu_b);
     println!("═══ 4-D bit-level convolution (μ_w = {mu_w}, μ_b = {mu_b}) → 2-D array ═══");
     let s = SpaceMap::from_rows(&[&[1, 0, 0, 0], &[0, 1, 0, 0]]);
-    let opt = Procedure51::new(&alg, &s).solve().expect("mapping exists");
+    let opt = Procedure51::new(&alg, &s).solve().expect("search ran to completion").expect_optimal("mapping exists");
     println!("Π° = {:?},  t = {}", opt.schedule.as_slice(), opt.total_time);
 
     let analysis = ConflictAnalysis::new(&opt.mapping, &alg.index_set);
     let gamma = analysis.unique_conflict_vector().expect("kernel dimension 1");
     println!("Unique conflict vector γ = {gamma} (Theorem 3.1): {:?}", feasibility(&gamma, &alg.index_set));
 
-    let report = Simulator::new(&alg, &opt.mapping).run();
+    let report = Simulator::new(&alg, &opt.mapping).run().unwrap();
     assert!(report.conflicts.is_empty());
     println!(
         "Simulated {} computations, makespan {}, zero conflicts ✓\n",
@@ -88,7 +88,8 @@ fn five_d_matmul_to_1d() {
     let exact = Procedure51::new(&alg, &s)
         .max_objective(45)
         .solve()
-        .expect("mapping exists");
+        .expect("search ran to completion")
+        .expect_optimal("mapping exists");
     println!("Π° (exact test)   = {:?},  t = {}", exact.schedule.as_slice(), exact.total_time);
     // The same search driven by the paper's Theorem 4.8 test (kernel
     // dimension 3). The condition is sufficient-only, so it can only land
@@ -97,6 +98,8 @@ fn five_d_matmul_to_1d() {
         .condition(ConditionKind::Paper)
         .max_objective(45)
         .solve()
+        .expect("search ran to completion")
+        .into_mapping()
     {
         Some(paper) => {
             println!("Π° (Thm 4.8 test) = {:?},  t = {}", paper.schedule.as_slice(), paper.total_time);
@@ -105,7 +108,7 @@ fn five_d_matmul_to_1d() {
         None => println!("Π° (Thm 4.8 test) = not certified within the cap (sufficiency gap)"),
     }
 
-    let report = Simulator::new(&alg, &exact.mapping).run();
+    let report = Simulator::new(&alg, &exact.mapping).run().unwrap();
     assert!(report.conflicts.is_empty());
     println!(
         "Simulated {} computations on {} PEs, makespan {}, zero conflicts ✓",

@@ -62,7 +62,8 @@ fn main() {
     let sol = SpaceSearch::new(&alg, design.mapping.schedule())
         .entry_bound(1)
         .solve()
-        .expect("space-optimal design exists");
+        .expect("search ran to completion")
+        .expect_optimal("space-optimal design exists");
     println!(
         "\nProblem 6.1 (space-optimal for the same schedule): S = {}  →  {} PEs + {} wire units (cost {})",
         sol.space,

@@ -21,7 +21,8 @@ fn main() {
     let opt = Procedure51::new(&alg, &s)
         .primitives(&prims)
         .solve()
-        .expect("optimal mapping exists");
+        .expect("search ran to completion")
+        .expect_optimal("optimal mapping exists");
     let routing = opt.routing.as_ref().expect("routing requested");
     println!("This paper:   Π° = {:?}", opt.schedule.as_slice());
     println!("              t  = {} (= μ(μ+2)+1 = {})", opt.total_time, mu * (mu + 2) + 1);
@@ -48,8 +49,8 @@ fn main() {
     println!("{}", block_diagram(&alg, &opt.mapping, routing, &["B", "A", "C"]));
 
     // ---- Simulate both designs --------------------------------------
-    let report = Simulator::new(&alg, &opt.mapping).with_routing(routing).run();
-    let base_report = Simulator::new(&alg, &base_mapping).with_routing(&base_routing).run();
+    let report = Simulator::new(&alg, &opt.mapping).with_routing(routing).run().unwrap();
+    let base_report = Simulator::new(&alg, &base_mapping).with_routing(&base_routing).run().unwrap();
     println!("─── Simulation ───");
     println!(
         "optimal : makespan {:2}, conflicts {}, link collisions {}",

@@ -20,7 +20,7 @@ fn main() {
 
     // 3. Find the time-optimal conflict-free schedule (Problem 2.2) with
     //    Procedure 5.1.
-    let opt = Procedure51::new(&alg, &s).solve().expect("a conflict-free mapping exists");
+    let opt = Procedure51::new(&alg, &s).solve().expect("search ran to completion").expect_optimal("a conflict-free mapping exists");
     println!(
         "Optimal schedule {}  →  total time t = {} = μ(μ+2)+1   ({} candidates examined)",
         opt.schedule, opt.total_time, opt.candidates_examined
@@ -44,7 +44,7 @@ fn main() {
         array.bounds(),
         array.total_time()
     );
-    let report = Simulator::new(&alg, &opt.mapping).run();
+    let report = Simulator::new(&alg, &opt.mapping).run().unwrap();
     assert!(report.conflicts.is_empty(), "theory promised conflict-freedom");
     println!(
         "Simulated: {} computations, makespan {}, peak parallelism {}, zero conflicts",

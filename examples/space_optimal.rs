@@ -22,13 +22,13 @@ fn main() {
     let paper_pes = SystolicArray::synthesize(&alg, &paper_design).num_processors();
     println!("  paper's S = [1, 1, −1]: {paper_pes} PEs");
 
-    let sol = SpaceSearch::new(&alg, &pi).entry_bound(2).solve().expect("solvable");
+    let sol = SpaceSearch::new(&alg, &pi).entry_bound(2).solve().expect("search ran to completion").expect_optimal("solvable");
     println!(
         "  space-optimal:  S = {} → {} PEs + {} wire units (cost {}), {} candidates examined",
         sol.space, sol.processors, sol.wire_length, sol.cost, sol.candidates_examined
     );
     assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
-    let report = Simulator::new(&alg, &sol.mapping).run();
+    let report = Simulator::new(&alg, &sol.mapping).run().unwrap();
     assert!(report.conflicts.is_empty());
     println!(
         "  validated: conflict-free by enumeration and simulation; makespan {}",
@@ -39,7 +39,7 @@ fn main() {
     let alg = algorithms::transitive_closure(mu);
     let pi = LinearSchedule::new(&[mu + 1, 1, 1]);
     println!("\ntransitive-closure(μ = {mu}) with fixed {pi}:");
-    let sol = SpaceSearch::new(&alg, &pi).entry_bound(2).solve().expect("solvable");
+    let sol = SpaceSearch::new(&alg, &pi).entry_bound(2).solve().expect("search ran to completion").expect_optimal("solvable");
     println!(
         "  space-optimal: S = {} → {} PEs + {} wire units (cost {})",
         sol.space, sol.processors, sol.wire_length, sol.cost
@@ -57,7 +57,7 @@ fn main() {
             continue;
         }
         let t = pi.total_time(&alg.index_set);
-        match SpaceSearch::new(&alg, &pi).entry_bound(1).solve() {
+        match SpaceSearch::new(&alg, &pi).entry_bound(1).solve().unwrap().into_mapping() {
             Some(sol) => println!("{:>14} {:>8} {:>10}", format!("{pi_entries:?}"), t, sol.cost),
             None => println!("{:>14} {:>8} {:>10}", format!("{pi_entries:?}"), t, "—"),
         }

@@ -17,7 +17,7 @@ fn main() {
     println!("Dependence matrix (Equation 3.6):\n{}\n", alg.deps);
 
     // ---- Optimal design ----------------------------------------------
-    let opt = Procedure51::new(&alg, &s).solve().expect("optimal mapping exists");
+    let opt = Procedure51::new(&alg, &s).solve().expect("search ran to completion").expect_optimal("optimal mapping exists");
     println!("This paper:   Π° = {:?}", opt.schedule.as_slice());
     println!("              t  = {} (= μ(μ+3)+1 = {})", opt.total_time, mu * (mu + 3) + 1);
 
@@ -42,9 +42,9 @@ fn main() {
     // ---- Simulate both -------------------------------------------------
     let prims = InterconnectionPrimitives::from_columns(&[&[1], &[-1]]);
     let routing = route(&opt.mapping, &alg.deps, &prims).expect("routable");
-    let report = Simulator::new(&alg, &opt.mapping).with_routing(&routing).run();
+    let report = Simulator::new(&alg, &opt.mapping).with_routing(&routing).run().unwrap();
     let base_mapping = base.mapping();
-    let base_report = Simulator::new(&alg, &base_mapping).run();
+    let base_report = Simulator::new(&alg, &base_mapping).run().unwrap();
     println!("\n─── Simulation ───");
     println!(
         "optimal : {} PEs, makespan {:3}, conflicts {}, link collisions {}",

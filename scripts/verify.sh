@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Full offline verification gate: build, test, benches compile, examples
+# compile — all with the network forbidden (--offline). This is the same
+# bar CI holds; the hermetic-dependency guard itself lives in
+# tests/hermetic.rs and runs as part of the test suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== cargo test --offline"
+cargo test -q --offline --workspace
+
+echo "== benches and examples compile (offline)"
+cargo build --offline --benches -p cfmap-bench
+cargo build --offline --examples
+
+echo "== smoke: CLI exit codes"
+CFMAP=target/release/cfmap
+"$CFMAP" map --alg matmul --mu 4 --space 1,1,-1 > /dev/null
+set +e
+"$CFMAP" map --alg matmul --mu 4 --space 1,1,-1 --cap 2 > /dev/null 2>&1
+[ $? -eq 1 ] || { echo "expected exit 1 for infeasible"; exit 1; }
+"$CFMAP" frobnicate > /dev/null 2>&1
+[ $? -eq 2 ] || { echo "expected exit 2 for usage error"; exit 1; }
+set -e
+
+echo "== smoke: one timing bench under a 5 ms budget"
+CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e1_feasibility > /dev/null
+
+echo "verify: OK"

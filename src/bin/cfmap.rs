@@ -9,10 +9,63 @@
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (`--key value` pairs).
+//!
+//! Exit codes are structured so scripts can branch on the failure class:
+//! `0` success, `1` infeasible (the search proved no mapping exists within
+//! its caps), `2` usage error, `3` a structured [`CfmapError`] (overflow,
+//! exhausted budget, shape mismatch, …).
 
 use cfmap::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// CLI failure classes, each with its own exit code.
+enum CliError {
+    /// Bad arguments (exit 2).
+    Usage(String),
+    /// The search completed and proved infeasibility (exit 1).
+    Infeasible(String),
+    /// A structured library error surfaced (exit 3).
+    Failed(CfmapError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Infeasible(_) => ExitCode::from(1),
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Failed(_) => ExitCode::from(3),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Infeasible(m) => write!(f, "{m}"),
+            CliError::Failed(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<CfmapError> for CliError {
+    fn from(e: CfmapError) -> Self {
+        CliError::Failed(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Usage(m.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     // Dying with a panic backtrace when stdout is closed early
@@ -36,7 +89,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let result = match command.as_str() {
@@ -51,13 +104,13 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            e.exit_code()
         }
     }
 }
@@ -81,7 +134,13 @@ OPTIONS:
   --space     space map rows, comma-separated entries, ';' between rows: \"1,1,-1\" or \"1,0,0,0,0;0,1,0,0,0\"
   --pi        schedule vector: \"1,4,1\"
   --cap       objective cap for searches (default: heuristic)
-  --diagram   print the space-time diagram (linear arrays)";
+  --max-candidates  search budget: stop after examining N candidates (best-effort result)
+  --timeout-ms      search budget: stop after N milliseconds of wall clock
+  --diagram   print the space-time diagram (linear arrays)
+
+EXIT CODES:
+  0  success        1  search proved infeasibility
+  2  usage error    3  structured failure (overflow, exhausted budget, …)";
 
 type Opts = HashMap<String, String>;
 
@@ -153,7 +212,21 @@ fn get_pi(opts: &Opts, n: usize) -> Result<LinearSchedule, String> {
     Ok(LinearSchedule::new(&row))
 }
 
-fn cmd_list() -> Result<(), String> {
+/// Assemble a [`SearchBudget`] from `--max-candidates` / `--timeout-ms`.
+fn get_budget(opts: &Opts) -> Result<SearchBudget, String> {
+    let mut budget = SearchBudget::unlimited();
+    if let Some(v) = opts.get("max-candidates") {
+        let n: u64 = v.parse().map_err(|_| "bad --max-candidates")?;
+        budget = budget.with_candidates(n);
+    }
+    if let Some(v) = opts.get("timeout-ms") {
+        let ms: u64 = v.parse().map_err(|_| "bad --timeout-ms")?;
+        budget = budget.with_wall_clock(Duration::from_millis(ms));
+    }
+    Ok(budget)
+}
+
+fn cmd_list() -> Result<(), CliError> {
     println!("available workloads (all sizes parameterized by --mu):");
     for alg in algorithms::all_small() {
         println!("  {}", alg.name);
@@ -161,26 +234,31 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_map(opts: &Opts) -> Result<(), String> {
+fn cmd_map(opts: &Opts) -> Result<(), CliError> {
     let alg = get_alg(opts)?;
     let space = get_space(opts, alg.dim())?;
-    let mut proc = Procedure51::new(&alg, &space);
+    let mut proc = Procedure51::new(&alg, &space).budget(get_budget(opts)?);
     if let Some(cap) = opts.get("cap") {
         proc = proc.max_objective(cap.parse().map_err(|_| "bad --cap")?);
     }
-    let opt = proc.solve().ok_or("no conflict-free schedule within the cap")?;
+    let outcome = proc.solve().map_err(CliError::Failed)?;
+    let certification = outcome.certification;
+    let opt = outcome
+        .into_mapping()
+        .ok_or_else(|| CliError::Infeasible("no conflict-free schedule within the cap".into()))?;
     println!("algorithm : {}", alg.name);
     println!("space map :\n{space}");
     println!("schedule  : {}", opt.schedule);
     println!("mapping   :\n{}", opt.mapping);
     println!("time      : t = {} cycles (objective f = {})", opt.total_time, opt.objective);
     println!("examined  : {} candidates", opt.candidates_examined);
+    println!("certified : {certification}");
     let array = SystolicArray::synthesize(&alg, &opt.mapping);
     println!("array     : {} PEs, {}-D, bounds {:?}", array.num_processors(), array.dims(), array.bounds());
     Ok(())
 }
 
-fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+fn cmd_analyze(opts: &Opts) -> Result<(), CliError> {
     let alg = get_alg(opts)?;
     let space = get_space(opts, alg.dim())?;
     let pi = get_pi(opts, alg.dim())?;
@@ -196,25 +274,33 @@ fn cmd_analyze(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_joint(opts: &Opts) -> Result<(), String> {
+fn cmd_joint(opts: &Opts) -> Result<(), CliError> {
     let alg = get_alg(opts)?;
     let criterion = match opts.get("criterion").map(String::as_str) {
         None | Some("time") => JointCriterion::TimeThenSpace,
         Some("space") => JointCriterion::SpaceThenTime,
-        Some(other) => return Err(format!("unknown criterion {other:?} (time|space)")),
+        Some(other) => {
+            return Err(CliError::Usage(format!("unknown criterion {other:?} (time|space)")))
+        }
     };
-    let sol = JointSearch::new(&alg)
+    let outcome = JointSearch::new(&alg)
         .criterion(criterion)
+        .budget(get_budget(opts)?)
         .solve()
-        .ok_or("no conflict-free joint design found")?;
+        .map_err(CliError::Failed)?;
+    let certification = outcome.certification;
+    let sol = outcome
+        .into_mapping()
+        .ok_or_else(|| CliError::Infeasible("no conflict-free joint design found".into()))?;
     println!("space map  : {}", sol.space);
     println!("schedule   : {}", sol.schedule);
     println!("total time : {} cycles", sol.total_time);
     println!("space cost : {} (sites + wires)", sol.space_cost);
+    println!("certified  : {certification}");
     Ok(())
 }
 
-fn cmd_bounds(opts: &Opts) -> Result<(), String> {
+fn cmd_bounds(opts: &Opts) -> Result<(), CliError> {
     let alg = get_alg(opts)?;
     println!("algorithm             : {}", alg.name);
     println!("computations |J|      : {}", alg.num_computations());
@@ -232,12 +318,12 @@ fn cmd_bounds(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(opts: &Opts) -> Result<(), String> {
+fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
     let alg = get_alg(opts)?;
     let space = get_space(opts, alg.dim())?;
     let pi = get_pi(opts, alg.dim())?;
     let mapping = MappingMatrix::new(space, pi);
-    let report = Simulator::new(&alg, &mapping).run();
+    let report = Simulator::new(&alg, &mapping).run().map_err(CliError::Failed)?;
     println!("computations : {}", report.computations);
     println!("makespan     : {} cycles", report.makespan());
     println!("conflicts    : {}", report.conflicts.len());
@@ -254,7 +340,7 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_space_opt(opts: &Opts) -> Result<(), String> {
+fn cmd_space_opt(opts: &Opts) -> Result<(), CliError> {
     let alg = get_alg(opts)?;
     let pi = get_pi(opts, alg.dim())?;
     let bound = opts
@@ -262,14 +348,20 @@ fn cmd_space_opt(opts: &Opts) -> Result<(), String> {
         .map(|c| c.parse().map_err(|_| "bad --cap"))
         .transpose()?
         .unwrap_or(2);
-    let sol = SpaceSearch::new(&alg, &pi)
+    let outcome = SpaceSearch::new(&alg, &pi)
         .entry_bound(bound)
+        .budget(get_budget(opts)?)
         .solve()
-        .ok_or("no conflict-free space map within the entry bound")?;
+        .map_err(CliError::Failed)?;
+    let certification = outcome.certification;
+    let sol = outcome
+        .into_mapping()
+        .ok_or_else(|| CliError::Infeasible("no conflict-free space map within the entry bound".into()))?;
     println!("schedule      : {pi}");
     println!("space map     : {}", sol.space);
     println!("processors    : {}", sol.processors);
     println!("wire length   : {}", sol.wire_length);
     println!("combined cost : {}", sol.cost);
+    println!("certified     : {certification}");
     Ok(())
 }

@@ -22,11 +22,14 @@
 //! // onto a linear systolic array with space map S = [1, 1, −1].
 //! let alg = algorithms::matmul(4);
 //! let s = SpaceMap::row(&[1, 1, -1]);
-//! let opt = Procedure51::new(&alg, &s).solve().expect("mapping exists");
+//! let opt = Procedure51::new(&alg, &s)
+//!     .solve()
+//!     .expect("search ran to completion")
+//!     .expect_optimal("mapping exists");
 //! assert_eq!(opt.total_time, 4 * (4 + 2) + 1); // t = μ(μ+2)+1 = 25
 //!
 //! // Simulate the synthesized array and observe zero conflicts.
-//! let report = Simulator::new(&alg, &opt.mapping).run();
+//! let report = Simulator::new(&alg, &opt.mapping).run().unwrap();
 //! assert!(report.conflicts.is_empty());
 //! assert_eq!(report.makespan(), 25);
 //! ```
@@ -60,9 +63,9 @@ pub mod prelude {
     pub use cfmap_core::oracle;
     pub use cfmap_core::prop81::prop_8_1_basis;
     pub use cfmap_core::{
-        diagnose, Check, InterconnectionPrimitives, JointCriterion, JointOptimal, JointSearch,
-        MappingDiagnosis, MappingMatrix, OptimalMapping, Procedure51, SpaceMap,
-        SpaceOptimalMapping, SpaceSearch,
+        diagnose, Certification, CfmapError, Check, InterconnectionPrimitives, JointCriterion,
+        JointOptimal, JointSearch, MappingDiagnosis, MappingMatrix, OptimalMapping, Procedure51,
+        SearchBudget, SearchOutcome, SpaceMap, SpaceOptimalMapping, SpaceSearch,
     };
     pub use cfmap_systolic::rtl::{execute_rtl, RtlResult};
     pub use cfmap_model::bitexpand::{expand_to_bit_level, extend_space_rows};

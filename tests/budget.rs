@@ -1,0 +1,123 @@
+//! Budget-guarded search: graceful degradation under exhausted budgets.
+//!
+//! A search that runs out of budget must still hand back a *valid*
+//! conflict-free mapping, honestly tagged [`Certification::BestEffort`] —
+//! never a panic, never a silent wrong answer — and the degraded result
+//! must be deterministic so CI runs are reproducible.
+
+use cfmap::prelude::*;
+use std::time::Duration;
+
+/// A candidate budget far too small for the 5-D bit-level search trips
+/// the meter and degrades to a tagged, valid, conflict-free fallback.
+#[test]
+fn tiny_budget_degrades_to_best_effort() {
+    let alg = algorithms::bitlevel_matmul(2, 3);
+    let s = SpaceMap::from_rows(&[&[1, 0, 0, 0, 0], &[0, 1, 0, 0, 0]]);
+    let outcome = Procedure51::new(&alg, &s)
+        .budget(SearchBudget::candidates(3))
+        .solve()
+        .expect("degradation is not an error");
+
+    assert!(outcome.certification.is_best_effort(), "{:?}", outcome.certification);
+    let opt = outcome.into_mapping().expect("best-effort carries a mapping");
+
+    // The degraded mapping satisfies every condition of Definition 2.2.
+    assert!(opt.mapping.has_full_rank());
+    assert!(opt.schedule.is_valid_for(&alg.deps));
+    let analysis = ConflictAnalysis::new(&opt.mapping, &alg.index_set);
+    assert!(analysis.is_conflict_free_exact());
+
+    // And it actually runs conflict-free on the simulated hardware.
+    let report = Simulator::new(&alg, &opt.mapping).run().unwrap();
+    assert!(report.conflicts.is_empty());
+}
+
+/// Degradation is deterministic: the same exhausted budget yields the
+/// same fallback schedule every time.
+#[test]
+fn degraded_result_is_deterministic() {
+    let alg = algorithms::bitlevel_matmul(2, 3);
+    let s = SpaceMap::from_rows(&[&[1, 0, 0, 0, 0], &[0, 1, 0, 0, 0]]);
+    let solve = || {
+        Procedure51::new(&alg, &s)
+            .budget(SearchBudget::candidates(3))
+            .solve()
+            .unwrap()
+            .into_mapping()
+            .unwrap()
+    };
+    let a = solve();
+    let b = solve();
+    assert_eq!(a.schedule.as_slice(), b.schedule.as_slice());
+    assert_eq!(a.objective, b.objective);
+    assert_eq!(a.total_time, b.total_time);
+}
+
+/// An unlimited budget on the same problem certifies optimality, and the
+/// best-effort fallback is never better than it (sanity of the tag).
+#[test]
+fn best_effort_never_beats_optimal() {
+    let alg = algorithms::bitlevel_matmul(2, 3);
+    let s = SpaceMap::from_rows(&[&[1, 0, 0, 0, 0], &[0, 1, 0, 0, 0]]);
+    let optimal = Procedure51::new(&alg, &s)
+        .solve()
+        .unwrap()
+        .expect_optimal("unlimited budget completes");
+    let degraded = Procedure51::new(&alg, &s)
+        .budget(SearchBudget::candidates(3))
+        .solve()
+        .unwrap()
+        .into_mapping()
+        .unwrap();
+    assert!(degraded.objective >= optimal.objective);
+}
+
+/// A zero wall-clock budget trips before the first candidate; the search
+/// still degrades rather than erroring out.
+#[test]
+fn zero_wall_clock_still_degrades() {
+    let alg = algorithms::matmul(4);
+    let s = SpaceMap::row(&[1, 1, -1]);
+    let outcome = Procedure51::new(&alg, &s)
+        .budget(SearchBudget::wall_clock(Duration::ZERO))
+        .solve()
+        .expect("degradation is not an error");
+    assert!(outcome.certification.is_best_effort());
+    let opt = outcome.into_mapping().unwrap();
+    let analysis = ConflictAnalysis::new(&opt.mapping, &alg.index_set);
+    assert!(analysis.is_conflict_free_exact());
+}
+
+/// Budgets thread through the joint search (Problem 6.2) the same way.
+#[test]
+fn joint_search_degrades_under_budget() {
+    let alg = algorithms::matmul(3);
+    let outcome = JointSearch::new(&alg)
+        .budget(SearchBudget::candidates(2))
+        .solve()
+        .expect("degradation is not an error");
+    assert!(
+        !outcome.certification.is_optimal(),
+        "2 candidates cannot certify a joint optimum: {:?}",
+        outcome.certification
+    );
+    if let Some(sol) = outcome.into_mapping() {
+        let t = MappingMatrix::new(sol.space.clone(), sol.schedule.clone());
+        let analysis = ConflictAnalysis::new(&t, &alg.index_set);
+        assert!(analysis.is_conflict_free_exact());
+    }
+}
+
+/// `candidates_examined` reports honest effort: the exhausted search
+/// stops at its cap.
+#[test]
+fn candidates_examined_respects_cap() {
+    let alg = algorithms::bitlevel_matmul(2, 3);
+    let s = SpaceMap::from_rows(&[&[1, 0, 0, 0, 0], &[0, 1, 0, 0, 0]]);
+    let outcome = Procedure51::new(&alg, &s)
+        .budget(SearchBudget::candidates(3))
+        .solve()
+        .unwrap();
+    assert!(outcome.candidates_examined <= 3, "{}", outcome.candidates_examined);
+}

@@ -14,6 +14,18 @@ fn cfmap(args: &[&str]) -> (bool, String, String) {
     )
 }
 
+fn cfmap_code(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cfmap"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().expect("not signal-killed"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
 #[test]
 fn map_finds_paper_optimum() {
     let (ok, stdout, _) = cfmap(&["map", "--alg", "matmul", "--mu", "4", "--space", "1,1,-1"]);
@@ -158,4 +170,44 @@ fn cap_exhaustion_is_an_error() {
     ]);
     assert!(!ok);
     assert!(stderr.contains("no conflict-free schedule"), "{stderr}");
+}
+
+#[test]
+fn exit_codes_encode_the_failure_class() {
+    // 0: success.
+    let (code, _, _) = cfmap_code(&["map", "--alg", "matmul", "--mu", "4", "--space", "1,1,-1"]);
+    assert_eq!(code, 0);
+    // 1: the search proved infeasibility within its caps.
+    let (code, _, _) = cfmap_code(&[
+        "map", "--alg", "matmul", "--mu", "4", "--space", "1,1,-1", "--cap", "2",
+    ]);
+    assert_eq!(code, 1);
+    // 2: usage errors (bad args, unknown command, unknown algorithm).
+    let (code, _, _) = cfmap_code(&["frobnicate"]);
+    assert_eq!(code, 2);
+    let (code, _, _) = cfmap_code(&["map", "--alg", "nonsense", "--mu", "4", "--space", "1,1,-1"]);
+    assert_eq!(code, 2);
+    let (code, _, _) = cfmap_code(&["map", "--alg", "matmul", "--mu", "4", "--space", "1,1"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn budget_flag_degrades_to_best_effort() {
+    // A 3-candidate budget cannot certify optimality; the CLI reports a
+    // valid best-effort design and still exits 0 — degraded, not failed.
+    let (code, stdout, _) = cfmap_code(&[
+        "map", "--alg", "bitlevel-matmul", "--mu", "2", "--space",
+        "1,0,0,0,0;0,1,0,0,0", "--max-candidates", "3",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("best-effort"), "{stdout}");
+    assert!(stdout.contains("schedule"), "{stdout}");
+}
+
+#[test]
+fn unlimited_budget_certifies_optimal() {
+    let (code, stdout, _) =
+        cfmap_code(&["map", "--alg", "matmul", "--mu", "4", "--space", "1,1,-1"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("certified : optimal"), "{stdout}");
 }

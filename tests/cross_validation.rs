@@ -3,16 +3,15 @@
 //! and Procedure 5.1 vs the ILP decomposition.
 
 use cfmap::prelude::*;
-use proptest::prelude::*;
+use cfmap_testkit::gen;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+cfmap_testkit::props! {
+    cases = 40;
 
     /// Four deciders, one verdict (3-D, k = 2).
-    #[test]
     fn all_deciders_agree_3d(
-        s in prop::collection::vec(-3i64..=3, 3),
-        pi in prop::collection::vec(-3i64..=3, 3),
+        s in gen::vec(-3i64..=3, 3),
+        pi in gen::vec(-3i64..=3, 3),
         mu in 1i64..5,
     ) {
         let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
@@ -20,7 +19,7 @@ proptest! {
         let analysis = ConflictAnalysis::new(&t, &j);
         let exact = analysis.is_conflict_free_exact();
         let by_oracle = oracle::is_conflict_free_by_enumeration(&t, &j);
-        prop_assert_eq!(exact, by_oracle);
+        assert_eq!(exact, by_oracle);
 
         // Simulator agrees (use a small algorithm shell around J).
         let alg = Uda::new(
@@ -28,54 +27,52 @@ proptest! {
             j.clone(),
             DependenceMatrix::from_columns(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]),
         );
-        let report = Simulator::new(&alg, &t).run();
-        prop_assert_eq!(exact, report.conflicts.is_empty());
+        let report = Simulator::new(&alg, &t).run().unwrap();
+        assert_eq!(exact, report.conflicts.is_empty());
 
         // Closed form never contradicts.
         match conditions::paper_condition(&analysis, &j) {
-            ConditionVerdict::ConflictFree => prop_assert!(exact),
-            ConditionVerdict::HasConflict => prop_assert!(!exact),
+            ConditionVerdict::ConflictFree => assert!(exact),
+            ConditionVerdict::HasConflict => assert!(!exact),
             ConditionVerdict::Unknown => {}
         }
     }
 
     /// Witnesses extracted from the lattice are real collisions (4-D).
-    #[test]
     fn lattice_witnesses_collide_4d(
-        s in prop::collection::vec(-2i64..=2, 4),
-        pi in prop::collection::vec(-2i64..=2, 4),
+        s in gen::vec(-2i64..=2, 4),
+        pi in gen::vec(-2i64..=2, 4),
         mu in 1i64..4,
     ) {
         let t = MappingMatrix::from_rows(&[&s[..], &pi[..]]);
         let j = IndexSet::cube(4, mu);
         let analysis = ConflictAnalysis::new(&t, &j);
         if let Some(gamma) = analysis.find_small_kernel_vector() {
-            let w = analysis.witness_from_kernel_vector(&gamma);
-            prop_assert!(j.contains(&w.j1));
-            prop_assert!(j.contains(&w.j2));
-            prop_assert_ne!(&w.j1, &w.j2);
-            prop_assert_eq!(t.apply(&w.j1), t.apply(&w.j2));
+            let w = analysis.witness_from_kernel_vector(&gamma).unwrap();
+            assert!(j.contains(&w.j1));
+            assert!(j.contains(&w.j2));
+            assert_ne!(&w.j1, &w.j2);
+            assert_eq!(t.apply(&w.j1), t.apply(&w.j2));
         }
     }
 
     /// Equation 3.2's adjugate formula and the HNF kernel agree for every
     /// full-rank (n−1)×n mapping.
-    #[test]
     fn eq_3_2_equals_hnf(
-        s in prop::collection::vec(-3i64..=3, 4),
-        pi in prop::collection::vec(-3i64..=3, 4),
-        s2 in prop::collection::vec(-3i64..=3, 4),
+        s in gen::vec(-3i64..=3, 4),
+        pi in gen::vec(-3i64..=3, 4),
+        s2 in gen::vec(-3i64..=3, 4),
     ) {
         let t = MappingMatrix::from_rows(&[&s[..], &s2[..], &pi[..]]);
         let j = IndexSet::cube(4, 3);
         let analysis = ConflictAnalysis::new(&t, &j);
         if analysis.rank() != 3 {
-            return Ok(());
+            return;
         }
         let via_hnf = analysis.unique_conflict_vector();
         let via_adj = analysis.conflict_vector_eq_3_2();
         if let (Some(a), Some(b)) = (&via_hnf, &via_adj) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
 }
@@ -87,14 +84,18 @@ fn search_and_ilp_agree() {
     for mu in 2..=5i64 {
         let alg = algorithms::matmul(mu);
         let s = SpaceMap::row(&[1, 1, -1]);
-        let a = Procedure51::new(&alg, &s).solve().unwrap();
-        let b = optimal_schedule_ilp(&alg, &s, 2 * mu + 4).unwrap();
+        let a = Procedure51::new(&alg, &s).solve().unwrap().expect_optimal("solvable");
+        let b = optimal_schedule_ilp(&alg, &s, 2 * mu + 4, SearchBudget::unlimited())
+            .unwrap()
+            .expect_optimal("solvable");
         assert_eq!(a.objective, b.objective, "matmul μ = {mu}");
 
         let alg = algorithms::transitive_closure(mu);
         let s = SpaceMap::row(&[0, 0, 1]);
-        let a = Procedure51::new(&alg, &s).solve().unwrap();
-        let b = optimal_schedule_ilp(&alg, &s, 2 * mu + 4).unwrap();
+        let a = Procedure51::new(&alg, &s).solve().unwrap().expect_optimal("solvable");
+        let b = optimal_schedule_ilp(&alg, &s, 2 * mu + 4, SearchBudget::unlimited())
+            .unwrap()
+            .expect_optimal("solvable");
         assert_eq!(a.objective, b.objective, "TC μ = {mu}");
     }
 }
@@ -106,11 +107,12 @@ fn paper_conditions_sound_in_search() {
     for mu in 2..=4i64 {
         let alg = algorithms::matmul(mu);
         let s = SpaceMap::row(&[1, 1, -1]);
-        let exact = Procedure51::new(&alg, &s).solve().unwrap();
+        let exact = Procedure51::new(&alg, &s).solve().unwrap().expect_optimal("solvable");
         let paper = Procedure51::new(&alg, &s)
             .condition(ConditionKind::Paper)
             .solve()
-            .unwrap();
+            .unwrap()
+            .expect_optimal("solvable");
         assert!(paper.objective >= exact.objective, "μ = {mu}");
         assert_eq!(paper.objective, exact.objective, "μ = {mu}: Thm 3.1 is exact for r = 1");
     }

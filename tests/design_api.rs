@@ -46,7 +46,11 @@ fn space_search_composes_with_design() {
     // Problem 6.1 output feeds straight back into design synthesis.
     let alg = algorithms::matmul(4);
     let pi = LinearSchedule::new(&[1, 4, 1]);
-    let sol = SpaceSearch::new(&alg, &pi).entry_bound(2).solve().unwrap();
+    let sol = SpaceSearch::new(&alg, &pi)
+        .entry_bound(2)
+        .solve()
+        .unwrap()
+        .expect_optimal("space map exists");
     let design = ArrayDesign::synthesize(&alg, sol.space.clone())
         .with_schedule(pi)
         .build()

@@ -28,6 +28,8 @@ fn full_pipeline_over_the_library() {
         let opt = Procedure51::new(&alg, &s)
             .max_objective(cap)
             .solve()
+            .unwrap()
+            .into_mapping()
             .unwrap_or_else(|| panic!("no mapping for {}", alg.name));
 
         // Theory side.
@@ -37,7 +39,7 @@ fn full_pipeline_over_the_library() {
         assert!(analysis.is_conflict_free_exact(), "{}", alg.name);
 
         // Simulation side must agree observable by observable.
-        let report = Simulator::new(&alg, &opt.mapping).run();
+        let report = Simulator::new(&alg, &opt.mapping).run().unwrap();
         assert!(report.conflicts.is_empty(), "{}", alg.name);
         assert_eq!(report.makespan(), opt.total_time, "{}", alg.name);
         assert_eq!(report.computations as u128, alg.num_computations(), "{}", alg.name);
@@ -63,7 +65,7 @@ fn matmul_numeric_sweep() {
     for mu in 2..=5i64 {
         let alg = algorithms::matmul(mu);
         let s = SpaceMap::row(&[1, 1, -1]);
-        let opt = Procedure51::new(&alg, &s).solve().unwrap();
+        let opt = Procedure51::new(&alg, &s).solve().unwrap().expect_optimal("solvable");
         let kernel = MatmulKernel::random((mu + 1) as usize, mu as u64);
         let seq = execute(&alg, &opt.mapping, &kernel);
         assert!(seq.causality_violations.is_empty());
@@ -79,7 +81,7 @@ fn convolution_numeric() {
     let (mu_y, mu_w) = (7, 4);
     let alg = algorithms::convolution(mu_y, mu_w);
     let s = SpaceMap::row(&[1, -1]);
-    let opt = Procedure51::new(&alg, &s).solve().unwrap();
+    let opt = Procedure51::new(&alg, &s).solve().unwrap().expect_optimal("solvable");
     let kernel = ConvolutionKernel {
         x: vec![2, -3, 5, 7, -11, 13, 0, 1],
         w: vec![1, -2, 4, 0, 3],
@@ -101,13 +103,15 @@ fn routed_linear_designs() {
         let opt = Procedure51::new(&alg, &s)
             .primitives(&prims)
             .solve()
+            .unwrap()
+            .into_mapping()
             .unwrap_or_else(|| panic!("no routable mapping for {}", alg.name));
         let routing = opt.routing.expect("routing present");
         // P·K = S·D.
         let sd = opt.mapping.space().as_mat() * alg.deps.as_mat();
         assert_eq!(&(prims.as_mat() * &routing.k), &sd, "{}", alg.name);
         // Simulated link traffic is collision-free.
-        let report = Simulator::new(&alg, &opt.mapping).with_routing(&routing).run();
+        let report = Simulator::new(&alg, &opt.mapping).with_routing(&routing).run().unwrap();
         assert!(report.is_clean(), "{}", alg.name);
     }
 }
@@ -119,7 +123,7 @@ fn normal_forms_cross_check() {
         (algorithms::matmul(4), SpaceMap::row(&[1, 1, -1])),
         (algorithms::transitive_closure(4), SpaceMap::row(&[0, 0, 1])),
     ] {
-        let opt = Procedure51::new(&alg, &s).solve().unwrap();
+        let opt = Procedure51::new(&alg, &s).solve().unwrap().expect_optimal("solvable");
         let t = opt.mapping.as_mat();
         let hnf = hermite_normal_form(t);
         let smith = smith_normal_form(t);

@@ -44,7 +44,7 @@ fn every_layer_catches_conflicts() {
 
         // Layer 2: a concrete small kernel vector with a witness pair.
         let gamma = analysis.find_small_kernel_vector().expect(name);
-        let w = analysis.witness_from_kernel_vector(&gamma);
+        let w = analysis.witness_from_kernel_vector(&gamma).expect(name);
         assert!(alg.index_set.contains(&w.j1), "{name}");
         assert!(alg.index_set.contains(&w.j2), "{name}");
         assert_eq!(t.apply(&w.j1), t.apply(&w.j2), "{name}");
@@ -57,7 +57,7 @@ fn every_layer_catches_conflicts() {
         assert_ne!(verdict, ConditionVerdict::ConflictFree, "closed form certified: {name}");
 
         // Layer 5: the simulator observes the collision on the "hardware".
-        let report = Simulator::new(&alg, &t).run();
+        let report = Simulator::new(&alg, &t).run().unwrap();
         assert!(!report.conflicts.is_empty(), "simulator missed: {name}");
     }
 }
@@ -83,7 +83,7 @@ fn rank_deficiency_detected() {
     assert!(!t.has_full_rank());
     let alg = algorithms::matmul(3);
     let s = SpaceMap::row(&[1, 1, -1]);
-    let opt = Procedure51::new(&alg, &s).solve().unwrap();
+    let opt = Procedure51::new(&alg, &s).solve().unwrap().expect_optimal("solvable");
     assert!(opt.mapping.has_full_rank());
 }
 
@@ -94,7 +94,7 @@ fn unroutable_interconnect_detected() {
     // Only a leftward primitive, but B and A must move right.
     let prims = InterconnectionPrimitives::from_columns(&[&[-1]]);
     let t = MappingMatrix::from_rows(&[&[1, 1, -1], &[1, 3, 1]]);
-    assert!(route(&t, &alg.deps, &prims).is_none());
+    assert!(route(&t, &alg.deps, &prims).is_err());
 }
 
 /// Sanity: a mapping that conflicts on a *sub-box* only — bound tightness

@@ -1,0 +1,158 @@
+//! Hermetic build guard: every dependency in the workspace must be an
+//! in-tree path dependency.
+//!
+//! The project's build policy is that `cargo build && cargo test` succeed
+//! with no network, no registry, and no vendored third-party code. This
+//! test parses every `Cargo.toml` in the workspace by hand (using a toml
+//! crate here would defeat the point) and fails if any dependency is
+//! declared by version, git URL, or registry — i.e. anything other than
+//! `path = "…"` or `workspace = true`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A single `name = spec` entry found in a dependency section.
+#[derive(Debug)]
+struct DepEntry {
+    manifest: PathBuf,
+    section: String,
+    line_no: usize,
+    line: String,
+}
+
+/// Collect every manifest in the workspace: the root plus `crates/*`.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let entries = std::fs::read_dir(&crates).expect("crates/ exists");
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path().join("Cargo.toml");
+        if path.is_file() {
+            manifests.push(path);
+        }
+    }
+    manifests.sort();
+    assert!(manifests.len() >= 2, "workspace layout changed; update this guard");
+    manifests
+}
+
+/// True for section headers whose entries are dependency declarations.
+fn is_dependency_section(header: &str) -> bool {
+    header == "dependencies"
+        || header == "dev-dependencies"
+        || header == "build-dependencies"
+        || header == "workspace.dependencies"
+        || header.ends_with(".dependencies")
+        || header.ends_with(".dev-dependencies")
+        || header.ends_with(".build-dependencies")
+}
+
+/// Extract all dependency entries from one manifest.
+fn dependency_entries(manifest: &Path) -> Vec<DepEntry> {
+    let text = std::fs::read_to_string(manifest)
+        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+    let mut entries = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = header.trim().to_string();
+            continue;
+        }
+        if !is_dependency_section(&section) {
+            continue;
+        }
+        entries.push(DepEntry {
+            manifest: manifest.to_path_buf(),
+            section: section.clone(),
+            line_no: idx + 1,
+            line: line.to_string(),
+        });
+    }
+    entries
+}
+
+/// A dependency spec is hermetic iff it resolves in-tree: either
+/// `workspace = true` (the workspace table itself is checked too) or an
+/// inline table whose only source key is `path`.
+fn is_hermetic(spec: &str) -> bool {
+    let spec = spec.trim();
+    // `name.workspace = true` arrives as the whole line; `name = {...}`
+    // arrives as the right-hand side.
+    if spec == "true" {
+        return true;
+    }
+    let banned = ["version", "git", "registry", "branch", "rev", "tag"];
+    if banned.iter().any(|k| spec.contains(k)) {
+        return false;
+    }
+    spec.contains("path") || spec.contains("workspace = true")
+}
+
+#[test]
+fn every_dependency_is_an_in_tree_path() {
+    let mut violations = String::new();
+    let mut total = 0usize;
+    for manifest in workspace_manifests() {
+        for dep in dependency_entries(&manifest) {
+            total += 1;
+            let Some((_, spec)) = dep.line.split_once('=') else {
+                continue; // inline-table continuation lines don't occur in this repo
+            };
+            if !is_hermetic(spec) {
+                writeln!(
+                    violations,
+                    "  {}:{} [{}] {}",
+                    dep.manifest.display(),
+                    dep.line_no,
+                    dep.section,
+                    dep.line
+                )
+                .unwrap();
+            }
+        }
+    }
+    assert!(total > 0, "no dependency entries found; the parser regressed");
+    assert!(
+        violations.is_empty(),
+        "non-path dependencies violate the hermetic build policy:\n{violations}\
+         \nEvery dependency must be `path = \"…\"` in [workspace.dependencies] \
+         or `workspace = true` in a member crate."
+    );
+}
+
+/// No manifest may declare a build script — those can reach the network
+/// or the host toolchain behind the build's back.
+#[test]
+fn no_build_scripts() {
+    for manifest in workspace_manifests() {
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        assert!(
+            !text.contains("build ="),
+            "{} declares a build script",
+            manifest.display()
+        );
+        let build_rs = manifest.parent().unwrap().join("build.rs");
+        assert!(!build_rs.exists(), "{} exists", build_rs.display());
+    }
+}
+
+/// The bench harnesses are plain binaries (`harness = false`), not
+/// framework-driven: a criterion revival would need a registry crate.
+#[test]
+fn bench_targets_are_plain_binaries() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let bench_toml =
+        std::fs::read_to_string(root.join("crates/bench/Cargo.toml")).expect("bench manifest");
+    let bench_sections = bench_toml.matches("[[bench]]").count();
+    let harness_false = bench_toml.matches("harness = false").count();
+    assert_eq!(
+        bench_sections, harness_false,
+        "every [[bench]] target must set harness = false"
+    );
+    assert!(bench_sections >= 8, "bench targets disappeared");
+}

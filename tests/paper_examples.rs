@@ -30,7 +30,7 @@ fn example_2_1() {
     let analysis = ConflictAnalysis::new(&t, &j);
     assert!(!analysis.is_conflict_free_exact());
     assert!(!oracle::is_conflict_free_by_enumeration(&t, &j));
-    let report = Simulator::new(&algorithms::example_2_1(), &t).run();
+    let report = Simulator::new(&algorithms::example_2_1(), &t).run().unwrap();
     assert!(!report.conflicts.is_empty());
 }
 
@@ -140,7 +140,7 @@ fn example_5_1_complete() {
     let s = SpaceMap::row(&[1, 1, -1]);
     let prims = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
 
-    let opt = Procedure51::new(&alg, &s).primitives(&prims).solve().unwrap();
+    let opt = Procedure51::new(&alg, &s).primitives(&prims).solve().unwrap().expect_optimal("solvable");
     assert_eq!(opt.total_time, mu * (mu + 2) + 1);
     let routing = opt.routing.unwrap();
     assert_eq!(routing.total_buffers(), Int::from(3));
@@ -158,9 +158,9 @@ fn example_5_1_complete() {
     assert_eq!(base_routing.total_buffers(), Int::from(4));
 
     // Simulated, both clean; optimal faster by exactly μ cycles.
-    let r_opt = Simulator::new(&alg, &opt.mapping).with_routing(&routing).run();
+    let r_opt = Simulator::new(&alg, &opt.mapping).with_routing(&routing).run().unwrap();
     let bm = base.mapping();
-    let r_base = Simulator::new(&alg, &bm).with_routing(&base_routing).run();
+    let r_base = Simulator::new(&alg, &bm).with_routing(&base_routing).run().unwrap();
     assert!(r_opt.is_clean() && r_base.is_clean());
     assert_eq!(r_base.makespan() - r_opt.makespan(), mu);
 }
@@ -171,7 +171,7 @@ fn example_5_2_complete() {
     for mu in 2..=5i64 {
         let alg = algorithms::transitive_closure(mu);
         let s = SpaceMap::row(&[0, 0, 1]);
-        let opt = Procedure51::new(&alg, &s).solve().unwrap();
+        let opt = Procedure51::new(&alg, &s).solve().unwrap().expect_optimal("solvable");
         assert_eq!(opt.schedule.as_slice(), &[mu + 1, 1, 1], "μ = {mu}");
         assert_eq!(opt.total_time, mu * (mu + 3) + 1);
 
@@ -210,7 +210,7 @@ fn transitive_closure_joint_design_beats_paper_fixed_s() {
     assert!(t.schedule().is_valid_for(&alg.deps));
     assert!(t.has_full_rank());
     assert!(oracle::is_conflict_free_by_enumeration(&t, &alg.index_set));
-    let report = Simulator::new(&alg, &t).run();
+    let report = Simulator::new(&alg, &t).run().unwrap();
     assert!(report.conflicts.is_empty());
     assert_eq!(report.makespan(), 25);
     assert!(report.makespan() < mu * (mu + 3) + 1);
@@ -226,5 +226,5 @@ fn appendix_pi1_rejection() {
     let analysis = ConflictAnalysis::new(&t, &alg.index_set);
     assert!(!analysis.is_conflict_free_exact());
     assert!(!oracle::is_conflict_free_by_enumeration(&t, &alg.index_set));
-    assert!(!Simulator::new(&alg, &t).run().conflicts.is_empty());
+    assert!(!Simulator::new(&alg, &t).run().unwrap().conflicts.is_empty());
 }

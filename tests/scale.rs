@@ -18,7 +18,7 @@ fn matmul_mu_12_full_stack() {
     assert_eq!(gamma.to_i64s().unwrap(), vec![mu + 1, -2, mu - 1]);
 
     // Simulation (parallel placement) agrees with the formula.
-    let report = Simulator::new(&alg, &mapping).run_parallel(4);
+    let report = Simulator::new(&alg, &mapping).run_parallel(4).unwrap();
     assert!(report.conflicts.is_empty());
     assert_eq!(report.makespan(), mu * (mu + 2) + 1);
     assert_eq!(report.computations, 13u64.pow(3) as u64);
