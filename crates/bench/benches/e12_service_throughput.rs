@@ -1,0 +1,177 @@
+//! E12b — cfmapd service throughput: cache-miss (cold) vs cache-hit
+//! (warm) request rates, over the real TCP/HTTP path and at the engine
+//! layer, for the matmul workload.
+//!
+//! Cold iterations clear the design cache first, so every `/map` pays a
+//! full Procedure 5.1 search; warm iterations replay the identical
+//! request against a primed cache. The gap is the value of the
+//! canonicalizing cache. A batch measurement shows eight axis-permuted
+//! presentations of the same problem costing one search.
+//!
+//! Besides the timing lines, the bench emits the standard experiment
+//! JSON record (same shape as `experiments --json`) on stdout.
+
+use cfmap_bench::timing::{bench, group};
+use cfmap_bench::ExperimentReport;
+use cfmap_model::algorithms;
+use cfmap_service::client;
+use cfmap_service::engine::Engine;
+use cfmap_service::json::Json;
+use cfmap_service::server::{CfmapServer, ServerConfig};
+use cfmap_service::wire::{MapRequest, MapResponse};
+use std::hint::black_box;
+use std::time::Instant;
+
+const MU: i64 = 4;
+
+fn matmul_request() -> MapRequest {
+    MapRequest::named("matmul", MU, vec![vec![1, 1, -1]])
+}
+
+/// Eight structural presentations of the same matmul problem, axes
+/// relabeled — the batch scheduler should solve exactly one of them.
+fn permuted_batch() -> String {
+    let alg = algorithms::matmul(MU);
+    let perms: [[usize; 3]; 6] =
+        [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+    let mut reqs = Vec::new();
+    for perm in perms.iter().cycle().take(8) {
+        let p = alg.permuted_axes(perm);
+        let space: Vec<i64> = perm.iter().map(|&c| [1i64, 1, -1][c]).collect();
+        reqs.push(
+            MapRequest {
+                algorithm: None,
+                mu: p.index_set.mu().to_vec(),
+                deps: Some(p.deps.columns_i64()),
+                space: vec![space],
+                cap: None,
+                max_candidates: None,
+                timeout_ms: None,
+            }
+            .to_json(),
+        );
+    }
+    Json::Obj(vec![("requests".into(), Json::Arr(reqs))]).serialize()
+}
+
+/// Median request latency in nanoseconds over `runs` timed calls.
+fn median_latency_ns(runs: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn req_per_sec(latency_ns: u128) -> String {
+    if latency_ns == 0 {
+        return "inf".into();
+    }
+    format!("{:.0}", 1e9 / latency_ns as f64)
+}
+
+fn main() {
+    let server = CfmapServer::bind(&ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let stop = server.shutdown_handle().expect("shutdown handle");
+    let daemon = std::thread::spawn(move || server.run());
+
+    let body = matmul_request().to_json().serialize();
+    let call = |addr: &str, body: &str| {
+        let reply = client::post(addr, "/map", body).expect("map call");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let MapResponse::Ok(o) = MapResponse::from_str(&reply.body).expect("decodes") else {
+            panic!("expected ok: {}", reply.body)
+        };
+        o
+    };
+
+    group("e12_service_throughput");
+    bench("http_cold/matmul4", || {
+        client::post(&addr, "/cache/clear", "").expect("clear");
+        black_box(call(&addr, &body))
+    });
+    call(&addr, &body); // prime
+    bench("http_warm/matmul4", || black_box(call(&addr, &body)));
+    let batch = permuted_batch();
+    bench("http_batch8_permuted/matmul4", || {
+        client::post(&addr, "/cache/clear", "").expect("clear");
+        black_box(client::post(&addr, "/batch", &batch).expect("batch"))
+    });
+
+    group("e12_engine_throughput");
+    let engine = Engine::new(256, 8);
+    let req = matmul_request();
+    bench("engine_cold/matmul4", || {
+        engine.clear_cache();
+        black_box(engine.resolve(&req))
+    });
+    engine.resolve(&req); // prime
+    bench("engine_warm/matmul4", || black_box(engine.resolve(&req)));
+
+    // The standard JSON record: median latencies and request rates.
+    let runs = 30;
+    let cold_http = median_latency_ns(runs, || {
+        client::post(&addr, "/cache/clear", "").expect("clear");
+        call(&addr, &body);
+    });
+    call(&addr, &body);
+    let warm_http = median_latency_ns(runs, || {
+        call(&addr, &body);
+    });
+    let cold_engine = median_latency_ns(runs, || {
+        engine.clear_cache();
+        engine.resolve(&req);
+    });
+    engine.resolve(&req);
+    let warm_engine = median_latency_ns(runs, || {
+        engine.resolve(&req);
+    });
+
+    let report = ExperimentReport {
+        id: "E12b".into(),
+        title: "cfmapd throughput: cold (cache-miss) vs warm (cache-hit), matmul μ=4".into(),
+        headers: vec![
+            "path".into(),
+            "median cold (ns)".into(),
+            "median warm (ns)".into(),
+            "cold req/s".into(),
+            "warm req/s".into(),
+            "speedup".into(),
+        ],
+        rows: vec![
+            vec![
+                "http".into(),
+                cold_http.to_string(),
+                warm_http.to_string(),
+                req_per_sec(cold_http),
+                req_per_sec(warm_http),
+                format!("{:.1}x", cold_http as f64 / warm_http.max(1) as f64),
+            ],
+            vec![
+                "engine".into(),
+                cold_engine.to_string(),
+                warm_engine.to_string(),
+                req_per_sec(cold_engine),
+                req_per_sec(warm_engine),
+                format!("{:.1}x", cold_engine as f64 / warm_engine.max(1) as f64),
+            ],
+        ],
+        notes: vec![
+            "cold iterations POST /cache/clear before each /map, so every request pays a \
+             full Procedure 5.1 search; warm iterations hit the canonicalizing design cache"
+                .into(),
+            "http_batch8_permuted submits 8 axis-permuted presentations of the same problem \
+             in one /batch; the canonical key collapses them to a single search"
+                .into(),
+        ],
+    };
+    println!("\n{}", report.to_json());
+
+    stop.shutdown();
+    daemon.join().expect("server thread").expect("clean shutdown");
+}

@@ -1,0 +1,302 @@
+//! Canonical forms of mapping problems.
+//!
+//! A mapping request is a pure function of the problem `(J, D, S)` (plus
+//! solver knobs), but many syntactically different requests describe the
+//! *same* problem:
+//!
+//! * **axis permutation** — relabeling loop indices permutes the entries
+//!   of `μ`, the rows of `D` and the columns of `S` simultaneously;
+//! * **dependence column order** — the columns of `D` are a set;
+//! * **space row scaling / negation / order** — scaling a row of `S` by a
+//!   nonzero integer, negating it, or reordering rows changes neither
+//!   `ker [S; Π]` nor `rank [S; Π]`, so the conflict structure and the
+//!   time-optimal schedule search are untouched (the physical array is a
+//!   relabeled/mirrored version of the same design).
+//!
+//! [`canonicalize`] maps every member of such an equivalence class to one
+//! [`CanonicalProblem`] — a plain `Hash`/`Eq` value usable as a design
+//! cache key — together with the axis permutation needed to translate a
+//! canonical-coordinates schedule back into the caller's coordinates.
+//!
+//! Note the row normalization above is sound for *schedule* search
+//! (Problem 2.2). It deliberately ignores routing costs: wire lengths and
+//! interconnection primitives are **not** part of the canonical form, so
+//! requests that constrain routing must not be answered from this key.
+
+use crate::mapping::SpaceMap;
+use cfmap_intlin::gcd::gcd_i64;
+use cfmap_model::{DependenceMatrix, IndexSet, Uda};
+
+/// A mapping problem in canonical coordinates. Derives `Hash`/`Eq`, so it
+/// can key a design cache directly.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalProblem {
+    /// Index-set bounds `μ`, ascending (ties broken by minimizing the
+    /// encoded `(deps, space)` pair over the tie group's permutations).
+    pub mu: Vec<i64>,
+    /// Dependence columns, lexicographically sorted.
+    pub deps: Vec<Vec<i64>>,
+    /// Space-map rows: gcd-reduced, sign-normalized (first nonzero entry
+    /// positive), lexicographically sorted.
+    pub space: Vec<Vec<i64>>,
+}
+
+impl CanonicalProblem {
+    /// Rebuild the canonical algorithm `(J, D)` (for running a search in
+    /// canonical coordinates).
+    pub fn uda(&self, name: impl Into<String>) -> Uda {
+        let refs: Vec<&[i64]> = self.deps.iter().map(Vec::as_slice).collect();
+        Uda::new(name, IndexSet::new(&self.mu), DependenceMatrix::from_columns(&refs))
+    }
+
+    /// Rebuild the canonical space map.
+    pub fn space_map(&self) -> SpaceMap {
+        let refs: Vec<&[i64]> = self.space.iter().map(Vec::as_slice).collect();
+        SpaceMap::from_rows(&refs)
+    }
+}
+
+/// The result of [`canonicalize`]: the canonical problem plus the axis
+/// permutation connecting it to the original coordinates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Canonicalization {
+    /// The canonical problem (the cache key).
+    pub problem: CanonicalProblem,
+    /// `perm[c]` is the *original* axis that canonical axis `c` renames.
+    pub perm: Vec<usize>,
+}
+
+impl Canonicalization {
+    /// Translate a schedule found in canonical coordinates back to the
+    /// original axis order: `π_original[perm[c]] = π_canonical[c]`.
+    pub fn schedule_to_original(&self, pi_canonical: &[i64]) -> Vec<i64> {
+        assert_eq!(pi_canonical.len(), self.perm.len(), "schedule dimension mismatch");
+        let mut out = vec![0i64; pi_canonical.len()];
+        for (c, &orig) in self.perm.iter().enumerate() {
+            out[orig] = pi_canonical[c];
+        }
+        out
+    }
+}
+
+/// Above this many candidate permutations the tie groups are left in
+/// their stable-sorted order instead of being searched exhaustively —
+/// still deterministic, but permuted variants of a problem with ≥ 7
+/// equal-`μ` axes may then miss each other in the cache (never answering
+/// incorrectly, only re-searching).
+const MAX_TIE_PERMUTATIONS: usize = 5040;
+
+/// Canonicalize a mapping problem. Panics if `alg` and `space` disagree
+/// on the dimension `n` (callers validate shapes first).
+pub fn canonicalize(alg: &Uda, space: &SpaceMap) -> Canonicalization {
+    assert_eq!(alg.dim(), space.dim(), "algorithm / space map dimension mismatch");
+    let n = alg.dim();
+    let mu = alg.index_set.mu();
+
+    // Axes sorted by μ (stable), partitioned into equal-μ tie groups.
+    let mut base: Vec<usize> = (0..n).collect();
+    base.sort_by_key(|&i| mu[i]);
+    let mut groups: Vec<(usize, usize)> = Vec::new(); // [start, end) in `base`
+    let mut start = 0;
+    for i in 1..=n {
+        if i == n || mu[base[i]] != mu[base[start]] {
+            groups.push((start, i));
+            start = i;
+        }
+    }
+    let tie_count: usize = groups
+        .iter()
+        .map(|&(s, e)| (1..=(e - s)).product::<usize>())
+        .try_fold(1usize, |acc, f: usize| acc.checked_mul(f))
+        .unwrap_or(usize::MAX);
+
+    let candidates: Vec<Vec<usize>> = if tie_count > MAX_TIE_PERMUTATIONS {
+        vec![base.clone()]
+    } else {
+        let mut out = vec![Vec::with_capacity(n)];
+        for &(s, e) in &groups {
+            let group_perms = permutations_of(&base[s..e]);
+            out = out
+                .into_iter()
+                .flat_map(|prefix| {
+                    group_perms.iter().map(move |g| {
+                        let mut p = prefix.clone();
+                        p.extend_from_slice(g);
+                        p
+                    })
+                })
+                .collect();
+        }
+        out
+    };
+
+    let mut best: Option<Canonicalization> = None;
+    for perm in candidates {
+        let cand = encode(alg, space, &perm);
+        if best.as_ref().is_none_or(|b| cand.problem < b.problem) {
+            best = Some(cand);
+        }
+    }
+    best.expect("at least one candidate permutation")
+}
+
+/// Encode the problem under one axis permutation.
+fn encode(alg: &Uda, space: &SpaceMap, perm: &[usize]) -> Canonicalization {
+    let mu: Vec<i64> = perm.iter().map(|&p| alg.index_set.mu_i(p)).collect();
+
+    let mut deps: Vec<Vec<i64>> = (0..alg.num_deps())
+        .map(|i| {
+            let col = alg.deps.dep_i64(i);
+            perm.iter().map(|&p| col[p]).collect()
+        })
+        .collect();
+    deps.sort();
+
+    let mut rows: Vec<Vec<i64>> = (0..space.array_dims())
+        .map(|r| {
+            let row = space.as_mat().row(r).to_i64s().expect("space entries fit i64");
+            let permuted: Vec<i64> = perm.iter().map(|&p| row[p]).collect();
+            normalize_row(permuted)
+        })
+        .collect();
+    rows.sort();
+
+    Canonicalization {
+        problem: CanonicalProblem { mu, deps, space: rows },
+        perm: perm.to_vec(),
+    }
+}
+
+/// Divide a row by the gcd of its entries and make the first nonzero
+/// entry positive. Kernel- and rank-preserving for `T = [S; Π]`.
+fn normalize_row(mut row: Vec<i64>) -> Vec<i64> {
+    let g = row.iter().fold(0i64, |acc, &v| gcd_i64(acc, v));
+    if g > 1 {
+        for v in &mut row {
+            *v /= g;
+        }
+    }
+    if row.iter().find(|&&v| v != 0).is_some_and(|&first| first < 0) {
+        for v in &mut row {
+            *v = -*v;
+        }
+    }
+    row
+}
+
+/// All orderings of `items` (lexicographic over positions).
+fn permutations_of(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest: Vec<usize> = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations_of(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfmap_model::algorithms;
+
+    fn key(alg: &Uda, space: &SpaceMap) -> CanonicalProblem {
+        canonicalize(alg, space).problem
+    }
+
+    #[test]
+    fn identity_is_fixed_point() {
+        let alg = algorithms::matmul(4);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let a = key(&alg, &s);
+        let b = key(&alg, &s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn axis_permutation_is_invisible() {
+        let alg = algorithms::matmul(4);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let reference = key(&alg, &s);
+        for perm in permutations_of(&[0, 1, 2]) {
+            let alg_p = alg.permuted_axes(&perm);
+            let s_row: Vec<i64> = perm.iter().map(|&p| [1i64, 1, -1][p]).collect();
+            let s_p = SpaceMap::row(&s_row);
+            assert_eq!(key(&alg_p, &s_p), reference, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn dependence_column_order_is_invisible() {
+        let alg = algorithms::transitive_closure(4);
+        let s = SpaceMap::row(&[0, 0, 1]);
+        let reference = key(&alg, &s);
+        let reversed: Vec<Vec<i64>> =
+            alg.deps.columns_i64().into_iter().rev().collect();
+        let refs: Vec<&[i64]> = reversed.iter().map(Vec::as_slice).collect();
+        let alg_r = Uda::new(
+            alg.name.clone(),
+            alg.index_set.clone(),
+            DependenceMatrix::from_columns(&refs),
+        );
+        assert_eq!(key(&alg_r, &s), reference);
+    }
+
+    #[test]
+    fn space_row_scaling_and_negation_are_invisible() {
+        let alg = algorithms::matmul(4);
+        let a = key(&alg, &SpaceMap::row(&[1, 1, -1]));
+        let b = key(&alg, &SpaceMap::row(&[3, 3, -3]));
+        let c = key(&alg, &SpaceMap::row(&[-1, -1, 1]));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn different_problems_get_different_keys() {
+        let m4 = algorithms::matmul(4);
+        let m5 = algorithms::matmul(5);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        assert_ne!(key(&m4, &s), key(&m5, &s));
+        assert_ne!(
+            key(&m4, &SpaceMap::row(&[1, 1, -1])),
+            key(&m4, &SpaceMap::row(&[0, 0, 1]))
+        );
+    }
+
+    #[test]
+    fn schedule_round_trips_through_the_permutation() {
+        let alg = algorithms::matmul(4);
+        // Permute axes with σ = [2, 0, 1] and canonicalize the variant.
+        let perm = vec![2usize, 0, 1];
+        let alg_p = alg.permuted_axes(&perm);
+        let s_p = SpaceMap::row(&[-1, 1, 1]);
+        let canon = canonicalize(&alg_p, &s_p);
+        // A schedule in canonical coordinates translates back so that
+        // Π_original · j equals Π_canonical · j_canonical for all j.
+        let pi_c = vec![1i64, 4, 9];
+        let pi_o = canon.schedule_to_original(&pi_c);
+        let j_orig = vec![2i64, 3, 5];
+        let t_orig: i64 = pi_o.iter().zip(&j_orig).map(|(p, j)| p * j).sum();
+        let j_canon: Vec<i64> = canon.perm.iter().map(|&p| j_orig[p]).collect();
+        let t_canon: i64 = pi_c.iter().zip(&j_canon).map(|(p, j)| p * j).sum();
+        assert_eq!(t_orig, t_canon);
+    }
+
+    #[test]
+    fn canonical_rebuild_matches_key() {
+        // uda()/space_map() rebuild a problem whose own canonical key is
+        // the key itself (canonicalization is idempotent).
+        let alg = algorithms::transitive_closure(3);
+        let s = SpaceMap::row(&[0, 0, 2]);
+        let k = key(&alg, &s);
+        let rebuilt = key(&k.uda("canon"), &k.space_map());
+        assert_eq!(k, rebuilt);
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod baselines;
 pub mod budget;
+pub mod canon;
 pub mod conditions;
 pub mod conflict;
 pub mod diagnose;
@@ -41,6 +42,7 @@ pub mod search;
 pub mod space_search;
 
 pub use budget::{BudgetMeter, Certification, SearchBudget, SearchOutcome};
+pub use canon::{canonicalize, Canonicalization, CanonicalProblem};
 pub use conflict::{ConflictAnalysis, Feasibility};
 pub use error::{BudgetLimit, CfmapError};
 pub use diagnose::{diagnose, Check, MappingDiagnosis};

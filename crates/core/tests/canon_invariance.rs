@@ -1,0 +1,167 @@
+//! Canonicalization is a true symmetry of the mapping theory: every
+//! axis-permuted / column-reordered presentation of a problem gets the
+//! same cache key, and solving the *canonical* problem once then
+//! translating the schedule back through each presentation's permutation
+//! yields a conflict-free, time-optimal Π for that presentation — the
+//! exact contract the cfmapd design cache relies on.
+//!
+//! Two subtleties make the assertions precise rather than naive:
+//!
+//! * a direct `Procedure51` run on a permuted presentation may return a
+//!   *different* equally-optimal schedule (ties break by enumeration
+//!   order), so schedules are taken from the canonical pipeline;
+//! * a problem can have nontrivial automorphisms (matmul is symmetric in
+//!   its first two axes), in which case the de-canonicalized answers of
+//!   two presentations related by σ differ by exactly such an
+//!   automorphism. The invariant that always holds — and the one the
+//!   cache relies on — is that the *canonical* Π is shared, and each
+//!   presentation's answer, pulled back through its σ, is an optimal
+//!   conflict-free schedule of the base problem.
+
+use cfmap_core::{
+    canonicalize, diagnose, CanonicalProblem, MappingMatrix, Procedure51, SpaceMap,
+};
+use cfmap_model::{algorithms, DependenceMatrix, LinearSchedule, Uda};
+
+fn all_perms_3() -> Vec<[usize; 3]> {
+    vec![
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ]
+}
+
+fn key(alg: &Uda, space: &SpaceMap) -> CanonicalProblem {
+    canonicalize(alg, space).problem
+}
+
+/// Directly search the presented problem; returns (schedule, objective).
+fn solve_direct(alg: &Uda, space: &SpaceMap) -> (Vec<i64>, i64) {
+    let opt = Procedure51::new(alg, space)
+        .solve()
+        .expect("search ran")
+        .expect_optimal("mapping exists");
+    (opt.schedule.as_slice().to_vec(), opt.objective)
+}
+
+/// Solve via the canonical pipeline (what the cfmapd cache does): search
+/// the canonical problem, then translate Π back to presented coordinates.
+/// Returns (Π in presented coordinates, Π in canonical coordinates).
+fn solve_via_canon(alg: &Uda, space: &SpaceMap) -> (Vec<i64>, Vec<i64>) {
+    let canon = canonicalize(alg, space);
+    let c_alg = canon.problem.uda("canonical");
+    let c_space = canon.problem.space_map();
+    let (pi_c, _) = solve_direct(&c_alg, &c_space);
+    (canon.schedule_to_original(&pi_c), pi_c)
+}
+
+fn objective(pi: &[i64], mu: &[i64]) -> i64 {
+    pi.iter().zip(mu).map(|(p, m)| p.abs() * m).sum()
+}
+
+/// Run the invariance checks for one workload/space pair.
+fn assert_invariant(alg: &Uda, s_row: &[i64; 3]) {
+    let space = SpaceMap::row(s_row);
+    let base_key = key(alg, &space);
+    let (_, base_pi_canonical) = solve_via_canon(alg, &space);
+    let (_, base_obj) = solve_direct(alg, &space);
+
+    for perm in all_perms_3() {
+        let alg_p = alg.permuted_axes(&perm);
+        let row_p: Vec<i64> = perm.iter().map(|&p| s_row[p]).collect();
+        let space_p = SpaceMap::row(&row_p);
+
+        // Identical cache key for every presentation…
+        assert_eq!(key(&alg_p, &space_p), base_key, "{} perm {perm:?}", alg.name);
+
+        // …hence the identical canonical Π (one search serves them all).
+        let (pi_p, pi_c) = solve_via_canon(&alg_p, &space_p);
+        assert_eq!(pi_c, base_pi_canonical, "{} perm {perm:?}", alg.name);
+
+        // The de-canonicalized schedule is optimal for the presented
+        // problem (same objective as a direct search of it)…
+        assert_eq!(
+            objective(&pi_p, alg_p.index_set.mu()),
+            base_obj,
+            "{} perm {perm:?}: canonical answer must match the direct optimum",
+            alg.name
+        );
+        assert_eq!(solve_direct(&alg_p, &space_p).1, base_obj, "{} perm {perm:?}", alg.name);
+
+        // …and genuinely conflict-free (exact lattice diagnosis).
+        let mapping = MappingMatrix::new(space_p, LinearSchedule::new(&pi_p));
+        assert!(
+            diagnose(&alg_p, &mapping, None).is_valid(),
+            "{} perm {perm:?}: de-canonicalized Π must be conflict-free",
+            alg.name
+        );
+
+        // Identical Π modulo the permutation: pulled back through σ
+        // (base axis perm[c] gets entry c), the permuted presentation's
+        // answer is an optimal, conflict-free schedule of the BASE
+        // problem. (Exact equality with the base answer would be too
+        // strong: problems with automorphisms — matmul is symmetric in
+        // its first two axes — admit several equivalent optima.)
+        let mut pulled_back = vec![0i64; pi_p.len()];
+        for (c, &orig) in perm.iter().enumerate() {
+            pulled_back[orig] = pi_p[c];
+        }
+        assert_eq!(objective(&pulled_back, alg.index_set.mu()), base_obj);
+        let base_mapping =
+            MappingMatrix::new(SpaceMap::row(s_row), LinearSchedule::new(&pulled_back));
+        assert!(
+            diagnose(alg, &base_mapping, None).is_valid(),
+            "{} perm {perm:?}: pulled-back Π must solve the base problem",
+            alg.name
+        );
+    }
+}
+
+#[test]
+fn matmul_axis_permutations_share_key_and_schedule() {
+    assert_invariant(&algorithms::matmul(4), &[1, 1, -1]);
+}
+
+#[test]
+fn transitive_closure_axis_permutations_share_key_and_schedule() {
+    assert_invariant(&algorithms::transitive_closure(4), &[0, 0, 1]);
+}
+
+#[test]
+fn dependence_column_reorderings_share_key_and_schedule() {
+    for alg in [algorithms::matmul(4), algorithms::transitive_closure(4)] {
+        let space = SpaceMap::row(&[1, 1, -1]);
+        let base_key = key(&alg, &space);
+        let base_answer = solve_via_canon(&alg, &space);
+        // Rotate and reverse the dependence columns: same set, new order.
+        let cols = alg.deps.columns_i64();
+        let mut variants: Vec<Vec<Vec<i64>>> = vec![cols.iter().rev().cloned().collect()];
+        let mut rotated = cols.clone();
+        rotated.rotate_left(1);
+        variants.push(rotated);
+        for variant in variants {
+            let refs: Vec<&[i64]> = variant.iter().map(Vec::as_slice).collect();
+            let alg_v = Uda::new(
+                alg.name.clone(),
+                alg.index_set.clone(),
+                DependenceMatrix::from_columns(&refs),
+            );
+            assert_eq!(key(&alg_v, &space), base_key, "{}", alg.name);
+            // Column order never touches the axes, so here the full
+            // answer — presented AND canonical coordinates — is identical.
+            assert_eq!(solve_via_canon(&alg_v, &space), base_answer, "{}", alg.name);
+        }
+    }
+}
+
+#[test]
+fn space_row_presentation_does_not_change_the_key() {
+    let alg = algorithms::matmul(4);
+    let base = key(&alg, &SpaceMap::row(&[1, 1, -1]));
+    for row in [[2i64, 2, -2], [-1, -1, 1], [-4, -4, 4]] {
+        assert_eq!(key(&alg, &SpaceMap::row(&row)), base, "row {row:?}");
+    }
+}

@@ -60,6 +60,19 @@ impl Uda {
         self.index_set.len()
     }
 
+    /// The algorithm with axes reordered: new axis `i` is old axis
+    /// `perm[i]` in both `J` and `D`. Relabeling loop indices is a
+    /// symmetry of the mapping theory: a schedule `Π'` for the permuted
+    /// algorithm corresponds to `Π` with `π_{perm[i]} = π'_i` for the
+    /// original, with identical objective and conflict structure.
+    pub fn permuted_axes(&self, perm: &[usize]) -> Uda {
+        Uda::new(
+            self.name.clone(),
+            self.index_set.permuted(perm),
+            self.deps.permuted_rows(perm),
+        )
+    }
+
     /// Sanity check used by tests and the harness: the dependence graph
     /// restricted to `J` must be acyclic, which for uniform dependencies
     /// holds iff some strictly separating hyperplane exists. A sufficient

@@ -63,6 +63,34 @@ impl DependenceMatrix {
         &self.mat
     }
 
+    /// Each column as machine integers.
+    pub fn columns_i64(&self) -> Vec<Vec<i64>> {
+        (0..self.num_deps()).map(|i| self.dep_i64(i)).collect()
+    }
+
+    /// The matrix with rows (axes) reordered: new row `i` is old row
+    /// `perm[i]`. Matches [`crate::IndexSet::permuted`]; column order is
+    /// preserved.
+    pub fn permuted_rows(&self, perm: &[usize]) -> DependenceMatrix {
+        assert_eq!(perm.len(), self.dim(), "permutation length mismatch");
+        let cols = self.columns_i64();
+        let permuted: Vec<Vec<i64>> =
+            cols.iter().map(|c| perm.iter().map(|&p| c[p]).collect()).collect();
+        let refs: Vec<&[i64]> = permuted.iter().map(Vec::as_slice).collect();
+        DependenceMatrix::from_columns(&refs)
+    }
+
+    /// The matrix with columns sorted lexicographically. The columns of
+    /// `D` are a *set* of dependence vectors — their order carries no
+    /// semantics — so sorting yields a canonical representative used as
+    /// part of a design-cache key.
+    pub fn with_sorted_columns(&self) -> DependenceMatrix {
+        let mut cols = self.columns_i64();
+        cols.sort();
+        let refs: Vec<&[i64]> = cols.iter().map(Vec::as_slice).collect();
+        DependenceMatrix::from_columns(&refs)
+    }
+
     /// `true` iff every entry of every dependence is in {−1, 0, 1}.
     ///
     /// This is the condition under which the paper's integer programming

@@ -92,6 +92,15 @@ impl IndexSet {
     pub fn max_corner(&self) -> Point {
         self.mu.clone()
     }
+
+    /// The index set with axes reordered: new axis `i` is old axis
+    /// `perm[i]`. `perm` must be a permutation of `0..n`. Axis
+    /// permutation is a symmetry of the whole mapping theory (relabeling
+    /// loop indices), which is what the canonicalization layer exploits.
+    pub fn permuted(&self, perm: &[usize]) -> IndexSet {
+        assert_eq!(perm.len(), self.dim(), "permutation length mismatch");
+        IndexSet::new(&perm.iter().map(|&p| self.mu[p]).collect::<Vec<i64>>())
+    }
 }
 
 impl fmt::Display for IndexSet {

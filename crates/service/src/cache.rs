@@ -1,0 +1,221 @@
+//! A sharded, bounded LRU design cache.
+//!
+//! Keys are [`CanonicalProblem`]-based values (see [`crate::engine`]), so
+//! permuted-but-equivalent requests land on the same entry. The map is
+//! split into shards, each behind its own `RwLock`, so concurrent workers
+//! on distinct shards never contend; the LRU clock is a global
+//! `AtomicU64` tick, and each entry's `last_used` stamp is itself atomic
+//! so the hot path (a hit) only takes the shard's *read* lock.
+//!
+//! Eviction is an `O(entries-in-shard)` scan for the oldest stamp, run
+//! only when an insert would overflow the shard — with the small
+//! per-shard capacities a mapping service uses, that beats maintaining an
+//! intrusive list under a write lock.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Counters reported by [`ShardedLruCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Total capacity across shards.
+    pub capacity: u64,
+    /// Number of shards.
+    pub shards: u64,
+}
+
+struct Slot<V> {
+    value: V,
+    last_used: AtomicU64,
+}
+
+/// A fixed-capacity concurrent LRU map.
+pub struct ShardedLruCache<K, V> {
+    shards: Vec<RwLock<HashMap<K, Slot<V>>>>,
+    per_shard: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
+    /// A cache holding at most `capacity` entries split over `shards`
+    /// shards (both clamped to ≥ 1; per-shard capacity rounds up so the
+    /// total is never below `capacity`).
+    pub fn new(capacity: usize, shards: usize) -> ShardedLruCache<K, V> {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        ShardedLruCache {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            per_shard,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Look up `key`, refreshing its LRU stamp on a hit. Lock-poisoning
+    /// (a panicked writer) is treated as a miss rather than propagated.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let shard = &self.shards[self.shard_of(key)];
+        let hit = shard.read().ok().and_then(|map| {
+            map.get(key).map(|slot| {
+                slot.last_used.store(self.tick(), Ordering::Relaxed);
+                slot.value.clone()
+            })
+        });
+        match hit {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the shard's least-recently
+    /// used entry if it is full.
+    pub fn insert(&self, key: K, value: V) {
+        let shard = &self.shards[self.shard_of(&key)];
+        let Ok(mut map) = shard.write() else { return };
+        if !map.contains_key(&key) && map.len() >= self.per_shard {
+            let oldest = map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(k) = oldest {
+                map.remove(&k);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(key, Slot { value, last_used: AtomicU64::new(self.tick()) });
+    }
+
+    /// Drop every entry; returns how many were resident.
+    pub fn clear(&self) -> u64 {
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            if let Ok(mut map) = shard.write() {
+                dropped += map.len() as u64;
+                map.clear();
+            }
+        }
+        dropped
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.read().map(|m| m.len() as u64).unwrap_or(0))
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            capacity: (self.per_shard * self.shards.len()) as u64,
+            shards: self.shards.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn hit_miss_counters() {
+        let c: ShardedLruCache<u64, String> = ShardedLruCache::new(8, 2);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one".into());
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest() {
+        // Single shard, capacity 2: touching `a` should make `b` the victim.
+        let c: ShardedLruCache<u64, u64> = ShardedLruCache::new(2, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.get(&1).is_some()); // refresh 1
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let c: ShardedLruCache<u64, u64> = ShardedLruCache::new(2, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // same key: refresh, no eviction
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), Some(20));
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let c: ShardedLruCache<u64, u64> = ShardedLruCache::new(16, 4);
+        for k in 0..10 {
+            c.insert(k, k);
+        }
+        assert_eq!(c.clear(), 10);
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let c: Arc<ShardedLruCache<u64, u64>> = Arc::new(ShardedLruCache::new(64, 8));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let k = (t * 7 + i) % 50;
+                    c.insert(k, k * 2);
+                    if let Some(v) = c.get(&k) {
+                        assert_eq!(v, k * 2);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.stats().entries <= 64);
+    }
+}

@@ -1,0 +1,103 @@
+//! A minimal blocking HTTP client for `cfmapd`.
+//!
+//! Enough HTTP/1.1 to talk to the server in this crate (and to anything
+//! that answers `Connection: close` responses with a `Content-Length` or
+//! EOF-delimited body). Used by the `cfmap client` subcommand, the smoke
+//! tests, and the throughput bench — all of which must stay hermetic.
+
+use crate::wire::{MapRequest, MapResponse, WireError};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, writing, or reading the socket failed.
+    Io(std::io::Error),
+    /// The server's bytes were not a valid HTTP response or payload.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error talking to cfmapd: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error talking to cfmapd: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// An HTTP status code plus response body.
+#[derive(Clone, Debug)]
+pub struct HttpReply {
+    /// Status code (200, 400, …).
+    pub status: u16,
+    /// Response body (JSON for every cfmapd route).
+    pub body: String,
+}
+
+/// Issue one request and read the full reply (`Connection: close`).
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<HttpReply, ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| ClientError::Protocol("response is not UTF-8".into()))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| ClientError::Protocol("response has no header/body split".into()))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+    Ok(HttpReply { status, body: body.to_string() })
+}
+
+/// POST a path with a JSON body.
+pub fn post(addr: &str, path: &str, body: &str) -> Result<HttpReply, ClientError> {
+    http_request(addr, "POST", path, Some(body))
+}
+
+/// GET a path.
+pub fn get(addr: &str, path: &str) -> Result<HttpReply, ClientError> {
+    http_request(addr, "GET", path, None)
+}
+
+/// Submit one mapping request to `POST /map` and decode the answer.
+pub fn map(addr: &str, request: &MapRequest) -> Result<MapResponse, ClientError> {
+    let reply = post(addr, "/map", &request.to_json().serialize())?;
+    Ok(MapResponse::from_str(&reply.body)?)
+}

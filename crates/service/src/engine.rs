@@ -1,0 +1,491 @@
+//! The mapping engine: turns a [`MapRequest`] into a [`MapResponse`],
+//! consulting the canonicalizing design cache.
+//!
+//! The cache key is the [`CanonicalProblem`] of `(J, D, S)` plus the
+//! deterministic solver knobs (`cap`, `max_candidates`). Two rules keep
+//! the cache honest:
+//!
+//! * **wall-clock budgets bypass the cache** — `timeout_ms` makes the
+//!   outcome machine- and load-dependent, so such requests are always
+//!   solved fresh and never stored;
+//! * **candidate budgets join the key** — `max_candidates` is
+//!   deterministic (the search visits candidates in a fixed order), so a
+//!   best-effort answer is reusable, but only by requests with the same
+//!   budget.
+//!
+//! Batch resolution ([`Engine::resolve_batch`]) groups requests by cache
+//! key and solves each distinct problem once, fanning the answer out
+//! through each member's own axis permutation — eight permuted copies of
+//! matmul in one batch cost one search.
+
+use crate::cache::{CacheStats, ShardedLruCache};
+use crate::wire::{MapOutcome, MapRequest, MapResponse};
+use cfmap_core::{
+    canonicalize, CanonicalProblem, Canonicalization, Certification, CfmapError, Procedure51,
+    SearchBudget, SpaceMap,
+};
+use cfmap_model::{algorithms, DependenceMatrix, IndexSet, Uda};
+use cfmap_systolic::SystolicArray;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Design-cache key: the canonical problem plus deterministic knobs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical `(μ, D, S)`.
+    pub problem: CanonicalProblem,
+    /// Objective cap, if the caller overrode the heuristic.
+    pub cap: Option<i64>,
+    /// Candidate budget, if any.
+    pub max_candidates: Option<u64>,
+}
+
+/// What the cache stores per key: the search's answer in *canonical*
+/// coordinates (each request de-canonicalizes with its own permutation).
+#[derive(Clone, Debug)]
+pub enum CachedOutcome {
+    /// A mapping was found.
+    Design {
+        /// `Π°` in canonical coordinates.
+        schedule: Vec<i64>,
+        /// Objective `f`.
+        objective: i64,
+        /// Total time `t = f + 1`.
+        total_time: i64,
+        /// Optimal or best-effort.
+        certification: Certification,
+        /// Search effort behind this answer.
+        candidates_examined: u64,
+        /// Processor count of the synthesized array (permutation-invariant).
+        processors: u64,
+        /// Array dimensionality `k − 1`.
+        array_dims: u64,
+    },
+    /// The search proved the candidate space empty.
+    Infeasible {
+        /// Search effort behind the proof.
+        candidates_examined: u64,
+    },
+}
+
+/// The shared solver state behind every worker thread.
+pub struct Engine {
+    cache: ShardedLruCache<CacheKey, CachedOutcome>,
+}
+
+impl Engine {
+    /// An engine whose cache holds `cache_capacity` designs across
+    /// `shards` shards.
+    pub fn new(cache_capacity: usize, shards: usize) -> Engine {
+        Engine { cache: ShardedLruCache::new(cache_capacity, shards) }
+    }
+
+    /// Cache counters, for `/stats`.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached designs; returns how many were resident.
+    pub fn clear_cache(&self) -> u64 {
+        self.cache.clear()
+    }
+
+    /// Resolve one request.
+    pub fn resolve(&self, req: &MapRequest) -> MapResponse {
+        let (alg, space) = match build_problem(req) {
+            Ok(p) => p,
+            Err(msg) => return MapResponse::BadRequest { msg },
+        };
+        let canon = canonicalize(&alg, &space);
+        match self.lookup_or_solve(&canon, req) {
+            Ok((outcome, cached)) => respond(&outcome, &canon, cached),
+            Err(e) => MapResponse::Error(e),
+        }
+    }
+
+    /// Resolve a batch, solving each distinct canonical problem once.
+    /// Returns the per-request responses (in request order) and the
+    /// number of searches actually run.
+    pub fn resolve_batch(&self, reqs: &[MapRequest]) -> (Vec<MapResponse>, u64) {
+        let mut responses: Vec<Option<MapResponse>> = vec![None; reqs.len()];
+        // Group cacheable, well-formed requests by cache key.
+        let mut groups: HashMap<CacheKey, Vec<(usize, Canonicalization)>> = HashMap::new();
+        for (i, req) in reqs.iter().enumerate() {
+            match build_problem(req) {
+                Err(msg) => responses[i] = Some(MapResponse::BadRequest { msg }),
+                Ok((alg, space)) => {
+                    let canon = canonicalize(&alg, &space);
+                    if req.timeout_ms.is_some() {
+                        // Wall-clock budget: solve fresh, never share.
+                        responses[i] = Some(match self.lookup_or_solve(&canon, req) {
+                            Ok((outcome, cached)) => respond(&outcome, &canon, cached),
+                            Err(e) => MapResponse::Error(e),
+                        });
+                    } else {
+                        let key = CacheKey {
+                            problem: canon.problem.clone(),
+                            cap: req.cap,
+                            max_candidates: req.max_candidates,
+                        };
+                        groups.entry(key).or_default().push((i, canon));
+                    }
+                }
+            }
+        }
+        let mut solves = 0u64;
+        for (_, members) in groups {
+            let (first_idx, _) = members[0];
+            let canon0 = &members[0].1;
+            let solved = self.lookup_or_solve(canon0, &reqs[first_idx]);
+            match solved {
+                Ok((outcome, cached)) => {
+                    if !cached {
+                        solves += 1;
+                    }
+                    for (slot, (i, canon)) in members.iter().enumerate() {
+                        // Members past the first share the group's answer.
+                        let shared = cached || slot > 0;
+                        responses[*i] = Some(respond(&outcome, canon, shared));
+                    }
+                }
+                Err(e) => {
+                    solves += 1;
+                    for (i, _) in &members {
+                        responses[*i] = Some(MapResponse::Error(e.clone()));
+                    }
+                }
+            }
+        }
+        let out: Vec<MapResponse> = responses
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect();
+        (out, solves)
+    }
+
+    /// Cache lookup falling back to a fresh search. Returns the outcome
+    /// and whether it came from the cache.
+    fn lookup_or_solve(
+        &self,
+        canon: &Canonicalization,
+        req: &MapRequest,
+    ) -> Result<(CachedOutcome, bool), CfmapError> {
+        let cacheable = req.timeout_ms.is_none();
+        let key = CacheKey {
+            problem: canon.problem.clone(),
+            cap: req.cap,
+            max_candidates: req.max_candidates,
+        };
+        if cacheable {
+            if let Some(hit) = self.cache.get(&key) {
+                return Ok((hit, true));
+            }
+        }
+        let outcome = solve_canonical(&canon.problem, req)?;
+        if cacheable {
+            self.cache.insert(key, outcome.clone());
+        }
+        Ok((outcome, false))
+    }
+}
+
+/// Run Procedure 5.1 on the canonical problem.
+fn solve_canonical(
+    problem: &CanonicalProblem,
+    req: &MapRequest,
+) -> Result<CachedOutcome, CfmapError> {
+    let alg = problem.uda("canonical");
+    let space = problem.space_map();
+    let mut budget = SearchBudget::unlimited();
+    if let Some(n) = req.max_candidates {
+        budget = budget.with_candidates(n);
+    }
+    if let Some(ms) = req.timeout_ms {
+        budget = budget.with_wall_clock(Duration::from_millis(ms));
+    }
+    let mut proc = Procedure51::new(&alg, &space).budget(budget);
+    if let Some(cap) = req.cap {
+        proc = proc.max_objective(cap);
+    }
+    let outcome = proc.solve()?;
+    let certification = outcome.certification;
+    let candidates_examined = outcome.candidates_examined;
+    match outcome.into_mapping() {
+        None => Ok(CachedOutcome::Infeasible { candidates_examined }),
+        Some(opt) => {
+            let array = SystolicArray::synthesize(&alg, &opt.mapping);
+            Ok(CachedOutcome::Design {
+                schedule: opt.schedule.as_slice().to_vec(),
+                objective: opt.objective,
+                total_time: opt.total_time,
+                certification,
+                candidates_examined,
+                processors: array.num_processors() as u64,
+                array_dims: array.dims() as u64,
+            })
+        }
+    }
+}
+
+/// Build the wire response, translating the canonical-coordinates
+/// schedule back into the caller's axis order.
+fn respond(outcome: &CachedOutcome, canon: &Canonicalization, cached: bool) -> MapResponse {
+    match outcome {
+        CachedOutcome::Infeasible { candidates_examined } => {
+            MapResponse::Infeasible { candidates_examined: *candidates_examined }
+        }
+        CachedOutcome::Design {
+            schedule,
+            objective,
+            total_time,
+            certification,
+            candidates_examined,
+            processors,
+            array_dims,
+        } => MapResponse::Ok(MapOutcome {
+            schedule: canon.schedule_to_original(schedule),
+            objective: *objective,
+            total_time: *total_time,
+            certification: *certification,
+            candidates_examined: *candidates_examined,
+            cached,
+            processors: *processors,
+            array_dims: *array_dims,
+        }),
+    }
+}
+
+/// Materialize `(J, D, S)` from a request, or explain why it is
+/// malformed (wire analogue of the CLI's usage errors).
+fn build_problem(req: &MapRequest) -> Result<(Uda, SpaceMap), String> {
+    let alg = match &req.algorithm {
+        Some(name) => {
+            if req.deps.is_some() {
+                return Err("give either \"algorithm\" or \"deps\", not both".into());
+            }
+            if req.mu.len() != 1 {
+                return Err("named workloads take a single size: \"mu\": [n]".into());
+            }
+            let mu = req.mu[0];
+            if mu < 1 {
+                return Err("\"mu\" must be ≥ 1".into());
+            }
+            named_algorithm(name, mu)?
+        }
+        None => {
+            let n = req.mu.len();
+            if n == 0 {
+                return Err("\"mu\" must not be empty".into());
+            }
+            if req.mu.iter().any(|&m| m < 1) {
+                return Err("every \"mu\" entry must be ≥ 1".into());
+            }
+            let deps = req
+                .deps
+                .as_ref()
+                .ok_or("structural requests need \"deps\" (or name an \"algorithm\")")?;
+            if deps.is_empty() {
+                return Err("\"deps\" must contain at least one column".into());
+            }
+            for (i, col) in deps.iter().enumerate() {
+                if col.len() != n {
+                    return Err(format!(
+                        "deps column {i} has {} entries, \"mu\" has n = {n}",
+                        col.len()
+                    ));
+                }
+            }
+            let refs: Vec<&[i64]> = deps.iter().map(Vec::as_slice).collect();
+            Uda::new(
+                "request",
+                IndexSet::new(&req.mu),
+                DependenceMatrix::from_columns(&refs),
+            )
+        }
+    };
+    let n = alg.dim();
+    if req.space.is_empty() {
+        return Err("\"space\" must contain at least one row".into());
+    }
+    if req.space.len() >= n {
+        return Err(format!(
+            "\"space\" has {} rows; a (k−1)-dimensional array needs fewer than n = {n}",
+            req.space.len()
+        ));
+    }
+    for (i, row) in req.space.iter().enumerate() {
+        if row.len() != n {
+            return Err(format!(
+                "space row {i} has {} entries, the algorithm has n = {n}",
+                row.len()
+            ));
+        }
+        if row.iter().all(|&v| v == 0) {
+            return Err(format!("space row {i} is all zeros"));
+        }
+    }
+    let refs: Vec<&[i64]> = req.space.iter().map(Vec::as_slice).collect();
+    Ok((alg, SpaceMap::from_rows(&refs)))
+}
+
+/// The named-workload table (kept in lockstep with the `cfmap` CLI).
+fn named_algorithm(name: &str, mu: i64) -> Result<Uda, String> {
+    Ok(match name {
+        "matmul" => algorithms::matmul(mu),
+        "transitive-closure" | "tc" => algorithms::transitive_closure(mu),
+        "convolution" | "conv" => algorithms::convolution(mu, (mu / 2).max(1)),
+        "lu" => algorithms::lu_decomposition(mu),
+        "sor" => algorithms::sor(mu, mu),
+        "matvec" => algorithms::matvec(mu, mu),
+        "bitlevel-matmul" => algorithms::bitlevel_matmul(mu, mu + 1),
+        "bitlevel-convolution" => algorithms::bitlevel_convolution(mu, mu + 1),
+        "bitlevel-lu" => algorithms::bitlevel_lu(mu, mu + 1),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul_request() -> MapRequest {
+        MapRequest::named("matmul", 4, vec![vec![1, 1, -1]])
+    }
+
+    #[test]
+    fn solves_matmul_and_caches_it() {
+        let engine = Engine::new(64, 4);
+        let first = engine.resolve(&matmul_request());
+        let MapResponse::Ok(a) = &first else { panic!("expected ok, got {first:?}") };
+        assert_eq!(a.total_time, 25);
+        assert_eq!(a.objective, 24);
+        assert!(!a.cached);
+        assert_eq!(a.certification, Certification::Optimal);
+        let second = engine.resolve(&matmul_request());
+        let MapResponse::Ok(b) = &second else { panic!("expected ok") };
+        assert!(b.cached);
+        assert_eq!(a.schedule, b.schedule);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn permuted_request_hits_the_same_entry() {
+        let engine = Engine::new(64, 4);
+        let base = engine.resolve(&matmul_request());
+        let MapResponse::Ok(a) = &base else { panic!("expected ok") };
+        // matmul with axes relabeled by σ = [2, 0, 1], stated structurally.
+        let alg = algorithms::matmul(4).permuted_axes(&[2, 0, 1]);
+        let permuted = MapRequest {
+            algorithm: None,
+            mu: alg.index_set.mu().to_vec(),
+            deps: Some(alg.deps.columns_i64()),
+            space: vec![vec![-1, 1, 1]],
+            cap: None,
+            max_candidates: None,
+            timeout_ms: None,
+        };
+        let resp = engine.resolve(&permuted);
+        let MapResponse::Ok(b) = &resp else { panic!("expected ok, got {resp:?}") };
+        assert!(b.cached, "permuted variant should hit the canonical entry");
+        assert_eq!(b.total_time, a.total_time);
+        assert_eq!(b.processors, a.processors);
+        // Same Π modulo the permutation: entry c of the permuted answer
+        // is entry σ(c) of the base answer.
+        let expected: Vec<i64> = [2usize, 0, 1].iter().map(|&p| a.schedule[p]).collect();
+        assert_eq!(b.schedule, expected);
+    }
+
+    #[test]
+    fn timeout_requests_bypass_the_cache() {
+        let engine = Engine::new(64, 4);
+        let mut req = matmul_request();
+        req.timeout_ms = Some(10_000);
+        let first = engine.resolve(&req);
+        assert!(matches!(first, MapResponse::Ok(_)));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 0, "wall-clock budgets must not be cached");
+        let second = engine.resolve(&req);
+        let MapResponse::Ok(o) = second else { panic!("expected ok") };
+        assert!(!o.cached);
+    }
+
+    #[test]
+    fn budgeted_request_is_best_effort_and_keyed_separately() {
+        let engine = Engine::new(64, 4);
+        let mut budgeted = matmul_request();
+        budgeted.max_candidates = Some(2);
+        let resp = engine.resolve(&budgeted);
+        let MapResponse::Ok(o) = &resp else { panic!("expected best-effort ok, got {resp:?}") };
+        assert!(matches!(o.certification, Certification::BestEffort { .. }));
+        // The unlimited request must not reuse the truncated answer.
+        let full = engine.resolve(&matmul_request());
+        let MapResponse::Ok(f) = &full else { panic!("expected ok") };
+        assert!(!f.cached);
+        assert_eq!(f.certification, Certification::Optimal);
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_requests() {
+        let engine = Engine::new(8, 1);
+        let cases = vec![
+            MapRequest { mu: vec![], ..matmul_request() },
+            MapRequest { algorithm: Some("nope".into()), ..matmul_request() },
+            MapRequest { space: vec![], ..matmul_request() },
+            MapRequest { space: vec![vec![1, 1]], ..matmul_request() },
+            MapRequest { space: vec![vec![0, 0, 0]], ..matmul_request() },
+            MapRequest {
+                algorithm: None,
+                mu: vec![4, 4, 4],
+                deps: None,
+                space: vec![vec![1, 1, -1]],
+                cap: None,
+                max_candidates: None,
+                timeout_ms: None,
+            },
+        ];
+        for req in cases {
+            let resp = engine.resolve(&req);
+            assert!(
+                matches!(resp, MapResponse::BadRequest { .. }),
+                "expected bad_request for {req:?}, got {resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_solves_each_distinct_problem_once() {
+        let engine = Engine::new(64, 4);
+        // Three axis-permuted copies of the same matmul problem plus one
+        // genuinely different size.
+        let alg = algorithms::matmul(4);
+        let mut reqs = Vec::new();
+        for perm in [[0usize, 1, 2], [1, 2, 0], [2, 0, 1]] {
+            let p = alg.permuted_axes(&perm);
+            let s: Vec<i64> = perm.iter().map(|&c| [1i64, 1, -1][c]).collect();
+            reqs.push(MapRequest {
+                algorithm: None,
+                mu: p.index_set.mu().to_vec(),
+                deps: Some(p.deps.columns_i64()),
+                space: vec![s],
+                cap: None,
+                max_candidates: None,
+                timeout_ms: None,
+            });
+        }
+        reqs.push(MapRequest::named("matmul", 5, vec![vec![1, 1, -1]]));
+        reqs.push(MapRequest { mu: vec![], ..MapRequest::named("matmul", 4, vec![]) });
+        let (responses, solves) = engine.resolve_batch(&reqs);
+        assert_eq!(responses.len(), 5);
+        assert_eq!(solves, 2, "three permuted copies must share one search");
+        let times: Vec<i64> = responses[..3]
+            .iter()
+            .map(|r| match r {
+                MapResponse::Ok(o) => o.total_time,
+                other => panic!("expected ok, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(times, vec![25, 25, 25]);
+        assert!(matches!(responses[4], MapResponse::BadRequest { .. }));
+    }
+}

@@ -1,0 +1,60 @@
+//! `cfmapd` — mapping-as-a-service for the Shang & Fortes theory.
+//!
+//! A mapping search (Procedure 5.1) is a pure function of the problem
+//! `(J, D, S)` and its solver knobs — exactly the shape of computation a
+//! memoizing service does well. This crate turns the library into a
+//! hermetic (std-only) HTTP daemon:
+//!
+//! * [`json`] — a hand-rolled JSON parser/serializer (no serde; the
+//!   hermetic-build policy forbids registry crates);
+//! * [`wire`] — request/response schemas that round-trip every
+//!   [`cfmap_core::CfmapError`] variant and mirror the CLI's exit-code
+//!   taxonomy;
+//! * [`cache`] — a sharded `RwLock` LRU design cache with hit / miss /
+//!   eviction counters;
+//! * [`engine`] — canonicalization-keyed resolution: permuted-but-
+//!   equivalent problems (relabeled axes, reordered dependence columns,
+//!   rescaled space rows) hit the same cache entry, and batches solve
+//!   each distinct problem once;
+//! * [`server`] — `TcpListener` accept loop + fixed worker pool, with
+//!   `/map`, `/batch`, `/stats`, `/healthz`, `/cache/clear`, and
+//!   `/shutdown` routes;
+//! * [`client`] — the minimal blocking HTTP client used by
+//!   `cfmap client`, the smoke tests, and the throughput bench.
+//!
+//! Start a daemon and ask it for the optimal matmul linear-array design:
+//!
+//! ```
+//! use cfmap_service::server::{CfmapServer, ServerConfig};
+//! use cfmap_service::wire::{MapRequest, MapResponse};
+//!
+//! let server = CfmapServer::bind(&ServerConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap().to_string();
+//! let stop = server.shutdown_handle().unwrap();
+//! let daemon = std::thread::spawn(move || server.run());
+//!
+//! let req = MapRequest::named("matmul", 4, vec![vec![1, 1, -1]]);
+//! let resp = cfmap_service::client::map(&addr, &req).unwrap();
+//! match resp {
+//!     MapResponse::Ok(o) => assert_eq!(o.total_time, 25),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//!
+//! stop.shutdown();
+//! daemon.join().unwrap().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheStats, ShardedLruCache};
+pub use engine::{CacheKey, CachedOutcome, Engine};
+pub use server::{CfmapServer, ServerConfig, ShutdownHandle};
+pub use wire::{MapOutcome, MapRequest, MapResponse, WireError};

@@ -1,0 +1,366 @@
+//! The `cfmapd` HTTP server.
+//!
+//! Plain `std`: a `TcpListener` accept loop feeds accepted connections
+//! through an `mpsc` channel to a fixed pool of worker threads, each of
+//! which parses one HTTP/1.1 request, dispatches it against the shared
+//! [`Engine`], and answers with `Connection: close`. No async runtime,
+//! no HTTP library — the protocol subset needed (request line, headers,
+//! `Content-Length` body) is ~100 lines.
+//!
+//! Routes:
+//!
+//! | route | body | answer |
+//! |---|---|---|
+//! | `POST /map` | a `MapRequest` | a `MapResponse` |
+//! | `POST /batch` | `{"requests": […]}` | `{"responses": […], "distinct_solves": n}` |
+//! | `GET /stats` | — | cache + server counters |
+//! | `GET /healthz` | — | `{"status":"ok"}` |
+//! | `POST /cache/clear` | — | `{"cleared": n}` |
+//! | `POST /shutdown` | — | `{"status":"shutting_down"}`, then the listener drains and exits |
+//!
+//! Shutdown is cooperative: `POST /shutdown` (or [`ShutdownHandle::shutdown`])
+//! sets an atomic flag and pokes the listener with a loopback connection so
+//! the blocking `accept` observes it. `std` exposes no signal API, so
+//! SIGTERM/ctrl-C handling is delegated to the process supervisor or the
+//! binary's `--watch-stdin` mode (see `src/bin/cfmapd.rs`).
+
+use crate::engine::Engine;
+use crate::json::{parse, Json};
+use crate::wire::{MapRequest, MapResponse};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Request bodies above this size are refused with `413` — mapping
+/// requests are a few hundred bytes; megabytes signal a confused client.
+const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// How long a worker waits for a slow client before abandoning the
+/// connection.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server configuration (all fields have serviceable defaults).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Design-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Design-cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            cache_capacity: 256,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// A bound (but not yet running) server.
+pub struct CfmapServer {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    workers: usize,
+}
+
+/// Lets another thread stop a running [`CfmapServer`].
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: std::net::SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Ask the server to stop accepting and drain its workers.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+impl CfmapServer {
+    /// Bind to `config.addr` and build the shared engine.
+    pub fn bind(config: &ServerConfig) -> std::io::Result<CfmapServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(CfmapServer {
+            listener,
+            engine: Arc::new(Engine::new(
+                config.cache_capacity.max(1),
+                config.cache_shards.max(1),
+            )),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            requests: Arc::new(AtomicU64::new(0)),
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop [`CfmapServer::run`] from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle { flag: Arc::clone(&self.shutdown), addr: self.local_addr()? })
+    }
+
+    /// Accept and serve until shutdown is requested. Blocks the calling
+    /// thread; returns once every worker has drained.
+    pub fn run(self) -> std::io::Result<()> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let rx = Arc::clone(&rx);
+            let engine = Arc::clone(&self.engine);
+            let shutdown = Arc::clone(&self.shutdown);
+            let requests = Arc::clone(&self.requests);
+            let workers = self.workers;
+            pool.push(std::thread::spawn(move || loop {
+                // Holding the receiver lock only while popping keeps the
+                // other workers runnable during request handling.
+                let conn = match rx.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(_) => break,
+                };
+                let Ok(stream) = conn else { break };
+                requests.fetch_add(1, Ordering::Relaxed);
+                handle_connection(stream, &engine, &shutdown, &requests, workers);
+            }));
+        }
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            if tx.send(stream).is_err() {
+                break;
+            }
+        }
+        drop(tx); // workers drain the queue, then their recv() errors out
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection: parse, dispatch, answer, close.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    requests: &AtomicU64,
+    workers: usize,
+) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    let (status, body) = match read_request(&mut reader) {
+        // A bare shutdown poke (connect + close) arrives as an empty
+        // request; answer nothing.
+        Err(ReadError::Empty) => return,
+        Err(ReadError::TooLarge) => (413, error_body("request body too large")),
+        Err(ReadError::Malformed(msg)) => (400, error_body(&msg)),
+        Ok((method, path, payload)) => {
+            dispatch(&method, &path, &payload, engine, shutdown, requests, workers)
+        }
+    };
+    let _ = write_response(&mut stream, status, &body);
+    if shutdown.load(Ordering::SeqCst) {
+        // An accepted socket's local address is the listener's address
+        // (they share the listening port), so one loopback connect is
+        // enough to unblock the accept loop and let it see the flag.
+        if let Ok(addr) = stream.local_addr() {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        }
+    }
+}
+
+/// Route a parsed request.
+fn dispatch(
+    method: &str,
+    path: &str,
+    body: &str,
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    requests: &AtomicU64,
+    workers: usize,
+) -> (u16, String) {
+    match (method, path) {
+        ("POST", "/map") => match MapRequest::from_str(body) {
+            Ok(req) => {
+                let resp = engine.resolve(&req);
+                (resp.http_status(), resp.to_json().serialize())
+            }
+            Err(e) => {
+                let resp = MapResponse::BadRequest { msg: e.msg };
+                (resp.http_status(), resp.to_json().serialize())
+            }
+        },
+        ("POST", "/batch") => match parse_batch(body) {
+            Ok(reqs) => {
+                let (responses, solves) = engine.resolve_batch(&reqs);
+                let json = Json::Obj(vec![
+                    (
+                        "responses".into(),
+                        Json::Arr(responses.iter().map(MapResponse::to_json).collect()),
+                    ),
+                    ("distinct_solves".into(), Json::Int(solves as i64)),
+                ]);
+                (200, json.serialize())
+            }
+            Err(msg) => (400, error_body(&msg)),
+        },
+        ("GET", "/stats") => {
+            let cache = engine.cache_stats();
+            let json = Json::Obj(vec![
+                ("status".into(), Json::Str("ok".into())),
+                ("requests".into(), Json::Int(requests.load(Ordering::Relaxed) as i64)),
+                ("workers".into(), Json::Int(workers as i64)),
+                (
+                    "cache".into(),
+                    Json::Obj(vec![
+                        ("hits".into(), Json::Int(cache.hits as i64)),
+                        ("misses".into(), Json::Int(cache.misses as i64)),
+                        ("evictions".into(), Json::Int(cache.evictions as i64)),
+                        ("entries".into(), Json::Int(cache.entries as i64)),
+                        ("capacity".into(), Json::Int(cache.capacity as i64)),
+                        ("shards".into(), Json::Int(cache.shards as i64)),
+                    ]),
+                ),
+            ]);
+            (200, json.serialize())
+        }
+        ("GET", "/healthz") => {
+            (200, Json::Obj(vec![("status".into(), Json::Str("ok".into()))]).serialize())
+        }
+        ("POST", "/cache/clear") => {
+            let cleared = engine.clear_cache();
+            (200, Json::Obj(vec![("cleared".into(), Json::Int(cleared as i64))]).serialize())
+        }
+        ("POST", "/shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            (
+                200,
+                Json::Obj(vec![("status".into(), Json::Str("shutting_down".into()))])
+                    .serialize(),
+            )
+        }
+        _ => (404, error_body(&format!("no route {method} {path}"))),
+    }
+}
+
+/// Parse `{"requests": […]}`.
+fn parse_batch(body: &str) -> Result<Vec<MapRequest>, String> {
+    let json = parse(body).map_err(|e| e.to_string())?;
+    let arr = json
+        .get("requests")
+        .and_then(Json::as_arr)
+        .ok_or("batch body must be {\"requests\": [...]}")?;
+    arr.iter()
+        .map(|v| MapRequest::from_json(v).map_err(|e| e.msg))
+        .collect()
+}
+
+fn error_body(msg: &str) -> String {
+    Json::Obj(vec![
+        ("status".into(), Json::Str("bad_request".into())),
+        ("message".into(), Json::Str(msg.into())),
+    ])
+    .serialize()
+}
+
+enum ReadError {
+    /// Connection closed before a request line (shutdown poke).
+    Empty,
+    TooLarge,
+    Malformed(String),
+}
+
+/// Read one `METHOD /path HTTP/1.x` request with an optional
+/// `Content-Length` body.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, String), ReadError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Err(ReadError::Empty),
+        Ok(_) => {}
+        Err(_) => return Err(ReadError::Empty),
+    }
+    if line.trim().is_empty() {
+        return Err(ReadError::Empty);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(ReadError::Malformed(format!("bad request line {:?}", line.trim())));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(ReadError::Malformed(format!("header read failed: {e}"))),
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| ReadError::Malformed(format!("body read failed: {e}")))?;
+    String::from_utf8(body)
+        .map(|b| (method, path, b))
+        .map_err(|_| ReadError::Malformed("body is not UTF-8".into()))
+}
+
+/// Write a `Connection: close` HTTP/1.1 response.
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        _ => "Status",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

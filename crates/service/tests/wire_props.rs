@@ -1,0 +1,169 @@
+//! Property tests for the cfmapd wire format: `parse(serialize(x)) == x`
+//! for generated JSON documents, requests, responses, and — variant by
+//! variant — every [`CfmapError`].
+
+use cfmap_core::{BudgetLimit, Certification, CfmapError};
+use cfmap_service::json::{parse, Json};
+use cfmap_service::wire::{MapOutcome, MapRequest, MapResponse};
+
+/// Characters exercised in generated strings: escapes, quotes, non-ASCII
+/// (including an astral-plane scalar that needs a surrogate pair), and
+/// whitespace controls.
+const PALETTE: &[char] =
+    &['a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\t', '\r', 'µ', 'Π', '✓', '𝕁', '{', '['];
+
+fn string_from(tokens: &[i64]) -> String {
+    tokens.iter().map(|&t| PALETTE[t.rem_euclid(PALETTE.len() as i64) as usize]).collect()
+}
+
+/// Deterministically build a JSON document from an integer token stream.
+fn build_json(tokens: &mut std::slice::Iter<'_, i64>, depth: usize) -> Json {
+    let t = tokens.next().copied().unwrap_or(0).rem_euclid(6);
+    // At the depth floor, only emit scalars.
+    match if depth == 0 { t.min(3) } else { t } {
+        0 => Json::Null,
+        1 => Json::Bool(tokens.next().copied().unwrap_or(0) % 2 == 0),
+        2 => {
+            let v = tokens.next().copied().unwrap_or(0);
+            // Mix small values with extremes.
+            Json::Int(match v.rem_euclid(5) {
+                0 => i64::MIN,
+                1 => i64::MAX,
+                _ => v.wrapping_mul(9_973),
+            })
+        }
+        3 => {
+            let len = tokens.next().copied().unwrap_or(0).rem_euclid(6) as usize;
+            let chunk: Vec<i64> = tokens.by_ref().take(len).copied().collect();
+            Json::Str(string_from(&chunk))
+        }
+        4 => {
+            let len = tokens.next().copied().unwrap_or(0).rem_euclid(4) as usize;
+            Json::Arr((0..len).map(|_| build_json(tokens, depth - 1)).collect())
+        }
+        _ => {
+            let len = tokens.next().copied().unwrap_or(0).rem_euclid(4) as usize;
+            let mut fields = Vec::new();
+            let mut used = std::collections::HashSet::new();
+            for i in 0..len {
+                let klen = tokens.next().copied().unwrap_or(0).rem_euclid(5) as usize;
+                let chunk: Vec<i64> = tokens.by_ref().take(klen).copied().collect();
+                let mut key = string_from(&chunk);
+                if !used.insert(key.clone()) {
+                    key.push_str(&format!("#{i}"));
+                    used.insert(key.clone());
+                }
+                fields.push((key, build_json(tokens, depth - 1)));
+            }
+            Json::Obj(fields)
+        }
+    }
+}
+
+cfmap_testkit::props! {
+    cases = 192;
+
+    /// Arbitrary JSON documents survive a serialize → parse round trip.
+    fn json_documents_round_trip(tokens in cfmap_testkit::gen::vec(i64::MIN..=i64::MAX, 1..64)) {
+        let doc = build_json(&mut tokens.iter(), 4);
+        let text = doc.serialize();
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparse of {text} failed: {e}"));
+        assert_eq!(back, doc, "round trip of {text}");
+    }
+
+    /// Requests round-trip with any combination of optional knobs.
+    fn requests_round_trip(
+        mu in cfmap_testkit::gen::vec(1i64..=9, 1..5),
+        dep_entries in cfmap_testkit::gen::vec(-3i64..=3, 1..5),
+        space_entries in cfmap_testkit::gen::vec(-2i64..=2, 1..5),
+        knobs in cfmap_testkit::gen::vec(0i64..=1, 3..4),
+        named in cfmap_testkit::gen::bools(),
+    ) {
+        let n = mu.len();
+        let req = MapRequest {
+            algorithm: if named { Some("matmul".into()) } else { None },
+            mu: if named { vec![4] } else { mu.clone() },
+            deps: if named {
+                None
+            } else {
+                Some(vec![dep_entries.iter().cycle().take(n).copied().collect()])
+            },
+            space: vec![space_entries.iter().cycle().take(n).copied().collect()],
+            cap: (knobs[0] == 1).then_some(42),
+            max_candidates: (knobs[1] == 1).then_some(1_000),
+            timeout_ms: (knobs[2] == 1).then_some(250),
+        };
+        let text = req.to_json().serialize();
+        assert_eq!(MapRequest::from_str(&text).unwrap(), req, "{text}");
+    }
+
+    /// Every CfmapError variant round-trips through the error response,
+    /// with generated payloads (including hostile strings).
+    fn error_variants_round_trip(
+        kind in 0i64..=8,
+        a in 0i64..=1_000_000,
+        b in 0i64..=1_000_000,
+        sched in cfmap_testkit::gen::vec(-99i64..=99, 1..6),
+        text_tokens in cfmap_testkit::gen::vec(i64::MIN..=i64::MAX, 0..10),
+    ) {
+        let text = string_from(&text_tokens);
+        let err = match kind {
+            0 => CfmapError::RankDeficient { expected: a as usize, actual: b as usize },
+            1 => CfmapError::InvalidSchedule { schedule: sched.clone(), reason: text.clone() },
+            2 => CfmapError::Unroutable { dependence: a as usize, reason: text.clone() },
+            3 => CfmapError::Overflow { context: text.clone() },
+            4 => CfmapError::BudgetExhausted {
+                limit: BudgetLimit::Candidates,
+                candidates_examined: a as u64,
+            },
+            5 => CfmapError::BudgetExhausted {
+                limit: BudgetLimit::Nodes,
+                candidates_examined: b as u64,
+            },
+            6 => CfmapError::BudgetExhausted {
+                limit: BudgetLimit::WallClock,
+                candidates_examined: a as u64,
+            },
+            7 => CfmapError::DimensionMismatch {
+                context: text.clone(),
+                expected: a as usize,
+                actual: b as usize,
+            },
+            _ => CfmapError::Unsupported { reason: text.clone() },
+        };
+        let resp = MapResponse::Error(err);
+        let body = resp.to_json().serialize();
+        assert_eq!(MapResponse::from_str(&body).unwrap(), resp, "{body}");
+        assert_eq!(resp.exit_class(), 3);
+    }
+
+    /// Success / infeasible responses round-trip for every certification.
+    fn outcomes_round_trip(
+        schedule in cfmap_testkit::gen::vec(-50i64..=50, 1..6),
+        objective in 0i64..=100_000,
+        examined in 0i64..=1_000_000,
+        cert_kind in 0i64..=2,
+        cached in cfmap_testkit::gen::bools(),
+    ) {
+        let resp = if cert_kind == 2 {
+            MapResponse::Infeasible { candidates_examined: examined as u64 }
+        } else {
+            MapResponse::Ok(MapOutcome {
+                schedule: schedule.clone(),
+                objective,
+                total_time: objective + 1,
+                certification: if cert_kind == 0 {
+                    Certification::Optimal
+                } else {
+                    Certification::BestEffort { candidates_examined: examined as u64 }
+                },
+                candidates_examined: examined as u64,
+                cached,
+                processors: (objective as u64).max(1),
+                array_dims: 1 + (objective as u64 % 3),
+            })
+        };
+        let body = resp.to_json().serialize();
+        assert_eq!(MapResponse::from_str(&body).unwrap(), resp, "{body}");
+    }
+}

@@ -15,7 +15,9 @@ cargo test -q --offline --workspace
 
 echo "== benches and examples compile (offline)"
 cargo build --offline --benches -p cfmap-bench
-cargo build --offline --examples
+# --workspace so example rot in ANY crate fails the gate, not just the
+# root package's examples.
+cargo build --offline --examples --workspace
 
 echo "== smoke: CLI exit codes"
 CFMAP=target/release/cfmap
@@ -27,7 +29,29 @@ set +e
 [ $? -eq 2 ] || { echo "expected exit 2 for usage error"; exit 1; }
 set -e
 
-echo "== smoke: one timing bench under a 5 ms budget"
+echo "== smoke: cfmapd round trip (ephemeral port, stdin-EOF shutdown)"
+CFMAPD=target/release/cfmapd
+# Start the daemon with stdin held open on a fifo; closing it shuts down.
+FIFO=/tmp/cfmapd_verify_$$
+mkfifo "$FIFO"
+"$CFMAPD" --addr 127.0.0.1:0 --watch-stdin < "$FIFO" > /tmp/cfmapd_out_$$ &
+CFMAPD_PID=$!
+exec 9> "$FIFO"
+# Wait for the startup line.
+for _ in $(seq 1 50); do
+    grep -q "cfmapd listening on" /tmp/cfmapd_out_$$ 2>/dev/null && break
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^cfmapd listening on //p' /tmp/cfmapd_out_$$)
+[ -n "$ADDR" ] || { echo "cfmapd did not start"; kill "$CFMAPD_PID" 2>/dev/null; exit 1; }
+"$CFMAP" client --addr "$ADDR" --alg matmul --mu 4 --space 1,1,-1 | grep -q "t = 25 cycles" \
+    || { echo "cfmap client round trip failed"; kill "$CFMAPD_PID" 2>/dev/null; exit 1; }
+exec 9>&-          # close stdin: the daemon drains and exits
+wait "$CFMAPD_PID" || { echo "cfmapd did not exit cleanly"; exit 1; }
+rm -f "$FIFO" /tmp/cfmapd_out_$$
+
+echo "== smoke: timing benches under a 5 ms budget"
 CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e1_feasibility > /dev/null
+CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e12_service_throughput > /dev/null
 
 echo "verify: OK"

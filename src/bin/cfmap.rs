@@ -99,6 +99,7 @@ fn main() -> ExitCode {
         "space-opt" => cmd_space_opt(&opts),
         "joint" => cmd_joint(&opts),
         "bounds" => cmd_bounds(&opts),
+        "client" => cmd_client(&opts),
         "list" => cmd_list(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -125,6 +126,7 @@ USAGE:
   cfmap space-opt --alg <name> --mu <n> --pi <row>               find S° (Problem 6.1)
   cfmap joint     --alg <name> --mu <n> [--criterion time|space] find (S°, Π°) (Problem 6.2)
   cfmap bounds    --alg <name> --mu <n>                          absolute lower bounds
+  cfmap client    --addr host:port --alg <name> --mu <n> --space <row>  ask a running cfmapd
   cfmap list                                                     available workloads
 
 OPTIONS:
@@ -338,6 +340,52 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// `cfmap client` — submit one mapping request to a running `cfmapd`
+/// and mirror the daemon's answer onto the CLI's exit-code taxonomy.
+fn cmd_client(opts: &Opts) -> Result<(), CliError> {
+    use cfmap::service::client;
+    use cfmap::service::wire::{MapRequest, MapResponse};
+
+    let addr = opts.get("addr").ok_or("--addr required (host:port of a running cfmapd)")?;
+    let name = opts.get("alg").ok_or("--alg required")?.clone();
+    let mu: i64 = opts.get("mu").ok_or("--mu required")?.parse().map_err(|_| "bad --mu")?;
+    let spec = opts.get("space").ok_or("--space required")?;
+    let space: Vec<Vec<i64>> =
+        spec.split(';').map(parse_row).collect::<Result<_, String>>()?;
+    let mut request = MapRequest::named(&name, mu, space);
+    if let Some(cap) = opts.get("cap") {
+        request.cap = Some(cap.parse().map_err(|_| "bad --cap")?);
+    }
+    if let Some(v) = opts.get("max-candidates") {
+        request.max_candidates = Some(v.parse().map_err(|_| "bad --max-candidates")?);
+    }
+    if let Some(v) = opts.get("timeout-ms") {
+        request.timeout_ms = Some(v.parse().map_err(|_| "bad --timeout-ms")?);
+    }
+    let response = client::map(addr, &request)
+        .map_err(|e| CliError::Usage(format!("cfmapd at {addr}: {e}")))?;
+    match response {
+        MapResponse::Ok(o) => {
+            let pi: Vec<String> = o.schedule.iter().map(i64::to_string).collect();
+            println!("schedule  : [{}]", pi.join(", "));
+            println!("time      : t = {} cycles (objective f = {})", o.total_time, o.objective);
+            println!("array     : {} PEs, {}-D", o.processors, o.array_dims);
+            println!("examined  : {} candidates", o.candidates_examined);
+            println!(
+                "served    : {} ({:?})",
+                if o.cached { "design cache" } else { "fresh search" },
+                o.certification
+            );
+            Ok(())
+        }
+        MapResponse::Infeasible { candidates_examined } => Err(CliError::Infeasible(format!(
+            "cfmapd proved infeasibility after {candidates_examined} candidates"
+        ))),
+        MapResponse::BadRequest { msg } => Err(CliError::Usage(msg)),
+        MapResponse::Error(e) => Err(CliError::Failed(e)),
+    }
 }
 
 fn cmd_space_opt(opts: &Opts) -> Result<(), CliError> {

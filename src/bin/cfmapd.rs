@@ -1,0 +1,130 @@
+//! `cfmapd` — the mapping-as-a-service daemon.
+//!
+//! ```text
+//! cfmapd [--addr 127.0.0.1:7971] [--workers 4] [--cache-capacity 256]
+//!        [--shards 8] [--watch-stdin]
+//! ```
+//!
+//! On startup the daemon prints exactly one line, `cfmapd listening on
+//! <addr>`, to stdout — scripts (and the smoke tests) bind port 0 and
+//! parse the resolved address from it.
+//!
+//! Shutdown: `POST /shutdown`, or start with `--watch-stdin` and close
+//! the daemon's stdin (the idiom for supervisors that signal children by
+//! closing a pipe — plain `std` has no signal API, so SIGTERM handling
+//! belongs to the process supervisor).
+
+use cfmap::service::server::{CfmapServer, ServerConfig};
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cfmapd — mapping-as-a-service daemon (Shang & Fortes conflict-free mappings)
+
+USAGE:
+  cfmapd [--addr HOST:PORT] [--workers N] [--cache-capacity N] [--shards N] [--watch-stdin]
+
+OPTIONS:
+  --addr            bind address (default 127.0.0.1:7971; port 0 = ephemeral)
+  --workers         worker threads (default 4)
+  --cache-capacity  design-cache entries (default 256)
+  --shards          design-cache shards (default 8)
+  --watch-stdin     shut down gracefully when stdin reaches EOF
+
+ROUTES:
+  POST /map          one mapping request        POST /batch   {\"requests\": [...]}
+  GET  /stats        cache + request counters   GET  /healthz liveness
+  POST /cache/clear  drop cached designs        POST /shutdown drain and exit";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_config(&args) {
+        Ok(Some(c)) => c,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (config, watch_stdin) = config;
+    let server = match CfmapServer::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: no local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("cfmapd listening on {addr}");
+    let _ = std::io::stdout().flush();
+
+    if watch_stdin {
+        let stop = match server.shutdown_handle() {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error: no shutdown handle: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        std::thread::spawn(move || {
+            // Block until the supervisor closes our stdin, then drain.
+            let mut sink = [0u8; 4096];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            stop.shutdown();
+        });
+    }
+
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse arguments; `Ok(None)` means help was requested.
+fn parse_config(args: &[String]) -> Result<Option<(ServerConfig, bool)>, String> {
+    let mut config = ServerConfig { addr: "127.0.0.1:7971".into(), ..ServerConfig::default() };
+    let mut watch_stdin = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" | "help" => return Ok(None),
+            "--watch-stdin" => watch_stdin = true,
+            "--addr" => {
+                config.addr = it.next().ok_or("--addr needs a value")?.clone();
+            }
+            "--workers" => {
+                config.workers = parse_count(it.next(), "--workers")?;
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = parse_count(it.next(), "--cache-capacity")?;
+            }
+            "--shards" => {
+                config.cache_shards = parse_count(it.next(), "--shards")?;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Some((config, watch_stdin)))
+}
+
+fn parse_count(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    let n: usize = v.parse().map_err(|_| format!("bad {flag} value {v:?}"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be ≥ 1"));
+    }
+    Ok(n)
+}

@@ -43,6 +43,7 @@
 //! | [`cfmap_model`] | uniform dependence algorithms, index sets, schedules, workload library |
 //! | [`cfmap_core`] | conflict vectors, Theorems 2.2–4.8, Procedure 5.1, ILP formulations, Prop. 8.1 |
 //! | [`cfmap_systolic`] | cycle-level array simulator, semantic kernels, Figure 2/3 renderers |
+//! | [`cfmap_service`] | `cfmapd`: mapping-as-a-service daemon with a canonicalizing design cache |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +52,7 @@ pub use cfmap_core as core;
 pub use cfmap_intlin as intlin;
 pub use cfmap_lp as lp;
 pub use cfmap_model as model;
+pub use cfmap_service as service;
 pub use cfmap_systolic as systolic;
 
 /// Everything a downstream user typically needs, in one import.

@@ -141,6 +141,39 @@ fn no_build_scripts() {
     }
 }
 
+/// The service crate is the one most tempted by registry crates (HTTP
+/// frameworks, serde, async runtimes). Pin it explicitly: its manifest
+/// must be discovered by the workspace walk and declare only in-tree
+/// dependencies — the daemon is std-only by construction.
+#[test]
+fn service_crate_is_hermetic() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let manifest = root.join("crates/service/Cargo.toml");
+    assert!(manifest.is_file(), "crates/service/Cargo.toml missing");
+    assert!(
+        workspace_manifests().contains(&manifest),
+        "workspace walk no longer covers crates/service"
+    );
+    let entries = dependency_entries(&manifest);
+    assert!(!entries.is_empty(), "service crate declares no dependencies?");
+    for dep in entries {
+        let spec = dep.line.split_once('=').map(|(_, s)| s).unwrap_or("");
+        assert!(
+            is_hermetic(spec),
+            "crates/service/Cargo.toml:{} is not hermetic: {}",
+            dep.line_no,
+            dep.line
+        );
+        for banned in ["serde", "tokio", "hyper", "axum", "reqwest"] {
+            assert!(
+                !dep.line.contains(banned),
+                "crates/service must stay std-only, found {banned:?} in {}",
+                dep.line
+            );
+        }
+    }
+}
+
 /// The bench harnesses are plain binaries (`harness = false`), not
 /// framework-driven: a criterion revival would need a registry crate.
 #[test]

@@ -1,0 +1,185 @@
+//! End-to-end smoke test: spawn the real `cfmapd` binary on an ephemeral
+//! port, hit it with concurrent clients, and check the cache, batch,
+//! stats, and shutdown behavior through the wire.
+
+use cfmap::service::client;
+use cfmap::service::json::{parse, Json};
+use cfmap::service::wire::{MapRequest, MapResponse};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+/// A running daemon that is shut down (or killed) when dropped.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra_args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cfmapd"))
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("cfmapd spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut first_line = String::new();
+        BufReader::new(stdout).read_line(&mut first_line).expect("startup line");
+        let addr = first_line
+            .trim()
+            .strip_prefix("cfmapd listening on ")
+            .unwrap_or_else(|| panic!("unexpected startup line {first_line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn stop(mut self) {
+        let _ = client::post(&self.addr, "/shutdown", "");
+        let status = self.child.wait().expect("cfmapd exits");
+        assert!(status.success(), "cfmapd exited with {status:?}");
+        // Disarm the Drop kill.
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn matmul_request() -> MapRequest {
+    MapRequest::named("matmul", 4, vec![vec![1, 1, -1]])
+}
+
+#[test]
+fn eight_concurrent_clients_get_identical_answers() {
+    let daemon = Daemon::spawn(&["--workers", "4"]);
+    let addr = daemon.addr.clone();
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || client::map(&addr, &matmul_request()).expect("map call"))
+        })
+        .collect();
+    let responses: Vec<MapResponse> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let mut schedules = Vec::new();
+    for resp in &responses {
+        let MapResponse::Ok(o) = resp else { panic!("expected ok, got {resp:?}") };
+        assert_eq!(o.total_time, 25, "Example 5.1: t = μ(μ+2)+1");
+        assert_eq!(o.objective, 24);
+        schedules.push(o.schedule.clone());
+    }
+    assert!(
+        schedules.windows(2).all(|w| w[0] == w[1]),
+        "all 8 concurrent clients must see the identical schedule: {schedules:?}"
+    );
+
+    // The same problem again is a cache hit, answered identically.
+    let warm = client::map(&addr, &matmul_request()).expect("warm call");
+    let MapResponse::Ok(w) = warm else { panic!("expected ok") };
+    assert!(w.cached, "second identical request must come from the design cache");
+    assert_eq!(w.schedule, schedules[0]);
+
+    // /stats shows the traffic and at least one hit.
+    let stats_body = client::get(&addr, "/stats").expect("stats").body;
+    let stats = parse(&stats_body).expect("stats is JSON");
+    let cache = stats.get("cache").expect("cache block");
+    assert!(cache.get("hits").and_then(Json::as_i64).unwrap() >= 1, "{stats_body}");
+    assert!(cache.get("entries").and_then(Json::as_i64).unwrap() >= 1, "{stats_body}");
+    assert!(stats.get("requests").and_then(Json::as_i64).unwrap() >= 9, "{stats_body}");
+
+    daemon.stop();
+}
+
+#[test]
+fn batch_deduplicates_and_cache_clear_resets() {
+    let daemon = Daemon::spawn(&[]);
+    let addr = daemon.addr.clone();
+
+    // A batch of three identical problems plus one distinct one.
+    let reqs: Vec<Json> = vec![
+        matmul_request().to_json(),
+        matmul_request().to_json(),
+        matmul_request().to_json(),
+        MapRequest::named("matmul", 5, vec![vec![1, 1, -1]]).to_json(),
+    ];
+    let body = Json::Obj(vec![("requests".into(), Json::Arr(reqs))]).serialize();
+    let reply = client::post(&addr, "/batch", &body).expect("batch");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let parsed = parse(&reply.body).expect("batch reply is JSON");
+    assert_eq!(
+        parsed.get("distinct_solves").and_then(Json::as_i64),
+        Some(2),
+        "three identical requests share one search: {}",
+        reply.body
+    );
+    let responses = parsed.get("responses").and_then(Json::as_arr).expect("responses");
+    assert_eq!(responses.len(), 4);
+    let decoded: Vec<MapResponse> =
+        responses.iter().map(|v| MapResponse::from_json(v).expect("decodes")).collect();
+    assert!(decoded.iter().all(|r| matches!(r, MapResponse::Ok(_))), "{}", reply.body);
+
+    // Clearing the cache forgets both designs.
+    let cleared = client::post(&addr, "/cache/clear", "").expect("clear").body;
+    assert_eq!(parse(&cleared).unwrap().get("cleared").and_then(Json::as_i64), Some(2));
+    let fresh = client::map(&addr, &matmul_request()).expect("post-clear call");
+    let MapResponse::Ok(o) = fresh else { panic!("expected ok") };
+    assert!(!o.cached, "cache was just cleared");
+
+    daemon.stop();
+}
+
+#[test]
+fn wire_errors_map_to_http_statuses() {
+    let daemon = Daemon::spawn(&[]);
+    let addr = daemon.addr.clone();
+
+    // Malformed JSON → 400 bad_request.
+    let reply = client::post(&addr, "/map", "{not json").expect("reply");
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    assert!(matches!(
+        MapResponse::from_str(&reply.body),
+        Ok(MapResponse::BadRequest { .. })
+    ));
+
+    // Well-formed JSON, bad problem shape → 400 with exit class 2.
+    let bad = MapRequest { space: vec![vec![1, 2]], ..matmul_request() };
+    let reply = client::post(&addr, "/map", &bad.to_json().serialize()).expect("reply");
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    let resp = MapResponse::from_str(&reply.body).expect("decodes");
+    assert_eq!(resp.exit_class(), 2);
+
+    // Unknown route → 404.
+    let reply = client::get(&addr, "/nope").expect("reply");
+    assert_eq!(reply.status, 404);
+
+    // Health check.
+    let reply = client::get(&addr, "/healthz").expect("reply");
+    assert_eq!(reply.status, 200);
+
+    daemon.stop();
+}
+
+#[test]
+fn watch_stdin_shuts_down_on_eof() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cfmapd"))
+        .args(["--addr", "127.0.0.1:0", "--watch-stdin"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("cfmapd spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut first_line = String::new();
+    BufReader::new(stdout).read_line(&mut first_line).expect("startup line");
+    assert!(first_line.starts_with("cfmapd listening on "), "{first_line:?}");
+    // Closing stdin is the supervisor's shutdown signal.
+    drop(child.stdin.take());
+    let status = child.wait().expect("cfmapd exits on stdin EOF");
+    assert!(status.success(), "{status:?}");
+}
