@@ -104,10 +104,15 @@ pub fn canonicalize(alg: &Uda, space: &SpaceMap) -> Canonicalization {
             start = i;
         }
     }
+    // Saturating throughout: a single group of ≥ 21 axes already
+    // overflows `usize` factorially, and a wrapped count could slip
+    // under MAX_TIE_PERMUTATIONS and ask for 10²⁰ permutations.
     let tie_count: usize = groups
         .iter()
-        .map(|&(s, e)| (1..=(e - s)).product::<usize>())
-        .try_fold(1usize, |acc, f: usize| acc.checked_mul(f))
+        .try_fold(1usize, |acc, &(s, e)| {
+            let fact = (2..=(e - s)).try_fold(1usize, usize::checked_mul)?;
+            acc.checked_mul(fact)
+        })
         .unwrap_or(usize::MAX);
 
     let candidates: Vec<Vec<usize>> = if tie_count > MAX_TIE_PERMUTATIONS {
@@ -169,6 +174,11 @@ fn encode(alg: &Uda, space: &SpaceMap, perm: &[usize]) -> Canonicalization {
 
 /// Divide a row by the gcd of its entries and make the first nonzero
 /// entry positive. Kernel- and rank-preserving for `T = [S; Π]`.
+///
+/// A row containing `i64::MIN` cannot be negated (and `gcd_i64` may
+/// return a negative "gcd" for it); such a row is left as-is — still
+/// deterministic, merely a weaker canonical form. The service layer
+/// bounds wire-input magnitudes well below that.
 fn normalize_row(mut row: Vec<i64>) -> Vec<i64> {
     let g = row.iter().fold(0i64, |acc, &v| gcd_i64(acc, v));
     if g > 1 {
@@ -176,7 +186,9 @@ fn normalize_row(mut row: Vec<i64>) -> Vec<i64> {
             *v /= g;
         }
     }
-    if row.iter().find(|&&v| v != 0).is_some_and(|&first| first < 0) {
+    if row.iter().find(|&&v| v != 0).is_some_and(|&first| first < 0)
+        && row.iter().all(|v| v.checked_neg().is_some())
+    {
         for v in &mut row {
             *v = -*v;
         }
@@ -287,6 +299,44 @@ mod tests {
         let j_canon: Vec<i64> = canon.perm.iter().map(|&p| j_orig[p]).collect();
         let t_canon: i64 = pi_c.iter().zip(&j_canon).map(|(p, j)| p * j).sum();
         assert_eq!(t_orig, t_canon);
+    }
+
+    #[test]
+    fn huge_tie_groups_saturate_instead_of_overflowing() {
+        // 25 equal-μ axes: 25! overflows usize. The tie count must
+        // saturate (falling back to the stable-sorted order), not wrap —
+        // a wrapped count once slipped under MAX_TIE_PERMUTATIONS and
+        // asked for the full factorial expansion.
+        let n = 25;
+        let mu = vec![3i64; n];
+        let mut col = vec![0i64; n];
+        col[0] = 1;
+        let alg = Uda::new(
+            "wide",
+            IndexSet::new(&mu),
+            DependenceMatrix::from_columns(&[&col]),
+        );
+        let mut row = vec![0i64; n];
+        row[n - 1] = 1;
+        let s = SpaceMap::from_rows(&[&row]);
+        let canon = canonicalize(&alg, &s);
+        assert_eq!(canon.perm.len(), n);
+        assert_eq!(canon.problem.mu, mu);
+    }
+
+    #[test]
+    fn i64_min_space_entry_does_not_overflow() {
+        // i64::MIN has no i64 negation; normalize_row must skip the sign
+        // flip rather than panic (debug) or wrap (release).
+        let alg = Uda::new(
+            "minrow",
+            IndexSet::new(&[4, 4]),
+            DependenceMatrix::from_columns(&[&[1i64, 0]]),
+        );
+        let s = SpaceMap::from_rows(&[&[i64::MIN, 1]]);
+        let a = canonicalize(&alg, &s);
+        let b = canonicalize(&alg, &s);
+        assert_eq!(a, b, "degenerate rows must still canonicalize deterministically");
     }
 
     #[test]

@@ -261,9 +261,11 @@ impl<'a> Procedure51<'a> {
     /// optimum). Fall back to the mixed-radix schedule family: weights
     /// `w` assigned to the axes in some order with `w_next = w · (μ+1)`
     /// make `Π·j̄` injective on the bounding box of `J`, hence
-    /// conflict-free for *any* space map. All `n!·2ⁿ` (permutation,
-    /// sign) variants are screened deterministically and the valid one
-    /// with the smallest objective wins.
+    /// conflict-free for *any* space map. The `n!·2ⁿ` (permutation,
+    /// sign) variants are screened deterministically — lexicographic
+    /// permutations outer, sign patterns inner, capped at
+    /// [`MAX_FALLBACK_VARIANTS`] — and the valid one with the smallest
+    /// objective wins.
     fn degrade(
         &self,
         limit: BudgetLimit,
@@ -272,7 +274,9 @@ impl<'a> Procedure51<'a> {
         let mu = self.alg.index_set.mu();
         let n = self.alg.dim();
         let mut best: Option<OptimalMapping> = None;
-        for perm in permutations(n) {
+        let mut screened = 0u64;
+        let mut perm: Vec<usize> = (0..n).collect();
+        'perms: loop {
             // Mixed-radix weights: the axis visited first varies fastest.
             let mut w = vec![0i64; n];
             let mut acc: i64 = 1;
@@ -288,26 +292,46 @@ impl<'a> Procedure51<'a> {
                 }
             }
             if overflow {
-                continue;
-            }
-            for signs in 0u32..(1 << n) {
-                let pi: Vec<i64> = (0..n)
-                    .map(|i| if signs >> i & 1 == 1 { -w[i] } else { w[i] })
-                    .collect();
-                let Some(objective) = weighted_objective(&pi, mu) else { continue };
-                if let Some(cand) = self.fallback_candidate(&pi, objective, candidates_examined) {
-                    let better = match &best {
-                        None => true,
-                        Some(b) => {
-                            cand.objective < b.objective
-                                || (cand.objective == b.objective
-                                    && cand.schedule.as_slice() < b.schedule.as_slice())
+                // Still charge the cap: with huge μ every permutation
+                // may overflow, and n! of even these cheap skips must
+                // not run unbounded.
+                screened += 1;
+                if screened >= MAX_FALLBACK_VARIANTS {
+                    break;
+                }
+            } else {
+                let sign_count = match n {
+                    0..=62 => 1u64 << n,
+                    _ => u64::MAX, // the cap trips long before 2⁶³
+                };
+                for signs in 0u64..sign_count {
+                    if screened >= MAX_FALLBACK_VARIANTS {
+                        break 'perms;
+                    }
+                    screened += 1;
+                    let pi: Vec<i64> = (0..n)
+                        .map(|i| if i < 64 && signs >> i & 1 == 1 { -w[i] } else { w[i] })
+                        .collect();
+                    let Some(objective) = weighted_objective(&pi, mu) else { continue };
+                    if let Some(cand) =
+                        self.fallback_candidate(&pi, objective, candidates_examined)
+                    {
+                        let better = match &best {
+                            None => true,
+                            Some(b) => {
+                                cand.objective < b.objective
+                                    || (cand.objective == b.objective
+                                        && cand.schedule.as_slice() < b.schedule.as_slice())
+                            }
+                        };
+                        if better {
+                            best = Some(cand);
                         }
-                    };
-                    if better {
-                        best = Some(cand);
                     }
                 }
+            }
+            if !next_permutation(&mut perm) {
+                break;
             }
         }
         match best {
@@ -427,28 +451,34 @@ fn weighted_objective(pi: &[i64], mu: &[i64]) -> Option<i64> {
     Some(acc)
 }
 
-/// All permutations of `0..n` in lexicographic order (deterministic).
-fn permutations(n: usize) -> Vec<Vec<usize>> {
-    let mut out = Vec::new();
-    let mut current = Vec::with_capacity(n);
-    let mut used = vec![false; n];
-    fn rec(n: usize, used: &mut Vec<bool>, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
-        if current.len() == n {
-            out.push(current.clone());
-            return;
-        }
-        for i in 0..n {
-            if !used[i] {
-                used[i] = true;
-                current.push(i);
-                rec(n, used, current, out);
-                current.pop();
-                used[i] = false;
-            }
-        }
+/// Cap on (permutation, sign) variants screened by the budget-degrade
+/// fallback. Exactly `6!·2⁶`, the full variant space of a 6-axis
+/// problem, so results for `n ≤ 6` are unchanged; larger problems screen
+/// the deterministic lexicographic prefix. Without a cap the fallback
+/// was `n!·2ⁿ` — materializing (and walking) that for a wire-supplied
+/// `n` of a few dozen axes is an OOM/hang.
+const MAX_FALLBACK_VARIANTS: u64 = 46_080;
+
+/// Advance `p` to the lexicographically next permutation in place;
+/// `false` once `p` is the last (descending) one.
+fn next_permutation(p: &mut [usize]) -> bool {
+    if p.len() < 2 {
+        return false;
     }
-    rec(n, &mut used, &mut current, &mut out);
-    out
+    let mut i = p.len() - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = p.len() - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
 }
 
 /// Enumerate all `Π ∈ Z^n` with `Σ |π_i|·μ_i == cost` (each candidate

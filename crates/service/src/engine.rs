@@ -255,9 +255,36 @@ fn respond(outcome: &CachedOutcome, canon: &Canonicalization, cached: bool) -> M
     }
 }
 
+/// Largest magnitude accepted for any `mu`/`deps`/`space` entry. Real
+/// mapping problems use entries a few orders of magnitude above 1; the
+/// bound keeps extreme wire values (up to `i64::MIN`, which cannot even
+/// be negated) out of the canonicalizer and solver arithmetic.
+const MAX_ABS_ENTRY: i64 = 1 << 40;
+
+/// Largest problem dimensionality accepted over the wire. Every stage
+/// downstream — tie-group canonicalization, the schedule search, the
+/// budget-degrade fallback, exact conflict screening — is exponential in
+/// `n`, so unbounded wire-supplied dimensions are a denial-of-service
+/// lever, not a capability. The paper's workloads top out at `n = 5`.
+const MAX_DIMS: usize = 8;
+
+fn check_magnitude(entries: &[i64], what: &str) -> Result<(), String> {
+    match entries.iter().find(|v| v.unsigned_abs() > MAX_ABS_ENTRY as u64) {
+        Some(v) => Err(format!("{what} entry {v} exceeds the magnitude bound 2^40")),
+        None => Ok(()),
+    }
+}
+
 /// Materialize `(J, D, S)` from a request, or explain why it is
 /// malformed (wire analogue of the CLI's usage errors).
 fn build_problem(req: &MapRequest) -> Result<(Uda, SpaceMap), String> {
+    check_magnitude(&req.mu, "\"mu\"")?;
+    for col in req.deps.iter().flatten() {
+        check_magnitude(col, "\"deps\"")?;
+    }
+    for row in &req.space {
+        check_magnitude(row, "\"space\"")?;
+    }
     let alg = match &req.algorithm {
         Some(name) => {
             if req.deps.is_some() {
@@ -276,6 +303,9 @@ fn build_problem(req: &MapRequest) -> Result<(Uda, SpaceMap), String> {
             let n = req.mu.len();
             if n == 0 {
                 return Err("\"mu\" must not be empty".into());
+            }
+            if n > MAX_DIMS {
+                return Err(format!("problems beyond n = {MAX_DIMS} axes are not served (got {n})"));
             }
             if req.mu.iter().any(|&m| m < 1) {
                 return Err("every \"mu\" entry must be ≥ 1".into());
@@ -434,6 +464,35 @@ mod tests {
             MapRequest { space: vec![], ..matmul_request() },
             MapRequest { space: vec![vec![1, 1]], ..matmul_request() },
             MapRequest { space: vec![vec![0, 0, 0]], ..matmul_request() },
+            // Magnitude bound: i64::MIN in a space row once reached the
+            // canonicalizer, whose sign-normalization cannot negate it.
+            MapRequest { space: vec![vec![1, 1, i64::MIN]], ..matmul_request() },
+            MapRequest { mu: vec![i64::MAX], ..matmul_request() },
+            MapRequest {
+                algorithm: None,
+                mu: vec![4, 4, 4],
+                deps: Some(vec![vec![1, 0, (1 << 40) + 1]]),
+                space: vec![vec![1, 1, -1]],
+                cap: None,
+                max_candidates: None,
+                timeout_ms: None,
+            },
+            // Dimension bound: every solver stage is exponential in n.
+            MapRequest {
+                algorithm: None,
+                mu: vec![2; 25],
+                deps: Some(vec![std::iter::once(1)
+                    .chain(std::iter::repeat(0))
+                    .take(25)
+                    .collect()]),
+                space: vec![std::iter::repeat(0)
+                    .take(24)
+                    .chain(std::iter::once(1))
+                    .collect()],
+                cap: None,
+                max_candidates: None,
+                timeout_ms: None,
+            },
             MapRequest {
                 algorithm: None,
                 mu: vec![4, 4, 4],

@@ -345,12 +345,25 @@ impl Parser<'_> {
                     return Err(self.err("raw control character in string"))
                 }
                 Some(_) => {
-                    // Multi-byte UTF-8 sequences pass through unchanged;
-                    // find the char boundary and copy it whole.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    // Decode only the next sequence (≤ 4 bytes) — running
+                    // from_utf8 over the whole tail per character made
+                    // string parsing O(n²).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        // A 4-byte window holds any complete UTF-8 char,
+                        // so a valid prefix shorter than the window still
+                        // contains the char we want; an empty prefix
+                        // means the sequence itself is bad or truncated.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("prefix is valid")
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    };
+                    let c = valid.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -429,6 +442,18 @@ mod tests {
     fn surrogate_pair_parses() {
         assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
         assert!(parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn long_mixed_width_strings_round_trip() {
+        // The windowed char decoder must walk multi-byte sequences of
+        // every width, including back-to-back ones and one ending flush
+        // with the input (the 4-byte window is then truncated).
+        let body: String = "aé€😀".repeat(2000);
+        for tail in ["", "é", "€", "😀"] {
+            let s = Json::Str(format!("{body}{tail}"));
+            assert_eq!(parse(&s.serialize()).unwrap(), s);
+        }
     }
 
     #[test]

@@ -38,6 +38,11 @@ use std::time::Duration;
 /// requests are a few hundred bytes; megabytes signal a confused client.
 const MAX_BODY_BYTES: usize = 1 << 20;
 
+/// The request line and header section together may not exceed this many
+/// bytes. Without a bound, `read_line` would buffer a newline-free byte
+/// stream indefinitely (`MAX_BODY_BYTES` only guards the body).
+const MAX_HEAD_BYTES: usize = 64 << 10;
+
 /// How long a worker waits for a slow client before abandoning the
 /// connection.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
@@ -138,7 +143,14 @@ impl CfmapServer {
                 };
                 let Ok(stream) = conn else { break };
                 requests.fetch_add(1, Ordering::Relaxed);
-                handle_connection(stream, &engine, &shutdown, &requests, workers);
+                // A panicking request must not kill the worker — after
+                // `workers` such requests the daemon would still accept
+                // connections but never answer them. `dispatch` already
+                // converts its own panics to 500s; this guard covers the
+                // I/O path too (no response then, but the worker lives).
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(stream, &engine, &shutdown, &requests, workers);
+                }));
             }));
         }
         for conn in self.listener.incoming() {
@@ -180,7 +192,19 @@ fn handle_connection(
         Err(ReadError::TooLarge) => (413, error_body("request body too large")),
         Err(ReadError::Malformed(msg)) => (400, error_body(&msg)),
         Ok((method, path, payload)) => {
-            dispatch(&method, &path, &payload, engine, shutdown, requests, workers)
+            // Answer 500 instead of unwinding through the worker: the
+            // engine's locks all tolerate poisoning (see `cache.rs`), so
+            // serving can continue after a handler panic.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dispatch(&method, &path, &payload, engine, shutdown, requests, workers)
+            }))
+            .unwrap_or_else(|_| {
+                let body = Json::Obj(vec![
+                    ("status".into(), Json::Str("internal_error".into())),
+                    ("message".into(), Json::Str("request handler panicked".into())),
+                ]);
+                (500, body.serialize())
+            })
         }
     };
     let _ = write_response(&mut stream, status, &body);
@@ -295,15 +319,39 @@ enum ReadError {
     Malformed(String),
 }
 
-/// Read one `METHOD /path HTTP/1.x` request with an optional
-/// `Content-Length` body.
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, String), ReadError> {
+/// `read_line`, but never buffering more than `limit` bytes: reading
+/// stops at the first newline or at `limit + 1` bytes, whichever comes
+/// first, so a client streaming newline-free bytes cannot grow memory.
+/// Returns `Err(TooLarge)` when the line exceeds `limit`.
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    limit: usize,
+) -> Result<Option<String>, ReadError> {
     let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => return Err(ReadError::Empty),
+    match reader.by_ref().take(limit as u64 + 1).read_line(&mut line) {
+        Ok(0) => return Ok(None),
         Ok(_) => {}
-        Err(_) => return Err(ReadError::Empty),
+        Err(e) => return Err(ReadError::Malformed(format!("read failed: {e}"))),
     }
+    // `take` capped the read at limit + 1 bytes: a longer "line" means
+    // no newline arrived within the budget.
+    if line.len() > limit {
+        return Err(ReadError::TooLarge);
+    }
+    Ok(Some(line))
+}
+
+/// Read one `METHOD /path HTTP/1.x` request with an optional
+/// `Content-Length` body. The head (request line + headers) is bounded
+/// by [`MAX_HEAD_BYTES`], the body by [`MAX_BODY_BYTES`].
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, String), ReadError> {
+    let mut head_budget = MAX_HEAD_BYTES;
+    let line = match read_line_limited(reader, head_budget) {
+        Ok(Some(line)) => line,
+        Ok(None) | Err(ReadError::Malformed(_)) => return Err(ReadError::Empty),
+        Err(e) => return Err(e),
+    };
+    head_budget -= line.len().min(head_budget);
     if line.trim().is_empty() {
         return Err(ReadError::Empty);
     }
@@ -315,12 +363,11 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, St
     }
     let mut content_length = 0usize;
     loop {
-        let mut header = String::new();
-        match reader.read_line(&mut header) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(e) => return Err(ReadError::Malformed(format!("header read failed: {e}"))),
-        }
+        let header = match read_line_limited(reader, head_budget)? {
+            None => break,
+            Some(h) => h,
+        };
+        head_budget -= header.len().min(head_budget);
         let header = header.trim();
         if header.is_empty() {
             break;
@@ -354,6 +401,7 @@ fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::R
         404 => "Not Found",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
         _ => "Status",
     };
     let head = format!(

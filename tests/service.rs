@@ -166,6 +166,101 @@ fn wire_errors_map_to_http_statuses() {
 }
 
 #[test]
+fn hostile_requests_do_not_kill_workers() {
+    // Default pool: 4 workers. Every request below once panicked (or
+    // hung) its worker; more hostile requests than workers would leave a
+    // daemon that accepts but never answers. Each must get an orderly
+    // HTTP answer, and the daemon must still serve afterwards.
+    let daemon = Daemon::spawn(&[]);
+    let addr = daemon.addr.clone();
+
+    // 25 equal-μ axes: the tie-permutation count is 25!, which used to
+    // overflow in the canonicalizer (debug panic / release wrap into an
+    // attempted 10²⁵-entry expansion) and the budget-degrade fallback
+    // would walk 25! permutations. The dimension bound now refuses it at
+    // the wire; the canonicalizer's own saturation is unit-tested in
+    // crates/core/src/canon.rs.
+    let n = 25;
+    let mut dep = vec![0i64; n];
+    dep[0] = 1;
+    let mut row = vec![0i64; n];
+    row[n - 1] = 1;
+    let wide = MapRequest {
+        algorithm: None,
+        mu: vec![2; n],
+        deps: Some(vec![dep]),
+        space: vec![row],
+        cap: None,
+        max_candidates: Some(10),
+        timeout_ms: None,
+    };
+    // i64::MIN in a space row: sign-normalization cannot negate it; the
+    // magnitude bound now rejects it at the wire.
+    let minrow = MapRequest { space: vec![vec![1, 1, i64::MIN]], ..matmul_request() };
+
+    for _ in 0..3 {
+        for hostile in [&wide, &minrow] {
+            let reply =
+                client::post(&addr, "/map", &hostile.to_json().serialize()).expect("reply");
+            assert_eq!(reply.status, 400, "{}", reply.body);
+        }
+    }
+
+    // All workers must still be alive and answering.
+    let reply = client::get(&addr, "/healthz").expect("daemon still serves");
+    assert_eq!(reply.status, 200);
+    let resp = client::map(&addr, &matmul_request()).expect("real work still served");
+    assert!(matches!(resp, MapResponse::Ok(_)));
+
+    daemon.stop();
+}
+
+#[test]
+fn newline_free_header_stream_gets_413_not_unbounded_buffering() {
+    use std::io::{Read, Write};
+
+    // Mirrors MAX_HEAD_BYTES in crates/service/src/server.rs. The test
+    // sends exactly the bytes the server will consume before refusing,
+    // so the close is clean (no unread data → no TCP RST eating the
+    // reply).
+    const MAX_HEAD: usize = 64 << 10;
+
+    let daemon = Daemon::spawn(&[]);
+    let addr = daemon.addr.clone();
+
+    // A newline-free byte stream must hit the head bound and be answered
+    // 413 instead of growing the server's line buffer without limit.
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    raw.write_all(&vec![b'A'; MAX_HEAD + 1]).expect("send newline-free head");
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).expect("server answers and closes");
+    assert!(reply.starts_with("HTTP/1.1 413 "), "{reply:?}");
+
+    // Same bound for an over-long header *section* made of short lines.
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    let request_line = b"GET /healthz HTTP/1.1\r\n";
+    raw.write_all(request_line).expect("request line");
+    let header_line = format!("X-Pad: {}\r\n", "b".repeat(1015)); // 1024 bytes
+    let mut budget = MAX_HEAD - request_line.len();
+    while budget >= header_line.len() {
+        raw.write_all(header_line.as_bytes()).expect("header line");
+        budget -= header_line.len();
+    }
+    // One byte past the remaining budget, newline-free: the server reads
+    // all of it, then refuses.
+    raw.write_all(&vec![b'b'; budget + 1]).expect("overflowing tail");
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).expect("server answers and closes");
+    assert!(reply.starts_with("HTTP/1.1 413 "), "{reply:?}");
+
+    // The worker that served each refusal is still in the pool.
+    let reply = client::get(&addr, "/healthz").expect("daemon still serves");
+    assert_eq!(reply.status, 200);
+
+    daemon.stop();
+}
+
+#[test]
 fn watch_stdin_shuts_down_on_eof() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_cfmapd"))
         .args(["--addr", "127.0.0.1:0", "--watch-stdin"])
