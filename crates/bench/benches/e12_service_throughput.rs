@@ -20,6 +20,7 @@ use cfmap_service::json::Json;
 use cfmap_service::server::{CfmapServer, ServerConfig};
 use cfmap_service::wire::{MapRequest, MapResponse};
 use std::hint::black_box;
+use std::str::FromStr;
 use std::time::Instant;
 
 const MU: i64 = 4;
@@ -134,6 +135,7 @@ fn main() {
 
     let report = ExperimentReport {
         id: "E12b".into(),
+        telemetry: Vec::new(),
         title: "cfmapd throughput: cold (cache-miss) vs warm (cache-hit), matmul μ=4".into(),
         headers: vec![
             "path".into(),

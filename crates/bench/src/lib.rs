@@ -40,9 +40,33 @@ pub struct ExperimentReport {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes (paper-vs-measured commentary).
     pub notes: Vec<String>,
+    /// Search-effort counters behind the experiment's solves — the same
+    /// counters `cfmap map --trace` prints and the daemon's `/metrics`
+    /// endpoint exports. Empty for experiments that run no search.
+    pub telemetry: Vec<(String, u64)>,
 }
 
 impl ExperimentReport {
+    /// Attach the aggregate search telemetry behind this experiment.
+    pub fn with_telemetry(mut self, tel: &cfmap_core::SearchTelemetry) -> ExperimentReport {
+        self.telemetry = vec![
+            ("candidates_enumerated".into(), tel.enumerated),
+            ("accepted".into(), tel.accepted),
+            ("rejected_schedule".into(), tel.rejected_schedule),
+            ("rejected_prefilter".into(), tel.rejected_prefilter),
+            ("rejected_rank".into(), tel.rejected_rank),
+            ("rejected_conflict".into(), tel.rejected_conflict),
+            ("rejected_unroutable".into(), tel.rejected_unroutable),
+            ("hnf_computations".into(), tel.hnf_computations),
+            ("fallback_screened".into(), tel.fallback_screened),
+        ];
+        for (rule, n) in tel.condition_hits.entries() {
+            if n > 0 {
+                self.telemetry.push((format!("condition_{rule}"), n));
+            }
+        }
+        self
+    }
     /// Render as a JSON object (hand-rolled emitter — the workspace's
     /// hermetic dependency policy allows no registry crates at all;
     /// reports are strings all the way down, so the emitter is 30 lines).
@@ -66,13 +90,19 @@ impl ExperimentReport {
             format!("[{}]", inner.join(","))
         }
         let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        let telemetry: Vec<String> = self
+            .telemetry
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", esc(k)))
+            .collect();
         format!(
-            "{{\"id\":\"{}\",\"title\":\"{}\",\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"headers\":{},\"rows\":[{}],\"notes\":{},\"telemetry\":{{{}}}}}",
             esc(&self.id),
             esc(&self.title),
             arr(&self.headers),
             rows.join(","),
-            arr(&self.notes)
+            arr(&self.notes),
+            telemetry.join(",")
         )
     }
 
@@ -97,6 +127,11 @@ impl ExperimentReport {
         }
         for note in &self.notes {
             out.push_str(&format!("\n> {note}\n"));
+        }
+        if !self.telemetry.is_empty() {
+            let pairs: Vec<String> =
+                self.telemetry.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!("\n> search telemetry: {}\n", pairs.join(", ")));
         }
         out
     }
@@ -133,6 +168,7 @@ pub fn e1_feasibility() -> ExperimentReport {
     }
     ExperimentReport {
         id: "E1".into(),
+        telemetry: Vec::new(),
         title: "Figure 1 — conflict-vector feasibility over J = {0..4}² (Theorem 2.2)".into(),
         headers: vec!["γ".into(), "Theorem 2.2".into(), "colliding points (brute force)".into()],
         rows,
@@ -170,6 +206,7 @@ pub fn e2_conflict_vectors() -> ExperimentReport {
     let pairs = oracle::count_conflicting_pairs(&t, &alg.index_set);
     ExperimentReport {
         id: "E2".into(),
+        telemetry: Vec::new(),
         title: "Examples 2.1/4.1 — conflict vectors of the Eq 2.8 mapping over {0..6}⁴".into(),
         headers: vec!["vector".into(), "Tγ = 0".into(), "primitive".into(), "feasibility".into()],
         rows,
@@ -210,6 +247,7 @@ pub fn e3_hnf() -> ExperimentReport {
     rows.push(vec!["kernel lattices agree".into(), s(same_lattice), "yes".into()]);
     ExperimentReport {
         id: "E3".into(),
+        telemetry: Vec::new(),
         title: "Example 4.2 — Hermite normal form of the Eq 2.8 mapping".into(),
         headers: vec!["property".into(), "measured".into(), "paper".into()],
         rows,
@@ -246,11 +284,14 @@ pub struct MatmulRow {
 pub fn e4_matmul(mus: &[i64]) -> (ExperimentReport, Vec<MatmulRow>) {
     let mut rows = Vec::new();
     let mut data = Vec::new();
+    let mut tel = cfmap_core::SearchTelemetry::default();
     let prims = InterconnectionPrimitives::from_columns(&[&[1], &[1], &[-1]]);
     for &mu in mus {
         let alg = algorithms::matmul(mu);
         let space = SpaceMap::row(&[1, 1, -1]);
-        let opt = Procedure51::new(&alg, &space).primitives(&prims).solve().unwrap().expect_optimal("solvable");
+        let outcome = Procedure51::new(&alg, &space).primitives(&prims).solve().unwrap();
+        tel.merge(&outcome.telemetry);
+        let opt = outcome.expect_optimal("solvable");
         let routing = opt.routing.as_ref().unwrap();
         let base = baselines::matmul_baseline_23(mu);
         let base_routing = route(&base.mapping(), &alg.deps, &prims).unwrap();
@@ -291,6 +332,7 @@ pub fn e4_matmul(mus: &[i64]) -> (ExperimentReport, Vec<MatmulRow>) {
     (
         ExperimentReport {
             id: "E4".into(),
+            telemetry: Vec::new(),
             title: "Example 5.1 + Figures 2/3 — matmul onto a linear array, optimal vs [23]".into(),
             headers: vec![
                 "μ".into(),
@@ -308,7 +350,8 @@ pub fn e4_matmul(mus: &[i64]) -> (ExperimentReport, Vec<MatmulRow>) {
                 "The optimum is not unique: any point of the winning convex subset's optimal face ties the paper's Π₂ = [1, μ, 1].".into(),
                 "For μ = 3 the search finds t° = 16 < 19: the paper's remark that Π' = [2, 1, μ] is optimal at μ = 3 is refuted by its own Procedure 5.1 (see E7).".into(),
             ],
-        },
+        }
+        .with_telemetry(&tel),
         data,
     )
 }
@@ -337,6 +380,7 @@ pub fn e5_transitive_closure(mus: &[i64]) -> ExperimentReport {
     }
     ExperimentReport {
         id: "E5".into(),
+        telemetry: Vec::new(),
         title: "Example 5.2 — transitive closure onto a linear array, optimal vs [22]".into(),
         headers: vec![
             "μ".into(),
@@ -434,6 +478,7 @@ pub fn e6_bitlevel() -> ExperimentReport {
 
     ExperimentReport {
         id: "E6".into(),
+        telemetry: Vec::new(),
         title: "Bit-level mappings — Theorems 4.7/4.8, Proposition 8.1".into(),
         headers: vec![
             "instance".into(),
@@ -478,6 +523,7 @@ pub fn e7_search_vs_ilp(mus: &[i64]) -> ExperimentReport {
     }
     ExperimentReport {
         id: "E7".into(),
+        telemetry: Vec::new(),
         title: "Procedure 5.1 vs ILP decomposition (formulations 5.1–5.2)".into(),
         headers: vec![
             "algorithm".into(),
@@ -524,6 +570,7 @@ pub fn e7b_closedform_vs_enumeration(mus: &[i64]) -> ExperimentReport {
     }
     ExperimentReport {
         id: "E7b".into(),
+        telemetry: Vec::new(),
         title: "Closed-form conflict test vs index-point enumeration".into(),
         headers: vec![
             "μ".into(),
@@ -570,6 +617,7 @@ pub fn e8_thm48() -> ExperimentReport {
     }
     ExperimentReport {
         id: "E8".into(),
+        telemetry: Vec::new(),
         title: "Repaired Theorem 4.8 (kernel dimension 3) vs exhaustive oracle".into(),
         headers: vec![
             "instance".into(),
@@ -588,13 +636,16 @@ pub fn e8_thm48() -> ExperimentReport {
 /// E9 — search-space and decision-cost scaling.
 pub fn e9_scaling() -> ExperimentReport {
     let mut rows = Vec::new();
+    let mut tel = cfmap_core::SearchTelemetry::default();
     // Candidate-space growth for Procedure 5.1 (the paper's O(n^{2μ+1})
     // remark made concrete).
     for mu in [2i64, 3, 4, 5, 6] {
         let alg = algorithms::matmul(mu);
         let space = SpaceMap::row(&[1, 1, -1]);
         let proc = Procedure51::new(&alg, &space);
-        let opt = proc.solve().unwrap().expect_optimal("solvable");
+        let outcome = proc.solve().unwrap();
+        tel.merge(&outcome.telemetry);
+        let opt = outcome.expect_optimal("solvable");
         let cands = proc.count_candidates(opt.objective);
         rows.push(vec![
             format!("matmul n=3 μ={mu}"),
@@ -608,7 +659,9 @@ pub fn e9_scaling() -> ExperimentReport {
         let s_row: Vec<i64> = (0..n).map(|i| i64::from(i == 0)).collect();
         let space = SpaceMap::row(&s_row);
         let proc = Procedure51::new(&alg, &space);
-        match proc.solve().unwrap().into_mapping() {
+        let outcome = proc.solve().unwrap();
+        tel.merge(&outcome.telemetry);
+        match outcome.into_mapping() {
             Some(opt) => rows.push(vec![
                 format!("identity n={n} μ=2"),
                 s(opt.objective),
@@ -618,8 +671,9 @@ pub fn e9_scaling() -> ExperimentReport {
             None => rows.push(vec![format!("identity n={n} μ=2"), "—".into(), "—".into(), "—".into()]),
         }
     }
-    ExperimentReport {
+    let report = ExperimentReport {
         id: "E9".into(),
+        telemetry: Vec::new(),
         title: "Search-space scaling of Procedure 5.1".into(),
         headers: vec![
             "instance".into(),
@@ -632,7 +686,8 @@ pub fn e9_scaling() -> ExperimentReport {
             "Candidate counts grow polynomially in the objective but the objective itself grows with μ — the combined growth is the paper's exponential-in-μ search bound, and why the ILP route matters.".into(),
             "The n = 5 identity row gives up at the default objective cap: a 1-row space map leaves a 4-dimensional conflict lattice whose feasibility needs schedule entries far beyond the cap — the blow-up Procedure 5.1's complexity remark predicts.".into(),
         ],
-    }
+    };
+    report.with_telemetry(&tel)
 }
 
 /// E10 — ablation: Procedure 5.1 driven by the paper's closed-form
@@ -688,6 +743,7 @@ pub fn e10_condition_ablation() -> ExperimentReport {
     }
     ExperimentReport {
         id: "E10".into(),
+        telemetry: Vec::new(),
         title: "Ablation — Procedure 5.1 with exact lattice test vs paper's closed-form conditions".into(),
         headers: vec![
             "instance".into(),
@@ -743,6 +799,7 @@ pub fn e11_space_optimal() -> ExperimentReport {
     }
     ExperimentReport {
         id: "E11".into(),
+        telemetry: Vec::new(),
         title: "Problem 6.1 (future work, implemented) — space-optimal maps under fixed schedules".into(),
         headers: vec![
             "instance".into(),
@@ -801,6 +858,7 @@ pub fn e12_joint_and_bounds() -> ExperimentReport {
     }
     ExperimentReport {
         id: "E12".into(),
+        telemetry: Vec::new(),
         title: "Problem 6.2 (future work, implemented) — joint (S, Π) optimization vs absolute bounds".into(),
         headers: vec![
             "instance".into(),
@@ -903,6 +961,7 @@ mod tests {
     fn json_rendering_escapes() {
         let r = ExperimentReport {
             id: "X".into(),
+            telemetry: Vec::new(),
             title: "quote \" backslash \\ newline \n tab \t".into(),
             headers: vec!["a".into()],
             rows: vec![vec!["b".into()]],
@@ -921,5 +980,18 @@ mod tests {
         let j = e1_feasibility().to_json();
         assert!(j.contains("\"id\":\"E1\""));
         assert!(j.contains("NonFeasible"));
+        // E1 runs no search, so its telemetry object is empty.
+        assert!(j.contains("\"telemetry\":{}"), "{j}");
+    }
+
+    #[test]
+    fn search_experiments_carry_telemetry() {
+        let (r, _) = e4_matmul(&[2]);
+        let get = |k: &str| r.telemetry.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert!(get("candidates_enumerated").unwrap() > 0);
+        assert_eq!(get("accepted"), Some(1));
+        let j = r.to_json();
+        assert!(j.contains("\"telemetry\":{\"candidates_enumerated\":"), "{j}");
+        assert!(r.to_markdown().contains("search telemetry:"));
     }
 }

@@ -15,6 +15,7 @@
 //! enumeration".
 
 use crate::error::BudgetLimit;
+use crate::metrics::SearchTelemetry;
 use std::time::{Duration, Instant};
 
 /// Resource limits for a search. The default is unlimited.
@@ -190,12 +191,19 @@ pub struct SearchOutcome<T> {
     pub certification: Certification,
     /// Total candidates screened by the search.
     pub candidates_examined: u64,
+    /// Per-stage search effort counters (see [`SearchTelemetry`]).
+    pub telemetry: SearchTelemetry,
 }
 
 impl<T> SearchOutcome<T> {
     /// A completed search with a provably optimal result.
     pub fn optimal(mapping: T, candidates_examined: u64) -> SearchOutcome<T> {
-        SearchOutcome { mapping: Some(mapping), certification: Certification::Optimal, candidates_examined }
+        SearchOutcome {
+            mapping: Some(mapping),
+            certification: Certification::Optimal,
+            candidates_examined,
+            telemetry: SearchTelemetry::default(),
+        }
     }
 
     /// A budget-degraded but valid result.
@@ -204,12 +212,24 @@ impl<T> SearchOutcome<T> {
             mapping: Some(mapping),
             certification: Certification::BestEffort { candidates_examined },
             candidates_examined,
+            telemetry: SearchTelemetry::default(),
         }
     }
 
     /// A completed search that proved the candidate space empty.
     pub fn infeasible(candidates_examined: u64) -> SearchOutcome<T> {
-        SearchOutcome { mapping: None, certification: Certification::Infeasible, candidates_examined }
+        SearchOutcome {
+            mapping: None,
+            certification: Certification::Infeasible,
+            candidates_examined,
+            telemetry: SearchTelemetry::default(),
+        }
+    }
+
+    /// Attach search telemetry (builder style, used by the searches).
+    pub fn with_telemetry(mut self, telemetry: SearchTelemetry) -> SearchOutcome<T> {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The mapping, discarding the certification.
@@ -241,6 +261,7 @@ impl<T> SearchOutcome<T> {
             mapping: self.mapping.map(f),
             certification: self.certification,
             candidates_examined: self.candidates_examined,
+            telemetry: self.telemetry,
         }
     }
 }

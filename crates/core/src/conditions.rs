@@ -307,6 +307,28 @@ pub fn paper_condition(analysis: &ConflictAnalysis<'_>, index_set: &IndexSet) ->
     }
 }
 
+/// Which rule [`check`] will dispatch to for this analysis — the
+/// telemetry label of a conflict-freedom test. Mirrors the dispatch in
+/// [`paper_condition`] exactly (Theorem 4.7 and 4.8 both route through
+/// the repaired sign-pattern condition, but remain distinct rules for
+/// the effort statistics).
+pub fn rule_for(
+    kind: ConditionKind,
+    analysis: &ConflictAnalysis<'_>,
+) -> crate::metrics::ConditionRule {
+    use crate::metrics::ConditionRule;
+    match kind {
+        ConditionKind::Exact => ConditionRule::Exact,
+        ConditionKind::Paper => match analysis.lattice_basis().len() {
+            0 => ConditionRule::Trivial,
+            1 => ConditionRule::Theorem31,
+            2 => ConditionRule::Theorem47,
+            3 => ConditionRule::Theorem48,
+            _ => ConditionRule::Theorem45,
+        },
+    }
+}
+
 /// Run the configured condition kind.
 pub fn check(
     kind: ConditionKind,

@@ -75,6 +75,7 @@ impl<'a> ConflictAnalysis<'a> {
     pub fn new(mapping: &'a MappingMatrix, index_set: &'a IndexSet) -> Self {
         assert_eq!(mapping.dim(), index_set.dim(), "T and J dimension mismatch");
         let hnf = mapping.hnf();
+        crate::metrics::HNF_COMPUTATIONS.inc();
         ConflictAnalysis { mapping, index_set, hnf }
     }
 
@@ -169,6 +170,7 @@ impl<'a> ConflictAnalysis<'a> {
     /// vectors directly and shrink the coefficient box the enumeration
     /// must cover.
     pub fn find_small_kernel_vector(&self) -> Option<IVec> {
+        crate::metrics::EXACT_CONFLICT_TESTS.inc();
         let basis = cfmap_intlin::lll_reduce(&self.lattice_basis());
         let d = basis.len();
         if d == 0 {
@@ -191,11 +193,11 @@ impl<'a> ConflictAnalysis<'a> {
 
         // |β_j| ≤ Σ_i |(M⁻¹)_{ji}|·μ_{rows[i]}.
         let mut bounds = Vec::with_capacity(d);
-        for j in 0..d {
+        for inv_row in m_inv.iter().take(d) {
             let mut acc = Rat::zero();
             for (i, &row) in rows.iter().enumerate() {
                 let mu = Rat::from_i64(self.index_set.mu_i(row));
-                acc += &(&m_inv[j][i].abs() * &mu);
+                acc += &(&inv_row[i].abs() * &mu);
             }
             let b = acc.floor().to_i64().unwrap_or(i64::MAX);
             bounds.push(b.max(0));
@@ -366,6 +368,35 @@ mod tests {
         // Feasible (|−5| > μ = 4) ⇒ conflict-free.
         assert_eq!(feasibility(&gamma, &j), Feasibility::Feasible);
         assert!(analysis.is_conflict_free_exact());
+    }
+
+    #[test]
+    fn eq_3_2_reorders_columns_past_singular_leading_block() {
+        // T = [[1,1,2],[1,1,3]]: removing the last column leaves
+        // B = [[1,1],[1,1]], which is singular — the paper's "without
+        // loss of generality" reordering is load-bearing here. The
+        // bcol = 2 attempt must be skipped and the bcol = 1 block
+        // ([[1,2],[1,3]], det 1) used instead.
+        let t = mapping(&[&[1, 1, 2], &[1, 1, 3]]);
+        let j = IndexSet::cube(3, 4);
+        let analysis = ConflictAnalysis::new(&t, &j);
+        let gamma = analysis.conflict_vector_eq_3_2().expect("reordering finds a block");
+        assert!(t.as_mat().mul_vec(&gamma).is_zero(), "γ = {gamma:?} not in ker T");
+        assert!(gamma.is_primitive());
+        assert_eq!(gamma, analysis.unique_conflict_vector().unwrap());
+        // The only primitive kernel direction of this T is ±[1, −1, 0].
+        assert_eq!(gamma, IVec::from_i64s(&[1, -1, 0]).primitive_part().unwrap());
+    }
+
+    #[test]
+    fn eq_3_2_declines_fully_singular_mappings() {
+        // Every (n−1)×(n−1) block of T = [[1,1,1],[1,1,1]] is singular:
+        // no column choice works and the formula must return None
+        // instead of dividing by a zero determinant.
+        let t = mapping(&[&[1, 1, 1], &[1, 1, 1]]);
+        let j = IndexSet::cube(3, 4);
+        let analysis = ConflictAnalysis::new(&t, &j);
+        assert_eq!(analysis.conflict_vector_eq_3_2(), None);
     }
 
     #[test]

@@ -91,6 +91,14 @@ pub enum CfmapError {
         /// What was requested and what the supported range is.
         reason: String,
     },
+    /// An internal invariant broke — e.g. a worker thread of the
+    /// parallel search panicked. Unlike every other variant this is a
+    /// bug in cfmap, not in the caller's input; surfacing it as an error
+    /// (HTTP 500 on the wire) keeps the pipeline's panic-free contract.
+    Internal {
+        /// Where the invariant broke.
+        context: String,
+    },
 }
 
 impl fmt::Display for CfmapError {
@@ -130,6 +138,11 @@ impl fmt::Display for CfmapError {
                 "dimension mismatch in {context}: expected {expected}, got {actual}"
             ),
             CfmapError::Unsupported { reason } => write!(f, "unsupported request: {reason}"),
+            CfmapError::Internal { context } => write!(
+                f,
+                "internal error in {context}: this is a bug in cfmap, not in \
+                 the request; please report it with the input that triggered it"
+            ),
         }
     }
 }
@@ -172,6 +185,10 @@ mod tests {
                 "dimension mismatch",
             ),
             (CfmapError::Unsupported { reason: "3-row S".into() }, "unsupported"),
+            (
+                CfmapError::Internal { context: "solve_parallel worker".into() },
+                "internal error",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

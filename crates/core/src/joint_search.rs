@@ -15,6 +15,7 @@ use crate::budget::{SearchBudget, SearchOutcome};
 use crate::conditions::ConditionKind;
 use crate::error::CfmapError;
 use crate::mapping::{MappingMatrix, SpaceMap};
+use crate::metrics::SearchTelemetry;
 use crate::search::Procedure51;
 use cfmap_intlin::Int;
 use cfmap_model::{LinearSchedule, Uda};
@@ -176,6 +177,9 @@ impl<'a> JointSearch<'a> {
         let mut best: Option<(JointOptimal, (i64, i64))> = None;
         let mut meter = self.budget.start();
         let mut tripped = None;
+        // Aggregate telemetry of every inner Procedure 5.1 run; the
+        // joint search's own per-space-map effort is `enumerated`.
+        let mut tel = SearchTelemetry::default();
         for r in &rows {
             // The charged space map is still screened; the trip takes
             // effect before the *next* one, keeping degradation
@@ -195,7 +199,9 @@ impl<'a> JointSearch<'a> {
                     );
                 }
             }
-            if let Some(opt) = proc.solve()?.into_mapping() {
+            let inner = proc.solve()?;
+            tel.merge(&inner.telemetry);
+            if let Some(opt) = inner.into_mapping() {
                 let cost = self.space_cost(&space)?;
                 let score = self.score(opt.total_time, cost);
                 let better = match &best {
@@ -222,16 +228,17 @@ impl<'a> JointSearch<'a> {
             }
         }
         let examined = meter.candidates;
+        tel.budget_limit = tripped;
         match (best, tripped) {
             (Some((mut sol, _)), None) => {
                 sol.space_maps_tried = examined;
-                Ok(SearchOutcome::optimal(sol, examined))
+                Ok(SearchOutcome::optimal(sol, examined).with_telemetry(tel))
             }
             (Some((mut sol, _)), Some(_)) => {
                 sol.space_maps_tried = examined;
-                Ok(SearchOutcome::best_effort(sol, examined))
+                Ok(SearchOutcome::best_effort(sol, examined).with_telemetry(tel))
             }
-            (None, None) => Ok(SearchOutcome::infeasible(examined)),
+            (None, None) => Ok(SearchOutcome::infeasible(examined).with_telemetry(tel)),
             (None, Some(limit)) => {
                 Err(CfmapError::BudgetExhausted { limit, candidates_examined: examined })
             }
@@ -329,6 +336,18 @@ mod tests {
         let sol = out.into_mapping().expect("best-effort carries a design");
         assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
         assert!(sol.mapping.has_full_rank());
+    }
+
+    #[test]
+    fn outcome_aggregates_inner_search_telemetry() {
+        let alg = algorithms::matmul(3);
+        let out = JointSearch::new(&alg).solve().unwrap();
+        let t = &out.telemetry;
+        // Inner Procedure 5.1 effort across all space maps.
+        assert!(t.enumerated > 0);
+        assert!(t.hnf_computations > 0);
+        assert!(t.accepted >= 1, "at least one inner search accepted: {t:?}");
+        assert!(t.budget_limit.is_none());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | Prior-work baselines [22], [23] | [`baselines`] |
 //! | Problem 6.1 (space-optimal mapping — the paper's future work) | [`space_search`] |
 //! | Problem 6.2 (joint `S`, `Π` optimization — future work) | [`joint_search`] |
+//! | search effort / observability counters (not in the paper) | [`metrics`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +36,7 @@ pub mod error;
 pub mod ilp;
 pub mod joint_search;
 pub mod mapping;
+pub mod metrics;
 pub mod oracle;
 pub mod prop81;
 pub mod schedulability;
@@ -47,6 +49,7 @@ pub use conflict::{ConflictAnalysis, Feasibility};
 pub use error::{BudgetLimit, CfmapError};
 pub use diagnose::{diagnose, Check, MappingDiagnosis};
 pub use mapping::{InterconnectionPrimitives, MappingMatrix, SpaceMap};
+pub use metrics::{ConditionRule, SearchTelemetry};
 pub use schedulability::{find_valid_schedule, is_schedulable};
 pub use search::{OptimalMapping, Procedure51};
 pub use space_search::{SpaceOptimalMapping, SpaceSearch};

@@ -252,12 +252,12 @@ pub fn route(
 
     let mut k = IMat::zeros(r, m);
     let mut hops = Vec::with_capacity(m);
-    for i in 0..m {
+    for (i, dep_time) in dep_times.iter().enumerate() {
         let target = sd.col(i);
         // min Σ k_j  s.t.  P·k = target, 0 ≤ k_j ≤ Π·d̄ᵢ.
         let mut p = LpProblem::minimize(&vec![1; r]);
         let budget =
-            dep_times[i].to_i64().ok_or_else(|| overflow("schedule time Π·d̄ᵢ"))?;
+            dep_time.to_i64().ok_or_else(|| overflow("schedule time Π·d̄ᵢ"))?;
         for j in 0..r {
             p.set_lower(j, cfmap_intlin::Rat::zero());
             p.set_upper(j, cfmap_intlin::Rat::from_i64(budget));
@@ -284,12 +284,12 @@ pub fn route(
                 })
             }
             Ok(LpOutcome::Optimal { x, value }) => {
-                if value > cfmap_intlin::Rat::from_int(dep_times[i].clone()) {
+                if value > cfmap_intlin::Rat::from_int(dep_time.clone()) {
                     return Err(CfmapError::Unroutable {
                         dependence: i,
                         reason: format!(
                             "needs {value} hops but only {} time steps are available",
-                            dep_times[i]
+                            dep_time
                         ),
                     });
                 }
@@ -305,7 +305,7 @@ pub fn route(
                         "no nonnegative integral combination of the {r} primitives \
                          reaches processor offset {:?} within {} time steps",
                         target.to_i64s().unwrap_or_default(),
-                        dep_times[i]
+                        dep_time
                     ),
                 })
             }

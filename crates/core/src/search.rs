@@ -30,10 +30,11 @@
 //! does it report [`CfmapError::BudgetExhausted`].
 
 use crate::budget::{SearchBudget, SearchOutcome};
-use crate::conditions::{check, ConditionKind};
+use crate::conditions::{check, rule_for, ConditionKind};
 use crate::conflict::ConflictAnalysis;
 use crate::error::{BudgetLimit, CfmapError};
 use crate::mapping::{route, InterconnectionPrimitives, MappingMatrix, Routing, SpaceMap};
+use crate::metrics::SearchTelemetry;
 use cfmap_model::{LinearSchedule, Uda};
 
 /// The result of a successful optimal-mapping search.
@@ -97,7 +98,14 @@ pub struct Procedure51<'a> {
     /// Column indices where `S` is entirely zero — used by the exact
     /// pairwise pre-filter (see [`Self::pairwise_prefilter_rejects`]).
     zero_space_cols: Vec<usize>,
+    /// Test instrumentation: called with each candidate before
+    /// screening (see [`Self::candidate_probe`]).
+    probe: Option<CandidateProbe<'a>>,
 }
+
+/// A per-candidate instrumentation hook (see
+/// [`Procedure51::candidate_probe`]).
+type CandidateProbe<'a> = &'a (dyn Fn(&[i64]) + Sync);
 
 impl<'a> Procedure51<'a> {
     /// Start a search for `alg` with the given space mapping.
@@ -123,6 +131,7 @@ impl<'a> Procedure51<'a> {
             max_objective: cap,
             budget: SearchBudget::unlimited(),
             zero_space_cols,
+            probe: None,
         }
     }
 
@@ -177,6 +186,15 @@ impl<'a> Procedure51<'a> {
         self
     }
 
+    /// Install a per-candidate probe, invoked with each candidate `Π`
+    /// before screening. Test instrumentation (panic injection, candidate
+    /// recording) — not part of the stable API.
+    #[doc(hidden)]
+    pub fn candidate_probe(mut self, probe: &'a (dyn Fn(&[i64]) + Sync)) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
     /// Run the search: the first accepted candidate in increasing
     /// objective order is certified [`Certification::Optimal`]. If the
     /// budget trips first, a deterministic fallback mapping is returned
@@ -190,58 +208,86 @@ impl<'a> Procedure51<'a> {
         let mu = self.alg.index_set.mu();
         let n = self.alg.dim();
         let mut meter = self.budget.start();
+        let mut tel = SearchTelemetry::default();
         if let Some(limit) = meter.check_wall() {
-            return self.degrade(limit, 0);
+            return self.degrade(limit, 0, tel);
         }
         for cost in 1..=self.max_objective {
             let mut found: Option<OptimalMapping> = None;
             let mut tripped: Option<BudgetLimit> = None;
+            let level_start = tel.enumerated;
             enumerate_weighted(n, mu, cost, &mut |pi| {
                 if found.is_some() || tripped.is_some() {
                     return;
                 }
                 let limit = meter.charge_candidate();
-                if let Some(result) = self.try_candidate(pi, cost, meter.candidates) {
+                tel.enumerated += 1;
+                if let Some(result) = self.try_candidate(pi, cost, meter.candidates, &mut tel) {
+                    tel.accepted += 1;
                     found = Some(result);
                 } else {
                     tripped = limit;
                 }
             });
+            let level_accepted = u64::from(found.is_some());
+            tel.record_level(cost, tel.enumerated - level_start, level_accepted);
             if let Some(win) = found {
-                return Ok(SearchOutcome::optimal(win, meter.candidates));
+                return Ok(SearchOutcome::optimal(win, meter.candidates).with_telemetry(tel));
             }
             if let Some(limit) = tripped {
-                return self.degrade(limit, meter.candidates);
+                return self.degrade(limit, meter.candidates, tel);
             }
         }
-        Ok(SearchOutcome::infeasible(meter.candidates))
+        Ok(SearchOutcome::infeasible(meter.candidates).with_telemetry(tel))
     }
 
-    /// Evaluate one candidate against all conditions of Definition 2.2.
-    fn try_candidate(&self, pi: &[i64], cost: i64, examined: u64) -> Option<OptimalMapping> {
+    /// Evaluate one candidate against all conditions of Definition 2.2,
+    /// charging each gate's rejection to the telemetry.
+    fn try_candidate(
+        &self,
+        pi: &[i64],
+        cost: i64,
+        examined: u64,
+        tel: &mut SearchTelemetry,
+    ) -> Option<OptimalMapping> {
+        if let Some(probe) = self.probe {
+            probe(pi);
+        }
         let schedule = LinearSchedule::new(pi);
         // Condition 1: ΠD > 0.
         if !schedule.is_valid_for(&self.alg.deps) {
+            tel.rejected_schedule += 1;
             return None;
         }
         // Cheap exact conflict pre-filter (see pairwise_prefilter_rejects).
         if self.pairwise_prefilter_rejects(pi) {
+            tel.rejected_prefilter += 1;
             return None;
         }
         let mapping = MappingMatrix::new(self.space.clone(), schedule.clone());
         // Conditions 4 and 3 share the Hermite decomposition: the analysis
         // computes it once; its rank is rank(T).
         let analysis = ConflictAnalysis::new(&mapping, &self.alg.index_set);
+        tel.hnf_computations += 1;
         if analysis.rank() != mapping.k() {
+            tel.rejected_rank += 1;
             return None; // condition 4: rank(T) = k
         }
+        tel.condition_hits.record(rule_for(self.condition, &analysis));
         if !check(self.condition, &analysis, &self.alg.index_set).accepts() {
+            tel.rejected_conflict += 1;
             return None; // condition 3: conflict-freedom
         }
         // Condition 2: routability (optional). An unroutable candidate is
         // an ordinary rejection — the search keeps looking.
         let routing = match self.primitives {
-            Some(p) => Some(route(&mapping, &self.alg.deps, p).ok()?),
+            Some(p) => match route(&mapping, &self.alg.deps, p) {
+                Ok(r) => Some(r),
+                Err(_) => {
+                    tel.rejected_unroutable += 1;
+                    return None;
+                }
+            },
             None => None,
         };
         let total_time = cost + 1;
@@ -270,7 +316,9 @@ impl<'a> Procedure51<'a> {
         &self,
         limit: BudgetLimit,
         candidates_examined: u64,
+        mut tel: SearchTelemetry,
     ) -> Result<SearchOutcome<OptimalMapping>, CfmapError> {
+        tel.budget_limit = Some(limit);
         let mu = self.alg.index_set.mu();
         let n = self.alg.dim();
         let mut best: Option<OptimalMapping> = None;
@@ -314,7 +362,7 @@ impl<'a> Procedure51<'a> {
                         .collect();
                     let Some(objective) = weighted_objective(&pi, mu) else { continue };
                     if let Some(cand) =
-                        self.fallback_candidate(&pi, objective, candidates_examined)
+                        self.fallback_candidate(&pi, objective, candidates_examined, &mut tel)
                     {
                         let better = match &best {
                             None => true,
@@ -334,8 +382,11 @@ impl<'a> Procedure51<'a> {
                 break;
             }
         }
+        tel.fallback_screened = screened;
         match best {
-            Some(mapping) => Ok(SearchOutcome::best_effort(mapping, candidates_examined)),
+            Some(mapping) => {
+                Ok(SearchOutcome::best_effort(mapping, candidates_examined).with_telemetry(tel))
+            }
             None => Err(CfmapError::BudgetExhausted { limit, candidates_examined }),
         }
     }
@@ -349,6 +400,7 @@ impl<'a> Procedure51<'a> {
         pi: &[i64],
         objective: i64,
         examined: u64,
+        tel: &mut SearchTelemetry,
     ) -> Option<OptimalMapping> {
         let schedule = LinearSchedule::new(pi);
         if !schedule.is_valid_for(&self.alg.deps) {
@@ -356,9 +408,11 @@ impl<'a> Procedure51<'a> {
         }
         let mapping = MappingMatrix::new(self.space.clone(), schedule.clone());
         let analysis = ConflictAnalysis::new(&mapping, &self.alg.index_set);
+        tel.hnf_computations += 1;
         if analysis.rank() != mapping.k() {
             return None;
         }
+        tel.condition_hits.record(crate::metrics::ConditionRule::Exact);
         if !analysis.is_conflict_free_exact() {
             return None;
         }
@@ -396,6 +450,7 @@ impl<'a> Procedure51<'a> {
         let mu = self.alg.index_set.mu();
         let n = self.alg.dim();
         let mut examined_before = 0u64;
+        let mut tel = SearchTelemetry::default();
         for cost in 1..=self.max_objective {
             let mut level: Vec<Vec<i64>> = Vec::new();
             enumerate_weighted(n, mu, cost, &mut |pi| level.push(pi.to_vec()));
@@ -403,30 +458,65 @@ impl<'a> Procedure51<'a> {
                 continue;
             }
             let chunk = level.len().div_ceil(threads).max(1);
-            let hits: Vec<Option<(usize, OptimalMapping)>> = std::thread::scope(|scope| {
+            // Join every handle explicitly. A panicking worker must not
+            // abort the process (the pipeline's panic-free contract): a
+            // poisoned join is collected and reported as
+            // CfmapError::Internal after the scope closes. `scope` only
+            // re-raises panics of *implicitly* joined handles, so
+            // swallowing the Err here is safe.
+            type WorkerResult = (Option<(usize, OptimalMapping)>, SearchTelemetry);
+            let joined: Vec<std::thread::Result<WorkerResult>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = level
                     .chunks(chunk)
                     .enumerate()
                     .map(|(ci, slice)| {
                         scope.spawn(move || {
+                            let mut wtel = SearchTelemetry::default();
+                            let mut hit = None;
                             for (off, pi) in slice.iter().enumerate() {
-                                if let Some(r) = self.try_candidate(pi, cost, 0) {
-                                    return Some((ci * chunk + off, r));
+                                wtel.enumerated += 1;
+                                if let Some(r) = self.try_candidate(pi, cost, 0, &mut wtel) {
+                                    wtel.accepted += 1;
+                                    hit = Some((ci * chunk + off, r));
+                                    break;
                                 }
                             }
-                            None
+                            (hit, wtel)
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles.into_iter().map(|h| h.join()).collect()
             });
-            if let Some((idx, mut win)) = hits.into_iter().flatten().min_by_key(|(i, _)| *i) {
+            let mut level_tel = SearchTelemetry::default();
+            let mut hits: Vec<(usize, OptimalMapping)> = Vec::new();
+            let mut panicked = false;
+            for outcome in joined {
+                match outcome {
+                    Ok((hit, wtel)) => {
+                        level_tel.merge(&wtel);
+                        hits.extend(hit);
+                    }
+                    Err(_) => panicked = true,
+                }
+            }
+            if panicked {
+                return Err(CfmapError::Internal {
+                    context: format!(
+                        "solve_parallel worker panicked at objective level {cost}"
+                    ),
+                });
+            }
+            let best = hits.into_iter().min_by_key(|(i, _)| *i);
+            tel.merge(&level_tel); // workers record no levels of their own
+            tel.record_level(cost, level_tel.enumerated, level_tel.accepted);
+            if let Some((idx, mut win)) = best {
                 win.candidates_examined = examined_before + idx as u64 + 1;
-                return Ok(SearchOutcome::optimal(win, examined_before + idx as u64 + 1));
+                return Ok(SearchOutcome::optimal(win, examined_before + idx as u64 + 1)
+                    .with_telemetry(tel));
             }
             examined_before += level.len() as u64;
         }
-        Ok(SearchOutcome::infeasible(examined_before))
+        Ok(SearchOutcome::infeasible(examined_before).with_telemetry(tel))
     }
 
     /// Count (without accepting) how many candidates exist up to the given
@@ -654,6 +744,64 @@ mod tests {
                 assert_eq!(par.candidates_examined, seq.candidates_examined);
             }
         }
+    }
+
+    #[test]
+    fn parallel_worker_panic_is_an_error_not_an_abort() {
+        // Regression: a panic inside a parallel worker used to be
+        // re-raised by `h.join().expect(...)`, aborting the caller and
+        // violating the panic-free taxonomy. It must surface as
+        // CfmapError::Internal.
+        let alg = algorithms::matmul(3);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let boom = |_pi: &[i64]| panic!("injected candidate panic");
+        let err = Procedure51::new(&alg, &s)
+            .candidate_probe(&boom)
+            .solve_parallel(2)
+            .expect_err("worker panic must become an error");
+        assert!(matches!(err, CfmapError::Internal { .. }), "{err:?}");
+        assert!(err.to_string().contains("internal error"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_accounts_for_every_candidate() {
+        let alg = algorithms::matmul(4);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let out = Procedure51::new(&alg, &s).solve().unwrap();
+        let t = &out.telemetry;
+        assert_eq!(t.enumerated, out.candidates_examined);
+        assert_eq!(t.accepted, 1);
+        assert_eq!(t.enumerated, t.accepted + t.rejected_total(), "{t:?}");
+        assert!(t.hnf_computations > 0);
+        // Every candidate surviving the rank gate reaches a condition test.
+        assert_eq!(t.condition_hits.total(), t.hnf_computations - t.rejected_rank);
+        assert_eq!(t.condition_hits.exact, t.condition_hits.total(), "default kind is Exact");
+        let last = t.levels.last().expect("levels recorded");
+        assert_eq!((last.objective, last.accepted), (24, 1));
+        assert_eq!(t.levels.iter().map(|l| l.enumerated).sum::<u64>(), t.enumerated);
+        assert!(t.budget_limit.is_none());
+
+        // Under the paper's conditions the r = 1 dispatch (Theorem 3.1)
+        // carries the load for a 3-D → linear-array search.
+        let paper = Procedure51::new(&alg, &s)
+            .condition(ConditionKind::Paper)
+            .solve()
+            .unwrap();
+        assert!(paper.telemetry.condition_hits.thm_3_1 > 0, "{:?}", paper.telemetry);
+        assert_eq!(paper.telemetry.condition_hits.exact, 0);
+    }
+
+    #[test]
+    fn budget_telemetry_records_limit_and_fallback_effort() {
+        let alg = algorithms::matmul(3);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let out = Procedure51::new(&alg, &s)
+            .budget(SearchBudget::candidates(2))
+            .solve()
+            .unwrap();
+        assert_eq!(out.telemetry.budget_limit, Some(BudgetLimit::Candidates));
+        assert!(out.telemetry.fallback_screened > 0);
+        assert!(out.telemetry.condition_hits.exact > 0, "fallback screens exactly");
     }
 
     #[test]

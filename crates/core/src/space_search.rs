@@ -20,6 +20,7 @@ use crate::conditions::{check, ConditionKind};
 use crate::conflict::ConflictAnalysis;
 use crate::error::CfmapError;
 use crate::mapping::{MappingMatrix, SpaceMap};
+use crate::metrics::SearchTelemetry;
 use cfmap_intlin::Int;
 use cfmap_model::{LinearSchedule, Uda};
 use std::collections::BTreeSet;
@@ -201,15 +202,18 @@ impl<'a> SpaceSearch<'a> {
         }
 
         let mut meter = self.budget.start();
+        let mut tel = SearchTelemetry::default();
         for (cost, rows) in candidates {
             // The charged candidate is still screened (budget N means
             // exactly N candidates examined); acceptance of any screened
             // candidate is the cost-order optimum, trip or not.
             let limit = meter.charge_candidate();
+            tel.enumerated += 1;
             let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
-            if let Some(mut found) = self.screen(cost, &refs)? {
+            if let Some(mut found) = self.screen(cost, &refs, &mut tel)? {
+                tel.accepted += 1;
                 found.candidates_examined = meter.candidates;
-                return Ok(SearchOutcome::optimal(found, meter.candidates));
+                return Ok(SearchOutcome::optimal(found, meter.candidates).with_telemetry(tel));
             }
             if let Some(limit) = limit {
                 return Err(CfmapError::BudgetExhausted {
@@ -218,7 +222,7 @@ impl<'a> SpaceSearch<'a> {
                 });
             }
         }
-        Ok(SearchOutcome::infeasible(meter.candidates))
+        Ok(SearchOutcome::infeasible(meter.candidates).with_telemetry(tel))
     }
 
     /// Screen a single candidate; `Some` when it is acceptable.
@@ -226,14 +230,19 @@ impl<'a> SpaceSearch<'a> {
         &self,
         cost: i64,
         refs: &[&[i64]],
+        tel: &mut SearchTelemetry,
     ) -> Result<Option<SpaceOptimalMapping>, CfmapError> {
         let space = SpaceMap::from_rows(refs);
         let mapping = MappingMatrix::new(space.clone(), self.schedule.clone());
         if !mapping.has_full_rank() {
+            tel.rejected_rank += 1;
             return Ok(None);
         }
         let analysis = ConflictAnalysis::new(&mapping, &self.alg.index_set);
+        tel.hnf_computations += 1;
+        tel.condition_hits.record(crate::conditions::rule_for(self.condition, &analysis));
         if !check(self.condition, &analysis, &self.alg.index_set).accepts() {
+            tel.rejected_conflict += 1;
             return Ok(None);
         }
         let (_, processors, wires) = self.cost_of(&space)?;
@@ -377,6 +386,18 @@ mod tests {
         assert_eq!(pes, 7); // span of j1+j2−j3 over {0..2}³: −2..4
         assert_eq!(wires, 3); // |Sd̄ᵢ| = 1+1+1
         assert_eq!(cost, 10);
+    }
+
+    #[test]
+    fn outcome_carries_search_telemetry() {
+        let alg = algorithms::matmul(4);
+        let pi = LinearSchedule::new(&[1, 4, 1]);
+        let out = SpaceSearch::new(&alg, &pi).solve().unwrap();
+        let t = &out.telemetry;
+        assert_eq!(t.enumerated, out.candidates_examined);
+        assert_eq!(t.accepted, 1);
+        assert!(t.hnf_computations >= 1);
+        assert_eq!(t.condition_hits.total(), t.hnf_computations);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Testkit property: `Procedure51::solve_parallel(t)` is an exact
+//! drop-in for `solve()` on generated 3-D problems for t ∈ {2, 4} —
+//! identical certification, schedule, objective, and
+//! `candidates_examined` (the deterministic tie-break the design cache
+//! depends on). Telemetry is deliberately *not* compared: parallel
+//! workers screen whole objective levels, so per-gate rejection counts
+//! legitimately differ from the sequential early-exit order.
+
+use cfmap_core::{Procedure51, SpaceMap};
+use cfmap_model::UdaBuilder;
+use cfmap_testkit::{gen, tk_assume};
+
+const IDENTITY: [[i64; 3]; 3] = [[1, 0, 0], [0, 1, 0], [0, 0, 1]];
+
+cfmap_testkit::props! {
+    cases = 24;
+
+    fn solve_parallel_is_a_drop_in_for_solve(
+        mu in gen::vec(2i64..=3, 3),
+        extra in gen::vec(-2i64..=2, 6),
+        s_row in gen::vec(-1i64..=1, 3),
+    ) {
+        tk_assume!(s_row.iter().any(|&x| x != 0));
+        let (a, b) = (&extra[..3], &extra[3..]);
+        // The builder rejects zero and duplicate dependence columns.
+        tk_assume!(a.iter().any(|&x| x != 0) && b.iter().any(|&x| x != 0));
+        tk_assume!(a != b);
+        tk_assume!(IDENTITY.iter().all(|e| e != a && e != b));
+
+        // Identity dependence columns keep every generated problem
+        // schedulable; the two generated columns vary the conflict
+        // structure. (A negative column can still make the instance
+        // infeasible — the equivalence must hold for that outcome too.)
+        let alg = UdaBuilder::new("generated")
+            .bounds(&mu)
+            .deps(&[&IDENTITY[0], &IDENTITY[1], &IDENTITY[2], a, b])
+            .build();
+        let space = SpaceMap::row(&s_row);
+        // A modest objective cap bounds the infeasible-instance sweep.
+        let seq = Procedure51::new(&alg, &space).max_objective(12).solve().unwrap();
+        for threads in [2usize, 4] {
+            let par = Procedure51::new(&alg, &space)
+                .max_objective(12)
+                .solve_parallel(threads)
+                .unwrap();
+            assert_eq!(par.certification, seq.certification, "t={threads}");
+            assert_eq!(par.candidates_examined, seq.candidates_examined, "t={threads}");
+            match (&seq.mapping, &par.mapping) {
+                (Some(s_m), Some(p_m)) => {
+                    assert_eq!(p_m.objective, s_m.objective, "t={threads}");
+                    assert_eq!(
+                        p_m.schedule.as_slice(),
+                        s_m.schedule.as_slice(),
+                        "t={threads}: deterministic tie-break"
+                    );
+                    assert_eq!(p_m.candidates_examined, s_m.candidates_examined, "t={threads}");
+                }
+                (None, None) => {}
+                _ => panic!("t={threads}: mapping presence diverged"),
+            }
+        }
+    }
+}

@@ -260,24 +260,23 @@ mod tests {
                 };
                 aug.swap(rr, p);
                 let pv = aug[rr][cc].clone();
-                for r in 0..rows {
-                    if r == rr || aug[r][cc].is_zero() {
+                let pivot_row = aug[rr].clone();
+                for (r, row) in aug.iter_mut().enumerate() {
+                    if r == rr || row[cc].is_zero() {
                         continue;
                     }
-                    let f = &aug[r][cc] / &pv;
-                    for c in cc..=cols {
-                        let d = &f * &aug[rr][c];
-                        aug[r][c] = &aug[r][c] - &d;
+                    let f = &row[cc] / &pv;
+                    for (entry, p) in row[cc..].iter_mut().zip(&pivot_row[cc..]) {
+                        let d = &f * p;
+                        *entry = &*entry - &d;
                     }
                 }
                 piv_rows.push((rr, cc));
                 rr += 1;
             }
             // Inconsistent system ⇒ not in the span at all.
-            for r in rr..rows {
-                if !aug[r][cols].is_zero() {
-                    return false;
-                }
+            if aug[rr..].iter().any(|row| !row[cols].is_zero()) {
+                return false;
             }
             // Solution must be integral.
             for &(r, c) in &piv_rows {

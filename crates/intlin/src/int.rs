@@ -158,8 +158,8 @@ impl Int {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let s = limb as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
             out.push((s & 0xFFFF_FFFF) as u32);
             carry = s >> 32;
         }
@@ -174,8 +174,8 @@ impl Int {
         debug_assert!(Int::cmp_mag(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0i64;
-        for i in 0..a.len() {
-            let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+        for (i, &limb) in a.iter().enumerate() {
+            let d = limb as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
             if d < 0 {
                 out.push((d + (1i64 << 32)) as u32);
                 borrow = 1;
@@ -225,7 +225,7 @@ impl Int {
         let mut carry = 0u32;
         for &limb in a {
             out.push((limb << bits) | carry);
-            carry = (limb >> (32 - bits)) as u32;
+            carry = limb >> (32 - bits);
         }
         if carry != 0 {
             out.push(carry);

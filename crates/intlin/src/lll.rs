@@ -165,23 +165,22 @@ mod tests {
                 let Some(p) = (rr..rows).find(|&r| !aug[r][cc].is_zero()) else { continue };
                 aug.swap(rr, p);
                 let pv = aug[rr][cc].clone();
-                for r in 0..rows {
-                    if r == rr || aug[r][cc].is_zero() {
+                let pivot_row = aug[rr].clone();
+                for (r, row) in aug.iter_mut().enumerate() {
+                    if r == rr || row[cc].is_zero() {
                         continue;
                     }
-                    let f = &aug[r][cc] / &pv;
-                    for c in cc..=cols {
-                        let d = &f * &aug[rr][c];
-                        aug[r][c] = &aug[r][c] - &d;
+                    let f = &row[cc] / &pv;
+                    for (entry, p) in row[cc..].iter_mut().zip(&pivot_row[cc..]) {
+                        let d = &f * p;
+                        *entry = &*entry - &d;
                     }
                 }
                 pivots.push((rr, cc));
                 rr += 1;
             }
-            for r in rr..rows {
-                if !aug[r][cols].is_zero() {
-                    return false;
-                }
+            if aug[rr..].iter().any(|row| !row[cols].is_zero()) {
+                return false;
             }
             if !pivots.iter().all(|&(r, c)| (&aug[r][cols] / &aug[r][c]).is_integer()) {
                 return false;

@@ -263,14 +263,15 @@ impl IMat {
             let Some(p) = pivot else { continue };
             a.swap(row, p);
             let pv = a[row][col].clone();
-            for r in row + 1..self.rows {
-                if a[r][col].is_zero() {
+            let pivot_row = a[row].clone();
+            for tail in a[row + 1..self.rows].iter_mut() {
+                if tail[col].is_zero() {
                     continue;
                 }
-                let factor = &a[r][col] / &pv;
-                for c in col..self.cols {
-                    let delta = &factor * &a[row][c];
-                    a[r][c] = &a[r][c] - &delta;
+                let factor = &tail[col] / &pv;
+                for (entry, p) in tail[col..].iter_mut().zip(&pivot_row[col..]) {
+                    let delta = &factor * p;
+                    *entry = &*entry - &delta;
                 }
             }
             row += 1;
@@ -298,7 +299,7 @@ impl IMat {
     /// Equation 3.3 in the paper.
     pub fn cofactor(&self, r: usize, c: usize) -> Int {
         let m = self.minor_matrix(r, c).det();
-        if (r + c) % 2 == 0 {
+        if (r + c).is_multiple_of(2) {
             m
         } else {
             -m
@@ -348,17 +349,18 @@ impl IMat {
             let pivot = (col..n).find(|&r| !a[r][col].is_zero())?;
             a.swap(col, pivot);
             let pv = a[col][col].clone();
-            for c in 0..2 * n {
-                a[col][c] = &a[col][c] / &pv;
+            for entry in a[col].iter_mut() {
+                *entry = &*entry / &pv;
             }
-            for r in 0..n {
-                if r == col || a[r][col].is_zero() {
+            let pivot_row = a[col].clone();
+            for (r, row) in a.iter_mut().enumerate() {
+                if r == col || row[col].is_zero() {
                     continue;
                 }
-                let factor = a[r][col].clone();
-                for c in 0..2 * n {
-                    let delta = &factor * &a[col][c];
-                    a[r][c] = &a[r][c] - &delta;
+                let factor = row[col].clone();
+                for (entry, p) in row.iter_mut().zip(&pivot_row) {
+                    let delta = &factor * p;
+                    *entry = &*entry - &delta;
                 }
             }
         }
@@ -595,8 +597,8 @@ mod tests {
                 for i in 0..3 {
                     for j in 0..3 {
                         let mut acc = Rat::zero();
-                        for k in 0..3 {
-                            acc += &(&Rat::from_int(a.get(i, k).clone()) * &inv[k][j]);
+                        for (k, inv_row) in inv.iter().enumerate() {
+                            acc += &(&Rat::from_int(a.get(i, k).clone()) * &inv_row[j]);
                         }
                         let expect = if i == j { Rat::one() } else { Rat::zero() };
                         assert_eq!(acc, expect);

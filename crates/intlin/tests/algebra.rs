@@ -72,10 +72,10 @@ cfmap_testkit::props! {
         }
         let adj = a.adjugate();
         let inv = a.inverse_rational().unwrap();
-        for i in 0..4 {
-            for j in 0..4 {
+        for (i, inv_row) in inv.iter().enumerate() {
+            for (j, entry) in inv_row.iter().enumerate() {
                 let expected = cfmap_intlin::Rat::new(adj.get(i, j).clone(), d.clone());
-                assert_eq!(&inv[i][j], &expected, "entry ({}, {})", i, j);
+                assert_eq!(entry, &expected, "entry ({}, {})", i, j);
             }
         }
     }

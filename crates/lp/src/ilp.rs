@@ -211,6 +211,6 @@ mod tests {
         p.set_upper(0, r(100));
         let (out, nodes) = solve_ilp_counted(&p, 1000).unwrap();
         assert_eq!(out.value(), Some(&r(2)));
-        assert!(nodes >= 1 && nodes <= 1000);
+        assert!((1..=1000).contains(&nodes));
     }
 }

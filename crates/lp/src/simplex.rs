@@ -184,8 +184,8 @@ impl Standardized {
             basis.push(n + i);
         }
         let mut phase1_cost = vec![Rat::zero(); total];
-        for j in n..total {
-            phase1_cost[j] = Rat::one();
+        for cost in phase1_cost[n..].iter_mut() {
+            *cost = Rat::one();
         }
         let mut obj = reduced_costs(&phase1_cost, &tab, &basis, total);
         if !run_simplex(&mut tab, &mut basis, &mut obj, total) {
@@ -291,9 +291,9 @@ fn reduced_costs(cost: &[Rat], tab: &[Vec<Rat>], basis: &[usize], width: usize) 
 
 /// Run simplex iterations until optimal (`true`) or unbounded (`false`).
 fn run_simplex(
-    tab: &mut Vec<Vec<Rat>>,
+    tab: &mut [Vec<Rat>],
     basis: &mut [usize],
-    obj: &mut Vec<Rat>,
+    obj: &mut [Rat],
     width: usize,
 ) -> bool {
     loop {

@@ -106,17 +106,18 @@ fn solve_square(planes: &[(Vec<Rat>, Rat)], subset: &[usize]) -> Option<Vec<Rat>
         let pivot = (col..n).find(|&r| !a[r][col].is_zero())?;
         a.swap(col, pivot);
         let pv = a[col][col].clone();
-        for c in col..=n {
-            a[col][c] = &a[col][c] / &pv;
+        for entry in a[col][col..].iter_mut() {
+            *entry = &*entry / &pv;
         }
-        for r in 0..n {
-            if r == col || a[r][col].is_zero() {
+        let pivot_row = a[col].clone();
+        for (r, row) in a.iter_mut().enumerate() {
+            if r == col || row[col].is_zero() {
                 continue;
             }
-            let f = a[r][col].clone();
-            for c in col..=n {
-                let delta = &f * &a[col][c];
-                a[r][c] = &a[r][c] - &delta;
+            let f = row[col].clone();
+            for (entry, p) in row[col..].iter_mut().zip(&pivot_row[col..]) {
+                let delta = &f * p;
+                *entry = &*entry - &delta;
             }
         }
     }

@@ -6,6 +6,7 @@
 //! tests, and the throughput bench — all of which must stay hermetic.
 
 use crate::wire::{MapRequest, MapResponse, WireError};
+use std::str::FromStr;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;

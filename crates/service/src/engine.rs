@@ -20,14 +20,19 @@
 
 use crate::cache::{CacheStats, ShardedLruCache};
 use crate::wire::{MapOutcome, MapRequest, MapResponse};
+use cfmap_core::metrics::{
+    Counter, Histogram, Registry, DEFAULT_LATENCY_BUCKETS_US, EXACT_CONFLICT_TESTS,
+    HNF_COMPUTATIONS,
+};
 use cfmap_core::{
-    canonicalize, CanonicalProblem, Canonicalization, Certification, CfmapError, Procedure51,
-    SearchBudget, SpaceMap,
+    canonicalize, BudgetLimit, CanonicalProblem, Canonicalization, Certification, CfmapError,
+    Procedure51, SearchBudget, SearchTelemetry, SpaceMap,
 };
 use cfmap_model::{algorithms, DependenceMatrix, IndexSet, Uda};
 use cfmap_systolic::SystolicArray;
 use std::collections::HashMap;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Design-cache key: the canonical problem plus deterministic knobs.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -68,16 +73,118 @@ pub enum CachedOutcome {
     },
 }
 
+/// Aggregate search-effort counters across every solve the engine has
+/// run, for `/stats` (the `/metrics` endpoint exposes the same numbers
+/// with finer label breakdowns).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Searches actually run (cache hits excluded).
+    pub solves: u64,
+    /// Schedule candidates generated across all solves.
+    pub candidates_enumerated: u64,
+    /// Candidates accepted (one per feasible solve).
+    pub candidates_accepted: u64,
+    /// Hermite normal forms computed.
+    pub hnf_computations: u64,
+    /// Mixed-radix fallback variants screened during budget degradation.
+    pub fallback_screened: u64,
+}
+
 /// The shared solver state behind every worker thread.
 pub struct Engine {
-    cache: ShardedLruCache<CacheKey, CachedOutcome>,
+    cache: Arc<ShardedLruCache<CacheKey, CachedOutcome>>,
+    metrics: Arc<Registry>,
+    solve_latency: Arc<Histogram>,
+    solves: Arc<Counter>,
+    enumerated: Arc<Counter>,
+    accepted: Arc<Counter>,
+    hnf: Arc<Counter>,
+    fallback: Arc<Counter>,
 }
 
 impl Engine {
     /// An engine whose cache holds `cache_capacity` designs across
     /// `shards` shards.
     pub fn new(cache_capacity: usize, shards: usize) -> Engine {
-        Engine { cache: ShardedLruCache::new(cache_capacity, shards) }
+        let cache = Arc::new(ShardedLruCache::new(cache_capacity, shards));
+        let metrics = Arc::new(Registry::new());
+        // Cache occupancy and traffic, read live at scrape time.
+        for (name, help, read) in [
+            ("cfmap_cache_entries", "Designs resident in the cache", 0usize),
+            ("cfmap_cache_hits_total", "Design-cache hits", 1),
+            ("cfmap_cache_misses_total", "Design-cache misses", 2),
+            ("cfmap_cache_evictions_total", "Design-cache evictions", 3),
+        ] {
+            let c = Arc::clone(&cache);
+            metrics.gauge_fn(name, help, &[], move || {
+                let s = c.stats();
+                let v = match read {
+                    0 => s.entries,
+                    1 => s.hits,
+                    2 => s.misses,
+                    _ => s.evictions,
+                };
+                i64::try_from(v).unwrap_or(i64::MAX)
+            });
+        }
+        // Process-wide core counters (they count work done by *every*
+        // search in the process, not just this engine's).
+        metrics.gauge_fn(
+            "cfmap_core_hnf_computations_total",
+            "Hermite normal forms computed process-wide",
+            &[],
+            || i64::try_from(HNF_COMPUTATIONS.get()).unwrap_or(i64::MAX),
+        );
+        metrics.gauge_fn(
+            "cfmap_core_exact_conflict_tests_total",
+            "Exact conflict-vector searches run process-wide",
+            &[],
+            || i64::try_from(EXACT_CONFLICT_TESTS.get()).unwrap_or(i64::MAX),
+        );
+        let solve_latency = metrics.histogram(
+            "cfmap_solve_duration_seconds",
+            "Wall-clock time of each fresh search (cache hits excluded)",
+            &[],
+            DEFAULT_LATENCY_BUCKETS_US,
+        );
+        let solves =
+            metrics.counter("cfmap_solves_total", "Fresh searches run (cache hits excluded)", &[]);
+        let enumerated = metrics.counter(
+            "cfmap_search_candidates_total",
+            "Schedule candidates generated by Procedure 5.1",
+            &[],
+        );
+        let accepted = metrics.counter(
+            "cfmap_search_screened_total",
+            "Candidates by screening outcome",
+            &[("result", "accepted")],
+        );
+        let hnf = metrics.counter(
+            "cfmap_search_hnf_total",
+            "Hermite normal forms computed by engine searches",
+            &[],
+        );
+        let fallback = metrics.counter(
+            "cfmap_search_fallback_screened_total",
+            "Mixed-radix fallback variants screened during budget degradation",
+            &[],
+        );
+        Engine {
+            cache,
+            metrics,
+            solve_latency,
+            solves,
+            enumerated,
+            accepted,
+            hnf,
+            fallback,
+        }
+    }
+
+    /// The engine's metrics registry (the daemon's `/metrics` endpoint
+    /// renders it; route-level metrics register into it too).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// Cache counters, for `/stats`.
@@ -85,9 +192,72 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// Aggregate search-effort counters, for `/stats`.
+    pub fn search_stats(&self) -> SearchStats {
+        SearchStats {
+            solves: self.solves.get(),
+            candidates_enumerated: self.enumerated.get(),
+            candidates_accepted: self.accepted.get(),
+            hnf_computations: self.hnf.get(),
+            fallback_screened: self.fallback.get(),
+        }
+    }
+
     /// Drop all cached designs; returns how many were resident.
     pub fn clear_cache(&self) -> u64 {
         self.cache.clear()
+    }
+
+    /// Fold one search's telemetry into the registry.
+    fn record_search(&self, tel: &SearchTelemetry, elapsed: Duration) {
+        self.solves.inc();
+        self.solve_latency.observe(elapsed);
+        self.enumerated.add(tel.enumerated);
+        self.accepted.add(tel.accepted);
+        self.hnf.add(tel.hnf_computations);
+        self.fallback.add(tel.fallback_screened);
+        for (label, n) in [
+            ("rejected_schedule", tel.rejected_schedule),
+            ("rejected_prefilter", tel.rejected_prefilter),
+            ("rejected_rank", tel.rejected_rank),
+            ("rejected_conflict", tel.rejected_conflict),
+            ("rejected_unroutable", tel.rejected_unroutable),
+        ] {
+            if n > 0 {
+                self.metrics
+                    .counter(
+                        "cfmap_search_screened_total",
+                        "Candidates by screening outcome",
+                        &[("result", label)],
+                    )
+                    .add(n);
+            }
+        }
+        for (rule, n) in tel.condition_hits.entries() {
+            if n > 0 {
+                self.metrics
+                    .counter(
+                        "cfmap_search_condition_hits_total",
+                        "Conflict-freedom dispatches by rule",
+                        &[("rule", rule)],
+                    )
+                    .add(n);
+            }
+        }
+        if let Some(limit) = tel.budget_limit {
+            let label = match limit {
+                BudgetLimit::Candidates => "candidates",
+                BudgetLimit::Nodes => "nodes",
+                BudgetLimit::WallClock => "wall_clock",
+            };
+            self.metrics
+                .counter(
+                    "cfmap_search_budget_tripped_total",
+                    "Searches ended early by a budget limit",
+                    &[("limit", label)],
+                )
+                .inc();
+        }
     }
 
     /// Resolve one request.
@@ -181,7 +351,9 @@ impl Engine {
                 return Ok((hit, true));
             }
         }
-        let outcome = solve_canonical(&canon.problem, req)?;
+        let started = Instant::now();
+        let (outcome, telemetry) = solve_canonical(&canon.problem, req)?;
+        self.record_search(&telemetry, started.elapsed());
         if cacheable {
             self.cache.insert(key, outcome.clone());
         }
@@ -193,7 +365,7 @@ impl Engine {
 fn solve_canonical(
     problem: &CanonicalProblem,
     req: &MapRequest,
-) -> Result<CachedOutcome, CfmapError> {
+) -> Result<(CachedOutcome, SearchTelemetry), CfmapError> {
     let alg = problem.uda("canonical");
     let space = problem.space_map();
     let mut budget = SearchBudget::unlimited();
@@ -210,11 +382,12 @@ fn solve_canonical(
     let outcome = proc.solve()?;
     let certification = outcome.certification;
     let candidates_examined = outcome.candidates_examined;
+    let telemetry = outcome.telemetry.clone();
     match outcome.into_mapping() {
-        None => Ok(CachedOutcome::Infeasible { candidates_examined }),
+        None => Ok((CachedOutcome::Infeasible { candidates_examined }, telemetry)),
         Some(opt) => {
             let array = SystolicArray::synthesize(&alg, &opt.mapping);
-            Ok(CachedOutcome::Design {
+            let design = CachedOutcome::Design {
                 schedule: opt.schedule.as_slice().to_vec(),
                 objective: opt.objective,
                 total_time: opt.total_time,
@@ -222,7 +395,8 @@ fn solve_canonical(
                 candidates_examined,
                 processors: array.num_processors() as u64,
                 array_dims: array.dims() as u64,
-            })
+            };
+            Ok((design, telemetry))
         }
     }
 }
@@ -485,8 +659,7 @@ mod tests {
                     .chain(std::iter::repeat(0))
                     .take(25)
                     .collect()]),
-                space: vec![std::iter::repeat(0)
-                    .take(24)
+                space: vec![std::iter::repeat_n(0, 24)
                     .chain(std::iter::once(1))
                     .collect()],
                 cap: None,
@@ -510,6 +683,28 @@ mod tests {
                 "expected bad_request for {req:?}, got {resp:?}"
             );
         }
+    }
+
+    #[test]
+    fn search_stats_and_metrics_grow_with_solves() {
+        let engine = Engine::new(64, 4);
+        assert_eq!(engine.search_stats(), SearchStats::default());
+        let first = engine.resolve(&matmul_request());
+        assert!(matches!(first, MapResponse::Ok(_)));
+        let stats = engine.search_stats();
+        assert_eq!(stats.solves, 1);
+        assert!(stats.candidates_enumerated > 0);
+        assert_eq!(stats.candidates_accepted, 1);
+        assert!(stats.hnf_computations >= 1);
+        // A cache hit is not a solve: no counter may move.
+        let _ = engine.resolve(&matmul_request());
+        assert_eq!(engine.search_stats(), stats);
+        let text = engine.metrics().render_prometheus();
+        assert!(text.contains("cfmap_solves_total 1"), "{text}");
+        assert!(text.contains("cfmap_search_screened_total{result=\"accepted\"} 1"), "{text}");
+        assert!(text.contains("cfmap_solve_duration_seconds_count 1"), "{text}");
+        assert!(text.contains("cfmap_cache_entries 1"), "{text}");
+        assert!(text.contains("cfmap_core_hnf_computations_total"), "{text}");
     }
 
     #[test]

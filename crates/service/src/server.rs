@@ -13,7 +13,8 @@
 //! |---|---|---|
 //! | `POST /map` | a `MapRequest` | a `MapResponse` |
 //! | `POST /batch` | `{"requests": […]}` | `{"responses": […], "distinct_solves": n}` |
-//! | `GET /stats` | — | cache + server counters |
+//! | `GET /stats` | — | cache + search + server counters |
+//! | `GET /metrics` | — | Prometheus text exposition of the registry |
 //! | `GET /healthz` | — | `{"status":"ok"}` |
 //! | `POST /cache/clear` | — | `{"cleared": n}` |
 //! | `POST /shutdown` | — | `{"status":"shutting_down"}`, then the listener drains and exits |
@@ -32,7 +33,8 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
+use std::str::FromStr;
 
 /// Request bodies above this size are refused with `413` — mapping
 /// requests are a few hundred bytes; megabytes signal a confused client.
@@ -47,6 +49,13 @@ const MAX_HEAD_BYTES: usize = 64 << 10;
 /// connection.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// `Content-Type` of every JSON answer.
+const CT_JSON: &str = "application/json";
+
+/// `Content-Type` of the `/metrics` answer (Prometheus text exposition
+/// format).
+const CT_METRICS: &str = "text/plain; version=0.0.4";
+
 /// Server configuration (all fields have serviceable defaults).
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -58,6 +67,9 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Design-cache shards.
     pub cache_shards: usize,
+    /// Emit one structured JSON access-log line per request on stderr
+    /// (`--log-format json`).
+    pub log_json: bool,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +79,7 @@ impl Default for ServerConfig {
             workers: 4,
             cache_capacity: 256,
             cache_shards: 8,
+            log_json: false,
         }
     }
 }
@@ -78,6 +91,7 @@ pub struct CfmapServer {
     shutdown: Arc<AtomicBool>,
     requests: Arc<AtomicU64>,
     workers: usize,
+    log_json: bool,
 }
 
 /// Lets another thread stop a running [`CfmapServer`].
@@ -109,6 +123,7 @@ impl CfmapServer {
             shutdown: Arc::new(AtomicBool::new(false)),
             requests: Arc::new(AtomicU64::new(0)),
             workers: config.workers.max(1),
+            log_json: config.log_json,
         })
     }
 
@@ -134,6 +149,7 @@ impl CfmapServer {
             let shutdown = Arc::clone(&self.shutdown);
             let requests = Arc::clone(&self.requests);
             let workers = self.workers;
+            let log_json = self.log_json;
             pool.push(std::thread::spawn(move || loop {
                 // Holding the receiver lock only while popping keeps the
                 // other workers runnable during request handling.
@@ -149,7 +165,7 @@ impl CfmapServer {
                 // converts its own panics to 500s; this guard covers the
                 // I/O path too (no response then, but the worker lives).
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_connection(stream, &engine, &shutdown, &requests, workers);
+                    handle_connection(stream, &engine, &shutdown, &requests, workers, log_json);
                 }));
             }));
         }
@@ -170,6 +186,22 @@ impl CfmapServer {
     }
 }
 
+/// The route label a request is accounted under. Known routes keep
+/// their path; everything else collapses into `"other"` so a client
+/// probing random paths cannot grow the registry without bound.
+fn route_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("POST", "/map") => "/map",
+        ("POST", "/batch") => "/batch",
+        ("GET", "/stats") => "/stats",
+        ("GET", "/metrics") => "/metrics",
+        ("GET", "/healthz") => "/healthz",
+        ("POST", "/cache/clear") => "/cache/clear",
+        ("POST", "/shutdown") => "/shutdown",
+        _ => "other",
+    }
+}
+
 /// Serve one connection: parse, dispatch, answer, close.
 fn handle_connection(
     stream: TcpStream,
@@ -177,7 +209,9 @@ fn handle_connection(
     shutdown: &AtomicBool,
     requests: &AtomicU64,
     workers: usize,
+    log_json: bool,
 ) {
+    let started = Instant::now();
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -185,13 +219,17 @@ fn handle_connection(
         Err(_) => return,
     });
     let mut stream = stream;
-    let (status, body) = match read_request(&mut reader) {
+    let mut route = "unparsed";
+    let mut req_line = (String::new(), String::new());
+    let (status, content_type, body) = match read_request(&mut reader) {
         // A bare shutdown poke (connect + close) arrives as an empty
         // request; answer nothing.
         Err(ReadError::Empty) => return,
-        Err(ReadError::TooLarge) => (413, error_body("request body too large")),
-        Err(ReadError::Malformed(msg)) => (400, error_body(&msg)),
+        Err(ReadError::TooLarge) => (413, CT_JSON, error_body("request body too large")),
+        Err(ReadError::Malformed(msg)) => (400, CT_JSON, error_body(&msg)),
         Ok((method, path, payload)) => {
+            route = route_label(&method, &path);
+            req_line = (method.clone(), path.clone());
             // Answer 500 instead of unwinding through the worker: the
             // engine's locks all tolerate poisoning (see `cache.rs`), so
             // serving can continue after a handler panic.
@@ -203,11 +241,32 @@ fn handle_connection(
                     ("status".into(), Json::Str("internal_error".into())),
                     ("message".into(), Json::Str("request handler panicked".into())),
                 ]);
-                (500, body.serialize())
+                (500, CT_JSON, body.serialize())
             })
         }
     };
-    let _ = write_response(&mut stream, status, &body);
+    let elapsed = started.elapsed();
+    let status_text = status.to_string();
+    let registry = engine.metrics();
+    registry
+        .counter(
+            "cfmapd_requests_total",
+            "Requests answered, by route and status",
+            &[("route", route), ("status", &status_text)],
+        )
+        .inc();
+    registry
+        .histogram(
+            "cfmapd_request_duration_seconds",
+            "Request latency from first byte to response, by route",
+            &[("route", route)],
+            cfmap_core::metrics::DEFAULT_LATENCY_BUCKETS_US,
+        )
+        .observe(elapsed);
+    let _ = write_response(&mut stream, status, content_type, &body);
+    if log_json {
+        access_log_line(&req_line.0, &req_line.1, status, elapsed, body.len());
+    }
     if shutdown.load(Ordering::SeqCst) {
         // An accepted socket's local address is the listener's address
         // (they share the listening port), so one loopback connect is
@@ -218,7 +277,29 @@ fn handle_connection(
     }
 }
 
-/// Route a parsed request.
+/// Emit one structured access-log line on stderr. The JSON serializer
+/// handles escaping, so hostile request paths cannot corrupt the log
+/// stream.
+fn access_log_line(method: &str, path: &str, status: u16, elapsed: Duration, bytes: usize) {
+    let ts_ms = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| i64::try_from(d.as_millis()).unwrap_or(i64::MAX))
+        .unwrap_or(0);
+    let line = Json::Obj(vec![
+        ("ts_ms".into(), Json::Int(ts_ms)),
+        ("method".into(), Json::Str(method.into())),
+        ("path".into(), Json::Str(path.into())),
+        ("status".into(), Json::Int(i64::from(status))),
+        (
+            "duration_us".into(),
+            Json::Int(i64::try_from(elapsed.as_micros()).unwrap_or(i64::MAX)),
+        ),
+        ("bytes".into(), Json::Int(i64::try_from(bytes).unwrap_or(i64::MAX))),
+    ]);
+    eprintln!("{}", line.serialize());
+}
+
+/// Route a parsed request. Returns status, `Content-Type`, and body.
 fn dispatch(
     method: &str,
     path: &str,
@@ -227,16 +308,16 @@ fn dispatch(
     shutdown: &AtomicBool,
     requests: &AtomicU64,
     workers: usize,
-) -> (u16, String) {
+) -> (u16, &'static str, String) {
     match (method, path) {
         ("POST", "/map") => match MapRequest::from_str(body) {
             Ok(req) => {
                 let resp = engine.resolve(&req);
-                (resp.http_status(), resp.to_json().serialize())
+                (resp.http_status(), CT_JSON, resp.to_json().serialize())
             }
             Err(e) => {
                 let resp = MapResponse::BadRequest { msg: e.msg };
-                (resp.http_status(), resp.to_json().serialize())
+                (resp.http_status(), CT_JSON, resp.to_json().serialize())
             }
         },
         ("POST", "/batch") => match parse_batch(body) {
@@ -249,12 +330,13 @@ fn dispatch(
                     ),
                     ("distinct_solves".into(), Json::Int(solves as i64)),
                 ]);
-                (200, json.serialize())
+                (200, CT_JSON, json.serialize())
             }
-            Err(msg) => (400, error_body(&msg)),
+            Err(msg) => (400, CT_JSON, error_body(&msg)),
         },
         ("GET", "/stats") => {
             let cache = engine.cache_stats();
+            let search = engine.search_stats();
             let json = Json::Obj(vec![
                 ("status".into(), Json::Str("ok".into())),
                 ("requests".into(), Json::Int(requests.load(Ordering::Relaxed) as i64)),
@@ -270,25 +352,55 @@ fn dispatch(
                         ("shards".into(), Json::Int(cache.shards as i64)),
                     ]),
                 ),
+                (
+                    "search".into(),
+                    Json::Obj(vec![
+                        ("solves".into(), Json::Int(search.solves as i64)),
+                        (
+                            "candidates_enumerated".into(),
+                            Json::Int(search.candidates_enumerated as i64),
+                        ),
+                        (
+                            "candidates_accepted".into(),
+                            Json::Int(search.candidates_accepted as i64),
+                        ),
+                        (
+                            "hnf_computations".into(),
+                            Json::Int(search.hnf_computations as i64),
+                        ),
+                        (
+                            "fallback_screened".into(),
+                            Json::Int(search.fallback_screened as i64),
+                        ),
+                    ]),
+                ),
             ]);
-            (200, json.serialize())
+            (200, CT_JSON, json.serialize())
         }
-        ("GET", "/healthz") => {
-            (200, Json::Obj(vec![("status".into(), Json::Str("ok".into()))]).serialize())
-        }
+        ("GET", "/metrics") => (200, CT_METRICS, engine.metrics().render_prometheus()),
+        ("GET", "/healthz") => (
+            200,
+            CT_JSON,
+            Json::Obj(vec![("status".into(), Json::Str("ok".into()))]).serialize(),
+        ),
         ("POST", "/cache/clear") => {
             let cleared = engine.clear_cache();
-            (200, Json::Obj(vec![("cleared".into(), Json::Int(cleared as i64))]).serialize())
+            (
+                200,
+                CT_JSON,
+                Json::Obj(vec![("cleared".into(), Json::Int(cleared as i64))]).serialize(),
+            )
         }
         ("POST", "/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
             (
                 200,
+                CT_JSON,
                 Json::Obj(vec![("status".into(), Json::Str("shutting_down".into()))])
                     .serialize(),
             )
         }
-        _ => (404, error_body(&format!("no route {method} {path}"))),
+        _ => (404, CT_JSON, error_body(&format!("no route {method} {path}"))),
     }
 }
 
@@ -361,7 +473,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, St
     if method.is_empty() || !path.starts_with('/') {
         return Err(ReadError::Malformed(format!("bad request line {:?}", line.trim())));
     }
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     loop {
         let header = match read_line_limited(reader, head_budget)? {
             None => break,
@@ -374,13 +486,26 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, St
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let parsed: usize = value
                     .trim()
                     .parse()
                     .map_err(|_| ReadError::Malformed("bad Content-Length".into()))?;
+                // Duplicate Content-Length headers are a request-smuggling
+                // staple: the framing depends on which copy a parser
+                // honours. Conflicting copies are refused outright;
+                // RFC 9110 §8.6 allows identical repeats.
+                match content_length {
+                    Some(prev) if prev != parsed => {
+                        return Err(ReadError::Malformed(
+                            "conflicting Content-Length headers".into(),
+                        ));
+                    }
+                    _ => content_length = Some(parsed),
+                }
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(ReadError::TooLarge);
     }
@@ -394,7 +519,12 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, St
 }
 
 /// Write a `Connection: close` HTTP/1.1 response.
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -405,7 +535,7 @@ fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::R
         _ => "Status",
     };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;

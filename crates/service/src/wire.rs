@@ -132,9 +132,13 @@ impl MapRequest {
             .transpose()?;
         Ok(MapRequest { algorithm, mu, deps, space, cap, max_candidates, timeout_ms })
     }
+}
+
+impl std::str::FromStr for MapRequest {
+    type Err = WireError;
 
     /// Parse from request-body text.
-    pub fn from_str(body: &str) -> Result<MapRequest, WireError> {
+    fn from_str(body: &str) -> Result<MapRequest, WireError> {
         MapRequest::from_json(&parse(body)?)
     }
 }
@@ -190,11 +194,13 @@ impl MapResponse {
         }
     }
 
-    /// The HTTP status code the server answers with.
+    /// The HTTP status code the server answers with. Internal errors are
+    /// the daemon's fault, not the request's, so they alone map to 500.
     pub fn http_status(&self) -> u16 {
         match self {
             MapResponse::Ok(_) | MapResponse::Infeasible { .. } => 200,
             MapResponse::BadRequest { .. } => 400,
+            MapResponse::Error(CfmapError::Internal { .. }) => 500,
             MapResponse::Error(_) => 422,
         }
     }
@@ -279,9 +285,13 @@ impl MapResponse {
             other => Err(bad(format!("unknown status {other:?}"))),
         }
     }
+}
+
+impl std::str::FromStr for MapResponse {
+    type Err = WireError;
 
     /// Parse from response-body text.
-    pub fn from_str(body: &str) -> Result<MapResponse, WireError> {
+    fn from_str(body: &str) -> Result<MapResponse, WireError> {
         MapResponse::from_json(&parse(body)?)
     }
 }
@@ -359,6 +369,7 @@ pub fn error_to_json(e: &CfmapError) -> Json {
             n("actual", usize_i64(*actual)),
         ],
         CfmapError::Unsupported { reason } => vec![kind("unsupported"), s("reason", reason)],
+        CfmapError::Internal { context } => vec![kind("internal"), s("context", context)],
     };
     Json::Obj(fields)
 }
@@ -405,6 +416,7 @@ pub fn error_from_json(v: &Json) -> Result<CfmapError, WireError> {
             actual: req_usize(v, "actual")?,
         }),
         "unsupported" => Ok(CfmapError::Unsupported { reason: text("reason")? }),
+        "internal" => Ok(CfmapError::Internal { context: text("context")? }),
         other => Err(bad(format!("unknown error kind {other:?}"))),
     }
 }
@@ -458,6 +470,7 @@ fn int_matrix(v: &Json, key: &str) -> Result<Vec<Vec<i64>>, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::str::FromStr;
 
     #[test]
     fn request_round_trips() {
@@ -496,10 +509,11 @@ mod tests {
             CfmapError::BudgetExhausted { limit: BudgetLimit::Nodes, candidates_examined: 0 },
             CfmapError::BudgetExhausted {
                 limit: BudgetLimit::WallClock,
-                candidates_examined: u64::MAX as u64,
+                candidates_examined: u64::MAX,
             },
             CfmapError::DimensionMismatch { context: "S vs Π".into(), expected: 3, actual: 2 },
             CfmapError::Unsupported { reason: "3-row S".into() },
+            CfmapError::Internal { context: "solve_parallel worker panicked".into() },
         ];
         for e in errors {
             let resp = MapResponse::Error(e.clone());
@@ -515,6 +529,9 @@ mod tests {
                 assert_eq!(back, resp, "{text}");
             }
             assert_eq!(resp.exit_class(), 3);
+            let expected_status =
+                if matches!(e, CfmapError::Internal { .. }) { 500 } else { 422 };
+            assert_eq!(resp.http_status(), expected_status);
         }
     }
 

@@ -5,6 +5,7 @@
 use cfmap_core::{BudgetLimit, Certification, CfmapError};
 use cfmap_service::json::{parse, Json};
 use cfmap_service::wire::{MapOutcome, MapRequest, MapResponse};
+use std::str::FromStr;
 
 /// Characters exercised in generated strings: escapes, quotes, non-ASCII
 /// (including an astral-plane scalar that needs a surrogate pair), and

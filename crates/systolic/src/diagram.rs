@@ -43,7 +43,7 @@ pub fn block_diagram(
     }
     let _ = writeln!(out, "{pes}");
     let sd = mapping.space().as_mat() * alg.deps.as_mat();
-    for i in 0..alg.num_deps() {
+    for (i, label) in labels.iter().enumerate().take(alg.num_deps()) {
         let disp = sd.get(0, i).to_i64().expect("SD entry fits i64");
         let dir = match disp.signum() {
             1 => "→",
@@ -53,8 +53,8 @@ pub fn block_diagram(
         let _ = writeln!(
             out,
             "  channel {}: {} moves {dir} ({} hop(s), {} buffer(s), Πd̄ = {})",
-            labels[i],
-            labels[i],
+            label,
+            label,
             routing.hops[i],
             routing.buffers[i],
             routing.dep_times[i],

@@ -75,6 +75,10 @@ pub fn execute<K: Kernel>(alg: &Uda, mapping: &MappingMatrix, kernel: &K) -> Exe
     ExecutionResult { values, cycles, causality_violations: violations }
 }
 
+/// One worker's output for a cycle: the `(point, value)` writes it
+/// staged plus any causality violations it observed.
+type StagedWrites<V> = Vec<((Point, V), Vec<(Point, usize)>)>;
+
 /// Execute with each cycle's computations spread across `threads` workers
 /// (`std::thread` scoped threads, barrier per cycle — the synchronous
 /// hardware model). Produces bit-identical results to [`execute`].
@@ -99,7 +103,7 @@ pub fn execute_parallel<K: Kernel>(
         let chunk = points.len().div_ceil(threads);
         // Immutable view of past cycles shared across workers; each worker
         // returns its staged writes (cycle barrier = scope join).
-        let staged: Vec<Vec<((Point, K::Value), Vec<(Point, usize)>)>> =
+        let staged: Vec<StagedWrites<K::Value>> =
             std::thread::scope(|scope| {
                 let values_ref = &values;
                 let handles: Vec<_> = points
@@ -355,11 +359,11 @@ impl LuKernel {
         for i in 0..n {
             l[i][i] = 1;
             u[i][i] = 1; // unit diagonal ⇒ all elimination divisions exact
-            for j in 0..i {
-                l[i][j] = next();
+            for cell in l[i][..i].iter_mut() {
+                *cell = next();
             }
-            for j in i + 1..n {
-                u[i][j] = next();
+            for cell in u[i][i + 1..].iter_mut() {
+                *cell = next();
             }
         }
         let mut a = vec![vec![0i64; n]; n];
@@ -380,13 +384,15 @@ impl LuKernel {
             row[i] = 1;
         }
         for k in 0..n {
+            // Row k is frozen during this elimination step.
+            let pivot_row = work[k].clone();
+            let pivot = pivot_row[k];
             for i in k + 1..n {
-                let pivot = work[k][k];
                 assert_eq!(work[i][k] % pivot, 0, "non-exact elimination");
                 let m = work[i][k] / pivot;
                 l[i][k] = m;
-                for j in k..n {
-                    work[i][j] -= m * work[k][j];
+                for (cell, p) in work[i][k..].iter_mut().zip(&pivot_row[k..]) {
+                    *cell -= m * p;
                 }
             }
         }
@@ -406,11 +412,11 @@ impl LuKernel {
         let mut l = vec![vec![0i64; n]; n];
         let mut u = vec![vec![0i64; n]; n];
         for k in 0..n {
-            for j in k..n {
-                u[k][j] = result.values[&vec![k as i64, k as i64, j as i64]].u;
+            for (j, cell) in u[k].iter_mut().enumerate().skip(k) {
+                *cell = result.values[&vec![k as i64, k as i64, j as i64]].u;
             }
-            for i in k + 1..n {
-                l[i][k] = result.values[&vec![k as i64, i as i64, k as i64]].l;
+            for (i, row) in l.iter_mut().enumerate().skip(k + 1) {
+                row[k] = result.values[&vec![k as i64, i as i64, k as i64]].l;
             }
             l[k][k] = 1; // unit diagonal by construction
         }
@@ -545,11 +551,10 @@ mod tests {
         assert_eq!(l, l_ref, "L factor mismatch");
         assert_eq!(u, u_ref, "U factor mismatch");
         // And L·U really reconstructs A.
-        let n = (mu + 1) as usize;
-        for i in 0..n {
-            for j in 0..n {
-                let prod: i64 = (0..n).map(|k| l[i][k] * u[k][j]).sum();
-                assert_eq!(prod, kernel.a[i][j], "A reconstruction at ({i},{j})");
+        for (i, l_row) in l.iter().enumerate() {
+            for (j, &a_ij) in kernel.a[i].iter().enumerate() {
+                let prod: i64 = l_row.iter().zip(&u).map(|(&lv, u_row)| lv * u_row[j]).sum();
+                assert_eq!(prod, a_ij, "A reconstruction at ({i},{j})");
             }
         }
     }

@@ -132,7 +132,7 @@ mod tests {
         assert!(saw_lo && saw_hi, "endpoints never drawn");
         for _ in 0..100 {
             let v = r.i128_in(-(1i128 << 96), 1i128 << 96);
-            assert!(v >= -(1i128 << 96) && v <= (1i128 << 96));
+            assert!((-(1i128 << 96)..=(1i128 << 96)).contains(&v));
         }
     }
 

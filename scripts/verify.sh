@@ -1,11 +1,26 @@
 #!/usr/bin/env sh
-# Full offline verification gate: build, test, benches compile, examples
-# compile — all with the network forbidden (--offline). This is the same
-# bar CI holds; the hermetic-dependency guard itself lives in
+# Full offline verification gate: lint, build, test, benches compile,
+# examples compile — all with the network forbidden (--offline). This is
+# the same bar CI holds; the hermetic-dependency guard itself lives in
 # tests/hermetic.rs and runs as part of the test suite.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Every temp resource is released on ANY exit — success, assertion
+# failure, or an interrupt mid-smoke-test. Without this a failed run
+# leaked the daemon process and its fifo under /tmp.
+FIFO=/tmp/cfmapd_verify_$$
+OUTFILE=/tmp/cfmapd_out_$$
+CFMAPD_PID=
+cleanup() {
+    [ -n "$CFMAPD_PID" ] && kill "$CFMAPD_PID" 2>/dev/null
+    rm -f "$FIFO" "$OUTFILE"
+}
+trap cleanup EXIT INT TERM
+
+echo "== cargo clippy --offline -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release --offline"
 cargo build --release --offline --workspace
@@ -32,23 +47,31 @@ set -e
 echo "== smoke: cfmapd round trip (ephemeral port, stdin-EOF shutdown)"
 CFMAPD=target/release/cfmapd
 # Start the daemon with stdin held open on a fifo; closing it shuts down.
-FIFO=/tmp/cfmapd_verify_$$
 mkfifo "$FIFO"
-"$CFMAPD" --addr 127.0.0.1:0 --watch-stdin < "$FIFO" > /tmp/cfmapd_out_$$ &
+"$CFMAPD" --addr 127.0.0.1:0 --watch-stdin < "$FIFO" > "$OUTFILE" &
 CFMAPD_PID=$!
 exec 9> "$FIFO"
 # Wait for the startup line.
 for _ in $(seq 1 50); do
-    grep -q "cfmapd listening on" /tmp/cfmapd_out_$$ 2>/dev/null && break
+    grep -q "cfmapd listening on" "$OUTFILE" 2>/dev/null && break
     sleep 0.1
 done
-ADDR=$(sed -n 's/^cfmapd listening on //p' /tmp/cfmapd_out_$$)
-[ -n "$ADDR" ] || { echo "cfmapd did not start"; kill "$CFMAPD_PID" 2>/dev/null; exit 1; }
+ADDR=$(sed -n 's/^cfmapd listening on //p' "$OUTFILE")
+[ -n "$ADDR" ] || { echo "cfmapd did not start"; exit 1; }
 "$CFMAP" client --addr "$ADDR" --alg matmul --mu 4 --space 1,1,-1 | grep -q "t = 25 cycles" \
-    || { echo "cfmap client round trip failed"; kill "$CFMAPD_PID" 2>/dev/null; exit 1; }
+    || { echo "cfmap client round trip failed"; exit 1; }
+# The request above must be visible in the observability layer: the /map
+# route counter is at 1 and the solve actually ran (solves_total 1).
+METRICS=$("$CFMAP" client --addr "$ADDR" --get /metrics)
+echo "$METRICS" | grep -q 'cfmapd_requests_total{route="/map",status="200"} 1' \
+    || { echo "/metrics is missing the /map request counter"; exit 1; }
+echo "$METRICS" | grep -q '^cfmap_solves_total 1$' \
+    || { echo "/metrics is missing the solve counter"; exit 1; }
+echo "$METRICS" | grep -q 'cfmapd_request_duration_seconds_count{route="/map"} 1' \
+    || { echo "/metrics is missing the /map latency histogram"; exit 1; }
 exec 9>&-          # close stdin: the daemon drains and exits
 wait "$CFMAPD_PID" || { echo "cfmapd did not exit cleanly"; exit 1; }
-rm -f "$FIFO" /tmp/cfmapd_out_$$
+CFMAPD_PID=
 
 echo "== smoke: timing benches under a 5 ms budget"
 CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e1_feasibility > /dev/null

@@ -120,13 +120,14 @@ const USAGE: &str = "\
 cfmap — time-optimal conflict-free mappings onto lower-dimensional arrays
 
 USAGE:
-  cfmap map       --alg <name> --mu <n> --space <row[;row]>      find Π° (Problem 2.2)
+  cfmap map       --alg <name> --mu <n> --space <row[;row]> [--trace]  find Π° (Problem 2.2)
   cfmap analyze   --alg <name> --mu <n> --space <row> --pi <row> conflict analysis of T = [S; Π]
   cfmap simulate  --alg <name> --mu <n> --space <row> --pi <row> [--diagram] cycle-level simulation
   cfmap space-opt --alg <name> --mu <n> --pi <row>               find S° (Problem 6.1)
   cfmap joint     --alg <name> --mu <n> [--criterion time|space] find (S°, Π°) (Problem 6.2)
   cfmap bounds    --alg <name> --mu <n>                          absolute lower bounds
   cfmap client    --addr host:port --alg <name> --mu <n> --space <row>  ask a running cfmapd
+  cfmap client    --addr host:port --get /metrics               scrape one daemon route
   cfmap list                                                     available workloads
 
 OPTIONS:
@@ -139,6 +140,9 @@ OPTIONS:
   --max-candidates  search budget: stop after examining N candidates (best-effort result)
   --timeout-ms      search budget: stop after N milliseconds of wall clock
   --diagram   print the space-time diagram (linear arrays)
+  --get       client: GET a daemon route (/metrics, /stats, /healthz) and print the body
+  --trace     after the mapping, print the per-stage search trace
+              (candidates per screening gate, conflict rules hit, timing)
 
 EXIT CODES:
   0  success        1  search proved infeasibility
@@ -153,7 +157,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("expected --option, got {a:?}"));
         };
-        if key == "diagram" {
+        if key == "diagram" || key == "trace" {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -243,10 +247,16 @@ fn cmd_map(opts: &Opts) -> Result<(), CliError> {
     if let Some(cap) = opts.get("cap") {
         proc = proc.max_objective(cap.parse().map_err(|_| "bad --cap")?);
     }
+    let started = std::time::Instant::now();
     let outcome = proc.solve().map_err(CliError::Failed)?;
+    let elapsed = started.elapsed();
     let certification = outcome.certification;
-    let opt = outcome
-        .into_mapping()
+    let telemetry = outcome.telemetry.clone();
+    let mapping = outcome.into_mapping();
+    if opts.contains_key("trace") {
+        print_trace(&telemetry, elapsed);
+    }
+    let opt = mapping
         .ok_or_else(|| CliError::Infeasible("no conflict-free schedule within the cap".into()))?;
     println!("algorithm : {}", alg.name);
     println!("space map :\n{space}");
@@ -258,6 +268,53 @@ fn cmd_map(opts: &Opts) -> Result<(), CliError> {
     let array = SystolicArray::synthesize(&alg, &opt.mapping);
     println!("array     : {} PEs, {}-D, bounds {:?}", array.num_processors(), array.dims(), array.bounds());
     Ok(())
+}
+
+/// The `--trace` table: one row per screening gate of Definition 2.2,
+/// then the conflict-rule breakdown and wall-clock time. The same
+/// counters ride the daemon's `/metrics` endpoint and the bench JSON.
+fn print_trace(tel: &cfmap::core::SearchTelemetry, elapsed: Duration) {
+    println!("search trace:");
+    for (label, v) in [
+        ("candidates enumerated", tel.enumerated),
+        ("rejected: schedule", tel.rejected_schedule),
+        ("rejected: prefilter", tel.rejected_prefilter),
+        ("rejected: rank", tel.rejected_rank),
+        ("rejected: conflict", tel.rejected_conflict),
+        ("rejected: unroutable", tel.rejected_unroutable),
+        ("accepted", tel.accepted),
+        ("hnf computations", tel.hnf_computations),
+        ("fallback screened", tel.fallback_screened),
+    ] {
+        println!("  {label:<22} : {v}");
+    }
+    for (rule, n) in tel.condition_hits.entries() {
+        if n > 0 {
+            println!("  conflict rule {rule:<8} : {n}");
+        }
+    }
+    if let Some(limit) = tel.budget_limit {
+        let name = match limit {
+            cfmap::core::BudgetLimit::Candidates => "candidates",
+            cfmap::core::BudgetLimit::Nodes => "nodes",
+            cfmap::core::BudgetLimit::WallClock => "wall_clock",
+        };
+        println!("  budget tripped         : {name}");
+    }
+    if !tel.levels.is_empty() {
+        let per_level: Vec<String> = tel
+            .levels
+            .iter()
+            .map(|l| format!("{}:{}", l.objective, l.enumerated))
+            .collect();
+        println!(
+            "  per level (f:examined) : {}{}",
+            per_level.join(" "),
+            if tel.levels_truncated { " …" } else { "" }
+        );
+    }
+    println!("  solve wall time        : {} µs", elapsed.as_micros());
+    println!();
 }
 
 fn cmd_analyze(opts: &Opts) -> Result<(), CliError> {
@@ -349,6 +406,17 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
     use cfmap::service::wire::{MapRequest, MapResponse};
 
     let addr = opts.get("addr").ok_or("--addr required (host:port of a running cfmapd)")?;
+    // `--get PATH` is the ops escape hatch: scrape any daemon route
+    // (/metrics, /stats, /healthz) without needing curl on the box.
+    if let Some(path) = opts.get("get") {
+        let reply = client::get(addr, path)
+            .map_err(|e| CliError::Usage(format!("cfmapd at {addr}: {e}")))?;
+        if reply.status != 200 {
+            return Err(CliError::Usage(format!("GET {path}: HTTP {}", reply.status)));
+        }
+        print!("{}", reply.body);
+        return Ok(());
+    }
     let name = opts.get("alg").ok_or("--alg required")?.clone();
     let mu: i64 = opts.get("mu").ok_or("--mu required")?.parse().map_err(|_| "bad --mu")?;
     let spec = opts.get("space").ok_or("--space required")?;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cfmapd [--addr 127.0.0.1:7971] [--workers 4] [--cache-capacity 256]
-//!        [--shards 8] [--watch-stdin]
+//!        [--shards 8] [--watch-stdin] [--log-format json]
 //! ```
 //!
 //! On startup the daemon prints exactly one line, `cfmapd listening on
@@ -22,7 +22,8 @@ const USAGE: &str = "\
 cfmapd — mapping-as-a-service daemon (Shang & Fortes conflict-free mappings)
 
 USAGE:
-  cfmapd [--addr HOST:PORT] [--workers N] [--cache-capacity N] [--shards N] [--watch-stdin]
+  cfmapd [--addr HOST:PORT] [--workers N] [--cache-capacity N] [--shards N]
+         [--watch-stdin] [--log-format text|json]
 
 OPTIONS:
   --addr            bind address (default 127.0.0.1:7971; port 0 = ephemeral)
@@ -30,11 +31,14 @@ OPTIONS:
   --cache-capacity  design-cache entries (default 256)
   --shards          design-cache shards (default 8)
   --watch-stdin     shut down gracefully when stdin reaches EOF
+  --log-format      'json' emits one access-log line per request on stderr
+                    (default 'text': no per-request logging)
 
 ROUTES:
   POST /map          one mapping request        POST /batch   {\"requests\": [...]}
-  GET  /stats        cache + request counters   GET  /healthz liveness
-  POST /cache/clear  drop cached designs        POST /shutdown drain and exit";
+  GET  /stats        cache + search counters    GET  /healthz liveness
+  GET  /metrics      Prometheus text format     POST /shutdown drain and exit
+  POST /cache/clear  drop cached designs";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -113,6 +117,16 @@ fn parse_config(args: &[String]) -> Result<Option<(ServerConfig, bool)>, String>
             }
             "--shards" => {
                 config.cache_shards = parse_count(it.next(), "--shards")?;
+            }
+            "--log-format" => {
+                let v = it.next().ok_or("--log-format needs a value")?;
+                config.log_json = match v.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => {
+                        return Err(format!("bad --log-format value {other:?} (text or json)"))
+                    }
+                };
             }
             other => return Err(format!("unknown option {other:?}")),
         }

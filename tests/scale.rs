@@ -21,7 +21,7 @@ fn matmul_mu_12_full_stack() {
     let report = Simulator::new(&alg, &mapping).run_parallel(4).unwrap();
     assert!(report.conflicts.is_empty());
     assert_eq!(report.makespan(), mu * (mu + 2) + 1);
-    assert_eq!(report.computations, 13u64.pow(3) as u64);
+    assert_eq!(report.computations, 13u64.pow(3));
 
     // Numeric: a 13×13 matrix product, parallel execution.
     let kernel = MatmulKernel::random((mu + 1) as usize, 3);

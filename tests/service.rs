@@ -5,6 +5,7 @@
 use cfmap::service::client;
 use cfmap::service::json::{parse, Json};
 use cfmap::service::wire::{MapRequest, MapResponse};
+use std::str::FromStr;
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
 
@@ -258,6 +259,135 @@ fn newline_free_header_stream_gets_413_not_unbounded_buffering() {
     assert_eq!(reply.status, 200);
 
     daemon.stop();
+}
+
+#[test]
+fn conflicting_content_length_headers_get_400() {
+    use std::io::{Read, Write};
+
+    let daemon = Daemon::spawn(&[]);
+    let addr = daemon.addr.clone();
+
+    // Two Content-Length headers that disagree: the classic
+    // request-smuggling shape. The server must refuse instead of quietly
+    // honouring the later copy. No body follows the head, so the close
+    // is clean (no unread data → no TCP RST eating the reply).
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    raw.write_all(
+        b"POST /map HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 9\r\n\r\n",
+    )
+    .expect("send conflicting head");
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).expect("server answers and closes");
+    assert!(reply.starts_with("HTTP/1.1 400 "), "{reply:?}");
+    assert!(reply.contains("conflicting Content-Length"), "{reply:?}");
+
+    // Identical repeats are legal (RFC 9110 §8.6) and keep working.
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    raw.write_all(
+        b"GET /healthz HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 0\r\n\r\n",
+    )
+    .expect("send identical duplicates");
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).expect("server answers and closes");
+    assert!(reply.starts_with("HTTP/1.1 200 "), "{reply:?}");
+
+    // The workers survived both.
+    let reply = client::get(&addr, "/healthz").expect("daemon still serves");
+    assert_eq!(reply.status, 200);
+
+    daemon.stop();
+}
+
+#[test]
+fn metrics_endpoint_exposes_route_and_search_counters() {
+    let daemon = Daemon::spawn(&[]);
+    let addr = daemon.addr.clone();
+
+    let resp = client::map(&addr, &matmul_request()).expect("map call");
+    assert!(matches!(resp, MapResponse::Ok(_)));
+
+    let reply = client::get(&addr, "/metrics").expect("metrics");
+    assert_eq!(reply.status, 200);
+    let text = &reply.body;
+    // Route accounting: exactly the one /map request so far.
+    assert!(
+        text.contains("cfmapd_requests_total{route=\"/map\",status=\"200\"} 1"),
+        "{text}"
+    );
+    // Latency histogram for the route, with seconds-unit buckets.
+    assert!(text.contains("cfmapd_request_duration_seconds_bucket{route=\"/map\",le=\"0.0001\"}"), "{text}");
+    assert!(text.contains("cfmapd_request_duration_seconds_count{route=\"/map\"} 1"), "{text}");
+    // Search telemetry flowed from Procedure 5.1 into the registry.
+    assert!(text.contains("cfmap_solves_total 1"), "{text}");
+    assert!(text.contains("cfmap_search_screened_total{result=\"accepted\"} 1"), "{text}");
+    assert!(text.contains("cfmap_search_condition_hits_total"), "{text}");
+    assert!(text.contains("# TYPE cfmapd_requests_total counter"), "{text}");
+
+    // A cached repeat bumps the route counter but not the solve counter.
+    let _ = client::map(&addr, &matmul_request()).expect("warm call");
+    let text = client::get(&addr, "/metrics").expect("metrics").body;
+    assert!(
+        text.contains("cfmapd_requests_total{route=\"/map\",status=\"200\"} 2"),
+        "{text}"
+    );
+    assert!(text.contains("cfmap_solves_total 1"), "{text}");
+
+    // /stats carries the same aggregates in JSON.
+    let stats_body = client::get(&addr, "/stats").expect("stats").body;
+    let stats = parse(&stats_body).expect("stats is JSON");
+    let search = stats.get("search").expect("search block");
+    assert_eq!(search.get("solves").and_then(Json::as_i64), Some(1), "{stats_body}");
+    assert!(
+        search.get("candidates_enumerated").and_then(Json::as_i64).unwrap() > 0,
+        "{stats_body}"
+    );
+
+    daemon.stop();
+}
+
+#[test]
+fn json_log_format_writes_structured_access_lines() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cfmapd"))
+        .args(["--addr", "127.0.0.1:0", "--log-format", "json"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("cfmapd spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut first_line = String::new();
+    BufReader::new(stdout).read_line(&mut first_line).expect("startup line");
+    let addr = first_line
+        .trim()
+        .strip_prefix("cfmapd listening on ")
+        .expect("startup line")
+        .to_string();
+
+    let resp = client::map(&addr, &matmul_request()).expect("map call");
+    assert!(matches!(resp, MapResponse::Ok(_)));
+    let _ = client::post(&addr, "/shutdown", "");
+    let status = child.wait().expect("cfmapd exits");
+    assert!(status.success(), "{status:?}");
+
+    let mut stderr_text = String::new();
+    use std::io::Read;
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut stderr_text)
+        .expect("stderr readable");
+    let map_line = stderr_text
+        .lines()
+        .find(|l| l.contains("\"/map\""))
+        .unwrap_or_else(|| panic!("no /map access-log line in {stderr_text:?}"));
+    let entry = parse(map_line).expect("access-log line is JSON");
+    assert_eq!(entry.get("method").and_then(Json::as_str), Some("POST"));
+    assert_eq!(entry.get("path").and_then(Json::as_str), Some("/map"));
+    assert_eq!(entry.get("status").and_then(Json::as_i64), Some(200));
+    assert!(entry.get("duration_us").and_then(Json::as_i64).unwrap() >= 0);
+    assert!(entry.get("ts_ms").and_then(Json::as_i64).unwrap() > 0);
+    assert!(entry.get("bytes").and_then(Json::as_i64).unwrap() > 0);
 }
 
 #[test]
