@@ -1,0 +1,53 @@
+//! E13 — the per-candidate screening kernels of Procedure 5.1: small-Int
+//! arithmetic, i64 vs bignum Hermite forms, prefix completion, Bareiss
+//! rank, and the end-to-end search they add up to.
+
+use cfmap_bench::timing::{bench, group};
+use cfmap_core::{Procedure51, SpaceMap};
+use cfmap_intlin::{
+    hermite_normal_form, hermite_normal_form_bignum, hnf_prefix_i64, HnfWorkspace, IMat, Int,
+};
+use cfmap_model::algorithms;
+use std::hint::black_box;
+
+fn main() {
+    group("e13_small_int_ops");
+    {
+        let a = Int::from(123_456_789i64);
+        let b = Int::from(-987_654i64);
+        bench("add_small", || black_box(&a) + black_box(&b));
+        bench("mul_small", || black_box(&a) * black_box(&b));
+        bench("gcd_small", || black_box(&a).gcd(black_box(&b)));
+        let big = Int::from(i128::MAX) * Int::from(i128::MAX);
+        bench("mul_big_limb", || black_box(&big) * black_box(&big));
+    }
+
+    group("e13_hnf_kernels");
+    let matmul_t = IMat::from_rows(&[&[1, 1, -1], &[1, 4, 1]]);
+    bench("hnf_dispatch_i64", || hermite_normal_form(black_box(&matmul_t)));
+    bench("hnf_bignum", || hermite_normal_form_bignum(black_box(&matmul_t)));
+    bench("hnf_bignum_with_inverse", || {
+        let h = hermite_normal_form_bignum(black_box(&matmul_t));
+        black_box(h.v().clone())
+    });
+    {
+        let s = IMat::row_vector(&[1, 1, -1]);
+        let prefix = hnf_prefix_i64(&s).expect("fits i64");
+        let mut ws = HnfWorkspace::new();
+        bench("prefix_complete", || {
+            black_box(prefix.complete(black_box(&[1, 4, 1]), &mut ws))
+        });
+    }
+    bench("bareiss_rank", || black_box(&matmul_t).rank());
+
+    group("e13_end_to_end_search");
+    for (name, alg, s_row) in [
+        ("matmul_mu4", algorithms::matmul(4), vec![1i64, 1, -1]),
+        ("tc_mu4", algorithms::transitive_closure(4), vec![0, 0, 1]),
+    ] {
+        let space = SpaceMap::row(&s_row);
+        bench(&format!("solve/{name}"), || {
+            Procedure51::new(black_box(&alg), black_box(&space)).solve().unwrap()
+        });
+    }
+}

@@ -52,6 +52,9 @@ fn main() {
     if run("E12") {
         reports.push(e12_joint_and_bounds());
     }
+    if run("E13") {
+        reports.push(e13_hot_path());
+    }
 
     if json {
         let objs: Vec<String> = reports.iter().map(|r| r.to_json()).collect();

@@ -96,7 +96,7 @@ pub fn theorem_3_1(analysis: &ConflictAnalysis<'_>, index_set: &IndexSet) -> Con
 /// condition is violated (⇒ `T` is certainly not conflict-free, because a
 /// unit vector is then a conflict vector).
 pub fn theorem_4_3_necessary(analysis: &ConflictAnalysis<'_>) -> bool {
-    let v = &analysis.hnf().v;
+    let v = analysis.hnf().v();
     let k = analysis.rank();
     (0..v.ncols()).all(|c| (0..k).any(|r| !v.get(r, c).is_zero()))
 }

@@ -73,8 +73,16 @@ pub struct ConflictAnalysis<'a> {
 impl<'a> ConflictAnalysis<'a> {
     /// Analyze `T` over `J`. Computes the Hermite normal form once.
     pub fn new(mapping: &'a MappingMatrix, index_set: &'a IndexSet) -> Self {
+        Self::with_hnf(mapping, index_set, mapping.hnf())
+    }
+
+    /// Analyze `T` over `J` reusing an already-computed Hermite normal
+    /// form of `T` — the incremental screening path of Procedure 5.1
+    /// completes a pre-eliminated `S` prefix per candidate instead of
+    /// recomputing from scratch. The caller must pass the HNF of exactly
+    /// this mapping matrix.
+    pub fn with_hnf(mapping: &'a MappingMatrix, index_set: &'a IndexSet, hnf: Hnf) -> Self {
         assert_eq!(mapping.dim(), index_set.dim(), "T and J dimension mismatch");
-        let hnf = mapping.hnf();
         crate::metrics::HNF_COMPUTATIONS.inc();
         ConflictAnalysis { mapping, index_set, hnf }
     }

@@ -30,7 +30,7 @@
 
 use crate::error::BudgetLimit;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, LazyLock, Mutex};
 use std::time::Duration;
 
 /// A monotonically increasing counter. `const`-constructible so it can
@@ -192,6 +192,9 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    /// A histogram owned by a process-wide static (e.g.
+    /// [`CANDIDATE_SCREEN_TIME`]) rather than the registry.
+    StaticHistogram(&'static Histogram),
     /// A gauge whose value is read at render time (cache entry counts,
     /// process-wide statics).
     Callback(Box<dyn Fn() -> i64 + Send + Sync>),
@@ -202,7 +205,7 @@ impl Metric {
         match self {
             Metric::Counter(_) => "counter",
             Metric::Gauge(_) | Metric::Callback(_) => "gauge",
-            Metric::Histogram(_) => "histogram",
+            Metric::Histogram(_) | Metric::StaticHistogram(_) => "histogram",
         }
     }
 }
@@ -314,6 +317,27 @@ impl Registry {
         h
     }
 
+    /// Register (or replace) a histogram owned by a process-wide static,
+    /// so observations made anywhere (e.g. inside Procedure 5.1's
+    /// candidate screen) render alongside registry-owned metrics.
+    pub fn histogram_static(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        h: &'static Histogram,
+    ) {
+        let labels = Self::labels_of(labels);
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.retain(|e| !(e.name == name && e.labels == labels));
+        entries.push(Entry {
+            name: name.into(),
+            help: help.into(),
+            labels,
+            metric: Metric::StaticHistogram(h),
+        });
+    }
+
     /// Register (or replace) a gauge whose value is computed at render
     /// time — for quantities owned by another component, like cache
     /// entry counts or the process-wide [`HNF_COMPUTATIONS`] static.
@@ -378,36 +402,36 @@ impl Registry {
                             f()
                         ));
                     }
-                    Metric::Histogram(h) => {
-                        let cum = h.cumulative();
-                        for (i, &bound) in h.bounds_us.iter().enumerate() {
-                            out.push_str(&format!(
-                                "{family}_bucket{} {}\n",
-                                fmt_labels(&e.labels, Some(&fmt_seconds(bound))),
-                                cum[i]
-                            ));
-                        }
-                        out.push_str(&format!(
-                            "{family}_bucket{} {}\n",
-                            fmt_labels(&e.labels, Some("+Inf")),
-                            cum[h.bounds_us.len()]
-                        ));
-                        out.push_str(&format!(
-                            "{family}_sum{} {}\n",
-                            fmt_labels(&e.labels, None),
-                            fmt_seconds(h.sum_micros())
-                        ));
-                        out.push_str(&format!(
-                            "{family}_count{} {}\n",
-                            fmt_labels(&e.labels, None),
-                            h.count()
-                        ));
-                    }
+                    Metric::Histogram(h) => render_histogram(&mut out, family, &e.labels, h),
+                    Metric::StaticHistogram(h) => render_histogram(&mut out, family, &e.labels, h),
                 }
             }
         }
         out
     }
+}
+
+/// Emit the `_bucket`/`_sum`/`_count` sample lines for one histogram.
+fn render_histogram(out: &mut String, family: &str, labels: &Labels, h: &Histogram) {
+    let cum = h.cumulative();
+    for (i, &bound) in h.bounds_us.iter().enumerate() {
+        out.push_str(&format!(
+            "{family}_bucket{} {}\n",
+            fmt_labels(labels, Some(&fmt_seconds(bound))),
+            cum[i]
+        ));
+    }
+    out.push_str(&format!(
+        "{family}_bucket{} {}\n",
+        fmt_labels(labels, Some("+Inf")),
+        cum[h.bounds_us.len()]
+    ));
+    out.push_str(&format!(
+        "{family}_sum{} {}\n",
+        fmt_labels(labels, None),
+        fmt_seconds(h.sum_micros())
+    ));
+    out.push_str(&format!("{family}_count{} {}\n", fmt_labels(labels, None), h.count()));
 }
 
 fn escape_help(s: &str) -> String {
@@ -443,6 +467,23 @@ pub static HNF_COMPUTATIONS: Counter = Counter::new();
 /// Process-wide count of exact lattice conflict tests
 /// ([`crate::ConflictAnalysis::is_conflict_free_exact`] box enumerations).
 pub static EXACT_CONFLICT_TESTS: Counter = Counter::new();
+
+/// Bucket bounds for per-candidate screen time, in microseconds: 1 µs
+/// to 100 ms in a 1–2.5–5 progression. The i64 fast path lands in the
+/// single-digit-microsecond buckets; a bignum fallback or exact lattice
+/// enumeration in the millisecond tail. Much finer at the low end than
+/// [`DEFAULT_LATENCY_BUCKETS_US`], which starts at 100 µs — coarser
+/// than an entire fast-path screen.
+pub const SCREEN_TIME_BUCKETS_US: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+];
+
+/// Process-wide histogram of per-candidate screen time in Procedure 5.1
+/// — everything from schedule validation through the conflict-freedom
+/// verdict for one candidate `Π` row. `LazyLock` rather than `const`
+/// because [`Histogram`] owns heap-allocated bucket vectors.
+pub static CANDIDATE_SCREEN_TIME: LazyLock<Histogram> =
+    LazyLock::new(|| Histogram::new(SCREEN_TIME_BUCKETS_US));
 
 /// Which closed-form conflict-freedom rule a check dispatched to — the
 /// per-theorem axis of the search telemetry (the dispatch of Procedure

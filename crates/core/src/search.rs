@@ -35,7 +35,9 @@ use crate::conflict::ConflictAnalysis;
 use crate::error::{BudgetLimit, CfmapError};
 use crate::mapping::{route, InterconnectionPrimitives, MappingMatrix, Routing, SpaceMap};
 use crate::metrics::SearchTelemetry;
+use cfmap_intlin::{hnf_prefix_i64, HnfPrefix, HnfWorkspace};
 use cfmap_model::{LinearSchedule, Uda};
+use std::time::Instant;
 
 /// The result of a successful optimal-mapping search.
 #[derive(Clone, Debug)]
@@ -212,6 +214,11 @@ impl<'a> Procedure51<'a> {
         if let Some(limit) = meter.check_wall() {
             return self.degrade(limit, 0, tel);
         }
+        // The S rows of T = [S; Π] are fixed across the whole search:
+        // pre-eliminate them once, so each candidate only reduces its own
+        // Π row (see `HnfPrefix`). `None` when S has entries beyond i64.
+        let prefix = hnf_prefix_i64(self.space.as_mat());
+        let mut ws = HnfWorkspace::new();
         for cost in 1..=self.max_objective {
             let mut found: Option<OptimalMapping> = None;
             let mut tripped: Option<BudgetLimit> = None;
@@ -222,7 +229,9 @@ impl<'a> Procedure51<'a> {
                 }
                 let limit = meter.charge_candidate();
                 tel.enumerated += 1;
-                if let Some(result) = self.try_candidate(pi, cost, meter.candidates, &mut tel) {
+                if let Some(result) =
+                    self.try_candidate(pi, cost, meter.candidates, &mut tel, prefix.as_ref(), &mut ws)
+                {
                     tel.accepted += 1;
                     found = Some(result);
                 } else {
@@ -242,13 +251,31 @@ impl<'a> Procedure51<'a> {
     }
 
     /// Evaluate one candidate against all conditions of Definition 2.2,
-    /// charging each gate's rejection to the telemetry.
+    /// charging each gate's rejection to the telemetry and the elapsed
+    /// screen time to [`crate::metrics::CANDIDATE_SCREEN_TIME`].
     fn try_candidate(
         &self,
         pi: &[i64],
         cost: i64,
         examined: u64,
         tel: &mut SearchTelemetry,
+        prefix: Option<&HnfPrefix>,
+        ws: &mut HnfWorkspace,
+    ) -> Option<OptimalMapping> {
+        let start = Instant::now();
+        let out = self.screen_candidate(pi, cost, examined, tel, prefix, ws);
+        crate::metrics::CANDIDATE_SCREEN_TIME.observe(start.elapsed());
+        out
+    }
+
+    fn screen_candidate(
+        &self,
+        pi: &[i64],
+        cost: i64,
+        examined: u64,
+        tel: &mut SearchTelemetry,
+        prefix: Option<&HnfPrefix>,
+        ws: &mut HnfWorkspace,
     ) -> Option<OptimalMapping> {
         if let Some(probe) = self.probe {
             probe(pi);
@@ -265,9 +292,16 @@ impl<'a> Procedure51<'a> {
             return None;
         }
         let mapping = MappingMatrix::new(self.space.clone(), schedule.clone());
-        // Conditions 4 and 3 share the Hermite decomposition: the analysis
-        // computes it once; its rank is rank(T).
-        let analysis = ConflictAnalysis::new(&mapping, &self.alg.index_set);
+        // Conditions 4 and 3 share the Hermite decomposition: complete the
+        // pre-eliminated S prefix with this candidate's Π row when
+        // possible (bit-identical to the from-scratch HNF, see
+        // `HnfPrefix::complete`), else recompute in full; its rank is
+        // rank(T).
+        let hnf = match prefix.and_then(|p| p.complete(pi, ws)) {
+            Some(h) => h,
+            None => mapping.hnf(),
+        };
+        let analysis = ConflictAnalysis::with_hnf(&mapping, &self.alg.index_set, hnf);
         tel.hnf_computations += 1;
         if analysis.rank() != mapping.k() {
             tel.rejected_rank += 1;
@@ -451,6 +485,9 @@ impl<'a> Procedure51<'a> {
         let n = self.alg.dim();
         let mut examined_before = 0u64;
         let mut tel = SearchTelemetry::default();
+        // Shared read-only S prefix; each worker owns its scratch space.
+        let prefix = hnf_prefix_i64(self.space.as_mat());
+        let prefix_ref = prefix.as_ref();
         for cost in 1..=self.max_objective {
             let mut level: Vec<Vec<i64>> = Vec::new();
             enumerate_weighted(n, mu, cost, &mut |pi| level.push(pi.to_vec()));
@@ -472,10 +509,13 @@ impl<'a> Procedure51<'a> {
                     .map(|(ci, slice)| {
                         scope.spawn(move || {
                             let mut wtel = SearchTelemetry::default();
+                            let mut ws = HnfWorkspace::new();
                             let mut hit = None;
                             for (off, pi) in slice.iter().enumerate() {
                                 wtel.enumerated += 1;
-                                if let Some(r) = self.try_candidate(pi, cost, 0, &mut wtel) {
+                                if let Some(r) =
+                                    self.try_candidate(pi, cost, 0, &mut wtel, prefix_ref, &mut ws)
+                                {
                                     wtel.accepted += 1;
                                     hit = Some((ci * chunk + off, r));
                                     break;
@@ -899,6 +939,32 @@ mod tests {
         let c20 = proc.count_candidates(20);
         assert!(c20 > c10);
         assert!(c10 > 0);
+    }
+
+    #[test]
+    fn paper_searches_never_spill_to_bignum() {
+        // Acceptance criterion of the small-integer fast path: the full
+        // Procedure 5.1 searches for the paper's worked examples stay on
+        // the inline i64 representation end to end — zero heap-spilling
+        // Int promotions on this thread.
+        for (alg, s_row) in [
+            (algorithms::matmul(4), vec![1i64, 1, -1]),
+            (algorithms::transitive_closure(4), vec![0, 0, 1]),
+        ] {
+            let s = SpaceMap::row(&s_row);
+            let before = cfmap_intlin::thread_bigint_spills();
+            let opt = Procedure51::new(&alg, &s)
+                .solve()
+                .expect("search ran")
+                .expect_optimal("optimum exists");
+            assert!(opt.objective > 0);
+            assert_eq!(
+                cfmap_intlin::thread_bigint_spills(),
+                before,
+                "{}: search spilled to bignum",
+                alg.name
+            );
+        }
     }
 
     #[test]

@@ -234,12 +234,14 @@ impl<'a> SpaceSearch<'a> {
     ) -> Result<Option<SpaceOptimalMapping>, CfmapError> {
         let space = SpaceMap::from_rows(refs);
         let mapping = MappingMatrix::new(space.clone(), self.schedule.clone());
-        if !mapping.has_full_rank() {
+        // One Hermite decomposition per candidate: its rank is rank(T), so
+        // the full-rank gate needs no separate rational elimination.
+        let analysis = ConflictAnalysis::new(&mapping, &self.alg.index_set);
+        tel.hnf_computations += 1;
+        if analysis.rank() != mapping.k() {
             tel.rejected_rank += 1;
             return Ok(None);
         }
-        let analysis = ConflictAnalysis::new(&mapping, &self.alg.index_set);
-        tel.hnf_computations += 1;
         tel.condition_hits.record(crate::conditions::rule_for(self.condition, &analysis));
         if !check(self.condition, &analysis, &self.alg.index_set).accepts() {
             tel.rejected_conflict += 1;
@@ -397,7 +399,9 @@ mod tests {
         assert_eq!(t.enumerated, out.candidates_examined);
         assert_eq!(t.accepted, 1);
         assert!(t.hnf_computations >= 1);
-        assert_eq!(t.condition_hits.total(), t.hnf_computations);
+        // The rank gate reuses the per-candidate HNF, so rank-rejected
+        // candidates cost an HNF but never reach a condition test.
+        assert_eq!(t.condition_hits.total(), t.hnf_computations - t.rejected_rank);
     }
 
     #[test]

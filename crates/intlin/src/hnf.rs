@@ -13,6 +13,15 @@
 //! The implementation is the classical extended-gcd column elimination and
 //! also handles rank-deficient input (pivots simply skip dependent rows),
 //! which [`crate::kernel::kernel_basis`] relies on.
+//!
+//! [`hermite_normal_form`] first attempts the machine-word kernel in
+//! [`crate::hnf64`] (same elimination, `i64` entries, reusable workspace)
+//! and falls back to the bignum path ([`hermite_normal_form_bignum`]) when
+//! any entry or intermediate overflows `i64`. Both produce bit-identical
+//! results because they run the identical operation sequence.
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
 
 use crate::int::Int;
 use crate::mat::IMat;
@@ -25,13 +34,31 @@ pub struct Hnf {
     pub h: IMat,
     /// The unimodular multiplier `U`.
     pub u: IMat,
-    /// `V = U⁻¹`, also unimodular (`T = H·V`).
-    pub v: IMat,
+    /// `V = U⁻¹`, computed lazily on first access (most candidate screens
+    /// never need it).
+    v: OnceLock<IMat>,
     /// `rank(T)`: the number of pivot columns of `H`.
     pub rank: usize,
 }
 
 impl Hnf {
+    /// Assemble an HNF result from already-computed parts. `V = U⁻¹` is
+    /// deferred until [`Hnf::v`] is first called.
+    pub(crate) fn from_parts(h: IMat, u: IMat, rank: usize) -> Hnf {
+        Hnf { h, u, v: OnceLock::new(), rank }
+    }
+
+    /// `V = U⁻¹`, also unimodular (`T = H·V`). Computed on first access
+    /// and cached; the adjugate-based inversion is the single most
+    /// expensive step of an HNF, and the search hot path never needs it.
+    pub fn v(&self) -> &IMat {
+        self.v.get_or_init(|| {
+            self.u
+                .inverse_unimodular()
+                .expect("HNF multiplier must be unimodular by construction")
+        })
+    }
+
     /// The last `n − rank` columns of `U`: a basis of the integer kernel
     /// lattice `{γ : Tγ = 0}` (Theorem 4.2 (3)).
     pub fn kernel_cols(&self) -> Vec<IVec> {
@@ -47,11 +74,23 @@ impl Hnf {
     }
 }
 
+thread_local! {
+    /// Per-thread scratch for the `i64` kernel, so every call site of
+    /// [`hermite_normal_form`] reuses buffers instead of allocating.
+    static HNF64_WS: RefCell<crate::hnf64::HnfWorkspace> =
+        RefCell::new(crate::hnf64::HnfWorkspace::new());
+}
+
 /// Compute the column-style Hermite normal form `T·U = H = [L, 0]`.
 ///
 /// Works for any integer matrix; for full-row-rank `T` the result matches
 /// Theorem 4.1 exactly. Column operations are unimodular 2×2 extended-gcd
 /// combinations plus swaps and negations, accumulated into `U`.
+///
+/// Dispatches to the `i64` kernel ([`crate::hnf64`]) when all entries fit
+/// machine words, falling back to [`hermite_normal_form_bignum`] on
+/// overflow; the two paths run the identical operation sequence and return
+/// bit-identical results.
 ///
 /// # Examples
 ///
@@ -69,6 +108,29 @@ impl Hnf {
 /// }
 /// ```
 pub fn hermite_normal_form(t: &IMat) -> Hnf {
+    let fast = HNF64_WS.with(|ws| {
+        // `try_borrow_mut` guards against hypothetical reentrancy; a failed
+        // borrow simply routes to the bignum path.
+        ws.try_borrow_mut()
+            .ok()
+            .and_then(|mut ws| crate::hnf64::try_hermite_i64(t, &mut ws))
+    });
+    match fast {
+        Some(hnf) => {
+            crate::stats::note_hnf_i64_fast();
+            hnf
+        }
+        None => {
+            crate::stats::note_hnf_i64_fallback();
+            hermite_normal_form_bignum(t)
+        }
+    }
+}
+
+/// The bignum Hermite normal form: identical elimination over [`Int`],
+/// with no size limits. [`hermite_normal_form`] uses this as the overflow
+/// fallback; it stays public for differential tests and benchmarks.
+pub fn hermite_normal_form_bignum(t: &IMat) -> Hnf {
     let k = t.nrows();
     let n = t.ncols();
     let mut h = t.clone();
@@ -113,11 +175,8 @@ pub fn hermite_normal_form(t: &IMat) -> Hnf {
     }
 
     let rank = pivot;
-    let v = u
-        .inverse_unimodular()
-        .expect("HNF multiplier must be unimodular by construction");
     debug_assert_eq!(&(t * &u), &h);
-    Hnf { h, u, v, rank }
+    Hnf::from_parts(h, u, rank)
 }
 
 fn swap_cols(h: &mut IMat, u: &mut IMat, a: usize, b: usize) {
@@ -162,7 +221,7 @@ mod tests {
         assert_eq!(&(t * &hnf.u), &hnf.h, "TU != H");
         // U unimodular, V its inverse.
         assert!(hnf.u.is_unimodular(), "U not unimodular");
-        assert_eq!(&(&hnf.u * &hnf.v), &IMat::identity(t.ncols()), "UV != I");
+        assert_eq!(&(&hnf.u * hnf.v()), &IMat::identity(t.ncols()), "UV != I");
         // rank agrees with rational elimination.
         assert_eq!(hnf.rank, t.rank(), "rank mismatch");
         // Trailing columns of H are zero.
@@ -339,6 +398,41 @@ mod tests {
         assert_eq!(hnf.rank, 1);
         // gcd(6,10,15) = 1 must land in the pivot.
         assert!(hnf.h.get(0, 0).is_one());
+    }
+
+    #[test]
+    fn fast_and_bignum_paths_bit_identical() {
+        for t in [
+            m(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]),
+            m(&[&[1, 1, -1], &[1, 4, 1]]),
+            m(&[&[1, 2, 3], &[2, 4, 6]]),
+            m(&[&[6, 10, 15]]),
+            IMat::zeros(2, 3),
+        ] {
+            let fast = hermite_normal_form(&t);
+            let slow = hermite_normal_form_bignum(&t);
+            assert_eq!(fast.h, slow.h);
+            assert_eq!(fast.u, slow.u);
+            assert_eq!(fast.rank, slow.rank);
+            assert_eq!(fast.kernel_cols(), slow.kernel_cols());
+        }
+    }
+
+    #[test]
+    fn paper_examples_never_spill_to_bignum() {
+        let before = crate::stats::thread_bigint_spills();
+        for t in [
+            m(&[&[1, 7, 1, 1], &[1, 7, 1, 0]]),
+            m(&[&[1, 1, -1], &[1, 4, 1]]),
+        ] {
+            let hnf = hermite_normal_form(&t);
+            assert_eq!(hnf.rank, 2);
+        }
+        assert_eq!(
+            crate::stats::thread_bigint_spills(),
+            before,
+            "paper-sized HNF must stay on the inline i64 path"
+        );
     }
 
     fn mat_from(v: &[i64], k: usize, n: usize) -> IMat {

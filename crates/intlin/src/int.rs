@@ -1,13 +1,24 @@
-//! Arbitrary-precision signed integers.
+//! Arbitrary-precision signed integers with an inline small-value fast path.
 //!
 //! Hermite multipliers, adjugate matrices and exact simplex pivots grow
 //! beyond machine words even for the small mapping matrices the paper deals
 //! with (a 5×5 adjugate of entries ≤ μ+2 already reaches ~μ⁴·5!), so every
 //! matrix entry in this workspace is an [`Int`].
 //!
-//! Representation: a sign in {−1, 0, +1} plus a little-endian vector of
-//! `u32` limbs with no trailing zero limb. `sign == 0` iff the limb vector
-//! is empty. All arithmetic is exact; division is Knuth Algorithm D.
+//! Representation: a tagged enum. The common case — everything the paper's
+//! worked examples ever produce — is an inline `i64` ([`Repr::Small`]) on
+//! which `+ - * exact_div gcd cmp` never touch the heap; intermediate
+//! products run in `i128`. Values that do not fit `i64` spill to the limb
+//! representation ([`Repr::Big`]): a sign in {−1, +1} plus a little-endian
+//! vector of `u32` limbs with no trailing zero limb. All arithmetic is
+//! exact; limb division is Knuth Algorithm D.
+//!
+//! Canonical-form invariant: `Big` is used **only** for values that do not
+//! fit in `i64` (so its sign is never 0 and its magnitude exceeds
+//! `i64::MAX`, or equals 2⁶³ with negative sign excluded — that value is
+//! `i64::MIN` and stays `Small`). Every constructor normalizes, so derived
+//! `PartialEq`/`Eq`/`Hash` are sound. Each promotion out of the inline
+//! representation is counted by [`crate::stats::bigint_spills_total`].
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -17,96 +28,193 @@ use std::str::FromStr;
 
 const BASE_BITS: u32 = 32;
 
+/// Internal representation. `Small` holds every value in `i64`; `Big` is
+/// reserved for values outside that range (canonical-form invariant).
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Inline machine word — the allocation-free fast path.
+    Small(i64),
+    /// Heap limbs for values outside `i64`.
+    Big {
+        /// −1 or +1 (never 0: zero always fits `i64`).
+        sign: i8,
+        /// Little-endian `u32` limbs, no trailing zeros.
+        mag: Vec<u32>,
+    },
+}
+
 /// An arbitrary-precision signed integer.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Int {
-    /// −1, 0 or +1. Zero iff `mag` is empty.
-    sign: i8,
-    /// Little-endian `u32` limbs, no trailing zeros.
-    mag: Vec<u32>,
+    repr: Repr,
+}
+
+impl Default for Int {
+    fn default() -> Int {
+        Int::small(0)
+    }
 }
 
 impl Int {
+    #[inline]
+    fn small(v: i64) -> Int {
+        Int { repr: Repr::Small(v) }
+    }
+
     /// The integer 0.
+    #[inline]
     pub fn zero() -> Self {
-        Int { sign: 0, mag: Vec::new() }
+        Int::small(0)
     }
 
     /// The integer 1.
+    #[inline]
     pub fn one() -> Self {
-        Int { sign: 1, mag: vec![1] }
+        Int::small(1)
     }
 
     /// The integer −1.
+    #[inline]
     pub fn neg_one() -> Self {
-        Int { sign: -1, mag: vec![1] }
+        Int::small(-1)
     }
 
     /// `true` iff this is 0.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.sign == 0
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// `true` iff this is exactly 1.
+    #[inline]
     pub fn is_one(&self) -> bool {
-        self.sign == 1 && self.mag.len() == 1 && self.mag[0] == 1
+        matches!(self.repr, Repr::Small(1))
     }
 
     /// `true` iff this is exactly −1.
+    #[inline]
     pub fn is_neg_one(&self) -> bool {
-        self.sign == -1 && self.mag.len() == 1 && self.mag[0] == 1
+        matches!(self.repr, Repr::Small(-1))
     }
 
     /// The sign as −1, 0 or +1.
+    #[inline]
     pub fn signum(&self) -> i8 {
-        self.sign
+        match &self.repr {
+            Repr::Small(v) => v.signum() as i8,
+            Repr::Big { sign, .. } => *sign,
+        }
     }
 
     /// `true` iff strictly positive.
+    #[inline]
     pub fn is_positive(&self) -> bool {
-        self.sign > 0
+        self.signum() > 0
     }
 
     /// `true` iff strictly negative.
+    #[inline]
     pub fn is_negative(&self) -> bool {
-        self.sign < 0
+        self.signum() < 0
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Int {
-        Int { sign: self.sign.abs(), mag: self.mag.clone() }
+        match &self.repr {
+            Repr::Small(v) => match v.checked_abs() {
+                Some(a) => Int::small(a),
+                // |i64::MIN| = 2^63 does not fit i64: a genuine spill.
+                None => Int::from_i128((*v as i128).unsigned_abs() as i128),
+            },
+            // A canonical Big magnitude always exceeds i64::MAX, so the
+            // absolute value stays Big.
+            Repr::Big { sign, mag } => Int::canon(sign.abs(), mag.clone()),
+        }
     }
 
     /// Number of bits in the magnitude (0 for zero).
     pub fn bits(&self) -> usize {
-        match self.mag.last() {
-            None => 0,
-            Some(&top) => (self.mag.len() - 1) * BASE_BITS as usize + (32 - top.leading_zeros()) as usize,
+        match &self.repr {
+            Repr::Small(0) => 0,
+            Repr::Small(v) => (64 - v.unsigned_abs().leading_zeros()) as usize,
+            Repr::Big { mag, .. } => {
+                let top = *mag.last().expect("canonical Big has limbs");
+                (mag.len() - 1) * BASE_BITS as usize + (32 - top.leading_zeros()) as usize
+            }
         }
     }
 
-    fn from_mag(sign: i8, mag: Vec<u32>) -> Int {
-        let mut v = Int { sign, mag };
-        v.normalize();
-        v
+    /// The `i64` value of a normalized (sign, limbs) pair, if it fits.
+    fn small_from_parts(sign: i8, mag: &[u32]) -> Option<i64> {
+        if mag.len() > 2 {
+            return None;
+        }
+        let mut u: u64 = 0;
+        for &limb in mag.iter().rev() {
+            u = (u << 32) | limb as u64;
+        }
+        if sign >= 0 {
+            i64::try_from(u).ok()
+        } else if u == 1u64 << 63 {
+            Some(i64::MIN)
+        } else {
+            i64::try_from(u).ok().map(|v| -v)
+        }
     }
 
-    fn normalize(&mut self) {
-        while self.mag.last() == Some(&0) {
-            self.mag.pop();
+    /// Canonicalize a normalized (sign, limbs) pair **without** counting a
+    /// spill — for clone/negate-style moves of an existing representation.
+    fn canon(sign: i8, mag: Vec<u32>) -> Int {
+        match Int::small_from_parts(sign, &mag) {
+            Some(v) => Int::small(v),
+            None => Int { repr: Repr::Big { sign, mag } },
         }
-        if self.mag.is_empty() {
-            self.sign = 0;
-        } else if self.sign == 0 {
-            self.sign = 1;
+    }
+
+    /// Build from a possibly-denormalized (sign, limbs) pair, demoting to
+    /// the inline representation when the value fits `i64` and counting a
+    /// bignum spill when it does not.
+    fn from_sign_mag(sign: i8, mut mag: Vec<u32>) -> Int {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        let sign = if mag.is_empty() { 0 } else if sign == 0 { 1 } else { sign };
+        match Int::small_from_parts(sign, &mag) {
+            Some(v) => Int::small(v),
+            None => {
+                crate::stats::note_bigint_spill();
+                Int { repr: Repr::Big { sign, mag } }
+            }
+        }
+    }
+
+    /// Decompose into (sign, little-endian limbs) without allocating:
+    /// small values are written into the caller-provided stack buffer.
+    fn parts<'a>(&'a self, buf: &'a mut [u32; 2]) -> (i8, &'a [u32]) {
+        match &self.repr {
+            Repr::Small(v) => {
+                let u = v.unsigned_abs();
+                buf[0] = (u & 0xFFFF_FFFF) as u32;
+                buf[1] = (u >> 32) as u32;
+                let len = if buf[1] != 0 {
+                    2
+                } else if buf[0] != 0 {
+                    1
+                } else {
+                    0
+                };
+                (v.signum() as i8, &buf[..len])
+            }
+            Repr::Big { sign, mag } => (*sign, mag.as_slice()),
         }
     }
 
     /// Construct from an `i128` (covers all machine-word constructions).
     pub fn from_i128(v: i128) -> Int {
-        if v == 0 {
-            return Int::zero();
+        if let Ok(s) = i64::try_from(v) {
+            return Int::small(s);
         }
+        crate::stats::note_bigint_spill();
         let sign = if v < 0 { -1 } else { 1 };
         let mut u = v.unsigned_abs();
         let mut mag = Vec::with_capacity(4);
@@ -114,29 +222,38 @@ impl Int {
             mag.push((u & 0xFFFF_FFFF) as u32);
             u >>= 32;
         }
-        Int { sign, mag }
+        Int { repr: Repr::Big { sign, mag } }
     }
 
     /// Convert to `i64` if it fits.
     pub fn to_i64(&self) -> Option<i64> {
-        self.to_i128().and_then(|v| i64::try_from(v).ok())
+        match self.repr {
+            Repr::Small(v) => Some(v),
+            // Canonical form: Big never fits i64.
+            Repr::Big { .. } => None,
+        }
     }
 
     /// Convert to `i128` if it fits.
     pub fn to_i128(&self) -> Option<i128> {
-        if self.mag.len() > 4 {
-            return None;
-        }
-        let mut u: u128 = 0;
-        for &limb in self.mag.iter().rev() {
-            u = (u << 32) | limb as u128;
-        }
-        if self.sign >= 0 {
-            i128::try_from(u).ok()
-        } else if u == (1u128 << 127) {
-            Some(i128::MIN)
-        } else {
-            i128::try_from(u).ok().map(|v| -v)
+        match &self.repr {
+            Repr::Small(v) => Some(*v as i128),
+            Repr::Big { sign, mag } => {
+                if mag.len() > 4 {
+                    return None;
+                }
+                let mut u: u128 = 0;
+                for &limb in mag.iter().rev() {
+                    u = (u << 32) | limb as u128;
+                }
+                if *sign >= 0 {
+                    i128::try_from(u).ok()
+                } else if u == (1u128 << 127) {
+                    Some(i128::MIN)
+                } else {
+                    i128::try_from(u).ok().map(|v| -v)
+                }
+            }
         }
     }
 
@@ -330,18 +447,28 @@ impl Int {
     /// Panics if `rhs` is zero.
     pub fn divrem(&self, rhs: &Int) -> (Int, Int) {
         assert!(!rhs.is_zero(), "Int division by zero");
-        if Int::cmp_mag(&self.mag, &rhs.mag) == Ordering::Less {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            // i128 covers the single i64-overflowing case i64::MIN / −1.
+            let (a, b) = (*a as i128, *b as i128);
+            return (Int::from_i128(a / b), Int::from_i128(a % b));
+        }
+        self.divrem_slow(rhs)
+    }
+
+    fn divrem_slow(&self, rhs: &Int) -> (Int, Int) {
+        let (mut ba, mut bb) = ([0u32; 2], [0u32; 2]);
+        let (sa, ma) = self.parts(&mut ba);
+        let (sb, mb) = rhs.parts(&mut bb);
+        if Int::cmp_mag(ma, mb) == Ordering::Less {
             return (Int::zero(), self.clone());
         }
-        let (qm, rm) = if rhs.mag.len() == 1 {
-            let (q, r) = Int::divrem_mag_single(&self.mag, rhs.mag[0]);
+        let (qm, rm) = if mb.len() == 1 {
+            let (q, r) = Int::divrem_mag_single(ma, mb[0]);
             (q, if r == 0 { Vec::new() } else { vec![r] })
         } else {
-            Int::divrem_mag_knuth(&self.mag, &rhs.mag)
+            Int::divrem_mag_knuth(ma, mb)
         };
-        let q = Int::from_mag(self.sign * rhs.sign, qm);
-        let r = Int::from_mag(self.sign, rm);
-        (q, r)
+        (Int::from_sign_mag(sa * sb, qm), Int::from_sign_mag(sa, rm))
     }
 
     /// Euclidean division: remainder is always in `[0, |rhs|)`.
@@ -388,6 +515,15 @@ impl Int {
 
     /// Greatest common divisor (non-negative; `gcd(0,0) = 0`).
     pub fn gcd(&self, rhs: &Int) -> Int {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            let (mut x, mut y) = (a.unsigned_abs(), b.unsigned_abs());
+            while y != 0 {
+                let r = x % y;
+                x = y;
+                y = r;
+            }
+            return Int::from_i128(x as i128);
+        }
         let mut a = self.abs();
         let mut b = rhs.abs();
         while !b.is_zero() {
@@ -400,6 +536,24 @@ impl Int {
 
     /// Extended gcd: `(g, x, y)` with `self·x + rhs·y = g = gcd ≥ 0`.
     pub fn extended_gcd(&self, rhs: &Int) -> (Int, Int, Int) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            // Same truncated-division loop as the generic path, entirely in
+            // i128: quotients are bounded by the inputs and the Bezout
+            // coefficients by max(|a|, |b|), so nothing overflows.
+            let (mut old_r, mut r) = (*a as i128, *b as i128);
+            let (mut old_s, mut s) = (1i128, 0i128);
+            let (mut old_t, mut t) = (0i128, 1i128);
+            while r != 0 {
+                let q = old_r / r;
+                (old_r, r) = (r, old_r - q * r);
+                (old_s, s) = (s, old_s - q * s);
+                (old_t, t) = (t, old_t - q * t);
+            }
+            if old_r < 0 {
+                (old_r, old_s, old_t) = (-old_r, -old_s, -old_t);
+            }
+            return (Int::from_i128(old_r), Int::from_i128(old_s), Int::from_i128(old_t));
+        }
         let (mut old_r, mut r) = (self.clone(), rhs.clone());
         let (mut old_s, mut s) = (Int::one(), Int::zero());
         let (mut old_t, mut t) = (Int::zero(), Int::one());
@@ -476,26 +630,42 @@ impl fmt::Debug for Int {
 
 impl fmt::Display for Int {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return f.pad_integral(true, "", "0");
-        }
-        // Repeatedly divide the magnitude by 10^9.
-        let mut mag = self.mag.clone();
-        let mut chunks: Vec<u32> = Vec::new();
-        while !mag.is_empty() {
-            let (q, r) = Int::divrem_mag_single(&mag, 1_000_000_000);
-            mag = q;
-            while mag.last() == Some(&0) {
-                mag.pop();
+        match &self.repr {
+            Repr::Small(v) => {
+                let mut buf = [0u8; 20];
+                let mut u = v.unsigned_abs();
+                let mut i = buf.len();
+                loop {
+                    i -= 1;
+                    buf[i] = b'0' + (u % 10) as u8;
+                    u /= 10;
+                    if u == 0 {
+                        break;
+                    }
+                }
+                let s = std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII");
+                f.pad_integral(*v >= 0, "", s)
             }
-            chunks.push(r);
+            Repr::Big { sign, mag } => {
+                // Repeatedly divide the magnitude by 10^9.
+                let mut mag = mag.clone();
+                let mut chunks: Vec<u32> = Vec::new();
+                while !mag.is_empty() {
+                    let (q, r) = Int::divrem_mag_single(&mag, 1_000_000_000);
+                    mag = q;
+                    while mag.last() == Some(&0) {
+                        mag.pop();
+                    }
+                    chunks.push(r);
+                }
+                let mut s = String::new();
+                s.push_str(&chunks.pop().unwrap().to_string());
+                for c in chunks.iter().rev() {
+                    s.push_str(&format!("{c:09}"));
+                }
+                f.pad_integral(*sign >= 0, "", &s)
+            }
         }
-        let mut s = String::new();
-        s.push_str(&chunks.pop().unwrap().to_string());
-        for c in chunks.iter().rev() {
-            s.push_str(&format!("{c:09}"));
-        }
-        f.pad_integral(self.sign >= 0, "", &s)
     }
 }
 
@@ -525,66 +695,132 @@ impl PartialOrd for Int {
 
 impl Ord for Int {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.sign.cmp(&other.sign) {
-            Ordering::Equal => {}
-            ord => return ord,
-        }
-        let mag_ord = Int::cmp_mag(&self.mag, &other.mag);
-        if self.sign >= 0 {
-            mag_ord
-        } else {
-            mag_ord.reverse()
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // Canonical form: a Big value lies outside the i64 range, so
+            // its sign alone decides against any Small value.
+            (Repr::Small(_), Repr::Big { sign, .. }) => {
+                if *sign > 0 {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (Repr::Big { sign, .. }, Repr::Small(_)) => {
+                if *sign > 0 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (Repr::Big { sign: sa, mag: ma }, Repr::Big { sign: sb, mag: mb }) => {
+                match sa.cmp(sb) {
+                    Ordering::Equal => {}
+                    ord => return ord,
+                }
+                let mag_ord = Int::cmp_mag(ma, mb);
+                if *sa >= 0 {
+                    mag_ord
+                } else {
+                    mag_ord.reverse()
+                }
+            }
         }
     }
 }
 
 impl Neg for Int {
     type Output = Int;
-    fn neg(mut self) -> Int {
-        self.sign = -self.sign;
-        self
+    fn neg(self) -> Int {
+        match self.repr {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => Int::small(n),
+                // −(i64::MIN) = 2^63: a genuine spill.
+                None => Int::from_i128(-(v as i128)),
+            },
+            Repr::Big { sign, mag } => Int::canon(-sign, mag),
+        }
     }
 }
 
 impl Neg for &Int {
     type Output = Int;
     fn neg(self) -> Int {
-        Int { sign: -self.sign, mag: self.mag.clone() }
+        match &self.repr {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => Int::small(n),
+                None => Int::from_i128(-(*v as i128)),
+            },
+            Repr::Big { sign, mag } => Int::canon(-sign, mag.clone()),
+        }
+    }
+}
+
+impl Int {
+    fn addsub_slow(&self, rhs: &Int, negate_rhs: bool) -> Int {
+        let (mut ba, mut bb) = ([0u32; 2], [0u32; 2]);
+        let (sa, ma) = self.parts(&mut ba);
+        let (mut sb, mb) = rhs.parts(&mut bb);
+        if negate_rhs {
+            sb = -sb;
+        }
+        if sa == 0 {
+            return Int::canon(sb, mb.to_vec());
+        }
+        if sb == 0 {
+            return Int::canon(sa, ma.to_vec());
+        }
+        if sa == sb {
+            Int::from_sign_mag(sa, Int::add_mag(ma, mb))
+        } else {
+            match Int::cmp_mag(ma, mb) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => Int::from_sign_mag(sa, Int::sub_mag(ma, mb)),
+                Ordering::Less => Int::from_sign_mag(sb, Int::sub_mag(mb, ma)),
+            }
+        }
     }
 }
 
 impl Add for &Int {
     type Output = Int;
     fn add(self, rhs: &Int) -> Int {
-        if self.is_zero() {
-            return rhs.clone();
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            return match a.checked_add(*b) {
+                Some(v) => Int::small(v),
+                None => Int::from_i128(*a as i128 + *b as i128),
+            };
         }
-        if rhs.is_zero() {
-            return self.clone();
-        }
-        if self.sign == rhs.sign {
-            Int::from_mag(self.sign, Int::add_mag(&self.mag, &rhs.mag))
-        } else {
-            match Int::cmp_mag(&self.mag, &rhs.mag) {
-                Ordering::Equal => Int::zero(),
-                Ordering::Greater => Int::from_mag(self.sign, Int::sub_mag(&self.mag, &rhs.mag)),
-                Ordering::Less => Int::from_mag(rhs.sign, Int::sub_mag(&rhs.mag, &self.mag)),
-            }
-        }
+        self.addsub_slow(rhs, false)
     }
 }
 
 impl Sub for &Int {
     type Output = Int;
     fn sub(self, rhs: &Int) -> Int {
-        self + &(-rhs)
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            return match a.checked_sub(*b) {
+                Some(v) => Int::small(v),
+                None => Int::from_i128(*a as i128 - *b as i128),
+            };
+        }
+        self.addsub_slow(rhs, true)
     }
 }
 
 impl Mul for &Int {
     type Output = Int;
     fn mul(self, rhs: &Int) -> Int {
-        Int::from_mag(self.sign * rhs.sign, Int::mul_mag(&self.mag, &rhs.mag))
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            return match a.checked_mul(*b) {
+                Some(v) => Int::small(v),
+                None => Int::from_i128(*a as i128 * *b as i128),
+            };
+        }
+        let (mut ba, mut bb) = ([0u32; 2], [0u32; 2]);
+        let (sa, ma) = self.parts(&mut ba);
+        let (sb, mb) = rhs.parts(&mut bb);
+        Int::from_sign_mag(sa * sb, Int::mul_mag(ma, mb))
     }
 }
 
@@ -670,6 +906,24 @@ mod tests {
 
     fn int(v: i128) -> Int {
         Int::from_i128(v)
+    }
+
+    /// Force the limb representation even for values that fit `i64` —
+    /// deliberately non-canonical, used only to drive the slow paths in
+    /// differential tests. Zero stays canonical (several predicates key
+    /// on `Small(0)`).
+    fn forced_big(v: i128) -> Int {
+        if v == 0 {
+            return Int::zero();
+        }
+        let sign = if v < 0 { -1 } else { 1 };
+        let mut u = v.unsigned_abs();
+        let mut mag = Vec::new();
+        while u != 0 {
+            mag.push((u & 0xFFFF_FFFF) as u32);
+            u >>= 32;
+        }
+        Int { repr: Repr::Big { sign, mag } }
     }
 
     #[test]
@@ -791,6 +1045,54 @@ mod tests {
         assert!(r.is_err());
     }
 
+    #[test]
+    fn i64_boundary_edges() {
+        let min = int(i64::MIN as i128);
+        assert_eq!(min.to_i64(), Some(i64::MIN));
+        // −(i64::MIN) = 2^63 spills to limbs…
+        let negmin = -&min;
+        assert!(negmin.to_i64().is_none());
+        assert_eq!(negmin.to_i128(), Some(-(i64::MIN as i128)));
+        // …and negating back demotes to the inline representation.
+        assert_eq!(-&negmin, min);
+        assert_eq!(min.abs(), negmin);
+        assert_eq!(min.divrem(&int(-1)), (negmin.clone(), int(0)));
+        // i64::MAX + 1 crosses the boundary upward and back.
+        let just_over = &int(i64::MAX as i128) + &int(1);
+        assert!(just_over.to_i64().is_none());
+        assert_eq!(&just_over - &int(1), int(i64::MAX as i128));
+    }
+
+    #[test]
+    fn small_arithmetic_never_spills() {
+        let before = crate::stats::thread_bigint_spills();
+        let a = int(123_456_789);
+        let b = int(-987_654);
+        let _ = &a + &b;
+        let _ = &a - &b;
+        let _ = &a * &b;
+        let _ = a.divrem(&b);
+        let _ = a.gcd(&b);
+        let _ = a.extended_gcd(&b);
+        let _ = a.exact_div(&int(3));
+        let _ = -&a;
+        let _ = b.abs();
+        let _ = a.pow(2);
+        let _ = a.cmp(&b);
+        let _ = a.lcm(&int(42));
+        let _ = a.to_string();
+        assert_eq!(crate::stats::thread_bigint_spills(), before);
+    }
+
+    #[test]
+    fn overflow_spills_and_counts() {
+        let before = crate::stats::thread_bigint_spills();
+        let big = &int(i64::MAX as i128) * &int(2);
+        assert!(big.to_i64().is_none());
+        assert_eq!(big.to_i128(), Some(i64::MAX as i128 * 2));
+        assert!(crate::stats::thread_bigint_spills() > before);
+    }
+
     cfmap_testkit::props! {
         cases = 256;
 
@@ -872,6 +1174,48 @@ mod tests {
 
         fn ord_consistent_with_sub(a in cfmap_testkit::gen::any_i128(), b in cfmap_testkit::gen::any_i128()) {
             assert_eq!(int(a).cmp(&int(b)), a.cmp(&b));
+        }
+
+        // Differential tests: the same computation on the inline `i64`
+        // fast path and on (deliberately non-canonical) limb operands
+        // must agree for every operation with a dedicated fast path.
+
+        fn smallbig_add_sub_mul_agree(a in -(1i128<<62)..(1i128<<62), b in -(1i128<<62)..(1i128<<62)) {
+            let (fa, fb) = (forced_big(a), forced_big(b));
+            assert_eq!(&fa + &fb, int(a + b));
+            assert_eq!(&fa - &fb, int(a - b));
+            assert_eq!(&fa * &fb, int(a * b));
+        }
+
+        fn smallbig_divrem_gcd_agree(a in -(1i128<<62)..(1i128<<62), b in -(1i128<<62)..(1i128<<62)) {
+            cfmap_testkit::tk_assume!(b != 0);
+            let (fa, fb) = (forced_big(a), forced_big(b));
+            // Compare by value: the |a| < |b| early return clones the
+            // operand verbatim, which here is deliberately non-canonical.
+            let (q, r) = fa.divrem(&fb);
+            assert_eq!(q.to_i128(), Some(a / b));
+            assert_eq!(r.to_i128(), Some(a % b));
+            assert_eq!(fa.gcd(&fb), int(a).gcd(&int(b)));
+        }
+
+        fn smallbig_cmp_agree(a in -(1i128<<62)..(1i128<<62), b in -(1i128<<62)..(1i128<<62)) {
+            // Mixed Small/Big comparison relies on the canonical-form
+            // invariant, so compare like representations only.
+            cfmap_testkit::tk_assume!(a != 0 && b != 0);
+            assert_eq!(forced_big(a).cmp(&forced_big(b)), a.cmp(&b));
+        }
+
+        fn smallbig_exact_div_agree(a in -(1i128<<31)..(1i128<<31), b in -(1i128<<31)..(1i128<<31)) {
+            cfmap_testkit::tk_assume!(b != 0);
+            let p = a * b;
+            assert_eq!(forced_big(p).exact_div(&forced_big(b)), int(a));
+        }
+
+        fn mixed_repr_ops_agree(a in -(1i128<<40)..(1i128<<40), b in -(1i128<<40)..(1i128<<40)) {
+            let fb = forced_big(b);
+            assert_eq!(&int(a) + &fb, int(a + b));
+            assert_eq!(&fb - &int(a), int(b - a));
+            assert_eq!(&int(a) * &fb, int(a * b));
         }
     }
 }

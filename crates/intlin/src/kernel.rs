@@ -164,7 +164,7 @@ mod tests {
                             if g.is_zero() || !t.mul_vec(&g).is_zero() {
                                 continue;
                             }
-                            let beta = hnf.v.mul_vec(&g);
+                            let beta = hnf.v().mul_vec(&g);
                             for i in 0..hnf.rank {
                                 assert!(
                                     beta[i].is_zero(),

@@ -10,10 +10,11 @@
 //!
 //! Contents:
 //!
-//! * [`Int`] — arbitrary-precision signed integers (sign + little-endian
-//!   `u32` limbs). Hermite multipliers, adjugates and simplex pivots can
-//!   overflow machine words, so every matrix entry in this crate is an
-//!   [`Int`].
+//! * [`Int`] — arbitrary-precision signed integers with an inline `i64`
+//!   fast path (tagged representation; values spill to sign + little-endian
+//!   `u32` limbs only on overflow). Hermite multipliers, adjugates and
+//!   simplex pivots can overflow machine words, so every matrix entry in
+//!   this crate is an [`Int`].
 //! * [`Rat`] — exact rationals over [`Int`], always kept in lowest terms
 //!   with a positive denominator. Used by the exact simplex in `cfmap-lp`
 //!   and by matrix inversion.
@@ -26,25 +27,36 @@
 //!   unimodular `P`, `Q`), used for lattice-theoretic sanity checks.
 //! * [`kernel`] — integer kernel lattice bases (the conflict-vector
 //!   lattice of a mapping matrix).
+//! * [`hnf64`] — a machine-word (`i64`) Hermite normal form kernel with a
+//!   reusable workspace and an incremental fixed-prefix variant for the
+//!   search hot path; it promotes to the bignum path on overflow.
+//! * [`stats`] — process-wide counters tracking how often the fast paths
+//!   fall back to heap-allocated bignum arithmetic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gcd;
 pub mod hnf;
+pub mod hnf64;
 pub mod int;
 pub mod kernel;
 pub mod lll;
 pub mod mat;
 pub mod rat;
 pub mod smith;
+pub mod stats;
 pub mod vec;
 
-pub use hnf::{hermite_normal_form, Hnf};
+pub use hnf::{hermite_normal_form, hermite_normal_form_bignum, Hnf};
+pub use hnf64::{hnf_prefix_i64, HnfPrefix, HnfWorkspace};
 pub use int::Int;
 pub use kernel::kernel_basis;
 pub use lll::{lll_reduce, norm_sq};
 pub use mat::IMat;
 pub use rat::Rat;
 pub use smith::{smith_normal_form, Smith};
+pub use stats::{
+    bigint_spills_total, hnf_i64_fallback_total, hnf_i64_fast_total, thread_bigint_spills,
+};
 pub use vec::IVec;

@@ -2,8 +2,9 @@
 //!
 //! Mapping matrices `T = [S; Π]`, dependence matrices `D`, interconnection
 //! matrices `P`, `K` and Hermite multipliers `U`, `V` are all [`IMat`]s.
-//! Everything is exact: determinants use fraction-free Bareiss elimination,
-//! rank uses exact rational elimination, and the adjugate is computed from
+//! Everything is exact: determinants and rank use fraction-free Bareiss
+//! elimination (integer-only, so small-value matrices never leave the
+//! inline `i64` fast path of [`Int`]), and the adjugate is computed from
 //! cofactors exactly as in Section 3 of the paper (Equations 3.2/3.3).
 
 use crate::int::Int;
@@ -248,33 +249,30 @@ impl IMat {
         }
     }
 
-    /// Rank by exact rational Gaussian elimination.
+    /// Rank by fraction-free Bareiss elimination (exact; all intermediate
+    /// entries are minors of the input, and the one-step divisions by the
+    /// previous pivot are exact by Sylvester's identity). Integer-only, so
+    /// small matrices never allocate.
     pub fn rank(&self) -> usize {
-        let mut a: Vec<Vec<Rat>> = (0..self.rows)
-            .map(|r| (0..self.cols).map(|c| Rat::from_int(self.get(r, c).clone())).collect())
+        let mut a: Vec<Vec<Int>> = (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c).clone()).collect())
             .collect();
+        let mut prev = Int::one();
         let mut rank = 0;
-        let mut row = 0;
         for col in 0..self.cols {
-            if row >= self.rows {
+            if rank >= self.rows {
                 break;
             }
-            let pivot = (row..self.rows).find(|&r| !a[r][col].is_zero());
-            let Some(p) = pivot else { continue };
-            a.swap(row, p);
-            let pv = a[row][col].clone();
-            let pivot_row = a[row].clone();
-            for tail in a[row + 1..self.rows].iter_mut() {
-                if tail[col].is_zero() {
-                    continue;
+            let Some(p) = (rank..self.rows).find(|&r| !a[r][col].is_zero()) else { continue };
+            a.swap(rank, p);
+            for r in rank + 1..self.rows {
+                for j in col + 1..self.cols {
+                    let num = &(&a[r][j] * &a[rank][col]) - &(&a[r][col] * &a[rank][j]);
+                    a[r][j] = num.exact_div(&prev);
                 }
-                let factor = &tail[col] / &pv;
-                for (entry, p) in tail[col..].iter_mut().zip(&pivot_row[col..]) {
-                    let delta = &factor * p;
-                    *entry = &*entry - &delta;
-                }
+                a[r][col] = Int::zero();
             }
-            row += 1;
+            prev = a[rank][col].clone();
             rank += 1;
         }
         rank
@@ -316,11 +314,16 @@ impl IMat {
     }
 
     /// Exact integer inverse, available iff the matrix is unimodular.
+    /// The determinant is computed once and reused for both the
+    /// unimodularity check and the sign of the adjugate.
     pub fn inverse_unimodular(&self) -> Option<IMat> {
-        if !self.is_unimodular() {
+        if self.rows != self.cols {
             return None;
         }
         let d = self.det();
+        if !d.is_one() && !d.is_neg_one() {
+            return None;
+        }
         let adj = self.adjugate();
         Some(if d.is_one() {
             adj
@@ -552,6 +555,37 @@ mod tests {
         IMat::from_fn(n, n, |i, j| Int::from(v[i * n + j]))
     }
 
+    /// The pre-Bareiss rank algorithm (exact rational Gaussian
+    /// elimination), kept as a differential oracle.
+    fn rational_rank(m: &IMat) -> usize {
+        let (rows, cols) = (m.nrows(), m.ncols());
+        let mut a: Vec<Vec<Rat>> = (0..rows)
+            .map(|r| (0..cols).map(|c| Rat::from_int(m.get(r, c).clone())).collect())
+            .collect();
+        let mut rank = 0;
+        for col in 0..cols {
+            if rank >= rows {
+                break;
+            }
+            let Some(p) = (rank..rows).find(|&r| !a[r][col].is_zero()) else { continue };
+            a.swap(rank, p);
+            let pv = a[rank][col].clone();
+            let pivot_row = a[rank].clone();
+            for tail in a[rank + 1..rows].iter_mut() {
+                if tail[col].is_zero() {
+                    continue;
+                }
+                let factor = &tail[col] / &pv;
+                for (entry, p) in tail[col..].iter_mut().zip(&pivot_row[col..]) {
+                    let delta = &factor * p;
+                    *entry = &*entry - &delta;
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
     cfmap_testkit::props! {
         cases = 256;
 
@@ -588,6 +622,13 @@ mod tests {
             let r = a.rank();
             assert!(r <= 4);
             assert_eq!(r == 4, !a.det().is_zero());
+        }
+
+        fn bareiss_rank_matches_rational_rank(v in cfmap_testkit::gen::vec(-6i64..=6, 12)) {
+            let a = IMat::from_fn(3, 4, |i, j| Int::from(v[i * 4 + j]));
+            assert_eq!(a.rank(), rational_rank(&a));
+            let at = a.transpose();
+            assert_eq!(at.rank(), rational_rank(&at));
         }
 
         fn rational_inverse_roundtrip(v in cfmap_testkit::gen::vec(-6i64..=6, 9)) {

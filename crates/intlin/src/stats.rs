@@ -1,0 +1,68 @@
+//! Process-wide fast-path instrumentation.
+//!
+//! The exact-arithmetic layer has two tiers: an inline machine-word fast
+//! path and a heap-allocated limb fallback (see [`crate::int`] and
+//! [`crate::hnf64`]). These counters record how often the fallback tier
+//! is exercised, so a service can alert when a workload silently leaves
+//! the allocation-free regime. They are plain relaxed atomics — `cfmap-intlin`
+//! must not depend on the metrics registry living in `cfmap-core`; the
+//! service layer surfaces them through render-time gauge callbacks
+//! instead.
+//!
+//! Each event is additionally mirrored into a thread-local counter so
+//! tests can assert "this exact computation never spilled" without being
+//! polluted by concurrently running tests on other threads.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static BIGINT_SPILLS: AtomicU64 = AtomicU64::new(0);
+static HNF_I64_FAST: AtomicU64 = AtomicU64::new(0);
+static HNF_I64_FALLBACK: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_BIGINT_SPILLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record one promotion of an [`crate::Int`] out of the inline `i64`
+/// representation into heap-allocated limbs.
+pub(crate) fn note_bigint_spill() {
+    BIGINT_SPILLS.fetch_add(1, Ordering::Relaxed);
+    THREAD_BIGINT_SPILLS.with(|c| c.set(c.get() + 1));
+}
+
+/// Record one Hermite normal form served entirely by the `i64` kernel.
+pub(crate) fn note_hnf_i64_fast() {
+    HNF_I64_FAST.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one Hermite normal form that fell back to bignum arithmetic
+/// (entries or intermediates overflowed `i64`).
+pub(crate) fn note_hnf_i64_fallback() {
+    HNF_I64_FALLBACK.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide count of heap bignum values materialized by exact
+/// integer arithmetic. Zero for a workload that stays entirely on the
+/// inline `i64` fast path (all of the paper's worked examples do).
+pub fn bigint_spills_total() -> u64 {
+    BIGINT_SPILLS.load(Ordering::Relaxed)
+}
+
+/// [`bigint_spills_total`] restricted to the calling thread — the
+/// deterministic view used by zero-allocation regression tests.
+pub fn thread_bigint_spills() -> u64 {
+    THREAD_BIGINT_SPILLS.with(Cell::get)
+}
+
+/// Process-wide count of Hermite normal forms computed entirely in the
+/// dedicated `i64` kernel (see [`crate::hnf64`]).
+pub fn hnf_i64_fast_total() -> u64 {
+    HNF_I64_FAST.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of Hermite normal forms that overflowed the `i64`
+/// kernel and were recomputed with bignum arithmetic.
+pub fn hnf_i64_fallback_total() -> u64 {
+    HNF_I64_FALLBACK.load(Ordering::Relaxed)
+}

@@ -44,7 +44,7 @@ cfmap_testkit::props! {
         assert_eq!(red.len(), kernel.len());
         for g in &red {
             assert!(t.mul_vec(g).is_zero());
-            let beta = h.v.mul_vec(g);
+            let beta = h.v().mul_vec(g);
             for i in 0..h.rank {
                 assert!(beta[i].is_zero(), "reduced vector left the lattice");
             }
@@ -89,7 +89,7 @@ cfmap_testkit::props! {
         let h2 = hermite_normal_form(&t2);
         let prod = &h1.u * &h2.u;
         assert!(prod.is_unimodular(), "unimodular group closed under product");
-        let back = &(&prod * &h2.v) * &h1.v;
+        let back = &(&prod * h2.v()) * h1.v();
         assert_eq!(back, IMat::identity(4));
     }
 

@@ -141,6 +141,33 @@ impl Engine {
             &[],
             || i64::try_from(EXACT_CONFLICT_TESTS.get()).unwrap_or(i64::MAX),
         );
+        // Exact-arithmetic fast-path health: spills should stay at zero
+        // for paper-sized problems, and the i64 HNF kernel should carry
+        // nearly all decompositions.
+        metrics.gauge_fn(
+            "cfmap_intlin_bigint_spills_total",
+            "Int values promoted from the inline i64 fast path to heap limbs",
+            &[],
+            || i64::try_from(cfmap_intlin::bigint_spills_total()).unwrap_or(i64::MAX),
+        );
+        metrics.gauge_fn(
+            "cfmap_intlin_hnf_i64_fast_total",
+            "Hermite normal forms computed entirely on the i64 kernel",
+            &[],
+            || i64::try_from(cfmap_intlin::hnf_i64_fast_total()).unwrap_or(i64::MAX),
+        );
+        metrics.gauge_fn(
+            "cfmap_intlin_hnf_i64_fallback_total",
+            "Hermite normal forms that overflowed i64 and fell back to bignum",
+            &[],
+            || i64::try_from(cfmap_intlin::hnf_i64_fallback_total()).unwrap_or(i64::MAX),
+        );
+        metrics.histogram_static(
+            "cfmap_candidate_screen_duration_seconds",
+            "Per-candidate screening time in Procedure 5.1",
+            &[],
+            &cfmap_core::metrics::CANDIDATE_SCREEN_TIME,
+        );
         let solve_latency = metrics.histogram(
             "cfmap_solve_duration_seconds",
             "Wall-clock time of each fresh search (cache hits excluded)",
@@ -705,6 +732,13 @@ mod tests {
         assert!(text.contains("cfmap_solve_duration_seconds_count 1"), "{text}");
         assert!(text.contains("cfmap_cache_entries 1"), "{text}");
         assert!(text.contains("cfmap_core_hnf_computations_total"), "{text}");
+        // Exact-arithmetic fast-path telemetry: the spill gauge is
+        // present, and a matmul-sized solve observes screen times.
+        assert!(text.contains("cfmap_intlin_bigint_spills_total"), "{text}");
+        assert!(text.contains("cfmap_intlin_hnf_i64_fast_total"), "{text}");
+        assert!(text.contains("cfmap_intlin_hnf_i64_fallback_total"), "{text}");
+        assert!(text.contains("# TYPE cfmap_candidate_screen_duration_seconds histogram"), "{text}");
+        assert!(!text.contains("cfmap_candidate_screen_duration_seconds_count 0"), "{text}");
     }
 
     #[test]

@@ -69,6 +69,12 @@ echo "$METRICS" | grep -q '^cfmap_solves_total 1$' \
     || { echo "/metrics is missing the solve counter"; exit 1; }
 echo "$METRICS" | grep -q 'cfmapd_request_duration_seconds_count{route="/map"} 1' \
     || { echo "/metrics is missing the /map latency histogram"; exit 1; }
+# Exact-arithmetic fast-path telemetry: the spill gauge must be exported
+# and stay at zero for a paper-sized solve (the fast-path guarantee).
+echo "$METRICS" | grep -q '^cfmap_intlin_bigint_spills_total 0$' \
+    || { echo "/metrics is missing a zero bigint spill counter"; exit 1; }
+echo "$METRICS" | grep -q 'cfmap_candidate_screen_duration_seconds_count' \
+    || { echo "/metrics is missing the candidate screen histogram"; exit 1; }
 exec 9>&-          # close stdin: the daemon drains and exits
 wait "$CFMAPD_PID" || { echo "cfmapd did not exit cleanly"; exit 1; }
 CFMAPD_PID=
@@ -76,5 +82,12 @@ CFMAPD_PID=
 echo "== smoke: timing benches under a 5 ms budget"
 CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e1_feasibility > /dev/null
 CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e12_service_throughput > /dev/null
+CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e13_hot_path > /dev/null
+
+echo "== smoke: bench.sh writes experiment JSON"
+CFMAP_BENCH_MS=5 BENCH_OUT=/tmp/cfmap_bench_smoke_$$.json scripts/bench.sh E13 > /dev/null
+grep -q '"id":"E13"' "/tmp/cfmap_bench_smoke_$$.json" \
+    || { echo "bench.sh produced no E13 report"; exit 1; }
+rm -f "/tmp/cfmap_bench_smoke_$$.json"
 
 echo "verify: OK"

@@ -125,7 +125,7 @@ fn example_4_2() {
     assert!(ours.u.is_unimodular());
     // The paper's kernel columns are integral combinations of ours.
     for c in [2usize, 3] {
-        let beta = ours.v.mul_vec(&u_paper.col(c));
+        let beta = ours.v().mul_vec(&u_paper.col(c));
         assert!(beta[0].is_zero() && beta[1].is_zero());
     }
 }
