@@ -48,6 +48,7 @@ fn permuted_batch() -> String {
                 cap: None,
                 max_candidates: None,
                 timeout_ms: None,
+                deadline_ms: None,
             }
             .to_json(),
         );

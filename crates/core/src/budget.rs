@@ -16,7 +16,175 @@
 
 use crate::error::BudgetLimit;
 use crate::metrics::SearchTelemetry;
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub mod clock {
+    //! The budget clock: a process-wide monotonic microsecond counter
+    //! with a thread-local test override.
+    //!
+    //! All time-based budget decisions ([`SearchBudget::max_wall`],
+    //! [`Deadline`]) read this clock instead of [`std::time::Instant`]
+    //! directly, so tests can drive expiry deterministically: install a
+    //! [`TestClock`] and advance it from a candidate probe, and the
+    //! search trips its deadline at an exact, reproducible candidate
+    //! count. The override is thread-local, which suffices because the
+    //! searches run sequentially whenever a budget is in force (see
+    //! `Procedure51::solve_parallel`).
+
+    use std::cell::Cell;
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    thread_local! {
+        static TEST_NOW: Cell<Option<u64>> = const { Cell::new(None) };
+    }
+
+    /// Microseconds on the budget clock: the thread's test override if
+    /// one is installed, otherwise time elapsed since the first call in
+    /// this process.
+    pub fn now_micros() -> u64 {
+        if let Some(t) = TEST_NOW.with(Cell::get) {
+            return t;
+        }
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// A thread-local override of the budget clock, removed on drop.
+    ///
+    /// While installed, `now_micros()` on this thread returns exactly
+    /// the value last set — time only moves when the test says so.
+    #[derive(Debug)]
+    pub struct TestClock {
+        // !Send so the override provably dies on the thread it patched.
+        _not_send: std::marker::PhantomData<*const ()>,
+    }
+
+    impl TestClock {
+        /// Install the override on the current thread, starting at
+        /// `start_us` microseconds.
+        pub fn start_at(start_us: u64) -> TestClock {
+            TEST_NOW.with(|c| c.set(Some(start_us)));
+            TestClock { _not_send: std::marker::PhantomData }
+        }
+
+        /// Move the clock to an absolute time. Panics if moved backwards.
+        pub fn set(&self, us: u64) {
+            TEST_NOW.with(|c| {
+                let now = c.get().expect("test clock was cleared");
+                assert!(us >= now, "test clock moved backwards: {now} -> {us}");
+                c.set(Some(us));
+            });
+        }
+
+        /// Advance the clock by `us` microseconds.
+        pub fn advance(&self, us: u64) {
+            TEST_NOW.with(|c| {
+                let now = c.get().expect("test clock was cleared");
+                c.set(Some(now.saturating_add(us)));
+            });
+        }
+
+        /// Current reading of the override.
+        pub fn now(&self) -> u64 {
+            TEST_NOW.with(|c| c.get().expect("test clock was cleared"))
+        }
+    }
+
+    impl Drop for TestClock {
+        fn drop(&mut self) {
+            TEST_NOW.with(|c| c.set(None));
+        }
+    }
+
+    /// Advance the current thread's installed override by `us`
+    /// microseconds. Equivalent to [`TestClock::advance`], but callable
+    /// from contexts that demand `Sync` closures (a candidate probe),
+    /// where holding a `&TestClock` — deliberately `!Sync` — is not
+    /// possible. Panics if no override is installed on this thread.
+    pub fn advance_test_clock(us: u64) {
+        TEST_NOW.with(|c| {
+            let now = c.get().expect("no test clock installed on this thread");
+            c.set(Some(now.saturating_add(us)));
+        });
+    }
+}
+
+/// An absolute point on the budget clock by which a search must answer.
+///
+/// Unlike [`SearchBudget::max_wall`] — a relative allowance started when
+/// the search starts — a deadline is anchored by the *caller*, so time a
+/// request spends queued before the search begins counts against it. A
+/// search whose deadline has already passed degrades on its first
+/// candidate check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    at_us: u64,
+}
+
+impl Deadline {
+    /// A deadline at an absolute budget-clock reading (microseconds).
+    pub fn at_micros(at_us: u64) -> Deadline {
+        Deadline { at_us }
+    }
+
+    /// A deadline `d` from now on the budget clock.
+    pub fn after(d: Duration) -> Deadline {
+        let d_us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        Deadline { at_us: clock::now_micros().saturating_add(d_us) }
+    }
+
+    /// A deadline `ms` milliseconds from now on the budget clock.
+    pub fn after_millis(ms: u64) -> Deadline {
+        Deadline::after(Duration::from_millis(ms))
+    }
+
+    /// The absolute budget-clock reading, in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.at_us
+    }
+
+    /// True once the budget clock has reached the deadline.
+    pub fn is_expired(self) -> bool {
+        clock::now_micros() >= self.at_us
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(self) -> Duration {
+        Duration::from_micros(self.at_us.saturating_sub(clock::now_micros()))
+    }
+}
+
+/// A cooperative cancellation flag shared between a search and its
+/// controller.
+///
+/// The searches poll the token once per screened candidate; setting it
+/// makes them wind down with a [`BudgetLimit::Cancelled`] degradation
+/// within one candidate's latency. Cloning shares the flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Set the flag. Idempotent; there is no way to un-cancel.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
 
 /// Resource limits for a search. The default is unlimited.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -27,6 +195,9 @@ pub struct SearchBudget {
     pub max_nodes: Option<u64>,
     /// Maximum wall-clock time.
     pub max_wall: Option<Duration>,
+    /// Absolute deadline on the budget clock (caller-anchored; queueing
+    /// delay counts, unlike `max_wall`).
+    pub deadline: Option<Deadline>,
 }
 
 impl SearchBudget {
@@ -50,6 +221,11 @@ impl SearchBudget {
         SearchBudget { max_wall: Some(d), ..SearchBudget::default() }
     }
 
+    /// Budget limited by an absolute deadline.
+    pub fn until(d: Deadline) -> SearchBudget {
+        SearchBudget { deadline: Some(d), ..SearchBudget::default() }
+    }
+
     /// Add a candidate-count limit.
     pub fn with_candidates(mut self, n: u64) -> SearchBudget {
         self.max_candidates = Some(n);
@@ -68,14 +244,23 @@ impl SearchBudget {
         self
     }
 
+    /// Add an absolute deadline.
+    pub fn with_deadline(mut self, d: Deadline) -> SearchBudget {
+        self.deadline = Some(d);
+        self
+    }
+
     /// True when no limit is set.
     pub fn is_unlimited(&self) -> bool {
-        self.max_candidates.is_none() && self.max_nodes.is_none() && self.max_wall.is_none()
+        self.max_candidates.is_none()
+            && self.max_nodes.is_none()
+            && self.max_wall.is_none()
+            && self.deadline.is_none()
     }
 
     /// Start metering against this budget.
     pub fn start(&self) -> BudgetMeter {
-        BudgetMeter { budget: *self, started: Instant::now(), candidates: 0, nodes: 0 }
+        BudgetMeter { budget: *self, started_us: clock::now_micros(), candidates: 0, nodes: 0 }
     }
 }
 
@@ -83,7 +268,7 @@ impl SearchBudget {
 #[derive(Clone, Debug)]
 pub struct BudgetMeter {
     budget: SearchBudget,
-    started: Instant,
+    started_us: u64,
     /// Candidates charged so far.
     pub candidates: u64,
     /// Nodes charged so far.
@@ -126,11 +311,23 @@ impl BudgetMeter {
         self.budget.max_candidates.map(|max| max.saturating_sub(self.candidates))
     }
 
-    /// Check only the wall clock.
+    /// Check the time limits: the relative wall-clock cap and the
+    /// absolute deadline. (Kept under the pre-deadline name; every
+    /// charge path funnels through it.)
     pub fn check_wall(&self) -> Option<BudgetLimit> {
+        if self.budget.max_wall.is_none() && self.budget.deadline.is_none() {
+            return None;
+        }
+        let now = clock::now_micros();
         if let Some(max) = self.budget.max_wall {
-            if self.started.elapsed() >= max {
+            let max_us = u64::try_from(max.as_micros()).unwrap_or(u64::MAX);
+            if now.saturating_sub(self.started_us) >= max_us {
                 return Some(BudgetLimit::WallClock);
+            }
+        }
+        if let Some(d) = self.budget.deadline {
+            if now >= d.as_micros() {
+                return Some(BudgetLimit::Deadline);
             }
         }
         None
@@ -313,6 +510,68 @@ mod tests {
         assert_eq!(b.max_nodes, Some(7));
         assert!(!b.is_unlimited());
         assert!(SearchBudget::unlimited().is_unlimited());
+        assert!(!SearchBudget::until(Deadline::at_micros(u64::MAX)).is_unlimited());
+    }
+
+    #[test]
+    fn test_clock_drives_deadline_expiry() {
+        let tc = clock::TestClock::start_at(1_000);
+        let d = Deadline::after_millis(5); // expires at 6_000 µs
+        assert_eq!(d.as_micros(), 6_000);
+        assert!(!d.is_expired());
+        assert_eq!(d.remaining(), Duration::from_millis(5));
+
+        let mut meter = SearchBudget::until(d).start();
+        assert_eq!(meter.charge_candidate(), None);
+        tc.advance(4_999);
+        assert_eq!(meter.charge_candidate(), None);
+        tc.advance(1);
+        assert!(d.is_expired());
+        assert_eq!(meter.charge_candidate(), Some(BudgetLimit::Deadline));
+        assert_eq!(meter.check_wall(), Some(BudgetLimit::Deadline));
+    }
+
+    #[test]
+    fn test_clock_drives_wall_budget_too() {
+        let tc = clock::TestClock::start_at(0);
+        let meter = SearchBudget::wall_clock(Duration::from_millis(2)).start();
+        assert_eq!(meter.check_wall(), None);
+        tc.advance(2_000);
+        assert_eq!(meter.check_wall(), Some(BudgetLimit::WallClock));
+    }
+
+    #[test]
+    fn wall_clock_trips_before_deadline_when_both_expired() {
+        let tc = clock::TestClock::start_at(0);
+        let meter = SearchBudget::wall_clock(Duration::ZERO)
+            .with_deadline(Deadline::at_micros(0))
+            .start();
+        let _ = &tc;
+        assert_eq!(meter.check_wall(), Some(BudgetLimit::WallClock));
+    }
+
+    #[test]
+    fn test_clock_is_removed_on_drop() {
+        {
+            let _tc = clock::TestClock::start_at(u64::MAX);
+            assert_eq!(clock::now_micros(), u64::MAX);
+        }
+        // Back on the real monotonic clock: ordered, and far from MAX.
+        let a = clock::now_micros();
+        let b = clock::now_micros();
+        assert!(b >= a);
+        assert_ne!(a, u64::MAX, "override leaked past its scope");
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled() && !u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled() && u.is_cancelled());
+        u.cancel(); // idempotent
+        assert!(t.is_cancelled());
     }
 
     #[test]

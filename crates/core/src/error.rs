@@ -18,6 +18,15 @@ pub enum BudgetLimit {
     Nodes,
     /// The wall-clock ceiling (`max_wall`).
     WallClock,
+    /// The absolute request deadline (`deadline`) passed before the
+    /// search completed. Unlike `max_wall` (a relative cap started when
+    /// the search starts), a deadline is anchored by the caller — e.g.
+    /// at connection-accept time — so queueing delay counts against it.
+    Deadline,
+    /// The search was cancelled cooperatively via a
+    /// [`crate::CancelToken`] (e.g. the serving daemon hit its drain
+    /// deadline during shutdown).
+    Cancelled,
 }
 
 impl fmt::Display for BudgetLimit {
@@ -26,6 +35,8 @@ impl fmt::Display for BudgetLimit {
             BudgetLimit::Candidates => write!(f, "candidate-count limit"),
             BudgetLimit::Nodes => write!(f, "node limit"),
             BudgetLimit::WallClock => write!(f, "wall-clock limit"),
+            BudgetLimit::Deadline => write!(f, "request deadline"),
+            BudgetLimit::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -175,6 +186,20 @@ mod tests {
                     candidates_examined: 7,
                 },
                 "budget exhausted",
+            ),
+            (
+                CfmapError::BudgetExhausted {
+                    limit: BudgetLimit::Deadline,
+                    candidates_examined: 0,
+                },
+                "deadline",
+            ),
+            (
+                CfmapError::BudgetExhausted {
+                    limit: BudgetLimit::Cancelled,
+                    candidates_examined: 0,
+                },
+                "cancelled",
             ),
             (
                 CfmapError::DimensionMismatch {

@@ -11,9 +11,9 @@
 //! the time-first criterion, once some design achieves time `t*`, later
 //! space maps only search schedules with objective `< t* − 1`.
 
-use crate::budget::{SearchBudget, SearchOutcome};
+use crate::budget::{CancelToken, SearchBudget, SearchOutcome};
 use crate::conditions::ConditionKind;
-use crate::error::CfmapError;
+use crate::error::{BudgetLimit, CfmapError};
 use crate::mapping::{MappingMatrix, SpaceMap};
 use crate::metrics::SearchTelemetry;
 use crate::search::Procedure51;
@@ -62,6 +62,7 @@ pub struct JointSearch<'a> {
     condition: ConditionKind,
     max_objective: Option<i64>,
     budget: SearchBudget,
+    cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> JointSearch<'a> {
@@ -74,6 +75,7 @@ impl<'a> JointSearch<'a> {
             condition: ConditionKind::Exact,
             max_objective: None,
             budget: SearchBudget::unlimited(),
+            cancel: None,
         }
     }
 
@@ -106,6 +108,21 @@ impl<'a> JointSearch<'a> {
     pub fn budget(mut self, budget: SearchBudget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Poll a [`CancelToken`] once per space map and inside every inner
+    /// Procedure 5.1 run; tripping it degrades to the best design found
+    /// so far within one candidate's latency.
+    pub fn cancel_token(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    fn cancel_tripped(&self) -> Option<BudgetLimit> {
+        match self.cancel {
+            Some(c) if c.is_cancelled() => Some(BudgetLimit::Cancelled),
+            _ => None,
+        }
     }
 
     fn space_cost(&self, space: &SpaceMap) -> Result<i64, CfmapError> {
@@ -184,10 +201,19 @@ impl<'a> JointSearch<'a> {
             // The charged space map is still screened; the trip takes
             // effect before the *next* one, keeping degradation
             // deterministic for candidate budgets.
-            let limit = meter.charge_candidate();
+            let limit = meter.charge_candidate().or_else(|| self.cancel_tripped());
             let tried = meter.candidates;
             let space = SpaceMap::row(r);
             let mut proc = Procedure51::new(self.alg, &space).condition(self.condition);
+            // Time-critical limits must interrupt the *inner* search too,
+            // not just the between-space-maps boundary: hand the deadline
+            // and the cancel token down.
+            if let Some(c) = self.cancel {
+                proc = proc.cancel_token(c);
+            }
+            if let Some(d) = self.budget.deadline {
+                proc = proc.budget(SearchBudget::until(d));
+            }
             if let Some(cap) = self.max_objective {
                 proc = proc.max_objective(cap);
             }
@@ -201,6 +227,11 @@ impl<'a> JointSearch<'a> {
             }
             let inner = proc.solve()?;
             tel.merge(&inner.telemetry);
+            // The inner budget carries only time-critical limits
+            // (deadline / cancellation), so an inner trip ends the joint
+            // search too — even on the last space map, where the
+            // between-maps charge below would never see it.
+            let inner_limit = inner.telemetry.budget_limit;
             if let Some(opt) = inner.into_mapping() {
                 let cost = self.space_cost(&space)?;
                 let score = self.score(opt.total_time, cost);
@@ -222,7 +253,7 @@ impl<'a> JointSearch<'a> {
                     ));
                 }
             }
-            if let Some(limit) = limit {
+            if let Some(limit) = limit.or(inner_limit) {
                 tripped = Some(limit);
                 break;
             }
@@ -348,6 +379,20 @@ mod tests {
         assert!(t.hnf_computations > 0);
         assert!(t.accepted >= 1, "at least one inner search accepted: {t:?}");
         assert!(t.budget_limit.is_none());
+    }
+
+    #[test]
+    fn pre_cancelled_joint_search_degrades_promptly() {
+        let alg = algorithms::matmul(3);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = JointSearch::new(&alg).cancel_token(&token).solve().unwrap();
+        assert!(out.certification.is_best_effort(), "got {}", out.certification);
+        assert_eq!(out.telemetry.budget_limit, Some(BudgetLimit::Cancelled));
+        // Only the one charged space map was screened (via its fallback).
+        assert_eq!(out.candidates_examined, 1);
+        let sol = out.into_mapping().expect("fallback design");
+        assert!(oracle::is_conflict_free_by_enumeration(&sol.mapping, &alg.index_set));
     }
 
     #[test]

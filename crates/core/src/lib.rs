@@ -43,7 +43,7 @@ pub mod schedulability;
 pub mod search;
 pub mod space_search;
 
-pub use budget::{BudgetMeter, Certification, SearchBudget, SearchOutcome};
+pub use budget::{BudgetMeter, CancelToken, Certification, Deadline, SearchBudget, SearchOutcome};
 pub use canon::{canonicalize, Canonicalization, CanonicalProblem};
 pub use conflict::{ConflictAnalysis, Feasibility};
 pub use error::{BudgetLimit, CfmapError};

@@ -29,7 +29,7 @@
 //! [`Certification::BestEffort`]. Only when even that family is empty
 //! does it report [`CfmapError::BudgetExhausted`].
 
-use crate::budget::{SearchBudget, SearchOutcome};
+use crate::budget::{CancelToken, SearchBudget, SearchOutcome};
 use crate::conditions::{check, rule_for, ConditionKind};
 use crate::conflict::ConflictAnalysis;
 use crate::error::{BudgetLimit, CfmapError};
@@ -97,6 +97,7 @@ pub struct Procedure51<'a> {
     primitives: Option<&'a InterconnectionPrimitives>,
     max_objective: i64,
     budget: SearchBudget,
+    cancel: Option<&'a CancelToken>,
     /// Column indices where `S` is entirely zero — used by the exact
     /// pairwise pre-filter (see [`Self::pairwise_prefilter_rejects`]).
     zero_space_cols: Vec<usize>,
@@ -132,6 +133,7 @@ impl<'a> Procedure51<'a> {
             primitives: None,
             max_objective: cap,
             budget: SearchBudget::unlimited(),
+            cancel: None,
             zero_space_cols,
             probe: None,
         }
@@ -188,6 +190,22 @@ impl<'a> Procedure51<'a> {
         self
     }
 
+    /// Make the search poll a [`CancelToken`] once per candidate.
+    /// Cancellation degrades like a tripped budget ([`BudgetLimit::Cancelled`])
+    /// within one candidate's latency.
+    pub fn cancel_token(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// `Some(Cancelled)` once an attached token has been tripped.
+    fn cancel_tripped(&self) -> Option<BudgetLimit> {
+        match self.cancel {
+            Some(c) if c.is_cancelled() => Some(BudgetLimit::Cancelled),
+            _ => None,
+        }
+    }
+
     /// Install a per-candidate probe, invoked with each candidate `Π`
     /// before screening. Test instrumentation (panic injection, candidate
     /// recording) — not part of the stable API.
@@ -211,7 +229,7 @@ impl<'a> Procedure51<'a> {
         let n = self.alg.dim();
         let mut meter = self.budget.start();
         let mut tel = SearchTelemetry::default();
-        if let Some(limit) = meter.check_wall() {
+        if let Some(limit) = meter.check_wall().or_else(|| self.cancel_tripped()) {
             return self.degrade(limit, 0, tel);
         }
         // The S rows of T = [S; Π] are fixed across the whole search:
@@ -227,7 +245,7 @@ impl<'a> Procedure51<'a> {
                 if found.is_some() || tripped.is_some() {
                     return;
                 }
-                let limit = meter.charge_candidate();
+                let limit = meter.charge_candidate().or_else(|| self.cancel_tripped());
                 tel.enumerated += 1;
                 if let Some(result) =
                     self.try_candidate(pi, cost, meter.candidates, &mut tel, prefix.as_ref(), &mut ws)
@@ -353,6 +371,15 @@ impl<'a> Procedure51<'a> {
         mut tel: SearchTelemetry,
     ) -> Result<SearchOutcome<OptimalMapping>, CfmapError> {
         tel.budget_limit = Some(limit);
+        // Time-critical trips promise an answer within one candidate's
+        // latency, so take the *first* valid fallback — the enumeration
+        // order is fixed, so the choice is still deterministic. Work
+        // budgets (candidates/nodes) have no latency promise and keep
+        // screening the whole family for the cheapest variant.
+        let first_valid_suffices = matches!(
+            limit,
+            BudgetLimit::WallClock | BudgetLimit::Deadline | BudgetLimit::Cancelled
+        );
         let mu = self.alg.index_set.mu();
         let n = self.alg.dim();
         let mut best: Option<OptimalMapping> = None;
@@ -408,6 +435,9 @@ impl<'a> Procedure51<'a> {
                         };
                         if better {
                             best = Some(cand);
+                        }
+                        if first_valid_suffices {
+                            break 'perms;
                         }
                     }
                 }
@@ -471,14 +501,15 @@ impl<'a> Procedure51<'a> {
     /// and the globally smallest index wins — so the result is
     /// deterministic and identical to the sequential tie-breaking.
     ///
-    /// A non-unlimited budget delegates to the sequential search so that
-    /// budget semantics stay exactly deterministic.
+    /// A non-unlimited budget — or an attached [`CancelToken`] —
+    /// delegates to the sequential search so that budget and
+    /// cancellation semantics stay exactly deterministic.
     pub fn solve_parallel(
         &self,
         threads: usize,
     ) -> Result<SearchOutcome<OptimalMapping>, CfmapError> {
         assert!(threads >= 1, "need at least one worker");
-        if threads == 1 || !self.budget.is_unlimited() {
+        if threads == 1 || !self.budget.is_unlimited() || self.cancel.is_some() {
             return self.solve();
         }
         let mu = self.alg.index_set.mu();
@@ -928,6 +959,55 @@ mod tests {
             .solve()
             .expect("degrades, does not fail");
         assert!(out.certification.is_best_effort());
+    }
+
+    #[test]
+    fn cancel_token_winds_search_down_mid_enumeration() {
+        use crate::budget::CancelToken;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let alg = algorithms::matmul(4);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let token = CancelToken::new();
+        let seen = AtomicU64::new(0);
+        let cancel_after = 5u64;
+        let t = token.clone();
+        let probe = move |_pi: &[i64]| {
+            if seen.fetch_add(1, Ordering::Relaxed) + 1 == cancel_after {
+                t.cancel();
+            }
+        };
+        let out = Procedure51::new(&alg, &s)
+            .cancel_token(&token)
+            .candidate_probe(&probe)
+            .solve()
+            .expect("cancellation degrades, does not fail");
+        assert!(out.certification.is_best_effort());
+        assert_eq!(out.telemetry.budget_limit, Some(BudgetLimit::Cancelled));
+        // The cancelled candidate itself is still screened; the search
+        // stops before the next one.
+        assert_eq!(out.candidates_examined, cancel_after + 1);
+        // Time-critical degradation takes the first valid fallback
+        // instead of screening the full n!·2ⁿ = 48 family.
+        assert!(out.telemetry.fallback_screened < 48);
+        assert!(out.mapping.is_some());
+    }
+
+    #[test]
+    fn pre_cancelled_search_returns_without_enumerating() {
+        use crate::budget::CancelToken;
+
+        let alg = algorithms::matmul(4);
+        let s = SpaceMap::row(&[1, 1, -1]);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = Procedure51::new(&alg, &s)
+            .cancel_token(&token)
+            .solve()
+            .expect("degrades");
+        assert!(out.certification.is_best_effort());
+        assert_eq!(out.candidates_examined, 0);
+        assert_eq!(out.telemetry.budget_limit, Some(BudgetLimit::Cancelled));
     }
 
     #[test]

@@ -4,11 +4,17 @@
 //! that answers `Connection: close` responses with a `Content-Length` or
 //! EOF-delimited body). Used by the `cfmap client` subcommand, the smoke
 //! tests, and the throughput bench — all of which must stay hermetic.
+//!
+//! Resilience: [`ClientConfig`] carries explicit connect/read/write
+//! timeouts and an optional retry policy with jittered exponential
+//! backoff. Retries trigger on I/O errors and on `503` answers (the
+//! server's admission-control shed), and honor the server's
+//! `Retry-After` header as a floor for the next backoff sleep.
 
 use crate::wire::{MapRequest, MapResponse, WireError};
 use std::str::FromStr;
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Why a client call failed.
@@ -43,6 +49,41 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// Socket timeouts and retry policy for one client.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (response may take a full budgeted search).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Additional attempts after the first (0 = fail fast).
+    pub retries: u32,
+    /// First backoff sleep; doubles per retry up to [`backoff_cap`].
+    ///
+    /// [`backoff_cap`]: ClientConfig::backoff_cap
+    pub backoff_base: Duration,
+    /// Upper bound on one backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for the backoff jitter, so tests replay deterministically.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            retries: 0,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
 /// An HTTP status code plus response body.
 #[derive(Clone, Debug)]
 pub struct HttpReply {
@@ -50,18 +91,110 @@ pub struct HttpReply {
     pub status: u16,
     /// Response body (JSON for every cfmapd route).
     pub body: String,
+    /// The `Retry-After` header in seconds, if the server sent one
+    /// (cfmapd does on a shed `503`).
+    pub retry_after: Option<u64>,
 }
 
-/// Issue one request and read the full reply (`Connection: close`).
-pub fn http_request(
+/// A `cfmapd` client: an address plus a [`ClientConfig`].
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    /// Jitter state (xorshift64*), advanced per backoff sleep.
+    jitter: u64,
+}
+
+impl Client {
+    /// A client with the given timeouts and retry policy.
+    pub fn new(addr: &str, config: ClientConfig) -> Client {
+        let jitter = config.jitter_seed | 1; // xorshift state must be non-zero
+        Client { addr: addr.to_string(), config, jitter }
+    }
+
+    /// A client with [`ClientConfig::default`] (no retries).
+    pub fn with_defaults(addr: &str) -> Client {
+        Client::new(addr, ClientConfig::default())
+    }
+
+    /// Issue one request, retrying on I/O errors and `503` per the
+    /// configured policy. Honors `Retry-After` as a backoff floor.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpReply, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = request_once(&self.addr, &self.config, method, path, body);
+            let retryable = match &outcome {
+                Ok(reply) => reply.status == 503,
+                Err(ClientError::Io(_)) => true,
+                Err(ClientError::Protocol(_)) => false,
+            };
+            if !retryable || attempt >= self.config.retries {
+                return outcome;
+            }
+            let retry_after = match &outcome {
+                Ok(reply) => reply.retry_after,
+                Err(_) => None,
+            };
+            std::thread::sleep(self.backoff(attempt, retry_after));
+            attempt += 1;
+        }
+    }
+
+    /// POST a path with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> Result<HttpReply, ClientError> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// GET a path.
+    pub fn get(&mut self, path: &str) -> Result<HttpReply, ClientError> {
+        self.request("GET", path, None)
+    }
+
+    /// Submit one mapping request to `POST /map` and decode the answer.
+    pub fn map(&mut self, request: &MapRequest) -> Result<MapResponse, ClientError> {
+        let reply = self.post("/map", &request.to_json().serialize())?;
+        Ok(MapResponse::from_str(&reply.body)?)
+    }
+
+    /// The sleep before retry number `attempt + 1`: exponential from
+    /// `backoff_base`, capped at `backoff_cap`, with ±25% deterministic
+    /// jitter, and never below the server's `Retry-After`.
+    fn backoff(&mut self, attempt: u32, retry_after_secs: Option<u64>) -> Duration {
+        let base_us = u64::try_from(self.config.backoff_base.as_micros()).unwrap_or(u64::MAX);
+        let cap_us = u64::try_from(self.config.backoff_cap.as_micros()).unwrap_or(u64::MAX);
+        let exp_us = base_us
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(cap_us);
+        // xorshift64* step, then map to [75%, 125%] of the exponential
+        // sleep. Deterministic per seed: chaos tests replay exactly.
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let r = self.jitter.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let jittered = exp_us / 4 * 3 + r % (exp_us / 2).max(1);
+        let floor_us = retry_after_secs
+            .map(|s| s.saturating_mul(1_000_000))
+            .unwrap_or(0);
+        Duration::from_micros(jittered.max(floor_us).min(cap_us.max(floor_us)))
+    }
+}
+
+/// One request/response exchange with explicit timeouts, no retries.
+fn request_once(
     addr: &str,
+    config: &ClientConfig,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> Result<HttpReply, ClientError> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut stream = connect(addr, config.connect_timeout)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
     let payload = body.unwrap_or("");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -84,7 +217,40 @@ pub fn http_request(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
-    Ok(HttpReply { status, body: body.to_string() })
+    let retry_after = head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("retry-after")
+            .then(|| value.trim().parse::<u64>().ok())
+            .flatten()
+    });
+    Ok(HttpReply { status, body: body.to_string(), retry_after })
+}
+
+/// `TcpStream::connect` with an explicit timeout (resolves `addr` and
+/// tries each candidate in turn).
+fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, ClientError> {
+    let mut last_err: Option<std::io::Error> = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(ClientError::Io(last_err.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{addr} resolves to nothing"))
+    })))
+}
+
+/// Issue one request and read the full reply (`Connection: close`),
+/// using [`ClientConfig::default`] timeouts and no retries.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<HttpReply, ClientError> {
+    request_once(addr, &ClientConfig::default(), method, path, body)
 }
 
 /// POST a path with a JSON body.
@@ -101,4 +267,31 @@ pub fn get(addr: &str, path: &str) -> Result<HttpReply, ClientError> {
 pub fn map(addr: &str, request: &MapRequest) -> Result<MapResponse, ClientError> {
     let reply = post(addr, "/map", &request.to_json().serialize())?;
     Ok(MapResponse::from_str(&reply.body)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_honors_retry_after() {
+        let config = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+            jitter_seed: 7,
+            ..ClientConfig::default()
+        };
+        let mut a = Client::new("127.0.0.1:1", config.clone());
+        let mut b = Client::new("127.0.0.1:1", config.clone());
+        let seq_a: Vec<Duration> = (0..4).map(|i| a.backoff(i, None)).collect();
+        let seq_b: Vec<Duration> = (0..4).map(|i| b.backoff(i, None)).collect();
+        assert_eq!(seq_a, seq_b, "same seed must replay the same sleeps");
+        for (i, d) in seq_a.iter().enumerate() {
+            let exp = Duration::from_millis(10 << i).min(Duration::from_millis(200));
+            assert!(*d >= exp * 3 / 4 && *d <= exp * 5 / 4, "sleep {i} = {d:?} outside ±25% of {exp:?}");
+        }
+        // Retry-After floors the sleep even above the cap.
+        let mut c = Client::new("127.0.0.1:1", config);
+        assert!(c.backoff(0, Some(1)) >= Duration::from_secs(1));
+    }
 }

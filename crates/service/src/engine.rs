@@ -24,9 +24,10 @@ use cfmap_core::metrics::{
     Counter, Histogram, Registry, DEFAULT_LATENCY_BUCKETS_US, EXACT_CONFLICT_TESTS,
     HNF_COMPUTATIONS,
 };
+use cfmap_core::budget::clock;
 use cfmap_core::{
-    canonicalize, BudgetLimit, CanonicalProblem, Canonicalization, Certification, CfmapError,
-    Procedure51, SearchBudget, SearchTelemetry, SpaceMap,
+    canonicalize, BudgetLimit, CancelToken, CanonicalProblem, Canonicalization, Certification,
+    CfmapError, Deadline, Procedure51, SearchBudget, SearchTelemetry, SpaceMap,
 };
 use cfmap_model::{algorithms, DependenceMatrix, IndexSet, Uda};
 use cfmap_systolic::SystolicArray;
@@ -100,6 +101,12 @@ pub struct Engine {
     accepted: Arc<Counter>,
     hnf: Arc<Counter>,
     fallback: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
+    /// Engine-wide cooperative cancellation: every search polls this
+    /// token, so tripping it (e.g. when the daemon's drain deadline
+    /// passes) winds all in-flight solves down within one candidate's
+    /// latency.
+    cancel: CancelToken,
 }
 
 impl Engine {
@@ -196,6 +203,11 @@ impl Engine {
             "Mixed-radix fallback variants screened during budget degradation",
             &[],
         );
+        let deadline_expired = metrics.counter(
+            "cfmap_deadline_expired_total",
+            "Searches that degraded because their request deadline passed",
+            &[],
+        );
         Engine {
             cache,
             metrics,
@@ -205,7 +217,17 @@ impl Engine {
             accepted,
             hnf,
             fallback,
+            deadline_expired,
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// The engine-wide cancellation token (cloning shares the flag).
+    /// Tripping it makes every current and future search on this engine
+    /// degrade promptly with [`BudgetLimit::Cancelled`] — the server's
+    /// drain watchdog uses it to bound shutdown.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// The engine's metrics registry (the daemon's `/metrics` endpoint
@@ -272,10 +294,15 @@ impl Engine {
             }
         }
         if let Some(limit) = tel.budget_limit {
+            if limit == BudgetLimit::Deadline {
+                self.deadline_expired.inc();
+            }
             let label = match limit {
                 BudgetLimit::Candidates => "candidates",
                 BudgetLimit::Nodes => "nodes",
                 BudgetLimit::WallClock => "wall_clock",
+                BudgetLimit::Deadline => "deadline",
+                BudgetLimit::Cancelled => "cancelled",
             };
             self.metrics
                 .counter(
@@ -287,14 +314,22 @@ impl Engine {
         }
     }
 
-    /// Resolve one request.
+    /// Resolve one request, anchoring any `deadline_ms` at the call.
     pub fn resolve(&self, req: &MapRequest) -> MapResponse {
+        self.resolve_anchored(req, clock::now_micros())
+    }
+
+    /// Resolve one request with its `deadline_ms` anchored at
+    /// `anchor_us` on the budget clock — the server passes the
+    /// connection-accept time, so queueing delay counts against the
+    /// deadline.
+    pub fn resolve_anchored(&self, req: &MapRequest, anchor_us: u64) -> MapResponse {
         let (alg, space) = match build_problem(req) {
             Ok(p) => p,
             Err(msg) => return MapResponse::BadRequest { msg },
         };
         let canon = canonicalize(&alg, &space);
-        match self.lookup_or_solve(&canon, req) {
+        match self.lookup_or_solve(&canon, req, request_deadline(req, anchor_us)) {
             Ok((outcome, cached)) => respond(&outcome, &canon, cached),
             Err(e) => MapResponse::Error(e),
         }
@@ -304,6 +339,16 @@ impl Engine {
     /// Returns the per-request responses (in request order) and the
     /// number of searches actually run.
     pub fn resolve_batch(&self, reqs: &[MapRequest]) -> (Vec<MapResponse>, u64) {
+        self.resolve_batch_anchored(reqs, clock::now_micros())
+    }
+
+    /// [`Engine::resolve_batch`] with every member's `deadline_ms`
+    /// anchored at `anchor_us` (the batch's accept time).
+    pub fn resolve_batch_anchored(
+        &self,
+        reqs: &[MapRequest],
+        anchor_us: u64,
+    ) -> (Vec<MapResponse>, u64) {
         let mut responses: Vec<Option<MapResponse>> = vec![None; reqs.len()];
         // Group cacheable, well-formed requests by cache key.
         let mut groups: HashMap<CacheKey, Vec<(usize, Canonicalization)>> = HashMap::new();
@@ -312,9 +357,10 @@ impl Engine {
                 Err(msg) => responses[i] = Some(MapResponse::BadRequest { msg }),
                 Ok((alg, space)) => {
                     let canon = canonicalize(&alg, &space);
-                    if req.timeout_ms.is_some() {
-                        // Wall-clock budget: solve fresh, never share.
-                        responses[i] = Some(match self.lookup_or_solve(&canon, req) {
+                    if req.timeout_ms.is_some() || req.deadline_ms.is_some() {
+                        // Time budget: solve fresh, never share.
+                        let d = request_deadline(req, anchor_us);
+                        responses[i] = Some(match self.lookup_or_solve(&canon, req, d) {
                             Ok((outcome, cached)) => respond(&outcome, &canon, cached),
                             Err(e) => MapResponse::Error(e),
                         });
@@ -333,7 +379,7 @@ impl Engine {
         for (_, members) in groups {
             let (first_idx, _) = members[0];
             let canon0 = &members[0].1;
-            let solved = self.lookup_or_solve(canon0, &reqs[first_idx]);
+            let solved = self.lookup_or_solve(canon0, &reqs[first_idx], None);
             match solved {
                 Ok((outcome, cached)) => {
                     if !cached {
@@ -366,8 +412,11 @@ impl Engine {
         &self,
         canon: &Canonicalization,
         req: &MapRequest,
+        deadline: Option<Deadline>,
     ) -> Result<(CachedOutcome, bool), CfmapError> {
-        let cacheable = req.timeout_ms.is_none();
+        // Both time budgets are machine/load-dependent: never read from
+        // or write into the cache under one.
+        let cacheable = req.timeout_ms.is_none() && deadline.is_none();
         let key = CacheKey {
             problem: canon.problem.clone(),
             cap: req.cap,
@@ -379,19 +428,29 @@ impl Engine {
             }
         }
         let started = Instant::now();
-        let (outcome, telemetry) = solve_canonical(&canon.problem, req)?;
+        let (outcome, telemetry) = solve_canonical(&canon.problem, req, deadline, &self.cancel)?;
         self.record_search(&telemetry, started.elapsed());
-        if cacheable {
+        // A search wound down by engine-wide cancellation (drain) is not
+        // the request's true answer — never cache it.
+        if cacheable && telemetry.budget_limit != Some(BudgetLimit::Cancelled) {
             self.cache.insert(key, outcome.clone());
         }
         Ok((outcome, false))
     }
 }
 
+/// The absolute deadline of a request, anchored at `anchor_us`.
+fn request_deadline(req: &MapRequest, anchor_us: u64) -> Option<Deadline> {
+    req.deadline_ms
+        .map(|ms| Deadline::at_micros(anchor_us.saturating_add(ms.saturating_mul(1_000))))
+}
+
 /// Run Procedure 5.1 on the canonical problem.
 fn solve_canonical(
     problem: &CanonicalProblem,
     req: &MapRequest,
+    deadline: Option<Deadline>,
+    cancel: &CancelToken,
 ) -> Result<(CachedOutcome, SearchTelemetry), CfmapError> {
     let alg = problem.uda("canonical");
     let space = problem.space_map();
@@ -402,7 +461,10 @@ fn solve_canonical(
     if let Some(ms) = req.timeout_ms {
         budget = budget.with_wall_clock(Duration::from_millis(ms));
     }
-    let mut proc = Procedure51::new(&alg, &space).budget(budget);
+    if let Some(d) = deadline {
+        budget = budget.with_deadline(d);
+    }
+    let mut proc = Procedure51::new(&alg, &space).budget(budget).cancel_token(cancel);
     if let Some(cap) = req.cap {
         proc = proc.max_objective(cap);
     }
@@ -615,6 +677,7 @@ mod tests {
             cap: None,
             max_candidates: None,
             timeout_ms: None,
+            deadline_ms: None,
         };
         let resp = engine.resolve(&permuted);
         let MapResponse::Ok(b) = &resp else { panic!("expected ok, got {resp:?}") };
@@ -677,6 +740,7 @@ mod tests {
                 cap: None,
                 max_candidates: None,
                 timeout_ms: None,
+                deadline_ms: None,
             },
             // Dimension bound: every solver stage is exponential in n.
             MapRequest {
@@ -692,6 +756,7 @@ mod tests {
                 cap: None,
                 max_candidates: None,
                 timeout_ms: None,
+                deadline_ms: None,
             },
             MapRequest {
                 algorithm: None,
@@ -701,6 +766,7 @@ mod tests {
                 cap: None,
                 max_candidates: None,
                 timeout_ms: None,
+                deadline_ms: None,
             },
         ];
         for req in cases {
@@ -710,6 +776,38 @@ mod tests {
                 "expected bad_request for {req:?}, got {resp:?}"
             );
         }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_and_bypasses_the_cache() {
+        let engine = Engine::new(64, 4);
+        let mut req = matmul_request();
+        req.deadline_ms = Some(0); // expired the moment it is anchored
+        let resp = engine.resolve(&req);
+        let MapResponse::Ok(o) = &resp else { panic!("expected best-effort ok, got {resp:?}") };
+        assert!(matches!(o.certification, Certification::BestEffort { .. }));
+        assert!(!o.cached);
+        assert_eq!(engine.cache_stats().entries, 0, "deadline answers must not be cached");
+        let text = engine.metrics().render_prometheus();
+        assert!(text.contains("cfmap_deadline_expired_total 1"), "{text}");
+        assert!(
+            text.contains("cfmap_search_budget_tripped_total{limit=\"deadline\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn cancelled_engine_degrades_and_does_not_cache() {
+        let engine = Engine::new(64, 4);
+        engine.cancel_token().cancel();
+        let resp = engine.resolve(&matmul_request());
+        let MapResponse::Ok(o) = &resp else { panic!("expected best-effort ok, got {resp:?}") };
+        assert!(matches!(o.certification, Certification::BestEffort { .. }));
+        assert_eq!(
+            engine.cache_stats().entries,
+            0,
+            "cancellation-degraded answers must not poison the cache"
+        );
     }
 
     #[test]
@@ -759,6 +857,7 @@ mod tests {
                 cap: None,
                 max_candidates: None,
                 timeout_ms: None,
+                deadline_ms: None,
             });
         }
         reqs.push(MapRequest::named("matmul", 5, vec![vec![1, 1, -1]]));

@@ -1,11 +1,13 @@
 //! The `cfmapd` HTTP server.
 //!
 //! Plain `std`: a `TcpListener` accept loop feeds accepted connections
-//! through an `mpsc` channel to a fixed pool of worker threads, each of
-//! which parses one HTTP/1.1 request, dispatches it against the shared
-//! [`Engine`], and answers with `Connection: close`. No async runtime,
-//! no HTTP library — the protocol subset needed (request line, headers,
-//! `Content-Length` body) is ~100 lines.
+//! through a *bounded* `sync_channel` to a fixed pool of worker
+//! threads, each of which parses one HTTP/1.1 request, dispatches it
+//! against the shared [`Engine`], and answers with `Connection: close`.
+//! When the admission queue is full, new connections are shed with
+//! `503` + `Retry-After` rather than buffered without bound. No async
+//! runtime, no HTTP library — the protocol subset needed (request line,
+//! headers, `Content-Length` body) is ~100 lines.
 //!
 //! Routes:
 //!
@@ -28,6 +30,8 @@
 use crate::engine::Engine;
 use crate::json::{parse, Json};
 use crate::wire::{MapRequest, MapResponse};
+use cfmap_core::budget::clock;
+use cfmap_core::metrics::{Counter, Gauge, Histogram, DEFAULT_LATENCY_BUCKETS_US};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -70,6 +74,16 @@ pub struct ServerConfig {
     /// Emit one structured JSON access-log line per request on stderr
     /// (`--log-format json`).
     pub log_json: bool,
+    /// Admission-queue capacity: connections accepted but not yet
+    /// claimed by a worker. When full, new connections are shed with
+    /// `503` + `Retry-After` instead of buffering without bound.
+    pub queue_capacity: usize,
+    /// How long shutdown waits for queued and in-flight requests before
+    /// cancelling the engine's searches so workers can exit.
+    pub drain_deadline: Duration,
+    /// Honor `X-Cfmapd-Fault` request headers (worker panics, stalls).
+    /// Test-only; keep off in production.
+    pub fault_injection: bool,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +94,9 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             cache_shards: 8,
             log_json: false,
+            queue_capacity: 64,
+            drain_deadline: Duration::from_secs(5),
+            fault_injection: false,
         }
     }
 }
@@ -92,6 +109,20 @@ pub struct CfmapServer {
     requests: Arc<AtomicU64>,
     workers: usize,
     log_json: bool,
+    queue_capacity: usize,
+    drain_deadline: Duration,
+    fault_injection: bool,
+    queue_depth: Arc<Gauge>,
+    requests_shed: Arc<Counter>,
+    drain_duration: Arc<Histogram>,
+}
+
+/// An accepted connection, stamped with its accept time on the budget
+/// clock. Request deadlines anchor here so time spent waiting in the
+/// admission queue counts against the caller's `deadline_ms`.
+struct Conn {
+    stream: TcpStream,
+    accepted_us: u64,
 }
 
 /// Lets another thread stop a running [`CfmapServer`].
@@ -114,16 +145,43 @@ impl CfmapServer {
     /// Bind to `config.addr` and build the shared engine.
     pub fn bind(config: &ServerConfig) -> std::io::Result<CfmapServer> {
         let listener = TcpListener::bind(&config.addr)?;
+        let engine = Arc::new(Engine::new(
+            config.cache_capacity.max(1),
+            config.cache_shards.max(1),
+        ));
+        // Registering at bind time makes the admission metrics visible
+        // (at zero) in the very first `/metrics` scrape, before any
+        // connection is shed or queued.
+        let registry = Arc::clone(engine.metrics());
+        let queue_depth = registry.gauge(
+            "cfmapd_queue_depth",
+            "Connections admitted and waiting for a worker",
+            &[],
+        );
+        let requests_shed = registry.counter(
+            "cfmapd_requests_shed_total",
+            "Connections answered 503 because the admission queue was full",
+            &[],
+        );
+        let drain_duration = registry.histogram(
+            "cfmapd_drain_duration_seconds",
+            "Time from shutdown request to the last worker exiting",
+            &[],
+            DEFAULT_LATENCY_BUCKETS_US,
+        );
         Ok(CfmapServer {
             listener,
-            engine: Arc::new(Engine::new(
-                config.cache_capacity.max(1),
-                config.cache_shards.max(1),
-            )),
+            engine,
             shutdown: Arc::new(AtomicBool::new(false)),
             requests: Arc::new(AtomicU64::new(0)),
             workers: config.workers.max(1),
             log_json: config.log_json,
+            queue_capacity: config.queue_capacity.max(1),
+            drain_deadline: config.drain_deadline,
+            fault_injection: config.fault_injection,
+            queue_depth,
+            requests_shed,
+            drain_duration,
         })
     }
 
@@ -138,9 +196,15 @@ impl CfmapServer {
     }
 
     /// Accept and serve until shutdown is requested. Blocks the calling
-    /// thread; returns once every worker has drained.
+    /// thread; returns once every worker has drained (bounded by the
+    /// configured drain deadline — see [`ServerConfig::drain_deadline`]).
     pub fn run(self) -> std::io::Result<()> {
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        // A *bounded* queue is the admission-control contract: at most
+        // `queue_capacity` connections wait for a worker, and everything
+        // beyond that is shed immediately with 503 + Retry-After rather
+        // than buffered into an unbounded backlog the daemon can never
+        // serve within anyone's deadline.
+        let (tx, rx) = mpsc::sync_channel::<Conn>(self.queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
         let mut pool = Vec::with_capacity(self.workers);
         for _ in 0..self.workers {
@@ -148,8 +212,10 @@ impl CfmapServer {
             let engine = Arc::clone(&self.engine);
             let shutdown = Arc::clone(&self.shutdown);
             let requests = Arc::clone(&self.requests);
+            let queue_depth = Arc::clone(&self.queue_depth);
             let workers = self.workers;
             let log_json = self.log_json;
+            let fault_injection = self.fault_injection;
             pool.push(std::thread::spawn(move || loop {
                 // Holding the receiver lock only while popping keeps the
                 // other workers runnable during request handling.
@@ -157,7 +223,8 @@ impl CfmapServer {
                     Ok(guard) => guard.recv(),
                     Err(_) => break,
                 };
-                let Ok(stream) = conn else { break };
+                let Ok(conn) = conn else { break };
+                queue_depth.add(-1);
                 requests.fetch_add(1, Ordering::Relaxed);
                 // A panicking request must not kill the worker — after
                 // `workers` such requests the daemon would still accept
@@ -165,7 +232,15 @@ impl CfmapServer {
                 // converts its own panics to 500s; this guard covers the
                 // I/O path too (no response then, but the worker lives).
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_connection(stream, &engine, &shutdown, &requests, workers, log_json);
+                    handle_connection(
+                        conn,
+                        &engine,
+                        &shutdown,
+                        &requests,
+                        workers,
+                        log_json,
+                        fault_injection,
+                    );
                 }));
             }));
         }
@@ -174,16 +249,84 @@ impl CfmapServer {
                 break;
             }
             let Ok(stream) = conn else { continue };
-            if tx.send(stream).is_err() {
-                break;
+            let conn = Conn { stream, accepted_us: clock::now_micros() };
+            self.queue_depth.add(1);
+            match tx.try_send(conn) {
+                Ok(()) => {}
+                Err(mpsc::TrySendError::Full(conn)) => {
+                    self.queue_depth.add(-1);
+                    self.requests_shed.inc();
+                    shed_connection(conn.stream);
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => {
+                    self.queue_depth.add(-1);
+                    break;
+                }
             }
         }
-        drop(tx); // workers drain the queue, then their recv() errors out
+        // Graceful drain: closing the sender lets workers finish every
+        // queued connection, then their recv() errors out. A watchdog
+        // bounds the wait — past the drain deadline it cancels the
+        // engine's searches, which winds in-flight requests down to
+        // best-effort answers within one candidate's latency.
+        let drain_started = clock::now_micros();
+        drop(tx);
+        let drained = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let drained = Arc::clone(&drained);
+            let cancel = self.engine.cancel_token();
+            let deadline = self.drain_deadline;
+            std::thread::spawn(move || {
+                let step = Duration::from_millis(25);
+                let mut waited = Duration::ZERO;
+                while waited < deadline {
+                    if drained.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let nap = step.min(deadline - waited);
+                    std::thread::sleep(nap);
+                    waited += nap;
+                }
+                if !drained.load(Ordering::SeqCst) {
+                    cancel.cancel();
+                }
+            })
+        };
         for worker in pool {
             let _ = worker.join();
         }
+        drained.store(true, Ordering::SeqCst);
+        let _ = watchdog.join();
+        self.drain_duration
+            .observe_micros(clock::now_micros().saturating_sub(drain_started));
         Ok(())
     }
+}
+
+/// Answer a shed connection with `503` + `Retry-After` on a short-lived
+/// thread, so a slow client cannot stall the accept loop. The client's
+/// request is drained (bounded, under socket timeouts) before the
+/// response, so the kernel does not reset the connection with the 503
+/// still unread.
+fn shed_connection(stream: TcpStream) {
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        if let Ok(clone) = stream.try_clone() {
+            let mut reader = BufReader::new(clone);
+            let _ = read_request(&mut reader);
+        }
+        let body = Json::Obj(vec![
+            ("status".into(), Json::Str("overloaded".into())),
+            (
+                "message".into(),
+                Json::Str("admission queue full; retry after the Retry-After delay".into()),
+            ),
+        ])
+        .serialize();
+        let _ = write_response_extra(&mut stream, 503, CT_JSON, &body, &[("Retry-After", "1")]);
+    });
 }
 
 /// The route label a request is accounted under. Known routes keep
@@ -204,13 +347,15 @@ fn route_label(method: &str, path: &str) -> &'static str {
 
 /// Serve one connection: parse, dispatch, answer, close.
 fn handle_connection(
-    stream: TcpStream,
+    conn: Conn,
     engine: &Engine,
     shutdown: &AtomicBool,
     requests: &AtomicU64,
     workers: usize,
     log_json: bool,
+    fault_injection: bool,
 ) {
+    let Conn { stream, accepted_us } = conn;
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
@@ -227,14 +372,26 @@ fn handle_connection(
         Err(ReadError::Empty) => return,
         Err(ReadError::TooLarge) => (413, CT_JSON, error_body("request body too large")),
         Err(ReadError::Malformed(msg)) => (400, CT_JSON, error_body(&msg)),
-        Ok((method, path, payload)) => {
-            route = route_label(&method, &path);
-            req_line = (method.clone(), path.clone());
+        Ok(req) => {
+            route = route_label(&req.method, &req.path);
+            req_line = (req.method.clone(), req.path.clone());
             // Answer 500 instead of unwinding through the worker: the
             // engine's locks all tolerate poisoning (see `cache.rs`), so
             // serving can continue after a handler panic.
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                dispatch(&method, &path, &payload, engine, shutdown, requests, workers)
+                if fault_injection {
+                    apply_fault(req.fault.as_deref());
+                }
+                dispatch(
+                    &req.method,
+                    &req.path,
+                    &req.body,
+                    engine,
+                    shutdown,
+                    requests,
+                    workers,
+                    accepted_us,
+                )
             }))
             .unwrap_or_else(|_| {
                 let body = Json::Obj(vec![
@@ -299,7 +456,25 @@ fn access_log_line(method: &str, path: &str, status: u16, elapsed: Duration, byt
     eprintln!("{}", line.serialize());
 }
 
+/// Execute an injected fault (only reached when the server was started
+/// with fault injection enabled). `panic` unwinds inside the dispatch
+/// guard — the request answers 500 and the worker survives; `stall-ms:N`
+/// parks the worker for `N` milliseconds (capped at 10 s) to simulate a
+/// wedged search.
+fn apply_fault(fault: Option<&str>) {
+    match fault {
+        Some("panic") => panic!("injected fault: panic"),
+        Some(spec) => {
+            if let Some(ms) = spec.strip_prefix("stall-ms:").and_then(|v| v.parse::<u64>().ok()) {
+                std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+            }
+        }
+        None => {}
+    }
+}
+
 /// Route a parsed request. Returns status, `Content-Type`, and body.
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     method: &str,
     path: &str,
@@ -308,11 +483,12 @@ fn dispatch(
     shutdown: &AtomicBool,
     requests: &AtomicU64,
     workers: usize,
+    accepted_us: u64,
 ) -> (u16, &'static str, String) {
     match (method, path) {
         ("POST", "/map") => match MapRequest::from_str(body) {
             Ok(req) => {
-                let resp = engine.resolve(&req);
+                let resp = engine.resolve_anchored(&req, accepted_us);
                 (resp.http_status(), CT_JSON, resp.to_json().serialize())
             }
             Err(e) => {
@@ -322,7 +498,7 @@ fn dispatch(
         },
         ("POST", "/batch") => match parse_batch(body) {
             Ok(reqs) => {
-                let (responses, solves) = engine.resolve_batch(&reqs);
+                let (responses, solves) = engine.resolve_batch_anchored(&reqs, accepted_us);
                 let json = Json::Obj(vec![
                     (
                         "responses".into(),
@@ -453,10 +629,19 @@ fn read_line_limited(
     Ok(Some(line))
 }
 
+/// A parsed HTTP request: method, path, body, and the optional
+/// `X-Cfmapd-Fault` header (honored only under fault injection).
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+    fault: Option<String>,
+}
+
 /// Read one `METHOD /path HTTP/1.x` request with an optional
 /// `Content-Length` body. The head (request line + headers) is bounded
 /// by [`MAX_HEAD_BYTES`], the body by [`MAX_BODY_BYTES`].
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, String), ReadError> {
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
     let mut head_budget = MAX_HEAD_BYTES;
     let line = match read_line_limited(reader, head_budget) {
         Ok(Some(line)) => line,
@@ -474,6 +659,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, St
         return Err(ReadError::Malformed(format!("bad request line {:?}", line.trim())));
     }
     let mut content_length: Option<usize> = None;
+    let mut fault: Option<String> = None;
     loop {
         let header = match read_line_limited(reader, head_budget)? {
             None => break,
@@ -502,6 +688,8 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, St
                     }
                     _ => content_length = Some(parsed),
                 }
+            } else if name.eq_ignore_ascii_case("x-cfmapd-fault") {
+                fault = Some(value.trim().to_string());
             }
         }
     }
@@ -514,7 +702,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, St
         .read_exact(&mut body)
         .map_err(|e| ReadError::Malformed(format!("body read failed: {e}")))?;
     String::from_utf8(body)
-        .map(|b| (method, path, b))
+        .map(|b| Request { method, path, body: b, fault })
         .map_err(|_| ReadError::Malformed("body is not UTF-8".into()))
 }
 
@@ -525,6 +713,18 @@ fn write_response(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_extra(stream, status, content_type, body, &[])
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After`
+/// on a shed `503`).
+fn write_response_extra(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -532,12 +732,20 @@ fn write_response(
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Status",
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()

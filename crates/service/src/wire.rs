@@ -69,6 +69,11 @@ pub struct MapRequest {
     /// Wall-clock budget in milliseconds; machine-dependent, so requests
     /// carrying it bypass the design cache.
     pub timeout_ms: Option<u64>,
+    /// End-to-end deadline in milliseconds, anchored when the server
+    /// *accepts* the connection — queueing delay counts against it,
+    /// unlike `timeout_ms` which starts when the search starts. Load-
+    /// dependent, so requests carrying it bypass the design cache.
+    pub deadline_ms: Option<u64>,
 }
 
 impl MapRequest {
@@ -82,6 +87,7 @@ impl MapRequest {
             cap: None,
             max_candidates: None,
             timeout_ms: None,
+            deadline_ms: None,
         }
     }
 
@@ -104,6 +110,9 @@ impl MapRequest {
         }
         if let Some(ms) = self.timeout_ms {
             fields.push(("timeout_ms".into(), Json::Int(clamp_u64(ms))));
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".into(), Json::Int(clamp_u64(ms))));
         }
         Json::Obj(fields)
     }
@@ -130,7 +139,10 @@ impl MapRequest {
         let timeout_ms = opt_int(v, "timeout_ms")?
             .map(|n| u64::try_from(n).map_err(|_| bad("\"timeout_ms\" must be ≥ 0")))
             .transpose()?;
-        Ok(MapRequest { algorithm, mu, deps, space, cap, max_candidates, timeout_ms })
+        let deadline_ms = opt_int(v, "deadline_ms")?
+            .map(|n| u64::try_from(n).map_err(|_| bad("\"deadline_ms\" must be ≥ 0")))
+            .transpose()?;
+        Ok(MapRequest { algorithm, mu, deps, space, cap, max_candidates, timeout_ms, deadline_ms })
     }
 }
 
@@ -358,6 +370,8 @@ pub fn error_to_json(e: &CfmapError) -> Json {
                     BudgetLimit::Candidates => "candidates",
                     BudgetLimit::Nodes => "nodes",
                     BudgetLimit::WallClock => "wall_clock",
+                    BudgetLimit::Deadline => "deadline",
+                    BudgetLimit::Cancelled => "cancelled",
                 },
             ),
             n("candidates_examined", clamp_u64(*candidates_examined)),
@@ -406,6 +420,8 @@ pub fn error_from_json(v: &Json) -> Result<CfmapError, WireError> {
                 "candidates" => BudgetLimit::Candidates,
                 "nodes" => BudgetLimit::Nodes,
                 "wall_clock" => BudgetLimit::WallClock,
+                "deadline" => BudgetLimit::Deadline,
+                "cancelled" => BudgetLimit::Cancelled,
                 other => return Err(bad(format!("unknown budget limit {other:?}"))),
             },
             candidates_examined: req_u64(v, "candidates_examined")?,
@@ -484,6 +500,7 @@ mod tests {
                 cap: Some(30),
                 max_candidates: Some(500),
                 timeout_ms: Some(50),
+                deadline_ms: Some(250),
             },
         ];
         for r in requests {
@@ -511,6 +528,8 @@ mod tests {
                 limit: BudgetLimit::WallClock,
                 candidates_examined: u64::MAX,
             },
+            CfmapError::BudgetExhausted { limit: BudgetLimit::Deadline, candidates_examined: 3 },
+            CfmapError::BudgetExhausted { limit: BudgetLimit::Cancelled, candidates_examined: 9 },
             CfmapError::DimensionMismatch { context: "S vs Π".into(), expected: 3, actual: 2 },
             CfmapError::Unsupported { reason: "3-row S".into() },
             CfmapError::Internal { context: "solve_parallel worker panicked".into() },

@@ -77,7 +77,7 @@ cfmap_testkit::props! {
         mu in cfmap_testkit::gen::vec(1i64..=9, 1..5),
         dep_entries in cfmap_testkit::gen::vec(-3i64..=3, 1..5),
         space_entries in cfmap_testkit::gen::vec(-2i64..=2, 1..5),
-        knobs in cfmap_testkit::gen::vec(0i64..=1, 3..4),
+        knobs in cfmap_testkit::gen::vec(0i64..=1, 4..5),
         named in cfmap_testkit::gen::bools(),
     ) {
         let n = mu.len();
@@ -93,6 +93,7 @@ cfmap_testkit::props! {
             cap: (knobs[0] == 1).then_some(42),
             max_candidates: (knobs[1] == 1).then_some(1_000),
             timeout_ms: (knobs[2] == 1).then_some(250),
+            deadline_ms: (knobs[3] == 1).then_some(750),
         };
         let text = req.to_json().serialize();
         assert_eq!(MapRequest::from_str(&text).unwrap(), req, "{text}");
@@ -101,7 +102,7 @@ cfmap_testkit::props! {
     /// Every CfmapError variant round-trips through the error response,
     /// with generated payloads (including hostile strings).
     fn error_variants_round_trip(
-        kind in 0i64..=8,
+        kind in 0i64..=10,
         a in 0i64..=1_000_000,
         b in 0i64..=1_000_000,
         sched in cfmap_testkit::gen::vec(-99i64..=99, 1..6),
@@ -125,7 +126,15 @@ cfmap_testkit::props! {
                 limit: BudgetLimit::WallClock,
                 candidates_examined: a as u64,
             },
-            7 => CfmapError::DimensionMismatch {
+            7 => CfmapError::BudgetExhausted {
+                limit: BudgetLimit::Deadline,
+                candidates_examined: b as u64,
+            },
+            8 => CfmapError::BudgetExhausted {
+                limit: BudgetLimit::Cancelled,
+                candidates_examined: a as u64,
+            },
+            9 => CfmapError::DimensionMismatch {
                 context: text.clone(),
                 expected: a as usize,
                 actual: b as usize,

@@ -1,0 +1,215 @@
+//! Deterministic fault injection for HTTP/1.1 services.
+//!
+//! A [`FaultPlan`] is a replayable sequence of [`FaultAction`]s drawn
+//! from a seeded [`Rng`](crate::Rng): the same seed always produces the
+//! same mix of healthy requests, slow-loris writes, mid-request
+//! disconnects, injected worker panics, and injected search stalls.
+//! Chaos tests replay a plan against a live daemon and assert the
+//! service-level invariants (workers survive, sheds are well-formed,
+//! drain stays bounded) — and a failure reproduces from the seed alone.
+//!
+//! The executor speaks just enough `Connection: close` HTTP/1.1 over a
+//! raw [`TcpStream`] to exercise a server's read path from *outside*
+//! its own client (the point is to send traffic a well-behaved client
+//! never would). Panics and stalls ride the `X-Cfmapd-Fault` request
+//! header, which `cfmapd` honors only when started with fault injection
+//! enabled.
+
+use crate::rng::Rng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One injected behavior for one request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// A healthy request: write fully, read the full response.
+    Normal,
+    /// Slow-loris: dribble the request out in `chunk`-byte pieces with
+    /// `delay_ms` sleeps between them, then read the response.
+    SlowWrite {
+        /// Bytes per write.
+        chunk: usize,
+        /// Sleep between writes, in milliseconds.
+        delay_ms: u64,
+    },
+    /// Write only the first `keep_bytes` of the request, then drop the
+    /// connection without reading anything.
+    DisconnectMidRequest {
+        /// How much of the request the server gets to see.
+        keep_bytes: usize,
+    },
+    /// Write the full request, then drop the connection without
+    /// reading the response (the server writes into a closing socket).
+    DisconnectBeforeResponse,
+    /// Ask the server to panic in the worker handling this request
+    /// (`X-Cfmapd-Fault: panic`). The worker must answer 500 and live.
+    WorkerPanic,
+    /// Ask the server to stall this request's worker for `ms`
+    /// milliseconds (`X-Cfmapd-Fault: stall-ms:N`), simulating a wedged
+    /// search that occupies a pool slot.
+    SearchStall {
+        /// Stall length in milliseconds.
+        ms: u64,
+    },
+}
+
+impl FaultAction {
+    /// Draw one action from a seeded generator. Weights favor healthy
+    /// traffic (about half) so a plan still exercises the happy path.
+    pub fn draw(rng: &mut Rng) -> FaultAction {
+        match rng.u64_below(10) {
+            0..=4 => FaultAction::Normal,
+            5 => FaultAction::SlowWrite {
+                chunk: rng.usize_in(1, 8),
+                delay_ms: rng.i64_in(1, 10) as u64,
+            },
+            6 => FaultAction::DisconnectMidRequest { keep_bytes: rng.usize_in(0, 40) },
+            7 => FaultAction::DisconnectBeforeResponse,
+            8 => FaultAction::WorkerPanic,
+            _ => FaultAction::SearchStall { ms: rng.i64_in(5, 60) as u64 },
+        }
+    }
+
+    /// The `X-Cfmapd-Fault` header value this action rides on, if any.
+    pub fn fault_header(&self) -> Option<String> {
+        match self {
+            FaultAction::WorkerPanic => Some("panic".to_string()),
+            FaultAction::SearchStall { ms } => Some(format!("stall-ms:{ms}")),
+            _ => None,
+        }
+    }
+}
+
+/// A replayable sequence of fault actions.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// The seed the plan was drawn from (printed on failure).
+    pub seed: u64,
+    /// The actions, in replay order.
+    pub actions: Vec<FaultAction>,
+}
+
+impl FaultPlan {
+    /// Draw `len` actions deterministically from `seed`.
+    pub fn from_seed(seed: u64, len: usize) -> FaultPlan {
+        let mut rng = Rng::new(seed);
+        let actions = (0..len).map(|_| FaultAction::draw(&mut rng)).collect();
+        FaultPlan { seed, actions }
+    }
+}
+
+/// What came back from one replayed request.
+#[derive(Clone, Debug, Default)]
+pub struct FaultOutcome {
+    /// Parsed status code, when a complete response status line arrived.
+    pub status: Option<u16>,
+    /// Response body (empty on disconnect actions).
+    pub body: String,
+    /// The `Retry-After` header in seconds, if present.
+    pub retry_after: Option<u64>,
+}
+
+/// Replay one action as a `POST path` request against `addr`. Returns
+/// `Err` only on unexpected transport failures — a disconnect *caused
+/// by the action itself* is a success with `status: None`.
+pub fn run_action(
+    addr: &str,
+    path: &str,
+    body: &str,
+    action: &FaultAction,
+) -> std::io::Result<FaultOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let fault_line = action
+        .fault_header()
+        .map(|v| format!("X-Cfmapd-Fault: {v}\r\n"))
+        .unwrap_or_default();
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n{fault_line}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let bytes = request.as_bytes();
+    match action {
+        FaultAction::DisconnectMidRequest { keep_bytes } => {
+            let keep = (*keep_bytes).min(bytes.len().saturating_sub(1));
+            stream.write_all(&bytes[..keep])?;
+            return Ok(FaultOutcome::default()); // dropped here, by design
+        }
+        FaultAction::SlowWrite { chunk, delay_ms } => {
+            for piece in bytes.chunks((*chunk).max(1)) {
+                stream.write_all(piece)?;
+                stream.flush()?;
+                std::thread::sleep(Duration::from_millis(*delay_ms));
+            }
+        }
+        _ => stream.write_all(bytes)?,
+    }
+    stream.flush()?;
+    if matches!(action, FaultAction::DisconnectBeforeResponse) {
+        return Ok(FaultOutcome::default()); // dropped before reading, by design
+    }
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    Ok(parse_response(&String::from_utf8_lossy(&raw)))
+}
+
+/// Split an HTTP/1.1 response into status, `Retry-After`, and body.
+fn parse_response(text: &str) -> FaultOutcome {
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return FaultOutcome { status: None, body: text.to_string(), retry_after: None };
+    };
+    let status = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok());
+    let retry_after = head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("retry-after") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    });
+    FaultOutcome { status, body: body.to_string(), retry_after }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_replay_identically_from_their_seed() {
+        let a = FaultPlan::from_seed(0xC0FFEE, 32);
+        let b = FaultPlan::from_seed(0xC0FFEE, 32);
+        assert_eq!(a.actions, b.actions);
+        let c = FaultPlan::from_seed(0xC0FFEE + 1, 32);
+        assert_ne!(a.actions, c.actions, "different seeds should diverge");
+    }
+
+    #[test]
+    fn plans_mix_healthy_and_faulty_traffic() {
+        let plan = FaultPlan::from_seed(7, 200);
+        let healthy = plan.actions.iter().filter(|a| matches!(a, FaultAction::Normal)).count();
+        assert!(healthy > 50, "healthy traffic should dominate: {healthy}/200");
+        assert!(healthy < 200, "a 200-action plan should contain faults");
+        assert!(
+            plan.actions.iter().any(|a| a.fault_header().is_some()),
+            "plans should include header-injected faults"
+        );
+    }
+
+    #[test]
+    fn responses_parse_status_and_retry_after() {
+        let out = parse_response(
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\nRetry-After: 1\r\n\r\n{}",
+        );
+        assert_eq!(out.status, Some(503));
+        assert_eq!(out.retry_after, Some(1));
+        assert_eq!(out.body, "{}");
+        let none = parse_response("garbage with no header split");
+        assert_eq!(none.status, None);
+    }
+}

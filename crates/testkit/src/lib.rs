@@ -16,6 +16,10 @@
 //! * [`check`] — the runner: draws values, catches assertion panics via
 //!   `catch_unwind`, shrinks the failing input, and re-panics with the
 //!   seed and the minimal counterexample.
+//! * [`fault`] — a deterministic fault-injection harness for HTTP
+//!   services: seeded [`fault::FaultPlan`]s replay slow-loris writes,
+//!   mid-request disconnects, injected worker panics, and search stalls
+//!   byte-for-byte identically from their seed.
 //! * [`props!`] — declares `#[test]` properties with a proptest-like
 //!   surface:
 //!
@@ -35,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod gen;
 pub mod rng;
 pub mod runner;

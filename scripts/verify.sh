@@ -75,9 +75,22 @@ echo "$METRICS" | grep -q '^cfmap_intlin_bigint_spills_total 0$' \
     || { echo "/metrics is missing a zero bigint spill counter"; exit 1; }
 echo "$METRICS" | grep -q 'cfmap_candidate_screen_duration_seconds_count' \
     || { echo "/metrics is missing the candidate screen histogram"; exit 1; }
+# Admission-control telemetry: both series must be exported from startup,
+# and an unloaded daemon must show an empty queue and zero sheds.
+echo "$METRICS" | grep -q '^cfmapd_queue_depth 0$' \
+    || { echo "/metrics is missing a zero queue-depth gauge"; exit 1; }
+echo "$METRICS" | grep -q '^cfmapd_requests_shed_total 0$' \
+    || { echo "/metrics is missing a zero shed counter"; exit 1; }
 exec 9>&-          # close stdin: the daemon drains and exits
 wait "$CFMAPD_PID" || { echo "cfmapd did not exit cleanly"; exit 1; }
 CFMAPD_PID=
+
+echo "== smoke: chaos — one seeded fault plan against a live daemon"
+# Replays a fixed-seed FaultPlan (slow-loris, disconnects, injected
+# panics and stalls) against a fault-injection-enabled daemon and checks
+# every response class plus worker survival. Deterministic from its seed.
+cargo test -q --offline --test service_chaos seeded_fault_plan \
+    || { echo "seeded fault plan replay failed"; exit 1; }
 
 echo "== smoke: timing benches under a 5 ms budget"
 CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e1_feasibility > /dev/null

@@ -130,6 +130,17 @@ USAGE:
   cfmap client    --addr host:port --get /metrics               scrape one daemon route
   cfmap list                                                     available workloads
 
+CLIENT OPTIONS:
+  --deadline-ms         absolute request deadline, anchored when the daemon
+                        accepts the connection (queue wait counts); past it
+                        the daemon answers best-effort
+  --connect-timeout-ms  TCP connect timeout (default 5000)
+  --read-timeout-ms     socket read timeout (default 30000)
+  --write-timeout-ms    socket write timeout (default 30000)
+  --retries             attempts after the first on i/o errors and 503 sheds,
+                        with jittered exponential backoff honoring the
+                        daemon's Retry-After (default 0)
+
 OPTIONS:
   --alg       matmul | transitive-closure | convolution | lu | sor | matvec |
               bitlevel-matmul | bitlevel-convolution | bitlevel-lu
@@ -298,6 +309,8 @@ fn print_trace(tel: &cfmap::core::SearchTelemetry, elapsed: Duration) {
             cfmap::core::BudgetLimit::Candidates => "candidates",
             cfmap::core::BudgetLimit::Nodes => "nodes",
             cfmap::core::BudgetLimit::WallClock => "wall_clock",
+            cfmap::core::BudgetLimit::Deadline => "deadline",
+            cfmap::core::BudgetLimit::Cancelled => "cancelled",
         };
         println!("  budget tripped         : {name}");
     }
@@ -402,14 +415,39 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
 /// `cfmap client` — submit one mapping request to a running `cfmapd`
 /// and mirror the daemon's answer onto the CLI's exit-code taxonomy.
 fn cmd_client(opts: &Opts) -> Result<(), CliError> {
-    use cfmap::service::client;
+    use cfmap::service::client::{Client, ClientConfig};
     use cfmap::service::wire::{MapRequest, MapResponse};
+    use std::str::FromStr;
 
     let addr = opts.get("addr").ok_or("--addr required (host:port of a running cfmapd)")?;
+    let mut config = ClientConfig::default();
+    let timeout_ms = |key: &str| -> Result<Option<Duration>, CliError> {
+        opts.get(key)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(Duration::from_millis)
+                    .map_err(|_| CliError::Usage(format!("bad --{key}")))
+            })
+            .transpose()
+    };
+    if let Some(d) = timeout_ms("connect-timeout-ms")? {
+        config.connect_timeout = d;
+    }
+    if let Some(d) = timeout_ms("read-timeout-ms")? {
+        config.read_timeout = d;
+    }
+    if let Some(d) = timeout_ms("write-timeout-ms")? {
+        config.write_timeout = d;
+    }
+    if let Some(v) = opts.get("retries") {
+        config.retries = v.parse().map_err(|_| "bad --retries")?;
+    }
+    let mut client = Client::new(addr, config);
     // `--get PATH` is the ops escape hatch: scrape any daemon route
     // (/metrics, /stats, /healthz) without needing curl on the box.
     if let Some(path) = opts.get("get") {
-        let reply = client::get(addr, path)
+        let reply = client
+            .get(path)
             .map_err(|e| CliError::Usage(format!("cfmapd at {addr}: {e}")))?;
         if reply.status != 200 {
             return Err(CliError::Usage(format!("GET {path}: HTTP {}", reply.status)));
@@ -432,7 +470,13 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
     if let Some(v) = opts.get("timeout-ms") {
         request.timeout_ms = Some(v.parse().map_err(|_| "bad --timeout-ms")?);
     }
-    let response = client::map(addr, &request)
+    if let Some(v) = opts.get("deadline-ms") {
+        request.deadline_ms = Some(v.parse().map_err(|_| "bad --deadline-ms")?);
+    }
+    let reply = client
+        .post("/map", &request.to_json().serialize())
+        .map_err(|e| CliError::Usage(format!("cfmapd at {addr}: {e}")))?;
+    let response = MapResponse::from_str(&reply.body)
         .map_err(|e| CliError::Usage(format!("cfmapd at {addr}: {e}")))?;
     match response {
         MapResponse::Ok(o) => {

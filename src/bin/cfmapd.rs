@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cfmapd [--addr 127.0.0.1:7971] [--workers 4] [--cache-capacity 256]
-//!        [--shards 8] [--watch-stdin] [--log-format json]
+//!        [--shards 8] [--queue-capacity 64] [--drain-deadline-ms 5000]
+//!        [--watch-stdin] [--log-format json] [--enable-fault-injection]
 //! ```
 //!
 //! On startup the daemon prints exactly one line, `cfmapd listening on
@@ -23,16 +24,24 @@ cfmapd — mapping-as-a-service daemon (Shang & Fortes conflict-free mappings)
 
 USAGE:
   cfmapd [--addr HOST:PORT] [--workers N] [--cache-capacity N] [--shards N]
-         [--watch-stdin] [--log-format text|json]
+         [--queue-capacity N] [--drain-deadline-ms N] [--watch-stdin]
+         [--log-format text|json] [--enable-fault-injection]
 
 OPTIONS:
-  --addr            bind address (default 127.0.0.1:7971; port 0 = ephemeral)
-  --workers         worker threads (default 4)
-  --cache-capacity  design-cache entries (default 256)
-  --shards          design-cache shards (default 8)
-  --watch-stdin     shut down gracefully when stdin reaches EOF
-  --log-format      'json' emits one access-log line per request on stderr
-                    (default 'text': no per-request logging)
+  --addr               bind address (default 127.0.0.1:7971; port 0 = ephemeral)
+  --workers            worker threads (default 4)
+  --cache-capacity     design-cache entries (default 256)
+  --shards             design-cache shards (default 8)
+  --queue-capacity     admission queue slots; beyond this, connections are
+                       shed with 503 + Retry-After (default 64)
+  --drain-deadline-ms  shutdown drain bound before in-flight searches are
+                       cancelled to best-effort answers (default 5000)
+  --watch-stdin        shut down gracefully when stdin reaches EOF
+  --log-format         'json' emits one access-log line per request on stderr
+                       (default 'text': no per-request logging)
+  --enable-fault-injection
+                       honor X-Cfmapd-Fault test headers (panic | stall-ms:N);
+                       for chaos testing only
 
 ROUTES:
   POST /map          one mapping request        POST /batch   {\"requests\": [...]}
@@ -118,6 +127,14 @@ fn parse_config(args: &[String]) -> Result<Option<(ServerConfig, bool)>, String>
             "--shards" => {
                 config.cache_shards = parse_count(it.next(), "--shards")?;
             }
+            "--queue-capacity" => {
+                config.queue_capacity = parse_count(it.next(), "--queue-capacity")?;
+            }
+            "--drain-deadline-ms" => {
+                let ms = parse_count(it.next(), "--drain-deadline-ms")?;
+                config.drain_deadline = std::time::Duration::from_millis(ms as u64);
+            }
+            "--enable-fault-injection" => config.fault_injection = true,
             "--log-format" => {
                 let v = it.next().ok_or("--log-format needs a value")?;
                 config.log_json = match v.as_str() {

@@ -65,9 +65,10 @@ pub mod prelude {
     pub use cfmap_core::oracle;
     pub use cfmap_core::prop81::prop_8_1_basis;
     pub use cfmap_core::{
-        diagnose, Certification, CfmapError, Check, InterconnectionPrimitives, JointCriterion,
-        JointOptimal, JointSearch, MappingDiagnosis, MappingMatrix, OptimalMapping, Procedure51,
-        SearchBudget, SearchOutcome, SpaceMap, SpaceOptimalMapping, SpaceSearch,
+        diagnose, BudgetLimit, CancelToken, Certification, CfmapError, Check, Deadline,
+        InterconnectionPrimitives, JointCriterion, JointOptimal, JointSearch, MappingDiagnosis,
+        MappingMatrix, OptimalMapping, Procedure51, SearchBudget, SearchOutcome, SpaceMap,
+        SpaceOptimalMapping, SpaceSearch,
     };
     pub use cfmap_systolic::rtl::{execute_rtl, RtlResult};
     pub use cfmap_model::bitexpand::{expand_to_bit_level, extend_space_rows};

@@ -32,6 +32,22 @@ fn broken_designs() -> Vec<(&'static str, Uda, MappingMatrix)> {
             algorithms::bitlevel_matmul(2, 1),
             MappingMatrix::from_rows(&[&[1, 1, 0, 0, 0], &[1, 3, 6, 6, 1]]),
         ),
+        // Two more k = n−3 instances (n = 5, k = 2, so r = 3) on which
+        // the *literal* full-support conditions of Theorem 4.8 certify
+        // conflict-freedom but an in-box conflict vector with a zero β
+        // component slips through — only the repaired proper-subset
+        // condition refuses them. One varies the space map, one the
+        // algorithm, relative to the regression instance above.
+        (
+            "Theorem 4.8 subset form, S = [0,1,1,0,0] (repair E6″)",
+            algorithms::bitlevel_matmul(2, 1),
+            MappingMatrix::from_rows(&[&[0, 1, 1, 0, 0], &[2, 1, 7, 6, 1]]),
+        ),
+        (
+            "Theorem 4.8 subset form on bit-level LU (repair E8)",
+            algorithms::bitlevel_lu(2, 1),
+            MappingMatrix::from_rows(&[&[1, 1, 0, 0, 0], &[3, 1, 6, 6, 1]]),
+        ),
     ]
 }
 

@@ -194,6 +194,7 @@ fn hostile_requests_do_not_kill_workers() {
         cap: None,
         max_candidates: Some(10),
         timeout_ms: None,
+        deadline_ms: None,
     };
     // i64::MIN in a space row: sign-normalization cannot negate it; the
     // magnitude bound now rejects it at the wire.
