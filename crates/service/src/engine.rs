@@ -319,6 +319,15 @@ impl Engine {
         self.resolve_anchored(req, clock::now_micros())
     }
 
+    /// The canonical form of a request's problem — the identity the
+    /// design cache keys on. Exposed (as a free function below) so a
+    /// routing tier can place equivalent problems on the same backend
+    /// without running the search; permuted-but-equivalent requests
+    /// canonicalize identically, so they route identically too.
+    pub fn canonical_problem(req: &MapRequest) -> Result<CanonicalProblem, String> {
+        canonical_problem(req)
+    }
+
     /// Resolve one request with its `deadline_ms` anchored at
     /// `anchor_us` on the budget clock — the server passes the
     /// connection-accept time, so queueing delay counts against the
@@ -536,6 +545,16 @@ fn check_magnitude(entries: &[i64], what: &str) -> Result<(), String> {
         Some(v) => Err(format!("{what} entry {v} exceeds the magnitude bound 2^40")),
         None => Ok(()),
     }
+}
+
+/// Validate a request and reduce it to its [`CanonicalProblem`] without
+/// solving anything. This is the routing-tier entry point: the router
+/// canonicalizes exactly the way the engine's cache does, so the
+/// consistent-hash key it computes agrees with every backend's cache
+/// key, and malformed requests are rejected with the same message a
+/// backend would produce (no backend round-trip needed).
+pub fn canonical_problem(req: &MapRequest) -> Result<CanonicalProblem, String> {
+    build_problem(req).map(|(alg, space)| canonicalize(&alg, &space).problem)
 }
 
 /// Materialize `(J, D, S)` from a request, or explain why it is

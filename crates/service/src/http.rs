@@ -1,0 +1,318 @@
+//! Shared HTTP/1.1 primitives for the daemon, the router, and the
+//! pooled client.
+//!
+//! One parser, one response writer, one response reader — `cfmapd`
+//! (server side), `cfmapd-router` (both sides: it is a server to
+//! clients and a client to backends), and [`crate::client`] all speak
+//! the same byte-level subset: request line, headers, `Content-Length`
+//! body. Keeping the framing in one module is what makes keep-alive
+//! safe to add: every reader frames by `Content-Length`, so a reused
+//! connection never swallows the next message's bytes.
+//!
+//! Keep-alive is strictly *opt-in*: a connection stays open only when
+//! the peer explicitly sends `Connection: keep-alive`. Clients that
+//! frame responses by EOF (the original `Connection: close` protocol,
+//! still used by the fault-injection harness and raw-socket tests) are
+//! untouched.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Request bodies above this size are refused with `413` — mapping
+/// requests are a few hundred bytes; megabytes signal a confused client.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// The request line and header section together may not exceed this many
+/// bytes. Without a bound, `read_line` would buffer a newline-free byte
+/// stream indefinitely (`MAX_BODY_BYTES` only guards the body).
+pub const MAX_HEAD_BYTES: usize = 64 << 10;
+
+/// Why reading a request failed.
+pub enum ReadError {
+    /// Connection closed before a request line (shutdown poke, or a
+    /// keep-alive client hanging up between requests).
+    Empty,
+    /// Head or body exceeded its byte budget.
+    TooLarge,
+    /// The bytes were not a parseable HTTP request.
+    Malformed(String),
+}
+
+/// A parsed HTTP request: method, path, body, the optional
+/// `X-Cfmapd-Fault` header (honored only under fault injection), and
+/// whether the client asked to keep the connection open.
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Absolute path, starting with `/`.
+    pub path: String,
+    /// Decoded body (empty when no `Content-Length` was sent).
+    pub body: String,
+    /// `X-Cfmapd-Fault` header value, if present.
+    pub fault: Option<String>,
+    /// The client sent `Connection: keep-alive` — the server *may*
+    /// serve further requests on this connection.
+    pub keep_alive: bool,
+}
+
+/// `read_line`, but never buffering more than `limit` bytes: reading
+/// stops at the first newline or at `limit + 1` bytes, whichever comes
+/// first, so a client streaming newline-free bytes cannot grow memory.
+/// Returns `Err(TooLarge)` when the line exceeds `limit`.
+pub fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    limit: usize,
+) -> Result<Option<String>, ReadError> {
+    let mut line = String::new();
+    match reader.by_ref().take(limit as u64 + 1).read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(ReadError::Malformed(format!("read failed: {e}"))),
+    }
+    // `take` capped the read at limit + 1 bytes: a longer "line" means
+    // no newline arrived within the budget.
+    if line.len() > limit {
+        return Err(ReadError::TooLarge);
+    }
+    Ok(Some(line))
+}
+
+/// Read one `METHOD /path HTTP/1.x` request with an optional
+/// `Content-Length` body. The head (request line + headers) is bounded
+/// by [`MAX_HEAD_BYTES`], the body by [`MAX_BODY_BYTES`].
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let mut head_budget = MAX_HEAD_BYTES;
+    let line = match read_line_limited(reader, head_budget) {
+        Ok(Some(line)) => line,
+        Ok(None) | Err(ReadError::Malformed(_)) => return Err(ReadError::Empty),
+        Err(e) => return Err(e),
+    };
+    head_budget -= line.len().min(head_budget);
+    if line.trim().is_empty() {
+        return Err(ReadError::Empty);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(ReadError::Malformed(format!("bad request line {:?}", line.trim())));
+    }
+    let mut content_length: Option<usize> = None;
+    let mut fault: Option<String> = None;
+    let mut keep_alive = false;
+    loop {
+        let header = match read_line_limited(reader, head_budget)? {
+            None => break,
+            Some(h) => h,
+        };
+        head_budget -= header.len().min(head_budget);
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                let parsed: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad Content-Length".into()))?;
+                // Duplicate Content-Length headers are a request-smuggling
+                // staple: the framing depends on which copy a parser
+                // honours. Conflicting copies are refused outright;
+                // RFC 9110 §8.6 allows identical repeats.
+                match content_length {
+                    Some(prev) if prev != parsed => {
+                        return Err(ReadError::Malformed(
+                            "conflicting Content-Length headers".into(),
+                        ));
+                    }
+                    _ => content_length = Some(parsed),
+                }
+            } else if name.eq_ignore_ascii_case("x-cfmapd-fault") {
+                fault = Some(value.trim().to_string());
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+            }
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| ReadError::Malformed(format!("body read failed: {e}")))?;
+    String::from_utf8(body)
+        .map(|b| Request { method, path, body: b, fault, keep_alive })
+        .map_err(|_| ReadError::Malformed("body is not UTF-8".into()))
+}
+
+/// Write a `Connection: close` HTTP/1.1 response.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write_response_extra(stream, status, content_type, body, &[], false)
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After`
+/// on a shed `503`) and an explicit connection disposition. The
+/// `Content-Length` is always exact, so a `keep_alive` response leaves
+/// the stream positioned at the next message boundary.
+pub fn write_response_extra(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Status",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Write one request. `keep_alive` controls the `Connection` header;
+/// a `Content-Length` is always sent (zero for body-less requests) so
+/// the server can frame the message either way.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    host: &str,
+    body: Option<&str>,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let payload = body.unwrap_or("");
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+        payload.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// A parsed HTTP response, as read by the pooled client side.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+    /// The `Retry-After` header in seconds, if present.
+    pub retry_after: Option<u64>,
+    /// The `X-Cfmapd-Backend` header (which backend a router answer
+    /// came from), if present.
+    pub backend: Option<String>,
+    /// The server committed to keeping the connection open: it sent
+    /// `Connection: keep-alive` *and* a `Content-Length`, so the stream
+    /// is positioned exactly at the next response boundary.
+    pub keep_alive: bool,
+}
+
+fn proto_err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Read one HTTP/1.1 response. With a `Content-Length`, the body is
+/// framed exactly (the connection stays reusable); without one, the
+/// body runs to EOF (`Connection: close` framing).
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<Response> {
+    let mut head_budget = MAX_HEAD_BYTES;
+    let status_line = match read_line_limited(reader, head_budget) {
+        Ok(Some(line)) => line,
+        Ok(None) => return Err(proto_err("connection closed before a status line")),
+        Err(ReadError::Malformed(m)) => return Err(proto_err(m)),
+        Err(_) => return Err(proto_err("status line too large")),
+    };
+    head_budget -= status_line.len().min(head_budget);
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| proto_err(format!("bad status line {:?}", status_line.trim())))?;
+    let mut content_length: Option<usize> = None;
+    let mut retry_after: Option<u64> = None;
+    let mut backend: Option<String> = None;
+    let mut keep_alive = false;
+    loop {
+        let header = match read_line_limited(reader, head_budget) {
+            Ok(Some(h)) => h,
+            Ok(None) => break,
+            Err(ReadError::Malformed(m)) => return Err(proto_err(m)),
+            Err(_) => return Err(proto_err("response head too large")),
+        };
+        head_budget -= header.len().min(head_budget);
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    Some(value.parse().map_err(|_| proto_err("bad Content-Length"))?);
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.parse().ok();
+            } else if name.eq_ignore_ascii_case("x-cfmapd-backend") {
+                backend = Some(value.to_string());
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.eq_ignore_ascii_case("keep-alive");
+            }
+        }
+    }
+    let body = match content_length {
+        Some(len) => {
+            if len > MAX_BODY_BYTES {
+                return Err(proto_err("response body too large"));
+            }
+            let mut raw = vec![0u8; len];
+            reader.read_exact(&mut raw)?;
+            String::from_utf8(raw).map_err(|_| proto_err("response body is not UTF-8"))?
+        }
+        None => {
+            // EOF framing: the connection cannot be reused.
+            keep_alive = false;
+            let mut raw = Vec::new();
+            reader.read_to_end(&mut raw)?;
+            String::from_utf8(raw).map_err(|_| proto_err("response body is not UTF-8"))?
+        }
+    };
+    Ok(Response { status, body, retry_after, backend, keep_alive })
+}

@@ -20,7 +20,13 @@
 //!   `/map`, `/batch`, `/stats`, `/healthz`, `/cache/clear`, and
 //!   `/shutdown` routes;
 //! * [`client`] — the minimal blocking HTTP client used by
-//!   `cfmap client`, the smoke tests, and the throughput bench.
+//!   `cfmap client`, the smoke tests, and the throughput bench, with
+//!   keep-alive connection reuse;
+//! * [`http`] — the shared HTTP/1.1 framing (one parser and writer for
+//!   the daemon, the router, and the client);
+//! * [`router`] — `cfmapd-router`: cache-affine consistent-hash fan-out
+//!   over N backends with health probes, circuit breakers, and bounded
+//!   failover.
 //!
 //! Start a daemon and ask it for the optimal matmul linear-array design:
 //!
@@ -50,11 +56,14 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod http;
 pub mod json;
+pub mod router;
 pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, ShardedLruCache};
 pub use engine::{CacheKey, CachedOutcome, Engine};
+pub use router::{CfmapRouter, Circuit, RouterConfig};
 pub use server::{CfmapServer, ServerConfig, ShutdownHandle};
-pub use wire::{MapOutcome, MapRequest, MapResponse, WireError};
+pub use wire::{MapOutcome, MapRequest, MapResponse, RouterReject, RouterRejectKind, WireError};

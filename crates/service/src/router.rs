@@ -1,0 +1,1087 @@
+//! `cfmapd-router` — a cache-affine, health-checked reverse proxy in
+//! front of a fleet of `cfmapd` backends.
+//!
+//! One `cfmapd` process is one failure domain: a panic loop, an OOM
+//! kill, or a drain takes the whole mapping service down. The router
+//! turns N daemons into a fleet while *preserving the design-cache
+//! locality* that makes warm traffic fast:
+//!
+//! * **Cache-affine placement.** The router parses a `/map` body just
+//!   far enough to canonicalize the problem (the same
+//!   [`canonical_problem`] the engine's cache keys on) and
+//!   consistent-hashes the canonical key onto a ring of backends with
+//!   [`RouterConfig::replicas`] virtual nodes per backend. Permuted-
+//!   but-equivalent problems canonicalize identically, so they land on
+//!   the same backend and hit the same cache entry — scale-out does not
+//!   shred the cache.
+//! * **Health-checked failover.** Per-backend health state is driven by
+//!   periodic `GET /healthz` probes (which also read the `draining`
+//!   flag, so a draining backend stops receiving traffic before it
+//!   sheds) *and* by passive observation of live-traffic failures.
+//! * **Circuit breakers.** Each backend has a three-state breaker:
+//!   *closed* → *open* after [`RouterConfig::failure_threshold`]
+//!   consecutive transport failures or unexpected 5xxs → *half-open*
+//!   after [`RouterConfig::open_cooldown`], admitting a single trial
+//!   whose outcome closes or re-opens the circuit. A `503` carrying
+//!   `Retry-After` is the backend's *admission shed* — healthy but
+//!   busy — and never counts toward the breaker.
+//! * **Bounded failover.** Idempotent mapping requests that fail at the
+//!   transport level fail over to the next distinct backend on the
+//!   ring, up to [`RouterConfig::failover_budget`] extra attempts.
+//!   Every forwarded answer carries `X-Cfmapd-Backend` so callers (and
+//!   the chaos tests) can assert affinity.
+//! * **Load-aware shedding.** When every candidate backend is
+//!   open-circuit, draining, or unreachable, the router answers a
+//!   well-formed `503` + `Retry-After` ([`RouterReject`]) immediately —
+//!   never a hang, never a bare RST.
+//!
+//! Routes:
+//!
+//! | route | behavior |
+//! |---|---|
+//! | `POST /map` | canonicalize, ring-route, forward with failover |
+//! | `POST /batch` | ring-route by the first canonicalizable member |
+//! | `GET /healthz` | router liveness + backend up-counts |
+//! | `GET /readyz` | `200` while ≥ 1 backend is routable, else `503` |
+//! | `GET /backends` | per-backend health/circuit/pool state (JSON) |
+//! | `GET /metrics` | the router's own Prometheus registry |
+//! | `POST /shutdown` | drain and exit |
+
+use crate::engine::canonical_problem;
+use crate::http::{read_request, write_response_extra, ReadError, Response};
+use crate::json::{parse, Json};
+use crate::wire::{MapRequest, RouterReject, RouterRejectKind};
+use crate::server::ShutdownHandle;
+use cfmap_core::metrics::{Counter, Gauge, Histogram, Registry, DEFAULT_LATENCY_BUCKETS_US};
+use cfmap_core::CanonicalProblem;
+use std::io::BufReader;
+use std::str::FromStr;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a router worker waits on a slow downstream client.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Idle patience between requests on a kept-alive downstream connection
+/// (mirrors the daemon's own keep-alive idle clock).
+const KEEPALIVE_IDLE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// `Content-Type` of JSON answers.
+const CT_JSON: &str = "application/json";
+
+/// `Content-Type` of `/metrics`.
+const CT_METRICS: &str = "text/plain; version=0.0.4";
+
+/// Router configuration (all fields have serviceable defaults except
+/// `backends`, which must be non-empty for the router to be useful).
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend `cfmapd` addresses (`host:port`), in any order — ring
+    /// placement hashes the address string, so it is stable under
+    /// reordering.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the consistent-hash ring. More
+    /// replicas smooth the key distribution; 64 keeps the imbalance a
+    /// few percent at fleet sizes this router targets.
+    pub replicas: usize,
+    /// Worker threads serving downstream connections.
+    pub workers: usize,
+    /// Admission-queue slots (downstream connections accepted but not
+    /// yet claimed by a worker); beyond this, shed with `503`.
+    pub queue_capacity: usize,
+    /// Period of the background `/healthz` probe loop.
+    pub health_interval: Duration,
+    /// Consecutive failures that trip a backend's circuit open.
+    pub failure_threshold: u32,
+    /// How long an open circuit waits before admitting one half-open
+    /// trial.
+    pub open_cooldown: Duration,
+    /// Extra backends tried after the primary fails at the transport
+    /// level (0 = no failover).
+    pub failover_budget: usize,
+    /// TCP connect timeout toward a backend.
+    pub connect_timeout: Duration,
+    /// Read timeout toward a backend (a response may take a full
+    /// budgeted search).
+    pub read_timeout: Duration,
+    /// Idle keep-alive connections pooled per backend.
+    pub pool_capacity: usize,
+    /// Requests sent on one pooled upstream connection before it is
+    /// retired (stays below the backend's own per-connection bound so
+    /// the backend never hangs up mid-checkout).
+    pub max_requests_per_conn: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: Vec::new(),
+            replicas: 64,
+            workers: 8,
+            queue_capacity: 128,
+            health_interval: Duration::from_millis(500),
+            failure_threshold: 3,
+            open_cooldown: Duration::from_secs(1),
+            failover_budget: 2,
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(30),
+            pool_capacity: 8,
+            max_requests_per_conn: 90,
+        }
+    }
+}
+
+/// Circuit-breaker state of one backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Circuit {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests skip this backend until the cooldown passes.
+    Open,
+    /// One trial request is in flight; its outcome decides.
+    HalfOpen,
+}
+
+impl Circuit {
+    /// The `cfmapd_router_circuit_state` gauge encoding.
+    fn gauge_value(self) -> i64 {
+        match self {
+            Circuit::Closed => 0,
+            Circuit::Open => 1,
+            Circuit::HalfOpen => 2,
+        }
+    }
+}
+
+/// What the breaker says about sending one request now.
+enum Admission {
+    /// Circuit closed — go ahead.
+    Allow,
+    /// Circuit was open, cooldown elapsed — this request is the single
+    /// half-open trial.
+    Trial,
+    /// Circuit open (or a trial already in flight) — skip this backend.
+    Refuse,
+}
+
+/// Mutable breaker state, behind the backend's mutex.
+struct BreakerInner {
+    circuit: Circuit,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+/// One idle upstream connection plus how many requests it has carried.
+struct PooledConn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    served: usize,
+}
+
+/// Per-backend state: address, probe-driven health, breaker, and the
+/// keep-alive connection pool.
+struct Backend {
+    addr: String,
+    /// Last probe reached the backend and it answered 200.
+    up: AtomicBool,
+    /// Backend is willing to take new traffic (up and not draining).
+    ready: AtomicBool,
+    breaker: Mutex<BreakerInner>,
+    pool: Mutex<Vec<PooledConn>>,
+    // Metrics, labeled by backend address.
+    up_gauge: Arc<Gauge>,
+    circuit_gauge: Arc<Gauge>,
+    half_open_probes: Arc<Counter>,
+    upstream_latency: Arc<Histogram>,
+}
+
+impl Backend {
+    fn new(addr: String, registry: &Registry) -> Backend {
+        let labels = [("backend", addr.as_str())];
+        let up_gauge = registry.gauge(
+            "cfmapd_router_backend_up",
+            "1 while the last health probe of this backend succeeded",
+            &labels,
+        );
+        let circuit_gauge = registry.gauge(
+            "cfmapd_router_circuit_state",
+            "Circuit breaker state per backend (0 closed, 1 open, 2 half-open)",
+            &labels,
+        );
+        let half_open_probes = registry.counter(
+            "cfmapd_router_half_open_probes_total",
+            "Half-open trial requests admitted per backend",
+            &labels,
+        );
+        let upstream_latency = registry.histogram(
+            "cfmapd_router_upstream_duration_seconds",
+            "Forwarded-request latency per backend",
+            &labels,
+            DEFAULT_LATENCY_BUCKETS_US,
+        );
+        Backend {
+            addr,
+            up: AtomicBool::new(false),
+            ready: AtomicBool::new(false),
+            breaker: Mutex::new(BreakerInner {
+                circuit: Circuit::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+            }),
+            pool: Mutex::new(Vec::new()),
+            up_gauge,
+            circuit_gauge,
+            half_open_probes,
+            upstream_latency,
+        }
+    }
+
+    fn breaker(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        // Breaker state stays coherent even if a panicking thread
+        // poisoned the lock: every mutation leaves a valid state.
+        self.breaker.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current circuit state (for `/backends` and tests).
+    fn circuit(&self) -> Circuit {
+        self.breaker().circuit
+    }
+
+    /// May a request be sent to this backend right now?
+    fn admit(&self, cooldown: Duration) -> Admission {
+        let mut b = self.breaker();
+        match b.circuit {
+            Circuit::Closed => Admission::Allow,
+            Circuit::HalfOpen => Admission::Refuse,
+            Circuit::Open => {
+                let elapsed = b.opened_at.map(|t| t.elapsed()).unwrap_or(Duration::MAX);
+                if elapsed >= cooldown {
+                    b.circuit = Circuit::HalfOpen;
+                    self.circuit_gauge.set(Circuit::HalfOpen.gauge_value());
+                    self.half_open_probes.inc();
+                    Admission::Trial
+                } else {
+                    Admission::Refuse
+                }
+            }
+        }
+    }
+
+    /// A forwarded request (or probe) got a healthy answer.
+    fn record_success(&self) {
+        let mut b = self.breaker();
+        b.consecutive_failures = 0;
+        if b.circuit != Circuit::Closed {
+            b.circuit = Circuit::Closed;
+            b.opened_at = None;
+            self.circuit_gauge.set(Circuit::Closed.gauge_value());
+        }
+    }
+
+    /// A forwarded request (or probe) failed at the transport level, or
+    /// a backend answered an unexpected 5xx.
+    fn record_failure(&self, threshold: u32) {
+        let mut b = self.breaker();
+        match b.circuit {
+            Circuit::HalfOpen => {
+                // The trial failed: back to open, cooldown restarts.
+                b.circuit = Circuit::Open;
+                b.opened_at = Some(Instant::now());
+                self.circuit_gauge.set(Circuit::Open.gauge_value());
+            }
+            Circuit::Closed => {
+                b.consecutive_failures = b.consecutive_failures.saturating_add(1);
+                if b.consecutive_failures >= threshold {
+                    b.circuit = Circuit::Open;
+                    b.opened_at = Some(Instant::now());
+                    self.circuit_gauge.set(Circuit::Open.gauge_value());
+                }
+            }
+            Circuit::Open => {}
+        }
+    }
+
+    /// Pop an idle pooled connection, if any.
+    fn checkout(&self) -> Option<PooledConn> {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop()
+    }
+
+    /// Return a still-healthy keep-alive connection to the pool.
+    fn park(&self, conn: PooledConn, pool_capacity: usize) {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < pool_capacity {
+            pool.push(conn);
+        }
+    }
+
+    /// Drop every pooled connection (after a transport failure the
+    /// siblings are likely dead too — a killed backend leaves a pool
+    /// full of half-closed sockets).
+    fn drain_pool(&self) {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    fn pooled(&self) -> usize {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// A consistent-hash ring: sorted virtual-node points mapping a key
+/// hash to a backend index, with ring-order successor walk for
+/// failover candidates.
+struct Ring {
+    /// `(point, backend index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl Ring {
+    fn new(backend_addrs: &[String], replicas: usize) -> Ring {
+        let mut points = Vec::with_capacity(backend_addrs.len() * replicas);
+        for (idx, addr) in backend_addrs.iter().enumerate() {
+            for r in 0..replicas.max(1) {
+                points.push((fnv1a64(format!("{addr}#{r}").as_bytes()), idx));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, backends: backend_addrs.len() }
+    }
+
+    /// The first `want` *distinct* backends at and after `hash` in ring
+    /// order — the primary plus its failover successors.
+    fn candidates(&self, hash: u64, want: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(want.min(self.backends));
+        if self.points.is_empty() {
+            return out;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        for i in 0..self.points.len() {
+            let (_, idx) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&idx) {
+                out.push(idx);
+                if out.len() >= want.min(self.backends) {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// 64-bit FNV-1a with a splitmix64 finalizer. The ring must hash
+/// identically across processes and runs (affinity assertions replay
+/// from seeds), so the keyed std hasher is out. Raw FNV avalanches
+/// poorly into the high bits on short inputs, and the ring orders
+/// points by the full 64-bit value — without the finalizer, three
+/// backends at 64 vnodes can end up with a 5:4:1 key split.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A stable byte encoding of a canonical problem — the affinity key.
+/// (`Hash` impls are not stable across Rust versions; this string is.)
+fn canonical_key(p: &CanonicalProblem) -> String {
+    fn rows(rows: &[Vec<i64>]) -> String {
+        rows.iter()
+            .map(|r| r.iter().map(i64::to_string).collect::<Vec<_>>().join(","))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+    format!(
+        "mu={}|deps={}|space={}",
+        p.mu.iter().map(i64::to_string).collect::<Vec<_>>().join(","),
+        rows(&p.deps),
+        rows(&p.space),
+    )
+}
+
+/// Shared router state behind every worker and the prober.
+struct RouterCore {
+    config: RouterConfig,
+    backends: Vec<Backend>,
+    ring: Ring,
+    registry: Arc<Registry>,
+    failovers: Arc<Counter>,
+    sheds: Arc<Counter>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl RouterCore {
+    /// Compute the affinity hash for a forwarded body, if it
+    /// canonicalizes. `/map` bodies canonicalize directly; `/batch`
+    /// bodies use their first canonicalizable member (a batch of
+    /// equivalent problems still lands with its cache entry). A body
+    /// that does not canonicalize routes by raw-content hash — the
+    /// backend will produce the authoritative 400.
+    fn affinity_hash(&self, path: &str, body: &str) -> Result<u64, String> {
+        if path == "/map" {
+            let req = MapRequest::from_str(body).map_err(|e| e.msg)?;
+            let problem = canonical_problem(&req)?;
+            return Ok(fnv1a64(canonical_key(&problem).as_bytes()));
+        }
+        // /batch: first member that parses and canonicalizes wins.
+        if let Ok(json) = parse(body) {
+            if let Some(arr) = json.get("requests").and_then(Json::as_arr) {
+                for item in arr {
+                    if let Ok(req) = MapRequest::from_json(item) {
+                        if let Ok(problem) = canonical_problem(&req) {
+                            return Ok(fnv1a64(canonical_key(&problem).as_bytes()));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(fnv1a64(body.as_bytes()))
+    }
+
+    /// Send one request to one backend over a pooled (or fresh)
+    /// keep-alive connection. A transport error on a *reused*
+    /// connection retries once on a fresh one — a retired-by-the-peer
+    /// pooled socket is not evidence against the backend. Only a fresh
+    /// connection's failure propagates as `Err`.
+    fn send(
+        &self,
+        backend: &Backend,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<Response> {
+        let started = Instant::now();
+        // Stale pooled connections: try each, discarding failures.
+        while let Some(conn) = backend.checkout() {
+            let mut conn = conn;
+            match exchange(&mut conn, method, path, &backend.addr, body) {
+                Ok(resp) => {
+                    conn.served += 1;
+                    if resp.keep_alive && conn.served < self.config.max_requests_per_conn {
+                        backend.park(conn, self.config.pool_capacity);
+                    }
+                    backend.upstream_latency.observe(started.elapsed());
+                    return Ok(resp);
+                }
+                Err(_) => continue, // stale; fall through to the next / a fresh conn
+            }
+        }
+        let stream = connect(&backend.addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut conn = PooledConn { stream, reader, served: 0 };
+        let resp = exchange(&mut conn, method, path, &backend.addr, body)?;
+        conn.served += 1;
+        if resp.keep_alive && conn.served < self.config.max_requests_per_conn {
+            backend.park(conn, self.config.pool_capacity);
+        }
+        backend.upstream_latency.observe(started.elapsed());
+        Ok(resp)
+    }
+
+    /// Route one mapping request: pick ring candidates, walk them under
+    /// the breaker, fail over on transport errors, and produce the
+    /// downstream answer. Always returns a well-formed response.
+    fn forward(&self, method: &str, path: &str, body: &str) -> (u16, String, Vec<(String, String)>) {
+        if self.backends.is_empty() {
+            let reject = RouterReject {
+                kind: RouterRejectKind::NoBackends,
+                message: "router has no configured backends".into(),
+                attempted: 0,
+            };
+            self.sheds.inc();
+            return (
+                reject.kind.http_status(),
+                reject.to_json().serialize(),
+                vec![("Retry-After".into(), "1".into())],
+            );
+        }
+        let hash = match self.affinity_hash(path, body) {
+            Ok(h) => h,
+            Err(msg) => {
+                // The router rejects what every backend would reject,
+                // with the same body shape, without a round-trip.
+                let resp = crate::wire::MapResponse::BadRequest { msg };
+                return (resp.http_status(), resp.to_json().serialize(), Vec::new());
+            }
+        };
+        let candidates = self.ring.candidates(hash, self.config.failover_budget + 1);
+        let mut attempted: u64 = 0;
+        for (slot, &idx) in candidates.iter().enumerate() {
+            let backend = &self.backends[idx];
+            match backend.admit(self.config.open_cooldown) {
+                Admission::Refuse => continue,
+                Admission::Allow => {
+                    // A draining (or never-probed-up) backend is skipped
+                    // while an alternative exists; with no alternative
+                    // it still gets the request — the backend's own shed
+                    // beats a router-fabricated rejection.
+                    if !backend.ready.load(Ordering::SeqCst) && slot + 1 < candidates.len() {
+                        continue;
+                    }
+                }
+                Admission::Trial => {}
+            }
+            attempted += 1;
+            if attempted > 1 {
+                self.failovers.inc();
+            }
+            match self.send(backend, method, path, body) {
+                Ok(resp) => {
+                    // A shed (503 + Retry-After) is a healthy backend
+                    // saying "busy" — it must not push the breaker
+                    // toward open, or load spikes would amplify into
+                    // fleet-wide circuit trips. Everything else 5xx is
+                    // evidence of a sick backend.
+                    if resp.status == 503 && resp.retry_after.is_some() {
+                        backend.record_success();
+                    } else if resp.status >= 500 {
+                        backend.record_failure(self.config.failure_threshold);
+                    } else {
+                        backend.record_success();
+                    }
+                    self.registry
+                        .counter(
+                            "cfmapd_router_requests_total",
+                            "Requests forwarded, by backend and upstream status",
+                            &[("backend", &backend.addr), ("status", &resp.status.to_string())],
+                        )
+                        .inc();
+                    let mut headers = vec![("X-Cfmapd-Backend".to_string(), backend.addr.clone())];
+                    if let Some(secs) = resp.retry_after {
+                        headers.push(("Retry-After".into(), secs.to_string()));
+                    }
+                    return (resp.status, resp.body, headers);
+                }
+                Err(_) => {
+                    backend.drain_pool();
+                    backend.record_failure(self.config.failure_threshold);
+                    self.registry
+                        .counter(
+                            "cfmapd_router_requests_total",
+                            "Requests forwarded, by backend and upstream status",
+                            &[("backend", &backend.addr), ("status", "transport_error")],
+                        )
+                        .inc();
+                    // Loop on: the next distinct ring backend is the
+                    // failover target.
+                }
+            }
+        }
+        let reject = if attempted == 0 {
+            self.sheds.inc();
+            RouterReject {
+                kind: RouterRejectKind::AllCircuitsOpen,
+                message: format!(
+                    "no routable backend among {} candidates (open circuits or draining)",
+                    candidates.len()
+                ),
+                attempted,
+            }
+        } else if attempted == 1 {
+            RouterReject {
+                kind: RouterRejectKind::UpstreamUnreachable,
+                message: format!(
+                    "backend {} unreachable and no failover candidate answered",
+                    self.backends[candidates[0]].addr
+                ),
+                attempted,
+            }
+        } else {
+            RouterReject {
+                kind: RouterRejectKind::FailoverExhausted,
+                message: format!("all {attempted} attempted backends failed at transport level"),
+                attempted,
+            }
+        };
+        let mut headers = Vec::new();
+        if reject.kind.http_status() == 503 {
+            headers.push(("Retry-After".to_string(), "1".to_string()));
+        }
+        (reject.kind.http_status(), reject.to_json().serialize(), headers)
+    }
+
+    /// One probe pass over every backend. Updates `up`/`ready`, and
+    /// drives open circuits through their half-open recovery without
+    /// waiting for live traffic to volunteer as the trial.
+    fn probe_all(&self) {
+        for backend in &self.backends {
+            let alive = probe_healthz(&backend.addr, self.config.connect_timeout);
+            match alive {
+                Some(health) => {
+                    backend.up.store(true, Ordering::SeqCst);
+                    backend.up_gauge.set(1);
+                    let ready = !health.draining;
+                    backend.ready.store(ready, Ordering::SeqCst);
+                    // A reachable backend heals its breaker — but only
+                    // through the half-open gate, so the recovery is
+                    // observable and a flapping backend re-opens fast.
+                    match backend.admit(self.config.open_cooldown) {
+                        Admission::Trial => backend.record_success(),
+                        Admission::Allow | Admission::Refuse => {}
+                    }
+                }
+                None => {
+                    backend.up.store(false, Ordering::SeqCst);
+                    backend.ready.store(false, Ordering::SeqCst);
+                    backend.up_gauge.set(0);
+                    backend.record_failure(self.config.failure_threshold);
+                }
+            }
+        }
+    }
+
+    /// Is any backend currently routable (for `/readyz`)?
+    fn any_routable(&self) -> bool {
+        self.backends
+            .iter()
+            .any(|b| b.ready.load(Ordering::SeqCst) && b.circuit() != Circuit::Open)
+    }
+}
+
+/// What a `/healthz` probe learned.
+struct ProbedHealth {
+    draining: bool,
+}
+
+/// Probe one backend's `/healthz` over a fresh short-timeout
+/// connection. `None` means unreachable or non-200.
+fn probe_healthz(addr: &str, connect_timeout: Duration) -> Option<ProbedHealth> {
+    let stream = connect(addr, connect_timeout).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    stream.set_write_timeout(Some(Duration::from_secs(2))).ok()?;
+    let reader = BufReader::new(stream.try_clone().ok()?);
+    let mut conn = PooledConn { stream, reader, served: 0 };
+    let resp = exchange(&mut conn, "GET", "/healthz", addr, "").ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    let draining = parse(&resp.body)
+        .ok()
+        .and_then(|j| j.get("draining").and_then(Json::as_bool))
+        .unwrap_or(false);
+    Some(ProbedHealth { draining })
+}
+
+/// Write one keep-alive request on `conn` and read the framed response.
+fn exchange(
+    conn: &mut PooledConn,
+    method: &str,
+    path: &str,
+    host: &str,
+    body: &str,
+) -> std::io::Result<Response> {
+    let payload = if body.is_empty() { None } else { Some(body) };
+    crate::http::write_request(&mut conn.stream, method, path, host, payload, true, &[])?;
+    crate::http::read_response(&mut conn.reader)
+}
+
+/// `TcpStream::connect` with an explicit timeout over every resolved
+/// candidate address.
+fn connect(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    use std::net::ToSocketAddrs;
+    let mut last: Option<std::io::Error> = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{addr} resolves to nothing"))
+    }))
+}
+
+/// A bound (but not yet running) router.
+pub struct CfmapRouter {
+    listener: TcpListener,
+    core: Arc<RouterCore>,
+}
+
+impl CfmapRouter {
+    /// Bind to `config.addr` and build the ring and backend table.
+    pub fn bind(config: &RouterConfig) -> std::io::Result<CfmapRouter> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let registry = Arc::new(Registry::new());
+        let backends: Vec<Backend> =
+            config.backends.iter().map(|a| Backend::new(a.clone(), &registry)).collect();
+        let ring = Ring::new(&config.backends, config.replicas);
+        let failovers = registry.counter(
+            "cfmapd_router_failovers_total",
+            "Mapping requests retried on a failover backend after a transport failure",
+            &[],
+        );
+        let sheds = registry.counter(
+            "cfmapd_router_shed_total",
+            "Requests the router answered 503 itself because no backend was routable",
+            &[],
+        );
+        let core = Arc::new(RouterCore {
+            config: config.clone(),
+            backends,
+            ring,
+            registry,
+            failovers,
+            sheds,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        Ok(CfmapRouter { listener, core })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop [`CfmapRouter::run`] from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle::new(Arc::clone(&self.core.shutdown), self.local_addr()?))
+    }
+
+    /// The router's metrics registry (tests scrape it in-process).
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.core.registry)
+    }
+
+    /// Accept and serve until shutdown. Spawns the health prober and a
+    /// fixed worker pool; returns once both have wound down.
+    pub fn run(self) -> std::io::Result<()> {
+        let CfmapRouter { listener, core } = self;
+        // First probe before accepting: the very first request should
+        // already know which backends are up.
+        core.probe_all();
+        let prober = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || {
+                let step = Duration::from_millis(25);
+                loop {
+                    let mut waited = Duration::ZERO;
+                    while waited < core.config.health_interval {
+                        if core.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let nap = step.min(core.config.health_interval - waited);
+                        std::thread::sleep(nap);
+                        waited += nap;
+                    }
+                    if core.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    core.probe_all();
+                }
+            })
+        };
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(core.config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(core.config.workers.max(1));
+        for _ in 0..core.config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let core = Arc::clone(&core);
+            pool.push(std::thread::spawn(move || loop {
+                let conn = match rx.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(_) => break,
+                };
+                let Ok(stream) = conn else { break };
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_downstream(stream, &core);
+                }));
+            }));
+        }
+        for conn in listener.incoming() {
+            if core.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(mpsc::TrySendError::Full(stream)) => {
+                    core.sheds.inc();
+                    shed_downstream(stream);
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => break,
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        let _ = prober.join();
+        Ok(())
+    }
+}
+
+/// Answer a shed downstream connection with `503` + `Retry-After` on a
+/// short-lived thread (mirrors the daemon's own shed path).
+fn shed_downstream(stream: TcpStream) {
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        if let Ok(clone) = stream.try_clone() {
+            let mut reader = BufReader::new(clone);
+            let _ = read_request(&mut reader);
+        }
+        let body = RouterReject {
+            kind: RouterRejectKind::AllCircuitsOpen,
+            message: "router admission queue full; retry after the Retry-After delay".into(),
+            attempted: 0,
+        }
+        .to_json()
+        .serialize();
+        let _ =
+            write_response_extra(&mut stream, 503, CT_JSON, &body, &[("Retry-After", "1")], false);
+    });
+}
+
+/// Serve one downstream connection, honoring client keep-alive.
+fn serve_downstream(stream: TcpStream, core: &RouterCore) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    let mut served = 0usize;
+    loop {
+        let (status, content_type, body, headers, client_keep_alive) =
+            match read_request(&mut reader) {
+                Err(ReadError::Empty) => return,
+                Err(ReadError::TooLarge) => {
+                    (413, CT_JSON, error_body("request body too large"), Vec::new(), false)
+                }
+                Err(ReadError::Malformed(msg)) => (400, CT_JSON, error_body(&msg), Vec::new(), false),
+                Ok(req) => {
+                    let keep = req.keep_alive;
+                    let (status, ct, body, headers) = dispatch(core, &req.method, &req.path, &req.body);
+                    (status, ct, body, headers, keep)
+                }
+            };
+        served += 1;
+        let keep = client_keep_alive
+            && served < core.config.max_requests_per_conn.max(2)
+            && !core.shutdown.load(Ordering::SeqCst);
+        let header_refs: Vec<(&str, &str)> =
+            headers.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let write_ok =
+            write_response_extra(&mut stream, status, content_type, &body, &header_refs, keep)
+                .is_ok();
+        if core.shutdown.load(Ordering::SeqCst) {
+            // Unblock the accept loop so it observes the flag.
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+            }
+            return;
+        }
+        if !keep || !write_ok {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(KEEPALIVE_IDLE_TIMEOUT));
+    }
+}
+
+/// Route one parsed downstream request.
+fn dispatch(
+    core: &RouterCore,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, &'static str, String, Vec<(String, String)>) {
+    match (method, path) {
+        ("POST", "/map") | ("POST", "/batch") => {
+            let (status, body, headers) = core.forward(method, path, body);
+            (status, CT_JSON, body, headers)
+        }
+        ("GET", "/metrics") => (200, CT_METRICS, core.registry.render_prometheus(), Vec::new()),
+        ("GET", "/healthz") => {
+            let up = core.backends.iter().filter(|b| b.up.load(Ordering::SeqCst)).count();
+            let json = Json::Obj(vec![
+                ("status".into(), Json::Str("ok".into())),
+                ("backends".into(), Json::Int(core.backends.len() as i64)),
+                ("backends_up".into(), Json::Int(up as i64)),
+            ]);
+            (200, CT_JSON, json.serialize(), Vec::new())
+        }
+        ("GET", "/readyz") => {
+            if core.any_routable() {
+                let json = Json::Obj(vec![("status".into(), Json::Str("ok".into()))]);
+                (200, CT_JSON, json.serialize(), Vec::new())
+            } else {
+                let json = Json::Obj(vec![("status".into(), Json::Str("no_backends".into()))]);
+                (503, CT_JSON, json.serialize(), vec![("Retry-After".into(), "1".into())])
+            }
+        }
+        ("GET", "/backends") => {
+            let list: Vec<Json> = core
+                .backends
+                .iter()
+                .map(|b| {
+                    Json::Obj(vec![
+                        ("addr".into(), Json::Str(b.addr.clone())),
+                        ("up".into(), Json::Bool(b.up.load(Ordering::SeqCst))),
+                        ("ready".into(), Json::Bool(b.ready.load(Ordering::SeqCst))),
+                        (
+                            "circuit".into(),
+                            Json::Str(
+                                match b.circuit() {
+                                    Circuit::Closed => "closed",
+                                    Circuit::Open => "open",
+                                    Circuit::HalfOpen => "half_open",
+                                }
+                                .into(),
+                            ),
+                        ),
+                        ("pooled_connections".into(), Json::Int(b.pooled() as i64)),
+                    ])
+                })
+                .collect();
+            let json = Json::Obj(vec![("backends".into(), Json::Arr(list))]);
+            (200, CT_JSON, json.serialize(), Vec::new())
+        }
+        ("POST", "/shutdown") => {
+            core.shutdown.store(true, Ordering::SeqCst);
+            let json = Json::Obj(vec![("status".into(), Json::Str("shutting_down".into()))]);
+            (200, CT_JSON, json.serialize(), Vec::new())
+        }
+        _ => (404, CT_JSON, error_body(&format!("no route {method} {path}")), Vec::new()),
+    }
+}
+
+fn error_body(msg: &str) -> String {
+    Json::Obj(vec![
+        ("status".into(), Json::Str("bad_request".into())),
+        ("message".into(), Json::Str(msg.into())),
+    ])
+    .serialize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_placement_is_deterministic_and_stable_under_reorder() {
+        let a = vec!["127.0.0.1:1".to_string(), "127.0.0.1:2".into(), "127.0.0.1:3".into()];
+        let mut b = a.clone();
+        b.rotate_left(1);
+        let ring_a = Ring::new(&a, 64);
+        let ring_b = Ring::new(&b, 64);
+        for key in 0..200u64 {
+            let h = fnv1a64(&key.to_le_bytes());
+            let pick_a = &a[ring_a.candidates(h, 1)[0]];
+            let pick_b = &b[ring_b.candidates(h, 1)[0]];
+            assert_eq!(pick_a, pick_b, "placement must not depend on backend-list order");
+        }
+    }
+
+    #[test]
+    fn ring_candidates_are_distinct_and_exhaustive() {
+        let addrs: Vec<String> = (0..4).map(|i| format!("10.0.0.{i}:7971")).collect();
+        let ring = Ring::new(&addrs, 16);
+        let cands = ring.candidates(fnv1a64(b"some-key"), 10);
+        assert_eq!(cands.len(), 4, "want capped at backend count");
+        let mut sorted = cands.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "candidates must be distinct: {cands:?}");
+    }
+
+    #[test]
+    fn ring_spreads_keys_roughly_evenly() {
+        let addrs: Vec<String> = (0..3).map(|i| format!("10.0.0.{i}:7971")).collect();
+        let ring = Ring::new(&addrs, 64);
+        let mut counts = [0usize; 3];
+        for key in 0..3000u64 {
+            counts[ring.candidates(fnv1a64(&key.to_le_bytes()), 1)[0]] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 3000 / 3 / 3 && c < 3000 * 2 / 3,
+                "backend {i} got {c}/3000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_recovers_through_half_open() {
+        let registry = Registry::new();
+        let b = Backend::new("127.0.0.1:9".into(), &registry);
+        let threshold = 3;
+        let cooldown = Duration::from_millis(10);
+        assert!(matches!(b.admit(cooldown), Admission::Allow));
+        b.record_failure(threshold);
+        b.record_failure(threshold);
+        assert_eq!(b.circuit(), Circuit::Closed, "below threshold stays closed");
+        b.record_failure(threshold);
+        assert_eq!(b.circuit(), Circuit::Open);
+        assert!(matches!(b.admit(cooldown), Admission::Refuse), "fresh open refuses");
+        std::thread::sleep(cooldown * 2);
+        assert!(matches!(b.admit(cooldown), Admission::Trial), "cooldown admits one trial");
+        assert!(
+            matches!(b.admit(cooldown), Admission::Refuse),
+            "only one half-open trial at a time"
+        );
+        b.record_success();
+        assert_eq!(b.circuit(), Circuit::Closed);
+        assert!(matches!(b.admit(cooldown), Admission::Allow));
+        // A failed trial re-opens and restarts the cooldown.
+        for _ in 0..threshold {
+            b.record_failure(threshold);
+        }
+        std::thread::sleep(cooldown * 2);
+        assert!(matches!(b.admit(cooldown), Admission::Trial));
+        b.record_failure(threshold);
+        assert_eq!(b.circuit(), Circuit::Open);
+        assert!(matches!(b.admit(cooldown), Admission::Refuse));
+    }
+
+    #[test]
+    fn success_resets_consecutive_failure_count() {
+        let registry = Registry::new();
+        let b = Backend::new("127.0.0.1:9".into(), &registry);
+        b.record_failure(3);
+        b.record_failure(3);
+        b.record_success();
+        b.record_failure(3);
+        b.record_failure(3);
+        assert_eq!(b.circuit(), Circuit::Closed, "interleaved successes keep the circuit closed");
+    }
+
+    #[test]
+    fn canonical_key_is_permutation_invariant() {
+        // Matmul with axes relabeled (μ and the space row permuted the
+        // same way, dependence columns reordered) canonicalizes to the
+        // same problem — so the router places both on the same backend.
+        let original = MapRequest {
+            algorithm: None,
+            mu: vec![4, 4, 4],
+            deps: Some(vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]]),
+            space: vec![vec![1, 1, -1]],
+            cap: None,
+            max_candidates: None,
+            timeout_ms: None,
+            deadline_ms: None,
+        };
+        let permuted = MapRequest {
+            deps: Some(vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]]),
+            space: vec![vec![-1, 1, 1]],
+            ..original.clone()
+        };
+        let key_a = canonical_key(&canonical_problem(&original).expect("canonicalizes"));
+        let key_b = canonical_key(&canonical_problem(&permuted).expect("canonicalizes"));
+        assert_eq!(key_a, key_b, "equivalent problems must share an affinity key");
+        assert_eq!(fnv1a64(key_a.as_bytes()), fnv1a64(key_b.as_bytes()));
+    }
+}

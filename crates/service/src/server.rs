@@ -2,12 +2,19 @@
 //!
 //! Plain `std`: a `TcpListener` accept loop feeds accepted connections
 //! through a *bounded* `sync_channel` to a fixed pool of worker
-//! threads, each of which parses one HTTP/1.1 request, dispatches it
-//! against the shared [`Engine`], and answers with `Connection: close`.
-//! When the admission queue is full, new connections are shed with
-//! `503` + `Retry-After` rather than buffered without bound. No async
-//! runtime, no HTTP library — the protocol subset needed (request line,
-//! headers, `Content-Length` body) is ~100 lines.
+//! threads, each of which parses HTTP/1.1 requests, dispatches them
+//! against the shared [`Engine`], and answers. When the admission queue
+//! is full, new connections are shed with `503` + `Retry-After` rather
+//! than buffered without bound. No async runtime, no HTTP library — the
+//! protocol subset needed lives in [`crate::http`].
+//!
+//! Connections close after one request unless the client explicitly
+//! sends `Connection: keep-alive`, in which case the worker serves up
+//! to [`ServerConfig::max_requests_per_conn`] requests back-to-back on
+//! the same socket (each framed by an exact `Content-Length`). Keeping
+//! the persistent protocol opt-in preserves the original EOF-framed
+//! `Connection: close` contract that raw-socket tests and the fault
+//! harness rely on.
 //!
 //! Routes:
 //!
@@ -17,9 +24,17 @@
 //! | `POST /batch` | `{"requests": […]}` | `{"responses": […], "distinct_solves": n}` |
 //! | `GET /stats` | — | cache + search + server counters |
 //! | `GET /metrics` | — | Prometheus text exposition of the registry |
-//! | `GET /healthz` | — | `{"status":"ok"}` |
+//! | `GET /healthz` | — | liveness: `{"status","draining","queue_depth","workers"}`, always `200` while the process serves |
+//! | `GET /readyz` | — | readiness: `200` normally, `503` once draining |
 //! | `POST /cache/clear` | — | `{"cleared": n}` |
 //! | `POST /shutdown` | — | `{"status":"shutting_down"}`, then the listener drains and exits |
+//!
+//! `/healthz` vs `/readyz`: liveness answers "is the process serving at
+//! all" (restart me if not), readiness answers "should new traffic be
+//! routed here" (a draining daemon is alive but not ready). The
+//! liveness body carries `draining` and the admission-queue depth so a
+//! routing tier — `cfmapd-router` — can steer load away *before* the
+//! queue fills and sheds.
 //!
 //! Shutdown is cooperative: `POST /shutdown` (or [`ShutdownHandle::shutdown`])
 //! sets an atomic flag and pokes the listener with a loopback connection so
@@ -28,11 +43,12 @@
 //! binary's `--watch-stdin` mode (see `src/bin/cfmapd.rs`).
 
 use crate::engine::Engine;
+use crate::http::{read_request, write_response_extra, ReadError};
 use crate::json::{parse, Json};
 use crate::wire::{MapRequest, MapResponse};
 use cfmap_core::budget::clock;
 use cfmap_core::metrics::{Counter, Gauge, Histogram, DEFAULT_LATENCY_BUCKETS_US};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -40,18 +56,15 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 use std::str::FromStr;
 
-/// Request bodies above this size are refused with `413` — mapping
-/// requests are a few hundred bytes; megabytes signal a confused client.
-const MAX_BODY_BYTES: usize = 1 << 20;
-
-/// The request line and header section together may not exceed this many
-/// bytes. Without a bound, `read_line` would buffer a newline-free byte
-/// stream indefinitely (`MAX_BODY_BYTES` only guards the body).
-const MAX_HEAD_BYTES: usize = 64 << 10;
-
 /// How long a worker waits for a slow client before abandoning the
 /// connection.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a worker waits for the *next* request on a kept-alive
+/// connection. Much shorter than [`IO_TIMEOUT`]: an idle persistent
+/// connection pins a worker, so patience between requests is a direct
+/// tax on pool capacity (and on drain time at shutdown).
+const KEEPALIVE_IDLE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// `Content-Type` of every JSON answer.
 const CT_JSON: &str = "application/json";
@@ -84,6 +97,10 @@ pub struct ServerConfig {
     /// Honor `X-Cfmapd-Fault` request headers (worker panics, stalls).
     /// Test-only; keep off in production.
     pub fault_injection: bool,
+    /// Requests served on one kept-alive connection before the server
+    /// closes it anyway. Bounds how long a single client can pin a
+    /// worker, and gives load balancing a natural re-shuffle point.
+    pub max_requests_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +114,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             drain_deadline: Duration::from_secs(5),
             fault_injection: false,
+            max_requests_per_conn: 100,
         }
     }
 }
@@ -112,6 +130,7 @@ pub struct CfmapServer {
     queue_capacity: usize,
     drain_deadline: Duration,
     fault_injection: bool,
+    max_requests_per_conn: usize,
     queue_depth: Arc<Gauge>,
     requests_shed: Arc<Counter>,
     drain_duration: Arc<Histogram>,
@@ -133,6 +152,12 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
+    /// A handle for `flag` over the listener at `addr` (also used by
+    /// `cfmapd-router`, whose accept loop has the same shape).
+    pub(crate) fn new(flag: Arc<AtomicBool>, addr: std::net::SocketAddr) -> ShutdownHandle {
+        ShutdownHandle { flag, addr }
+    }
+
     /// Ask the server to stop accepting and drain its workers.
     pub fn shutdown(&self) {
         self.flag.store(true, Ordering::SeqCst);
@@ -179,6 +204,7 @@ impl CfmapServer {
             queue_capacity: config.queue_capacity.max(1),
             drain_deadline: config.drain_deadline,
             fault_injection: config.fault_injection,
+            max_requests_per_conn: config.max_requests_per_conn.max(1),
             queue_depth,
             requests_shed,
             drain_duration,
@@ -192,7 +218,7 @@ impl CfmapServer {
 
     /// A handle that can stop [`CfmapServer::run`] from another thread.
     pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
-        Ok(ShutdownHandle { flag: Arc::clone(&self.shutdown), addr: self.local_addr()? })
+        Ok(ShutdownHandle::new(Arc::clone(&self.shutdown), self.local_addr()?))
     }
 
     /// Accept and serve until shutdown is requested. Blocks the calling
@@ -216,6 +242,7 @@ impl CfmapServer {
             let workers = self.workers;
             let log_json = self.log_json;
             let fault_injection = self.fault_injection;
+            let max_requests_per_conn = self.max_requests_per_conn;
             pool.push(std::thread::spawn(move || loop {
                 // Holding the receiver lock only while popping keeps the
                 // other workers runnable during request handling.
@@ -225,7 +252,6 @@ impl CfmapServer {
                 };
                 let Ok(conn) = conn else { break };
                 queue_depth.add(-1);
-                requests.fetch_add(1, Ordering::Relaxed);
                 // A panicking request must not kill the worker — after
                 // `workers` such requests the daemon would still accept
                 // connections but never answer them. `dispatch` already
@@ -237,9 +263,11 @@ impl CfmapServer {
                         &engine,
                         &shutdown,
                         &requests,
+                        &queue_depth,
                         workers,
                         log_json,
                         fault_injection,
+                        max_requests_per_conn,
                     );
                 }));
             }));
@@ -325,7 +353,8 @@ fn shed_connection(stream: TcpStream) {
             ),
         ])
         .serialize();
-        let _ = write_response_extra(&mut stream, 503, CT_JSON, &body, &[("Retry-After", "1")]);
+        let _ =
+            write_response_extra(&mut stream, 503, CT_JSON, &body, &[("Retry-After", "1")], false);
     });
 }
 
@@ -339,24 +368,32 @@ fn route_label(method: &str, path: &str) -> &'static str {
         ("GET", "/stats") => "/stats",
         ("GET", "/metrics") => "/metrics",
         ("GET", "/healthz") => "/healthz",
+        ("GET", "/readyz") => "/readyz",
         ("POST", "/cache/clear") => "/cache/clear",
         ("POST", "/shutdown") => "/shutdown",
         _ => "other",
     }
 }
 
-/// Serve one connection: parse, dispatch, answer, close.
+/// Serve one connection: parse, dispatch, answer — then, if the client
+/// opted into keep-alive and the request parsed cleanly, loop for the
+/// next request on the same socket (up to `max_requests_per_conn`).
+/// Parse failures and shutdown always close: after a framing error the
+/// stream position is unknown, and a draining server must release its
+/// workers.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     conn: Conn,
     engine: &Engine,
     shutdown: &AtomicBool,
     requests: &AtomicU64,
+    queue_depth: &Gauge,
     workers: usize,
     log_json: bool,
     fault_injection: bool,
+    max_requests_per_conn: usize,
 ) {
     let Conn { stream, accepted_us } = conn;
-    let started = Instant::now();
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -364,73 +401,99 @@ fn handle_connection(
         Err(_) => return,
     });
     let mut stream = stream;
-    let mut route = "unparsed";
-    let mut req_line = (String::new(), String::new());
-    let (status, content_type, body) = match read_request(&mut reader) {
-        // A bare shutdown poke (connect + close) arrives as an empty
-        // request; answer nothing.
-        Err(ReadError::Empty) => return,
-        Err(ReadError::TooLarge) => (413, CT_JSON, error_body("request body too large")),
-        Err(ReadError::Malformed(msg)) => (400, CT_JSON, error_body(&msg)),
-        Ok(req) => {
-            route = route_label(&req.method, &req.path);
-            req_line = (req.method.clone(), req.path.clone());
-            // Answer 500 instead of unwinding through the worker: the
-            // engine's locks all tolerate poisoning (see `cache.rs`), so
-            // serving can continue after a handler panic.
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                if fault_injection {
-                    apply_fault(req.fault.as_deref());
-                }
-                dispatch(
-                    &req.method,
-                    &req.path,
-                    &req.body,
-                    engine,
-                    shutdown,
-                    requests,
-                    workers,
-                    accepted_us,
-                )
-            }))
-            .unwrap_or_else(|_| {
-                let body = Json::Obj(vec![
-                    ("status".into(), Json::Str("internal_error".into())),
-                    ("message".into(), Json::Str("request handler panicked".into())),
-                ]);
-                (500, CT_JSON, body.serialize())
-            })
+    // The first request's deadline anchors at *accept* time (queueing
+    // counts against it); later requests on a kept-alive connection
+    // anchor when the server starts reading them.
+    let mut anchor_us = accepted_us;
+    let mut served = 0usize;
+    loop {
+        let started = Instant::now();
+        let mut route = "unparsed";
+        let mut req_line = (String::new(), String::new());
+        let mut client_keep_alive = false;
+        let (status, content_type, body) = match read_request(&mut reader) {
+            // A bare shutdown poke (connect + close) — or a keep-alive
+            // client hanging up between requests — answers nothing.
+            Err(ReadError::Empty) => return,
+            Err(ReadError::TooLarge) => (413, CT_JSON, error_body("request body too large")),
+            Err(ReadError::Malformed(msg)) => (400, CT_JSON, error_body(&msg)),
+            Ok(req) => {
+                client_keep_alive = req.keep_alive;
+                route = route_label(&req.method, &req.path);
+                req_line = (req.method.clone(), req.path.clone());
+                // Answer 500 instead of unwinding through the worker: the
+                // engine's locks all tolerate poisoning (see `cache.rs`), so
+                // serving can continue after a handler panic.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if fault_injection {
+                        apply_fault(req.fault.as_deref());
+                    }
+                    dispatch(
+                        &req.method,
+                        &req.path,
+                        &req.body,
+                        engine,
+                        shutdown,
+                        requests,
+                        queue_depth,
+                        workers,
+                        anchor_us,
+                    )
+                }))
+                .unwrap_or_else(|_| {
+                    let body = Json::Obj(vec![
+                        ("status".into(), Json::Str("internal_error".into())),
+                        ("message".into(), Json::Str("request handler panicked".into())),
+                    ]);
+                    (500, CT_JSON, body.serialize())
+                })
+            }
+        };
+        served += 1;
+        requests.fetch_add(1, Ordering::Relaxed);
+        let keep = client_keep_alive
+            && route != "unparsed"
+            && served < max_requests_per_conn
+            && !shutdown.load(Ordering::SeqCst);
+        let elapsed = started.elapsed();
+        let status_text = status.to_string();
+        let registry = engine.metrics();
+        registry
+            .counter(
+                "cfmapd_requests_total",
+                "Requests answered, by route and status",
+                &[("route", route), ("status", &status_text)],
+            )
+            .inc();
+        registry
+            .histogram(
+                "cfmapd_request_duration_seconds",
+                "Request latency from first byte to response, by route",
+                &[("route", route)],
+                cfmap_core::metrics::DEFAULT_LATENCY_BUCKETS_US,
+            )
+            .observe(elapsed);
+        let write_ok =
+            write_response_extra(&mut stream, status, content_type, &body, &[], keep).is_ok();
+        if log_json {
+            access_log_line(&req_line.0, &req_line.1, status, elapsed, body.len());
         }
-    };
-    let elapsed = started.elapsed();
-    let status_text = status.to_string();
-    let registry = engine.metrics();
-    registry
-        .counter(
-            "cfmapd_requests_total",
-            "Requests answered, by route and status",
-            &[("route", route), ("status", &status_text)],
-        )
-        .inc();
-    registry
-        .histogram(
-            "cfmapd_request_duration_seconds",
-            "Request latency from first byte to response, by route",
-            &[("route", route)],
-            cfmap_core::metrics::DEFAULT_LATENCY_BUCKETS_US,
-        )
-        .observe(elapsed);
-    let _ = write_response(&mut stream, status, content_type, &body);
-    if log_json {
-        access_log_line(&req_line.0, &req_line.1, status, elapsed, body.len());
-    }
-    if shutdown.load(Ordering::SeqCst) {
-        // An accepted socket's local address is the listener's address
-        // (they share the listening port), so one loopback connect is
-        // enough to unblock the accept loop and let it see the flag.
-        if let Ok(addr) = stream.local_addr() {
-            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        if shutdown.load(Ordering::SeqCst) {
+            // An accepted socket's local address is the listener's address
+            // (they share the listening port), so one loopback connect is
+            // enough to unblock the accept loop and let it see the flag.
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+            }
+            return;
         }
+        if !keep || !write_ok {
+            return;
+        }
+        // Between requests a persistent connection waits on a short
+        // idle clock, not the full request timeout.
+        anchor_us = clock::now_micros();
+        let _ = stream.set_read_timeout(Some(KEEPALIVE_IDLE_TIMEOUT));
     }
 }
 
@@ -482,6 +545,7 @@ fn dispatch(
     engine: &Engine,
     shutdown: &AtomicBool,
     requests: &AtomicU64,
+    queue_depth: &Gauge,
     workers: usize,
     accepted_us: u64,
 ) -> (u16, &'static str, String) {
@@ -554,11 +618,32 @@ fn dispatch(
             (200, CT_JSON, json.serialize())
         }
         ("GET", "/metrics") => (200, CT_METRICS, engine.metrics().render_prometheus()),
-        ("GET", "/healthz") => (
-            200,
-            CT_JSON,
-            Json::Obj(vec![("status".into(), Json::Str("ok".into()))]).serialize(),
-        ),
+        ("GET", "/healthz") => {
+            // Liveness plus the routing signals a fleet front-end needs:
+            // a draining daemon is alive (do not restart it) but should
+            // stop receiving traffic, and the queue depth says how
+            // saturated admission is *before* sheds start.
+            let draining = shutdown.load(Ordering::SeqCst);
+            let json = Json::Obj(vec![
+                (
+                    "status".into(),
+                    Json::Str(if draining { "draining" } else { "ok" }.into()),
+                ),
+                ("draining".into(), Json::Bool(draining)),
+                ("queue_depth".into(), Json::Int(queue_depth.get())),
+                ("workers".into(), Json::Int(workers as i64)),
+            ]);
+            (200, CT_JSON, json.serialize())
+        }
+        ("GET", "/readyz") => {
+            if shutdown.load(Ordering::SeqCst) {
+                let json = Json::Obj(vec![("status".into(), Json::Str("draining".into()))]);
+                (503, CT_JSON, json.serialize())
+            } else {
+                let json = Json::Obj(vec![("status".into(), Json::Str("ok".into()))]);
+                (200, CT_JSON, json.serialize())
+            }
+        }
         ("POST", "/cache/clear") => {
             let cleared = engine.clear_cache();
             (
@@ -598,155 +683,4 @@ fn error_body(msg: &str) -> String {
         ("message".into(), Json::Str(msg.into())),
     ])
     .serialize()
-}
-
-enum ReadError {
-    /// Connection closed before a request line (shutdown poke).
-    Empty,
-    TooLarge,
-    Malformed(String),
-}
-
-/// `read_line`, but never buffering more than `limit` bytes: reading
-/// stops at the first newline or at `limit + 1` bytes, whichever comes
-/// first, so a client streaming newline-free bytes cannot grow memory.
-/// Returns `Err(TooLarge)` when the line exceeds `limit`.
-fn read_line_limited(
-    reader: &mut BufReader<TcpStream>,
-    limit: usize,
-) -> Result<Option<String>, ReadError> {
-    let mut line = String::new();
-    match reader.by_ref().take(limit as u64 + 1).read_line(&mut line) {
-        Ok(0) => return Ok(None),
-        Ok(_) => {}
-        Err(e) => return Err(ReadError::Malformed(format!("read failed: {e}"))),
-    }
-    // `take` capped the read at limit + 1 bytes: a longer "line" means
-    // no newline arrived within the budget.
-    if line.len() > limit {
-        return Err(ReadError::TooLarge);
-    }
-    Ok(Some(line))
-}
-
-/// A parsed HTTP request: method, path, body, and the optional
-/// `X-Cfmapd-Fault` header (honored only under fault injection).
-struct Request {
-    method: String,
-    path: String,
-    body: String,
-    fault: Option<String>,
-}
-
-/// Read one `METHOD /path HTTP/1.x` request with an optional
-/// `Content-Length` body. The head (request line + headers) is bounded
-/// by [`MAX_HEAD_BYTES`], the body by [`MAX_BODY_BYTES`].
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
-    let mut head_budget = MAX_HEAD_BYTES;
-    let line = match read_line_limited(reader, head_budget) {
-        Ok(Some(line)) => line,
-        Ok(None) | Err(ReadError::Malformed(_)) => return Err(ReadError::Empty),
-        Err(e) => return Err(e),
-    };
-    head_budget -= line.len().min(head_budget);
-    if line.trim().is_empty() {
-        return Err(ReadError::Empty);
-    }
-    let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-    if method.is_empty() || !path.starts_with('/') {
-        return Err(ReadError::Malformed(format!("bad request line {:?}", line.trim())));
-    }
-    let mut content_length: Option<usize> = None;
-    let mut fault: Option<String> = None;
-    loop {
-        let header = match read_line_limited(reader, head_budget)? {
-            None => break,
-            Some(h) => h,
-        };
-        head_budget -= header.len().min(head_budget);
-        let header = header.trim();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                let parsed: usize = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| ReadError::Malformed("bad Content-Length".into()))?;
-                // Duplicate Content-Length headers are a request-smuggling
-                // staple: the framing depends on which copy a parser
-                // honours. Conflicting copies are refused outright;
-                // RFC 9110 §8.6 allows identical repeats.
-                match content_length {
-                    Some(prev) if prev != parsed => {
-                        return Err(ReadError::Malformed(
-                            "conflicting Content-Length headers".into(),
-                        ));
-                    }
-                    _ => content_length = Some(parsed),
-                }
-            } else if name.eq_ignore_ascii_case("x-cfmapd-fault") {
-                fault = Some(value.trim().to_string());
-            }
-        }
-    }
-    let content_length = content_length.unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(ReadError::TooLarge);
-    }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| ReadError::Malformed(format!("body read failed: {e}")))?;
-    String::from_utf8(body)
-        .map(|b| Request { method, path, body: b, fault })
-        .map_err(|_| ReadError::Malformed("body is not UTF-8".into()))
-}
-
-/// Write a `Connection: close` HTTP/1.1 response.
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    write_response_extra(stream, status, content_type, body, &[])
-}
-
-/// [`write_response`] with extra response headers (e.g. `Retry-After`
-/// on a shed `503`).
-fn write_response_extra(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-    extra_headers: &[(&str, &str)],
-) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        413 => "Payload Too Large",
-        422 => "Unprocessable Entity",
-        500 => "Internal Server Error",
-        503 => "Service Unavailable",
-        _ => "Status",
-    };
-    let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        body.len()
-    );
-    for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
 }

@@ -308,6 +308,112 @@ impl std::str::FromStr for MapResponse {
     }
 }
 
+/// Why `cfmapd-router` answered a request itself instead of forwarding
+/// a backend's answer. Each kind maps to exactly one HTTP status so
+/// clients can branch on either the status code or the decoded kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterRejectKind {
+    /// The router was started with no (or an empty) backend list — a
+    /// deployment error, not a transient: `503`.
+    NoBackends,
+    /// Every candidate backend is open-circuit, draining, or
+    /// unreachable; the fleet has no capacity right now: `503` +
+    /// `Retry-After`.
+    AllCircuitsOpen,
+    /// The chosen backend could not be reached and the request was not
+    /// eligible for failover (non-idempotent route): `502`.
+    UpstreamUnreachable,
+    /// Failover was attempted but every replica within the failover
+    /// budget failed at the transport level: `502`.
+    FailoverExhausted,
+}
+
+impl RouterRejectKind {
+    /// The wire tag (`kind` field) of this rejection.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RouterRejectKind::NoBackends => "no_backends",
+            RouterRejectKind::AllCircuitsOpen => "all_circuits_open",
+            RouterRejectKind::UpstreamUnreachable => "upstream_unreachable",
+            RouterRejectKind::FailoverExhausted => "failover_exhausted",
+        }
+    }
+
+    /// The HTTP status the router answers with for this kind.
+    pub fn http_status(self) -> u16 {
+        match self {
+            RouterRejectKind::NoBackends | RouterRejectKind::AllCircuitsOpen => 503,
+            RouterRejectKind::UpstreamUnreachable | RouterRejectKind::FailoverExhausted => 502,
+        }
+    }
+}
+
+/// The JSON body of a router-originated `502`/`503`. Round-trips through
+/// the wire codec like every other error payload, so clients can script
+/// against the router without string-matching messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouterReject {
+    /// Why the router rejected the request.
+    pub kind: RouterRejectKind,
+    /// Human-readable detail (which backends were tried, why skipped).
+    pub message: String,
+    /// Backends the router actually attempted before giving up.
+    pub attempted: u64,
+}
+
+impl RouterReject {
+    /// Serialize to a JSON value. `status` is fixed to `"router_reject"`
+    /// so the body is distinguishable from a backend's `MapResponse`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("status".into(), Json::Str("router_reject".into())),
+            ("kind".into(), Json::Str(self.kind.tag().into())),
+            ("message".into(), Json::Str(self.message.clone())),
+            ("attempted".into(), Json::Int(clamp_u64(self.attempted))),
+        ])
+    }
+
+    /// Parse from a JSON value.
+    pub fn from_json(v: &Json) -> Result<RouterReject, WireError> {
+        let status = v
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing \"status\""))?;
+        if status != "router_reject" {
+            return Err(bad(format!("not a router rejection: status {status:?}")));
+        }
+        let kind = match v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing \"kind\""))?
+        {
+            "no_backends" => RouterRejectKind::NoBackends,
+            "all_circuits_open" => RouterRejectKind::AllCircuitsOpen,
+            "upstream_unreachable" => RouterRejectKind::UpstreamUnreachable,
+            "failover_exhausted" => RouterRejectKind::FailoverExhausted,
+            other => return Err(bad(format!("unknown router reject kind {other:?}"))),
+        };
+        Ok(RouterReject {
+            kind,
+            message: v
+                .get("message")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("missing \"message\""))?
+                .to_string(),
+            attempted: req_u64(v, "attempted")?,
+        })
+    }
+}
+
+impl std::str::FromStr for RouterReject {
+    type Err = WireError;
+
+    /// Parse from response-body text.
+    fn from_str(body: &str) -> Result<RouterReject, WireError> {
+        RouterReject::from_json(&parse(body)?)
+    }
+}
+
 /// Encode a [`Certification`].
 pub fn certification_to_json(c: &Certification) -> Json {
     match c {

@@ -4,7 +4,7 @@
 
 use cfmap_core::{BudgetLimit, Certification, CfmapError};
 use cfmap_service::json::{parse, Json};
-use cfmap_service::wire::{MapOutcome, MapRequest, MapResponse};
+use cfmap_service::wire::{MapOutcome, MapRequest, MapResponse, RouterReject, RouterRejectKind};
 use std::str::FromStr;
 
 /// Characters exercised in generated strings: escapes, quotes, non-ASCII
@@ -145,6 +145,52 @@ cfmap_testkit::props! {
         let body = resp.to_json().serialize();
         assert_eq!(MapResponse::from_str(&body).unwrap(), resp, "{body}");
         assert_eq!(resp.exit_class(), 3);
+    }
+
+    /// Router rejections round-trip kind by kind with hostile message
+    /// strings, and stay disjoint from the backend's `MapResponse`
+    /// namespace in both directions.
+    fn router_rejects_round_trip(
+        kind_tok in 0i64..=3,
+        attempted in 0i64..=1_000_000,
+        text_tokens in cfmap_testkit::gen::vec(i64::MIN..=i64::MAX, 0..10),
+    ) {
+        let kind = match kind_tok {
+            0 => RouterRejectKind::NoBackends,
+            1 => RouterRejectKind::AllCircuitsOpen,
+            2 => RouterRejectKind::UpstreamUnreachable,
+            _ => RouterRejectKind::FailoverExhausted,
+        };
+        let reject = RouterReject {
+            kind,
+            message: string_from(&text_tokens),
+            attempted: attempted as u64,
+        };
+        let body = reject.to_json().serialize();
+        assert_eq!(RouterReject::from_str(&body).unwrap(), reject, "{body}");
+        // The status taxonomy is total: 503s are the retry-later kinds,
+        // 502s the upstream-transport kinds.
+        let expected = matches!(
+            kind,
+            RouterRejectKind::NoBackends | RouterRejectKind::AllCircuitsOpen
+        );
+        assert_eq!(reject.kind.http_status() == 503, expected);
+        // Cross-namespace confusion must fail loudly, both ways.
+        assert!(MapResponse::from_str(&body).is_err(), "{body}");
+        let backend_body =
+            MapResponse::Infeasible { candidates_examined: 7 }.to_json().serialize();
+        assert!(RouterReject::from_str(&backend_body).is_err(), "{backend_body}");
+        // Malformed rejections (wrong status, unknown kind) are refused.
+        let mut wrong_status = reject.to_json();
+        if let Json::Obj(fields) = &mut wrong_status {
+            fields[0].1 = Json::Str("ok".into());
+        }
+        assert!(RouterReject::from_json(&wrong_status).is_err());
+        let mut bad_kind = reject.to_json();
+        if let Json::Obj(fields) = &mut bad_kind {
+            fields[1].1 = Json::Str("slow_tuesday".into());
+        }
+        assert!(RouterReject::from_json(&bad_kind).is_err());
     }
 
     /// Success / infeasible responses round-trip for every certification.

@@ -176,9 +176,148 @@ fn parse_response(text: &str) -> FaultOutcome {
     FaultOutcome { status, body: body.to_string(), retry_after }
 }
 
+/// One disruption of a multi-process fleet, injected at a specific
+/// point in a request burst.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// SIGKILL backend `backend` (no drain, no goodbye — connections
+    /// die with RSTs and the router must notice passively).
+    KillBackend {
+        /// Index into the fleet's backend list.
+        backend: usize,
+    },
+    /// Wedge backend `backend` by sending it a stalled request
+    /// (`X-Cfmapd-Fault: stall-ms:N`) that pins one of its workers.
+    StallBackend {
+        /// Index into the fleet's backend list.
+        backend: usize,
+        /// Stall length in milliseconds.
+        ms: u64,
+    },
+    /// Gracefully drain backend `backend` (`POST /shutdown`): it keeps
+    /// answering in-flight work but reports `draining` on `/healthz`,
+    /// so a router should steer new traffic away before the shed.
+    DrainBackend {
+        /// Index into the fleet's backend list.
+        backend: usize,
+    },
+}
+
+/// A seeded multi-process chaos scenario: a burst of `requests` mapping
+/// calls with fleet disruptions injected at fixed burst offsets. Same
+/// seed → byte-for-byte the same scenario, so a chaos failure
+/// reproduces from the seed alone (the single-process analogue is
+/// [`FaultPlan`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetPlan {
+    /// The seed the plan was drawn from (printed on failure).
+    pub seed: u64,
+    /// Backends in the fleet.
+    pub backends: usize,
+    /// Total requests in the burst.
+    pub requests: usize,
+    /// `(after_request, event)` pairs, sorted by offset: the event
+    /// fires once the burst has issued that many requests.
+    pub events: Vec<(usize, FleetEvent)>,
+}
+
+impl FleetPlan {
+    /// Draw a scenario deterministically from `seed`: one mid-burst
+    /// kill (the headline disruption — always present, never in the
+    /// first or last fifth of the burst so recovery is observable), and
+    /// with seed-dependent probability a stall of a *different*
+    /// backend before it.
+    pub fn from_seed(seed: u64, backends: usize, requests: usize) -> FleetPlan {
+        assert!(backends >= 2, "a fleet plan needs at least 2 backends");
+        assert!(requests >= 10, "a burst shorter than 10 cannot place a mid-burst kill");
+        let mut rng = Rng::new(seed);
+        let victim = rng.usize_in(0, backends - 1);
+        let kill_at = rng.usize_in(requests / 5, requests - requests / 5 - 1);
+        let mut events = Vec::new();
+        if rng.u64_below(2) == 0 {
+            // A stall on a surviving backend, early in the burst.
+            let mut stalled = rng.usize_in(0, backends - 1);
+            if stalled == victim {
+                stalled = (stalled + 1) % backends;
+            }
+            let stall_at = rng.usize_in(1, (requests / 5).max(2));
+            events.push((
+                stall_at,
+                FleetEvent::StallBackend { backend: stalled, ms: rng.i64_in(20, 120) as u64 },
+            ));
+        }
+        events.push((kill_at, FleetEvent::KillBackend { backend: victim }));
+        events.sort_by_key(|(at, _)| *at);
+        FleetPlan { seed, backends, requests, events }
+    }
+
+    /// The backend the plan kills (every plan kills exactly one).
+    pub fn killed_backend(&self) -> usize {
+        self.events
+            .iter()
+            .find_map(|(_, e)| match e {
+                FleetEvent::KillBackend { backend } => Some(*backend),
+                _ => None,
+            })
+            .expect("every fleet plan contains a kill")
+    }
+
+    /// The burst offset at which the kill fires.
+    pub fn kill_offset(&self) -> usize {
+        self.events
+            .iter()
+            .find_map(|(at, e)| matches!(e, FleetEvent::KillBackend { .. }).then_some(*at))
+            .expect("every fleet plan contains a kill")
+    }
+
+    /// Events due at exactly `sent` requests into the burst.
+    pub fn due_at(&self, sent: usize) -> impl Iterator<Item = &FleetEvent> {
+        self.events.iter().filter(move |(at, _)| *at == sent).map(|(_, e)| e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_plans_replay_identically_from_their_seed() {
+        for seed in [1u64, 0xDEAD, 0xC0FFEE, 42] {
+            let a = FleetPlan::from_seed(seed, 3, 60);
+            let b = FleetPlan::from_seed(seed, 3, 60);
+            assert_eq!(a, b, "seed {seed:#x} must replay byte-for-byte");
+            assert!(a.killed_backend() < 3);
+            let at = a.kill_offset();
+            assert!((12..48).contains(&at), "kill at {at} outside the mid-burst window");
+            // A stall, when present, targets a survivor.
+            for (_, e) in &a.events {
+                if let FleetEvent::StallBackend { backend, .. } = e {
+                    assert_ne!(*backend, a.killed_backend(), "stall must hit a survivor");
+                }
+            }
+        }
+        assert_ne!(
+            FleetPlan::from_seed(7, 3, 60),
+            FleetPlan::from_seed(8, 3, 60),
+            "different seeds should diverge"
+        );
+    }
+
+    #[test]
+    fn fleet_plan_due_at_yields_events_in_order() {
+        let plan = FleetPlan::from_seed(0xFEED, 3, 100);
+        let mut replayed = Vec::new();
+        for sent in 0..=plan.requests {
+            for e in plan.due_at(sent) {
+                replayed.push(e.clone());
+            }
+        }
+        assert_eq!(
+            replayed,
+            plan.events.iter().map(|(_, e)| e.clone()).collect::<Vec<_>>(),
+            "walking the burst must fire every event exactly once, in order"
+        );
+    }
 
     #[test]
     fn plans_replay_identically_from_their_seed() {

@@ -12,10 +12,22 @@ cd "$(dirname "$0")/.."
 # leaked the daemon process and its fifo under /tmp.
 FIFO=/tmp/cfmapd_verify_$$
 OUTFILE=/tmp/cfmapd_out_$$
+B1_FIFO=/tmp/cfmapd_b1_fifo_$$
+B2_FIFO=/tmp/cfmapd_b2_fifo_$$
+R_FIFO=/tmp/cfmapd_r_fifo_$$
+B1_OUT=/tmp/cfmapd_b1_out_$$
+B2_OUT=/tmp/cfmapd_b2_out_$$
+R_OUT=/tmp/cfmapd_r_out_$$
 CFMAPD_PID=
+B1_PID=
+B2_PID=
+R_PID=
 cleanup() {
-    [ -n "$CFMAPD_PID" ] && kill "$CFMAPD_PID" 2>/dev/null
-    rm -f "$FIFO" "$OUTFILE"
+    for pid in "$CFMAPD_PID" "$B1_PID" "$B2_PID" "$R_PID"; do
+        # `|| true` keeps `set -e` from aborting the trap mid-cleanup.
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -f "$FIFO" "$OUTFILE" "$B1_FIFO" "$B2_FIFO" "$R_FIFO" "$B1_OUT" "$B2_OUT" "$R_OUT"
 }
 trap cleanup EXIT INT TERM
 
@@ -84,6 +96,68 @@ echo "$METRICS" | grep -q '^cfmapd_requests_shed_total 0$' \
 exec 9>&-          # close stdin: the daemon drains and exits
 wait "$CFMAPD_PID" || { echo "cfmapd did not exit cleanly"; exit 1; }
 CFMAPD_PID=
+
+echo "== smoke: router — failover across a live 2-backend fleet"
+ROUTER=target/release/cfmapd-router
+mkfifo "$B1_FIFO" "$B2_FIFO" "$R_FIFO"
+"$CFMAPD" --addr 127.0.0.1:0 --watch-stdin < "$B1_FIFO" > "$B1_OUT" &
+B1_PID=$!
+exec 7> "$B1_FIFO"
+"$CFMAPD" --addr 127.0.0.1:0 --watch-stdin < "$B2_FIFO" > "$B2_OUT" &
+B2_PID=$!
+exec 8> "$B2_FIFO"
+for _ in $(seq 1 50); do
+    grep -q "cfmapd listening on" "$B1_OUT" 2>/dev/null \
+        && grep -q "cfmapd listening on" "$B2_OUT" 2>/dev/null && break
+    sleep 0.1
+done
+B1_ADDR=$(sed -n 's/^cfmapd listening on //p' "$B1_OUT")
+B2_ADDR=$(sed -n 's/^cfmapd listening on //p' "$B2_OUT")
+[ -n "$B1_ADDR" ] && [ -n "$B2_ADDR" ] || { echo "backends did not start"; exit 1; }
+# A slow probe loop on purpose: the failover below must be discovered
+# passively (by the forwarded request), not by a lucky health probe.
+"$ROUTER" --backend "$B1_ADDR" --backend "$B2_ADDR" --addr 127.0.0.1:0 \
+    --health-interval-ms 2000 --watch-stdin < "$R_FIFO" > "$R_OUT" &
+R_PID=$!
+exec 6> "$R_FIFO"
+for _ in $(seq 1 50); do
+    grep -q "cfmapd-router listening on" "$R_OUT" 2>/dev/null && break
+    sleep 0.1
+done
+R_ADDR=$(sed -n 's/^cfmapd-router listening on //p' "$R_OUT")
+[ -n "$R_ADDR" ] || { echo "cfmapd-router did not start"; exit 1; }
+"$CFMAP" client --addr "$R_ADDR" --alg matmul --mu 4 --space 1,1,-1 | grep -q "t = 25 cycles" \
+    || { echo "router round trip failed"; exit 1; }
+# Which backend answered? Kill exactly that one, so the repeat request
+# is forced through the failover path.
+SERVING=$("$CFMAP" client --addr "$R_ADDR" --get /metrics \
+    | sed -n 's/^cfmapd_router_requests_total{backend="\([^"]*\)",status="200"}.*/\1/p' | head -n 1)
+case "$SERVING" in
+    "$B1_ADDR") VICTIM_PID=$B1_PID; B1_PID= ;;
+    "$B2_ADDR") VICTIM_PID=$B2_PID; B2_PID= ;;
+    *) echo "metrics did not name the serving backend (got '$SERVING')"; exit 1 ;;
+esac
+kill -9 "$VICTIM_PID"
+"$CFMAP" client --addr "$R_ADDR" --alg matmul --mu 4 --space 1,1,-1 | grep -q "t = 25 cycles" \
+    || { echo "map after backend kill failed: no failover"; exit 1; }
+R_METRICS=$("$CFMAP" client --addr "$R_ADDR" --get /metrics)
+FAILOVERS=$(printf '%s\n' "$R_METRICS" | sed -n 's/^cfmapd_router_failovers_total \([0-9]*\)$/\1/p')
+[ "${FAILOVERS:-0}" -ge 1 ] \
+    || { echo "cfmapd_router_failovers_total = '${FAILOVERS:-missing}', want >= 1"; exit 1; }
+printf '%s\n' "$R_METRICS" | grep -q '^cfmapd_router_backend_up{backend="' \
+    || { echo "/metrics is missing the per-backend up gauge"; exit 1; }
+wait "$VICTIM_PID" 2>/dev/null || true   # reap the SIGKILLed backend
+exec 6>&-          # close the router's stdin: it drains and exits
+wait "$R_PID" || { echo "cfmapd-router did not exit cleanly"; exit 1; }
+R_PID=
+exec 7>&- 8>&-     # the surviving backend follows suit
+for pid in "$B1_PID" "$B2_PID"; do
+    if [ -n "$pid" ]; then
+        wait "$pid" || { echo "backend did not exit cleanly"; exit 1; }
+    fi
+done
+B1_PID=
+B2_PID=
 
 echo "== smoke: chaos — one seeded fault plan against a live daemon"
 # Replays a fixed-seed FaultPlan (slow-loris, disconnects, injected

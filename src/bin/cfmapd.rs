@@ -45,9 +45,9 @@ OPTIONS:
 
 ROUTES:
   POST /map          one mapping request        POST /batch   {\"requests\": [...]}
-  GET  /stats        cache + search counters    GET  /healthz liveness
-  GET  /metrics      Prometheus text format     POST /shutdown drain and exit
-  POST /cache/clear  drop cached designs";
+  GET  /stats        cache + search counters    GET  /healthz liveness (+ draining, queue depth)
+  GET  /metrics      Prometheus text format     GET  /readyz  readiness (503 while draining)
+  POST /cache/clear  drop cached designs        POST /shutdown drain and exit";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

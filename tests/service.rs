@@ -391,6 +391,119 @@ fn json_log_format_writes_structured_access_lines() {
     assert!(entry.get("bytes").and_then(Json::as_i64).unwrap() > 0);
 }
 
+/// Read one `Content-Length`-framed HTTP response off a raw socket:
+/// `(status, lower-cased headers, body)`. Exact framing is what makes
+/// keep-alive reuse byte-safe, so the test reads exactly what the
+/// server frames — no EOF sentinel.
+fn read_framed_response(
+    reader: &mut impl std::io::BufRead,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().expect("numeric Content-Length"))
+        .expect("keep-alive responses must be Content-Length framed");
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("exactly Content-Length body bytes");
+    (status, headers, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    use std::io::{Read, Write};
+
+    let daemon = Daemon::spawn(&[]);
+    let addr = daemon.addr.clone();
+
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    raw.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let body = matmul_request().to_json().serialize();
+
+    // Three requests down one socket: each must be answered in
+    // sequence, exactly framed, with the connection held open.
+    for i in 0..3 {
+        let head = format!(
+            "POST /map HTTP/1.1\r\nHost: {addr}\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        raw.write_all(head.as_bytes()).expect("request head");
+        raw.write_all(body.as_bytes()).expect("request body");
+        let (status, headers, reply) = read_framed_response(&mut reader);
+        assert_eq!(status, 200, "request {i}: {reply}");
+        assert_eq!(
+            headers.iter().find(|(k, _)| k == "connection").map(|(_, v)| v.as_str()),
+            Some("keep-alive"),
+            "request {i} must keep the connection open"
+        );
+        let resp = MapResponse::from_str(&reply).expect("wire body");
+        let MapResponse::Ok(o) = resp else { panic!("request {i}: {resp:?}") };
+        assert_eq!(o.cached, i > 0, "repeats on the same connection hit the cache");
+    }
+
+    // A `Connection: close` request on the same socket is honored: one
+    // last answer, then EOF.
+    let head = format!(
+        "GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    );
+    raw.write_all(head.as_bytes()).expect("final request");
+    let (status, headers, _) = read_framed_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.iter().find(|(k, _)| k == "connection").map(|(_, v)| v.as_str()),
+        Some("close")
+    );
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("clean EOF");
+    assert!(rest.is_empty(), "server must close after Connection: close, not send {rest:?}");
+
+    daemon.stop();
+}
+
+#[test]
+fn healthz_carries_liveness_fields_and_readyz_answers() {
+    let daemon = Daemon::spawn(&["--workers", "2"]);
+    let addr = daemon.addr.clone();
+
+    let reply = client::get(&addr, "/healthz").expect("healthz");
+    assert_eq!(reply.status, 200);
+    let json = parse(&reply.body).expect("healthz is JSON");
+    assert_eq!(json.get("status").and_then(Json::as_str), Some("ok"), "{}", reply.body);
+    assert_eq!(json.get("draining").and_then(Json::as_bool), Some(false), "{}", reply.body);
+    assert_eq!(json.get("queue_depth").and_then(Json::as_i64), Some(0), "{}", reply.body);
+    assert_eq!(json.get("workers").and_then(Json::as_i64), Some(2), "{}", reply.body);
+
+    // Readiness is a separate signal (it flips 503 during a drain; the
+    // drain path itself is covered by the chaos suite).
+    let ready = client::get(&addr, "/readyz").expect("readyz");
+    assert_eq!(ready.status, 200, "{}", ready.body);
+
+    // A bare daemon (no router in front) stamps no backend header; the
+    // client surfaces its absence as None.
+    assert!(reply.backend.is_none(), "X-Cfmapd-Backend is the router's stamp, not the daemon's");
+
+    daemon.stop();
+}
+
 #[test]
 fn watch_stdin_shuts_down_on_eof() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_cfmapd"))
