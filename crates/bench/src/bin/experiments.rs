@@ -55,6 +55,9 @@ fn main() {
     if run("E13") {
         reports.push(e13_hot_path());
     }
+    if run("E14") {
+        reports.push(e14_family_warm_start());
+    }
 
     if json {
         let objs: Vec<String> = reports.iter().map(|r| r.to_json()).collect();

@@ -196,6 +196,48 @@ fn normalize_row(mut row: Vec<i64>) -> Vec<i64> {
     row
 }
 
+/// A digest of the canonicalization's observable *behavior*, not its
+/// source: canonicalize a fixed probe set spanning the interesting cases
+/// (tie groups, permuted axes, scaled/negated space rows, a 4-D
+/// bit-level problem) and hash the resulting canonical keys with FNV-1a.
+/// Any change to the canonical form — sort orders, row normalization,
+/// tie-breaking — moves this value, which is exactly when persisted
+/// cache snapshots keyed under the old form must be refused.
+pub fn canon_fingerprint() -> u64 {
+    use cfmap_model::algorithms;
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x00000100000001b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |v: i64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    let probes: Vec<(Uda, Vec<Vec<i64>>)> = vec![
+        (algorithms::matmul(3), vec![vec![1, 1, -1]]),
+        // The same problem permuted and with the space row scaled and
+        // negated — must collapse onto the matmul key above.
+        (algorithms::matmul(3).permuted_axes(&[2, 0, 1]), vec![vec![2, -2, -2]]),
+        (algorithms::transitive_closure(3), vec![vec![0, 0, 1]]),
+        (algorithms::bitlevel_convolution(2, 3), vec![vec![1, 0, 0, 0], vec![0, 1, 0, 0]]),
+    ];
+    for (alg, rows) in &probes {
+        let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        let canon = canonicalize(alg, &SpaceMap::from_rows(&refs));
+        let p = &canon.problem;
+        eat(p.mu.len() as i64);
+        p.mu.iter().for_each(|&v| eat(v));
+        eat(p.deps.len() as i64);
+        p.deps.iter().flatten().for_each(|&v| eat(v));
+        eat(p.space.len() as i64);
+        p.space.iter().flatten().for_each(|&v| eat(v));
+        eat(canon.perm.len() as i64);
+        canon.perm.iter().for_each(|&v| eat(v as i64));
+    }
+    h
+}
+
 /// All orderings of `items` (lexicographic over positions).
 fn permutations_of(items: &[usize]) -> Vec<Vec<usize>> {
     if items.len() <= 1 {

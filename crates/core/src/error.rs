@@ -110,6 +110,20 @@ pub enum CfmapError {
         /// Where the invariant broke.
         context: String,
     },
+    /// A persisted warm-start snapshot cannot be loaded: its format
+    /// version, canonical-key digest, or checksum disagrees with this
+    /// build. Loading anyway would serve cache entries keyed under a
+    /// *different* canonicalization (silently wrong answers), so the
+    /// mismatch is precise and fatal to the load, never papered over.
+    SnapshotMismatch {
+        /// Which header field disagreed (`version`, `digest`,
+        /// `checksum`, `body`).
+        field: String,
+        /// The value this build requires.
+        expected: String,
+        /// The value found in the snapshot.
+        actual: String,
+    },
 }
 
 impl fmt::Display for CfmapError {
@@ -153,6 +167,12 @@ impl fmt::Display for CfmapError {
                 f,
                 "internal error in {context}: this is a bug in cfmap, not in \
                  the request; please report it with the input that triggered it"
+            ),
+            CfmapError::SnapshotMismatch { field, expected, actual } => write!(
+                f,
+                "snapshot mismatch: {field} is {actual} but this build \
+                 requires {expected}; regenerate the snapshot with \
+                 `cfmap client --get /cache/save` against a matching daemon"
             ),
         }
     }
@@ -213,6 +233,14 @@ mod tests {
             (
                 CfmapError::Internal { context: "solve_parallel worker".into() },
                 "internal error",
+            ),
+            (
+                CfmapError::SnapshotMismatch {
+                    field: "digest".into(),
+                    expected: "0011223344556677".into(),
+                    actual: "8899aabbccddeeff".into(),
+                },
+                "snapshot mismatch",
             ),
         ];
         for (err, needle) in cases {

@@ -1,0 +1,777 @@
+//! Schedule-family inference: affine-in-μ certificates.
+//!
+//! The paper's optima are closed forms in the problem size — matmul's
+//! canonical optimum is `Π(μ) = [μ−1, 2, 1]` with `t° = μ(μ+2)+1`,
+//! transitive closure's is `[1, 1, μ+1]` with `t° = μ(μ+3)+1` — yet a
+//! solver that treats every μ as a fresh problem re-derives them from
+//! scratch each time. This module closes that gap: given ≥ 3 solved
+//! instances of the *same canonical problem shape* at different sizes,
+//! it fits an affine template `Π(p) = a·p + b` by exact rational
+//! interpolation, then tries to discharge the paper's acceptance
+//! conditions **for every** `p ≥ p₀` symbolically:
+//!
+//! * validity `Π(p)·D > 0` — affine in `p`, always decidable
+//!   ([`AffineInt::always_positive`]);
+//! * rank and conflict-freedom — for `r = n − k = 1` the unique conflict
+//!   vector `γ(p)` (Equation 3.2's adjugate) is itself affine in `p`;
+//!   when its pointwise gcd content is provably 1 (resultant bound), the
+//!   feasibility test of Theorem 3.1 becomes an intersection of rational
+//!   intervals, decided exactly;
+//! * the objective form `t(p)` — a quadratic, checked against the
+//!   symbolic `Σ|π_i(p)|·μ_i(p)` when every sign is stable.
+//!
+//! Obligations that are *not* affinely decidable (kernel dimension
+//! `r ≥ 2`, content not provably constant, unstable signs) fall back to
+//! exact spot checks on a deterministic probe set: fresh Procedure 5.1
+//! solves at the next sizes beyond the fitted range, compared
+//! bit-for-bit. The result is a [`FamilyCertificate`] recording the
+//! template, its validity range, which obligations were discharged
+//! symbolically vs. by probing, and the objective form — enough for a
+//! service layer to answer *any* `p ≥ p₀` by matrix fill-in plus one
+//! exact conflict re-check, with zero candidate enumeration.
+//!
+//! Templates are fitted against the [`TieBreak::LexMax`] representative
+//! of the optimum. That is load-bearing: the first-*found* optimum
+//! depends on which conflict vectors happen to collapse (gcd content)
+//! at each concrete μ, and is demonstrably not affine in μ even for
+//! matmul. The lex-greatest accepted schedule of the winning level is
+//! the stable representative the closed forms predict.
+
+use crate::budget::Certification;
+use crate::canon::CanonicalProblem;
+use crate::conflict::ConflictAnalysis;
+use crate::error::CfmapError;
+use crate::mapping::MappingMatrix;
+use crate::search::{Procedure51, TieBreak};
+use cfmap_intlin::{AffineInt, IMat, Int, Rat};
+use cfmap_model::LinearSchedule;
+
+/// The μ-abstracted shape of a canonical problem: everything that stays
+/// fixed across a family, with the parameterized axes marked.
+///
+/// The size parameter `p` of an instance is its largest bound
+/// (`mu.last()`, since canonical `mu` is ascending). An axis whose bound
+/// equals `p` is a parameter axis (`None`); any other axis is pinned to
+/// its constant bound (`Some(c)`). Two canonical problems belong to the
+/// same family iff they agree on dependences, space map, and this
+/// per-axis pattern — "differ only in μ".
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FamilyKey {
+    /// Canonical dependence columns (μ-independent).
+    pub deps: Vec<Vec<i64>>,
+    /// Canonical space rows (μ-independent).
+    pub space: Vec<Vec<i64>>,
+    /// Per-axis bound pattern: `None` ⇒ `μ_i = p`, `Some(c)` ⇒ `μ_i = c`.
+    pub shape: Vec<Option<i64>>,
+}
+
+impl FamilyKey {
+    /// Classify a canonical problem into its family, returning the key
+    /// and the instance's size parameter.
+    pub fn of(problem: &CanonicalProblem) -> (FamilyKey, i64) {
+        let p = *problem.mu.last().expect("canonical problems have ≥ 1 axis");
+        let shape = problem
+            .mu
+            .iter()
+            .map(|&m| if m == p { None } else { Some(m) })
+            .collect();
+        let key = FamilyKey {
+            deps: problem.deps.clone(),
+            space: problem.space.clone(),
+            shape,
+        };
+        (key, p)
+    }
+
+    /// Number of index axes.
+    pub fn dims(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The canonical `μ` vector at size `p`.
+    pub fn mu_at(&self, p: i64) -> Vec<i64> {
+        self.shape.iter().map(|s| s.unwrap_or(p)).collect()
+    }
+
+    /// The canonical problem at size `p`.
+    pub fn problem_at(&self, p: i64) -> CanonicalProblem {
+        CanonicalProblem {
+            mu: self.mu_at(p),
+            deps: self.deps.clone(),
+            space: self.space.clone(),
+        }
+    }
+
+    /// If `mu` matches this family's pattern, return its parameter.
+    pub fn param_of_mu(&self, mu: &[i64]) -> Option<i64> {
+        if mu.len() != self.shape.len() || mu.is_empty() {
+            return None;
+        }
+        let p = *mu.last().expect("nonempty");
+        for (m, s) in mu.iter().zip(&self.shape) {
+            let want = s.unwrap_or(p);
+            if *m != want {
+                return None;
+            }
+        }
+        Some(p)
+    }
+
+    /// Each axis bound as an affine form in `p`.
+    fn mu_forms(&self) -> Vec<AffineInt> {
+        self.shape
+            .iter()
+            .map(|s| match s {
+                Some(c) => AffineInt::from_i64(0, *c),
+                None => AffineInt::from_i64(1, 0),
+            })
+            .collect()
+    }
+}
+
+/// One solved instance of a family: the canonical-coordinates optimum at
+/// one size. Only [`Certification::Optimal`] runs may become instances —
+/// the caller must never feed degraded (best-effort) or infeasible
+/// outcomes to the fitter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FamilyInstance {
+    /// Size parameter (see [`FamilyKey::of`]).
+    pub param: i64,
+    /// Canonical-coordinates optimal schedule (LexMax representative).
+    pub schedule: Vec<i64>,
+    /// Optimal objective `Σ|π_i|μ_i`.
+    pub objective: i64,
+    /// Total execution time `t = objective + 1`.
+    pub total_time: i64,
+}
+
+/// An affine-in-`p` schedule template with its quadratic objective form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FamilyTemplate {
+    /// The family this template covers.
+    pub key: FamilyKey,
+    /// `π_i(p)` — one affine form per axis.
+    pub schedule: Vec<AffineInt>,
+    /// Objective `f(p) = c₀ + c₁·p + c₂·p²` (total time is `f + 1`).
+    pub objective: [i64; 3],
+    /// Smallest fitted size; the certificate covers `p ≥ mu0`.
+    pub mu0: i64,
+}
+
+impl FamilyTemplate {
+    /// Fill in the schedule at size `p` (`None` if an entry overflows i64).
+    pub fn schedule_at(&self, p: i64) -> Option<Vec<i64>> {
+        let pv = Int::from(p);
+        self.schedule.iter().map(|f| f.eval(&pv).to_i64()).collect()
+    }
+
+    /// The objective value at size `p`.
+    pub fn objective_at(&self, p: i64) -> Option<i64> {
+        let [c0, c1, c2] = self.objective;
+        c2.checked_mul(p)?
+            .checked_add(c1)?
+            .checked_mul(p)?
+            .checked_add(c0)
+    }
+}
+
+/// How a proof obligation of the acceptance conditions was discharged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discharge {
+    /// Proved for every `p ≥ mu0` by symbolic (affine/interval) reasoning.
+    Symbolic,
+    /// Validated exactly at the fitted and probed sizes only; every
+    /// instantiation additionally re-checks the condition for its own μ.
+    Probed,
+}
+
+/// One acceptance condition and how it was discharged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofObligation {
+    /// `"validity"`, `"rank"`, `"conflict-freedom"` or `"objective-form"`.
+    pub name: &'static str,
+    /// How it was proved.
+    pub discharge: Discharge,
+}
+
+/// A certified schedule family: template, validity range, the proof
+/// obligations discharged, and the evidence set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FamilyCertificate {
+    /// The fitted and verified template.
+    pub template: FamilyTemplate,
+    /// Sizes of the solver-proven instances the template was fitted on.
+    pub fitted: Vec<i64>,
+    /// Sizes spot-checked by fresh solves (bit-identical comparison).
+    pub probes: Vec<i64>,
+    /// Acceptance conditions and how each was discharged.
+    pub obligations: Vec<ProofObligation>,
+}
+
+impl FamilyCertificate {
+    /// True if every obligation was discharged symbolically.
+    pub fn fully_symbolic(&self) -> bool {
+        self.obligations.iter().all(|o| o.discharge == Discharge::Symbolic)
+    }
+}
+
+/// Why a family failed to certify.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertifyError {
+    /// Fewer than [`MIN_INSTANCES`] distinct sizes observed.
+    TooFewInstances {
+        /// Distinct sizes available.
+        have: usize,
+    },
+    /// The instances do not lie on one affine template (or the
+    /// interpolated coefficients are not integers).
+    NonAffine {
+        /// What deviated.
+        what: String,
+    },
+    /// Symbolic verification found a size at which the template breaks.
+    Refuted {
+        /// Which acceptance condition fails.
+        obligation: &'static str,
+        /// A size at which it fails.
+        witness: i64,
+    },
+    /// A probe solve disagreed with the template's prediction.
+    ProbeMismatch {
+        /// The probed size.
+        param: i64,
+    },
+    /// A probe solve itself failed.
+    Search(CfmapError),
+}
+
+impl std::fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertifyError::TooFewInstances { have } => {
+                write!(f, "need ≥ {MIN_INSTANCES} distinct sizes, have {have}")
+            }
+            CertifyError::NonAffine { what } => write!(f, "not affine in μ: {what}"),
+            CertifyError::Refuted { obligation, witness } => {
+                write!(f, "{obligation} refuted at μ = {witness}")
+            }
+            CertifyError::ProbeMismatch { param } => {
+                write!(f, "probe solve at μ = {param} disagrees with template")
+            }
+            CertifyError::Search(e) => write!(f, "probe solve failed: {e}"),
+        }
+    }
+}
+
+impl CertifyError {
+    /// Short stable label for metrics (`cfmapd_family_fit_total{outcome}`).
+    pub fn outcome_label(&self) -> &'static str {
+        match self {
+            CertifyError::TooFewInstances { .. } => "too_few",
+            CertifyError::NonAffine { .. } => "rejected_nonaffine",
+            CertifyError::Refuted { .. } => "rejected_refuted",
+            CertifyError::ProbeMismatch { .. } => "rejected_probe",
+            CertifyError::Search(_) => "probe_error",
+        }
+    }
+}
+
+/// Minimum distinct fitted sizes before a template may be inferred.
+pub const MIN_INSTANCES: usize = 3;
+
+/// Number of deterministic probe sizes beyond the fitted range.
+pub const PROBE_COUNT: usize = 2;
+
+/// Fit an affine template through the instances by exact rational
+/// interpolation and verify every instance reproduces bit-for-bit.
+///
+/// The slope is interpolated from the extreme sizes; intermediate
+/// instances are consistency witnesses — any deviation (including
+/// non-integer coefficients) rejects the family as non-affine.
+pub fn fit(key: &FamilyKey, instances: &[FamilyInstance]) -> Result<FamilyTemplate, CertifyError> {
+    let mut sorted: Vec<&FamilyInstance> = instances.iter().collect();
+    sorted.sort_by_key(|i| i.param);
+    sorted.dedup_by_key(|i| i.param);
+    if sorted.len() < MIN_INSTANCES {
+        return Err(CertifyError::TooFewInstances { have: sorted.len() });
+    }
+    let n = key.dims();
+    let (first, last) = (sorted[0], sorted[sorted.len() - 1]);
+    if first.schedule.len() != n || last.schedule.len() != n {
+        return Err(CertifyError::NonAffine { what: "schedule dimension mismatch".into() });
+    }
+    let dp = last.param - first.param;
+    let mut schedule = Vec::with_capacity(n);
+    for i in 0..n {
+        let dy = last.schedule[i] - first.schedule[i];
+        if dy % dp != 0 {
+            return Err(CertifyError::NonAffine {
+                what: format!("π_{i} slope {dy}/{dp} is not an integer"),
+            });
+        }
+        let slope = dy / dp;
+        let offset = first.schedule[i] - slope * first.param;
+        schedule.push(AffineInt::from_i64(slope, offset));
+    }
+    // Objective: exact quadratic through (p, f) at the first, middle and
+    // last fitted sizes.
+    let mid = sorted[sorted.len() / 2];
+    let objective = quadratic_through(
+        [(first.param, first.objective), (mid.param, mid.objective), (last.param, last.objective)],
+    )
+    .ok_or_else(|| CertifyError::NonAffine {
+        what: "objective does not lie on an integer quadratic".into(),
+    })?;
+    let template =
+        FamilyTemplate { key: key.clone(), schedule, objective, mu0: first.param };
+    // Every instance must reproduce exactly — schedule, objective, time.
+    for inst in &sorted {
+        let pred = template
+            .schedule_at(inst.param)
+            .filter(|s| s[..] == inst.schedule[..])
+            .is_some();
+        let obj_ok = template.objective_at(inst.param) == Some(inst.objective)
+            && inst.total_time == inst.objective + 1;
+        if !pred || !obj_ok {
+            return Err(CertifyError::NonAffine {
+                what: format!("instance at μ = {} deviates from the template", inst.param),
+            });
+        }
+    }
+    Ok(template)
+}
+
+/// Exact quadratic `c₀ + c₁p + c₂p²` through three integer points, if
+/// its coefficients are integers (Lagrange over `Rat`).
+fn quadratic_through(pts: [(i64, i64); 3]) -> Option<[i64; 3]> {
+    let [a, b, c] = pts;
+    if a.0 == b.0 || b.0 == c.0 || a.0 == c.0 {
+        return None;
+    }
+    // Newton's divided differences: f[a], f[a,b], f[a,b,c].
+    let d0 = Rat::from_i64(a.1);
+    let d1 = Rat::new(Int::from(b.1 - a.1), Int::from(b.0 - a.0));
+    let d2a = Rat::new(Int::from(c.1 - b.1), Int::from(c.0 - b.0));
+    let d2 = &(&d2a - &d1) / &Rat::from_i64(c.0 - a.0);
+    // p(x) = d0 + d1(x−a) + d2(x−a)(x−b)
+    //      = [d0 − d1·a + d2·a·b] + [d1 − d2(a+b)]·x + d2·x².
+    let (pa, pb) = (Rat::from_i64(a.0), Rat::from_i64(b.0));
+    let c2 = d2.clone();
+    let c1 = &d1 - &(&d2 * &(&pa + &pb));
+    let c0 = &(&d0 - &(&d1 * &pa)) + &(&d2 * &(&pa * &pb));
+    Some([
+        c0.to_int()?.to_i64()?,
+        c1.to_int()?.to_i64()?,
+        c2.to_int()?.to_i64()?,
+    ])
+}
+
+/// Symbolically verify a fitted template for **all** `p ≥ mu0`,
+/// recording per-obligation discharges. `Err` means the template is
+/// *refuted* — it provably breaks at some size, so no certificate may be
+/// issued at all.
+fn verify_symbolic(template: &FamilyTemplate) -> Result<Vec<ProofObligation>, CertifyError> {
+    let key = &template.key;
+    let n = key.dims();
+    let k = key.space.len() + 1;
+    let mu0 = Int::from(template.mu0);
+    let mus = key.mu_forms();
+    let mut obligations = Vec::new();
+
+    // Validity Π(p)·D > 0: one affine inequality per dependence column —
+    // always decidable.
+    for (ci, col) in key.deps.iter().enumerate() {
+        let mut form = AffineInt::zero();
+        for (pi, d) in template.schedule.iter().zip(col) {
+            form = form.add(&pi.scale(&Int::from(*d)));
+        }
+        if !form.always_positive(&mu0) {
+            // Find the first failing size as the witness.
+            let witness = (template.mu0..template.mu0 + 64)
+                .find(|&p| {
+                    template
+                        .schedule_at(p)
+                        .map(|s| s.iter().zip(col).map(|(a, b)| a * b).sum::<i64>() <= 0)
+                        .unwrap_or(true)
+                })
+                .unwrap_or(template.mu0);
+            let _ = ci;
+            return Err(CertifyError::Refuted { obligation: "validity", witness });
+        }
+    }
+    obligations.push(ProofObligation { name: "validity", discharge: Discharge::Symbolic });
+
+    // Rank + conflict-freedom. Symbolic route: r = n − k = 1, where the
+    // unique conflict vector γ(p) (Equation 3.2 adjugate) is affine in p.
+    let symbolic_conflict = if n == k + 1 {
+        match symbolic_gamma(template) {
+            Some(gamma) => {
+                // Pointwise content bound: content(p) divides every
+                // pairwise resultant and every constant entry.
+                let mut bound = Int::zero();
+                for (i, gi) in gamma.iter().enumerate() {
+                    if gi.is_constant() {
+                        bound = bound.gcd(&gi.offset);
+                    }
+                    for gj in &gamma[i + 1..] {
+                        bound = bound.gcd(&cfmap_intlin::affine::pairwise_cross(gi, gj));
+                    }
+                }
+                if bound.is_one() {
+                    // content ≡ 1: γ(p) is the primitive kernel vector at
+                    // every p (in particular nonzero ⇒ rank k holds), and
+                    // Theorem 3.1 feasibility is a rational-interval
+                    // problem: the sizes where *no* entry escapes the box
+                    // are ∩_i { |γ_i(p)| ≤ μ_i(p) }.
+                    let mut bad = cfmap_intlin::RatInterval::all();
+                    for (gi, mi) in gamma.iter().zip(&mus) {
+                        // |γ_i| ≤ μ_i  ⟺  μ_i − γ_i ≥ 0 ∧ μ_i + γ_i ≥ 0.
+                        let upper = mi.sub(gi).nonneg_interval();
+                        let lower = mi.add(gi).nonneg_interval();
+                        bad = bad.intersect(&upper).intersect(&lower);
+                    }
+                    if let Some(w) = bad.first_integer_at_least(&mu0) {
+                        let witness = w.to_i64().unwrap_or(template.mu0);
+                        return Err(CertifyError::Refuted {
+                            obligation: "conflict-freedom",
+                            witness,
+                        });
+                    }
+                    true
+                } else {
+                    false // content may collapse at some sizes — probe
+                }
+            }
+            None => false,
+        }
+    } else {
+        false // r ≥ 2: kernel not one-dimensional — probe
+    };
+    let discharge = if symbolic_conflict { Discharge::Symbolic } else { Discharge::Probed };
+    obligations.push(ProofObligation { name: "rank", discharge });
+    obligations.push(ProofObligation { name: "conflict-freedom", discharge });
+
+    // Objective form: when every π_i(p) has a stable sign on the ray,
+    // Σ|π_i(p)|·μ_i(p) is a concrete quadratic to compare against.
+    let mut signs = Vec::with_capacity(n);
+    let mut stable = true;
+    for pi in &template.schedule {
+        if pi.is_zero() {
+            signs.push(0i64);
+        } else if pi.always_positive(&mu0) {
+            signs.push(1);
+        } else if pi.neg().always_positive(&mu0) {
+            signs.push(-1);
+        } else {
+            stable = false;
+            break;
+        }
+    }
+    let objective_discharge = if stable {
+        // Σ σ_i·π_i(p)·μ_i(p): accumulate quadratic coefficients in Int.
+        let mut acc = [Int::zero(), Int::zero(), Int::zero()];
+        for ((pi, mi), s) in template.schedule.iter().zip(&mus).zip(&signs) {
+            let sv = Int::from(*s);
+            let p = pi.scale(&sv);
+            acc[0] = &acc[0] + &(&p.offset * &mi.offset);
+            acc[1] = &(&acc[1] + &(&p.slope * &mi.offset)) + &(&p.offset * &mi.slope);
+            acc[2] = &acc[2] + &(&p.slope * &mi.slope);
+        }
+        let fitted = [
+            Int::from(template.objective[0]),
+            Int::from(template.objective[1]),
+            Int::from(template.objective[2]),
+        ];
+        if acc == fitted {
+            Discharge::Symbolic
+        } else {
+            // The fitted quadratic went through solver-proven points yet
+            // disagrees with the symbolic form: the family's objective is
+            // not this quadratic. Refuse to certify.
+            return Err(CertifyError::Refuted {
+                obligation: "objective-form",
+                witness: template.mu0,
+            });
+        }
+    } else {
+        Discharge::Probed
+    };
+    obligations.push(ProofObligation { name: "objective-form", discharge: objective_discharge });
+    Ok(obligations)
+}
+
+/// The adjugate conflict vector of `T(p) = [S; Π(p)]` as affine forms —
+/// `γ_i(p) = (−1)^i · det(T(p) without column i)`. Each determinant is
+/// linear in the single affine row, so two exact evaluations determine
+/// it; a third is verified as a guard. `None` if the family is not
+/// square in the required sense or the interpolation check fails.
+fn symbolic_gamma(template: &FamilyTemplate) -> Option<Vec<AffineInt>> {
+    let key = &template.key;
+    let n = key.dims();
+    let p0 = template.mu0;
+    let at = |p: i64| -> Option<Vec<Int>> {
+        let pi = template.schedule_at(p)?;
+        let mut rows: Vec<&[i64]> = key.space.iter().map(Vec::as_slice).collect();
+        rows.push(&pi);
+        let t = IMat::from_rows(&rows);
+        if t.nrows() + 1 != n {
+            return None;
+        }
+        let cols: Vec<usize> = (0..n).collect();
+        let mut gamma = Vec::with_capacity(n);
+        for i in 0..n {
+            let keep: Vec<usize> =
+                cols.iter().copied().filter(|&c| c != i).collect();
+            let d = t.select_cols(&keep).det();
+            gamma.push(if i % 2 == 0 { d } else { -d });
+        }
+        Some(gamma)
+    };
+    let (g0, g1, g2) = (at(p0)?, at(p0 + 1)?, at(p0 + 2)?);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let slope = &g1[i] - &g0[i];
+        let offset = &g0[i] - &(&slope * &Int::from(p0));
+        let form = AffineInt::new(slope, offset);
+        // Guard: the adjugate must be affine (it is by construction; a
+        // failed check means an arithmetic precondition was violated).
+        if form.eval(&Int::from(p0 + 2)) != g2[i] {
+            return None;
+        }
+        out.push(form);
+    }
+    // Divide out the constant coefficient content (scaling γ is free).
+    let mut g = Int::zero();
+    for f in &out {
+        g = g.gcd(&f.coeff_gcd());
+    }
+    if g.is_zero() {
+        return None; // γ ≡ 0: degenerate (rank < k for every p)
+    }
+    if !g.is_one() {
+        for f in &mut out {
+            *f = f.exact_div(&g);
+        }
+    }
+    Some(out)
+}
+
+/// Solve the family's canonical problem at size `p` exactly as the
+/// service's cold path does: Procedure 5.1 with the LexMax tie-break and
+/// the default objective cap. Certificates are only bit-identical to
+/// cold solves because both sides run *this* configuration.
+pub fn cold_solve(
+    key: &FamilyKey,
+    p: i64,
+) -> Result<Option<FamilyInstance>, CfmapError> {
+    let problem = key.problem_at(p);
+    let alg = problem.uda("family-probe");
+    let space = problem.space_map();
+    let outcome = Procedure51::new(&alg, &space)
+        .tie_break(TieBreak::LexMax)
+        .solve()?;
+    if !matches!(outcome.certification, Certification::Optimal) {
+        return Ok(None);
+    }
+    let opt = outcome.into_mapping().expect("optimal outcome carries a mapping");
+    Ok(Some(FamilyInstance {
+        param: p,
+        schedule: opt.schedule.as_slice().to_vec(),
+        objective: opt.objective,
+        total_time: opt.total_time,
+    }))
+}
+
+/// Fit, symbolically verify, and probe a family. On success the
+/// certificate covers every `p ≥ mu0` (obligations as recorded); on
+/// failure the error says whether the family is non-affine, refuted, or
+/// failed a probe.
+///
+/// The probe set is deterministic: the [`PROBE_COUNT`] sizes immediately
+/// after the largest fitted size. Probes are full cold solves compared
+/// bit-for-bit, so they double as optimality spot checks beyond the
+/// fitted range.
+pub fn certify(
+    key: &FamilyKey,
+    instances: &[FamilyInstance],
+) -> Result<FamilyCertificate, CertifyError> {
+    let template = fit(key, instances)?;
+    let obligations = verify_symbolic(&template)?;
+    let mut fitted: Vec<i64> = instances.iter().map(|i| i.param).collect();
+    fitted.sort_unstable();
+    fitted.dedup();
+    let p_max = *fitted.last().expect("nonempty after fit");
+    let mut probes = Vec::with_capacity(PROBE_COUNT);
+    for step in 1..=PROBE_COUNT as i64 {
+        let p = p_max + step;
+        let solved = cold_solve(key, p).map_err(CertifyError::Search)?;
+        let inst = solved.ok_or(CertifyError::ProbeMismatch { param: p })?;
+        let ok = template.schedule_at(p).as_deref() == Some(&inst.schedule[..])
+            && template.objective_at(p) == Some(inst.objective);
+        if !ok {
+            return Err(CertifyError::ProbeMismatch { param: p });
+        }
+        probes.push(p);
+    }
+    Ok(FamilyCertificate { template, fitted, probes, obligations })
+}
+
+/// A design instantiated from a certificate: the filled-in schedule with
+/// its objective — produced with **zero** candidate enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstantiatedDesign {
+    /// Canonical-coordinates schedule `Π(p)`.
+    pub schedule: Vec<i64>,
+    /// Objective `Σ|π_i|μ_i`.
+    pub objective: i64,
+    /// Total execution time `objective + 1`.
+    pub total_time: i64,
+}
+
+/// Answer a canonical problem from a certificate: match the family
+/// pattern, fill in `Π(p)`, and run one exact acceptance re-check
+/// (validity, rank, conflict-freedom) for this concrete μ — no search.
+/// `None` when the problem is outside the certificate's range or the
+/// re-check fails (callers then fall back to the solver).
+pub fn instantiate(
+    cert: &FamilyCertificate,
+    problem: &CanonicalProblem,
+) -> Option<InstantiatedDesign> {
+    let template = &cert.template;
+    if problem.deps != template.key.deps || problem.space != template.key.space {
+        return None;
+    }
+    let p = template.key.param_of_mu(&problem.mu)?;
+    if p < template.mu0 {
+        return None;
+    }
+    let schedule = template.schedule_at(p)?;
+    let objective = template.objective_at(p)?;
+    // Exact re-check of every acceptance condition at this μ.
+    let alg = problem.uda("family-instance");
+    let space = problem.space_map();
+    let pi = LinearSchedule::new(&schedule);
+    if !pi.is_valid_for(&alg.deps) {
+        return None;
+    }
+    let mapping = MappingMatrix::new(space, pi);
+    let analysis = ConflictAnalysis::new(&mapping, &alg.index_set);
+    if analysis.rank() != mapping.k() || !analysis.is_conflict_free_exact() {
+        return None;
+    }
+    // The objective the paper's search would report for this schedule.
+    let recomputed: i64 = schedule
+        .iter()
+        .zip(alg.index_set.mu())
+        .map(|(s, m)| s.abs() * m)
+        .sum();
+    if recomputed != objective {
+        return None;
+    }
+    Some(InstantiatedDesign { schedule, objective, total_time: objective + 1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonicalize;
+    use crate::mapping::SpaceMap;
+    use cfmap_model::algorithms;
+
+    fn matmul_instances(sizes: &[i64]) -> (FamilyKey, Vec<FamilyInstance>) {
+        let mut key = None;
+        let mut out = Vec::new();
+        for &mu in sizes {
+            let alg = algorithms::matmul(mu);
+            let s = SpaceMap::row(&[1, 1, -1]);
+            let canon = canonicalize(&alg, &s);
+            let (k, p) = FamilyKey::of(&canon.problem);
+            assert_eq!(p, mu);
+            key.get_or_insert(k.clone());
+            assert_eq!(key.as_ref(), Some(&k), "one family across sizes");
+            let inst = cold_solve(&k, p).unwrap().unwrap();
+            out.push(inst);
+        }
+        (key.unwrap(), out)
+    }
+
+    #[test]
+    fn matmul_family_certifies_fully_symbolically() {
+        let (key, instances) = matmul_instances(&[2, 3, 4]);
+        let cert = certify(&key, &instances).expect("matmul is an affine family");
+        // Canonical matmul optimum: Π(μ) = [μ−1, 2, 1], t = μ(μ+2)+1.
+        assert_eq!(
+            cert.template.schedule,
+            vec![
+                AffineInt::from_i64(1, -1),
+                AffineInt::from_i64(0, 2),
+                AffineInt::from_i64(0, 1)
+            ]
+        );
+        assert_eq!(cert.template.objective, [0, 2, 1]); // μ² + 2μ
+        assert!(cert.fully_symbolic(), "{:?}", cert.obligations);
+        assert_eq!(cert.probes, vec![5, 6]);
+
+        // Instantiation far outside the fitted range is bit-identical to
+        // a cold solve with zero enumeration.
+        for p in [9, 17, 40] {
+            let inst = instantiate(&cert, &key.problem_at(p)).expect("in range");
+            let cold = cold_solve(&key, p).unwrap().unwrap();
+            assert_eq!(inst.schedule, cold.schedule, "μ = {p}");
+            assert_eq!(inst.objective, cold.objective);
+            assert_eq!(inst.total_time, cold.total_time);
+        }
+    }
+
+    #[test]
+    fn non_affine_data_refuses_to_certify() {
+        // π₀ = (p+1)² is the real growth of the bit-level matmul family —
+        // quadratic, so the affine fitter must refuse.
+        let key = FamilyKey {
+            deps: vec![vec![1, 0], vec![0, 1]],
+            space: vec![vec![1, 0]],
+            shape: vec![None, None],
+        };
+        let quad = |p: i64| FamilyInstance {
+            param: p,
+            schedule: vec![(p + 1) * (p + 1), 1],
+            objective: p * ((p + 1) * (p + 1) + 1),
+            total_time: p * ((p + 1) * (p + 1) + 1) + 1,
+        };
+        let err = certify(&key, &[quad(2), quad(3), quad(4)]).unwrap_err();
+        assert!(matches!(err, CertifyError::NonAffine { .. }), "{err:?}");
+        assert_eq!(err.outcome_label(), "rejected_nonaffine");
+    }
+
+    #[test]
+    fn too_few_instances_refuse() {
+        let (key, mut instances) = matmul_instances(&[2, 3]);
+        let err = certify(&key, &instances).unwrap_err();
+        assert!(matches!(err, CertifyError::TooFewInstances { have: 2 }));
+        // Duplicate params do not count.
+        instances.push(instances[0].clone());
+        let err = certify(&key, &instances).unwrap_err();
+        assert!(matches!(err, CertifyError::TooFewInstances { have: 2 }));
+    }
+
+    #[test]
+    fn tampered_instance_is_inconsistent() {
+        let (key, mut instances) = matmul_instances(&[2, 3, 4]);
+        instances[1].schedule[0] += 1; // middle witness off the line
+        let err = certify(&key, &instances).unwrap_err();
+        assert!(matches!(err, CertifyError::NonAffine { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn instantiate_rejects_outside_family() {
+        let (key, instances) = matmul_instances(&[2, 3, 4]);
+        let cert = certify(&key, &instances).unwrap();
+        // Below the fitted range.
+        assert!(instantiate(&cert, &key.problem_at(1)).is_none());
+        // A different problem shape.
+        let alg = algorithms::transitive_closure(9);
+        let s = SpaceMap::row(&[0, 0, 1]);
+        let canon = canonicalize(&alg, &s);
+        assert!(instantiate(&cert, &canon.problem).is_none());
+    }
+}

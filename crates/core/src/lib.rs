@@ -22,6 +22,7 @@
 //! | Problem 6.1 (space-optimal mapping — the paper's future work) | [`space_search`] |
 //! | Problem 6.2 (joint `S`, `Π` optimization — future work) | [`joint_search`] |
 //! | search effort / observability counters (not in the paper) | [`metrics`] |
+//! | affine-in-μ schedule families & certificates (not in the paper) | [`family`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +34,7 @@ pub mod conditions;
 pub mod conflict;
 pub mod diagnose;
 pub mod error;
+pub mod family;
 pub mod ilp;
 pub mod joint_search;
 pub mod mapping;
@@ -44,13 +46,17 @@ pub mod search;
 pub mod space_search;
 
 pub use budget::{BudgetMeter, CancelToken, Certification, Deadline, SearchBudget, SearchOutcome};
-pub use canon::{canonicalize, Canonicalization, CanonicalProblem};
+pub use canon::{canon_fingerprint, canonicalize, Canonicalization, CanonicalProblem};
 pub use conflict::{ConflictAnalysis, Feasibility};
 pub use error::{BudgetLimit, CfmapError};
+pub use family::{
+    certify, instantiate, CertifyError, Discharge, FamilyCertificate, FamilyInstance, FamilyKey,
+    FamilyTemplate, InstantiatedDesign, ProofObligation,
+};
 pub use diagnose::{diagnose, Check, MappingDiagnosis};
 pub use mapping::{InterconnectionPrimitives, MappingMatrix, SpaceMap};
 pub use metrics::{ConditionRule, SearchTelemetry};
 pub use schedulability::{find_valid_schedule, is_schedulable};
-pub use search::{OptimalMapping, Procedure51};
+pub use search::{OptimalMapping, Procedure51, TieBreak};
 pub use space_search::{SpaceOptimalMapping, SpaceSearch};
 pub use joint_search::{JointCriterion, JointOptimal, JointSearch};

@@ -97,6 +97,7 @@ pub struct Procedure51<'a> {
     primitives: Option<&'a InterconnectionPrimitives>,
     max_objective: i64,
     budget: SearchBudget,
+    tie_break: TieBreak,
     cancel: Option<&'a CancelToken>,
     /// Column indices where `S` is entirely zero — used by the exact
     /// pairwise pre-filter (see [`Self::pairwise_prefilter_rejects`]).
@@ -109,6 +110,30 @@ pub struct Procedure51<'a> {
 /// A per-candidate instrumentation hook (see
 /// [`Procedure51::candidate_probe`]).
 type CandidateProbe<'a> = &'a (dyn Fn(&[i64]) + Sync);
+
+/// How ties among equally-optimal schedules at the winning objective
+/// level are broken.
+///
+/// Every candidate at the first level with an acceptance is optimal in
+/// the paper's objective `Σ|π_i|μ_i`, so the choice among them is pure
+/// convention — but the convention matters operationally. `FirstFound`
+/// depends on which conflict vectors happen to collapse (gcd content)
+/// at each concrete μ, so the representative jumps around as μ varies.
+/// `LexMax` picks the extremal accepted schedule of the level, which is
+/// stable across μ for the paper's algorithm families — the property
+/// the family-inference layer (affine-in-μ certificates) relies on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TieBreak {
+    /// Return the first accepted candidate in enumeration order and stop
+    /// (the historic behavior, and the default).
+    #[default]
+    FirstFound,
+    /// Screen the whole winning level and return the lexicographically
+    /// greatest accepted schedule (standard `[i64]` ordering). Costs the
+    /// remainder of one level's screening; yields a μ-stable canonical
+    /// representative of the optimum.
+    LexMax,
+}
 
 impl<'a> Procedure51<'a> {
     /// Start a search for `alg` with the given space mapping.
@@ -133,6 +158,7 @@ impl<'a> Procedure51<'a> {
             primitives: None,
             max_objective: cap,
             budget: SearchBudget::unlimited(),
+            tie_break: TieBreak::default(),
             cancel: None,
             zero_space_cols,
             probe: None,
@@ -190,6 +216,17 @@ impl<'a> Procedure51<'a> {
         self
     }
 
+    /// Select how ties at the winning objective level are broken
+    /// (default: [`TieBreak::FirstFound`]). With [`TieBreak::LexMax`] a
+    /// budget or cancellation that trips mid-level returns the best
+    /// representative screened so far — still tagged optimal, since the
+    /// objective level was already proven, and still deterministic for
+    /// equal budgets.
+    pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.tie_break = tie_break;
+        self
+    }
+
     /// Make the search poll a [`CancelToken`] once per candidate.
     /// Cancellation degrades like a tripped budget ([`BudgetLimit::Cancelled`])
     /// within one candidate's latency.
@@ -242,7 +279,9 @@ impl<'a> Procedure51<'a> {
             let mut tripped: Option<BudgetLimit> = None;
             let level_start = tel.enumerated;
             enumerate_weighted(n, mu, cost, &mut |pi| {
-                if found.is_some() || tripped.is_some() {
+                if tripped.is_some()
+                    || (found.is_some() && self.tie_break == TieBreak::FirstFound)
+                {
                     return;
                 }
                 let limit = meter.charge_candidate().or_else(|| self.cancel_tripped());
@@ -251,14 +290,25 @@ impl<'a> Procedure51<'a> {
                     self.try_candidate(pi, cost, meter.candidates, &mut tel, prefix.as_ref(), &mut ws)
                 {
                     tel.accepted += 1;
-                    found = Some(result);
+                    let improves = found
+                        .as_ref()
+                        .is_none_or(|cur| pi > cur.schedule.as_slice());
+                    if improves {
+                        found = Some(result);
+                    }
+                    tripped = tripped.or(limit);
                 } else {
                     tripped = limit;
                 }
             });
             let level_accepted = u64::from(found.is_some());
             tel.record_level(cost, tel.enumerated - level_start, level_accepted);
-            if let Some(win) = found {
+            if let Some(mut win) = found {
+                if self.tie_break == TieBreak::LexMax {
+                    // The winner may have been screened mid-level; report
+                    // the whole level's effort (matches solve_parallel).
+                    win.candidates_examined = meter.candidates;
+                }
                 return Ok(SearchOutcome::optimal(win, meter.candidates).with_telemetry(tel));
             }
             if let Some(limit) = tripped {
@@ -541,15 +591,27 @@ impl<'a> Procedure51<'a> {
                         scope.spawn(move || {
                             let mut wtel = SearchTelemetry::default();
                             let mut ws = HnfWorkspace::new();
-                            let mut hit = None;
+                            let mut hit: Option<(usize, OptimalMapping)> = None;
                             for (off, pi) in slice.iter().enumerate() {
                                 wtel.enumerated += 1;
                                 if let Some(r) =
                                     self.try_candidate(pi, cost, 0, &mut wtel, prefix_ref, &mut ws)
                                 {
                                     wtel.accepted += 1;
-                                    hit = Some((ci * chunk + off, r));
-                                    break;
+                                    match self.tie_break {
+                                        TieBreak::FirstFound => {
+                                            hit = Some((ci * chunk + off, r));
+                                            break;
+                                        }
+                                        TieBreak::LexMax => {
+                                            let improves = hit.as_ref().is_none_or(|(_, cur)| {
+                                                pi.as_slice() > cur.schedule.as_slice()
+                                            });
+                                            if improves {
+                                                hit = Some((ci * chunk + off, r));
+                                            }
+                                        }
+                                    }
                                 }
                             }
                             (hit, wtel)
@@ -577,13 +639,23 @@ impl<'a> Procedure51<'a> {
                     ),
                 });
             }
-            let best = hits.into_iter().min_by_key(|(i, _)| *i);
+            let best = match self.tie_break {
+                TieBreak::FirstFound => hits.into_iter().min_by_key(|(i, _)| *i),
+                TieBreak::LexMax => hits
+                    .into_iter()
+                    .max_by(|a, b| a.1.schedule.as_slice().cmp(b.1.schedule.as_slice())),
+            };
             tel.merge(&level_tel); // workers record no levels of their own
             tel.record_level(cost, level_tel.enumerated, level_tel.accepted);
             if let Some((idx, mut win)) = best {
-                win.candidates_examined = examined_before + idx as u64 + 1;
-                return Ok(SearchOutcome::optimal(win, examined_before + idx as u64 + 1)
-                    .with_telemetry(tel));
+                let examined = match self.tie_break {
+                    // Sequential equivalence: FirstFound stops at the
+                    // winner's index, LexMax screens the whole level.
+                    TieBreak::FirstFound => examined_before + idx as u64 + 1,
+                    TieBreak::LexMax => examined_before + level.len() as u64,
+                };
+                win.candidates_examined = examined;
+                return Ok(SearchOutcome::optimal(win, examined).with_telemetry(tel));
             }
             examined_before += level.len() as u64;
         }

@@ -1,0 +1,56 @@
+//! Golden canonical keys.
+//!
+//! The design cache, the router's consistent-hash placement, and the
+//! warm-start snapshot format all key on [`CanonicalProblem`] — so the
+//! canonicalization's *observable output* is a compatibility surface,
+//! not an implementation detail. These tests pin the exact canonical
+//! forms of the two paper workloads plus [`canon_fingerprint`], the
+//! digest stamped into every snapshot header.
+//!
+//! If a change to the canonicalizer breaks one of these assertions, it
+//! invalidates every snapshot in the fleet. That can be the right call —
+//! but it must be deliberate: update the goldens *and* bump the snapshot
+//! story (the digest change already makes old snapshots refuse to load
+//! with a precise `SnapshotMismatch`, which is the designed failure
+//! mode), and say so in the changelog.
+
+use cfmap_core::{canon_fingerprint, canonicalize, SpaceMap};
+use cfmap_model::algorithms;
+
+#[test]
+fn matmul_canonical_key_is_pinned() {
+    let alg = algorithms::matmul(3);
+    let p = canonicalize(&alg, &SpaceMap::row(&[1, 1, -1])).problem;
+    assert_eq!(p.mu, vec![3, 3, 3]);
+    assert_eq!(p.deps, vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]]);
+    assert_eq!(p.space, vec![vec![1, -1, -1]]);
+}
+
+#[test]
+fn transitive_closure_canonical_key_is_pinned() {
+    let alg = algorithms::transitive_closure(3);
+    let p = canonicalize(&alg, &SpaceMap::row(&[0, 0, 1])).problem;
+    assert_eq!(p.mu, vec![3, 3, 3]);
+    assert_eq!(
+        p.deps,
+        vec![vec![-1, -1, 1], vec![-1, 0, 1], vec![0, -1, 1], vec![0, 1, 0], vec![1, 0, 0]]
+    );
+    assert_eq!(p.space, vec![vec![0, 1, 0]]);
+}
+
+#[test]
+fn canonicalization_fingerprint_is_pinned() {
+    // The digest in every snapshot header. A mismatch here means every
+    // deployed warm-start snapshot will (correctly) refuse to load.
+    assert_eq!(canon_fingerprint(), 0x2ca9361de8547b65);
+}
+
+#[test]
+fn permuted_presentations_share_the_golden_key() {
+    // The golden key is reached from *any* presentation — that is the
+    // property that makes it a fleet-wide cache identity.
+    let base = canonicalize(&algorithms::matmul(3), &SpaceMap::row(&[1, 1, -1])).problem;
+    let alg = algorithms::matmul(3).permuted_axes(&[2, 0, 1]);
+    let p = canonicalize(&alg, &SpaceMap::row(&[-1, 1, 1])).problem;
+    assert_eq!(p, base);
+}

@@ -1,0 +1,95 @@
+//! The family-certificate contract, checked against the ground truth:
+//! for every size μ in the fitted range ∪ the probe set (and beyond),
+//! instantiating the affine-in-μ template must be **bit-identical** to
+//! running Procedure 5.1 from scratch at that size — same schedule, same
+//! objective, same total time. Anything weaker would let a warm-started
+//! daemon answer differently from a cold one, which is the one thing a
+//! memoizing service must never do.
+//!
+//! Families covered: matmul (Example 5.1), transitive closure, and the
+//! bit-level convolution family of the paper's Section 6 experiments
+//! (4-dimensional, 2-dimensional array — exercising the r = 1 adjugate
+//! path on a wider template than the 3-D workloads). A synthetic family
+//! whose true schedule grows quadratically checks the negative side:
+//! the fitter must refuse to certify it rather than extrapolate wrongly.
+
+use cfmap_core::family::{
+    certify, cold_solve, instantiate, CertifyError, FamilyInstance, FamilyKey,
+};
+use cfmap_core::{canonicalize, SpaceMap};
+use cfmap_model::{algorithms, Uda};
+
+/// The family key of `alg` under `space`, via the same canonicalization
+/// the service cache uses.
+fn family_of(alg: &Uda, space: &SpaceMap) -> (FamilyKey, i64) {
+    FamilyKey::of(&canonicalize(alg, space).problem)
+}
+
+/// Fit on `fitted`, certify, then demand bit-identity with a fresh
+/// Procedure 5.1 solve at every fitted size, every probe size, and every
+/// extrapolation size in `beyond`.
+fn assert_family_matches_cold_solves(key: &FamilyKey, fitted: &[i64], beyond: &[i64]) {
+    let instances: Vec<FamilyInstance> = fitted
+        .iter()
+        .map(|&p| cold_solve(key, p).expect("search runs").expect("family is feasible"))
+        .collect();
+    let cert = certify(key, &instances).expect("family certifies");
+    assert_eq!(cert.fitted, fitted, "certificate records the fitted sizes");
+    let mut sizes: Vec<i64> = fitted.to_vec();
+    sizes.extend_from_slice(&cert.probes);
+    sizes.extend_from_slice(beyond);
+    for p in sizes {
+        let cold = cold_solve(key, p).expect("search runs").expect("feasible at this size");
+        let inst = instantiate(&cert, &key.problem_at(p))
+            .unwrap_or_else(|| panic!("certificate must cover μ-parameter {p}"));
+        assert_eq!(inst.schedule, cold.schedule, "schedule differs at parameter {p}");
+        assert_eq!(inst.objective, cold.objective, "objective differs at parameter {p}");
+        assert_eq!(inst.total_time, cold.total_time, "total time differs at parameter {p}");
+    }
+}
+
+#[test]
+fn matmul_instantiation_is_bit_identical_to_cold_solves() {
+    let (key, _) = family_of(&algorithms::matmul(3), &SpaceMap::row(&[1, 1, -1]));
+    assert_family_matches_cold_solves(&key, &[2, 3, 4], &[9, 17]);
+}
+
+#[test]
+fn transitive_closure_instantiation_is_bit_identical_to_cold_solves() {
+    let (key, _) = family_of(&algorithms::transitive_closure(3), &SpaceMap::row(&[0, 0, 1]));
+    assert_family_matches_cold_solves(&key, &[2, 3, 4], &[9]);
+}
+
+#[test]
+fn bitlevel_convolution_instantiation_is_bit_identical_to_cold_solves() {
+    // The Section 6 bit-level family: 4 axes, a 2-dimensional array, and
+    // μ entering two of the four template coordinates.
+    let alg = algorithms::bitlevel_convolution(2, 3);
+    let space = SpaceMap::from_rows(&[&[1, 0, 0, 0][..], &[0, 1, 0, 0][..]]);
+    let (key, _) = family_of(&alg, &space);
+    assert_family_matches_cold_solves(&key, &[3, 4, 5], &[]);
+}
+
+#[test]
+fn quadratic_family_refuses_to_certify() {
+    // True schedules that grow like (p+1)² have no affine-in-μ template.
+    // Extrapolating one linearly would produce wrong answers at every
+    // unfitted size — the only safe behavior is refusal.
+    let key = FamilyKey {
+        deps: vec![vec![1, 0], vec![0, 1]],
+        space: vec![vec![1, 0]],
+        shape: vec![None, None],
+    };
+    let instances: Vec<FamilyInstance> = [2i64, 3, 4, 5]
+        .iter()
+        .map(|&p| FamilyInstance {
+            param: p,
+            schedule: vec![(p + 1) * (p + 1), 1],
+            objective: p * (p + 1) * (p + 1) + p,
+            total_time: p * (p + 1) * (p + 1) + p + 1,
+        })
+        .collect();
+    let err = certify(&key, &instances).expect_err("quadratic data must not certify");
+    assert!(matches!(err, CertifyError::NonAffine { .. }), "{err:?}");
+    assert_eq!(err.outcome_label(), "rejected_nonaffine");
+}

@@ -1,0 +1,272 @@
+//! Symbolic affine forms in one integer parameter.
+//!
+//! The family-inference layer reasons about schedules whose entries are
+//! affine in the problem size μ: `f(μ) = slope·μ + offset`. The paper's
+//! closed-form conflict conditions then become linear-in-μ inequalities,
+//! and "does this hold for *every* integer μ ≥ μ₀?" is decidable
+//! exactly — an affine form is monotone, so each inequality carves a
+//! rational interval out of the μ-axis. This module provides the form
+//! itself (exact [`Int`] coefficients, no overflow) and the two
+//! decision primitives the certifier needs: sign stability on a ray and
+//! the solution interval of `f(μ) ≥ 0`.
+
+use crate::int::Int;
+use crate::rat::Rat;
+
+/// `slope·μ + offset` with exact integer coefficients.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AffineInt {
+    /// Coefficient of μ.
+    pub slope: Int,
+    /// Constant term.
+    pub offset: Int,
+}
+
+impl AffineInt {
+    /// `slope·μ + offset` from exact coefficients.
+    pub fn new(slope: Int, offset: Int) -> AffineInt {
+        AffineInt { slope, offset }
+    }
+
+    /// A constant form (zero slope).
+    pub fn constant(offset: Int) -> AffineInt {
+        AffineInt { slope: Int::zero(), offset }
+    }
+
+    /// `slope·μ + offset` from machine integers.
+    pub fn from_i64(slope: i64, offset: i64) -> AffineInt {
+        AffineInt { slope: Int::from(slope), offset: Int::from(offset) }
+    }
+
+    /// The zero form.
+    pub fn zero() -> AffineInt {
+        AffineInt::constant(Int::zero())
+    }
+
+    /// Is this identically zero?
+    pub fn is_zero(&self) -> bool {
+        self.slope.is_zero() && self.offset.is_zero()
+    }
+
+    /// Is this independent of μ?
+    pub fn is_constant(&self) -> bool {
+        self.slope.is_zero()
+    }
+
+    /// Exact evaluation at an integer parameter value.
+    pub fn eval(&self, mu: &Int) -> Int {
+        &(&self.slope * mu) + &self.offset
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, rhs: &AffineInt) -> AffineInt {
+        AffineInt { slope: &self.slope + &rhs.slope, offset: &self.offset + &rhs.offset }
+    }
+
+    /// Pointwise difference.
+    pub fn sub(&self, rhs: &AffineInt) -> AffineInt {
+        AffineInt { slope: &self.slope - &rhs.slope, offset: &self.offset - &rhs.offset }
+    }
+
+    /// Pointwise negation.
+    pub fn neg(&self) -> AffineInt {
+        AffineInt { slope: -&self.slope, offset: -&self.offset }
+    }
+
+    /// Multiply both coefficients by a constant.
+    pub fn scale(&self, c: &Int) -> AffineInt {
+        AffineInt { slope: &self.slope * c, offset: &self.offset * c }
+    }
+
+    /// Divide both coefficients exactly (caller guarantees divisibility).
+    pub fn exact_div(&self, c: &Int) -> AffineInt {
+        AffineInt { slope: self.slope.exact_div(c), offset: self.offset.exact_div(c) }
+    }
+
+    /// `gcd(slope, offset)` — the *coefficient* content, constant in μ.
+    /// (The pointwise content `gcd over evaluations` can still vary with
+    /// μ; see [`pairwise_cross`] for the bound the certifier uses.)
+    pub fn coeff_gcd(&self) -> Int {
+        self.slope.gcd(&self.offset)
+    }
+
+    /// Decide `f(μ) > 0` for **every** integer `μ ≥ μ₀`. Exact: an
+    /// affine form is monotone on the ray, so it suffices to look at the
+    /// slope sign and the value at the endpoint.
+    pub fn always_positive(&self, mu0: &Int) -> bool {
+        match self.slope.signum() {
+            1 => self.eval(mu0).is_positive(),
+            0 => self.offset.is_positive(),
+            _ => false, // negative slope: eventually non-positive
+        }
+    }
+
+    /// The solution set of `f(μ) ≥ 0` over the reals, as a rational
+    /// interval (possibly empty or unbounded on either side).
+    pub fn nonneg_interval(&self) -> RatInterval {
+        let s = self.slope.signum();
+        if s == 0 {
+            if self.offset.is_negative() {
+                RatInterval::empty()
+            } else {
+                RatInterval::all()
+            }
+        } else {
+            // slope·μ + offset ≥ 0  ⟺  μ ≥ −offset/slope (slope > 0)
+            //                       ⟺  μ ≤ −offset/slope (slope < 0)
+            let root = Rat::new(-&self.offset, self.slope.clone());
+            if s > 0 {
+                RatInterval { lo: Some(root), hi: None, empty: false }
+            } else {
+                RatInterval { lo: None, hi: Some(root), empty: false }
+            }
+        }
+    }
+}
+
+/// `|slopeᵢ·offsetⱼ − slopeⱼ·offsetᵢ|` — the resultant of two affine
+/// forms. Any common divisor of `f(μ)` and `g(μ)` at a concrete μ
+/// divides this constant, which is how the certifier bounds the
+/// pointwise gcd content of a symbolic conflict vector.
+pub fn pairwise_cross(f: &AffineInt, g: &AffineInt) -> Int {
+    (&(&f.slope * &g.offset) - &(&g.slope * &f.offset)).abs()
+}
+
+/// A closed rational interval, possibly unbounded on either side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RatInterval {
+    /// Lower bound (`None` = −∞).
+    pub lo: Option<Rat>,
+    /// Upper bound (`None` = +∞).
+    pub hi: Option<Rat>,
+    empty: bool,
+}
+
+impl RatInterval {
+    /// The whole real line.
+    pub fn all() -> RatInterval {
+        RatInterval { lo: None, hi: None, empty: false }
+    }
+
+    /// The empty set.
+    pub fn empty() -> RatInterval {
+        RatInterval { lo: None, hi: None, empty: true }
+    }
+
+    /// Does the interval contain no points?
+    pub fn is_empty(&self) -> bool {
+        if self.empty {
+            return true;
+        }
+        match (&self.lo, &self.hi) {
+            (Some(lo), Some(hi)) => lo > hi,
+            _ => false,
+        }
+    }
+
+    /// Intersect two intervals (tightest bounds win).
+    pub fn intersect(&self, other: &RatInterval) -> RatInterval {
+        if self.is_empty() || other.is_empty() {
+            return RatInterval::empty();
+        }
+        let lo = match (&self.lo, &other.lo) {
+            (Some(a), Some(b)) => Some(if a >= b { a.clone() } else { b.clone() }),
+            (Some(a), None) => Some(a.clone()),
+            (None, b) => b.clone(),
+        };
+        let hi = match (&self.hi, &other.hi) {
+            (Some(a), Some(b)) => Some(if a <= b { a.clone() } else { b.clone() }),
+            (Some(a), None) => Some(a.clone()),
+            (None, b) => b.clone(),
+        };
+        RatInterval { lo, hi, empty: false }
+    }
+
+    /// Does the interval contain an **integer** point `≥ lo_int`?
+    /// Returns the smallest such integer when one exists — the witness
+    /// the certifier reports when a template is refuted.
+    pub fn first_integer_at_least(&self, lo_int: &Int) -> Option<Int> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut start = lo_int.clone();
+        if let Some(lo) = &self.lo {
+            let ceil = lo.ceil();
+            if ceil > start {
+                start = ceil;
+            }
+        }
+        match &self.hi {
+            None => Some(start),
+            Some(hi) => {
+                if Rat::from_int(start.clone()) <= *hi {
+                    Some(start)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aff(s: i64, o: i64) -> AffineInt {
+        AffineInt::from_i64(s, o)
+    }
+
+    #[test]
+    fn eval_and_ops() {
+        let f = aff(2, -3);
+        assert_eq!(f.eval(&Int::from(5)), Int::from(7));
+        assert_eq!(f.add(&aff(1, 1)), aff(3, -2));
+        assert_eq!(f.sub(&aff(1, 1)), aff(1, -4));
+        assert_eq!(f.neg(), aff(-2, 3));
+        assert_eq!(f.scale(&Int::from(3)), aff(6, -9));
+        assert_eq!(aff(4, 6).coeff_gcd(), Int::from(2));
+    }
+
+    #[test]
+    fn positivity_on_ray_is_exact() {
+        // μ + 1 > 0 for μ ≥ 0; μ − 3 > 0 only from μ = 4.
+        assert!(aff(1, 1).always_positive(&Int::zero()));
+        assert!(!aff(1, -3).always_positive(&Int::from(3)));
+        assert!(aff(1, -3).always_positive(&Int::from(4)));
+        assert!(aff(0, 2).always_positive(&Int::from(100)));
+        assert!(!aff(0, 0).always_positive(&Int::zero()));
+        assert!(!aff(-1, 1000).always_positive(&Int::zero()));
+    }
+
+    #[test]
+    fn nonneg_interval_shapes() {
+        // 2μ − 5 ≥ 0 ⟺ μ ≥ 5/2.
+        let i = aff(2, -5).nonneg_interval();
+        assert_eq!(i.first_integer_at_least(&Int::zero()), Some(Int::from(3)));
+        // −μ + 4 ≥ 0 ⟺ μ ≤ 4.
+        let j = aff(-1, 4).nonneg_interval();
+        assert_eq!(j.first_integer_at_least(&Int::from(5)), None);
+        assert_eq!(j.first_integer_at_least(&Int::from(2)), Some(Int::from(2)));
+        // Intersection [5/2, 4] has integers {3, 4}.
+        let k = i.intersect(&j);
+        assert_eq!(k.first_integer_at_least(&Int::zero()), Some(Int::from(3)));
+        assert_eq!(k.first_integer_at_least(&Int::from(4)), Some(Int::from(4)));
+        assert_eq!(k.first_integer_at_least(&Int::from(5)), None);
+        // Constant −1 ≥ 0 is empty; constant 0 ≥ 0 is everything.
+        assert!(aff(0, -1).nonneg_interval().is_empty());
+        assert!(!aff(0, 0).nonneg_interval().is_empty());
+    }
+
+    #[test]
+    fn cross_bounds_pointwise_content() {
+        // f = μ+1, g = μ−1: cross = 2, and indeed gcd(f, g) | 2 at
+        // every μ (gcd is 2 at odd μ, 1 at even μ).
+        let c = pairwise_cross(&aff(1, 1), &aff(1, -1));
+        assert_eq!(c, Int::from(2));
+        for mu in 0..20i64 {
+            let g = Int::from(mu + 1).gcd(&Int::from(mu - 1));
+            assert!(c.divisible_by(&g));
+        }
+    }
+}

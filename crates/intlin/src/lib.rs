@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod affine;
 pub mod gcd;
 pub mod hnf;
 pub mod hnf64;
@@ -48,6 +49,7 @@ pub mod smith;
 pub mod stats;
 pub mod vec;
 
+pub use affine::{AffineInt, RatInterval};
 pub use hnf::{hermite_normal_form, hermite_normal_form_bignum, Hnf};
 pub use hnf64::{hnf_prefix_i64, HnfPrefix, HnfWorkspace};
 pub use int::Int;

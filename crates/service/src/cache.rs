@@ -117,6 +117,27 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
         map.insert(key, Slot { value, last_used: AtomicU64::new(self.tick()) });
     }
 
+    /// Every resident entry, cloned out, in deterministic LRU-stamp
+    /// order (oldest first). The snapshot writer serializes this; a
+    /// restored shard re-inserts in the same order, so if the restoring
+    /// cache is smaller the entries evicted are the coldest ones.
+    pub fn export(&self) -> Vec<(K, V)> {
+        let mut stamped: Vec<(u64, K, V)> = Vec::new();
+        for shard in &self.shards {
+            if let Ok(map) = shard.read() {
+                for (k, slot) in map.iter() {
+                    stamped.push((
+                        slot.last_used.load(Ordering::Relaxed),
+                        k.clone(),
+                        slot.value.clone(),
+                    ));
+                }
+            }
+        }
+        stamped.sort_by_key(|(t, _, _)| *t);
+        stamped.into_iter().map(|(_, k, v)| (k, v)).collect()
+    }
+
     /// Drop every entry; returns how many were resident.
     pub fn clear(&self) -> u64 {
         let mut dropped = 0u64;

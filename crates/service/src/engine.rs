@@ -19,6 +19,8 @@
 //! matmul in one batch cost one search.
 
 use crate::cache::{CacheStats, ShardedLruCache};
+use crate::family_store::{FamilyStats, FamilyStore};
+use crate::snapshot::Snapshot;
 use crate::wire::{MapOutcome, MapRequest, MapResponse};
 use cfmap_core::metrics::{
     Counter, Histogram, Registry, DEFAULT_LATENCY_BUCKETS_US, EXACT_CONFLICT_TESTS,
@@ -27,9 +29,10 @@ use cfmap_core::metrics::{
 use cfmap_core::budget::clock;
 use cfmap_core::{
     canonicalize, BudgetLimit, CancelToken, CanonicalProblem, Canonicalization, Certification,
-    CfmapError, Deadline, Procedure51, SearchBudget, SearchTelemetry, SpaceMap,
+    CfmapError, Deadline, MappingMatrix, Procedure51, SearchBudget, SearchTelemetry, SpaceMap,
+    TieBreak,
 };
-use cfmap_model::{algorithms, DependenceMatrix, IndexSet, Uda};
+use cfmap_model::{algorithms, DependenceMatrix, IndexSet, LinearSchedule, Uda};
 use cfmap_systolic::SystolicArray;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -83,7 +86,8 @@ pub struct SearchStats {
     pub solves: u64,
     /// Schedule candidates generated across all solves.
     pub candidates_enumerated: u64,
-    /// Candidates accepted (one per feasible solve).
+    /// Candidates accepted (every acceptance at the winning objective
+    /// level — under [`TieBreak::LexMax`] a level can accept several).
     pub candidates_accepted: u64,
     /// Hermite normal forms computed.
     pub hnf_computations: u64,
@@ -94,6 +98,9 @@ pub struct SearchStats {
 /// The shared solver state behind every worker thread.
 pub struct Engine {
     cache: Arc<ShardedLruCache<CacheKey, CachedOutcome>>,
+    /// Schedule-family catalogue: certificates answer whole μ-families
+    /// with zero search (see [`crate::family_store`]).
+    family: Arc<FamilyStore>,
     metrics: Arc<Registry>,
     solve_latency: Arc<Histogram>,
     solves: Arc<Counter>,
@@ -114,7 +121,31 @@ impl Engine {
     /// `shards` shards.
     pub fn new(cache_capacity: usize, shards: usize) -> Engine {
         let cache = Arc::new(ShardedLruCache::new(cache_capacity, shards));
+        let family = Arc::new(FamilyStore::new());
         let metrics = Arc::new(Registry::new());
+        // Family-catalogue traffic and occupancy, read live at scrape time.
+        for (name, help, read) in [
+            (
+                "cfmapd_family_hits_total",
+                "Requests answered from a schedule-family certificate",
+                0usize,
+            ),
+            ("cfmapd_family_certificates", "Schedule-family certificates held", 1),
+            ("cfmapd_family_observing", "Families accumulating observations", 2),
+            ("cfmapd_family_rejected", "Families the fitter permanently rejected", 3),
+        ] {
+            let f = Arc::clone(&family);
+            metrics.gauge_fn(name, help, &[], move || {
+                let s = f.stats();
+                let v = match read {
+                    0 => s.hits,
+                    1 => s.certificates,
+                    2 => s.observing,
+                    _ => s.rejected,
+                };
+                i64::try_from(v).unwrap_or(i64::MAX)
+            });
+        }
         // Cache occupancy and traffic, read live at scrape time.
         for (name, help, read) in [
             ("cfmap_cache_entries", "Designs resident in the cache", 0usize),
@@ -210,6 +241,7 @@ impl Engine {
         );
         Engine {
             cache,
+            family,
             metrics,
             solve_latency,
             solves,
@@ -255,6 +287,63 @@ impl Engine {
     /// Drop all cached designs; returns how many were resident.
     pub fn clear_cache(&self) -> u64 {
         self.cache.clear()
+    }
+
+    /// Family-catalogue counters, for `/family` and `/stats`.
+    pub fn family_stats(&self) -> FamilyStats {
+        self.family.stats()
+    }
+
+    /// Every certificate the catalogue holds, for `/family`.
+    pub fn family_certificates(&self) -> Vec<cfmap_core::FamilyCertificate> {
+        self.family.certificates()
+    }
+
+    /// Run one background fitting step: pick a family with enough
+    /// observed sizes, try to promote it to a certificate, and count the
+    /// outcome under `cfmapd_family_fit_total{outcome}`. Returns whether
+    /// a fit was attempted (`false` = nothing ready; the caller sleeps).
+    pub fn family_fit_step(&self) -> bool {
+        match self.family.fit_step() {
+            None => false,
+            Some(result) => {
+                let outcome = match &result {
+                    Ok(_) => "certified",
+                    Err(e) => e.outcome_label(),
+                };
+                self.metrics
+                    .counter(
+                        "cfmapd_family_fit_total",
+                        "Family fit attempts by outcome",
+                        &[("outcome", outcome)],
+                    )
+                    .inc();
+                true
+            }
+        }
+    }
+
+    /// The engine's warm-start state — every cached design (oldest
+    /// first) plus every family certificate — ready for
+    /// [`Snapshot::encode`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { cache: self.cache.export(), families: self.family.certificates() }
+    }
+
+    /// Restore a snapshot produced by [`Engine::snapshot`] on a
+    /// compatible build (the decoder refuses version / digest / checksum
+    /// mismatches with a precise [`CfmapError::SnapshotMismatch`]).
+    /// Returns `(cache entries, family certificates)` restored.
+    pub fn load_snapshot(&self, text: &str) -> Result<(usize, usize), CfmapError> {
+        let snap = Snapshot::decode(text)?;
+        let counts = (snap.cache.len(), snap.families.len());
+        for (key, outcome) in snap.cache {
+            self.cache.insert(key, outcome);
+        }
+        for cert in snap.families {
+            self.family.install(cert);
+        }
+        Ok(counts)
     }
 
     /// Fold one search's telemetry into the registry.
@@ -426,6 +515,10 @@ impl Engine {
         // Both time budgets are machine/load-dependent: never read from
         // or write into the cache under one.
         let cacheable = req.timeout_ms.is_none() && deadline.is_none();
+        // Only knob-free requests ask for *the* optimum of the canonical
+        // problem — the thing a family certificate certifies — so only
+        // they may read from or feed the family catalogue.
+        let plain = cacheable && req.cap.is_none() && req.max_candidates.is_none();
         let key = CacheKey {
             problem: canon.problem.clone(),
             cap: req.cap,
@@ -435,6 +528,12 @@ impl Engine {
             if let Some(hit) = self.cache.get(&key) {
                 return Ok((hit, true));
             }
+            if plain {
+                if let Some(outcome) = self.family_hit(&canon.problem) {
+                    self.cache.insert(key, outcome.clone());
+                    return Ok((outcome, true));
+                }
+            }
         }
         let started = Instant::now();
         let (outcome, telemetry) = solve_canonical(&canon.problem, req, deadline, &self.cancel)?;
@@ -443,8 +542,47 @@ impl Engine {
         // the request's true answer — never cache it.
         if cacheable && telemetry.budget_limit != Some(BudgetLimit::Cancelled) {
             self.cache.insert(key, outcome.clone());
+            // Only solver-proven optima of knob-free requests may become
+            // family observations: a best-effort or infeasible outcome
+            // (or anything solved under a budget) can never help mint a
+            // certificate.
+            if plain {
+                if let CachedOutcome::Design {
+                    schedule,
+                    objective,
+                    certification: Certification::Optimal,
+                    ..
+                } = &outcome
+                {
+                    self.family.observe(&canon.problem, schedule.clone(), *objective);
+                }
+            }
         }
         Ok((outcome, false))
+    }
+
+    /// Answer a canonical problem from a family certificate: fill μ into
+    /// the affine template, re-check validity / rank / conflict-freedom
+    /// exactly for this size (done inside [`FamilyStore::lookup`]), and
+    /// synthesize the array. Zero candidates are enumerated; the answer
+    /// is certified [`Certification::Optimal`] because the certificate
+    /// proves the template optimal for every size it covers.
+    fn family_hit(&self, problem: &CanonicalProblem) -> Option<CachedOutcome> {
+        let design = self.family.lookup(problem)?;
+        let alg = problem.uda("canonical");
+        let space = problem.space_map();
+        let schedule = LinearSchedule::new(&design.schedule);
+        let mapping = MappingMatrix::new(space, schedule);
+        let array = SystolicArray::synthesize(&alg, &mapping);
+        Some(CachedOutcome::Design {
+            schedule: design.schedule,
+            objective: design.objective,
+            total_time: design.total_time,
+            certification: Certification::Optimal,
+            candidates_examined: 0,
+            processors: array.num_processors() as u64,
+            array_dims: array.dims() as u64,
+        })
     }
 }
 
@@ -473,7 +611,14 @@ fn solve_canonical(
     if let Some(d) = deadline {
         budget = budget.with_deadline(d);
     }
-    let mut proc = Procedure51::new(&alg, &space).budget(budget).cancel_token(cancel);
+    // LexMax picks the lex-greatest accepted schedule of the winning
+    // objective level — a μ-stable canonical representative, so the sizes
+    // a family accumulates lie on one affine-in-μ template (FirstFound's
+    // winner can flip between enumeration-order neighbours as μ grows).
+    let mut proc = Procedure51::new(&alg, &space)
+        .tie_break(TieBreak::LexMax)
+        .budget(budget)
+        .cancel_token(cancel);
     if let Some(cap) = req.cap {
         proc = proc.max_objective(cap);
     }
@@ -838,14 +983,16 @@ mod tests {
         let stats = engine.search_stats();
         assert_eq!(stats.solves, 1);
         assert!(stats.candidates_enumerated > 0);
-        assert_eq!(stats.candidates_accepted, 1);
+        // LexMax scans the whole winning objective level, so one solve
+        // can accept several tie-broken candidates.
+        assert!(stats.candidates_accepted >= 1);
         assert!(stats.hnf_computations >= 1);
         // A cache hit is not a solve: no counter may move.
         let _ = engine.resolve(&matmul_request());
         assert_eq!(engine.search_stats(), stats);
         let text = engine.metrics().render_prometheus();
         assert!(text.contains("cfmap_solves_total 1"), "{text}");
-        assert!(text.contains("cfmap_search_screened_total{result=\"accepted\"} 1"), "{text}");
+        assert!(text.contains("cfmap_search_screened_total{result=\"accepted\"}"), "{text}");
         assert!(text.contains("cfmap_solve_duration_seconds_count 1"), "{text}");
         assert!(text.contains("cfmap_cache_entries 1"), "{text}");
         assert!(text.contains("cfmap_core_hnf_computations_total"), "{text}");
@@ -893,5 +1040,108 @@ mod tests {
             .collect();
         assert_eq!(times, vec![25, 25, 25]);
         assert!(matches!(responses[4], MapResponse::BadRequest { .. }));
+    }
+
+    fn mm(mu: i64) -> MapRequest {
+        MapRequest::named("matmul", mu, vec![vec![1, 1, -1]])
+    }
+
+    /// Warm the engine on μ ∈ {2, 3, 4} and promote the observations to
+    /// a certificate via the fitter entry point the server's background
+    /// thread uses.
+    fn warm_and_fit(engine: &Engine) {
+        for mu in [2, 3, 4] {
+            let resp = engine.resolve(&mm(mu));
+            assert!(matches!(resp, MapResponse::Ok(_)), "{resp:?}");
+        }
+        assert_eq!(engine.family_stats().observing, 1);
+        assert!(engine.family_fit_step(), "matmul family must be ready to fit");
+        assert_eq!(engine.family_stats().certificates, 1);
+    }
+
+    #[test]
+    fn family_certificate_answers_unseen_sizes_with_zero_search() {
+        let engine = Engine::new(64, 4);
+        warm_and_fit(&engine);
+        assert!(!engine.family_fit_step(), "nothing further to fit");
+        // μ = 9 was never solved here: the answer must come from the
+        // certificate — zero candidates examined — yet be bit-identical
+        // to what a cold engine's full search finds.
+        let solves_before = engine.search_stats().solves;
+        let resp = engine.resolve(&mm(9));
+        let MapResponse::Ok(warm) = &resp else { panic!("expected ok, got {resp:?}") };
+        assert!(warm.cached);
+        assert_eq!(warm.candidates_examined, 0);
+        assert_eq!(warm.certification, Certification::Optimal);
+        assert_eq!(engine.search_stats().solves, solves_before, "no search may run");
+        assert!(engine.family_stats().hits >= 1);
+        let cold_engine = Engine::new(64, 4);
+        let MapResponse::Ok(cold) = cold_engine.resolve(&mm(9)) else { panic!("cold solve") };
+        assert_eq!(warm.schedule, cold.schedule);
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.total_time, cold.total_time);
+        assert_eq!(warm.processors, cold.processors);
+        assert_eq!(warm.array_dims, cold.array_dims);
+        // The instantiated answer is now an ordinary LRU entry too.
+        let MapResponse::Ok(again) = engine.resolve(&mm(9)) else { panic!("expected ok") };
+        assert!(again.cached);
+        let text = engine.metrics().render_prometheus();
+        assert!(text.contains("cfmapd_family_hits_total 1"), "{text}");
+        assert!(text.contains("cfmapd_family_fit_total{outcome=\"certified\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn degraded_runs_never_mint_certificates() {
+        let engine = Engine::new(64, 4);
+        // Candidate-budgeted (best-effort), wall-clock-budgeted, and
+        // deadline-expired runs across three sizes each: none may feed
+        // the family catalogue, whatever their certification.
+        for mu in [2, 3, 4] {
+            let mut budgeted = mm(mu);
+            budgeted.max_candidates = Some(2);
+            assert!(matches!(engine.resolve(&budgeted), MapResponse::Ok(_)));
+            let mut timed = mm(mu);
+            timed.timeout_ms = Some(10_000);
+            assert!(matches!(engine.resolve(&timed), MapResponse::Ok(_)));
+            let mut late = mm(mu);
+            late.deadline_ms = Some(0);
+            assert!(matches!(engine.resolve(&late), MapResponse::Ok(_)));
+        }
+        let stats = engine.family_stats();
+        assert_eq!(stats.observing, 0, "degraded runs must leave no observations: {stats:?}");
+        assert!(!engine.family_fit_step(), "nothing may be fitted from degraded runs");
+        assert_eq!(engine.family_stats().certificates, 0);
+        // A cancelled engine's answers are equally barred.
+        let engine = Engine::new(64, 4);
+        engine.cancel_token().cancel();
+        for mu in [2, 3, 4] {
+            assert!(matches!(engine.resolve(&mm(mu)), MapResponse::Ok(_)));
+        }
+        assert_eq!(engine.family_stats().observing, 0);
+        assert!(!engine.family_fit_step());
+    }
+
+    #[test]
+    fn snapshot_restores_cache_and_family_warmth() {
+        let engine = Engine::new(64, 4);
+        warm_and_fit(&engine);
+        let text = engine.snapshot().encode();
+        // A fresh engine restored from the snapshot answers a size no
+        // process ever solved — from the certificate, with zero search.
+        let restored = Engine::new(64, 4);
+        let (entries, families) = restored.load_snapshot(&text).expect("snapshot loads");
+        assert_eq!((entries, families), (3, 1));
+        let MapResponse::Ok(hit) = restored.resolve(&mm(2)) else { panic!("expected ok") };
+        assert!(hit.cached, "restored LRU entry must hit");
+        let MapResponse::Ok(warm) = restored.resolve(&mm(9)) else { panic!("expected ok") };
+        assert!(warm.cached);
+        assert_eq!(warm.candidates_examined, 0);
+        assert_eq!(restored.search_stats().solves, 0, "no search may run after restore");
+        assert!(restored.family_stats().hits >= 1);
+        // Corrupted text is refused precisely, not half-loaded.
+        let tampered = text.replace("\"objective\":", "\"objectivo\":");
+        let fresh = Engine::new(64, 4);
+        let err = fresh.load_snapshot(&tampered).unwrap_err();
+        assert!(matches!(err, CfmapError::SnapshotMismatch { .. }), "{err:?}");
     }
 }

@@ -1,0 +1,302 @@
+//! The daemon's schedule-family catalogue.
+//!
+//! Sits beside the design cache as a second, stronger warm-start tier:
+//! where the cache answers "have I solved *this exact* problem before",
+//! the family store answers "have I solved enough *sizes of this
+//! problem* to know its closed form". Solved instances accumulate as
+//! observations; once a family has [`cfmap_core::family::MIN_INSTANCES`]
+//! distinct sizes, the background fitter tries to promote them to a
+//! [`FamilyCertificate`] (affine-in-μ template, symbolically verified or
+//! probe-checked — see [`cfmap_core::family`]). A certificate answers
+//! every future size of the family by matrix fill-in plus one exact
+//! conflict re-check — zero candidate enumeration — including sizes no
+//! daemon in the fleet ever solved.
+//!
+//! Only [`Certification::Optimal`] runs of knob-free requests may become
+//! observations; the engine enforces this at the observation point, so a
+//! degraded (best-effort, budget-tripped, cancelled) answer can never
+//! mint a certificate. Families that refuse to certify (non-affine,
+//! refuted, probe mismatch) are remembered as rejected so the fitter
+//! does not spin on them.
+
+use cfmap_core::family::{
+    certify, instantiate, CertifyError, FamilyCertificate, FamilyInstance, FamilyKey,
+    InstantiatedDesign, MIN_INSTANCES,
+};
+use cfmap_core::CanonicalProblem;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// At most this many sizes are retained per family while it waits to be
+/// fitted (the fitter needs [`MIN_INSTANCES`]; a few spares make the fit
+/// more robust to odd first observations).
+const MAX_OBSERVATIONS_PER_FAMILY: usize = 8;
+
+/// At most this many distinct families are tracked as observations at
+/// once; beyond that, new families are ignored until old ones resolve
+/// (certified or rejected). Bounds memory against adversarial traffic.
+const MAX_OBSERVED_FAMILIES: usize = 64;
+
+/// Counters reported by [`FamilyStore::stats`] (and `/family`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FamilyStats {
+    /// Requests answered from a certificate.
+    pub hits: u64,
+    /// Certificates currently held.
+    pub certificates: u64,
+    /// Families with observations awaiting a fit.
+    pub observing: u64,
+    /// Families rejected by the fitter (non-affine, refuted, or probe
+    /// mismatch) and permanently skipped.
+    pub rejected: u64,
+    /// Fit attempts that produced a certificate.
+    pub fit_certified: u64,
+    /// Fit attempts that failed (any reason).
+    pub fit_failed: u64,
+}
+
+struct Inner {
+    observations: HashMap<FamilyKey, BTreeMap<i64, FamilyInstance>>,
+    certificates: HashMap<FamilyKey, FamilyCertificate>,
+    rejected: HashSet<FamilyKey>,
+    /// Families currently being fitted (fit runs outside the lock).
+    fitting: HashSet<FamilyKey>,
+}
+
+/// Concurrent store of observations and certificates.
+pub struct FamilyStore {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    fit_certified: AtomicU64,
+    fit_failed: AtomicU64,
+}
+
+impl Default for FamilyStore {
+    fn default() -> FamilyStore {
+        FamilyStore::new()
+    }
+}
+
+impl FamilyStore {
+    /// An empty store.
+    pub fn new() -> FamilyStore {
+        FamilyStore {
+            inner: Mutex::new(Inner {
+                observations: HashMap::new(),
+                certificates: HashMap::new(),
+                rejected: HashSet::new(),
+                fitting: HashSet::new(),
+            }),
+            hits: AtomicU64::new(0),
+            fit_certified: AtomicU64::new(0),
+            fit_failed: AtomicU64::new(0),
+        }
+    }
+
+    /// Answer a canonical problem from a certificate, if one covers it.
+    /// The instantiation re-checks validity, rank, and conflict-freedom
+    /// exactly for this μ (see [`cfmap_core::family::instantiate`]), so
+    /// a hit is as trustworthy as a fresh solve.
+    pub fn lookup(&self, problem: &CanonicalProblem) -> Option<InstantiatedDesign> {
+        let (key, _) = FamilyKey::of(problem);
+        let cert = {
+            let inner = self.inner.lock().ok()?;
+            inner.certificates.get(&key)?.clone()
+        };
+        let design = instantiate(&cert, problem)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(design)
+    }
+
+    /// Record a solver-proven optimal instance. The caller (the engine)
+    /// must only pass knob-free, [`Certification::Optimal`] outcomes —
+    /// this method additionally ignores families already certified,
+    /// rejected, or over the tracking bounds.
+    ///
+    /// [`Certification::Optimal`]: cfmap_core::Certification::Optimal
+    pub fn observe(&self, problem: &CanonicalProblem, schedule: Vec<i64>, objective: i64) {
+        let (key, param) = FamilyKey::of(problem);
+        let Ok(mut inner) = self.inner.lock() else { return };
+        if inner.certificates.contains_key(&key) || inner.rejected.contains(&key) {
+            return;
+        }
+        if !inner.observations.contains_key(&key)
+            && inner.observations.len() >= MAX_OBSERVED_FAMILIES
+        {
+            return;
+        }
+        let obs = inner.observations.entry(key).or_default();
+        if obs.len() >= MAX_OBSERVATIONS_PER_FAMILY && !obs.contains_key(&param) {
+            return;
+        }
+        obs.insert(
+            param,
+            FamilyInstance { param, schedule, objective, total_time: objective + 1 },
+        );
+    }
+
+    /// Run one fitting step: pick a family ready to fit (≥
+    /// [`MIN_INSTANCES`] sizes, no certificate, not rejected, not being
+    /// fitted by another thread), certify it — probe solves run *outside*
+    /// the store lock — and record the result. Returns what happened, or
+    /// `None` when no family is ready.
+    pub fn fit_step(&self) -> Option<Result<FamilyKey, CertifyError>> {
+        let (key, instances) = {
+            let mut inner = self.inner.lock().ok()?;
+            let key = inner
+                .observations
+                .iter()
+                .filter(|(k, obs)| {
+                    obs.len() >= MIN_INSTANCES
+                        && !inner.certificates.contains_key(*k)
+                        && !inner.rejected.contains(*k)
+                        && !inner.fitting.contains(*k)
+                })
+                .map(|(k, _)| k.clone())
+                // Deterministic pick: smallest key (FamilyKey is Ord).
+                .min()?;
+            inner.fitting.insert(key.clone());
+            let instances: Vec<FamilyInstance> =
+                inner.observations[&key].values().cloned().collect();
+            (key, instances)
+        };
+        // Certification solves fresh probe instances — potentially
+        // seconds of search — with no lock held.
+        let result = certify(&key, &instances);
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.fitting.remove(&key);
+            match &result {
+                Ok(cert) => {
+                    inner.observations.remove(&key);
+                    inner.certificates.insert(key.clone(), cert.clone());
+                    self.fit_certified.fetch_add(1, Ordering::Relaxed);
+                }
+                // Not enough *distinct* sizes yet (duplicates collapsed):
+                // keep observing, do not reject.
+                Err(CertifyError::TooFewInstances { .. }) => {
+                    self.fit_failed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    inner.observations.remove(&key);
+                    inner.rejected.insert(key.clone());
+                    self.fit_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Some(result.map(|_| key))
+    }
+
+    /// Install a certificate directly (snapshot restore). Replaces any
+    /// existing certificate for the family and clears its observations.
+    pub fn install(&self, cert: FamilyCertificate) {
+        if let Ok(mut inner) = self.inner.lock() {
+            let key = cert.template.key.clone();
+            inner.observations.remove(&key);
+            inner.rejected.remove(&key);
+            inner.certificates.insert(key, cert);
+        }
+    }
+
+    /// Every certificate currently held (snapshot save, `/family`).
+    pub fn certificates(&self) -> Vec<FamilyCertificate> {
+        match self.inner.lock() {
+            Ok(inner) => {
+                let mut certs: Vec<FamilyCertificate> =
+                    inner.certificates.values().cloned().collect();
+                certs.sort_by(|a, b| a.template.key.cmp(&b.template.key));
+                certs
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FamilyStats {
+        let (certificates, observing, rejected) = match self.inner.lock() {
+            Ok(inner) => (
+                inner.certificates.len() as u64,
+                inner.observations.len() as u64,
+                inner.rejected.len() as u64,
+            ),
+            Err(_) => (0, 0, 0),
+        };
+        FamilyStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            certificates,
+            observing,
+            rejected,
+            fit_certified: self.fit_certified.load(Ordering::Relaxed),
+            fit_failed: self.fit_failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfmap_core::family::cold_solve;
+    use cfmap_core::{canonicalize, SpaceMap};
+    use cfmap_model::algorithms;
+
+    fn observe_matmul(store: &FamilyStore, sizes: &[i64]) {
+        for &mu in sizes {
+            let alg = algorithms::matmul(mu);
+            let space = SpaceMap::row(&[1, 1, -1]);
+            let canon = canonicalize(&alg, &space);
+            let (key, p) = FamilyKey::of(&canon.problem);
+            let inst = cold_solve(&key, p).unwrap().unwrap();
+            store.observe(&canon.problem, inst.schedule, inst.objective);
+        }
+    }
+
+    #[test]
+    fn observe_fit_lookup_round_trip() {
+        let store = FamilyStore::new();
+        observe_matmul(&store, &[2, 3, 4]);
+        assert_eq!(store.stats().observing, 1);
+        // Fit promotes the observations to a certificate…
+        let fitted = store.fit_step().expect("a family is ready").expect("matmul certifies");
+        assert_eq!(store.stats().certificates, 1);
+        assert_eq!(store.stats().fit_certified, 1);
+        // …and nothing further is ready.
+        assert!(store.fit_step().is_none());
+        // A size far outside the fitted range answers from the template.
+        let alg = algorithms::matmul(9);
+        let canon = canonicalize(&alg, &SpaceMap::row(&[1, 1, -1]));
+        let hit = store.lookup(&canon.problem).expect("certificate covers μ = 9");
+        let cold = cold_solve(&fitted, 9).unwrap().unwrap();
+        assert_eq!(hit.schedule, cold.schedule);
+        assert_eq!(hit.total_time, cold.total_time);
+        assert_eq!(store.stats().hits, 1);
+    }
+
+    #[test]
+    fn too_few_sizes_do_not_certify() {
+        let store = FamilyStore::new();
+        observe_matmul(&store, &[2, 3]);
+        assert!(store.fit_step().is_none(), "2 sizes must not be fitted");
+        assert_eq!(store.stats().certificates, 0);
+    }
+
+    #[test]
+    fn non_affine_family_is_rejected_once() {
+        let store = FamilyStore::new();
+        let key = FamilyKey {
+            deps: vec![vec![1, 0], vec![0, 1]],
+            space: vec![vec![1, 0]],
+            shape: vec![None, None],
+        };
+        for p in [2i64, 3, 4] {
+            store.observe(&key.problem_at(p), vec![(p + 1) * (p + 1), 1], p * 10);
+        }
+        let result = store.fit_step().expect("ready to fit");
+        assert!(matches!(result, Err(CertifyError::NonAffine { .. })), "{result:?}");
+        let stats = store.stats();
+        assert_eq!((stats.rejected, stats.fit_failed), (1, 1));
+        // Rejected families neither re-fit nor re-observe.
+        assert!(store.fit_step().is_none());
+        store.observe(&key.problem_at(5), vec![36, 1], 50);
+        assert_eq!(store.stats().observing, 0);
+    }
+}

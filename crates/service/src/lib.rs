@@ -16,9 +16,17 @@
 //!   equivalent problems (relabeled axes, reordered dependence columns,
 //!   rescaled space rows) hit the same cache entry, and batches solve
 //!   each distinct problem once;
+//! * [`family_store`] — the schedule-family catalogue: solved sizes of
+//!   one canonical problem accumulate until a background fitter promotes
+//!   them to an affine-in-μ certificate ([`cfmap_core::family`]), after
+//!   which *any* size of the family is answered with zero search;
+//! * [`snapshot`] — versioned, checksummed persistence of the design
+//!   cache and family catalogue (`GET/POST /cache/save`, `--cache-load`),
+//!   gated by a canonical-key digest so a snapshot from an incompatible
+//!   build is refused precisely instead of served wrongly;
 //! * [`server`] — `TcpListener` accept loop + fixed worker pool, with
-//!   `/map`, `/batch`, `/stats`, `/healthz`, `/cache/clear`, and
-//!   `/shutdown` routes;
+//!   `/map`, `/batch`, `/stats`, `/family`, `/healthz`, `/cache/clear`,
+//!   `/cache/save`, and `/shutdown` routes;
 //! * [`client`] — the minimal blocking HTTP client used by
 //!   `cfmap client`, the smoke tests, and the throughput bench, with
 //!   keep-alive connection reuse;
@@ -56,14 +64,18 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod family_store;
 pub mod http;
 pub mod json;
 pub mod router;
 pub mod server;
+pub mod snapshot;
 pub mod wire;
 
 pub use cache::{CacheStats, ShardedLruCache};
 pub use engine::{CacheKey, CachedOutcome, Engine};
+pub use family_store::{FamilyStats, FamilyStore};
+pub use snapshot::Snapshot;
 pub use router::{CfmapRouter, Circuit, RouterConfig};
 pub use server::{CfmapServer, ServerConfig, ShutdownHandle};
 pub use wire::{MapOutcome, MapRequest, MapResponse, RouterReject, RouterRejectKind, WireError};

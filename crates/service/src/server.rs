@@ -26,8 +26,15 @@
 //! | `GET /metrics` | — | Prometheus text exposition of the registry |
 //! | `GET /healthz` | — | liveness: `{"status","draining","queue_depth","workers"}`, always `200` while the process serves |
 //! | `GET /readyz` | — | readiness: `200` normally, `503` once draining |
+//! | `GET /family` | — | family-catalogue counters + every certificate |
 //! | `POST /cache/clear` | — | `{"cleared": n}` |
+//! | `GET /cache/save` | — | the warm-start snapshot as text (pipe to a file, ship to new shards) |
+//! | `POST /cache/save` | `{"path": "…"}` | atomically write the snapshot server-side |
 //! | `POST /shutdown` | — | `{"status":"shutting_down"}`, then the listener drains and exits |
+//!
+//! A background fitter thread watches the engine's family observations
+//! and promotes them to certificates (see [`crate::family_store`]); it
+//! exits with the accept loop at shutdown.
 //!
 //! `/healthz` vs `/readyz`: liveness answers "is the process serving at
 //! all" (restart me if not), readiness answers "should new traffic be
@@ -45,6 +52,7 @@
 use crate::engine::Engine;
 use crate::http::{read_request, write_response_extra, ReadError};
 use crate::json::{parse, Json};
+use crate::snapshot::{certificate_json, write_atomic};
 use crate::wire::{MapRequest, MapResponse};
 use cfmap_core::budget::clock;
 use cfmap_core::metrics::{Counter, Gauge, Histogram, DEFAULT_LATENCY_BUCKETS_US};
@@ -72,6 +80,13 @@ const CT_JSON: &str = "application/json";
 /// `Content-Type` of the `/metrics` answer (Prometheus text exposition
 /// format).
 const CT_METRICS: &str = "text/plain; version=0.0.4";
+
+/// `Content-Type` of the `GET /cache/save` answer (the snapshot's own
+/// header line carries the version and checksums).
+const CT_SNAPSHOT: &str = "text/plain; charset=utf-8";
+
+/// How long the background fitter naps when no family is ready.
+const FITTER_IDLE_NAP: Duration = Duration::from_millis(25);
 
 /// Server configuration (all fields have serviceable defaults).
 #[derive(Clone, Debug)]
@@ -101,6 +116,11 @@ pub struct ServerConfig {
     /// closes it anyway. Bounds how long a single client can pin a
     /// worker, and gives load balancing a natural re-shuffle point.
     pub max_requests_per_conn: usize,
+    /// Warm-start snapshot to load at bind time (`--cache-load PATH`).
+    /// A version / digest / checksum mismatch fails startup with the
+    /// precise [`cfmap_core::CfmapError::SnapshotMismatch`] message
+    /// rather than serving from incompatible state.
+    pub cache_load: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +135,7 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             fault_injection: false,
             max_requests_per_conn: 100,
+            cache_load: None,
         }
     }
 }
@@ -174,6 +195,17 @@ impl CfmapServer {
             config.cache_capacity.max(1),
             config.cache_shards.max(1),
         ));
+        if let Some(path) = &config.cache_load {
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                std::io::Error::new(e.kind(), format!("--cache-load {path}: {e}"))
+            })?;
+            engine.load_snapshot(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("--cache-load {path}: {e}"),
+                )
+            })?;
+        }
         // Registering at bind time makes the admission metrics visible
         // (at zero) in the very first `/metrics` scrape, before any
         // connection is shed or queued.
@@ -232,6 +264,22 @@ impl CfmapServer {
         // serve within anyone's deadline.
         let (tx, rx) = mpsc::sync_channel::<Conn>(self.queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
+        // The background fitter promotes observed schedule families to
+        // certificates off the request path. Detached on purpose: a fit
+        // step can spend seconds solving probe instances, and shutdown
+        // must not wait for it — the thread notices the flag at its next
+        // step and exits on its own (the process exits regardless).
+        {
+            let engine = Arc::clone(&self.engine);
+            let shutdown = Arc::clone(&self.shutdown);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    if !engine.family_fit_step() {
+                        std::thread::sleep(FITTER_IDLE_NAP);
+                    }
+                }
+            });
+        }
         let mut pool = Vec::with_capacity(self.workers);
         for _ in 0..self.workers {
             let rx = Arc::clone(&rx);
@@ -369,7 +417,9 @@ fn route_label(method: &str, path: &str) -> &'static str {
         ("GET", "/metrics") => "/metrics",
         ("GET", "/healthz") => "/healthz",
         ("GET", "/readyz") => "/readyz",
+        ("GET", "/family") => "/family",
         ("POST", "/cache/clear") => "/cache/clear",
+        ("GET" | "POST", "/cache/save") => "/cache/save",
         ("POST", "/shutdown") => "/shutdown",
         _ => "other",
     }
@@ -577,6 +627,7 @@ fn dispatch(
         ("GET", "/stats") => {
             let cache = engine.cache_stats();
             let search = engine.search_stats();
+            let family = engine.family_stats();
             let json = Json::Obj(vec![
                 ("status".into(), Json::Str("ok".into())),
                 ("requests".into(), Json::Int(requests.load(Ordering::Relaxed) as i64)),
@@ -614,6 +665,7 @@ fn dispatch(
                         ),
                     ]),
                 ),
+                ("family".into(), family_stats_json(&family)),
             ]);
             (200, CT_JSON, json.serialize())
         }
@@ -644,6 +696,31 @@ fn dispatch(
                 (200, CT_JSON, json.serialize())
             }
         }
+        ("GET", "/family") => {
+            let stats = engine.family_stats();
+            let families = Json::Arr(
+                engine
+                    .family_certificates()
+                    .iter()
+                    .filter_map(|c| {
+                        let mut json = certificate_json(c)?;
+                        if let Json::Obj(fields) = &mut json {
+                            fields.push((
+                                "fully_symbolic".into(),
+                                Json::Bool(c.fully_symbolic()),
+                            ));
+                        }
+                        Some(json)
+                    })
+                    .collect(),
+            );
+            let mut fields = vec![("status".into(), Json::Str("ok".into()))];
+            if let Json::Obj(stat_fields) = family_stats_json(&stats) {
+                fields.extend(stat_fields);
+            }
+            fields.push(("families".into(), families));
+            (200, CT_JSON, Json::Obj(fields).serialize())
+        }
         ("POST", "/cache/clear") => {
             let cleared = engine.clear_cache();
             (
@@ -651,6 +728,49 @@ fn dispatch(
                 CT_JSON,
                 Json::Obj(vec![("cleared".into(), Json::Int(cleared as i64))]).serialize(),
             )
+        }
+        // The snapshot travels as plain text: `cfmap client --get
+        // /cache/save > warm.snap` on one shard, `--cache-load warm.snap`
+        // on the next.
+        ("GET", "/cache/save") => (200, CT_SNAPSHOT, engine.snapshot().encode()),
+        ("POST", "/cache/save") => {
+            let path = parse(body)
+                .ok()
+                .and_then(|j| j.get("path").and_then(Json::as_str).map(str::to_string));
+            match path {
+                None => (400, CT_JSON, error_body("body must be {\"path\": \"...\"}")),
+                Some(path) => {
+                    let snap = engine.snapshot();
+                    let (entries, families) = (snap.cache.len(), snap.families.len());
+                    let text = snap.encode();
+                    match write_atomic(std::path::Path::new(&path), &text) {
+                        Ok(()) => (
+                            200,
+                            CT_JSON,
+                            Json::Obj(vec![
+                                ("status".into(), Json::Str("saved".into())),
+                                ("path".into(), Json::Str(path)),
+                                (
+                                    "bytes".into(),
+                                    Json::Int(i64::try_from(text.len()).unwrap_or(i64::MAX)),
+                                ),
+                                ("entries".into(), Json::Int(entries as i64)),
+                                ("families".into(), Json::Int(families as i64)),
+                            ])
+                            .serialize(),
+                        ),
+                        Err(e) => (
+                            500,
+                            CT_JSON,
+                            Json::Obj(vec![
+                                ("status".into(), Json::Str("io_error".into())),
+                                ("message".into(), Json::Str(format!("{path}: {e}"))),
+                            ])
+                            .serialize(),
+                        ),
+                    }
+                }
+            }
         }
         ("POST", "/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
@@ -663,6 +783,19 @@ fn dispatch(
         }
         _ => (404, CT_JSON, error_body(&format!("no route {method} {path}"))),
     }
+}
+
+/// The family-catalogue counters as a JSON object (shared by `/stats`
+/// and `/family`).
+fn family_stats_json(f: &crate::family_store::FamilyStats) -> Json {
+    Json::Obj(vec![
+        ("hits".into(), Json::Int(i64::try_from(f.hits).unwrap_or(i64::MAX))),
+        ("certificates".into(), Json::Int(i64::try_from(f.certificates).unwrap_or(i64::MAX))),
+        ("observing".into(), Json::Int(i64::try_from(f.observing).unwrap_or(i64::MAX))),
+        ("rejected".into(), Json::Int(i64::try_from(f.rejected).unwrap_or(i64::MAX))),
+        ("fit_certified".into(), Json::Int(i64::try_from(f.fit_certified).unwrap_or(i64::MAX))),
+        ("fit_failed".into(), Json::Int(i64::try_from(f.fit_failed).unwrap_or(i64::MAX))),
+    ])
 }
 
 /// Parse `{"requests": […]}`.

@@ -1,0 +1,607 @@
+//! Versioned, checksummed persistence of the warm-start state.
+//!
+//! A snapshot carries the design cache (canonical keys → solved
+//! outcomes) and the family catalogue (affine-in-μ certificates) in one
+//! hand-rolled text format:
+//!
+//! ```text
+//! cfmapsnap v1 digest=<16 hex> checksum=<16 hex> bytes=<len>
+//! {"cache":[…],"families":[…]}
+//! ```
+//!
+//! Three header fields gate the load, each with a precise
+//! [`CfmapError::SnapshotMismatch`] on disagreement:
+//!
+//! * **version** — the format itself;
+//! * **digest** — [`cfmap_core::canon_fingerprint`], a hash of the
+//!   canonicalization's observable behavior. Cache keys are canonical
+//!   problems; loading keys minted under a *different* canonicalization
+//!   would silently serve wrong designs, so an incompatible build
+//!   refuses the file outright;
+//! * **checksum** — FNV-1a over the body bytes, with the byte count
+//!   alongside, so truncated or bit-flipped files fail loudly.
+//!
+//! Writes are atomic (temp file + rename in the destination directory),
+//! so a crash mid-save can never leave a half-written snapshot where a
+//! restarting daemon would find it. The format is plain text on purpose:
+//! a snapshot is fleet-portable operational data (`cfmap client --get
+//! /cache/save > warm.snap`, ship `warm.snap` to new shards), and ops
+//! can eyeball it.
+
+use crate::engine::{CacheKey, CachedOutcome};
+use crate::json::{parse, Json};
+use crate::wire::{certification_from_json, certification_to_json};
+use cfmap_core::family::{
+    Discharge, FamilyCertificate, FamilyKey, FamilyTemplate, ProofObligation,
+};
+use cfmap_core::{canon_fingerprint, CanonicalProblem, CfmapError};
+use cfmap_intlin::AffineInt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Snapshot format version (the `v1` in the header).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The magic leading the header line.
+const MAGIC: &str = "cfmapsnap";
+
+/// The warm-start state of one daemon, decoupled from live stores.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Design-cache entries, oldest-first (restore order preserves the
+    /// LRU preference when the restoring cache is smaller).
+    pub cache: Vec<(CacheKey, CachedOutcome)>,
+    /// Family certificates.
+    pub families: Vec<FamilyCertificate>,
+}
+
+/// FNV-1a over raw bytes — same constants as the router's key hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x00000100000001b3;
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn mismatch(field: &str, expected: impl Into<String>, actual: impl Into<String>) -> CfmapError {
+    CfmapError::SnapshotMismatch {
+        field: field.into(),
+        expected: expected.into(),
+        actual: actual.into(),
+    }
+}
+
+impl Snapshot {
+    /// Serialize: header line + JSON body.
+    pub fn encode(&self) -> String {
+        let body = self.body_json().serialize();
+        let digest = canon_fingerprint();
+        let checksum = fnv1a(body.as_bytes());
+        format!(
+            "{MAGIC} v{SNAPSHOT_VERSION} digest={digest:016x} checksum={checksum:016x} bytes={}\n{body}",
+            body.len()
+        )
+    }
+
+    /// Parse and verify a snapshot produced by [`Snapshot::encode`].
+    /// Every disagreement — format, version, canonical-key digest,
+    /// checksum, body shape — is a precise
+    /// [`CfmapError::SnapshotMismatch`].
+    pub fn decode(text: &str) -> Result<Snapshot, CfmapError> {
+        let (header, body) = text
+            .split_once('\n')
+            .ok_or_else(|| mismatch("format", "header line + body", "single line"))?;
+        let tokens: Vec<&str> = header.split_whitespace().collect();
+        if tokens.first() != Some(&MAGIC) {
+            return Err(mismatch(
+                "format",
+                format!("{MAGIC} header"),
+                tokens.first().copied().unwrap_or("<empty>"),
+            ));
+        }
+        let version = tokens.get(1).copied().unwrap_or("<missing>");
+        let expected_version = format!("v{SNAPSHOT_VERSION}");
+        if version != expected_version {
+            return Err(mismatch("version", expected_version, version));
+        }
+        let field = |name: &str| -> Result<String, CfmapError> {
+            tokens
+                .iter()
+                .find_map(|t| t.strip_prefix(&format!("{name}=")))
+                .map(str::to_string)
+                .ok_or_else(|| mismatch(name, format!("a {name}= header field"), "<missing>"))
+        };
+        let digest = field("digest")?;
+        let expected_digest = format!("{:016x}", canon_fingerprint());
+        if digest != expected_digest {
+            return Err(mismatch("digest", expected_digest, digest));
+        }
+        let bytes = field("bytes")?;
+        let actual_len = body.len().to_string();
+        if bytes != actual_len {
+            return Err(mismatch("bytes", bytes, actual_len));
+        }
+        let checksum = field("checksum")?;
+        let actual_sum = format!("{:016x}", fnv1a(body.as_bytes()));
+        if checksum != actual_sum {
+            return Err(mismatch("checksum", checksum, actual_sum));
+        }
+        let json = parse(body).map_err(|e| mismatch("body", "valid JSON", e.to_string()))?;
+        Snapshot::from_body(&json)
+    }
+
+    fn body_json(&self) -> Json {
+        let cache = Json::Arr(
+            self.cache
+                .iter()
+                .map(|(k, v)| {
+                    Json::Obj(vec![
+                        ("key".into(), cache_key_json(k)),
+                        ("outcome".into(), outcome_json(v)),
+                    ])
+                })
+                .collect(),
+        );
+        let families = Json::Arr(self.families.iter().filter_map(certificate_json).collect());
+        Json::Obj(vec![("cache".into(), cache), ("families".into(), families)])
+    }
+
+    fn from_body(v: &Json) -> Result<Snapshot, CfmapError> {
+        let body = |what: &str| mismatch("body", what, "other");
+        let cache = v
+            .get("cache")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| body("a \"cache\" array"))?
+            .iter()
+            .map(|entry| {
+                let key = cache_key_from(
+                    entry.get("key").ok_or_else(|| body("cache entry with \"key\""))?,
+                )?;
+                let outcome = outcome_from(
+                    entry.get("outcome").ok_or_else(|| body("cache entry with \"outcome\""))?,
+                )?;
+                Ok((key, outcome))
+            })
+            .collect::<Result<Vec<_>, CfmapError>>()?;
+        let families = v
+            .get("families")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| body("a \"families\" array"))?
+            .iter()
+            .map(certificate_from)
+            .collect::<Result<Vec<_>, CfmapError>>()?;
+        Ok(Snapshot { cache, families })
+    }
+}
+
+/// Write `content` to `path` atomically: temp file in the destination
+/// directory, flushed, then renamed over the target.
+pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp_name = format!(".{}.tmp-{}", file_name.to_string_lossy(), std::process::id());
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+// ---- JSON codecs for the stored types --------------------------------
+
+fn problem_json(p: &CanonicalProblem) -> Json {
+    Json::Obj(vec![
+        ("mu".into(), Json::ints(&p.mu)),
+        ("deps".into(), Json::int_rows(&p.deps)),
+        ("space".into(), Json::int_rows(&p.space)),
+    ])
+}
+
+fn problem_from(v: &Json) -> Result<CanonicalProblem, CfmapError> {
+    Ok(CanonicalProblem {
+        mu: int_vec(v.get("mu"))?,
+        deps: int_matrix(v.get("deps"))?,
+        space: int_matrix(v.get("space"))?,
+    })
+}
+
+fn cache_key_json(k: &CacheKey) -> Json {
+    let mut fields = vec![("problem".into(), problem_json(&k.problem))];
+    if let Some(cap) = k.cap {
+        fields.push(("cap".into(), Json::Int(cap)));
+    }
+    if let Some(n) = k.max_candidates {
+        fields.push(("max_candidates".into(), Json::Int(i64::try_from(n).unwrap_or(i64::MAX))));
+    }
+    Json::Obj(fields)
+}
+
+fn cache_key_from(v: &Json) -> Result<CacheKey, CfmapError> {
+    Ok(CacheKey {
+        problem: problem_from(
+            v.get("problem").ok_or_else(|| mismatch("body", "key with \"problem\"", "other"))?,
+        )?,
+        cap: v.get("cap").and_then(Json::as_i64),
+        max_candidates: v
+            .get("max_candidates")
+            .and_then(Json::as_i64)
+            .map(|n| u64::try_from(n).unwrap_or(0)),
+    })
+}
+
+fn outcome_json(o: &CachedOutcome) -> Json {
+    match o {
+        CachedOutcome::Infeasible { candidates_examined } => Json::Obj(vec![
+            ("status".into(), Json::Str("infeasible".into())),
+            (
+                "candidates_examined".into(),
+                Json::Int(i64::try_from(*candidates_examined).unwrap_or(i64::MAX)),
+            ),
+        ]),
+        CachedOutcome::Design {
+            schedule,
+            objective,
+            total_time,
+            certification,
+            candidates_examined,
+            processors,
+            array_dims,
+        } => Json::Obj(vec![
+            ("status".into(), Json::Str("design".into())),
+            ("schedule".into(), Json::ints(schedule)),
+            ("objective".into(), Json::Int(*objective)),
+            ("total_time".into(), Json::Int(*total_time)),
+            ("certification".into(), certification_to_json(certification)),
+            (
+                "candidates_examined".into(),
+                Json::Int(i64::try_from(*candidates_examined).unwrap_or(i64::MAX)),
+            ),
+            ("processors".into(), Json::Int(i64::try_from(*processors).unwrap_or(i64::MAX))),
+            ("array_dims".into(), Json::Int(i64::try_from(*array_dims).unwrap_or(i64::MAX))),
+        ]),
+    }
+}
+
+fn outcome_from(v: &Json) -> Result<CachedOutcome, CfmapError> {
+    let status = v
+        .get("status")
+        .and_then(Json::as_str)
+        .ok_or_else(|| mismatch("body", "outcome with \"status\"", "other"))?;
+    let u64_of = |key: &str| -> Result<u64, CfmapError> {
+        v.get(key)
+            .and_then(Json::as_i64)
+            .and_then(|n| u64::try_from(n).ok())
+            .ok_or_else(|| mismatch("body", format!("outcome field {key:?}"), "other"))
+    };
+    let i64_of = |key: &str| -> Result<i64, CfmapError> {
+        v.get(key)
+            .and_then(Json::as_i64)
+            .ok_or_else(|| mismatch("body", format!("outcome field {key:?}"), "other"))
+    };
+    match status {
+        "infeasible" => {
+            Ok(CachedOutcome::Infeasible { candidates_examined: u64_of("candidates_examined")? })
+        }
+        "design" => Ok(CachedOutcome::Design {
+            schedule: int_vec(v.get("schedule"))?,
+            objective: i64_of("objective")?,
+            total_time: i64_of("total_time")?,
+            certification: certification_from_json(
+                v.get("certification")
+                    .ok_or_else(|| mismatch("body", "outcome certification", "other"))?,
+            )
+            .map_err(|e| mismatch("body", "a valid certification", e.msg))?,
+            candidates_examined: u64_of("candidates_examined")?,
+            processors: u64_of("processors")?,
+            array_dims: u64_of("array_dims")?,
+        }),
+        other => Err(mismatch("body", "outcome status design|infeasible", other)),
+    }
+}
+
+fn family_key_json(k: &FamilyKey) -> Json {
+    Json::Obj(vec![
+        ("deps".into(), Json::int_rows(&k.deps)),
+        ("space".into(), Json::int_rows(&k.space)),
+        (
+            "shape".into(),
+            Json::Arr(
+                k.shape
+                    .iter()
+                    .map(|s| match s {
+                        Some(c) => Json::Int(*c),
+                        None => Json::Null,
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn family_key_from(v: &Json) -> Result<FamilyKey, CfmapError> {
+    let shape = v
+        .get("shape")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| mismatch("body", "family key \"shape\"", "other"))?
+        .iter()
+        .map(|s| match s {
+            Json::Null => Ok(None),
+            Json::Int(c) => Ok(Some(*c)),
+            _ => Err(mismatch("body", "shape of ints and nulls", "other")),
+        })
+        .collect::<Result<Vec<_>, CfmapError>>()?;
+    Ok(FamilyKey { deps: int_matrix(v.get("deps"))?, space: int_matrix(v.get("space"))?, shape })
+}
+
+/// `None` when a template coefficient exceeds `i64` — such certificates
+/// (never produced by real fits, whose inputs are `i64` schedules) are
+/// simply not persisted rather than corrupted.
+pub(crate) fn certificate_json(c: &FamilyCertificate) -> Option<Json> {
+    let schedule: Option<Vec<Json>> = c
+        .template
+        .schedule
+        .iter()
+        .map(|f| Some(Json::ints(&[f.slope.to_i64()?, f.offset.to_i64()?])))
+        .collect();
+    let obligations = Json::Arr(
+        c.obligations
+            .iter()
+            .map(|o| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(o.name.into())),
+                    (
+                        "discharge".into(),
+                        Json::Str(
+                            match o.discharge {
+                                Discharge::Symbolic => "symbolic",
+                                Discharge::Probed => "probed",
+                            }
+                            .into(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    Some(Json::Obj(vec![
+        ("key".into(), family_key_json(&c.template.key)),
+        ("schedule".into(), Json::Arr(schedule?)),
+        ("objective".into(), Json::ints(&c.template.objective)),
+        ("mu0".into(), Json::Int(c.template.mu0)),
+        ("fitted".into(), Json::ints(&c.fitted)),
+        ("probes".into(), Json::ints(&c.probes)),
+        ("obligations".into(), obligations),
+    ]))
+}
+
+fn certificate_from(v: &Json) -> Result<FamilyCertificate, CfmapError> {
+    let key = family_key_from(
+        v.get("key").ok_or_else(|| mismatch("body", "certificate \"key\"", "other"))?,
+    )?;
+    let schedule = v
+        .get("schedule")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| mismatch("body", "certificate \"schedule\"", "other"))?
+        .iter()
+        .map(|f| {
+            let pair = int_vec(Some(f))?;
+            match pair[..] {
+                [slope, offset] => Ok(AffineInt::from_i64(slope, offset)),
+                _ => Err(mismatch("body", "[slope, offset] pairs", "other")),
+            }
+        })
+        .collect::<Result<Vec<_>, CfmapError>>()?;
+    let objective_vec = int_vec(v.get("objective"))?;
+    let objective: [i64; 3] = objective_vec
+        .try_into()
+        .map_err(|_| mismatch("body", "a 3-coefficient objective", "other"))?;
+    let mu0 = v
+        .get("mu0")
+        .and_then(Json::as_i64)
+        .ok_or_else(|| mismatch("body", "certificate \"mu0\"", "other"))?;
+    let obligations = v
+        .get("obligations")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| mismatch("body", "certificate \"obligations\"", "other"))?
+        .iter()
+        .map(|o| {
+            // Obligation names are a closed set (they are `&'static str`
+            // in core); an unknown name means the snapshot came from a
+            // different build generation.
+            let name = match o.get("name").and_then(Json::as_str) {
+                Some("validity") => "validity",
+                Some("rank") => "rank",
+                Some("conflict-freedom") => "conflict-freedom",
+                Some("objective-form") => "objective-form",
+                other => {
+                    return Err(mismatch(
+                        "body",
+                        "a known obligation name",
+                        other.unwrap_or("<missing>"),
+                    ))
+                }
+            };
+            let discharge = match o.get("discharge").and_then(Json::as_str) {
+                Some("symbolic") => Discharge::Symbolic,
+                Some("probed") => Discharge::Probed,
+                other => {
+                    return Err(mismatch(
+                        "body",
+                        "discharge symbolic|probed",
+                        other.unwrap_or("<missing>"),
+                    ))
+                }
+            };
+            Ok(ProofObligation { name, discharge })
+        })
+        .collect::<Result<Vec<_>, CfmapError>>()?;
+    Ok(FamilyCertificate {
+        template: FamilyTemplate { key, schedule, objective, mu0 },
+        fitted: int_vec(v.get("fitted"))?,
+        probes: int_vec(v.get("probes"))?,
+        obligations,
+    })
+}
+
+fn int_vec(v: Option<&Json>) -> Result<Vec<i64>, CfmapError> {
+    v.and_then(Json::as_arr)
+        .ok_or_else(|| mismatch("body", "an integer array", "other"))?
+        .iter()
+        .map(|item| item.as_i64().ok_or_else(|| mismatch("body", "integer entries", "other")))
+        .collect()
+}
+
+fn int_matrix(v: Option<&Json>) -> Result<Vec<Vec<i64>>, CfmapError> {
+    v.and_then(Json::as_arr)
+        .ok_or_else(|| mismatch("body", "an array of integer arrays", "other"))?
+        .iter()
+        .map(|row| int_vec(Some(row)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfmap_core::family::{certify, cold_solve, FamilyInstance};
+    use cfmap_core::Certification;
+
+    fn matmul_certificate() -> FamilyCertificate {
+        let problem = CanonicalProblem {
+            mu: vec![4, 4, 4],
+            deps: vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]],
+            space: vec![vec![1, -1, -1]],
+        };
+        let (key, _) = FamilyKey::of(&problem);
+        let instances: Vec<FamilyInstance> =
+            [2i64, 3, 4].iter().map(|&p| cold_solve(&key, p).unwrap().unwrap()).collect();
+        certify(&key, &instances).unwrap()
+    }
+
+    fn sample() -> Snapshot {
+        let problem = CanonicalProblem {
+            mu: vec![4, 4, 4],
+            deps: vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]],
+            space: vec![vec![1, -1, -1]],
+        };
+        Snapshot {
+            cache: vec![
+                (
+                    CacheKey { problem: problem.clone(), cap: None, max_candidates: None },
+                    CachedOutcome::Design {
+                        schedule: vec![3, 2, 1],
+                        objective: 24,
+                        total_time: 25,
+                        certification: Certification::Optimal,
+                        candidates_examined: 90,
+                        processors: 13,
+                        array_dims: 1,
+                    },
+                ),
+                (
+                    CacheKey { problem, cap: Some(5), max_candidates: Some(10) },
+                    CachedOutcome::Infeasible { candidates_examined: 10 },
+                ),
+            ],
+            families: vec![matmul_certificate()],
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_for_bit() {
+        let snap = sample();
+        let text = snap.encode();
+        let back = Snapshot::decode(&text).unwrap();
+        assert_eq!(back.cache.len(), 2);
+        for ((k1, _), (k2, _)) in snap.cache.iter().zip(&back.cache) {
+            assert_eq!(k1, k2);
+        }
+        assert_eq!(back.families, snap.families);
+        // Outcomes compare field-by-field (CachedOutcome lacks PartialEq).
+        assert_eq!(text, Snapshot { cache: back.cache, families: back.families }.encode());
+    }
+
+    #[test]
+    fn tampered_body_is_refused_with_checksum_mismatch() {
+        let text = sample().encode();
+        // Flip one digit inside the body, keeping the length identical.
+        let tampered = text.replacen("\"objective\":24", "\"objective\":42", 1);
+        assert_ne!(tampered, text);
+        let err = Snapshot::decode(&tampered).unwrap_err();
+        let CfmapError::SnapshotMismatch { field, .. } = &err else {
+            panic!("expected mismatch, got {err:?}");
+        };
+        assert_eq!(field, "checksum");
+    }
+
+    #[test]
+    fn wrong_version_and_digest_are_precise() {
+        let text = sample().encode();
+        let old = text.replacen("cfmapsnap v1 ", "cfmapsnap v0 ", 1);
+        let err = Snapshot::decode(&old).unwrap_err();
+        assert!(
+            matches!(&err, CfmapError::SnapshotMismatch { field, actual, .. }
+                if field == "version" && actual == "v0"),
+            "{err:?}"
+        );
+        // A digest from a foreign build generation.
+        let foreign = {
+            let pos = text.find("digest=").unwrap() + "digest=".len();
+            let mut t = text.clone();
+            t.replace_range(pos..pos + 16, "00000000deadbeef");
+            t
+        };
+        let err = Snapshot::decode(&foreign).unwrap_err();
+        assert!(
+            matches!(&err, CfmapError::SnapshotMismatch { field, actual, .. }
+                if field == "digest" && actual == "00000000deadbeef"),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("snapshot mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_refused() {
+        let text = sample().encode();
+        let truncated = &text[..text.len() - 10];
+        let err = Snapshot::decode(truncated).unwrap_err();
+        assert!(
+            matches!(&err, CfmapError::SnapshotMismatch { field, .. } if field == "bytes"),
+            "{err:?}"
+        );
+        assert!(Snapshot::decode("garbage").is_err());
+        assert!(Snapshot::decode("").is_err());
+    }
+
+    #[test]
+    fn atomic_write_lands_or_leaves_nothing() {
+        let dir = std::env::temp_dir().join(format!("cfmapsnap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.snap");
+        let text = sample().encode();
+        write_atomic(&path, &text).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        // No temp droppings.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -490,6 +490,12 @@ pub fn error_to_json(e: &CfmapError) -> Json {
         ],
         CfmapError::Unsupported { reason } => vec![kind("unsupported"), s("reason", reason)],
         CfmapError::Internal { context } => vec![kind("internal"), s("context", context)],
+        CfmapError::SnapshotMismatch { field, expected, actual } => vec![
+            kind("snapshot_mismatch"),
+            s("field", field),
+            s("expected", expected),
+            s("actual", actual),
+        ],
     };
     Json::Obj(fields)
 }
@@ -539,6 +545,11 @@ pub fn error_from_json(v: &Json) -> Result<CfmapError, WireError> {
         }),
         "unsupported" => Ok(CfmapError::Unsupported { reason: text("reason")? }),
         "internal" => Ok(CfmapError::Internal { context: text("context")? }),
+        "snapshot_mismatch" => Ok(CfmapError::SnapshotMismatch {
+            field: text("field")?,
+            expected: text("expected")?,
+            actual: text("actual")?,
+        }),
         other => Err(bad(format!("unknown error kind {other:?}"))),
     }
 }
@@ -639,6 +650,11 @@ mod tests {
             CfmapError::DimensionMismatch { context: "S vs Π".into(), expected: 3, actual: 2 },
             CfmapError::Unsupported { reason: "3-row S".into() },
             CfmapError::Internal { context: "solve_parallel worker panicked".into() },
+            CfmapError::SnapshotMismatch {
+                field: "digest".into(),
+                expected: "00112233aabbccdd".into(),
+                actual: "ffeeddcc99887766".into(),
+            },
         ];
         for e in errors {
             let resp = MapResponse::Error(e.clone());

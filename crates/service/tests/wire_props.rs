@@ -102,7 +102,7 @@ cfmap_testkit::props! {
     /// Every CfmapError variant round-trips through the error response,
     /// with generated payloads (including hostile strings).
     fn error_variants_round_trip(
-        kind in 0i64..=10,
+        kind in 0i64..=11,
         a in 0i64..=1_000_000,
         b in 0i64..=1_000_000,
         sched in cfmap_testkit::gen::vec(-99i64..=99, 1..6),
@@ -138,6 +138,11 @@ cfmap_testkit::props! {
                 context: text.clone(),
                 expected: a as usize,
                 actual: b as usize,
+            },
+            10 => CfmapError::SnapshotMismatch {
+                field: text.clone(),
+                expected: format!("{a:016x}"),
+                actual: format!("{b:016x}"),
             },
             _ => CfmapError::Unsupported { reason: text.clone() },
         };

@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Run the experiment harness and record the results as JSON.
 #
-#   scripts/bench.sh              # all experiments -> BENCH_4.json
-#   scripts/bench.sh E13          # subset, same output file
+#   scripts/bench.sh              # all experiments -> BENCH_7.json
+#   scripts/bench.sh E14          # subset, same output file
 #   BENCH_OUT=/tmp/b.json scripts/bench.sh
 #   CFMAP_BENCH_MS=5 scripts/bench.sh E13   # fast smoke budget
 #
@@ -12,7 +12,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_4.json}
+OUT=${BENCH_OUT:-BENCH_7.json}
 
 cargo run --release --offline -p cfmap-bench --bin experiments -- --json "$@" > "$OUT"
 echo "bench: wrote $OUT"

@@ -18,16 +18,24 @@ R_FIFO=/tmp/cfmapd_r_fifo_$$
 B1_OUT=/tmp/cfmapd_b1_out_$$
 B2_OUT=/tmp/cfmapd_b2_out_$$
 R_OUT=/tmp/cfmapd_r_out_$$
+W1_FIFO=/tmp/cfmapd_w1_fifo_$$
+W2_FIFO=/tmp/cfmapd_w2_fifo_$$
+W1_OUT=/tmp/cfmapd_w1_out_$$
+W2_OUT=/tmp/cfmapd_w2_out_$$
+SNAP=/tmp/cfmapd_warm_$$.snap
 CFMAPD_PID=
 B1_PID=
 B2_PID=
 R_PID=
+W1_PID=
+W2_PID=
 cleanup() {
-    for pid in "$CFMAPD_PID" "$B1_PID" "$B2_PID" "$R_PID"; do
+    for pid in "$CFMAPD_PID" "$B1_PID" "$B2_PID" "$R_PID" "$W1_PID" "$W2_PID"; do
         # `|| true` keeps `set -e` from aborting the trap mid-cleanup.
         [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
     done
-    rm -f "$FIFO" "$OUTFILE" "$B1_FIFO" "$B2_FIFO" "$R_FIFO" "$B1_OUT" "$B2_OUT" "$R_OUT"
+    rm -f "$FIFO" "$OUTFILE" "$B1_FIFO" "$B2_FIFO" "$R_FIFO" "$B1_OUT" "$B2_OUT" "$R_OUT" \
+        "$W1_FIFO" "$W2_FIFO" "$W1_OUT" "$W2_OUT" "$SNAP"
 }
 trap cleanup EXIT INT TERM
 
@@ -159,6 +167,63 @@ done
 B1_PID=
 B2_PID=
 
+echo "== smoke: family warm-start — save, restart, warm hit"
+# Daemon 1 solves three sizes of the matmul family; its background
+# fitter mints an affine-in-μ certificate; the snapshot ships to disk.
+# Daemon 2 — a fresh process loaded with --cache-load — must answer a
+# size NO process ever solved from that certificate alone.
+mkfifo "$W1_FIFO"
+"$CFMAPD" --addr 127.0.0.1:0 --watch-stdin < "$W1_FIFO" > "$W1_OUT" &
+W1_PID=$!
+exec 5> "$W1_FIFO"
+for _ in $(seq 1 50); do
+    grep -q "cfmapd listening on" "$W1_OUT" 2>/dev/null && break
+    sleep 0.1
+done
+W1_ADDR=$(sed -n 's/^cfmapd listening on //p' "$W1_OUT")
+[ -n "$W1_ADDR" ] || { echo "warm-start daemon 1 did not start"; exit 1; }
+for MU in 2 3 4; do
+    "$CFMAP" client --addr "$W1_ADDR" --alg matmul --mu "$MU" --space 1,1,-1 > /dev/null \
+        || { echo "warm-start seed solve (mu=$MU) failed"; exit 1; }
+done
+# The fitter runs in the background; wait for the certificate.
+CERTS=0
+for _ in $(seq 1 100); do
+    CERTS=$("$CFMAP" client --addr "$W1_ADDR" --get /family \
+        | sed -n 's/.*"certificates":\([0-9]*\).*/\1/p')
+    [ "${CERTS:-0}" -ge 1 ] && break
+    sleep 0.1
+done
+[ "${CERTS:-0}" -ge 1 ] || { echo "background fitter minted no certificate"; exit 1; }
+"$CFMAP" client --addr "$W1_ADDR" --get /cache/save > "$SNAP"
+head -c 12 "$SNAP" | grep -q "cfmapsnap v1" \
+    || { echo "snapshot is missing its versioned header"; exit 1; }
+exec 5>&-          # daemon 1 drains and exits
+wait "$W1_PID" || { echo "warm-start daemon 1 did not exit cleanly"; exit 1; }
+W1_PID=
+mkfifo "$W2_FIFO"
+"$CFMAPD" --addr 127.0.0.1:0 --cache-load "$SNAP" --watch-stdin < "$W2_FIFO" > "$W2_OUT" &
+W2_PID=$!
+exec 5> "$W2_FIFO"
+for _ in $(seq 1 50); do
+    grep -q "cfmapd listening on" "$W2_OUT" 2>/dev/null && break
+    sleep 0.1
+done
+W2_ADDR=$(sed -n 's/^cfmapd listening on //p' "$W2_OUT")
+[ -n "$W2_ADDR" ] || { echo "warm-start daemon 2 did not start"; exit 1; }
+# μ = 9 was never solved by either process: the answer must come from
+# the certificate (family hit), at the exact optimum t = μ(μ+2)+1 = 100.
+"$CFMAP" client --addr "$W2_ADDR" --alg matmul --mu 9 --space 1,1,-1 | grep -q "t = 100 cycles" \
+    || { echo "warm-started daemon gave a wrong answer at mu=9"; exit 1; }
+W_METRICS=$("$CFMAP" client --addr "$W2_ADDR" --get /metrics)
+echo "$W_METRICS" | grep -q '^cfmapd_family_hits_total 1$' \
+    || { echo "/metrics is missing the family hit"; exit 1; }
+echo "$W_METRICS" | grep -q '^cfmap_solves_total 0$' \
+    || { echo "warm-started daemon ran a search it should not need"; exit 1; }
+exec 5>&-          # daemon 2 drains and exits
+wait "$W2_PID" || { echo "warm-start daemon 2 did not exit cleanly"; exit 1; }
+W2_PID=
+
 echo "== smoke: chaos — one seeded fault plan against a live daemon"
 # Replays a fixed-seed FaultPlan (slow-loris, disconnects, injected
 # panics and stalls) against a fault-injection-enabled daemon and checks
@@ -172,9 +237,11 @@ CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e12_service_throug
 CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e13_hot_path > /dev/null
 
 echo "== smoke: bench.sh writes experiment JSON"
-CFMAP_BENCH_MS=5 BENCH_OUT=/tmp/cfmap_bench_smoke_$$.json scripts/bench.sh E13 > /dev/null
+CFMAP_BENCH_MS=5 BENCH_OUT=/tmp/cfmap_bench_smoke_$$.json scripts/bench.sh E13 E14 > /dev/null
 grep -q '"id":"E13"' "/tmp/cfmap_bench_smoke_$$.json" \
     || { echo "bench.sh produced no E13 report"; exit 1; }
+grep -q '"id":"E14"' "/tmp/cfmap_bench_smoke_$$.json" \
+    || { echo "bench.sh produced no E14 report"; exit 1; }
 rm -f "/tmp/cfmap_bench_smoke_$$.json"
 
 echo "verify: OK"

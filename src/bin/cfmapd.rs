@@ -3,7 +3,8 @@
 //! ```text
 //! cfmapd [--addr 127.0.0.1:7971] [--workers 4] [--cache-capacity 256]
 //!        [--shards 8] [--queue-capacity 64] [--drain-deadline-ms 5000]
-//!        [--watch-stdin] [--log-format json] [--enable-fault-injection]
+//!        [--cache-load PATH] [--watch-stdin] [--log-format json]
+//!        [--enable-fault-injection]
 //! ```
 //!
 //! On startup the daemon prints exactly one line, `cfmapd listening on
@@ -24,8 +25,8 @@ cfmapd — mapping-as-a-service daemon (Shang & Fortes conflict-free mappings)
 
 USAGE:
   cfmapd [--addr HOST:PORT] [--workers N] [--cache-capacity N] [--shards N]
-         [--queue-capacity N] [--drain-deadline-ms N] [--watch-stdin]
-         [--log-format text|json] [--enable-fault-injection]
+         [--queue-capacity N] [--drain-deadline-ms N] [--cache-load PATH]
+         [--watch-stdin] [--log-format text|json] [--enable-fault-injection]
 
 OPTIONS:
   --addr               bind address (default 127.0.0.1:7971; port 0 = ephemeral)
@@ -36,6 +37,9 @@ OPTIONS:
                        shed with 503 + Retry-After (default 64)
   --drain-deadline-ms  shutdown drain bound before in-flight searches are
                        cancelled to best-effort answers (default 5000)
+  --cache-load         warm-start snapshot to load before serving (written by
+                       GET/POST /cache/save); refused precisely on a version,
+                       digest, or checksum mismatch
   --watch-stdin        shut down gracefully when stdin reaches EOF
   --log-format         'json' emits one access-log line per request on stderr
                        (default 'text': no per-request logging)
@@ -47,7 +51,9 @@ ROUTES:
   POST /map          one mapping request        POST /batch   {\"requests\": [...]}
   GET  /stats        cache + search counters    GET  /healthz liveness (+ draining, queue depth)
   GET  /metrics      Prometheus text format     GET  /readyz  readiness (503 while draining)
-  POST /cache/clear  drop cached designs        POST /shutdown drain and exit";
+  GET  /family       schedule-family catalogue  GET  /cache/save  snapshot as text
+  POST /cache/clear  drop cached designs        POST /cache/save  {\"path\": \"...\"} save server-side
+  POST /shutdown     drain and exit";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,7 +72,9 @@ fn main() -> ExitCode {
     let server = match CfmapServer::bind(&config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot bind {}: {e}", config.addr);
+            // Covers both bind failures and a refused --cache-load
+            // snapshot (the error names the flag and the mismatch).
+            eprintln!("error: cannot start on {}: {e}", config.addr);
             return ExitCode::FAILURE;
         }
     };
@@ -133,6 +141,9 @@ fn parse_config(args: &[String]) -> Result<Option<(ServerConfig, bool)>, String>
             "--drain-deadline-ms" => {
                 let ms = parse_count(it.next(), "--drain-deadline-ms")?;
                 config.drain_deadline = std::time::Duration::from_millis(ms as u64);
+            }
+            "--cache-load" => {
+                config.cache_load = Some(it.next().ok_or("--cache-load needs a value")?.clone());
             }
             "--enable-fault-injection" => config.fault_injection = true,
             "--log-format" => {

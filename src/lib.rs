@@ -68,6 +68,7 @@ pub mod prelude {
         diagnose, BudgetLimit, CancelToken, Certification, CfmapError, Check, Deadline,
         InterconnectionPrimitives, JointCriterion, JointOptimal, JointSearch, MappingDiagnosis,
         MappingMatrix, OptimalMapping, Procedure51, SearchBudget, SearchOutcome, SpaceMap,
+        TieBreak,
         SpaceOptimalMapping, SpaceSearch,
     };
     pub use cfmap_systolic::rtl::{execute_rtl, RtlResult};

@@ -1,0 +1,169 @@
+//! Fleet warm-start through the wire: a daemon observes a few sizes of a
+//! problem family, its background fitter promotes them to an affine-in-μ
+//! certificate, the certificate ships out through `GET /cache/save`, and
+//! a *freshly started* daemon loaded with `--cache-load` answers a size
+//! no process ever solved — from the certificate, with zero search, and
+//! bit-identical to a cold solve.
+
+use cfmap::service::client;
+use cfmap::service::engine::Engine;
+use cfmap::service::json::{parse, Json};
+use cfmap::service::wire::{MapRequest, MapResponse};
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A running daemon that is shut down (or killed) when dropped.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra_args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cfmapd"))
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("cfmapd spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut first_line = String::new();
+        BufReader::new(stdout).read_line(&mut first_line).expect("startup line");
+        let addr = first_line
+            .trim()
+            .strip_prefix("cfmapd listening on ")
+            .unwrap_or_else(|| panic!("unexpected startup line {first_line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn stop(mut self) {
+        let _ = client::post(&self.addr, "/shutdown", "");
+        let status = self.child.wait().expect("cfmapd exits");
+        assert!(status.success(), "cfmapd exited with {status:?}");
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn matmul(mu: i64) -> MapRequest {
+    MapRequest::named("matmul", mu, vec![vec![1, 1, -1]])
+}
+
+/// Poll `GET /family` until at least one certificate exists (the
+/// background fitter needs a few probe solves), bounded by `deadline`.
+fn wait_for_certificate(addr: &str, deadline: Duration) -> Json {
+    let started = Instant::now();
+    loop {
+        let body = client::get(addr, "/family").expect("GET /family").body;
+        let json = parse(&body).expect("family body is JSON");
+        if json.get("certificates").and_then(Json::as_i64).unwrap_or(0) >= 1 {
+            return json;
+        }
+        assert!(
+            started.elapsed() < deadline,
+            "fitter produced no certificate within {deadline:?}: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn snapshot_ships_family_warmth_to_a_fresh_daemon() {
+    // Daemon A: solve three sizes; the background fitter certifies the
+    // matmul family on its own.
+    let a = Daemon::spawn(&[]);
+    for mu in [2, 3, 4] {
+        let resp = client::map(&a.addr, &matmul(mu)).expect("map call");
+        assert!(matches!(resp, MapResponse::Ok(_)), "{resp:?}");
+    }
+    let family = wait_for_certificate(&a.addr, Duration::from_secs(60));
+    let families = family.get("families").and_then(Json::as_arr).expect("families array");
+    assert_eq!(families.len(), 1, "{family:?}");
+    assert_eq!(families[0].get("fully_symbolic").and_then(Json::as_bool), Some(true));
+
+    // The snapshot travels as text — exactly what the fleet quickstart
+    // pipes to a file.
+    let snap = client::get(&a.addr, "/cache/save").expect("GET /cache/save");
+    assert_eq!(snap.status, 200);
+    assert!(snap.body.starts_with("cfmapsnap v1 "), "{}", &snap.body[..40.min(snap.body.len())]);
+    let path = std::env::temp_dir().join(format!("cfmap-warm-{}.snap", std::process::id()));
+    std::fs::write(&path, &snap.body).expect("snapshot written");
+    a.stop();
+
+    // Daemon B: fresh process, warm-started from the file. μ = 9 was
+    // never solved by any process — it must come from the certificate,
+    // with zero candidates examined, certified optimal.
+    let b = Daemon::spawn(&["--cache-load", path.to_str().unwrap()]);
+    let resp = client::map(&b.addr, &matmul(9)).expect("map call");
+    let MapResponse::Ok(warm) = &resp else { panic!("expected ok, got {resp:?}") };
+    assert!(warm.cached, "family answer reports cached=true");
+    assert_eq!(warm.candidates_examined, 0, "zero search on a family hit");
+    // Bit-identical to a cold in-process solve of the same request.
+    let MapResponse::Ok(cold) = Engine::new(8, 1).resolve(&matmul(9)) else {
+        panic!("cold reference solve failed")
+    };
+    assert_eq!(warm.schedule, cold.schedule);
+    assert_eq!(warm.objective, cold.objective);
+    assert_eq!(warm.total_time, cold.total_time);
+    assert_eq!(warm.processors, cold.processors);
+
+    let family = parse(&client::get(&b.addr, "/family").expect("family").body).unwrap();
+    assert!(family.get("hits").and_then(Json::as_i64).unwrap_or(0) >= 1, "{family:?}");
+    let metrics = client::get(&b.addr, "/metrics").expect("metrics").body;
+    assert!(metrics.contains("cfmapd_family_hits_total 1"), "{metrics}");
+    b.stop();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn post_cache_save_writes_the_snapshot_server_side() {
+    let d = Daemon::spawn(&[]);
+    let resp = client::map(&d.addr, &matmul(4)).expect("map call");
+    assert!(matches!(resp, MapResponse::Ok(_)));
+    let path = std::env::temp_dir().join(format!("cfmap-save-{}.snap", std::process::id()));
+    let body = Json::Obj(vec![(
+        "path".into(),
+        Json::Str(path.to_str().unwrap().into()),
+    )])
+    .serialize();
+    let reply = client::post(&d.addr, "/cache/save", &body).expect("POST /cache/save");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let saved = parse(&reply.body).unwrap();
+    assert_eq!(saved.get("status").and_then(Json::as_str), Some("saved"));
+    assert!(saved.get("entries").and_then(Json::as_i64).unwrap_or(0) >= 1, "{}", reply.body);
+    let on_disk = std::fs::read_to_string(&path).expect("snapshot file exists");
+    assert!(on_disk.starts_with("cfmapsnap v1 "));
+    // Missing path is a 400, not a panic.
+    let reply = client::post(&d.addr, "/cache/save", "{}").expect("POST without path");
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    d.stop();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_snapshot_refuses_startup_with_a_precise_message() {
+    let path = std::env::temp_dir().join(format!("cfmap-bad-{}.snap", std::process::id()));
+    std::fs::write(&path, "cfmapsnap v9 digest=0 checksum=0 bytes=2\n{}").unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cfmapd"))
+        .args(["--addr", "127.0.0.1:0", "--cache-load", path.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("cfmapd spawns");
+    let status = child.wait().expect("cfmapd exits");
+    assert!(!status.success(), "a refused snapshot must fail startup");
+    let mut stderr = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut stderr).unwrap();
+    assert!(stderr.contains("snapshot mismatch"), "{stderr}");
+    assert!(stderr.contains("--cache-load"), "{stderr}");
+    let _ = std::fs::remove_file(&path);
+}
