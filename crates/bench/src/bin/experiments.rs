@@ -58,6 +58,9 @@ fn main() {
     if run("E14") {
         reports.push(e14_family_warm_start());
     }
+    if run("E15") {
+        reports.push(e15_quotient_and_hybrid());
+    }
 
     if json {
         let objs: Vec<String> = reports.iter().map(|r| r.to_json()).collect();

@@ -684,7 +684,104 @@ pub fn e9_scaling() -> ExperimentReport {
         rows,
         notes: vec![
             "Candidate counts grow polynomially in the objective but the objective itself grows with μ — the combined growth is the paper's exponential-in-μ search bound, and why the ILP route matters.".into(),
-            "The n = 5 identity row gives up at the default objective cap: a 1-row space map leaves a 4-dimensional conflict lattice whose feasibility needs schedule entries far beyond the cap — the blow-up Procedure 5.1's complexity remark predicts.".into(),
+            "The n = 5 identity row needs schedule entries far beyond the static objective cap Σμ(μ+3) = 50 (f° = 82, schedule [1,27,9,3,1]); the adaptive cap extension (ISSUE 8) proves a screened fallback witness and raises the cap once, so full enumeration now reaches it — E15 shows the symmetry quotient cutting the same search ~20×.".into(),
+        ],
+    };
+    report.with_telemetry(&tel)
+}
+
+/// E15 — the symmetry quotient and the enumeration→ILP crossover
+/// (ISSUE 8). Part one re-runs the E9 identity family under
+/// `SymmetryMode::Quotient` + `TieBreak::LexMax`: one representative per
+/// stabilizer orbit, with the full and quotiented candidate counts below
+/// the optimum and the realized quotient factor. Part two sweeps matmul
+/// under a deliberately tight [`HybridPolicy`] horizon so the
+/// level-growth projection trips mid-search and the route flips from
+/// enumeration to the ILP decomposition — the crossover the hybrid
+/// policy automates at its (much larger) default horizon.
+pub fn e15_quotient_and_hybrid() -> ExperimentReport {
+    use cfmap_core::search::{HybridPolicy, SymmetryMode, TieBreak};
+    use cfmap_core::SolveRoute;
+    let mut rows = Vec::new();
+    let mut tel = cfmap_core::SearchTelemetry::default();
+    let route_name = |r: SolveRoute| match r {
+        SolveRoute::Enumeration => "enumeration",
+        SolveRoute::HybridIlp => "hybrid-ilp",
+    };
+    for n in [3usize, 4, 5] {
+        let alg = algorithms::identity_cube(n, 2);
+        let s_row: Vec<i64> = (0..n).map(|i| i64::from(i == 0)).collect();
+        let space = SpaceMap::row(&s_row);
+        let outcome = Procedure51::new(&alg, &space)
+            .tie_break(TieBreak::LexMax)
+            .symmetry(SymmetryMode::Quotient)
+            .solve()
+            .unwrap();
+        tel.merge(&outcome.telemetry);
+        let route = outcome.route;
+        let examined = outcome.candidates_examined;
+        let opt = outcome.expect_optimal("identity solves under the quotient");
+        let counter = Procedure51::new(&alg, &space);
+        let full = counter.count_candidates(opt.objective);
+        let reps = counter.count_candidates_quotiented(opt.objective);
+        rows.push(vec![
+            format!("identity n={n} μ=2"),
+            s(opt.objective),
+            s(full),
+            s(reps),
+            format!("{:.1}×", full as f64 / reps.max(1) as f64),
+            s(examined),
+            route_name(route).into(),
+        ]);
+    }
+    // A 300-candidate horizon sits between matmul μ=3 (230 candidates
+    // below f°, E9) and μ=4 (376): small sizes stay enumerative, large
+    // ones project past the horizon and take the ILP route.
+    for mu in [2i64, 3, 4, 5, 6] {
+        let alg = algorithms::matmul(mu);
+        let space = SpaceMap::row(&[1, 1, -1]);
+        let outcome = Procedure51::new(&alg, &space)
+            .tie_break(TieBreak::LexMax)
+            .symmetry(SymmetryMode::Quotient)
+            .hybrid(HybridPolicy { candidate_horizon: 300, min_levels: 3 })
+            .solve()
+            .unwrap();
+        tel.merge(&outcome.telemetry);
+        let route = outcome.route;
+        let examined = outcome.candidates_examined;
+        let opt = outcome.expect_optimal("matmul solves on either route");
+        let counter = Procedure51::new(&alg, &space);
+        let full = counter.count_candidates(opt.objective);
+        let reps = counter.count_candidates_quotiented(opt.objective);
+        rows.push(vec![
+            format!("matmul μ={mu} (horizon 300)"),
+            s(opt.objective),
+            s(full),
+            s(reps),
+            format!("{:.1}×", full as f64 / reps.max(1) as f64),
+            s(examined),
+            route_name(route).into(),
+        ]);
+    }
+    let report = ExperimentReport {
+        id: "E15".into(),
+        telemetry: Vec::new(),
+        title: "Symmetry quotient & enumeration→ILP crossover".into(),
+        headers: vec![
+            "instance".into(),
+            "optimal objective f°".into(),
+            "full candidates below f°".into(),
+            "orbit representatives".into(),
+            "quotient factor".into(),
+            "candidates examined".into(),
+            "route".into(),
+        ],
+        rows,
+        notes: vec![
+            "Quotienting is bit-identical to full enumeration under the LexMax pin (the lex-max winner of a level is its own orbit's representative) — `quotient_props` proves it differentially on every n ≤ 4 catalogue problem.".into(),
+            "The identity-family quotient factor approaches |S_{n−1}| = (n−1)! as the box widens: 1.8× (n=3), 4.9× (n=4), 20.2× (n=5) against the limits 2, 6, 24.".into(),
+            "identity n=5 — E9's historical give-up — now solves under the default budget: quotiented enumeration reaches f° = 82 after the adaptive cap extension, never taking the ILP route (a 1-row space map is outside the ILP decomposition's k = n−1 shape).".into(),
+            "The matmul sweep shows the policy's crossover: once the projected next level pushes the total past the horizon, the search escalates; the ILP proves the same optimum and the outcome is tagged hybrid-ilp so the family fitter and cache treat it correctly.".into(),
         ],
     };
     report.with_telemetry(&tel)
@@ -1085,6 +1182,7 @@ pub fn run_all() -> Vec<ExperimentReport> {
     reports.push(e12_joint_and_bounds());
     reports.push(e13_hot_path());
     reports.push(e14_family_warm_start());
+    reports.push(e15_quotient_and_hybrid());
     reports
 }
 

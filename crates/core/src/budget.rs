@@ -376,6 +376,25 @@ impl std::fmt::Display for Certification {
     }
 }
 
+/// Which solver route produced a [`SearchOutcome`].
+///
+/// Orthogonal to [`Certification`]: an ILP-escalated answer can still be
+/// `Optimal` (the decomposition proves optimality within its entry bound),
+/// but downstream consumers that depend on the *enumerative* tie-break pin
+/// (the schedule-family fitter, warm-start certificates) must not treat it
+/// as a `TieBreak::LexMax` representative — the ILP route makes no promise
+/// about which optimal schedule it returns among ties.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SolveRoute {
+    /// Plain enumerative search (Procedure 5.1), honoring the configured
+    /// tie-break pin.
+    #[default]
+    Enumeration,
+    /// Enumeration escalated mid-search to the ILP decomposition via a
+    /// [`HybridPolicy`](crate::HybridPolicy).
+    HybridIlp,
+}
+
 /// A search result tagged with its [`Certification`].
 ///
 /// `mapping` is `Some` exactly when the certification is `Optimal` or
@@ -390,6 +409,8 @@ pub struct SearchOutcome<T> {
     pub candidates_examined: u64,
     /// Per-stage search effort counters (see [`SearchTelemetry`]).
     pub telemetry: SearchTelemetry,
+    /// Which solver route produced this outcome.
+    pub route: SolveRoute,
 }
 
 impl<T> SearchOutcome<T> {
@@ -400,6 +421,7 @@ impl<T> SearchOutcome<T> {
             certification: Certification::Optimal,
             candidates_examined,
             telemetry: SearchTelemetry::default(),
+            route: SolveRoute::default(),
         }
     }
 
@@ -410,6 +432,7 @@ impl<T> SearchOutcome<T> {
             certification: Certification::BestEffort { candidates_examined },
             candidates_examined,
             telemetry: SearchTelemetry::default(),
+            route: SolveRoute::default(),
         }
     }
 
@@ -420,12 +443,20 @@ impl<T> SearchOutcome<T> {
             certification: Certification::Infeasible,
             candidates_examined,
             telemetry: SearchTelemetry::default(),
+            route: SolveRoute::default(),
         }
     }
 
     /// Attach search telemetry (builder style, used by the searches).
     pub fn with_telemetry(mut self, telemetry: SearchTelemetry) -> SearchOutcome<T> {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Tag the outcome with the solver route that produced it (builder
+    /// style, used by the searches).
+    pub fn with_route(mut self, route: SolveRoute) -> SearchOutcome<T> {
+        self.route = route;
         self
     }
 
@@ -459,6 +490,7 @@ impl<T> SearchOutcome<T> {
             certification: self.certification,
             candidates_examined: self.candidates_examined,
             telemetry: self.telemetry,
+            route: self.route,
         }
     }
 }

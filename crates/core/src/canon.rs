@@ -238,6 +238,321 @@ pub fn canon_fingerprint() -> u64 {
     h
 }
 
+/// One signed axis symmetry `g = (σ, ε)`: the monomial matrix `G` whose
+/// column `j` is `ε_j · e_{σ(j)}`. Acting on a schedule row on the right,
+/// `(Π G)[j] = ε_j · Π[σ(j)]`; acting on an index/dependence column on
+/// the left, `(G v)[σ(j)] = ε_j · v[j]`.
+///
+/// When `g` stabilizes the problem (see [`stabilizer`]), `Π G` is
+/// accepted by Procedure 5.1 at the same objective exactly when `Π` is:
+/// validity, rank, conflict-freedom and the objective are all invariant
+/// because `G` maps the index set, the dependence columns and the space
+/// row span onto themselves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedPerm {
+    /// `perm[j] = σ(j)`: schedule position `j` reads original axis `σ(j)`.
+    pub perm: Vec<usize>,
+    /// `signs[j] = ε_j ∈ {+1, −1}`.
+    pub signs: Vec<i64>,
+}
+
+impl SignedPerm {
+    /// Apply the symmetry to a schedule row: `out[j] = ε_j · π[σ(j)]`.
+    ///
+    /// Multiplication saturates, so degenerate `i64::MIN` entries cannot
+    /// wrap; [`stabilizer`] refuses to build sign-flipping elements for
+    /// problems containing such entries, and enumeration candidates are
+    /// objective-bounded, so in-range inputs are exact.
+    pub fn apply(&self, pi: &[i64]) -> Vec<i64> {
+        assert_eq!(pi.len(), self.perm.len(), "schedule dimension mismatch");
+        self.perm.iter().zip(&self.signs).map(|(&p, &s)| pi[p].saturating_mul(s)).collect()
+    }
+
+    /// True for the identity element.
+    pub fn is_identity(&self) -> bool {
+        self.perm.iter().enumerate().all(|(j, &p)| p == j) && self.signs.iter().all(|&s| s == 1)
+    }
+}
+
+/// Combined cap on `(permutation, sign-pattern)` candidates examined by
+/// [`stabilizer`]. When sign patterns would push past it, only the
+/// all-positive pattern is tried (sound: the stabilizer shrinks, the
+/// quotient gets coarser, correctness is untouched).
+const MAX_STABILIZER_CANDIDATES: usize = 100_000;
+
+/// The stabilizer subgroup of a problem `(J, D, S)`: every signed axis
+/// permutation fixing the index-set extents, the dependence-column
+/// multiset, and the space-map row span. The schedule search quotients
+/// its candidate space by this group, screening only the lexicographically
+/// greatest member of each orbit (see `Procedure51::symmetry`).
+///
+/// The identity is never stored; [`Stabilizer::order`] counts it.
+#[derive(Clone, Debug)]
+pub struct Stabilizer {
+    n: usize,
+    elements: Vec<SignedPerm>,
+}
+
+impl Stabilizer {
+    /// The trivial group (identity only) on `n` axes.
+    pub fn trivial(n: usize) -> Stabilizer {
+        Stabilizer { n, elements: Vec::new() }
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Group order, counting the identity.
+    pub fn order(&self) -> usize {
+        self.elements.len() + 1
+    }
+
+    /// True when only the identity fixes the problem — the quotient
+    /// degenerates to full enumeration.
+    pub fn is_trivial(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The non-identity elements.
+    pub fn elements(&self) -> &[SignedPerm] {
+        &self.elements
+    }
+
+    /// True when `pi` is its orbit's representative: no element maps it
+    /// to a lexicographically greater row. Every orbit has exactly one
+    /// representative under this rule, and the lex-greatest *accepted*
+    /// candidate of a level is always its own orbit's representative —
+    /// which is what makes quotiented `TieBreak::LexMax` search
+    /// bit-identical to full enumeration.
+    pub fn is_representative(&self, pi: &[i64]) -> bool {
+        debug_assert_eq!(pi.len(), self.n);
+        'outer: for g in &self.elements {
+            for j in 0..self.n {
+                let v = pi[g.perm[j]].saturating_mul(g.signs[j]);
+                if v > pi[j] {
+                    return false;
+                }
+                if v < pi[j] {
+                    continue 'outer;
+                }
+            }
+            // g fixes pi: the image is pi itself, not lex-greater.
+        }
+        true
+    }
+
+    /// The full orbit of `pi` (deduplicated, `pi` included, sorted
+    /// descending so the representative is first). Used by the
+    /// orbit-expansion check proving skipped candidates are dominated.
+    pub fn orbit(&self, pi: &[i64]) -> Vec<Vec<i64>> {
+        let mut out: Vec<Vec<i64>> = Vec::with_capacity(self.order());
+        out.push(pi.to_vec());
+        for g in &self.elements {
+            out.push(g.apply(pi));
+        }
+        out.sort_by(|a, b| b.cmp(a));
+        out.dedup();
+        out
+    }
+
+    /// Detect the *class-product* shape: the group is exactly the full
+    /// symmetric group acting independently on each class of
+    /// interchangeable axes, with no sign flips. Returns, for each axis,
+    /// the previous axis of the same class (`None` for class leaders).
+    ///
+    /// In this shape the orbit representatives are exactly the schedules
+    /// whose values are non-increasing along each class, so the
+    /// enumerator can prune whole subtrees instead of filtering
+    /// candidates one by one.
+    pub fn symmetric_classes(&self) -> Option<Vec<Option<usize>>> {
+        if self.is_trivial() {
+            return None;
+        }
+        if self.elements.iter().any(|g| g.signs.iter().any(|&s| s != 1)) {
+            return None;
+        }
+        // Union axes connected by any element; each element permutes
+        // within these classes by construction of the closure.
+        let mut parent: Vec<usize> = (0..self.n).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        for g in &self.elements {
+            for j in 0..self.n {
+                let (a, b) = (find(&mut parent, j), find(&mut parent, g.perm[j]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        let mut class_size = vec![0usize; self.n];
+        for i in 0..self.n {
+            let r = find(&mut parent, i);
+            class_size[r] += 1;
+        }
+        // Full product check: |G| must equal the product of class-size
+        // factorials. A proper subgroup (e.g. only a cyclic rotation of
+        // three axes) has smaller order and must fall back to the
+        // generic representative filter.
+        let expected = class_size
+            .iter()
+            .filter(|&&s| s > 0)
+            .try_fold(1usize, |acc, &s| {
+                let fact = (2..=s).try_fold(1usize, usize::checked_mul)?;
+                acc.checked_mul(fact)
+            });
+        if expected != Some(self.order()) {
+            return None;
+        }
+        let mut last_seen: Vec<Option<usize>> = vec![None; self.n];
+        let mut prev = vec![None; self.n];
+        for (i, slot) in prev.iter_mut().enumerate() {
+            let r = find(&mut parent, i);
+            *slot = last_seen[r];
+            last_seen[r] = Some(i);
+        }
+        Some(prev)
+    }
+}
+
+/// Compute the stabilizer subgroup of `(J, D, S)`: all signed axis
+/// permutations `g` with `μ ∘ σ = μ`, `G·D = D` as a column multiset, and
+/// `S·G` row-equivalent to `S` (equal normalized-row multisets, hence
+/// equal kernel). Deterministic; conservative under resource caps — when
+/// the candidate space is too large the result degrades toward (or to)
+/// the trivial group, never an unsound one.
+pub fn stabilizer(alg: &Uda, space: &SpaceMap) -> Stabilizer {
+    assert_eq!(alg.dim(), space.dim(), "algorithm / space map dimension mismatch");
+    let n = alg.dim();
+    let mu = alg.index_set.mu();
+
+    let dep_cols: Vec<Vec<i64>> = (0..alg.num_deps()).map(|i| alg.deps.dep_i64(i)).collect();
+    let space_rows: Vec<Vec<i64>> = (0..space.array_dims())
+        .map(|r| space.as_mat().row(r).to_i64s().expect("space entries fit i64"))
+        .collect();
+    // i64::MIN cannot be negated; such degenerate problems get the
+    // trivial stabilizer rather than overflow-prone sign arithmetic.
+    if dep_cols.iter().chain(&space_rows).flatten().any(|&v| v == i64::MIN) {
+        return Stabilizer::trivial(n);
+    }
+    let mut deps_sorted = dep_cols.clone();
+    deps_sorted.sort();
+    let mut rows_sorted: Vec<Vec<i64>> =
+        space_rows.iter().map(|r| normalize_row(r.clone())).collect();
+    rows_sorted.sort();
+
+    // Candidate permutations: products of permutations within equal-μ
+    // axis groups (any other permutation already breaks μ invariance).
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| mu[i]);
+    for &axis in &order {
+        match groups.last_mut() {
+            Some(g) if mu[g[0]] == mu[axis] => g.push(axis),
+            _ => groups.push(vec![axis]),
+        }
+    }
+    let tie_count: usize = groups
+        .iter()
+        .try_fold(1usize, |acc, g| {
+            let fact = (2..=g.len()).try_fold(1usize, usize::checked_mul)?;
+            acc.checked_mul(fact)
+        })
+        .unwrap_or(usize::MAX);
+    if tie_count > MAX_TIE_PERMUTATIONS {
+        return Stabilizer::trivial(n);
+    }
+    let mut perms: Vec<Vec<usize>> = vec![vec![usize::MAX; n]];
+    for g in &groups {
+        let group_perms = permutations_of(g);
+        perms = perms
+            .into_iter()
+            .flat_map(|partial| {
+                group_perms.iter().map(move |assignment| {
+                    let mut p = partial.clone();
+                    // Positions of this group (ascending) receive the
+                    // assigned ordering of its members.
+                    for (slot, &axis) in g.iter().zip(assignment) {
+                        p[*slot] = axis;
+                    }
+                    p
+                })
+            })
+            .collect();
+    }
+
+    let sign_masks: u32 = if n <= 16 && tie_count.saturating_mul(1usize << n) <= MAX_STABILIZER_CANDIDATES
+    {
+        1u32 << n
+    } else {
+        1 // all-positive only
+    };
+
+    let mut elements = Vec::new();
+    let mut signs = vec![1i64; n];
+    for perm in &perms {
+        for mask in 0..sign_masks {
+            for (j, s) in signs.iter_mut().enumerate() {
+                *s = if mask >> j & 1 == 1 { -1 } else { 1 };
+            }
+            let identity =
+                mask == 0 && perm.iter().enumerate().all(|(j, &p)| p == j);
+            if identity {
+                continue;
+            }
+            if fixes_problem(perm, &signs, &dep_cols, &deps_sorted, &space_rows, &rows_sorted) {
+                elements.push(SignedPerm { perm: perm.clone(), signs: signs.clone() });
+            }
+        }
+    }
+    Stabilizer { n, elements }
+}
+
+/// Invariance check for one candidate element `(σ, ε)`: `G·D` must equal
+/// `D` as a column multiset and the normalized rows of `S·G` must equal
+/// those of `S`. (μ invariance holds by construction of the candidates.)
+fn fixes_problem(
+    perm: &[usize],
+    signs: &[i64],
+    dep_cols: &[Vec<i64>],
+    deps_sorted: &[Vec<i64>],
+    space_rows: &[Vec<i64>],
+    rows_sorted: &[Vec<i64>],
+) -> bool {
+    let n = perm.len();
+    let mut mapped_deps: Vec<Vec<i64>> = dep_cols
+        .iter()
+        .map(|d| {
+            let mut out = vec![0i64; n];
+            for j in 0..n {
+                // (G d)[σ(j)] = ε_j · d[j]
+                out[perm[j]] = signs[j] * d[j];
+            }
+            out
+        })
+        .collect();
+    mapped_deps.sort();
+    if mapped_deps != deps_sorted {
+        return false;
+    }
+    let mut mapped_rows: Vec<Vec<i64>> = space_rows
+        .iter()
+        .map(|s| {
+            // (s G)[j] = ε_j · s[σ(j)]
+            let row: Vec<i64> = (0..n).map(|j| signs[j] * s[perm[j]]).collect();
+            normalize_row(row)
+        })
+        .collect();
+    mapped_rows.sort();
+    mapped_rows == rows_sorted
+}
+
 /// All orderings of `items` (lexicographic over positions).
 fn permutations_of(items: &[usize]) -> Vec<Vec<usize>> {
     if items.len() <= 1 {

@@ -45,8 +45,13 @@ pub mod schedulability;
 pub mod search;
 pub mod space_search;
 
-pub use budget::{BudgetMeter, CancelToken, Certification, Deadline, SearchBudget, SearchOutcome};
-pub use canon::{canon_fingerprint, canonicalize, Canonicalization, CanonicalProblem};
+pub use budget::{
+    BudgetMeter, CancelToken, Certification, Deadline, SearchBudget, SearchOutcome, SolveRoute,
+};
+pub use canon::{
+    canon_fingerprint, canonicalize, stabilizer, Canonicalization, CanonicalProblem, SignedPerm,
+    Stabilizer,
+};
 pub use conflict::{ConflictAnalysis, Feasibility};
 pub use error::{BudgetLimit, CfmapError};
 pub use family::{
@@ -57,6 +62,6 @@ pub use diagnose::{diagnose, Check, MappingDiagnosis};
 pub use mapping::{InterconnectionPrimitives, MappingMatrix, SpaceMap};
 pub use metrics::{ConditionRule, SearchTelemetry};
 pub use schedulability::{find_valid_schedule, is_schedulable};
-pub use search::{OptimalMapping, Procedure51, TieBreak};
+pub use search::{HybridPolicy, OptimalMapping, Procedure51, SymmetryMode, TieBreak};
 pub use space_search::{SpaceOptimalMapping, SpaceSearch};
 pub use joint_search::{JointCriterion, JointOptimal, JointSearch};

@@ -468,6 +468,18 @@ pub static HNF_COMPUTATIONS: Counter = Counter::new();
 /// ([`crate::ConflictAnalysis::is_conflict_free_exact`] box enumerations).
 pub static EXACT_CONFLICT_TESTS: Counter = Counter::new();
 
+/// Process-wide count of candidates skipped by the symmetry quotient —
+/// non-representative orbit members Procedure 5.1 never screened because
+/// a stabilizer element maps them to a lex-greater equivalent. The
+/// service exports this as `cfmap_orbits_pruned_total`.
+pub static ORBITS_PRUNED: Counter = Counter::new();
+
+/// Process-wide count of hybrid enumeration→ILP escalations — searches
+/// whose [`crate::HybridPolicy`] predicted a level blow-up and handed the
+/// problem to the ILP decomposition mid-search. The service exports this
+/// as `cfmap_hybrid_escalations_total`.
+pub static HYBRID_ESCALATIONS: Counter = Counter::new();
+
 /// Bucket bounds for per-candidate screen time, in microseconds: 1 µs
 /// to 100 ms in a 1–2.5–5 progression. The i64 fast path lands in the
 /// single-digit-microsecond buckets; a bignum fallback or exact lattice
@@ -629,6 +641,10 @@ pub struct SearchTelemetry {
     /// Fallback (mixed-radix) variants screened during budget
     /// degradation.
     pub fallback_screened: u64,
+    /// Candidates skipped by the symmetry quotient: orbit members that a
+    /// stabilizer element maps to a lex-greater representative, so the
+    /// representative's verdict covers them (see `cfmap_core::canon`).
+    pub orbits_pruned: u64,
     /// The budget limit that ended the search, if one tripped.
     pub budget_limit: Option<BudgetLimit>,
 }
@@ -661,6 +677,7 @@ impl SearchTelemetry {
         self.hnf_computations += other.hnf_computations;
         self.condition_hits.merge(&other.condition_hits);
         self.fallback_screened += other.fallback_screened;
+        self.orbits_pruned += other.orbits_pruned;
         self.budget_limit = self.budget_limit.or(other.budget_limit);
         self.levels_truncated |= other.levels_truncated;
         // Merge sorted level lists, summing equal-objective records.

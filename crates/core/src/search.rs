@@ -29,7 +29,8 @@
 //! [`Certification::BestEffort`]. Only when even that family is empty
 //! does it report [`CfmapError::BudgetExhausted`].
 
-use crate::budget::{CancelToken, SearchBudget, SearchOutcome};
+use crate::budget::{CancelToken, SearchBudget, SearchOutcome, SolveRoute};
+use crate::canon::Stabilizer;
 use crate::conditions::{check, rule_for, ConditionKind};
 use crate::conflict::ConflictAnalysis;
 use crate::error::{BudgetLimit, CfmapError};
@@ -37,6 +38,9 @@ use crate::mapping::{route, InterconnectionPrimitives, MappingMatrix, Routing, S
 use crate::metrics::SearchTelemetry;
 use cfmap_intlin::{hnf_prefix_i64, HnfPrefix, HnfWorkspace};
 use cfmap_model::{LinearSchedule, Uda};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 /// The result of a successful optimal-mapping search.
@@ -96,8 +100,18 @@ pub struct Procedure51<'a> {
     condition: ConditionKind,
     primitives: Option<&'a InterconnectionPrimitives>,
     max_objective: i64,
+    /// True when the caller pinned the cap via [`Self::max_objective`];
+    /// only a defaulted cap may be extended adaptively (see
+    /// [`Self::adaptive_cap_bound`]).
+    cap_explicit: bool,
+    /// True when the default cap `Σ μ_i(μ_i+3)` overflowed `i64`; the
+    /// searches then fail fast with [`CfmapError::Overflow`] instead of
+    /// iterating a wrapped (possibly tiny or negative) cap.
+    cap_overflowed: bool,
     budget: SearchBudget,
     tie_break: TieBreak,
+    symmetry: SymmetryMode,
+    hybrid: Option<HybridPolicy>,
     cancel: Option<&'a CancelToken>,
     /// Column indices where `S` is entirely zero — used by the exact
     /// pairwise pre-filter (see [`Self::pairwise_prefilter_rejects`]).
@@ -135,19 +149,164 @@ pub enum TieBreak {
     LexMax,
 }
 
+/// Whether the candidate space is quotiented by the problem's symmetry
+/// stabilizer (see [`crate::canon::stabilizer`]).
+///
+/// Quotienting screens one representative per orbit — the
+/// lexicographically greatest member — and is **bit-identical** to full
+/// enumeration under [`TieBreak::LexMax`]: every gate of Definition 2.2
+/// and the objective are invariant under the stabilizer, so an orbit is
+/// accepted as a whole or not at all, and the level's lex-greatest
+/// accepted candidate is always its own orbit's representative. The
+/// quotient therefore activates only when its preconditions hold
+/// (`LexMax`, [`ConditionKind::Exact`], no routing primitives); in any
+/// other configuration — `FirstFound` order sensitivity, closed-form
+/// conditions that need not be orbit-invariant, routing costs that break
+/// the symmetry — it silently degrades to full enumeration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SymmetryMode {
+    /// Enumerate the full candidate space (the historic behavior, and
+    /// the default).
+    #[default]
+    Full,
+    /// Enumerate one representative per stabilizer orbit when sound (see
+    /// the type-level docs), counting skipped candidates in
+    /// `SearchTelemetry::orbits_pruned`.
+    Quotient,
+}
+
+/// When to abandon enumeration for the ILP decomposition mid-search.
+///
+/// After each completed objective level without an acceptance, the
+/// search extrapolates the candidates-per-level growth rate; when the
+/// projected total crosses `candidate_horizon`, it runs
+/// [`crate::ilp::optimal_schedule_ilp`] (applicable only to
+/// `(n−2)`-dimensional arrays, the `k = n−1` decomposition) and, if that
+/// yields a certified-optimal schedule, returns it tagged
+/// [`SolveRoute::HybridIlp`]. A failed or inapplicable escalation falls
+/// back to enumeration — one attempt per solve.
+///
+/// Escalated answers carry no tie-break promise: the ILP route does not
+/// honor the [`TieBreak::LexMax`] pin, which is why consumers minting
+/// μ-family certificates must check [`SearchOutcome::route`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HybridPolicy {
+    /// Escalate when the projected enumeration total (candidates
+    /// screened so far plus one extrapolated next level) exceeds this.
+    pub candidate_horizon: u64,
+    /// Observe at least this many non-empty levels before projecting —
+    /// early levels are too noisy to extrapolate from.
+    pub min_levels: u32,
+}
+
+impl Default for HybridPolicy {
+    fn default() -> HybridPolicy {
+        HybridPolicy { candidate_horizon: 250_000, min_levels: 3 }
+    }
+}
+
+/// Growth-rate tracker backing a [`HybridPolicy`] (one per solve).
+struct HybridState {
+    policy: Option<HybridPolicy>,
+    /// One escalation attempt per solve, successful or not.
+    spent: bool,
+    nonempty_levels: u32,
+    prev_level: u64,
+    total: u64,
+}
+
+impl HybridState {
+    fn new(policy: Option<HybridPolicy>) -> HybridState {
+        HybridState { policy, spent: false, nonempty_levels: 0, prev_level: 0, total: 0 }
+    }
+
+    /// Feed one completed (non-accepted) level; true when the policy
+    /// says to escalate now. Empty levels are skipped: with even-only
+    /// objective levels (all-even μ) a zero would poison the ratio.
+    fn should_escalate(&mut self, level_enumerated: u64) -> bool {
+        if level_enumerated == 0 {
+            return false;
+        }
+        let Some(p) = self.policy else { return false };
+        self.total = self.total.saturating_add(level_enumerated);
+        self.nonempty_levels += 1;
+        // Projected next level: last · (last / prev), the observed
+        // geometric growth applied once more.
+        let projected = (u128::from(level_enumerated) * u128::from(level_enumerated))
+            / u128::from(self.prev_level.max(1));
+        self.prev_level = level_enumerated;
+        !self.spent
+            && self.nonempty_levels >= p.min_levels
+            && u128::from(self.total).saturating_add(projected) > u128::from(p.candidate_horizon)
+    }
+}
+
+/// An active symmetry quotient: the stabilizer plus, when it has the
+/// class-product shape, the per-axis predecessor map that lets the
+/// enumerator prune non-representative subtrees instead of filtering.
+struct Quotient {
+    stab: Stabilizer,
+    classes: Option<Vec<Option<usize>>>,
+}
+
+/// Per-level shared state of the sharded parallel search.
+struct LevelWork {
+    cost: i64,
+    candidates: Vec<Vec<i64>>,
+    /// Work-stealing cursor: workers claim `SHARD_BATCH`-sized index
+    /// ranges until the level is drained.
+    cursor: AtomicUsize,
+    /// `FirstFound` mid-level prune: smallest accepted index so far
+    /// (`u64::MAX` until the first acceptance). Any candidate with a
+    /// larger index cannot win, so workers skip its screening.
+    best_idx: AtomicU64,
+    /// `LexMax` mid-level prune: bumped on every improvement of
+    /// `best_pi` so workers can refresh their cached copy lock-free.
+    best_version: AtomicU64,
+    /// Lex-greatest accepted schedule so far.
+    best_pi: Mutex<Option<Vec<i64>>>,
+    /// Set when a worker's screening panicked; the level's results are
+    /// then discarded and the search reports `CfmapError::Internal`.
+    panicked: AtomicBool,
+    hits: Mutex<Vec<(usize, OptimalMapping)>>,
+    tel: Mutex<SearchTelemetry>,
+}
+
+/// Candidates claimed per cursor bump in the sharded parallel search —
+/// small enough to load-balance a level with a few hundred candidates,
+/// large enough to keep the cursor off the contention path.
+const SHARD_BATCH: usize = 16;
+
+/// Ceiling for the adaptive objective-cap extension. The extension is
+/// driven by a screened mixed-radix witness, so levels up to the new cap
+/// are known to terminate in an acceptance — but a witness objective in
+/// the millions would still mean an impractically long enumeration, so
+/// beyond this the search keeps its original cap and reports
+/// `Infeasible` there, exactly as before.
+const ADAPTIVE_CAP_CEILING: i64 = 1 << 20;
+
+/// Largest objective for which [`FullCounter`] still computes exact
+/// full-space level counts (the basis of `orbits_pruned` accounting).
+/// The incremental DP costs `O(n · cost² / μ_min)` over a whole search;
+/// past this bound the count is skipped and `orbits_pruned` becomes a
+/// lower bound rather than an exact tally.
+const ORBIT_COUNT_MAX: i64 = 4096;
+
 impl<'a> Procedure51<'a> {
     /// Start a search for `alg` with the given space mapping.
     pub fn new(alg: &'a Uda, space: &'a SpaceMap) -> Self {
         assert_eq!(alg.dim(), space.dim(), "algorithm / space map dimension mismatch");
         // Default cap: the paper bounds the useful search at |π_i| ≤ μ_i
-        // plus slack for the μ+2-style extreme points.
-        let cap: i64 = alg
-            .index_set
-            .mu()
-            .iter()
-            .map(|&m| m * (m + 3))
-            .sum::<i64>()
-            .max(16);
+        // plus slack for the μ+2-style extreme points. Checked: μ near
+        // 2⁴⁰ (the wire bound) squares past i64, and a wrapped cap would
+        // silently truncate — or explode — the level loop.
+        let cap: Option<i64> = alg.index_set.mu().iter().try_fold(0i64, |acc, &m| {
+            m.checked_add(3).and_then(|s| m.checked_mul(s)).and_then(|v| acc.checked_add(v))
+        });
+        let (max_objective, cap_overflowed) = match cap {
+            Some(c) => (c.max(16), false),
+            None => (0, true),
+        };
         let zero_space_cols = (0..space.dim())
             .filter(|&c| space.as_mat().col(c).is_zero())
             .collect();
@@ -156,13 +315,32 @@ impl<'a> Procedure51<'a> {
             space,
             condition: ConditionKind::Exact,
             primitives: None,
-            max_objective: cap,
+            max_objective,
+            cap_explicit: false,
+            cap_overflowed,
             budget: SearchBudget::unlimited(),
             tie_break: TieBreak::default(),
+            symmetry: SymmetryMode::default(),
+            hybrid: None,
             cancel: None,
             zero_space_cols,
             probe: None,
         }
+    }
+
+    /// Fail fast when the defaulted objective cap overflowed `i64`
+    /// (extreme μ); an explicit [`Self::max_objective`] clears the flag.
+    fn check_cap(&self) -> Result<(), CfmapError> {
+        if self.cap_overflowed {
+            return Err(CfmapError::Overflow {
+                context: format!(
+                    "Procedure 5.1 default objective cap Σ μ_i(μ_i+3) exceeds i64 for μ = {:?}; \
+                     set an explicit max_objective",
+                    self.alg.index_set.mu()
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Exact O(z²) pre-filter: for columns `i < j` where `S` is zero, the
@@ -202,9 +380,28 @@ impl<'a> Procedure51<'a> {
         self
     }
 
-    /// Override the objective cap at which the search gives up.
+    /// Override the objective cap at which the search gives up. An
+    /// explicit cap is never extended adaptively.
     pub fn max_objective(mut self, cap: i64) -> Self {
         self.max_objective = cap;
+        self.cap_explicit = true;
+        self.cap_overflowed = false;
+        self
+    }
+
+    /// Select whether the candidate space is quotiented by the problem's
+    /// symmetry stabilizer (default: [`SymmetryMode::Full`]). See
+    /// [`SymmetryMode`] for the soundness preconditions — in
+    /// configurations where they fail the setting is ignored.
+    pub fn symmetry(mut self, mode: SymmetryMode) -> Self {
+        self.symmetry = mode;
+        self
+    }
+
+    /// Install a mid-search enumeration→ILP escape hatch (default:
+    /// none). See [`HybridPolicy`].
+    pub fn hybrid(mut self, policy: HybridPolicy) -> Self {
+        self.hybrid = Some(policy);
         self
     }
 
@@ -262,8 +459,7 @@ impl<'a> Procedure51<'a> {
     /// [`Certification::BestEffort`]: crate::Certification::BestEffort
     /// [`Certification::Infeasible`]: crate::Certification::Infeasible
     pub fn solve(&self) -> Result<SearchOutcome<OptimalMapping>, CfmapError> {
-        let mu = self.alg.index_set.mu();
-        let n = self.alg.dim();
+        self.check_cap()?;
         let mut meter = self.budget.start();
         let mut tel = SearchTelemetry::default();
         if let Some(limit) = meter.check_wall().or_else(|| self.cancel_tripped()) {
@@ -274,11 +470,17 @@ impl<'a> Procedure51<'a> {
         // Π row (see `HnfPrefix`). `None` when S has entries beyond i64.
         let prefix = hnf_prefix_i64(self.space.as_mat());
         let mut ws = HnfWorkspace::new();
-        for cost in 1..=self.max_objective {
+        let quotient = self.active_quotient();
+        let mut counter = quotient.as_ref().map(|_| FullCounter::new(self.alg.index_set.mu()));
+        let mut hybrid = HybridState::new(self.hybrid);
+        let mut cap = self.max_objective;
+        let mut extended = false;
+        let mut cost = 1i64;
+        while cost <= cap {
             let mut found: Option<OptimalMapping> = None;
             let mut tripped: Option<BudgetLimit> = None;
             let level_start = tel.enumerated;
-            enumerate_weighted(n, mu, cost, &mut |pi| {
+            self.enumerate_level(cost, quotient.as_ref(), &mut |pi| {
                 if tripped.is_some()
                     || (found.is_some() && self.tie_break == TieBreak::FirstFound)
                 {
@@ -301,8 +503,10 @@ impl<'a> Procedure51<'a> {
                     tripped = limit;
                 }
             });
+            let level_enumerated = tel.enumerated - level_start;
+            account_orbits(cost, level_enumerated, counter.as_mut(), &mut tel);
             let level_accepted = u64::from(found.is_some());
-            tel.record_level(cost, tel.enumerated - level_start, level_accepted);
+            tel.record_level(cost, level_enumerated, level_accepted);
             if let Some(mut win) = found {
                 if self.tie_break == TieBreak::LexMax {
                     // The winner may have been screened mid-level; report
@@ -314,8 +518,178 @@ impl<'a> Procedure51<'a> {
             if let Some(limit) = tripped {
                 return self.degrade(limit, meter.candidates, tel);
             }
+            if hybrid.should_escalate(level_enumerated) {
+                hybrid.spent = true;
+                if let Some(out) = self.escalate_to_ilp(&mut tel, meter.candidates) {
+                    return Ok(out.with_telemetry(tel));
+                }
+            }
+            cost += 1;
+            if cost > cap && !extended && !self.cap_explicit {
+                extended = true;
+                if let Some(bound) = self.adaptive_cap_bound() {
+                    if bound > cap && bound <= ADAPTIVE_CAP_CEILING {
+                        cap = bound;
+                    }
+                }
+            }
         }
         Ok(SearchOutcome::infeasible(meter.candidates).with_telemetry(tel))
+    }
+
+    /// The active symmetry quotient, or `None` when the mode is off or a
+    /// soundness precondition fails (see [`SymmetryMode`]): quotienting
+    /// requires the `LexMax` pin (the representative rule *is* lex-max),
+    /// the exact conflict test (the paper's closed forms are dispatched
+    /// on data that need not be orbit-invariant), and no routing
+    /// primitives (wire lengths are not symmetric under axis swaps).
+    fn active_quotient(&self) -> Option<Quotient> {
+        if self.symmetry != SymmetryMode::Quotient
+            || self.tie_break != TieBreak::LexMax
+            || self.condition != ConditionKind::Exact
+            || self.primitives.is_some()
+        {
+            return None;
+        }
+        let stab = crate::canon::stabilizer(self.alg, self.space);
+        if stab.is_trivial() {
+            return None;
+        }
+        let classes = stab.symmetric_classes();
+        Some(Quotient { stab, classes })
+    }
+
+    /// Enumerate one objective level — the full space, or one
+    /// representative per orbit when a quotient is active. The
+    /// class-product shape prunes non-representative subtrees inside the
+    /// recursion; the generic shape filters full enumeration through
+    /// [`Stabilizer::is_representative`].
+    fn enumerate_level(&self, cost: i64, quotient: Option<&Quotient>, f: &mut impl FnMut(&[i64])) {
+        let mu = self.alg.index_set.mu();
+        let n = self.alg.dim();
+        match quotient {
+            None => enumerate_weighted(n, mu, cost, f),
+            Some(q) => match &q.classes {
+                Some(prev) => enumerate_weighted_classes(n, mu, cost, prev, f),
+                None => enumerate_weighted(n, mu, cost, &mut |pi| {
+                    if q.stab.is_representative(pi) {
+                        f(pi);
+                    }
+                }),
+            },
+        }
+    }
+
+    /// One-shot enumeration→ILP escalation (see [`HybridPolicy`]).
+    /// Returns the adopted outcome — route-tagged, telemetry merged into
+    /// `tel` — or `None` when the decomposition is inapplicable, errors,
+    /// or cannot certify optimality, in which case enumeration continues.
+    fn escalate_to_ilp(
+        &self,
+        tel: &mut SearchTelemetry,
+        examined: u64,
+    ) -> Option<SearchOutcome<OptimalMapping>> {
+        // The (5.1)–(5.2) decomposition solves the k = n−1 problem: an
+        // (n−2)-dimensional array. Routing constraints have no ILP
+        // encoding here.
+        if self.space.array_dims() + 2 != self.alg.dim() || self.primitives.is_some() {
+            return None;
+        }
+        crate::metrics::HYBRID_ESCALATIONS.inc();
+        let mu_max = self.alg.index_set.mu().iter().copied().max().unwrap_or(1);
+        // The appendix's extreme points fit in μ_max + 2; double it like
+        // every other caller. Checked: extreme μ must not wrap the bound.
+        let bound = mu_max.checked_mul(2).and_then(|b| b.checked_add(4))?;
+        let out = crate::ilp::optimal_schedule_ilp(self.alg, self.space, bound, self.budget).ok()?;
+        tel.merge(&out.telemetry);
+        if !out.is_optimal() {
+            // A budget-degraded ILP answer is worth less than continuing
+            // the still-exact enumeration.
+            return None;
+        }
+        let ilp_examined = out.candidates_examined;
+        let sol = out.into_mapping()?;
+        debug_assert!(sol.schedule.is_valid_for(&self.alg.deps));
+        let total = examined.saturating_add(ilp_examined);
+        let mapping = MappingMatrix::new(self.space.clone(), sol.schedule.clone());
+        Some(
+            SearchOutcome::optimal(
+                OptimalMapping {
+                    mapping,
+                    schedule: sol.schedule,
+                    objective: sol.objective,
+                    total_time: sol.total_time,
+                    routing: None,
+                    candidates_examined: total,
+                },
+                total,
+            )
+            .with_route(SolveRoute::HybridIlp),
+        )
+    }
+
+    /// A provable finite objective bound for the adaptive cap extension:
+    /// the smallest objective over the mixed-radix fallback family whose
+    /// variant passes the *full* acceptance screen (validity, rank,
+    /// exact conflict-freedom). Such a witness guarantees the extended
+    /// level loop terminates in an acceptance at or below the bound.
+    /// `None` when no variant is acceptable — the search then keeps its
+    /// original cap and stays `Infeasible`, exactly as before.
+    fn adaptive_cap_bound(&self) -> Option<i64> {
+        let mu = self.alg.index_set.mu();
+        let n = self.alg.dim();
+        // Scratch telemetry: these screens are a bound probe, not search
+        // effort, and must not skew the per-gate accounting invariants.
+        let mut scratch = SearchTelemetry::default();
+        let mut best: Option<i64> = None;
+        let mut screened = 0u64;
+        let mut perm: Vec<usize> = (0..n).collect();
+        'perms: loop {
+            let mut w = vec![0i64; n];
+            let mut acc: i64 = 1;
+            let mut overflow = false;
+            for &ax in &perm {
+                w[ax] = acc;
+                match mu[ax].checked_add(1).and_then(|radix| acc.checked_mul(radix)) {
+                    Some(next) => acc = next,
+                    None => {
+                        overflow = true;
+                        break;
+                    }
+                }
+            }
+            if overflow {
+                screened += 1;
+                if screened >= MAX_FALLBACK_VARIANTS {
+                    break;
+                }
+            } else {
+                let sign_count = match n {
+                    0..=62 => 1u64 << n,
+                    _ => u64::MAX, // the cap trips long before 2⁶³
+                };
+                for signs in 0u64..sign_count {
+                    if screened >= MAX_FALLBACK_VARIANTS {
+                        break 'perms;
+                    }
+                    screened += 1;
+                    let pi: Vec<i64> = (0..n)
+                        .map(|i| if i < 64 && signs >> i & 1 == 1 { -w[i] } else { w[i] })
+                        .collect();
+                    let Some(objective) = weighted_objective(&pi, mu) else { continue };
+                    if best.is_some_and(|b| objective >= b) {
+                        continue; // cannot improve; skip the HNF screen
+                    }
+                    if self.fallback_candidate(&pi, objective, 0, &mut scratch).is_some() {
+                        best = Some(objective);
+                    }
+                }
+            }
+            if !next_permutation(&mut perm) {
+                break;
+            }
+        }
+        best
     }
 
     /// Evaluate one candidate against all conditions of Definition 2.2,
@@ -442,7 +816,7 @@ impl<'a> Procedure51<'a> {
             let mut overflow = false;
             for &ax in &perm {
                 w[ax] = acc;
-                match acc.checked_mul(mu[ax] + 1) {
+                match mu[ax].checked_add(1).and_then(|radix| acc.checked_mul(radix)) {
                     Some(next) => acc = next,
                     None => {
                         overflow = true;
@@ -478,9 +852,22 @@ impl<'a> Procedure51<'a> {
                         let better = match &best {
                             None => true,
                             Some(b) => {
+                                // Equal-objective ties follow the solver's
+                                // tie-break pin: the fallback must return
+                                // the same representative convention as
+                                // `solve`, or a budgeted warm-start probe
+                                // and the full search would disagree on
+                                // μ-stable families.
+                                let tie = match self.tie_break {
+                                    TieBreak::FirstFound => {
+                                        cand.schedule.as_slice() < b.schedule.as_slice()
+                                    }
+                                    TieBreak::LexMax => {
+                                        cand.schedule.as_slice() > b.schedule.as_slice()
+                                    }
+                                };
                                 cand.objective < b.objective
-                                    || (cand.objective == b.objective
-                                        && cand.schedule.as_slice() < b.schedule.as_slice())
+                                    || (cand.objective == b.objective && tie)
                             }
                         };
                         if better {
@@ -544,12 +931,17 @@ impl<'a> Procedure51<'a> {
         })
     }
 
-    /// [`Self::solve`] with each objective level's candidates evaluated on
-    /// `threads` worker threads (std scoped threads). Returns the same
-    /// optimum as the sequential search: within a level every worker
-    /// records its first accepted candidate *with its enumeration index*,
-    /// and the globally smallest index wins — so the result is
-    /// deterministic and identical to the sequential tie-breaking.
+    /// [`Self::solve`] with each objective level's candidates screened by
+    /// a persistent pool of `threads` workers. Workers claim
+    /// [`SHARD_BATCH`]-sized index ranges off a shared cursor (so a slow
+    /// shard never stalls the level the way fixed chunking did) and
+    /// publish acceptances into shared per-level state mid-flight —
+    /// under `FirstFound` an atomic least-accepted-index, under `LexMax`
+    /// a versioned lex-greatest schedule — which the other workers use
+    /// to skip candidates that provably cannot win. The final winner is
+    /// re-derived from the complete hit list, so the result is
+    /// deterministic and bit-identical to the sequential search
+    /// (including the symmetry-quotiented space when active).
     ///
     /// A non-unlimited budget — or an attached [`CancelToken`] —
     /// delegates to the sequential search so that budget and
@@ -562,104 +954,193 @@ impl<'a> Procedure51<'a> {
         if threads == 1 || !self.budget.is_unlimited() || self.cancel.is_some() {
             return self.solve();
         }
-        let mu = self.alg.index_set.mu();
-        let n = self.alg.dim();
+        self.check_cap()?;
         let mut examined_before = 0u64;
         let mut tel = SearchTelemetry::default();
         // Shared read-only S prefix; each worker owns its scratch space.
         let prefix = hnf_prefix_i64(self.space.as_mat());
         let prefix_ref = prefix.as_ref();
-        for cost in 1..=self.max_objective {
-            let mut level: Vec<Vec<i64>> = Vec::new();
-            enumerate_weighted(n, mu, cost, &mut |pi| level.push(pi.to_vec()));
-            if level.is_empty() {
-                continue;
-            }
-            let chunk = level.len().div_ceil(threads).max(1);
-            // Join every handle explicitly. A panicking worker must not
-            // abort the process (the pipeline's panic-free contract): a
-            // poisoned join is collected and reported as
-            // CfmapError::Internal after the scope closes. `scope` only
-            // re-raises panics of *implicitly* joined handles, so
-            // swallowing the Err here is safe.
-            type WorkerResult = (Option<(usize, OptimalMapping)>, SearchTelemetry);
-            let joined: Vec<std::thread::Result<WorkerResult>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = level
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(ci, slice)| {
-                        scope.spawn(move || {
-                            let mut wtel = SearchTelemetry::default();
-                            let mut ws = HnfWorkspace::new();
-                            let mut hit: Option<(usize, OptimalMapping)> = None;
-                            for (off, pi) in slice.iter().enumerate() {
-                                wtel.enumerated += 1;
-                                if let Some(r) =
-                                    self.try_candidate(pi, cost, 0, &mut wtel, prefix_ref, &mut ws)
-                                {
-                                    wtel.accepted += 1;
-                                    match self.tie_break {
-                                        TieBreak::FirstFound => {
-                                            hit = Some((ci * chunk + off, r));
-                                            break;
-                                        }
-                                        TieBreak::LexMax => {
-                                            let improves = hit.as_ref().is_none_or(|(_, cur)| {
-                                                pi.as_slice() > cur.schedule.as_slice()
-                                            });
-                                            if improves {
-                                                hit = Some((ci * chunk + off, r));
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                            (hit, wtel)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join()).collect()
-            });
-            let mut level_tel = SearchTelemetry::default();
-            let mut hits: Vec<(usize, OptimalMapping)> = Vec::new();
-            let mut panicked = false;
-            for outcome in joined {
-                match outcome {
-                    Ok((hit, wtel)) => {
-                        level_tel.merge(&wtel);
-                        hits.extend(hit);
+        let quotient = self.active_quotient();
+        let mut counter = quotient.as_ref().map(|_| FullCounter::new(self.alg.index_set.mu()));
+        let mut hybrid = HybridState::new(self.hybrid);
+
+        // Level hand-off: the main thread publishes an Arc<LevelWork>
+        // into `slot`, releases the workers through `start`, and collects
+        // them at `done`. An empty slot after `start` is the shutdown
+        // signal. Workers never touch the barriers out of lock-step:
+        // screening panics are contained by catch_unwind (an escaped
+        // panic would desert the barrier and deadlock the pool).
+        let slot: Mutex<Option<Arc<LevelWork>>> = Mutex::new(None);
+        let start = Barrier::new(threads + 1);
+        let done = Barrier::new(threads + 1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    start.wait();
+                    let Some(level) = slot.lock().unwrap().clone() else { break };
+                    let shard = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        self.process_level_shard(&level, prefix_ref);
+                    }));
+                    if shard.is_err() {
+                        level.panicked.store(true, Ordering::SeqCst);
                     }
-                    Err(_) => panicked = true,
-                }
-            }
-            if panicked {
-                return Err(CfmapError::Internal {
-                    context: format!(
-                        "solve_parallel worker panicked at objective level {cost}"
-                    ),
+                    done.wait();
                 });
             }
-            let best = match self.tie_break {
-                TieBreak::FirstFound => hits.into_iter().min_by_key(|(i, _)| *i),
-                TieBreak::LexMax => hits
-                    .into_iter()
-                    .max_by(|a, b| a.1.schedule.as_slice().cmp(b.1.schedule.as_slice())),
+            let mut run = || -> Result<SearchOutcome<OptimalMapping>, CfmapError> {
+                let mut cap = self.max_objective;
+                let mut extended = false;
+                let mut cost = 1i64;
+                while cost <= cap {
+                    let mut candidates: Vec<Vec<i64>> = Vec::new();
+                    self.enumerate_level(cost, quotient.as_ref(), &mut |pi| {
+                        candidates.push(pi.to_vec());
+                    });
+                    let level_enumerated = candidates.len() as u64;
+                    account_orbits(cost, level_enumerated, counter.as_mut(), &mut tel);
+                    if !candidates.is_empty() {
+                        let level = Arc::new(LevelWork {
+                            cost,
+                            candidates,
+                            cursor: AtomicUsize::new(0),
+                            best_idx: AtomicU64::new(u64::MAX),
+                            best_version: AtomicU64::new(0),
+                            best_pi: Mutex::new(None),
+                            panicked: AtomicBool::new(false),
+                            hits: Mutex::new(Vec::new()),
+                            tel: Mutex::new(SearchTelemetry::default()),
+                        });
+                        *slot.lock().unwrap() = Some(level.clone());
+                        start.wait();
+                        done.wait();
+                        *slot.lock().unwrap() = None;
+                        if level.panicked.load(Ordering::SeqCst) {
+                            return Err(CfmapError::Internal {
+                                context: format!(
+                                    "solve_parallel worker panicked at objective level {cost}"
+                                ),
+                            });
+                        }
+                        let level_tel = std::mem::take(&mut *level.tel.lock().unwrap());
+                        let hits = std::mem::take(&mut *level.hits.lock().unwrap());
+                        let best = match self.tie_break {
+                            TieBreak::FirstFound => hits.into_iter().min_by_key(|(i, _)| *i),
+                            TieBreak::LexMax => hits.into_iter().max_by(|a, b| {
+                                a.1.schedule.as_slice().cmp(b.1.schedule.as_slice())
+                            }),
+                        };
+                        tel.merge(&level_tel); // workers record no levels of their own
+                        tel.record_level(cost, level_tel.enumerated, level_tel.accepted);
+                        let level_len = level.candidates.len() as u64;
+                        if let Some((idx, mut win)) = best {
+                            let examined = match self.tie_break {
+                                // Sequential equivalence: FirstFound stops
+                                // at the winner's index, LexMax screens
+                                // the whole level.
+                                TieBreak::FirstFound => examined_before + idx as u64 + 1,
+                                TieBreak::LexMax => examined_before + level_len,
+                            };
+                            win.candidates_examined = examined;
+                            return Ok(SearchOutcome::optimal(win, examined).with_telemetry(tel.clone()));
+                        }
+                        examined_before += level_len;
+                        if hybrid.should_escalate(level_enumerated) {
+                            hybrid.spent = true;
+                            if let Some(out) = self.escalate_to_ilp(&mut tel, examined_before) {
+                                return Ok(out.with_telemetry(tel.clone()));
+                            }
+                        }
+                    }
+                    cost += 1;
+                    if cost > cap && !extended && !self.cap_explicit {
+                        extended = true;
+                        if let Some(bound) = self.adaptive_cap_bound() {
+                            if bound > cap && bound <= ADAPTIVE_CAP_CEILING {
+                                cap = bound;
+                            }
+                        }
+                    }
+                }
+                Ok(SearchOutcome::infeasible(examined_before).with_telemetry(tel.clone()))
             };
-            tel.merge(&level_tel); // workers record no levels of their own
-            tel.record_level(cost, level_tel.enumerated, level_tel.accepted);
-            if let Some((idx, mut win)) = best {
-                let examined = match self.tie_break {
-                    // Sequential equivalence: FirstFound stops at the
-                    // winner's index, LexMax screens the whole level.
-                    TieBreak::FirstFound => examined_before + idx as u64 + 1,
-                    TieBreak::LexMax => examined_before + level.len() as u64,
-                };
-                win.candidates_examined = examined;
-                return Ok(SearchOutcome::optimal(win, examined).with_telemetry(tel));
+            let outcome = run();
+            // Shutdown: an empty slot released through `start` makes
+            // every worker break out of its loop; the scope then joins
+            // them (no handle can panic — shards are unwind-contained).
+            *slot.lock().unwrap() = None;
+            start.wait();
+            outcome
+        })
+    }
+
+    /// One worker's share of a level: claim batches off the cursor,
+    /// screen them (skipping candidates the shared prune state proves
+    /// cannot win), and fold acceptances and telemetry back into the
+    /// level. See [`LevelWork`] for the pruning invariants.
+    fn process_level_shard(&self, level: &LevelWork, prefix: Option<&HnfPrefix>) {
+        let mut wtel = SearchTelemetry::default();
+        let mut ws = HnfWorkspace::new();
+        let mut local_hits: Vec<(usize, OptimalMapping)> = Vec::new();
+        // Worker-cached copy of the shared lex floor, refreshed only when
+        // the version stamp moves (keeps the Mutex off the fast path).
+        let mut floor_version = 0u64;
+        let mut lex_floor: Option<Vec<i64>> = None;
+        'claims: loop {
+            let base = level.cursor.fetch_add(SHARD_BATCH, Ordering::Relaxed);
+            if base >= level.candidates.len() {
+                break;
             }
-            examined_before += level.len() as u64;
+            let end = (base + SHARD_BATCH).min(level.candidates.len());
+            for idx in base..end {
+                let pi = &level.candidates[idx];
+                wtel.enumerated += 1;
+                match self.tie_break {
+                    TieBreak::FirstFound => {
+                        // A smaller accepted index exists: this candidate
+                        // cannot be the level winner.
+                        if (idx as u64) > level.best_idx.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                    }
+                    TieBreak::LexMax => {
+                        let v = level.best_version.load(Ordering::Acquire);
+                        if v != floor_version {
+                            lex_floor = level.best_pi.lock().unwrap().clone();
+                            floor_version = v;
+                        }
+                        // An accepted schedule ≥lex this candidate exists:
+                        // it cannot be the lex-greatest acceptance.
+                        if lex_floor.as_ref().is_some_and(|b| pi.as_slice() <= b.as_slice()) {
+                            continue;
+                        }
+                    }
+                }
+                if let Some(r) = self.try_candidate(pi, level.cost, 0, &mut wtel, prefix, &mut ws) {
+                    wtel.accepted += 1;
+                    match self.tie_break {
+                        TieBreak::FirstFound => {
+                            level.best_idx.fetch_min(idx as u64, Ordering::Relaxed);
+                            local_hits.push((idx, r));
+                            // The cursor only moves forward: every index
+                            // this worker could still claim is larger.
+                            break 'claims;
+                        }
+                        TieBreak::LexMax => {
+                            let mut best = level.best_pi.lock().unwrap();
+                            if best.as_ref().is_none_or(|b| pi.as_slice() > b.as_slice()) {
+                                *best = Some(pi.clone());
+                                level.best_version.fetch_add(1, Ordering::Release);
+                            }
+                            drop(best);
+                            local_hits.push((idx, r));
+                        }
+                    }
+                }
+            }
         }
-        Ok(SearchOutcome::infeasible(examined_before).with_telemetry(tel))
+        level.hits.lock().unwrap().extend(local_hits);
+        level.tel.lock().unwrap().merge(&wtel);
     }
 
     /// Count (without accepting) how many candidates exist up to the given
@@ -672,6 +1153,96 @@ impl<'a> Procedure51<'a> {
             enumerate_weighted(n, mu, cost, &mut |_| count += 1);
         }
         count
+    }
+
+    /// [`Self::count_candidates`] over the symmetry-quotiented space:
+    /// one representative per stabilizer orbit. The quotient-factor
+    /// measurement of experiment E15 — counted regardless of the
+    /// configured [`SymmetryMode`]/tie-break gates, since counting has
+    /// no soundness preconditions.
+    pub fn count_candidates_quotiented(&self, max_objective: i64) -> u64 {
+        let stab = crate::canon::stabilizer(self.alg, self.space);
+        let quotient = (!stab.is_trivial()).then(|| {
+            let classes = stab.symmetric_classes();
+            Quotient { stab, classes }
+        });
+        let mut count = 0u64;
+        for cost in 1..=max_objective {
+            self.enumerate_level(cost, quotient.as_ref(), &mut |_| count += 1);
+        }
+        count
+    }
+}
+
+/// Fold one level's orbit-pruning tally into the telemetry and the
+/// process-wide counter: the exact full-space level count (when still
+/// cheap to compute, see [`ORBIT_COUNT_MAX`]) minus the representatives
+/// actually enumerated.
+fn account_orbits(
+    cost: i64,
+    reps_enumerated: u64,
+    counter: Option<&mut FullCounter>,
+    tel: &mut SearchTelemetry,
+) {
+    let Some(counter) = counter else { return };
+    let Some(full) = counter.count(cost) else { return };
+    let pruned = full.saturating_sub(reps_enumerated);
+    if pruned > 0 {
+        tel.orbits_pruned += pruned;
+        crate::metrics::ORBITS_PRUNED.add(pruned);
+    }
+}
+
+/// Incremental exact count of the *full* candidate space per objective
+/// level, `completions[i][r]` = number of ways to assign signed values to
+/// axes `i..n` with total weight exactly `r` — mirroring
+/// [`enumerate_weighted`]'s semantics, including the `|π| ≤ remaining`
+/// truncation of zero-weight axes. Saturating `u64` throughout. The
+/// tables grow lazily with the requested cost, so a whole search costs
+/// `O(n · cost_max² / μ_min)` — trivial next to the screening it meters.
+struct FullCounter {
+    mu: Vec<i64>,
+    /// `table[i][r]` for `i ∈ 0..=n`; `table[n][r] = [r == 0]`.
+    table: Vec<Vec<u64>>,
+}
+
+impl FullCounter {
+    fn new(mu: &[i64]) -> FullCounter {
+        FullCounter { mu: mu.to_vec(), table: vec![Vec::new(); mu.len() + 1] }
+    }
+
+    /// Full-space candidate count at exactly `cost`; `None` past
+    /// [`ORBIT_COUNT_MAX`] (accounting stops, enumeration does not).
+    fn count(&mut self, cost: i64) -> Option<u64> {
+        if !(0..=ORBIT_COUNT_MAX).contains(&cost) {
+            return None;
+        }
+        let c = usize::try_from(cost).expect("cost in range");
+        let n = self.mu.len();
+        for r in self.table[n].len()..=c {
+            self.table[n].push(u64::from(r == 0));
+        }
+        for i in (0..n).rev() {
+            let w = self.mu[i];
+            for r in self.table[i].len()..=c {
+                let mut acc: u64;
+                if w == 0 {
+                    // Zero-weight axis: 2r+1 choices of π_i, none spend.
+                    let choices = 2 * (r as u64) + 1;
+                    acc = self.table[i + 1][r].saturating_mul(choices);
+                } else {
+                    acc = self.table[i + 1][r]; // a = 0
+                    let step = usize::try_from(w).expect("μ > 0 fits usize");
+                    let mut spent = step;
+                    while spent <= r {
+                        acc = acc.saturating_add(self.table[i + 1][r - spent].saturating_mul(2));
+                        spent += step;
+                    }
+                }
+                self.table[i].push(acc);
+            }
+        }
+        Some(self.table[0][c])
     }
 }
 
@@ -744,6 +1315,57 @@ pub(crate) fn enumerate_weighted(n: usize, mu: &[i64], cost: i64, f: &mut impl F
                 pi[i] = -a;
                 rec(i + 1, remaining - used, n, mu, pi, f);
             }
+        }
+        pi[i] = 0;
+    }
+}
+
+/// [`enumerate_weighted`] restricted to class-product orbit
+/// representatives: for each axis `i` with a same-class predecessor
+/// `p = prev[i]`, only values `π_i ≤ π_p` are explored — the
+/// non-increasing-within-class rule that picks exactly the lex-greatest
+/// member of each orbit when the stabilizer is the full symmetric group
+/// on each class (with no sign flips; see
+/// [`Stabilizer::symmetric_classes`]). Pruning happens inside the
+/// recursion, so skipped orbit members cost nothing, not even a callback.
+fn enumerate_weighted_classes(
+    n: usize,
+    mu: &[i64],
+    cost: i64,
+    prev: &[Option<usize>],
+    f: &mut impl FnMut(&[i64]),
+) {
+    let mut pi = vec![0i64; n];
+    rec(0, cost, n, mu, prev, &mut pi, f);
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        i: usize,
+        remaining: i64,
+        n: usize,
+        mu: &[i64],
+        prev: &[Option<usize>],
+        pi: &mut Vec<i64>,
+        f: &mut impl FnMut(&[i64]),
+    ) {
+        if i == n {
+            if remaining == 0 {
+                f(pi);
+            }
+            return;
+        }
+        let w = mu[i];
+        let max_abs = if w == 0 { remaining } else { remaining / w };
+        let hi = match prev[i] {
+            Some(p) => max_abs.min(pi[p]),
+            None => max_abs,
+        };
+        // Same-class axes share μ, so every value in range fits the
+        // remaining weight; the loop only ascends to the class ceiling.
+        for v in -max_abs..=hi {
+            let used = if w == 0 { 0 } else { v.abs() * w };
+            pi[i] = v;
+            rec(i + 1, remaining - used, n, mu, prev, pi, f);
         }
         pi[i] = 0;
     }

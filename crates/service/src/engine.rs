@@ -24,13 +24,13 @@ use crate::snapshot::Snapshot;
 use crate::wire::{MapOutcome, MapRequest, MapResponse};
 use cfmap_core::metrics::{
     Counter, Histogram, Registry, DEFAULT_LATENCY_BUCKETS_US, EXACT_CONFLICT_TESTS,
-    HNF_COMPUTATIONS,
+    HNF_COMPUTATIONS, HYBRID_ESCALATIONS, ORBITS_PRUNED,
 };
 use cfmap_core::budget::clock;
 use cfmap_core::{
     canonicalize, BudgetLimit, CancelToken, CanonicalProblem, Canonicalization, Certification,
-    CfmapError, Deadline, MappingMatrix, Procedure51, SearchBudget, SearchTelemetry, SpaceMap,
-    TieBreak,
+    CfmapError, Deadline, HybridPolicy, MappingMatrix, Procedure51, SearchBudget, SearchTelemetry,
+    SolveRoute, SpaceMap, SymmetryMode, TieBreak,
 };
 use cfmap_model::{algorithms, DependenceMatrix, IndexSet, LinearSchedule, Uda};
 use cfmap_systolic::SystolicArray;
@@ -95,6 +95,27 @@ pub struct SearchStats {
     pub fallback_screened: u64,
 }
 
+/// How the engine's searches exploit structure: whether to quotient the
+/// candidate space by the problem's symmetry stabilizer, and whether an
+/// exploding enumeration may escalate to the ILP decomposition
+/// mid-search. Both default on — quotienting is bit-identical under the
+/// engine's `TieBreak::LexMax` pin, and hybrid answers are tagged with
+/// [`SolveRoute::HybridIlp`] so they never feed the family fitter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverPolicy {
+    /// Enumerate one representative per stabilizer orbit.
+    pub quotient: bool,
+    /// Escalate to the ILP route when level growth projects past the
+    /// policy's candidate horizon (`None` disables escalation).
+    pub hybrid: Option<HybridPolicy>,
+}
+
+impl Default for SolverPolicy {
+    fn default() -> SolverPolicy {
+        SolverPolicy { quotient: true, hybrid: Some(HybridPolicy::default()) }
+    }
+}
+
 /// The shared solver state behind every worker thread.
 pub struct Engine {
     cache: Arc<ShardedLruCache<CacheKey, CachedOutcome>>,
@@ -114,6 +135,8 @@ pub struct Engine {
     /// passes) winds all in-flight solves down within one candidate's
     /// latency.
     cancel: CancelToken,
+    /// Structural search knobs (symmetry quotient, hybrid ILP escape).
+    policy: SolverPolicy,
 }
 
 impl Engine {
@@ -178,6 +201,21 @@ impl Engine {
             "Exact conflict-vector searches run process-wide",
             &[],
             || i64::try_from(EXACT_CONFLICT_TESTS.get()).unwrap_or(i64::MAX),
+        );
+        // Symmetry-quotient and hybrid-route health: orbits_pruned > 0
+        // proves the quotient is engaged; escalations count ILP attempts
+        // (not adoptions — a non-optimal ILP answer is discarded).
+        metrics.gauge_fn(
+            "cfmap_orbits_pruned_total",
+            "Candidates skipped as non-representatives of a stabilizer orbit",
+            &[],
+            || i64::try_from(ORBITS_PRUNED.get()).unwrap_or(i64::MAX),
+        );
+        metrics.gauge_fn(
+            "cfmap_hybrid_escalations_total",
+            "Mid-search escalations from enumeration to the ILP route",
+            &[],
+            || i64::try_from(HYBRID_ESCALATIONS.get()).unwrap_or(i64::MAX),
         );
         // Exact-arithmetic fast-path health: spills should stay at zero
         // for paper-sized problems, and the i64 HNF kernel should carry
@@ -251,7 +289,16 @@ impl Engine {
             fallback,
             deadline_expired,
             cancel: CancelToken::new(),
+            policy: SolverPolicy::default(),
         }
+    }
+
+    /// Override the structural search knobs (defaults: quotient on,
+    /// hybrid escalation on). Chiefly for tests and experiments that
+    /// need the un-quotiented or enumeration-only behaviour.
+    pub fn with_solver_policy(mut self, policy: SolverPolicy) -> Engine {
+        self.policy = policy;
+        self
     }
 
     /// The engine-wide cancellation token (cloning shares the flag).
@@ -536,7 +583,8 @@ impl Engine {
             }
         }
         let started = Instant::now();
-        let (outcome, telemetry) = solve_canonical(&canon.problem, req, deadline, &self.cancel)?;
+        let (outcome, telemetry, route) =
+            solve_canonical(&canon.problem, req, deadline, &self.cancel, &self.policy)?;
         self.record_search(&telemetry, started.elapsed());
         // A search wound down by engine-wide cancellation (drain) is not
         // the request's true answer — never cache it.
@@ -545,8 +593,11 @@ impl Engine {
             // Only solver-proven optima of knob-free requests may become
             // family observations: a best-effort or infeasible outcome
             // (or anything solved under a budget) can never help mint a
-            // certificate.
-            if plain {
+            // certificate. ILP-escalated optima are likewise excluded:
+            // the ILP route proves the objective but makes no LexMax
+            // tie-break promise, and family templates must lie on the
+            // enumerator's canonical representatives.
+            if plain && route == SolveRoute::Enumeration {
                 if let CachedOutcome::Design {
                     schedule,
                     objective,
@@ -598,7 +649,8 @@ fn solve_canonical(
     req: &MapRequest,
     deadline: Option<Deadline>,
     cancel: &CancelToken,
-) -> Result<(CachedOutcome, SearchTelemetry), CfmapError> {
+    policy: &SolverPolicy,
+) -> Result<(CachedOutcome, SearchTelemetry, SolveRoute), CfmapError> {
     let alg = problem.uda("canonical");
     let space = problem.space_map();
     let mut budget = SearchBudget::unlimited();
@@ -619,6 +671,12 @@ fn solve_canonical(
         .tie_break(TieBreak::LexMax)
         .budget(budget)
         .cancel_token(cancel);
+    if policy.quotient {
+        proc = proc.symmetry(SymmetryMode::Quotient);
+    }
+    if let Some(hybrid) = policy.hybrid {
+        proc = proc.hybrid(hybrid);
+    }
     if let Some(cap) = req.cap {
         proc = proc.max_objective(cap);
     }
@@ -626,8 +684,9 @@ fn solve_canonical(
     let certification = outcome.certification;
     let candidates_examined = outcome.candidates_examined;
     let telemetry = outcome.telemetry.clone();
+    let route = outcome.route;
     match outcome.into_mapping() {
-        None => Ok((CachedOutcome::Infeasible { candidates_examined }, telemetry)),
+        None => Ok((CachedOutcome::Infeasible { candidates_examined }, telemetry, route)),
         Some(opt) => {
             let array = SystolicArray::synthesize(&alg, &opt.mapping);
             let design = CachedOutcome::Design {
@@ -639,7 +698,7 @@ fn solve_canonical(
                 processors: array.num_processors() as u64,
                 array_dims: array.dims() as u64,
             };
-            Ok((design, telemetry))
+            Ok((design, telemetry, route))
         }
     }
 }
@@ -794,6 +853,7 @@ fn named_algorithm(name: &str, mu: i64) -> Result<Uda, String> {
         "lu" => algorithms::lu_decomposition(mu),
         "sor" => algorithms::sor(mu, mu),
         "matvec" => algorithms::matvec(mu, mu),
+        "identity4" => algorithms::identity_cube(4, mu),
         "bitlevel-matmul" => algorithms::bitlevel_matmul(mu, mu + 1),
         "bitlevel-convolution" => algorithms::bitlevel_convolution(mu, mu + 1),
         "bitlevel-lu" => algorithms::bitlevel_lu(mu, mu + 1),
@@ -1003,6 +1063,66 @@ mod tests {
         assert!(text.contains("cfmap_intlin_hnf_i64_fallback_total"), "{text}");
         assert!(text.contains("# TYPE cfmap_candidate_screen_duration_seconds histogram"), "{text}");
         assert!(!text.contains("cfmap_candidate_screen_duration_seconds_count 0"), "{text}");
+        // Symmetry-quotient / hybrid-route gauges are exported.
+        assert!(text.contains("cfmap_orbits_pruned_total"), "{text}");
+        assert!(text.contains("cfmap_hybrid_escalations_total"), "{text}");
+    }
+
+    #[test]
+    fn hybrid_optimal_never_feeds_the_family_catalogue() {
+        // An absurd candidate horizon makes every matmul solve escalate
+        // to the ILP route; the answer is still Optimal (the ILP proves
+        // the same objective) but must not become a family observation —
+        // the ILP makes no LexMax tie-break promise, and family
+        // templates must lie on enumeration representatives.
+        let engine = Engine::new(64, 4).with_solver_policy(SolverPolicy {
+            quotient: true,
+            hybrid: Some(HybridPolicy { candidate_horizon: 1, min_levels: 1 }),
+        });
+        let resp = engine.resolve(&matmul_request());
+        let MapResponse::Ok(a) = &resp else { panic!("expected ok, got {resp:?}") };
+        assert_eq!(a.certification, Certification::Optimal);
+        assert_eq!(a.total_time, 25, "ILP proves the enumerative optimum");
+        assert_eq!(
+            engine.family_stats().observing,
+            0,
+            "an ILP-escalated optimum must never be observed by the family fitter"
+        );
+        // The identical request through a default (enumeration-route)
+        // engine does feed the catalogue — the gate is the route, not
+        // the problem.
+        let plain = Engine::new(64, 4);
+        assert!(matches!(plain.resolve(&matmul_request()), MapResponse::Ok(_)));
+        assert_eq!(plain.family_stats().observing, 1);
+    }
+
+    #[test]
+    fn quotient_policy_prunes_identity_and_matches_full_search() {
+        // identity n=4 has a nontrivial stabilizer (S_3 on the unpinned
+        // axes); the default engine policy quotients it, and the answer
+        // must match the unquotiented engine's bit for bit.
+        let req = MapRequest::named("identity4", 2, vec![vec![1, 0, 0, 0]]);
+        let quotiented = Engine::new(64, 4);
+        let full = Engine::new(64, 4)
+            .with_solver_policy(SolverPolicy { quotient: false, hybrid: None });
+        let before = ORBITS_PRUNED.get();
+        let q = quotiented.resolve(&req);
+        let MapResponse::Ok(q) = &q else { panic!("expected ok, got {q:?}") };
+        let f = full.resolve(&req);
+        let MapResponse::Ok(f) = &f else { panic!("expected ok, got {f:?}") };
+        assert_eq!(q.schedule, f.schedule, "quotient must be bit-identical");
+        assert_eq!(q.objective, f.objective);
+        assert_eq!(q.certification, Certification::Optimal);
+        assert!(
+            ORBITS_PRUNED.get() > before,
+            "the quotiented engine must skip non-representatives"
+        );
+        assert!(
+            q.candidates_examined < f.candidates_examined,
+            "quotient must shrink the examined count: {} vs {}",
+            q.candidates_examined,
+            f.candidates_examined
+        );
     }
 
     #[test]

@@ -409,6 +409,19 @@ fn canonical_key(p: &CanonicalProblem) -> String {
     )
 }
 
+/// Why the router answered a request locally instead of hashing it to a
+/// backend. The two arms carry different wire shapes: a bad `/map` body
+/// echoes the backend's own `MapResponse::BadRequest`, while a provably
+/// unusable `/batch` has no member to answer for and gets a
+/// router-level 400 [`RouterReject`].
+enum AffinityError {
+    /// `/map` body every backend would reject with a 400.
+    BadMap(String),
+    /// `/batch` body with an empty or wholly non-canonicalizable
+    /// `requests` array.
+    BadBatch(String),
+}
+
 /// Shared router state behind every worker and the prober.
 struct RouterCore {
     config: RouterConfig,
@@ -424,18 +437,26 @@ impl RouterCore {
     /// Compute the affinity hash for a forwarded body, if it
     /// canonicalizes. `/map` bodies canonicalize directly; `/batch`
     /// bodies use their first canonicalizable member (a batch of
-    /// equivalent problems still lands with its cache entry). A body
-    /// that does not canonicalize routes by raw-content hash — the
-    /// backend will produce the authoritative 400.
-    fn affinity_hash(&self, path: &str, body: &str) -> Result<u64, String> {
+    /// equivalent problems still lands with its cache entry). A `/batch`
+    /// whose `requests` array is empty or wholly non-canonicalizable is
+    /// rejected locally — every backend would 400 it, so forwarding only
+    /// burns an upstream round-trip. A body without a parseable
+    /// `requests` array routes by raw-content hash — the backend
+    /// produces the authoritative 400.
+    fn affinity_hash(&self, path: &str, body: &str) -> Result<u64, AffinityError> {
         if path == "/map" {
-            let req = MapRequest::from_str(body).map_err(|e| e.msg)?;
-            let problem = canonical_problem(&req)?;
+            let req = MapRequest::from_str(body).map_err(|e| AffinityError::BadMap(e.msg))?;
+            let problem = canonical_problem(&req).map_err(AffinityError::BadMap)?;
             return Ok(fnv1a64(canonical_key(&problem).as_bytes()));
         }
         // /batch: first member that parses and canonicalizes wins.
         if let Ok(json) = parse(body) {
             if let Some(arr) = json.get("requests").and_then(Json::as_arr) {
+                if arr.is_empty() {
+                    return Err(AffinityError::BadBatch(
+                        "batch \"requests\" array is empty".into(),
+                    ));
+                }
                 for item in arr {
                     if let Ok(req) = MapRequest::from_json(item) {
                         if let Ok(problem) = canonical_problem(&req) {
@@ -443,6 +464,10 @@ impl RouterCore {
                         }
                     }
                 }
+                return Err(AffinityError::BadBatch(format!(
+                    "none of the {} batch members parses into a canonicalizable request",
+                    arr.len()
+                )));
             }
         }
         Ok(fnv1a64(body.as_bytes()))
@@ -509,11 +534,19 @@ impl RouterCore {
         }
         let hash = match self.affinity_hash(path, body) {
             Ok(h) => h,
-            Err(msg) => {
+            Err(AffinityError::BadMap(msg)) => {
                 // The router rejects what every backend would reject,
                 // with the same body shape, without a round-trip.
                 let resp = crate::wire::MapResponse::BadRequest { msg };
                 return (resp.http_status(), resp.to_json().serialize(), Vec::new());
+            }
+            Err(AffinityError::BadBatch(message)) => {
+                // A provably unusable batch gets a router-level 400:
+                // there is no member to echo a backend-shaped answer
+                // for, so the reject carries the router body shape.
+                let reject =
+                    RouterReject { kind: RouterRejectKind::BadRequest, message, attempted: 0 };
+                return (reject.kind.http_status(), reject.to_json().serialize(), Vec::new());
             }
         };
         let candidates = self.ring.candidates(hash, self.config.failover_budget + 1);

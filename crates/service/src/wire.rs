@@ -326,6 +326,11 @@ pub enum RouterRejectKind {
     /// Failover was attempted but every replica within the failover
     /// budget failed at the transport level: `502`.
     FailoverExhausted,
+    /// The request body is malformed in a way the router can prove
+    /// locally (e.g. a `/batch` with an empty or wholly unusable
+    /// `requests` array) — forwarding would only burn a backend's time
+    /// to produce the same answer: `400`.
+    BadRequest,
 }
 
 impl RouterRejectKind {
@@ -336,6 +341,7 @@ impl RouterRejectKind {
             RouterRejectKind::AllCircuitsOpen => "all_circuits_open",
             RouterRejectKind::UpstreamUnreachable => "upstream_unreachable",
             RouterRejectKind::FailoverExhausted => "failover_exhausted",
+            RouterRejectKind::BadRequest => "bad_request",
         }
     }
 
@@ -344,6 +350,7 @@ impl RouterRejectKind {
         match self {
             RouterRejectKind::NoBackends | RouterRejectKind::AllCircuitsOpen => 503,
             RouterRejectKind::UpstreamUnreachable | RouterRejectKind::FailoverExhausted => 502,
+            RouterRejectKind::BadRequest => 400,
         }
     }
 }
@@ -391,6 +398,7 @@ impl RouterReject {
             "all_circuits_open" => RouterRejectKind::AllCircuitsOpen,
             "upstream_unreachable" => RouterRejectKind::UpstreamUnreachable,
             "failover_exhausted" => RouterRejectKind::FailoverExhausted,
+            "bad_request" => RouterRejectKind::BadRequest,
             other => return Err(bad(format!("unknown router reject kind {other:?}"))),
         };
         Ok(RouterReject {

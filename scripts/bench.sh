@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Run the experiment harness and record the results as JSON.
 #
-#   scripts/bench.sh              # all experiments -> BENCH_7.json
+#   scripts/bench.sh              # all experiments -> BENCH_8.json
 #   scripts/bench.sh E14          # subset, same output file
 #   BENCH_OUT=/tmp/b.json scripts/bench.sh
 #   CFMAP_BENCH_MS=5 scripts/bench.sh E13   # fast smoke budget
@@ -12,7 +12,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_7.json}
+# Default output derives from the current PR/issue number so successive
+# trajectories stop overwriting or stranding each other's files; override
+# with BENCH_OUT for scratch runs.
+ISSUE=8
+OUT=${BENCH_OUT:-BENCH_${ISSUE}.json}
 
 cargo run --release --offline -p cfmap-bench --bin experiments -- --json "$@" > "$OUT"
 echo "bench: wrote $OUT"

@@ -101,6 +101,15 @@ echo "$METRICS" | grep -q '^cfmapd_queue_depth 0$' \
     || { echo "/metrics is missing a zero queue-depth gauge"; exit 1; }
 echo "$METRICS" | grep -q '^cfmapd_requests_shed_total 0$' \
     || { echo "/metrics is missing a zero shed counter"; exit 1; }
+# Symmetry-quotient gate (ISSUE 8): an n=4 identity solve — 29,960
+# candidates unquotiented — must finish under the default budget with
+# the quotient engaged: t = f°+1 = 29 and orbits actually pruned.
+"$CFMAP" client --addr "$ADDR" --alg identity4 --mu 2 --space 1,0,0,0 | grep -q "t = 29 cycles" \
+    || { echo "identity4 solve failed or returned a wrong optimum"; exit 1; }
+ORBITS=$("$CFMAP" client --addr "$ADDR" --get /metrics \
+    | sed -n 's/^cfmap_orbits_pruned_total \([0-9]*\)$/\1/p')
+[ "${ORBITS:-0}" -gt 0 ] \
+    || { echo "cfmap_orbits_pruned_total = '${ORBITS:-missing}', want > 0"; exit 1; }
 exec 9>&-          # close stdin: the daemon drains and exits
 wait "$CFMAPD_PID" || { echo "cfmapd did not exit cleanly"; exit 1; }
 CFMAPD_PID=
@@ -237,11 +246,15 @@ CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e12_service_throug
 CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e13_hot_path > /dev/null
 
 echo "== smoke: bench.sh writes experiment JSON"
-CFMAP_BENCH_MS=5 BENCH_OUT=/tmp/cfmap_bench_smoke_$$.json scripts/bench.sh E13 E14 > /dev/null
+CFMAP_BENCH_MS=5 BENCH_OUT=/tmp/cfmap_bench_smoke_$$.json scripts/bench.sh E13 E14 E15 > /dev/null
 grep -q '"id":"E13"' "/tmp/cfmap_bench_smoke_$$.json" \
     || { echo "bench.sh produced no E13 report"; exit 1; }
 grep -q '"id":"E14"' "/tmp/cfmap_bench_smoke_$$.json" \
     || { echo "bench.sh produced no E14 report"; exit 1; }
+grep -q '"id":"E15"' "/tmp/cfmap_bench_smoke_$$.json" \
+    || { echo "bench.sh produced no E15 report"; exit 1; }
+grep -q 'hybrid-ilp' "/tmp/cfmap_bench_smoke_$$.json" \
+    || { echo "E15 shows no enumeration→ILP crossover"; exit 1; }
 rm -f "/tmp/cfmap_bench_smoke_$$.json"
 
 echo "verify: OK"

@@ -143,7 +143,7 @@ CLIENT OPTIONS:
 
 OPTIONS:
   --alg       matmul | transitive-closure | convolution | lu | sor | matvec |
-              bitlevel-matmul | bitlevel-convolution | bitlevel-lu
+              identity4 | bitlevel-matmul | bitlevel-convolution | bitlevel-lu
   --mu        problem size μ (bit-level kernels use μ_w = μ and μ_b = μ+1)
   --space     space map rows, comma-separated entries, ';' between rows: \"1,1,-1\" or \"1,0,0,0,0;0,1,0,0,0\"
   --pi        schedule vector: \"1,4,1\"
@@ -201,6 +201,7 @@ fn get_alg(opts: &Opts) -> Result<Uda, String> {
         "lu" => algorithms::lu_decomposition(mu),
         "sor" => algorithms::sor(mu, mu),
         "matvec" => algorithms::matvec(mu, mu),
+        "identity4" => algorithms::identity_cube(4, mu),
         "bitlevel-matmul" => algorithms::bitlevel_matmul(mu, mu + 1),
         "bitlevel-convolution" => algorithms::bitlevel_convolution(mu, mu + 1),
         "bitlevel-lu" => algorithms::bitlevel_lu(mu, mu + 1),

@@ -485,3 +485,66 @@ fn draining_backend_is_steered_around_without_errors() {
         drop(backend);
     }
 }
+
+/// Hostile `/batch` bodies the router can prove unusable — an empty
+/// `requests` array, or one whose every member fails to parse or
+/// canonicalize — must be answered locally with a well-formed `400`
+/// `RouterReject` of kind `bad_request`: no forward, no panic, and the
+/// backend keeps serving honest traffic afterwards.
+#[test]
+fn provably_unusable_batches_reject_locally_without_a_forward() {
+    let backend = BackendProc::spawn();
+    let router = start_router(std::slice::from_ref(&backend.addr));
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            client::get(&router.addr, "/readyz").map(|r| r.status == 200).unwrap_or(false)
+        }),
+        "router never became ready"
+    );
+
+    let empty = Json::Obj(vec![("requests".into(), Json::Arr(vec![]))]).serialize();
+    let garbage_member = Json::Obj(vec![(
+        "requests".into(),
+        Json::Arr(vec![
+            Json::Obj(vec![("nonsense".into(), Json::Int(1))]),
+            // Parses as a request shape but cannot canonicalize: μ is empty.
+            Json::Obj(vec![
+                ("mu".into(), Json::Arr(vec![])),
+                ("space".into(), Json::Arr(vec![])),
+            ]),
+        ]),
+    )])
+    .serialize();
+    for (label, body) in [("empty", &empty), ("all-garbage", &garbage_member)] {
+        let reply = client::post(&router.addr, "/batch", body).expect("router answers");
+        assert_eq!(reply.status, 400, "{label}: {}", reply.body);
+        let reject = RouterReject::from_str(&reply.body)
+            .unwrap_or_else(|e| panic!("{label}: body must decode as RouterReject: {e}"));
+        assert_eq!(reject.kind, RouterRejectKind::BadRequest, "{label}: {reject:?}");
+        assert_eq!(reject.attempted, 0, "{label}: nothing may be forwarded");
+    }
+    // No forward happened: the per-backend request counter never
+    // materialized on /metrics.
+    assert_eq!(
+        router_metric(&router.addr, "cfmapd_router_requests_total", Some(&backend.addr)),
+        None,
+        "hostile batches must not reach the backend"
+    );
+
+    // The backend is unaffected: an honest batch still round-trips.
+    let honest = Json::Obj(vec![(
+        "requests".into(),
+        Json::Arr(vec![key_request(4).to_json()]),
+    )])
+    .serialize();
+    let reply = client::post(&router.addr, "/batch", &honest).expect("honest batch answers");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(
+        router_metric(&router.addr, "cfmapd_router_requests_total", Some(&backend.addr))
+            .is_some_and(|v| v >= 1),
+        "the honest batch must be forwarded"
+    );
+
+    stop_router(router);
+    backend.stop();
+}
