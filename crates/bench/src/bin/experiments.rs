@@ -61,6 +61,9 @@ fn main() {
     if run("E15") {
         reports.push(e15_quotient_and_hybrid());
     }
+    if run("E16") {
+        reports.push(e16_screening_core());
+    }
 
     if json {
         let objs: Vec<String> = reports.iter().map(|r| r.to_json()).collect();

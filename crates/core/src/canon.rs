@@ -429,13 +429,28 @@ impl Stabilizer {
 /// the trivial group, never an unsound one.
 pub fn stabilizer(alg: &Uda, space: &SpaceMap) -> Stabilizer {
     assert_eq!(alg.dim(), space.dim(), "algorithm / space map dimension mismatch");
+    let space_rows: Vec<Vec<i64>> = (0..space.array_dims())
+        .map(|r| space.as_mat().row(r).to_i64s().expect("space entries fit i64"))
+        .collect();
+    stabilizer_of_rows(alg, space_rows)
+}
+
+/// The stabilizer of the bare problem `(J, D)` with **no** space map
+/// pinned: all signed axis permutations with `μ ∘ σ = μ` and `G·D = D` as
+/// a column multiset. This is the symmetry group the joint search
+/// (Problem 6.2) quotients by — there `S` itself is the search variable,
+/// so orbits act on candidate space rows: every element maps a candidate
+/// onto one of identical VLSI cost whose inner schedule search has the
+/// identical optimum.
+pub fn problem_stabilizer(alg: &Uda) -> Stabilizer {
+    stabilizer_of_rows(alg, Vec::new())
+}
+
+fn stabilizer_of_rows(alg: &Uda, space_rows: Vec<Vec<i64>>) -> Stabilizer {
     let n = alg.dim();
     let mu = alg.index_set.mu();
 
     let dep_cols: Vec<Vec<i64>> = (0..alg.num_deps()).map(|i| alg.deps.dep_i64(i)).collect();
-    let space_rows: Vec<Vec<i64>> = (0..space.array_dims())
-        .map(|r| space.as_mat().row(r).to_i64s().expect("space entries fit i64"))
-        .collect();
     // i64::MIN cannot be negated; such degenerate problems get the
     // trivial stabilizer rather than overflow-prone sign arithmetic.
     if dep_cols.iter().chain(&space_rows).flatten().any(|&v| v == i64::MIN) {

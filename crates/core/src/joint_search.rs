@@ -9,16 +9,32 @@
 //! canonical space maps (as in Problem 6.1) and run Procedure 5.1 under
 //! each, ranking complete designs by the chosen criterion. Pruning: under
 //! the time-first criterion, once some design achieves time `t*`, later
-//! space maps only search schedules with objective `< t* − 1`.
+//! space maps only search schedules with objective `< t*` (`≤ t*` under
+//! [`TieBreak::LexMax`], which must still see equal-time designs to pick
+//! the lex-greatest space row among them).
+//!
+//! The screening hot path shares Procedure 5.1's fast machinery (see
+//! `space_search`): exact verdicts go through the kernel-lattice conflict
+//! memo, the outer space-row space can be quotiented by the bare
+//! problem's symmetry stabilizer ([`crate::canon::problem_stabilizer`] —
+//! no `Π` is pinned here, `S` itself is the variable), and
+//! [`JointSearch::solve_parallel`] fans the outer rows over a worker pool
+//! with a shared atomic best-time bound, replaying the collected results
+//! in sequential row order so the answer stays bit-identical to
+//! [`JointSearch::solve`].
 
 use crate::budget::{CancelToken, SearchBudget, SearchOutcome};
+use crate::canon::Stabilizer;
 use crate::conditions::ConditionKind;
 use crate::error::{BudgetLimit, CfmapError};
 use crate::mapping::{MappingMatrix, SpaceMap};
 use crate::metrics::SearchTelemetry;
-use crate::search::Procedure51;
+use crate::search::{Procedure51, SymmetryMode, TieBreak};
 use cfmap_intlin::Int;
 use cfmap_model::{LinearSchedule, Uda};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// What "optimal" means for a complete design (Problem 6.2's "certain
 /// criterion").
@@ -54,6 +70,11 @@ pub struct JointOptimal {
     pub space_maps_tried: u64,
 }
 
+/// A fully-screened outer candidate: its index in the canonical row
+/// order, and — when its inner schedule search found a design under the
+/// cap it ran with — the complete design and its `(time, cost)` pair.
+type RowResult = (usize, Option<(i64, i64, JointOptimal)>);
+
 /// Problem 6.2 search over 1-row space maps.
 pub struct JointSearch<'a> {
     alg: &'a Uda,
@@ -63,6 +84,9 @@ pub struct JointSearch<'a> {
     max_objective: Option<i64>,
     budget: SearchBudget,
     cancel: Option<&'a CancelToken>,
+    tie_break: TieBreak,
+    symmetry: SymmetryMode,
+    memo: bool,
 }
 
 impl<'a> JointSearch<'a> {
@@ -76,6 +100,9 @@ impl<'a> JointSearch<'a> {
             max_objective: None,
             budget: SearchBudget::unlimited(),
             cancel: None,
+            tie_break: TieBreak::default(),
+            symmetry: SymmetryMode::default(),
+            memo: true,
         }
     }
 
@@ -115,6 +142,34 @@ impl<'a> JointSearch<'a> {
     /// so far within one candidate's latency.
     pub fn cancel_token(mut self, token: &'a CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Select how ties among equally-scored designs are broken across
+    /// space rows (default: [`TieBreak::FirstFound`], the lex-least
+    /// winning row). [`TieBreak::LexMax`] keeps equal-time designs alive
+    /// through the time-first pruning and returns the lex-greatest
+    /// minimal-score row — the pin the symmetry quotient requires.
+    pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.tie_break = tie_break;
+        self
+    }
+
+    /// Select whether the outer space-row space is quotiented by the bare
+    /// problem's symmetry stabilizer (default: [`SymmetryMode::Full`]).
+    /// Active only under [`TieBreak::LexMax`] + [`ConditionKind::Exact`]
+    /// with an unlimited budget and no cancel token (the soundness
+    /// preconditions); silently degrades to full enumeration otherwise.
+    pub fn symmetry(mut self, mode: SymmetryMode) -> Self {
+        self.symmetry = mode;
+        self
+    }
+
+    /// Route exact conflict verdicts of the inner schedule searches
+    /// through the process-wide kernel-lattice memo (default: on); see
+    /// [`crate::Procedure51::memo`].
+    pub fn memo(mut self, on: bool) -> Self {
+        self.memo = on;
         self
     }
 
@@ -165,6 +220,119 @@ impl<'a> JointSearch<'a> {
         }
     }
 
+    /// The active outer symmetry quotient, or `None` when the mode is off
+    /// or a soundness precondition fails. With no `Π` pinned the group is
+    /// the stabilizer of `(μ, D)` alone: each element maps a candidate
+    /// space row to one of identical VLSI cost whose inner schedule
+    /// search has the identical optimal objective (the map `Π ↦ Π·G` is
+    /// an objective-preserving bijection of feasible schedules), so whole
+    /// orbits share one score and the `LexMax` winner is always its
+    /// orbit's representative.
+    fn active_quotient(&self) -> Option<Stabilizer> {
+        if self.symmetry != SymmetryMode::Quotient
+            || self.tie_break != TieBreak::LexMax
+            || self.condition != ConditionKind::Exact
+            || !self.budget.is_unlimited()
+            || self.cancel.is_some()
+        {
+            return None;
+        }
+        let stab = crate::canon::problem_stabilizer(self.alg);
+        if stab.is_trivial() {
+            return None;
+        }
+        Some(stab)
+    }
+
+    /// The canonical outer candidate rows (nonzero, first nonzero entry
+    /// positive, lex-ascending), quotient-filtered when one is active.
+    /// Returns the rows and the number of non-representatives dropped.
+    fn candidate_rows(&self, quotient: Option<&Stabilizer>) -> (Vec<Vec<i64>>, u64) {
+        let n = self.alg.dim();
+        let mut rows: Vec<Vec<i64>> = Vec::new();
+        let mut pruned = 0u64;
+        collect_rows_rec(&mut vec![0i64; n], 0, self.entry_bound, &mut |r| {
+            if r.iter().all(|&x| x == 0) {
+                return;
+            }
+            if r.iter().find(|&&x| x != 0).is_some_and(|&x| x < 0) {
+                return;
+            }
+            if quotient.is_some_and(|stab| {
+                !crate::space_search::is_class_representative(stab, std::slice::from_ref(&r.to_vec()))
+            }) {
+                pruned += 1;
+                return;
+            }
+            rows.push(r.to_vec());
+        });
+        (rows, pruned)
+    }
+
+    /// Run the inner Procedure 5.1 for one outer row under `cap` (when
+    /// finite), producing the row's complete design if one exists within
+    /// the cap.
+    fn solve_row(
+        &self,
+        idx: usize,
+        row: &[i64],
+        cap: i64,
+        tel: &mut SearchTelemetry,
+    ) -> Result<RowResult, CfmapError> {
+        let space = SpaceMap::row(row);
+        let mut proc =
+            Procedure51::new(self.alg, &space).condition(self.condition).memo(self.memo);
+        if let Some(c) = self.cancel {
+            proc = proc.cancel_token(c);
+        }
+        if let Some(d) = self.budget.deadline {
+            proc = proc.budget(SearchBudget::until(d));
+        }
+        if cap < i64::MAX {
+            proc = proc.max_objective(cap);
+        }
+        let inner = proc.solve()?;
+        tel.merge(&inner.telemetry);
+        tel.budget_limit = inner.telemetry.budget_limit;
+        let design = match inner.into_mapping() {
+            Some(opt) => {
+                let cost = self.space_cost(&space)?;
+                let time = opt.total_time;
+                let sol = JointOptimal {
+                    space,
+                    schedule: opt.schedule.clone(),
+                    mapping: opt.mapping,
+                    total_time: time,
+                    space_cost: cost,
+                    space_maps_tried: 0, // filled at the end
+                };
+                Some((time, cost, sol))
+            }
+            None => None,
+        };
+        Ok((idx, design))
+    }
+
+    /// The incumbent-driven cap the sequential search hands an inner run:
+    /// the global objective cap, tightened under the time-first criterion
+    /// to the incumbent's time (exclusive for [`TieBreak::FirstFound`] —
+    /// only strictly faster rows can win; inclusive for
+    /// [`TieBreak::LexMax`] — equal-time rows must still be seen so the
+    /// lex-greatest minimal-score row is kept).
+    fn sequential_cap(&self, incumbent: Option<i64>) -> i64 {
+        let mut cap = self.max_objective.unwrap_or(i64::MAX);
+        if self.criterion == JointCriterion::TimeThenSpace {
+            if let Some(t) = incumbent {
+                let tight = match self.tie_break {
+                    TieBreak::FirstFound => t - 1,
+                    TieBreak::LexMax => t,
+                };
+                cap = cap.min(tight);
+            }
+        }
+        cap
+    }
+
     /// Run the search.
     ///
     /// Completion yields [`Certification::Optimal`] (every canonical space
@@ -179,17 +347,8 @@ impl<'a> JointSearch<'a> {
     /// [`Certification::Infeasible`]: crate::budget::Certification::Infeasible
     /// [`Certification::BestEffort`]: crate::budget::Certification::BestEffort
     pub fn solve(&self) -> Result<SearchOutcome<JointOptimal>, CfmapError> {
-        let n = self.alg.dim();
-        let mut rows: Vec<Vec<i64>> = Vec::new();
-        collect_rows_rec(&mut vec![0i64; n], 0, self.entry_bound, &mut |r| {
-            if r.iter().all(|&x| x == 0) {
-                return;
-            }
-            if r.iter().find(|&&x| x != 0).is_some_and(|&x| x < 0) {
-                return;
-            }
-            rows.push(r.to_vec());
-        });
+        let quotient = self.active_quotient();
+        let (rows, pruned) = self.candidate_rows(quotient.as_ref());
 
         let mut best: Option<(JointOptimal, (i64, i64))> = None;
         let mut meter = self.budget.start();
@@ -197,60 +356,35 @@ impl<'a> JointSearch<'a> {
         // Aggregate telemetry of every inner Procedure 5.1 run; the
         // joint search's own per-space-map effort is `enumerated`.
         let mut tel = SearchTelemetry::default();
-        for r in &rows {
+        tel.orbits_pruned += pruned;
+        crate::metrics::ORBITS_PRUNED.add(pruned);
+        for (idx, r) in rows.iter().enumerate() {
             // The charged space map is still screened; the trip takes
             // effect before the *next* one, keeping degradation
             // deterministic for candidate budgets.
             let limit = meter.charge_candidate().or_else(|| self.cancel_tripped());
             let tried = meter.candidates;
-            let space = SpaceMap::row(r);
-            let mut proc = Procedure51::new(self.alg, &space).condition(self.condition);
-            // Time-critical limits must interrupt the *inner* search too,
-            // not just the between-space-maps boundary: hand the deadline
-            // and the cancel token down.
-            if let Some(c) = self.cancel {
-                proc = proc.cancel_token(c);
-            }
-            if let Some(d) = self.budget.deadline {
-                proc = proc.budget(SearchBudget::until(d));
-            }
-            if let Some(cap) = self.max_objective {
-                proc = proc.max_objective(cap);
-            }
-            // Time-first pruning: no point searching past the incumbent.
-            if self.criterion == JointCriterion::TimeThenSpace {
-                if let Some((ref inc, _)) = best {
-                    proc = proc.max_objective(
-                        (inc.total_time - 1).min(self.max_objective.unwrap_or(i64::MAX)),
-                    );
-                }
-            }
-            let inner = proc.solve()?;
-            tel.merge(&inner.telemetry);
+            let cap = self.sequential_cap(best.as_ref().map(|(inc, _)| inc.total_time));
+            let (_, design) = self.solve_row(idx, r, cap, &mut tel)?;
             // The inner budget carries only time-critical limits
             // (deadline / cancellation), so an inner trip ends the joint
             // search too — even on the last space map, where the
             // between-maps charge below would never see it.
-            let inner_limit = inner.telemetry.budget_limit;
-            if let Some(opt) = inner.into_mapping() {
-                let cost = self.space_cost(&space)?;
-                let score = self.score(opt.total_time, cost);
+            let inner_limit = tel.budget_limit;
+            if let Some((time, cost, mut sol)) = design {
+                let score = self.score(time, cost);
                 let better = match &best {
                     None => true,
-                    Some((_, bs)) => score < *bs,
+                    // LexMax admits equal scores so the lex-greatest
+                    // minimal-score row (the last seen) wins.
+                    Some((_, bs)) => match self.tie_break {
+                        TieBreak::FirstFound => score < *bs,
+                        TieBreak::LexMax => score <= *bs,
+                    },
                 };
                 if better {
-                    best = Some((
-                        JointOptimal {
-                            space: space.clone(),
-                            schedule: opt.schedule.clone(),
-                            mapping: opt.mapping,
-                            total_time: opt.total_time,
-                            space_cost: cost,
-                            space_maps_tried: tried,
-                        },
-                        score,
-                    ));
+                    sol.space_maps_tried = tried;
+                    best = Some((sol, score));
                 }
             }
             if let Some(limit) = limit.or(inner_limit) {
@@ -274,6 +408,146 @@ impl<'a> JointSearch<'a> {
                 Err(CfmapError::BudgetExhausted { limit, candidates_examined: examined })
             }
         }
+    }
+
+    /// [`Self::solve`] with the outer space rows fanned over `threads`
+    /// workers. A shared atomic best-time bound prunes inner searches
+    /// under the time-first criterion — it is never tightened below the
+    /// optimal time, so every row that could win is solved intact — and
+    /// the collected per-row results are replayed in sequential row
+    /// order, making the outcome bit-identical to the sequential search.
+    /// Budgeted or cancellable searches delegate to [`Self::solve`] so
+    /// degradation semantics stay exactly deterministic.
+    pub fn solve_parallel(
+        &self,
+        threads: usize,
+    ) -> Result<SearchOutcome<JointOptimal>, CfmapError> {
+        assert!(threads >= 1, "need at least one worker");
+        if threads == 1 || !self.budget.is_unlimited() || self.cancel.is_some() {
+            return self.solve();
+        }
+        let quotient = self.active_quotient();
+        let (rows, pruned) = self.candidate_rows(quotient.as_ref());
+        let mut tel = SearchTelemetry::default();
+        tel.orbits_pruned += pruned;
+        crate::metrics::ORBITS_PRUNED.add(pruned);
+
+        let cursor = AtomicUsize::new(0);
+        let best_time = AtomicI64::new(i64::MAX);
+        let panicked = AtomicBool::new(false);
+        let error: Mutex<Option<CfmapError>> = Mutex::new(None);
+        let results: Mutex<Vec<(RowResult, SearchTelemetry)>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        self.process_row_shard(&rows, &cursor, &best_time, &error, &results);
+                    }));
+                    if run.is_err() {
+                        panicked.store(true, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        if panicked.load(Ordering::SeqCst) {
+            return Err(CfmapError::Internal {
+                context: "joint solve_parallel worker panicked".to_string(),
+            });
+        }
+        if let Some(err) = error.into_inner().unwrap() {
+            return Err(err);
+        }
+        let mut results = results.into_inner().unwrap();
+        // Replay in sequential row order: deterministic telemetry
+        // aggregation and a winner identical to the sequential scan's.
+        results.sort_by_key(|((idx, _), _)| *idx);
+        let mut intact: Vec<(usize, (i64, i64, JointOptimal))> = Vec::new();
+        for ((idx, design), rtel) in results {
+            tel.merge(&rtel);
+            if let Some(d) = design {
+                intact.push((idx, d));
+            }
+        }
+        let examined = rows.len() as u64;
+        match self.pick_winner(intact) {
+            Some(mut sol) => {
+                sol.space_maps_tried = examined;
+                Ok(SearchOutcome::optimal(sol, examined).with_telemetry(tel))
+            }
+            None => Ok(SearchOutcome::infeasible(examined).with_telemetry(tel)),
+        }
+    }
+
+    /// One worker's share of the outer rows: claim rows off the cursor,
+    /// solve each inner search under the shared best-time bound, and fold
+    /// the results back.
+    fn process_row_shard(
+        &self,
+        rows: &[Vec<i64>],
+        cursor: &AtomicUsize,
+        best_time: &AtomicI64,
+        error: &Mutex<Option<CfmapError>>,
+        results: &Mutex<Vec<(RowResult, SearchTelemetry)>>,
+    ) {
+        loop {
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= rows.len() {
+                break;
+            }
+            let mut cap = self.max_objective.unwrap_or(i64::MAX);
+            if self.criterion == JointCriterion::TimeThenSpace {
+                // Inclusive bound: the winner's time t* is the minimum
+                // over all rows, so capping at the best achieved time so
+                // far never truncates a row whose optimum is ≤ t*.
+                cap = cap.min(best_time.load(Ordering::Relaxed));
+            }
+            let mut rtel = SearchTelemetry::default();
+            match self.solve_row(idx, &rows[idx], cap, &mut rtel) {
+                Ok(result) => {
+                    if let (_, Some((time, _, _))) = &result {
+                        if self.criterion == JointCriterion::TimeThenSpace {
+                            best_time.fetch_min(*time, Ordering::Relaxed);
+                        }
+                    }
+                    results.lock().unwrap().push((result, rtel));
+                }
+                Err(e) => {
+                    *error.lock().unwrap() = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The sequential scan's winner, recomputed from complete per-row
+    /// results. Under the time-first criterion with
+    /// [`TieBreak::FirstFound`] the sequential pruning cap (`t − 1`)
+    /// blinds the scan to cost differences among equal-time rows, so the
+    /// winner is the *first* row achieving the minimal time; in every
+    /// other configuration all minimal-score rows are fully scored and
+    /// the tie-break picks the first or last of them.
+    fn pick_winner(
+        &self,
+        intact: Vec<(usize, (i64, i64, JointOptimal))>,
+    ) -> Option<JointOptimal> {
+        let keyed: Vec<(usize, (i64, i64), JointOptimal)> = intact
+            .into_iter()
+            .map(|(idx, (time, cost, sol))| {
+                let key = match (self.criterion, self.tie_break) {
+                    (JointCriterion::TimeThenSpace, TieBreak::FirstFound) => (time, 0),
+                    _ => self.score(time, cost),
+                };
+                (idx, key, sol)
+            })
+            .collect();
+        let best_key = keyed.iter().map(|(_, k, _)| *k).min()?;
+        let winners = keyed.into_iter().filter(|(_, k, _)| *k == best_key);
+        let picked = match self.tie_break {
+            TieBreak::FirstFound => winners.min_by_key(|(idx, _, _)| *idx),
+            TieBreak::LexMax => winners.max_by_key(|(idx, _, _)| *idx),
+        };
+        picked.map(|(_, _, sol)| sol)
     }
 }
 
@@ -407,5 +681,91 @@ mod tests {
             .solve()
             .unwrap_err();
         assert!(matches!(err, CfmapError::BudgetExhausted { candidates_examined: 1, .. }));
+    }
+
+    #[test]
+    fn memo_off_is_bit_identical() {
+        let alg = algorithms::matmul(3);
+        let on = JointSearch::new(&alg).solve().unwrap().expect_optimal("on");
+        let off = JointSearch::new(&alg).memo(false).solve().unwrap().expect_optimal("off");
+        assert_eq!(on.space, off.space);
+        assert_eq!(on.schedule, off.schedule);
+        assert_eq!(on.total_time, off.total_time);
+        assert_eq!(on.space_cost, off.space_cost);
+        assert_eq!(on.space_maps_tried, off.space_maps_tried);
+    }
+
+    #[test]
+    fn lexmax_winner_is_lex_greatest_minimal_row() {
+        let alg = algorithms::matmul(3);
+        for criterion in [JointCriterion::TimeThenSpace, JointCriterion::SpaceThenTime] {
+            let first = JointSearch::new(&alg)
+                .criterion(criterion)
+                .solve()
+                .unwrap()
+                .expect_optimal("ff");
+            let lexmax = JointSearch::new(&alg)
+                .criterion(criterion)
+                .tie_break(TieBreak::LexMax)
+                .solve()
+                .unwrap()
+                .expect_optimal("lm");
+            // The LexMax design's score can only match the optimum.
+            assert_eq!(lexmax.total_time, first.total_time);
+            if criterion == JointCriterion::SpaceThenTime {
+                assert_eq!(lexmax.space_cost, first.space_cost);
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_and_parallel_match_sequential_lexmax() {
+        for alg in [algorithms::matmul(3), algorithms::transitive_closure(3)] {
+            for criterion in [JointCriterion::TimeThenSpace, JointCriterion::SpaceThenTime] {
+                let base = JointSearch::new(&alg)
+                    .criterion(criterion)
+                    .tie_break(TieBreak::LexMax)
+                    .solve()
+                    .unwrap()
+                    .expect_optimal("base");
+                let quot = JointSearch::new(&alg)
+                    .criterion(criterion)
+                    .tie_break(TieBreak::LexMax)
+                    .symmetry(SymmetryMode::Quotient)
+                    .solve()
+                    .unwrap()
+                    .expect_optimal("quot");
+                assert_eq!(quot.space, base.space);
+                assert_eq!(quot.schedule, base.schedule);
+                assert_eq!(quot.total_time, base.total_time);
+                assert_eq!(quot.space_cost, base.space_cost);
+                for threads in [2usize, 4] {
+                    let par = JointSearch::new(&alg)
+                        .criterion(criterion)
+                        .tie_break(TieBreak::LexMax)
+                        .symmetry(SymmetryMode::Quotient)
+                        .solve_parallel(threads)
+                        .unwrap()
+                        .expect_optimal("par");
+                    assert_eq!(par.space, quot.space);
+                    assert_eq!(par.schedule, quot.schedule);
+                    assert_eq!(par.total_time, quot.total_time);
+                    assert_eq!(par.space_cost, quot.space_cost);
+                    assert_eq!(par.space_maps_tried, quot.space_maps_tried);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_firstfound() {
+        let alg = algorithms::matmul(3);
+        let seq = JointSearch::new(&alg).solve().unwrap().expect_optimal("seq");
+        let par = JointSearch::new(&alg).solve_parallel(3).unwrap().expect_optimal("par");
+        assert_eq!(par.space, seq.space);
+        assert_eq!(par.schedule, seq.schedule);
+        assert_eq!(par.total_time, seq.total_time);
+        assert_eq!(par.space_cost, seq.space_cost);
+        assert_eq!(par.space_maps_tried, seq.space_maps_tried);
     }
 }

@@ -49,10 +49,10 @@ pub use budget::{
     BudgetMeter, CancelToken, Certification, Deadline, SearchBudget, SearchOutcome, SolveRoute,
 };
 pub use canon::{
-    canon_fingerprint, canonicalize, stabilizer, Canonicalization, CanonicalProblem, SignedPerm,
-    Stabilizer,
+    canon_fingerprint, canonicalize, problem_stabilizer, stabilizer, Canonicalization,
+    CanonicalProblem, SignedPerm, Stabilizer,
 };
-pub use conflict::{ConflictAnalysis, Feasibility};
+pub use conflict::{ConflictAnalysis, Feasibility, MemoProbe};
 pub use error::{BudgetLimit, CfmapError};
 pub use family::{
     certify, instantiate, CertifyError, Discharge, FamilyCertificate, FamilyInstance, FamilyKey,

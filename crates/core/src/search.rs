@@ -31,7 +31,7 @@
 
 use crate::budget::{CancelToken, SearchBudget, SearchOutcome, SolveRoute};
 use crate::canon::Stabilizer;
-use crate::conditions::{check, rule_for, ConditionKind};
+use crate::conditions::{check, check_memoized, rule_for, ConditionKind};
 use crate::conflict::ConflictAnalysis;
 use crate::error::{BudgetLimit, CfmapError};
 use crate::mapping::{route, InterconnectionPrimitives, MappingMatrix, Routing, SpaceMap};
@@ -113,6 +113,9 @@ pub struct Procedure51<'a> {
     symmetry: SymmetryMode,
     hybrid: Option<HybridPolicy>,
     cancel: Option<&'a CancelToken>,
+    /// Whether exact conflict verdicts go through the process-wide
+    /// kernel-lattice memo (see [`Self::memo`]).
+    memo: bool,
     /// Column indices where `S` is entirely zero — used by the exact
     /// pairwise pre-filter (see [`Self::pairwise_prefilter_rejects`]).
     zero_space_cols: Vec<usize>,
@@ -323,6 +326,7 @@ impl<'a> Procedure51<'a> {
             symmetry: SymmetryMode::default(),
             hybrid: None,
             cancel: None,
+            memo: true,
             zero_space_cols,
             probe: None,
         }
@@ -405,6 +409,17 @@ impl<'a> Procedure51<'a> {
         self
     }
 
+    /// Route exact conflict verdicts through the process-wide
+    /// kernel-lattice memo (default: on). The memo caches a
+    /// deterministic fact — the verdict depends only on the candidate's
+    /// saturated kernel lattice and the index box — so results are
+    /// bit-identical either way; turning it off recovers the unmemoized
+    /// baseline for differential tests and benchmarks.
+    pub fn memo(mut self, on: bool) -> Self {
+        self.memo = on;
+        self
+    }
+
     /// Bound the search effort (default: unlimited). With a
     /// candidate-count limit the outcome is deterministic: the
     /// enumeration order is fixed, so equal budgets give equal results.
@@ -469,6 +484,7 @@ impl<'a> Procedure51<'a> {
         // pre-eliminate them once, so each candidate only reduces its own
         // Π row (see `HnfPrefix`). `None` when S has entries beyond i64.
         let prefix = hnf_prefix_i64(self.space.as_mat());
+        let deps_i64 = self.deps_columns_i64();
         let mut ws = HnfWorkspace::new();
         let quotient = self.active_quotient();
         let mut counter = quotient.as_ref().map(|_| FullCounter::new(self.alg.index_set.mu()));
@@ -488,9 +504,15 @@ impl<'a> Procedure51<'a> {
                 }
                 let limit = meter.charge_candidate().or_else(|| self.cancel_tripped());
                 tel.enumerated += 1;
-                if let Some(result) =
-                    self.try_candidate(pi, cost, meter.candidates, &mut tel, prefix.as_ref(), &mut ws)
-                {
+                if let Some(result) = self.try_candidate(
+                    pi,
+                    cost,
+                    meter.candidates,
+                    &mut tel,
+                    prefix.as_ref(),
+                    deps_i64.as_deref(),
+                    &mut ws,
+                ) {
                     tel.accepted += 1;
                     let improves = found
                         .as_ref()
@@ -695,6 +717,7 @@ impl<'a> Procedure51<'a> {
     /// Evaluate one candidate against all conditions of Definition 2.2,
     /// charging each gate's rejection to the telemetry and the elapsed
     /// screen time to [`crate::metrics::CANDIDATE_SCREEN_TIME`].
+    #[allow(clippy::too_many_arguments)]
     fn try_candidate(
         &self,
         pi: &[i64],
@@ -702,14 +725,29 @@ impl<'a> Procedure51<'a> {
         examined: u64,
         tel: &mut SearchTelemetry,
         prefix: Option<&HnfPrefix>,
+        deps: Option<&[Vec<i64>]>,
         ws: &mut HnfWorkspace,
     ) -> Option<OptimalMapping> {
         let start = Instant::now();
-        let out = self.screen_candidate(pi, cost, examined, tel, prefix, ws);
+        let out = self.screen_candidate(pi, cost, examined, tel, prefix, deps, ws);
         crate::metrics::CANDIDATE_SCREEN_TIME.observe(start.elapsed());
         out
     }
 
+    /// The dependence columns as machine integers, extracted once per
+    /// search so the condition-1 gate — the reject path nearly every
+    /// enumerated candidate takes — runs allocation-free i128 dot
+    /// products instead of per-candidate bignum vectors. `None` when any
+    /// entry exceeds i64 (the bignum route stays the fallback).
+    fn deps_columns_i64(&self) -> Option<Vec<Vec<i64>>> {
+        let cols: Option<Vec<Vec<i64>>> =
+            (0..self.alg.deps.num_deps()).map(|i| self.alg.deps.dep(i).to_i64s()).collect();
+        // The i32 ceiling keeps every i128 dot product overflow-free for
+        // any i64 candidate: |π_i·d_i| < 2^94, far from the i128 edge.
+        cols.filter(|cs| cs.iter().flatten().all(|&v| v.unsigned_abs() <= i32::MAX as u64))
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn screen_candidate(
         &self,
         pi: &[i64],
@@ -717,14 +755,19 @@ impl<'a> Procedure51<'a> {
         examined: u64,
         tel: &mut SearchTelemetry,
         prefix: Option<&HnfPrefix>,
+        deps: Option<&[Vec<i64>]>,
         ws: &mut HnfWorkspace,
     ) -> Option<OptimalMapping> {
         if let Some(probe) = self.probe {
             probe(pi);
         }
-        let schedule = LinearSchedule::new(pi);
-        // Condition 1: ΠD > 0.
-        if !schedule.is_valid_for(&self.alg.deps) {
+        // Condition 1: ΠD > 0 — exact i128 dot products over the
+        // pre-extracted columns when they fit i64, else the bignum route.
+        let valid = match deps {
+            Some(cols) => schedule_valid_i64(pi, cols),
+            None => LinearSchedule::new(pi).is_valid_for(&self.alg.deps),
+        };
+        if !valid {
             tel.rejected_schedule += 1;
             return None;
         }
@@ -733,6 +776,7 @@ impl<'a> Procedure51<'a> {
             tel.rejected_prefilter += 1;
             return None;
         }
+        let schedule = LinearSchedule::new(pi);
         let mapping = MappingMatrix::new(self.space.clone(), schedule.clone());
         // Conditions 4 and 3 share the Hermite decomposition: complete the
         // pre-eliminated S prefix with this candidate's Π row when
@@ -750,7 +794,12 @@ impl<'a> Procedure51<'a> {
             return None; // condition 4: rank(T) = k
         }
         tel.condition_hits.record(rule_for(self.condition, &analysis));
-        if !check(self.condition, &analysis, &self.alg.index_set).accepts() {
+        let verdict = if self.memo {
+            check_memoized(self.condition, &analysis, &self.alg.index_set, tel)
+        } else {
+            check(self.condition, &analysis, &self.alg.index_set)
+        };
+        if !verdict.accepts() {
             tel.rejected_conflict += 1;
             return None; // condition 3: conflict-freedom
         }
@@ -960,6 +1009,8 @@ impl<'a> Procedure51<'a> {
         // Shared read-only S prefix; each worker owns its scratch space.
         let prefix = hnf_prefix_i64(self.space.as_mat());
         let prefix_ref = prefix.as_ref();
+        let deps_i64 = self.deps_columns_i64();
+        let deps_ref = deps_i64.as_deref();
         let quotient = self.active_quotient();
         let mut counter = quotient.as_ref().map(|_| FullCounter::new(self.alg.index_set.mu()));
         let mut hybrid = HybridState::new(self.hybrid);
@@ -980,7 +1031,7 @@ impl<'a> Procedure51<'a> {
                     start.wait();
                     let Some(level) = slot.lock().unwrap().clone() else { break };
                     let shard = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        self.process_level_shard(&level, prefix_ref);
+                        self.process_level_shard(&level, prefix_ref, deps_ref);
                     }));
                     if shard.is_err() {
                         level.panicked.store(true, Ordering::SeqCst);
@@ -1078,7 +1129,12 @@ impl<'a> Procedure51<'a> {
     /// screen them (skipping candidates the shared prune state proves
     /// cannot win), and fold acceptances and telemetry back into the
     /// level. See [`LevelWork`] for the pruning invariants.
-    fn process_level_shard(&self, level: &LevelWork, prefix: Option<&HnfPrefix>) {
+    fn process_level_shard(
+        &self,
+        level: &LevelWork,
+        prefix: Option<&HnfPrefix>,
+        deps: Option<&[Vec<i64>]>,
+    ) {
         let mut wtel = SearchTelemetry::default();
         let mut ws = HnfWorkspace::new();
         let mut local_hits: Vec<(usize, OptimalMapping)> = Vec::new();
@@ -1116,7 +1172,9 @@ impl<'a> Procedure51<'a> {
                         }
                     }
                 }
-                if let Some(r) = self.try_candidate(pi, level.cost, 0, &mut wtel, prefix, &mut ws) {
+                if let Some(r) =
+                    self.try_candidate(pi, level.cost, 0, &mut wtel, prefix, deps, &mut ws)
+                {
                     wtel.accepted += 1;
                     match self.tie_break {
                         TieBreak::FirstFound => {
@@ -1244,6 +1302,17 @@ impl FullCounter {
         }
         Some(self.table[0][c])
     }
+}
+
+/// Condition 1 (`Π·d̄ᵢ ≥ 1` for every dependence) on pre-extracted i64
+/// columns: exact — [`Procedure51::deps_columns_i64`] bounds the entries
+/// so no i128 dot product can overflow — and allocation-free, which
+/// matters because this is the rejection nearly every enumerated
+/// candidate takes.
+fn schedule_valid_i64(pi: &[i64], deps: &[Vec<i64>]) -> bool {
+    deps.iter().all(|d| {
+        d.iter().zip(pi).map(|(&a, &b)| i128::from(a) * i128::from(b)).sum::<i128>() > 0
+    })
 }
 
 /// `Σ |π_i|·μ_i` with overflow checking.

@@ -14,16 +14,33 @@
 //! is exact for the cost ordering used; it is intentionally symmetrical
 //! to the time-optimal search so the two can be composed (alternate
 //! Π-step / S-step, Problem 6.2 style).
+//!
+//! The screening hot path shares Procedure 5.1's machinery: the fixed
+//! `Π` row is pre-eliminated **once** per run ([`HnfPrefix`]) and every
+//! candidate only completes its own `S` rows
+//! ([`HnfPrefix::complete_rows`]) — sound for the exact condition
+//! because rank and the saturated kernel lattice of `[Π; S]` equal those
+//! of `[S; Π]` (they depend only on the row span). Exact verdicts go
+//! through the process-wide kernel-lattice conflict memo, the candidate
+//! space can be quotiented by the problem's symmetry stabilizer under
+//! the `LexMax` pin, and [`SpaceSearch::solve_parallel`] shards each
+//! cost level over a worker pool — all bit-identical to the sequential
+//! unmemoized route (see `tests/space_joint_props.rs`).
 
 use crate::budget::{SearchBudget, SearchOutcome};
-use crate::conditions::{check, ConditionKind};
+use crate::canon::Stabilizer;
+use crate::conditions::{check, check_memoized, rule_for, ConditionKind};
 use crate::conflict::ConflictAnalysis;
-use crate::error::CfmapError;
+use crate::error::{BudgetLimit, CfmapError};
 use crate::mapping::{MappingMatrix, SpaceMap};
 use crate::metrics::SearchTelemetry;
-use cfmap_intlin::Int;
+use crate::search::{SymmetryMode, TieBreak};
+use cfmap_intlin::{hnf_prefix_i64, HnfPrefix, HnfWorkspace, IMat, Int};
 use cfmap_model::{LinearSchedule, Uda};
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 
 /// The result of a space-optimal search.
 #[derive(Clone, Debug)]
@@ -42,6 +59,41 @@ pub struct SpaceOptimalMapping {
     pub candidates_examined: u64,
 }
 
+/// One cost level of the candidate space: all candidates of equal VLSI
+/// cost, in lexicographically ascending row order (so the *last*
+/// acceptance of a level scan is the `LexMax` winner and index order
+/// equals lex order for the parallel pruning).
+struct CostLevel {
+    cost: i64,
+    candidates: Vec<Vec<Vec<i64>>>,
+    /// Non-representative orbit members dropped by the symmetry quotient.
+    pruned: u64,
+}
+
+/// Per-level shared state of the sharded parallel space search. Index
+/// order equals lex order within a level, so both tie-break prunes are
+/// plain atomics over candidate indices.
+struct SpaceLevelWork {
+    cost: i64,
+    candidates: Vec<Vec<Vec<i64>>>,
+    /// Work-stealing cursor: workers claim [`SHARD_BATCH`]-sized ranges.
+    cursor: AtomicUsize,
+    /// `FirstFound` prune: smallest accepted index so far.
+    best_first: AtomicU64,
+    /// `LexMax` prune: largest accepted index so far, stored as
+    /// `idx + 1` (`0` = none yet).
+    best_lex: AtomicU64,
+    /// Set when a worker's screening panicked.
+    panicked: AtomicBool,
+    /// First screening error (cost overflow) observed by any worker.
+    error: Mutex<Option<CfmapError>>,
+    hits: Mutex<Vec<(usize, SpaceOptimalMapping)>>,
+    tel: Mutex<SearchTelemetry>,
+}
+
+/// Candidates claimed per cursor bump in the sharded parallel search.
+const SHARD_BATCH: usize = 16;
+
 /// Problem 6.1 search over space maps with `rows` rows (`rows = 1` for
 /// linear arrays, `rows = 2` for 2-D arrays), entries in
 /// `[-entry_bound, entry_bound]`.
@@ -52,6 +104,9 @@ pub struct SpaceSearch<'a> {
     rows: usize,
     condition: ConditionKind,
     budget: SearchBudget,
+    tie_break: TieBreak,
+    symmetry: SymmetryMode,
+    memo: bool,
 }
 
 impl<'a> SpaceSearch<'a> {
@@ -64,6 +119,9 @@ impl<'a> SpaceSearch<'a> {
             rows: 1,
             condition: ConditionKind::Exact,
             budget: SearchBudget::unlimited(),
+            tie_break: TieBreak::default(),
+            symmetry: SymmetryMode::default(),
+            memo: true,
         }
     }
 
@@ -91,6 +149,36 @@ impl<'a> SpaceSearch<'a> {
     /// Bound the work performed (candidates screened / wall clock).
     pub fn budget(mut self, budget: SearchBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Select how ties among equally-cheap space maps are broken
+    /// (default: [`TieBreak::FirstFound`], the first acceptance in lex
+    /// order — i.e. the lex-*least* accepted map of the winning level).
+    /// [`TieBreak::LexMax`] screens the whole winning cost level and
+    /// returns the lexicographically greatest accepted map — the pin the
+    /// symmetry quotient requires.
+    pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.tie_break = tie_break;
+        self
+    }
+
+    /// Select whether the candidate space is quotiented by the problem's
+    /// symmetry stabilizer under the pinned `Π` row (default:
+    /// [`SymmetryMode::Full`]). Quotienting screens one representative
+    /// per orbit and is bit-identical to full enumeration when its
+    /// soundness preconditions hold — [`TieBreak::LexMax`],
+    /// [`ConditionKind::Exact`], an unlimited budget — and silently
+    /// degrades to full enumeration otherwise.
+    pub fn symmetry(mut self, mode: SymmetryMode) -> Self {
+        self.symmetry = mode;
+        self
+    }
+
+    /// Route exact conflict verdicts through the process-wide
+    /// kernel-lattice memo (default: on); see [`crate::Procedure51::memo`].
+    pub fn memo(mut self, on: bool) -> Self {
+        self.memo = on;
         self
     }
 
@@ -137,14 +225,7 @@ impl<'a> SpaceSearch<'a> {
         Ok((cost, sites as usize, wires))
     }
 
-    /// Run the search: minimal-cost conflict-free full-rank space map.
-    ///
-    /// The candidate pool is screened in increasing cost order, so the
-    /// first acceptable map is certified `Optimal`. Because the search
-    /// accepts the *first* valid candidate there is no intermediate
-    /// best-so-far: a tripped [`SearchBudget`] before acceptance is
-    /// reported as [`CfmapError::BudgetExhausted`].
-    pub fn solve(&self) -> Result<SearchOutcome<SpaceOptimalMapping>, CfmapError> {
+    fn validate(&self) -> Result<(), CfmapError> {
         if !(1..=2).contains(&self.rows) {
             return Err(CfmapError::Unsupported {
                 reason: format!(
@@ -160,9 +241,53 @@ impl<'a> SpaceSearch<'a> {
                 actual: self.schedule.dim(),
             });
         }
+        Ok(())
+    }
+
+    /// The active symmetry quotient, or `None` when the mode is off or a
+    /// soundness precondition fails. The stabilizer is computed with the
+    /// fixed `Π` pinned as a row, so every element `G` satisfies
+    /// `Π·G = ±Π`: the exact verdict, rank, and VLSI cost of every
+    /// candidate are then invariant over its orbit, and under the
+    /// `LexMax` pin the winning candidate is always its own orbit's
+    /// representative. An unlimited budget is also required so every
+    /// representative of the winning level is guaranteed to be screened.
+    fn active_quotient(&self) -> Option<Stabilizer> {
+        if self.symmetry != SymmetryMode::Quotient
+            || self.tie_break != TieBreak::LexMax
+            || self.condition != ConditionKind::Exact
+            || !self.budget.is_unlimited()
+        {
+            return None;
+        }
+        let pin = SpaceMap::row(self.schedule.as_slice());
+        let stab = crate::canon::stabilizer(self.alg, &pin);
+        if stab.is_trivial() {
+            return None;
+        }
+        Some(stab)
+    }
+
+    /// Pre-eliminate the fixed `Π` row once for the whole run. Only the
+    /// exact condition may screen the row-permuted stack `[Π; S]`: its
+    /// rank and kernel *lattice* equal those of `[S; Π]`, but the
+    /// paper's closed forms read the concrete Hermite multiplier, which
+    /// is basis- (hence row-order-) dependent.
+    fn screen_prefix(&self) -> Option<HnfPrefix> {
+        if self.condition != ConditionKind::Exact {
+            return None;
+        }
+        hnf_prefix_i64(&IMat::from_rows(&[self.schedule.as_slice()]))
+    }
+
+    /// Materialize the candidate space as cost levels: canonical nonzero
+    /// rows (first nonzero entry positive — negating a row of `S` only
+    /// relabels processors), combined into 1- or 2-row maps, grouped by
+    /// cost, lex-ascending within each level. When a quotient is active,
+    /// non-representative orbit members are dropped here (identically
+    /// for the sequential and parallel paths) and tallied per level.
+    fn build_levels(&self, quotient: Option<&Stabilizer>) -> Result<Vec<CostLevel>, CfmapError> {
         let n = self.alg.dim();
-        // Enumerate canonical nonzero rows (first nonzero entry positive —
-        // negating a row of S only relabels processors).
         let mut rows_pool: Vec<Vec<i64>> = Vec::new();
         let mut row = vec![0i64; n];
         collect_rows(&mut row, 0, self.entry_bound, &mut |r| {
@@ -175,14 +300,25 @@ impl<'a> SpaceSearch<'a> {
             rows_pool.push(r.to_vec());
         });
 
-        // Candidate space maps ordered by cost.
-        let mut candidates: BTreeSet<(i64, Vec<Vec<i64>>)> = BTreeSet::new();
+        // The pool is generated in lex-ascending order, so candidates
+        // arrive lex-ascending and each level's vector stays sorted.
+        let mut levels: BTreeMap<i64, CostLevel> = BTreeMap::new();
+        let push = |cost: i64, rows: Vec<Vec<i64>>, levels: &mut BTreeMap<i64, CostLevel>| {
+            let level = levels
+                .entry(cost)
+                .or_insert_with(|| CostLevel { cost, candidates: Vec::new(), pruned: 0 });
+            if quotient.is_some_and(|stab| !is_class_representative(stab, &rows)) {
+                level.pruned += 1;
+            } else {
+                level.candidates.push(rows);
+            }
+        };
         match self.rows {
             1 => {
                 for r in &rows_pool {
                     let space = SpaceMap::row(r);
                     let (cost, _, _) = self.cost_of(&space)?;
-                    candidates.insert((cost, vec![r.clone()]));
+                    push(cost, vec![r.clone()], &mut levels);
                 }
             }
             2 => {
@@ -194,28 +330,79 @@ impl<'a> SpaceSearch<'a> {
                             continue; // degenerate 2-D map
                         }
                         let (cost, _, _) = self.cost_of(&space)?;
-                        candidates.insert((cost, vec![r1.clone(), r2.clone()]));
+                        push(cost, vec![r1.clone(), r2.clone()], &mut levels);
                     }
                 }
             }
-            _ => unreachable!("rows validated above"),
+            _ => unreachable!("rows validated before"),
         }
+        Ok(levels.into_values().collect())
+    }
 
+    /// Run the search: minimal-cost conflict-free full-rank space map.
+    ///
+    /// The candidate pool is screened in increasing cost order, so the
+    /// first acceptable map is certified `Optimal` (under
+    /// [`TieBreak::LexMax`] the whole winning level is screened and the
+    /// lex-greatest acceptance returned — equally optimal). Because the
+    /// search accepts within the first valid cost level there is no
+    /// intermediate best-so-far: a tripped [`SearchBudget`] before any
+    /// acceptance is reported as [`CfmapError::BudgetExhausted`].
+    pub fn solve(&self) -> Result<SearchOutcome<SpaceOptimalMapping>, CfmapError> {
+        self.validate()?;
+        let quotient = self.active_quotient();
+        let levels = self.build_levels(quotient.as_ref())?;
+        let prefix = self.screen_prefix();
+        let mut ws = HnfWorkspace::new();
         let mut meter = self.budget.start();
         let mut tel = SearchTelemetry::default();
-        for (cost, rows) in candidates {
-            // The charged candidate is still screened (budget N means
-            // exactly N candidates examined); acceptance of any screened
-            // candidate is the cost-order optimum, trip or not.
-            let limit = meter.charge_candidate();
-            tel.enumerated += 1;
-            let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
-            if let Some(mut found) = self.screen(cost, &refs, &mut tel)? {
-                tel.accepted += 1;
-                found.candidates_examined = meter.candidates;
-                return Ok(SearchOutcome::optimal(found, meter.candidates).with_telemetry(tel));
+        for level in &levels {
+            tel.orbits_pruned += level.pruned;
+            crate::metrics::ORBITS_PRUNED.add(level.pruned);
+            let level_start = tel.enumerated;
+            let mut best: Option<SpaceOptimalMapping> = None;
+            let mut tripped: Option<BudgetLimit> = None;
+            for rows in &level.candidates {
+                // The charged candidate is still screened (budget N means
+                // exactly N candidates examined); acceptance of any
+                // screened candidate is the cost-order optimum, trip or
+                // not.
+                let limit = meter.charge_candidate();
+                tel.enumerated += 1;
+                let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+                if let Some(found) =
+                    self.screen(level.cost, &refs, &mut tel, prefix.as_ref(), &mut ws)?
+                {
+                    tel.accepted += 1;
+                    match self.tie_break {
+                        TieBreak::FirstFound => {
+                            let mut win = found;
+                            tel.record_level(level.cost, tel.enumerated - level_start, 1);
+                            win.candidates_examined = meter.candidates;
+                            return Ok(SearchOutcome::optimal(win, meter.candidates)
+                                .with_telemetry(tel));
+                        }
+                        // Lex-ascending scan: every later acceptance is
+                        // lex-greater, so overwriting keeps the LexMax.
+                        TieBreak::LexMax => best = Some(found),
+                    }
+                }
+                if let Some(limit) = limit {
+                    tripped = Some(limit);
+                    break;
+                }
             }
-            if let Some(limit) = limit {
+            let level_enumerated = tel.enumerated - level_start;
+            if let Some(mut win) = best {
+                // Mid-level budget trips still return the best
+                // representative screened so far — the cost level is
+                // already proven optimal.
+                tel.record_level(level.cost, level_enumerated, 1);
+                win.candidates_examined = meter.candidates;
+                return Ok(SearchOutcome::optimal(win, meter.candidates).with_telemetry(tel));
+            }
+            tel.record_level(level.cost, level_enumerated, 0);
+            if let Some(limit) = tripped {
                 return Err(CfmapError::BudgetExhausted {
                     limit,
                     candidates_examined: meter.candidates,
@@ -225,25 +412,206 @@ impl<'a> SpaceSearch<'a> {
         Ok(SearchOutcome::infeasible(meter.candidates).with_telemetry(tel))
     }
 
-    /// Screen a single candidate; `Some` when it is acceptable.
+    /// [`Self::solve`] with each cost level's candidates screened by a
+    /// pool of `threads` workers sharing mid-level pruning state, exactly
+    /// as [`crate::Procedure51::solve_parallel`]: the final winner is
+    /// re-derived from the complete hit list, so the result is
+    /// deterministic and bit-identical to the sequential search. A
+    /// non-unlimited budget delegates to the sequential search so budget
+    /// semantics stay exactly deterministic.
+    pub fn solve_parallel(
+        &self,
+        threads: usize,
+    ) -> Result<SearchOutcome<SpaceOptimalMapping>, CfmapError> {
+        assert!(threads >= 1, "need at least one worker");
+        if threads == 1 || !self.budget.is_unlimited() {
+            return self.solve();
+        }
+        self.validate()?;
+        let quotient = self.active_quotient();
+        let levels = self.build_levels(quotient.as_ref())?;
+        let prefix = self.screen_prefix();
+        let prefix_ref = prefix.as_ref();
+        let mut tel = SearchTelemetry::default();
+        let mut examined_before = 0u64;
+
+        let slot: Mutex<Option<Arc<SpaceLevelWork>>> = Mutex::new(None);
+        let start = Barrier::new(threads + 1);
+        let done = Barrier::new(threads + 1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    start.wait();
+                    let Some(level) = slot.lock().unwrap().clone() else { break };
+                    let shard = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        self.process_level_shard(&level, prefix_ref);
+                    }));
+                    if shard.is_err() {
+                        level.panicked.store(true, Ordering::SeqCst);
+                    }
+                    done.wait();
+                });
+            }
+            let mut run = || -> Result<SearchOutcome<SpaceOptimalMapping>, CfmapError> {
+                for lvl in &levels {
+                    tel.orbits_pruned += lvl.pruned;
+                    crate::metrics::ORBITS_PRUNED.add(lvl.pruned);
+                    if lvl.candidates.is_empty() {
+                        continue;
+                    }
+                    let level = Arc::new(SpaceLevelWork {
+                        cost: lvl.cost,
+                        candidates: lvl.candidates.clone(),
+                        cursor: AtomicUsize::new(0),
+                        best_first: AtomicU64::new(u64::MAX),
+                        best_lex: AtomicU64::new(0),
+                        panicked: AtomicBool::new(false),
+                        error: Mutex::new(None),
+                        hits: Mutex::new(Vec::new()),
+                        tel: Mutex::new(SearchTelemetry::default()),
+                    });
+                    *slot.lock().unwrap() = Some(level.clone());
+                    start.wait();
+                    done.wait();
+                    *slot.lock().unwrap() = None;
+                    if level.panicked.load(Ordering::SeqCst) {
+                        return Err(CfmapError::Internal {
+                            context: format!(
+                                "space solve_parallel worker panicked at cost level {}",
+                                lvl.cost
+                            ),
+                        });
+                    }
+                    if let Some(err) = level.error.lock().unwrap().take() {
+                        return Err(err);
+                    }
+                    let level_tel = std::mem::take(&mut *level.tel.lock().unwrap());
+                    let hits = std::mem::take(&mut *level.hits.lock().unwrap());
+                    // Index order equals lex order within a level, so
+                    // both tie-breaks reduce to index extremes.
+                    let best = match self.tie_break {
+                        TieBreak::FirstFound => hits.into_iter().min_by_key(|(i, _)| *i),
+                        TieBreak::LexMax => hits.into_iter().max_by_key(|(i, _)| *i),
+                    };
+                    tel.merge(&level_tel);
+                    tel.record_level(lvl.cost, level_tel.enumerated, level_tel.accepted);
+                    let level_len = level.candidates.len() as u64;
+                    if let Some((idx, mut win)) = best {
+                        let examined = match self.tie_break {
+                            // Sequential equivalence: FirstFound stops at
+                            // the winner, LexMax screens the whole level.
+                            TieBreak::FirstFound => examined_before + idx as u64 + 1,
+                            TieBreak::LexMax => examined_before + level_len,
+                        };
+                        win.candidates_examined = examined;
+                        return Ok(
+                            SearchOutcome::optimal(win, examined).with_telemetry(tel.clone())
+                        );
+                    }
+                    examined_before += level_len;
+                }
+                Ok(SearchOutcome::infeasible(examined_before).with_telemetry(tel.clone()))
+            };
+            let outcome = run();
+            *slot.lock().unwrap() = None;
+            start.wait();
+            outcome
+        })
+    }
+
+    /// One worker's share of a cost level: claim batches off the cursor,
+    /// screen them (skipping candidates the shared prune state proves
+    /// cannot win), and fold acceptances and telemetry back.
+    fn process_level_shard(&self, level: &SpaceLevelWork, prefix: Option<&HnfPrefix>) {
+        let mut wtel = SearchTelemetry::default();
+        let mut ws = HnfWorkspace::new();
+        let mut local_hits: Vec<(usize, SpaceOptimalMapping)> = Vec::new();
+        'claims: loop {
+            let base = level.cursor.fetch_add(SHARD_BATCH, Ordering::Relaxed);
+            if base >= level.candidates.len() {
+                break;
+            }
+            let end = (base + SHARD_BATCH).min(level.candidates.len());
+            for idx in base..end {
+                let rows = &level.candidates[idx];
+                wtel.enumerated += 1;
+                match self.tie_break {
+                    TieBreak::FirstFound => {
+                        if (idx as u64) > level.best_first.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                    }
+                    TieBreak::LexMax => {
+                        // A lex-greater acceptance exists: cannot win.
+                        if (idx as u64 + 1) < level.best_lex.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                    }
+                }
+                let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+                match self.screen(level.cost, &refs, &mut wtel, prefix, &mut ws) {
+                    Ok(Some(r)) => {
+                        wtel.accepted += 1;
+                        match self.tie_break {
+                            TieBreak::FirstFound => {
+                                level.best_first.fetch_min(idx as u64, Ordering::Relaxed);
+                                local_hits.push((idx, r));
+                                break 'claims;
+                            }
+                            TieBreak::LexMax => {
+                                level.best_lex.fetch_max(idx as u64 + 1, Ordering::Relaxed);
+                                local_hits.push((idx, r));
+                            }
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        *level.error.lock().unwrap() = Some(e);
+                        break 'claims;
+                    }
+                }
+            }
+        }
+        level.hits.lock().unwrap().extend(local_hits);
+        level.tel.lock().unwrap().merge(&wtel);
+    }
+
+    /// Screen a single candidate; `Some` when it is acceptable. The
+    /// Hermite form completes the pre-eliminated `Π` prefix with the
+    /// candidate's `S` rows when the exact condition is active (rank and
+    /// kernel lattice are row-order invariant), and is computed from
+    /// scratch on the `[S; Π]` stack otherwise.
     fn screen(
         &self,
         cost: i64,
         refs: &[&[i64]],
         tel: &mut SearchTelemetry,
+        prefix: Option<&HnfPrefix>,
+        ws: &mut HnfWorkspace,
     ) -> Result<Option<SpaceOptimalMapping>, CfmapError> {
         let space = SpaceMap::from_rows(refs);
         let mapping = MappingMatrix::new(space.clone(), self.schedule.clone());
         // One Hermite decomposition per candidate: its rank is rank(T), so
-        // the full-rank gate needs no separate rational elimination.
-        let analysis = ConflictAnalysis::new(&mapping, &self.alg.index_set);
+        // the full-rank gate needs no separate rational elimination, and
+        // the unimodular inverse stays uncomputed for rejected candidates.
+        let hnf = match prefix.and_then(|p| p.complete_rows(refs, ws)) {
+            Some(h) => h,
+            None => mapping.hnf(),
+        };
+        let analysis = ConflictAnalysis::with_hnf(&mapping, &self.alg.index_set, hnf);
         tel.hnf_computations += 1;
         if analysis.rank() != mapping.k() {
             tel.rejected_rank += 1;
             return Ok(None);
         }
-        tel.condition_hits.record(crate::conditions::rule_for(self.condition, &analysis));
-        if !check(self.condition, &analysis, &self.alg.index_set).accepts() {
+        tel.condition_hits.record(rule_for(self.condition, &analysis));
+        let verdict = if self.memo {
+            check_memoized(self.condition, &analysis, &self.alg.index_set, tel)
+        } else {
+            check(self.condition, &analysis, &self.alg.index_set)
+        };
+        if !verdict.accepts() {
             tel.rejected_conflict += 1;
             return Ok(None);
         }
@@ -269,6 +637,36 @@ fn collect_rows(row: &mut Vec<i64>, idx: usize, bound: i64, f: &mut impl FnMut(&
         collect_rows(row, idx + 1, bound, f);
     }
     row[idx] = 0;
+}
+
+/// Flip a row to canonical sign (first nonzero entry positive) — the
+/// convention of the candidate pool. Orbit images must be re-canonicalized
+/// before lex comparison because a stabilizer element may negate a row,
+/// and `S` vs `−S` is the same design (processor relabeling).
+fn canon_sign(mut row: Vec<i64>) -> Vec<i64> {
+    if row.iter().find(|&&v| v != 0).is_some_and(|&v| v < 0) {
+        for v in &mut row {
+            *v = -*v;
+        }
+    }
+    row
+}
+
+/// True when `rows` is its orbit's representative on the canonical
+/// candidate pool: no stabilizer element maps it (after per-row sign
+/// canonicalization and row sorting — rows of `S` are an unordered set up
+/// to sign) to a lex-greater candidate. Every orbit has exactly one
+/// representative under this rule, and it is the orbit's lex-greatest
+/// member, so the `LexMax` winner is always a representative.
+pub(crate) fn is_class_representative(stab: &Stabilizer, rows: &[Vec<i64>]) -> bool {
+    for g in stab.elements() {
+        let mut image: Vec<Vec<i64>> = rows.iter().map(|r| canon_sign(g.apply(r))).collect();
+        image.sort();
+        if image.as_slice() > rows {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -402,6 +800,10 @@ mod tests {
         // The rank gate reuses the per-candidate HNF, so rank-rejected
         // candidates cost an HNF but never reach a condition test.
         assert_eq!(t.condition_hits.total(), t.hnf_computations - t.rejected_rank);
+        // Exact-memoized: every condition dispatch is a memo hit or miss
+        // (small candidates always canonicalize, r = 0 cannot occur for
+        // a 2×3 stack of rank 2).
+        assert_eq!(t.memo_hits + t.memo_misses, t.condition_hits.exact);
     }
 
     #[test]
@@ -412,5 +814,68 @@ mod tests {
         let b = SpaceSearch::new(&alg, &pi).entry_bound(2).solve().unwrap().expect_optimal("2");
         // Larger candidate pools can only find equal-or-better optima.
         assert!(b.cost <= a.cost);
+    }
+
+    #[test]
+    fn memo_off_is_bit_identical() {
+        let alg = algorithms::matmul(4);
+        let pi = LinearSchedule::new(&[1, 4, 1]);
+        let on = SpaceSearch::new(&alg, &pi).solve().unwrap().expect_optimal("on");
+        let off =
+            SpaceSearch::new(&alg, &pi).memo(false).solve().unwrap().expect_optimal("off");
+        assert_eq!(on.space, off.space);
+        assert_eq!(on.cost, off.cost);
+        assert_eq!(on.candidates_examined, off.candidates_examined);
+    }
+
+    #[test]
+    fn lexmax_returns_lex_greatest_of_winning_level() {
+        let alg = algorithms::matmul(4);
+        let pi = LinearSchedule::new(&[1, 4, 1]);
+        let first = SpaceSearch::new(&alg, &pi).solve().unwrap().expect_optimal("ff");
+        let lexmax = SpaceSearch::new(&alg, &pi)
+            .tie_break(TieBreak::LexMax)
+            .solve()
+            .unwrap()
+            .expect_optimal("lm");
+        // Same optimal cost, lex-greater-or-equal representative.
+        assert_eq!(lexmax.cost, first.cost);
+        let (f, l) = (first.space.as_mat().row(0), lexmax.space.as_mat().row(0));
+        let f: Vec<i64> = (0..f.dim()).map(|i| f[i].to_i64().unwrap()).collect();
+        let l: Vec<i64> = (0..l.dim()).map(|i| l[i].to_i64().unwrap()).collect();
+        assert!(l >= f, "LexMax {l:?} must be ≥ FirstFound {f:?}");
+    }
+
+    #[test]
+    fn quotient_and_parallel_match_sequential_lexmax() {
+        for (alg, pi) in [
+            (algorithms::matmul(4), LinearSchedule::new(&[1, 4, 1])),
+            (algorithms::transitive_closure(4), LinearSchedule::new(&[5, 1, 1])),
+        ] {
+            let base = SpaceSearch::new(&alg, &pi)
+                .tie_break(TieBreak::LexMax)
+                .solve()
+                .unwrap()
+                .expect_optimal("base");
+            let quot_out = SpaceSearch::new(&alg, &pi)
+                .tie_break(TieBreak::LexMax)
+                .symmetry(SymmetryMode::Quotient)
+                .solve()
+                .unwrap();
+            let quot = quot_out.clone().expect_optimal("quot");
+            assert_eq!(quot.space, base.space);
+            assert_eq!(quot.cost, base.cost);
+            for threads in [2usize, 4] {
+                let par = SpaceSearch::new(&alg, &pi)
+                    .tie_break(TieBreak::LexMax)
+                    .symmetry(SymmetryMode::Quotient)
+                    .solve_parallel(threads)
+                    .unwrap()
+                    .expect_optimal("par");
+                assert_eq!(par.space, quot.space);
+                assert_eq!(par.cost, quot.cost);
+                assert_eq!(par.candidates_examined, quot.candidates_examined);
+            }
+        }
     }
 }

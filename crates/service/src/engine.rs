@@ -23,8 +23,9 @@ use crate::family_store::{FamilyStats, FamilyStore};
 use crate::snapshot::Snapshot;
 use crate::wire::{MapOutcome, MapRequest, MapResponse};
 use cfmap_core::metrics::{
-    Counter, Histogram, Registry, DEFAULT_LATENCY_BUCKETS_US, EXACT_CONFLICT_TESTS,
-    HNF_COMPUTATIONS, HYBRID_ESCALATIONS, ORBITS_PRUNED,
+    Counter, Histogram, Registry, CONFLICT_MEMO_HITS, CONFLICT_MEMO_MISSES,
+    DEFAULT_LATENCY_BUCKETS_US, EXACT_CONFLICT_TESTS, HNF_COMPUTATIONS, HYBRID_ESCALATIONS,
+    ORBITS_PRUNED,
 };
 use cfmap_core::budget::clock;
 use cfmap_core::{
@@ -108,11 +109,16 @@ pub struct SolverPolicy {
     /// Escalate to the ILP route when level growth projects past the
     /// policy's candidate horizon (`None` disables escalation).
     pub hybrid: Option<HybridPolicy>,
+    /// Answer exact conflict verdicts from the process-wide
+    /// kernel-lattice memo (distinct candidates whose saturated kernel
+    /// lattices coincide over the same index box share one verdict).
+    /// Bit-identical either way; off is chiefly for baselines.
+    pub memo: bool,
 }
 
 impl Default for SolverPolicy {
     fn default() -> SolverPolicy {
-        SolverPolicy { quotient: true, hybrid: Some(HybridPolicy::default()) }
+        SolverPolicy { quotient: true, hybrid: Some(HybridPolicy::default()), memo: true }
     }
 }
 
@@ -216,6 +222,20 @@ impl Engine {
             "Mid-search escalations from enumeration to the ILP route",
             &[],
             || i64::try_from(HYBRID_ESCALATIONS.get()).unwrap_or(i64::MAX),
+        );
+        // Kernel-lattice conflict memo health: hits > 0 proves candidates
+        // are sharing exact verdicts across coinciding kernel lattices.
+        metrics.gauge_fn(
+            "cfmap_conflict_memo_hits_total",
+            "Exact conflict verdicts answered from the kernel-lattice memo",
+            &[],
+            || i64::try_from(CONFLICT_MEMO_HITS.get()).unwrap_or(i64::MAX),
+        );
+        metrics.gauge_fn(
+            "cfmap_conflict_memo_misses_total",
+            "Exact conflict verdicts computed and recorded in the memo",
+            &[],
+            || i64::try_from(CONFLICT_MEMO_MISSES.get()).unwrap_or(i64::MAX),
         );
         // Exact-arithmetic fast-path health: spills should stay at zero
         // for paper-sized problems, and the i64 HNF kernel should carry
@@ -670,6 +690,7 @@ fn solve_canonical(
     let mut proc = Procedure51::new(&alg, &space)
         .tie_break(TieBreak::LexMax)
         .budget(budget)
+        .memo(policy.memo)
         .cancel_token(cancel);
     if policy.quotient {
         proc = proc.symmetry(SymmetryMode::Quotient);
@@ -1066,6 +1087,10 @@ mod tests {
         // Symmetry-quotient / hybrid-route gauges are exported.
         assert!(text.contains("cfmap_orbits_pruned_total"), "{text}");
         assert!(text.contains("cfmap_hybrid_escalations_total"), "{text}");
+        // Kernel-lattice conflict memo gauges are exported, and a default
+        // policy solve routes exact verdicts through the memo.
+        assert!(text.contains("cfmap_conflict_memo_hits_total"), "{text}");
+        assert!(text.contains("cfmap_conflict_memo_misses_total"), "{text}");
     }
 
     #[test]
@@ -1076,8 +1101,8 @@ mod tests {
         // the ILP makes no LexMax tie-break promise, and family
         // templates must lie on enumeration representatives.
         let engine = Engine::new(64, 4).with_solver_policy(SolverPolicy {
-            quotient: true,
             hybrid: Some(HybridPolicy { candidate_horizon: 1, min_levels: 1 }),
+            ..SolverPolicy::default()
         });
         let resp = engine.resolve(&matmul_request());
         let MapResponse::Ok(a) = &resp else { panic!("expected ok, got {resp:?}") };
@@ -1104,7 +1129,7 @@ mod tests {
         let req = MapRequest::named("identity4", 2, vec![vec![1, 0, 0, 0]]);
         let quotiented = Engine::new(64, 4);
         let full = Engine::new(64, 4)
-            .with_solver_policy(SolverPolicy { quotient: false, hybrid: None });
+            .with_solver_policy(SolverPolicy { quotient: false, hybrid: None, memo: true });
         let before = ORBITS_PRUNED.get();
         let q = quotiented.resolve(&req);
         let MapResponse::Ok(q) = &q else { panic!("expected ok, got {q:?}") };

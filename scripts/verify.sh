@@ -106,10 +106,20 @@ echo "$METRICS" | grep -q '^cfmapd_requests_shed_total 0$' \
 # the quotient engaged: t = f°+1 = 29 and orbits actually pruned.
 "$CFMAP" client --addr "$ADDR" --alg identity4 --mu 2 --space 1,0,0,0 | grep -q "t = 29 cycles" \
     || { echo "identity4 solve failed or returned a wrong optimum"; exit 1; }
-ORBITS=$("$CFMAP" client --addr "$ADDR" --get /metrics \
+POST_METRICS=$("$CFMAP" client --addr "$ADDR" --get /metrics)
+ORBITS=$(printf '%s\n' "$POST_METRICS" \
     | sed -n 's/^cfmap_orbits_pruned_total \([0-9]*\)$/\1/p')
 [ "${ORBITS:-0}" -gt 0 ] \
     || { echo "cfmap_orbits_pruned_total = '${ORBITS:-missing}', want > 0"; exit 1; }
+# Conflict-memo gate (ISSUE 9): the exact solves above must have routed
+# verdicts through the kernel-lattice memo and found repeats, all on the
+# i64 fast path (no bignum spills).
+MEMO_HITS=$(printf '%s\n' "$POST_METRICS" \
+    | sed -n 's/^cfmap_conflict_memo_hits_total \([0-9]*\)$/\1/p')
+[ "${MEMO_HITS:-0}" -gt 0 ] \
+    || { echo "cfmap_conflict_memo_hits_total = '${MEMO_HITS:-missing}', want > 0"; exit 1; }
+printf '%s\n' "$POST_METRICS" | grep -q '^cfmap_intlin_bigint_spills_total 0$' \
+    || { echo "bigint spills after the quotient/memo solves, want 0"; exit 1; }
 exec 9>&-          # close stdin: the daemon drains and exits
 wait "$CFMAPD_PID" || { echo "cfmapd did not exit cleanly"; exit 1; }
 CFMAPD_PID=
@@ -246,15 +256,32 @@ CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e12_service_throug
 CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e13_hot_path > /dev/null
 
 echo "== smoke: bench.sh writes experiment JSON"
-CFMAP_BENCH_MS=5 BENCH_OUT=/tmp/cfmap_bench_smoke_$$.json scripts/bench.sh E13 E14 E15 > /dev/null
+SMOKE_START=$(date +%s)
+CFMAP_BENCH_MS=5 BENCH_OUT=/tmp/cfmap_bench_smoke_$$.json scripts/bench.sh E13 E14 E15 E16 > /dev/null
+SMOKE_ELAPSED=$(( $(date +%s) - SMOKE_START ))
+grep -q '"commit":"' "/tmp/cfmap_bench_smoke_$$.json" \
+    || { echo "bench.sh JSON header is missing the commit stamp"; exit 1; }
+grep -q '"threads":' "/tmp/cfmap_bench_smoke_$$.json" \
+    || { echo "bench.sh JSON header is missing the thread count"; exit 1; }
 grep -q '"id":"E13"' "/tmp/cfmap_bench_smoke_$$.json" \
     || { echo "bench.sh produced no E13 report"; exit 1; }
 grep -q '"id":"E14"' "/tmp/cfmap_bench_smoke_$$.json" \
     || { echo "bench.sh produced no E14 report"; exit 1; }
 grep -q '"id":"E15"' "/tmp/cfmap_bench_smoke_$$.json" \
     || { echo "bench.sh produced no E15 report"; exit 1; }
+grep -q '"id":"E16"' "/tmp/cfmap_bench_smoke_$$.json" \
+    || { echo "bench.sh produced no E16 report"; exit 1; }
 grep -q 'hybrid-ilp' "/tmp/cfmap_bench_smoke_$$.json" \
     || { echo "E15 shows no enumeration→ILP crossover"; exit 1; }
+# E16 gates: the smoke run must stay under a wall-clock ceiling (the
+# smoke instances are sized for seconds, not the full bit-level boxes),
+# and the fast route must actually hit the conflict memo.
+[ "$SMOKE_ELAPSED" -le 90 ] \
+    || { echo "bench smoke took ${SMOKE_ELAPSED}s, ceiling is 90s"; exit 1; }
+E16_HITS=$(sed -n 's/.*"id":"E16".*/&/p' "/tmp/cfmap_bench_smoke_$$.json" \
+    | sed -n 's/.*"memo_hits":\([0-9]*\).*/\1/p')
+[ "${E16_HITS:-0}" -gt 0 ] \
+    || { echo "E16 telemetry shows no conflict-memo hits (got '${E16_HITS:-missing}')"; exit 1; }
 rm -f "/tmp/cfmap_bench_smoke_$$.json"
 
 echo "verify: OK"

@@ -123,8 +123,8 @@ USAGE:
   cfmap map       --alg <name> --mu <n> --space <row[;row]> [--trace]  find Π° (Problem 2.2)
   cfmap analyze   --alg <name> --mu <n> --space <row> --pi <row> conflict analysis of T = [S; Π]
   cfmap simulate  --alg <name> --mu <n> --space <row> --pi <row> [--diagram] cycle-level simulation
-  cfmap space-opt --alg <name> --mu <n> --pi <row>               find S° (Problem 6.1)
-  cfmap joint     --alg <name> --mu <n> [--criterion time|space] find (S°, Π°) (Problem 6.2)
+  cfmap space-opt --alg <name> --mu <n> --pi <row> [--trace]     find S° (Problem 6.1)
+  cfmap joint     --alg <name> --mu <n> [--criterion time|space] [--trace] find (S°, Π°) (Problem 6.2)
   cfmap bounds    --alg <name> --mu <n>                          absolute lower bounds
   cfmap client    --addr host:port --alg <name> --mu <n> --space <row>  ask a running cfmapd
   cfmap client    --addr host:port --get /metrics               scrape one daemon route
@@ -297,6 +297,9 @@ fn print_trace(tel: &cfmap::core::SearchTelemetry, elapsed: Duration) {
         ("accepted", tel.accepted),
         ("hnf computations", tel.hnf_computations),
         ("fallback screened", tel.fallback_screened),
+        ("orbits pruned", tel.orbits_pruned),
+        ("memo hits", tel.memo_hits),
+        ("memo misses", tel.memo_misses),
     ] {
         println!("  {label:<22} : {v}");
     }
@@ -356,11 +359,16 @@ fn cmd_joint(opts: &Opts) -> Result<(), CliError> {
             return Err(CliError::Usage(format!("unknown criterion {other:?} (time|space)")))
         }
     };
+    let started = std::time::Instant::now();
     let outcome = JointSearch::new(&alg)
         .criterion(criterion)
         .budget(get_budget(opts)?)
         .solve()
         .map_err(CliError::Failed)?;
+    let elapsed = started.elapsed();
+    if opts.contains_key("trace") {
+        print_trace(&outcome.telemetry, elapsed);
+    }
     let certification = outcome.certification;
     let sol = outcome
         .into_mapping()
@@ -509,11 +517,16 @@ fn cmd_space_opt(opts: &Opts) -> Result<(), CliError> {
         .map(|c| c.parse().map_err(|_| "bad --cap"))
         .transpose()?
         .unwrap_or(2);
+    let started = std::time::Instant::now();
     let outcome = SpaceSearch::new(&alg, &pi)
         .entry_bound(bound)
         .budget(get_budget(opts)?)
         .solve()
         .map_err(CliError::Failed)?;
+    let elapsed = started.elapsed();
+    if opts.contains_key("trace") {
+        print_trace(&outcome.telemetry, elapsed);
+    }
     let certification = outcome.certification;
     let sol = outcome
         .into_mapping()
