@@ -64,6 +64,9 @@ fn main() {
     if run("E16") {
         reports.push(e16_screening_core());
     }
+    if run("E17") {
+        reports.push(e17_pareto_frontiers());
+    }
 
     if json {
         let objs: Vec<String> = reports.iter().map(|r| r.to_json()).collect();

@@ -23,6 +23,7 @@
 //! | Problem 6.2 (joint `S`, `Π` optimization — future work) | [`joint_search`] |
 //! | search effort / observability counters (not in the paper) | [`metrics`] |
 //! | affine-in-μ schedule families & certificates (not in the paper) | [`family`] |
+//! | resource budgets & Pareto frontiers (not in the paper) | [`pareto`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +41,7 @@ pub mod joint_search;
 pub mod mapping;
 pub mod metrics;
 pub mod oracle;
+pub mod pareto;
 pub mod prop81;
 pub mod schedulability;
 pub mod search;
@@ -61,6 +63,7 @@ pub use family::{
 pub use diagnose::{diagnose, Check, MappingDiagnosis};
 pub use mapping::{InterconnectionPrimitives, MappingMatrix, SpaceMap};
 pub use metrics::{ConditionRule, SearchTelemetry};
+pub use pareto::{BandwidthProbe, ParetoFrontier, ParetoPoint, ParetoSearch, ResourceModel};
 pub use schedulability::{find_valid_schedule, is_schedulable};
 pub use search::{HybridPolicy, OptimalMapping, Procedure51, SymmetryMode, TieBreak};
 pub use space_search::{SpaceOptimalMapping, SpaceSearch};

@@ -492,6 +492,12 @@ pub static CONFLICT_MEMO_HITS: Counter = Counter::new();
 /// service exports this as `cfmap_conflict_memo_misses_total`.
 pub static CONFLICT_MEMO_MISSES: Counter = Counter::new();
 
+/// Process-wide count of accepted candidate designs discarded by the
+/// Pareto dominance filter — points whose objective vector was
+/// dominated by (or a duplicate of) another accepted design's. The
+/// service exports this as `cfmap_pareto_dominated_pruned_total`.
+pub static PARETO_DOMINATED_PRUNED: Counter = Counter::new();
+
 /// Bucket bounds for per-candidate screen time, in microseconds: 1 µs
 /// to 100 ms in a 1–2.5–5 progression. The i64 fast path lands in the
 /// single-digit-microsecond buckets; a bignum fallback or exact lattice

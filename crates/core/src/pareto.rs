@@ -1,0 +1,877 @@
+//! Resource-aware Pareto frontiers over conflict-free mappings.
+//!
+//! Procedure 5.1 minimizes time alone; Problem 6.1 minimizes PEs +
+//! wires under a fixed schedule. Real array deployments trade those
+//! axes off — and per-link bandwidth besides — so this module returns
+//! the *full non-dominated set* over
+//!
+//! > time × processors × wire length (× peak link bandwidth)
+//!
+//! instead of a single design. Both classic searches fall out as
+//! degenerate corners: with a fixed space map the frontier collapses to
+//! the minimum-time vector whose witness is exactly Procedure 5.1's
+//! `LexMax` winner, and with a fixed schedule the minimum `PEs + wires`
+//! corner is exactly [`crate::SpaceSearch`]'s `LexMax` winner (see
+//! [`ParetoFrontier::time_corner`] / [`ParetoFrontier::space_corner`]
+//! and `tests/pareto_props.rs`).
+//!
+//! The screening per candidate is the unified core every search shares:
+//! schedule validity, fixed-prefix Hermite completion, the rank gate,
+//! and the exact kernel-lattice conflict test (optionally memoized).
+//! The optional bandwidth axis is fed by an *injected probe* — the
+//! simulator's per-link load accounting (`cfmap_systolic::peak_link_load`)
+//! — so this crate stays independent of the simulator while the service
+//! and CLI report exactly what the simulator would measure.
+//!
+//! **Determinism.** The frontier is a pure function of the problem and
+//! the knobs: one witness design is kept per distinct objective vector —
+//! the lexicographically greatest `(space rows, schedule)` among all
+//! accepted candidates achieving that vector — so thread counts, the
+//! symmetry quotient, and the conflict memo cannot change the result
+//! (`tests/pareto_props.rs` proves all three equalities).
+
+use crate::canon::Stabilizer;
+use crate::conditions::{check, check_memoized, rule_for, ConditionKind};
+use crate::conflict::ConflictAnalysis;
+use crate::error::CfmapError;
+use crate::mapping::{MappingMatrix, SpaceMap};
+use crate::metrics::SearchTelemetry;
+use crate::search::{weighted_objective, Procedure51, SymmetryMode, TieBreak};
+use crate::space_search::{collect_rows, is_class_representative, vlsi_cost};
+use cfmap_intlin::dominance::non_dominated_indices;
+use cfmap_intlin::{hnf_prefix_i64, HnfPrefix, HnfWorkspace, IMat, Rat};
+use cfmap_model::{LinearSchedule, Uda};
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The injected bandwidth evaluator: peak per-link load of a design,
+/// or `None` when the design is mesh-unroutable. Production installs
+/// `cfmap_systolic::peak_link_load`; tests may install fakes.
+pub type BandwidthProbe<'a> = dyn Fn(&MappingMatrix) -> Option<u64> + Sync + 'a;
+
+/// Per-array resource budgets and the axes the frontier tracks.
+///
+/// Budgets are hard feasibility filters: a candidate exceeding any set
+/// budget is discarded before dominance is even considered, so a
+/// tighter model can only shrink the frontier. `include_bandwidth`
+/// adds the bandwidth axis to the objective vector without bounding it
+/// (setting `max_bandwidth` implies the axis).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResourceModel {
+    /// Upper bound on processor (site) count, if any.
+    pub max_processors: Option<usize>,
+    /// Upper bound on total wire length `Σᵢ ‖S·d̄ᵢ‖₁`, if any.
+    pub max_wires: Option<i64>,
+    /// Upper bound on peak per-link bandwidth (data per link per
+    /// cycle, all channels aggregated), if any. Requires a bandwidth
+    /// probe (see [`ParetoSearch::bandwidth_probe`]).
+    pub max_bandwidth: Option<u64>,
+    /// Track bandwidth as a fourth objective axis even when unbounded.
+    pub include_bandwidth: bool,
+}
+
+impl ResourceModel {
+    /// No budgets, three objective axes — the permissive default.
+    pub fn unconstrained() -> ResourceModel {
+        ResourceModel::default()
+    }
+
+    /// `true` when the objective vector carries the bandwidth axis.
+    pub fn tracks_bandwidth(&self) -> bool {
+        self.include_bandwidth || self.max_bandwidth.is_some()
+    }
+
+    fn admits_space(&self, processors: usize, wires: i64) -> bool {
+        self.max_processors.is_none_or(|b| processors <= b)
+            && self.max_wires.is_none_or(|b| wires <= b)
+    }
+
+    fn admits_bandwidth(&self, bandwidth: u64) -> bool {
+        self.max_bandwidth.is_none_or(|b| bandwidth <= b)
+    }
+}
+
+/// One non-dominated design.
+#[derive(Clone, Debug)]
+pub struct ParetoPoint {
+    /// The space map `S`.
+    pub space: SpaceMap,
+    /// The schedule `Π`.
+    pub schedule: LinearSchedule,
+    /// The full mapping `T = [S; Π]`.
+    pub mapping: MappingMatrix,
+    /// Makespan `1 + Σ|π_i|μ_i` (Equation 2.7).
+    pub total_time: i64,
+    /// Processor (site) count of the array.
+    pub processors: usize,
+    /// Total wire length `Σᵢ ‖S·d̄ᵢ‖₁`.
+    pub wires: i64,
+    /// Peak per-link bandwidth; `Some` iff the model tracks it.
+    pub bandwidth: Option<u64>,
+}
+
+impl ParetoPoint {
+    /// The objective vector dominance is decided on (minimization):
+    /// `[time, processors, wires]`, plus bandwidth when tracked.
+    pub fn objective_vector(&self) -> Vec<Rat> {
+        let mut v = vec![
+            Rat::from_i64(self.total_time),
+            Rat::from_i64(i64::try_from(self.processors).unwrap_or(i64::MAX)),
+            Rat::from_i64(self.wires),
+        ];
+        if let Some(bw) = self.bandwidth {
+            v.push(Rat::from_i64(i64::try_from(bw).unwrap_or(i64::MAX)));
+        }
+        v
+    }
+
+    /// The rows of `S` as machine integers.
+    pub fn space_rows(&self) -> Vec<Vec<i64>> {
+        (0..self.space.array_dims())
+            .map(|r| self.space.as_mat().row(r).to_i64s().expect("space entries fit i64"))
+            .collect()
+    }
+
+    /// The witness identity: per distinct objective vector the frontier
+    /// keeps the accepted candidate maximizing this key.
+    fn witness_key(&self) -> (Vec<Vec<i64>>, Vec<i64>) {
+        (self.space_rows(), self.schedule.as_slice().to_vec())
+    }
+}
+
+/// The exact non-dominated set, with effort accounting.
+#[derive(Clone, Debug)]
+pub struct ParetoFrontier {
+    /// Non-dominated points in ascending objective-vector order (time
+    /// first), one witness per distinct vector.
+    pub points: Vec<ParetoPoint>,
+    /// Accepted, budget-admissible designs that did not survive the
+    /// dominance filter (dominated vectors plus duplicate witnesses).
+    pub dominated_pruned: u64,
+    /// Accepted, budget-admissible designs seen in total.
+    pub points_seen: u64,
+    /// Candidates screened across the whole search.
+    pub candidates_examined: u64,
+    /// Merged screening telemetry.
+    pub telemetry: SearchTelemetry,
+}
+
+impl ParetoFrontier {
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no feasible design exists under the model.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The time-first corner: minimum makespan, remaining axes as
+    /// tie-breaks in ascending vector order. For a fixed-space search
+    /// without the bandwidth axis this is bit-identical to
+    /// [`Procedure51`] under [`TieBreak::LexMax`].
+    pub fn time_corner(&self) -> Option<&ParetoPoint> {
+        self.points.first()
+    }
+
+    /// The space-first corner: minimum `processors + wires` (Problem
+    /// 6.1's combined VLSI cost), ties resolved to the lex-greatest
+    /// witness. For a fixed-schedule search without the bandwidth axis
+    /// this is bit-identical to [`crate::SpaceSearch`] under
+    /// [`TieBreak::LexMax`].
+    pub fn space_corner(&self) -> Option<&ParetoPoint> {
+        fn cost(p: &ParetoPoint) -> i64 {
+            i64::try_from(p.processors).unwrap_or(i64::MAX) + p.wires
+        }
+        let min_cost = self.points.iter().map(cost).min()?;
+        self.points.iter().filter(|p| cost(p) == min_cost).max_by_key(|p| p.witness_key())
+    }
+}
+
+/// Accumulates accepted designs into one witness per distinct vector
+/// (the lex-greatest `(space rows, schedule)` achieving it), then
+/// filters to the non-dominated set.
+#[derive(Default)]
+struct FrontierBuilder {
+    by_vector: BTreeMap<Vec<Rat>, ParetoPoint>,
+    points_seen: u64,
+}
+
+impl FrontierBuilder {
+    fn push(&mut self, p: ParetoPoint) {
+        self.points_seen += 1;
+        match self.by_vector.entry(p.objective_vector()) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if p.witness_key() > e.get().witness_key() {
+                    e.insert(p);
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(p);
+            }
+        }
+    }
+
+    fn finish(self, candidates_examined: u64, telemetry: SearchTelemetry) -> ParetoFrontier {
+        let vectors: Vec<Vec<Rat>> = self.by_vector.keys().cloned().collect();
+        let keep: BTreeSet<usize> = non_dominated_indices(&vectors).into_iter().collect();
+        let mut points = Vec::with_capacity(keep.len());
+        for (i, p) in self.by_vector.into_values().enumerate() {
+            if keep.contains(&i) {
+                points.push(p);
+            }
+        }
+        let dominated_pruned = self.points_seen - points.len() as u64;
+        crate::metrics::PARETO_DOMINATED_PRUNED.add(dominated_pruned);
+        ParetoFrontier {
+            points,
+            dominated_pruned,
+            points_seen: self.points_seen,
+            candidates_examined,
+            telemetry,
+        }
+    }
+}
+
+/// One enumerated space row's worth of work: its accepted admissible
+/// designs and screening telemetry.
+#[derive(Default)]
+struct RowScan {
+    points: Vec<ParetoPoint>,
+    tel: SearchTelemetry,
+    /// The symmetry quotient skipped this row as a non-representative
+    /// orbit member.
+    pruned: bool,
+}
+
+/// Multi-objective frontier search. Three scopes, chosen by which side
+/// of the mapping is pinned:
+///
+/// * **fixed space** ([`Self::fixed_space`]) — enumerate schedules for
+///   a given `S`, Procedure 5.1's candidate space;
+/// * **fixed schedule** ([`Self::fixed_schedule`]) — enumerate
+///   canonical 1-row space maps for a given `Π`, Problem 6.1's
+///   candidate space;
+/// * **joint** (neither pinned) — canonical 1-row space maps crossed
+///   with the schedule scan per row.
+pub struct ParetoSearch<'a> {
+    alg: &'a Uda,
+    space: Option<&'a SpaceMap>,
+    schedule: Option<&'a LinearSchedule>,
+    resources: ResourceModel,
+    entry_bound: i64,
+    max_objective: Option<i64>,
+    symmetry: SymmetryMode,
+    memo: bool,
+    bandwidth_probe: Option<&'a BandwidthProbe<'a>>,
+}
+
+impl<'a> ParetoSearch<'a> {
+    /// Start a joint-scope search for `alg`.
+    pub fn new(alg: &'a Uda) -> Self {
+        ParetoSearch {
+            alg,
+            space: None,
+            schedule: None,
+            resources: ResourceModel::unconstrained(),
+            entry_bound: 2,
+            max_objective: None,
+            symmetry: SymmetryMode::default(),
+            memo: true,
+            bandwidth_probe: None,
+        }
+    }
+
+    /// Pin the space map; the frontier ranges over schedules only.
+    pub fn fixed_space(mut self, space: &'a SpaceMap) -> Self {
+        self.space = Some(space);
+        self
+    }
+
+    /// Pin the schedule; the frontier ranges over space maps only.
+    pub fn fixed_schedule(mut self, schedule: &'a LinearSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Install resource budgets / extra axes (default: unconstrained).
+    pub fn resources(mut self, model: ResourceModel) -> Self {
+        self.resources = model;
+        self
+    }
+
+    /// Bound on `|s_i|` for enumerated space rows (default 2, matching
+    /// [`crate::SpaceSearch`] so the corner designs coincide).
+    pub fn entry_bound(mut self, bound: i64) -> Self {
+        self.entry_bound = bound;
+        self
+    }
+
+    /// Override the schedule-objective cap (default: Procedure 5.1's
+    /// `Σ μ_i(μ_i + 3)`). Unlike [`Procedure51::solve`] the frontier
+    /// scan never extends the cap adaptively — the cap *is* the time
+    /// horizon of the frontier.
+    pub fn max_objective(mut self, cap: i64) -> Self {
+        self.max_objective = Some(cap);
+        self
+    }
+
+    /// Quotient the enumerated space rows by the problem's symmetry
+    /// stabilizer (default: [`SymmetryMode::Full`]). Sound because the
+    /// witness rule is inherently lex-max: the overall lex-greatest
+    /// achiever of a vector is its own orbit's representative, so
+    /// quotienting drops only candidates that could never be witnesses.
+    /// Ignored while bandwidth is tracked — a stabilizer element with
+    /// `Π·G = −Π` reverses time, and per-slot link contention is not
+    /// proven orbit-invariant under reversal.
+    pub fn symmetry(mut self, mode: SymmetryMode) -> Self {
+        self.symmetry = mode;
+        self
+    }
+
+    /// Route exact conflict verdicts through the process-wide
+    /// kernel-lattice memo (default: on); see [`Procedure51::memo`].
+    pub fn memo(mut self, on: bool) -> Self {
+        self.memo = on;
+        self
+    }
+
+    /// Install the bandwidth evaluator — `cfmap_systolic::peak_link_load`
+    /// in production; injected so cfmap-core stays simulator-free.
+    /// Returning `None` marks a design mesh-unroutable: it is skipped,
+    /// never admitted with an undefined bandwidth. Required whenever
+    /// the model tracks bandwidth.
+    pub fn bandwidth_probe(mut self, probe: &'a BandwidthProbe<'a>) -> Self {
+        self.bandwidth_probe = Some(probe);
+        self
+    }
+
+    fn validate(&self) -> Result<(), CfmapError> {
+        if self.space.is_some() && self.schedule.is_some() {
+            return Err(CfmapError::Unsupported {
+                reason: "Pareto search pins a space map or a schedule, not both".to_string(),
+            });
+        }
+        if let Some(space) = self.space {
+            if space.dim() != self.alg.dim() {
+                return Err(CfmapError::DimensionMismatch {
+                    context: "Pareto search: algorithm vs space map".to_string(),
+                    expected: self.alg.dim(),
+                    actual: space.dim(),
+                });
+            }
+        }
+        if let Some(pi) = self.schedule {
+            if pi.dim() != self.alg.dim() {
+                return Err(CfmapError::DimensionMismatch {
+                    context: "Pareto search: algorithm vs schedule".to_string(),
+                    expected: self.alg.dim(),
+                    actual: pi.dim(),
+                });
+            }
+        }
+        if self.resources.tracks_bandwidth() && self.bandwidth_probe.is_none() {
+            return Err(CfmapError::Unsupported {
+                reason: "bandwidth tracking needs a bandwidth probe \
+                         (inject cfmap_systolic::peak_link_load)"
+                    .to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Run the search; the result is the exact non-dominated set of the
+    /// scoped candidate space under the resource model.
+    pub fn solve(&self) -> Result<ParetoFrontier, CfmapError> {
+        self.validate()?;
+        match self.space {
+            Some(space) => self.solve_fixed_space(space),
+            None => self.solve_rows(1),
+        }
+    }
+
+    /// [`Self::solve`] with the enumerated space rows sharded over
+    /// `threads` workers. Bit-identical to the sequential search: each
+    /// row's scan is independent, and the accepted designs are replayed
+    /// in row order before the (order-independent) witness dedup and
+    /// dominance filter. The fixed-space scope has no row fan-out and
+    /// delegates to [`Self::solve`].
+    pub fn solve_parallel(&self, threads: usize) -> Result<ParetoFrontier, CfmapError> {
+        assert!(threads >= 1, "need at least one worker");
+        if threads == 1 || self.space.is_some() {
+            return self.solve();
+        }
+        self.validate()?;
+        self.solve_rows(threads)
+    }
+
+    /// Evaluate the optional bandwidth axis for an accepted design and
+    /// build its point; `None` when the design is mesh-unroutable or a
+    /// bandwidth budget rejects it.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_point(
+        &self,
+        space: &SpaceMap,
+        schedule: LinearSchedule,
+        mapping: MappingMatrix,
+        total_time: i64,
+        processors: usize,
+        wires: i64,
+    ) -> Option<ParetoPoint> {
+        let bandwidth = if self.resources.tracks_bandwidth() {
+            let probe = self.bandwidth_probe.expect("validated: probe present when tracking");
+            match probe(&mapping) {
+                Some(bw) if self.resources.admits_bandwidth(bw) => Some(bw),
+                _ => return None,
+            }
+        } else {
+            None
+        };
+        Some(ParetoPoint {
+            space: space.clone(),
+            schedule,
+            mapping,
+            total_time,
+            processors,
+            wires,
+            bandwidth,
+        })
+    }
+
+    /// Fixed-space scope: one space map, scan schedules with the shared
+    /// Procedure 5.1 screening core. Without the bandwidth axis the
+    /// scan stops after the first accepting objective level — every
+    /// later acceptance shares this map's sites/wires at strictly worse
+    /// time, hence is dominated.
+    fn solve_fixed_space(&self, space: &SpaceMap) -> Result<ParetoFrontier, CfmapError> {
+        let (_, processors, wires) = vlsi_cost(self.alg, space)?;
+        let mut fb = FrontierBuilder::default();
+        let mut tel = SearchTelemetry::default();
+        if self.resources.admits_space(processors, wires) {
+            let mut proc =
+                Procedure51::new(self.alg, space).tie_break(TieBreak::LexMax).memo(self.memo);
+            if let Some(cap) = self.max_objective {
+                proc = proc.max_objective(cap);
+            }
+            let stop_early = !self.resources.tracks_bandwidth();
+            tel = proc.scan_accepted(stop_early, &mut |opt| {
+                if let Some(p) = self.eval_point(
+                    space,
+                    opt.schedule,
+                    opt.mapping,
+                    opt.total_time,
+                    processors,
+                    wires,
+                ) {
+                    fb.push(p);
+                }
+            })?;
+        }
+        let examined = tel.enumerated;
+        Ok(fb.finish(examined, tel))
+    }
+
+    /// The active row quotient, or `None` when the mode is off, the
+    /// stabilizer is trivial, or bandwidth is tracked (see
+    /// [`Self::symmetry`] for why tracking disables it). Fixed-schedule
+    /// scope pins `Π` into the stabilizer exactly like
+    /// [`crate::SpaceSearch`]; joint scope uses the problem stabilizer.
+    fn active_quotient(&self) -> Option<Stabilizer> {
+        if self.symmetry != SymmetryMode::Quotient || self.resources.tracks_bandwidth() {
+            return None;
+        }
+        let stab = match self.schedule {
+            Some(pi) => crate::canon::stabilizer(self.alg, &SpaceMap::row(pi.as_slice())),
+            None => crate::canon::problem_stabilizer(self.alg),
+        };
+        if stab.is_trivial() {
+            return None;
+        }
+        Some(stab)
+    }
+
+    /// The canonical 1-row candidate pool: nonzero rows with entries in
+    /// `[-entry_bound, entry_bound]`, first nonzero entry positive,
+    /// lex-ascending — exactly [`crate::SpaceSearch`]'s pool, so the
+    /// space corner can be compared design-for-design.
+    fn candidate_rows(&self) -> Vec<Vec<i64>> {
+        let n = self.alg.dim();
+        let mut pool: Vec<Vec<i64>> = Vec::new();
+        let mut row = vec![0i64; n];
+        collect_rows(&mut row, 0, self.entry_bound, &mut |r| {
+            if r.iter().all(|&x| x == 0) {
+                return;
+            }
+            if r.iter().find(|&&x| x != 0).is_some_and(|&x| x < 0) {
+                return; // canonical sign
+            }
+            pool.push(r.to_vec());
+        });
+        pool
+    }
+
+    /// Screen one candidate row. `fixed_time` is `Some(makespan)` in
+    /// the fixed-schedule scope (where the row itself is the candidate)
+    /// and `None` in the joint scope (where a schedule scan runs per
+    /// row).
+    fn row_accepts(
+        &self,
+        row: &[i64],
+        fixed_time: Option<i64>,
+        quotient: Option<&Stabilizer>,
+        prefix: Option<&HnfPrefix>,
+        ws: &mut HnfWorkspace,
+    ) -> Result<RowScan, CfmapError> {
+        let mut scan = RowScan::default();
+        let rows_vec = vec![row.to_vec()];
+        if quotient.is_some_and(|stab| !is_class_representative(stab, &rows_vec)) {
+            scan.pruned = true;
+            return Ok(scan);
+        }
+        let space = SpaceMap::row(row);
+        let (_, processors, wires) = vlsi_cost(self.alg, &space)?;
+        if !self.resources.admits_space(processors, wires) {
+            return Ok(scan);
+        }
+        match (self.schedule, fixed_time) {
+            (Some(pi), Some(total_time)) => {
+                scan.tel.enumerated += 1;
+                let mapping = MappingMatrix::new(space.clone(), pi.clone());
+                let refs: Vec<&[i64]> = vec![row];
+                let hnf = match prefix.and_then(|p| p.complete_rows(&refs, ws)) {
+                    Some(h) => h,
+                    None => mapping.hnf(),
+                };
+                let analysis = ConflictAnalysis::with_hnf(&mapping, &self.alg.index_set, hnf);
+                scan.tel.hnf_computations += 1;
+                if analysis.rank() != mapping.k() {
+                    scan.tel.rejected_rank += 1;
+                    return Ok(scan);
+                }
+                scan.tel.condition_hits.record(rule_for(ConditionKind::Exact, &analysis));
+                let verdict = if self.memo {
+                    check_memoized(
+                        ConditionKind::Exact,
+                        &analysis,
+                        &self.alg.index_set,
+                        &mut scan.tel,
+                    )
+                } else {
+                    check(ConditionKind::Exact, &analysis, &self.alg.index_set)
+                };
+                if !verdict.accepts() {
+                    scan.tel.rejected_conflict += 1;
+                    return Ok(scan);
+                }
+                scan.tel.accepted += 1;
+                if let Some(p) = self.eval_point(
+                    &space,
+                    pi.clone(),
+                    mapping,
+                    total_time,
+                    processors,
+                    wires,
+                ) {
+                    scan.points.push(p);
+                }
+            }
+            _ => {
+                let mut proc = Procedure51::new(self.alg, &space).memo(self.memo);
+                if let Some(cap) = self.max_objective {
+                    proc = proc.max_objective(cap);
+                }
+                let stop_early = !self.resources.tracks_bandwidth();
+                let points = &mut scan.points;
+                scan.tel = proc.scan_accepted(stop_early, &mut |opt| {
+                    if let Some(p) = self.eval_point(
+                        &space,
+                        opt.schedule,
+                        opt.mapping,
+                        opt.total_time,
+                        processors,
+                        wires,
+                    ) {
+                        points.push(p);
+                    }
+                })?;
+            }
+        }
+        Ok(scan)
+    }
+
+    /// Fixed-schedule and joint scopes: enumerate the canonical row
+    /// pool (optionally quotiented), screen each row, and fold the
+    /// accepted designs — in row order, so the parallel path replays to
+    /// a bit-identical frontier.
+    fn solve_rows(&self, threads: usize) -> Result<ParetoFrontier, CfmapError> {
+        let fixed_time = match self.schedule {
+            Some(pi) => {
+                if !pi.is_valid_for(&self.alg.deps) {
+                    // An invalid schedule admits no design at all.
+                    return Ok(FrontierBuilder::default().finish(0, SearchTelemetry::default()));
+                }
+                let t = weighted_objective(pi.as_slice(), self.alg.index_set.mu())
+                    .and_then(|o| o.checked_add(1))
+                    .ok_or_else(|| CfmapError::Overflow {
+                        context: format!(
+                            "Pareto search makespan 1 + Σ|π_i|μ_i overflows i64 for Π = {:?}",
+                            pi.as_slice()
+                        ),
+                    })?;
+                Some(t)
+            }
+            None => None,
+        };
+        let quotient = self.active_quotient();
+        let rows = self.candidate_rows();
+        let prefix = self
+            .schedule
+            .and_then(|pi| hnf_prefix_i64(&IMat::from_rows(&[pi.as_slice()])));
+        let scans = if threads == 1 {
+            let mut ws = HnfWorkspace::new();
+            let mut out = Vec::with_capacity(rows.len());
+            for row in &rows {
+                out.push(self.row_accepts(row, fixed_time, quotient.as_ref(), prefix.as_ref(), &mut ws)?);
+            }
+            out
+        } else {
+            self.scan_rows_parallel(&rows, fixed_time, quotient.as_ref(), prefix.as_ref(), threads)?
+        };
+        let mut fb = FrontierBuilder::default();
+        let mut tel = SearchTelemetry::default();
+        for scan in scans {
+            if scan.pruned {
+                tel.orbits_pruned += 1;
+                crate::metrics::ORBITS_PRUNED.inc();
+                continue;
+            }
+            tel.merge(&scan.tel);
+            for p in scan.points {
+                fb.push(p);
+            }
+        }
+        let examined = tel.enumerated;
+        Ok(fb.finish(examined, tel))
+    }
+
+    /// Shard the row pool over a worker pool with a work-stealing
+    /// cursor; results are collected with their row indices and sorted
+    /// before folding, so the fold is the sequential one verbatim.
+    fn scan_rows_parallel(
+        &self,
+        rows: &[Vec<i64>],
+        fixed_time: Option<i64>,
+        quotient: Option<&Stabilizer>,
+        prefix: Option<&HnfPrefix>,
+        threads: usize,
+    ) -> Result<Vec<RowScan>, CfmapError> {
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let panicked = AtomicBool::new(false);
+        let error: Mutex<Option<CfmapError>> = Mutex::new(None);
+        let collected: Mutex<Vec<(usize, RowScan)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut ws = HnfWorkspace::new();
+                    let mut local: Vec<(usize, RowScan)> = Vec::new();
+                    loop {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= rows.len() {
+                            break;
+                        }
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            self.row_accepts(&rows[idx], fixed_time, quotient, prefix, &mut ws)
+                        }));
+                        match out {
+                            Ok(Ok(scan)) => local.push((idx, scan)),
+                            Ok(Err(e)) => {
+                                *error.lock().unwrap() = Some(e);
+                                stop.store(true, Ordering::SeqCst);
+                                break;
+                            }
+                            Err(_) => {
+                                panicked.store(true, Ordering::SeqCst);
+                                stop.store(true, Ordering::SeqCst);
+                                break;
+                            }
+                        }
+                    }
+                    collected.lock().unwrap().extend(local);
+                });
+            }
+        });
+        if panicked.load(Ordering::SeqCst) {
+            return Err(CfmapError::Internal {
+                context: "Pareto solve_parallel worker panicked".to_string(),
+            });
+        }
+        if let Some(e) = error.lock().unwrap().take() {
+            return Err(e);
+        }
+        let mut all = collected.into_inner().unwrap();
+        all.sort_by_key(|(i, _)| *i);
+        Ok(all.into_iter().map(|(_, s)| s).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfmap_model::algorithms;
+
+    #[test]
+    fn fixed_space_time_corner_is_procedure51_lexmax() {
+        let alg = algorithms::matmul(4);
+        let space = SpaceMap::row(&[1, 1, -1]);
+        let frontier =
+            ParetoSearch::new(&alg).fixed_space(&space).solve().expect("frontier solves");
+        assert_eq!(frontier.len(), 1, "fixed space, 3 axes: a single vector survives");
+        let corner = frontier.time_corner().unwrap();
+        let opt = Procedure51::new(&alg, &space)
+            .tie_break(TieBreak::LexMax)
+            .solve()
+            .unwrap()
+            .expect_optimal("matmul is feasible");
+        assert_eq!(corner.total_time, opt.total_time);
+        assert_eq!(corner.schedule.as_slice(), opt.schedule.as_slice());
+        assert_eq!(corner.total_time, 25, "the paper's μ=4 matmul makespan");
+    }
+
+    #[test]
+    fn fixed_schedule_space_corner_is_space_search_lexmax() {
+        let alg = algorithms::matmul(4);
+        let pi = LinearSchedule::new(&[1, 4, 1]);
+        let frontier =
+            ParetoSearch::new(&alg).fixed_schedule(&pi).solve().expect("frontier solves");
+        assert!(!frontier.is_empty());
+        let corner = frontier.space_corner().unwrap();
+        let sol = crate::SpaceSearch::new(&alg, &pi)
+            .tie_break(TieBreak::LexMax)
+            .solve()
+            .unwrap()
+            .expect_optimal("some S works");
+        assert_eq!(corner.space_rows(), vec![sol
+            .space
+            .as_mat()
+            .row(0)
+            .to_i64s()
+            .unwrap()]);
+        assert_eq!(corner.processors, sol.processors);
+        assert_eq!(corner.wires, sol.wire_length);
+    }
+
+    #[test]
+    fn frontier_points_are_mutually_non_dominated() {
+        let alg = algorithms::matmul(3);
+        let frontier = ParetoSearch::new(&alg).solve().expect("joint frontier solves");
+        assert!(!frontier.is_empty());
+        for (i, a) in frontier.points.iter().enumerate() {
+            for (j, b) in frontier.points.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !cfmap_intlin::dominance::dominates(
+                            &a.objective_vector(),
+                            &b.objective_vector()
+                        ),
+                        "frontier point {j} dominated by {i}"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            frontier.points_seen,
+            frontier.dominated_pruned + frontier.len() as u64
+        );
+    }
+
+    #[test]
+    fn budgets_filter_the_frontier() {
+        let alg = algorithms::matmul(3);
+        let full = ParetoSearch::new(&alg).solve().unwrap();
+        let max_pes = full.points.iter().map(|p| p.processors).min().unwrap();
+        let tight = ParetoSearch::new(&alg)
+            .resources(ResourceModel { max_processors: Some(max_pes), ..Default::default() })
+            .solve()
+            .unwrap();
+        assert!(!tight.is_empty());
+        assert!(tight.points.iter().all(|p| p.processors <= max_pes));
+        assert!(tight.len() <= full.len());
+    }
+
+    #[test]
+    fn bandwidth_axis_requires_a_probe() {
+        let alg = algorithms::matmul(2);
+        let err = ParetoSearch::new(&alg)
+            .resources(ResourceModel { include_bandwidth: true, ..Default::default() })
+            .solve()
+            .unwrap_err();
+        assert!(matches!(err, CfmapError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn bandwidth_probe_feeds_the_fourth_axis() {
+        let alg = algorithms::matmul(2);
+        // A fake probe: bandwidth = wire length of the design, so the
+        // axis is exercised without a simulator dependency.
+        let probe = |m: &MappingMatrix| -> Option<u64> {
+            vlsi_cost(&algorithms::matmul(2), m.space())
+                .ok()
+                .map(|(_, _, w)| w.unsigned_abs())
+        };
+        let frontier = ParetoSearch::new(&alg)
+            .resources(ResourceModel { include_bandwidth: true, ..Default::default() })
+            .bandwidth_probe(&probe)
+            .solve()
+            .unwrap();
+        assert!(!frontier.is_empty());
+        assert!(frontier.points.iter().all(|p| p.bandwidth.is_some()));
+        assert!(frontier.points.iter().all(|p| p.objective_vector().len() == 4));
+    }
+
+    #[test]
+    fn pinning_both_sides_is_rejected() {
+        let alg = algorithms::matmul(2);
+        let space = SpaceMap::row(&[1, 1, -1]);
+        let pi = LinearSchedule::new(&[1, 2, 1]);
+        let err = ParetoSearch::new(&alg)
+            .fixed_space(&space)
+            .fixed_schedule(&pi)
+            .solve()
+            .unwrap_err();
+        assert!(matches!(err, CfmapError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let alg = algorithms::transitive_closure(3);
+        let seq = ParetoSearch::new(&alg).solve().unwrap();
+        let par = ParetoSearch::new(&alg).solve_parallel(4).unwrap();
+        assert_eq!(seq.len(), par.len());
+        assert_eq!(seq.points_seen, par.points_seen);
+        for (a, b) in seq.points.iter().zip(&par.points) {
+            assert_eq!(a.objective_vector(), b.objective_vector());
+            assert_eq!(a.space_rows(), b.space_rows());
+            assert_eq!(a.schedule.as_slice(), b.schedule.as_slice());
+        }
+    }
+
+    #[test]
+    fn every_frontier_point_is_certified_conflict_free() {
+        let alg = algorithms::matmul(3);
+        let frontier = ParetoSearch::new(&alg).solve().unwrap();
+        for p in &frontier.points {
+            assert!(p.mapping.has_full_rank());
+            assert!(crate::oracle::is_conflict_free_by_enumeration(
+                &p.mapping,
+                &alg.index_set
+            ));
+        }
+    }
+}

@@ -295,19 +295,27 @@ const ADAPTIVE_CAP_CEILING: i64 = 1 << 20;
 /// lower bound rather than an exact tally.
 const ORBIT_COUNT_MAX: i64 = 4096;
 
+/// The defaulted objective cap `Σ μ_i(μ_i + 3)`, floored at 16 — the
+/// paper bounds the useful search at |π_i| ≤ μ_i plus slack for the
+/// μ+2-style extreme points. Shared by [`Procedure51::new`] and the
+/// Pareto frontier search so both agree on the default horizon.
+/// Checked: μ near 2⁴⁰ (the wire bound) squares past i64, and a wrapped
+/// cap would silently truncate — or explode — the level loop; `None`
+/// signals the overflow.
+pub(crate) fn default_objective_cap(mu: &[i64]) -> Option<i64> {
+    mu.iter()
+        .try_fold(0i64, |acc, &m| {
+            m.checked_add(3).and_then(|s| m.checked_mul(s)).and_then(|v| acc.checked_add(v))
+        })
+        .map(|c| c.max(16))
+}
+
 impl<'a> Procedure51<'a> {
     /// Start a search for `alg` with the given space mapping.
     pub fn new(alg: &'a Uda, space: &'a SpaceMap) -> Self {
         assert_eq!(alg.dim(), space.dim(), "algorithm / space map dimension mismatch");
-        // Default cap: the paper bounds the useful search at |π_i| ≤ μ_i
-        // plus slack for the μ+2-style extreme points. Checked: μ near
-        // 2⁴⁰ (the wire bound) squares past i64, and a wrapped cap would
-        // silently truncate — or explode — the level loop.
-        let cap: Option<i64> = alg.index_set.mu().iter().try_fold(0i64, |acc, &m| {
-            m.checked_add(3).and_then(|s| m.checked_mul(s)).and_then(|v| acc.checked_add(v))
-        });
-        let (max_objective, cap_overflowed) = match cap {
-            Some(c) => (c.max(16), false),
+        let (max_objective, cap_overflowed) = match default_objective_cap(alg.index_set.mu()) {
+            Some(c) => (c, false),
             None => (0, true),
         };
         let zero_space_cols = (0..space.dim())
@@ -557,6 +565,58 @@ impl<'a> Procedure51<'a> {
             }
         }
         Ok(SearchOutcome::infeasible(meter.candidates).with_telemetry(tel))
+    }
+
+    /// Enumerate *every* accepted candidate up to [`Self::max_objective`],
+    /// invoking `on_accept` for each — in increasing objective order,
+    /// lex-ascending within each level. This is the multi-objective
+    /// analogue of [`Self::solve`]: the Pareto frontier needs the whole
+    /// accepted set, not just the first level's tie-break winner. No
+    /// symmetry quotient, budget, hybrid escalation or adaptive cap
+    /// extension applies — the scan must visit every acceptance exactly
+    /// once so the caller's dominance filter sees the full picture.
+    ///
+    /// With `stop_after_accepting_level` the scan ends after the first
+    /// level containing an acceptance: sound for the 3-axis frontier
+    /// (time × sites × wires) where every later acceptance shares this
+    /// space map's sites/wires but has strictly worse time, hence is
+    /// dominated.
+    pub(crate) fn scan_accepted(
+        &self,
+        stop_after_accepting_level: bool,
+        on_accept: &mut dyn FnMut(OptimalMapping),
+    ) -> Result<SearchTelemetry, CfmapError> {
+        self.check_cap()?;
+        let mut tel = SearchTelemetry::default();
+        let prefix = hnf_prefix_i64(self.space.as_mat());
+        let deps_i64 = self.deps_columns_i64();
+        let mut ws = HnfWorkspace::new();
+        for cost in 1..=self.max_objective {
+            let level_start = tel.enumerated;
+            let mut level_accepted = 0u64;
+            self.enumerate_level(cost, None, &mut |pi| {
+                tel.enumerated += 1;
+                let examined = tel.enumerated;
+                if let Some(result) = self.try_candidate(
+                    pi,
+                    cost,
+                    examined,
+                    &mut tel,
+                    prefix.as_ref(),
+                    deps_i64.as_deref(),
+                    &mut ws,
+                ) {
+                    tel.accepted += 1;
+                    level_accepted += 1;
+                    on_accept(result);
+                }
+            });
+            tel.record_level(cost, tel.enumerated - level_start, level_accepted);
+            if stop_after_accepting_level && level_accepted > 0 {
+                break;
+            }
+        }
+        Ok(tel)
     }
 
     /// The active symmetry quotient, or `None` when the mode is off or a
@@ -1316,7 +1376,7 @@ fn schedule_valid_i64(pi: &[i64], deps: &[Vec<i64>]) -> bool {
 }
 
 /// `Σ |π_i|·μ_i` with overflow checking.
-fn weighted_objective(pi: &[i64], mu: &[i64]) -> Option<i64> {
+pub(crate) fn weighted_objective(pi: &[i64], mu: &[i64]) -> Option<i64> {
     let mut acc: i64 = 0;
     for (p, m) in pi.iter().zip(mu) {
         acc = acc.checked_add(p.checked_abs()?.checked_mul(*m)?)?;

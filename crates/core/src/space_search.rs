@@ -191,38 +191,7 @@ impl<'a> SpaceSearch<'a> {
     /// Wire length is `Σᵢ ‖S·d̄ᵢ‖₁`, the per-dependence hop distance that
     /// must be wired between neighbouring cells.
     fn cost_of(&self, space: &SpaceMap) -> Result<(i64, usize, i64), CfmapError> {
-        let overflow = |what: &str| CfmapError::Overflow {
-            context: format!("space-search VLSI cost: {what} does not fit in i64"),
-        };
-        let mut sites = 1i64;
-        for r in 0..space.array_dims() {
-            let row = space.as_mat().row(r);
-            let (mut lo, mut hi) = (Int::zero(), Int::zero());
-            for (i, c) in row.iter().enumerate() {
-                let m = Int::from(self.alg.index_set.mu_i(i));
-                if c.is_positive() {
-                    hi += &(c * &m);
-                } else {
-                    lo += &(c * &m);
-                }
-            }
-            let span = (&hi - &lo)
-                .to_i64()
-                .and_then(|s| s.checked_add(1))
-                .ok_or_else(|| overflow("processor span"))?;
-            sites = sites.checked_mul(span).ok_or_else(|| overflow("site count"))?;
-        }
-        let sd = space.as_mat() * self.alg.deps.as_mat();
-        let mut wires = 0i64;
-        for c in 0..sd.ncols() {
-            for r in 0..sd.nrows() {
-                let hop =
-                    sd.get(r, c).abs().to_i64().ok_or_else(|| overflow("wire length"))?;
-                wires = wires.checked_add(hop).ok_or_else(|| overflow("total wire length"))?;
-            }
-        }
-        let cost = sites.checked_add(wires).ok_or_else(|| overflow("sites + wires"))?;
-        Ok((cost, sites as usize, wires))
+        vlsi_cost(self.alg, space)
     }
 
     fn validate(&self) -> Result<(), CfmapError> {
@@ -627,7 +596,45 @@ impl<'a> SpaceSearch<'a> {
     }
 }
 
-fn collect_rows(row: &mut Vec<i64>, idx: usize, bound: i64, f: &mut impl FnMut(&[i64])) {
+/// The VLSI cost triple `(sites + wires, sites, wires)` of `space`
+/// under `alg` — the ordering Problem 6.1 minimizes, also reused as the
+/// space axes of the Pareto frontier so the two searches can never
+/// disagree on a candidate's cost.
+pub(crate) fn vlsi_cost(alg: &Uda, space: &SpaceMap) -> Result<(i64, usize, i64), CfmapError> {
+    let overflow = |what: &str| CfmapError::Overflow {
+        context: format!("space-search VLSI cost: {what} does not fit in i64"),
+    };
+    let mut sites = 1i64;
+    for r in 0..space.array_dims() {
+        let row = space.as_mat().row(r);
+        let (mut lo, mut hi) = (Int::zero(), Int::zero());
+        for (i, c) in row.iter().enumerate() {
+            let m = Int::from(alg.index_set.mu_i(i));
+            if c.is_positive() {
+                hi += &(c * &m);
+            } else {
+                lo += &(c * &m);
+            }
+        }
+        let span = (&hi - &lo)
+            .to_i64()
+            .and_then(|s| s.checked_add(1))
+            .ok_or_else(|| overflow("processor span"))?;
+        sites = sites.checked_mul(span).ok_or_else(|| overflow("site count"))?;
+    }
+    let sd = space.as_mat() * alg.deps.as_mat();
+    let mut wires = 0i64;
+    for c in 0..sd.ncols() {
+        for r in 0..sd.nrows() {
+            let hop = sd.get(r, c).abs().to_i64().ok_or_else(|| overflow("wire length"))?;
+            wires = wires.checked_add(hop).ok_or_else(|| overflow("total wire length"))?;
+        }
+    }
+    let cost = sites.checked_add(wires).ok_or_else(|| overflow("sites + wires"))?;
+    Ok((cost, sites as usize, wires))
+}
+
+pub(crate) fn collect_rows(row: &mut Vec<i64>, idx: usize, bound: i64, f: &mut impl FnMut(&[i64])) {
     if idx == row.len() {
         f(row);
         return;
@@ -643,7 +650,7 @@ fn collect_rows(row: &mut Vec<i64>, idx: usize, bound: i64, f: &mut impl FnMut(&
 /// convention of the candidate pool. Orbit images must be re-canonicalized
 /// before lex comparison because a stabilizer element may negate a row,
 /// and `S` vs `−S` is the same design (processor relabeling).
-fn canon_sign(mut row: Vec<i64>) -> Vec<i64> {
+pub(crate) fn canon_sign(mut row: Vec<i64>) -> Vec<i64> {
     if row.iter().find(|&&v| v != 0).is_some_and(|&v| v < 0) {
         for v in &mut row {
             *v = -*v;

@@ -1,0 +1,90 @@
+//! Exact Pareto-dominance comparisons over rational objective vectors.
+//!
+//! The Pareto-frontier search (cfmap-core `pareto`) compares candidate
+//! designs on several axes at once — time, processors, wire length and
+//! optionally peak link bandwidth. Dominance must be decided exactly:
+//! a frontier pruned by a lossy comparison is not the non-dominated set,
+//! and the exhaustive differential tests would catch it. All comparisons
+//! here go through [`Rat`], so mixed integer/rational objective vectors
+//! compare without rounding.
+
+use crate::rat::Rat;
+
+/// `true` iff `a` Pareto-dominates `b`: `a` is no worse than `b` on
+/// every axis and strictly better on at least one (minimization).
+///
+/// Vectors of unequal length never dominate each other — that is a
+/// caller bug, but treating it as incomparable keeps the frontier filter
+/// total.
+pub fn dominates(a: &[Rat], b: &[Rat]) -> bool {
+    if a.len() != b.len() || a.is_empty() {
+        return false;
+    }
+    let mut strict = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.cmp(y) {
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Less => strict = true,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    strict
+}
+
+/// `true` iff `v` is non-dominated within `set` (minimization). A vector
+/// equal to `v` does not dominate it, so duplicates are all kept.
+pub fn is_non_dominated(v: &[Rat], set: &[Vec<Rat>]) -> bool {
+    !set.iter().any(|w| dominates(w, v))
+}
+
+/// Indices of the non-dominated members of `set` (minimization), in
+/// their original order. Duplicate vectors all survive — deduplication
+/// is the caller's policy, not a dominance question.
+pub fn non_dominated_indices(set: &[Vec<Rat>]) -> Vec<usize> {
+    (0..set.len())
+        .filter(|&i| set.iter().enumerate().all(|(j, w)| j == i || !dominates(w, &set[i])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ints: &[i64]) -> Vec<Rat> {
+        ints.iter().map(|&x| Rat::from_i64(x)).collect()
+    }
+
+    #[test]
+    fn strict_dominance() {
+        assert!(dominates(&v(&[1, 2, 3]), &v(&[1, 2, 4])));
+        assert!(dominates(&v(&[0, 0]), &v(&[1, 1])));
+        assert!(!dominates(&v(&[1, 2]), &v(&[1, 2])), "equal vectors do not dominate");
+        assert!(!dominates(&v(&[1, 3]), &v(&[2, 2])), "incomparable");
+        assert!(!dominates(&v(&[2, 2]), &v(&[1, 3])), "incomparable, other side");
+    }
+
+    #[test]
+    fn unequal_lengths_are_incomparable() {
+        assert!(!dominates(&v(&[1]), &v(&[1, 2])));
+        assert!(!dominates(&v(&[]), &v(&[])));
+    }
+
+    #[test]
+    fn rational_axes_compare_exactly() {
+        use crate::int::Int;
+        let a = vec![Rat::new(Int::from(1), Int::from(3))];
+        let b = vec![Rat::new(Int::from(1), Int::from(2))];
+        // 1/3 < 1/2 on the single axis.
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+
+    #[test]
+    fn frontier_filter_keeps_exactly_the_non_dominated() {
+        let set = vec![v(&[1, 4]), v(&[2, 2]), v(&[4, 1]), v(&[3, 3]), v(&[2, 2])];
+        // (3,3) is dominated by (2,2); the duplicate (2,2) pair both stay.
+        assert_eq!(non_dominated_indices(&set), vec![0, 1, 2, 4]);
+        assert!(is_non_dominated(&v(&[1, 4]), &set));
+        assert!(!is_non_dominated(&v(&[3, 3]), &set));
+    }
+}

@@ -32,11 +32,14 @@
 //!   search hot path; it promotes to the bignum path on overflow.
 //! * [`stats`] — process-wide counters tracking how often the fast paths
 //!   fall back to heap-allocated bignum arithmetic.
+//! * [`dominance`] — exact Pareto-dominance comparisons over [`Rat`]
+//!   objective vectors, used by the multi-objective frontier search.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod affine;
+pub mod dominance;
 pub mod gcd;
 pub mod hnf;
 pub mod hnf64;
@@ -50,6 +53,7 @@ pub mod stats;
 pub mod vec;
 
 pub use affine::{AffineInt, RatInterval};
+pub use dominance::{dominates, is_non_dominated, non_dominated_indices};
 pub use hnf::{hermite_normal_form, hermite_normal_form_bignum, Hnf};
 pub use hnf64::{hnf_prefix_i64, HnfPrefix, HnfWorkspace};
 pub use int::Int;

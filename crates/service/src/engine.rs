@@ -21,20 +21,23 @@
 use crate::cache::{CacheStats, ShardedLruCache};
 use crate::family_store::{FamilyStats, FamilyStore};
 use crate::snapshot::Snapshot;
-use crate::wire::{MapOutcome, MapRequest, MapResponse};
+use crate::wire::{
+    MapOutcome, MapRequest, MapResponse, ParetoOutcome, ParetoPointWire, ParetoRequest,
+    ParetoResponse,
+};
 use cfmap_core::metrics::{
     Counter, Histogram, Registry, CONFLICT_MEMO_HITS, CONFLICT_MEMO_MISSES,
     DEFAULT_LATENCY_BUCKETS_US, EXACT_CONFLICT_TESTS, HNF_COMPUTATIONS, HYBRID_ESCALATIONS,
-    ORBITS_PRUNED,
+    ORBITS_PRUNED, PARETO_DOMINATED_PRUNED,
 };
 use cfmap_core::budget::clock;
 use cfmap_core::{
     canonicalize, BudgetLimit, CancelToken, CanonicalProblem, Canonicalization, Certification,
-    CfmapError, Deadline, HybridPolicy, MappingMatrix, Procedure51, SearchBudget, SearchTelemetry,
-    SolveRoute, SpaceMap, SymmetryMode, TieBreak,
+    CfmapError, Deadline, HybridPolicy, MappingMatrix, ParetoSearch, Procedure51, ResourceModel,
+    SearchBudget, SearchTelemetry, SolveRoute, SpaceMap, SymmetryMode, TieBreak,
 };
 use cfmap_model::{algorithms, DependenceMatrix, IndexSet, LinearSchedule, Uda};
-use cfmap_systolic::SystolicArray;
+use cfmap_systolic::{peak_link_load, Simulator, SystolicArray};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -76,6 +79,62 @@ pub enum CachedOutcome {
         /// Search effort behind the proof.
         candidates_examined: u64,
     },
+}
+
+/// The deterministic knob set of a Pareto request — part of every
+/// frontier-cache key, since each combination defines a different
+/// frontier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParetoKnobs {
+    /// Objective cap override.
+    pub cap: Option<i64>,
+    /// Space-row entry bound override.
+    pub entry_bound: Option<i64>,
+    /// Whether bandwidth is a fourth objective axis.
+    pub include_bandwidth: bool,
+    /// Processor budget.
+    pub max_processors: Option<u64>,
+    /// Wire budget.
+    pub max_wires: Option<i64>,
+    /// Bandwidth budget.
+    pub max_bandwidth: Option<u64>,
+}
+
+/// Frontier-cache key. Fixed-space requests key on the canonical
+/// problem so permuted-but-equivalent requests share one frontier,
+/// exactly like the design cache; fixed-schedule and joint scopes have
+/// no pinned space map to canonicalize around, so they key on the
+/// normalized problem verbatim.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ParetoCacheKey {
+    /// Fixed-space scope: canonical `(μ, D, S)` identity.
+    Canonical {
+        /// Canonical problem.
+        problem: CanonicalProblem,
+        /// Deterministic knobs.
+        knobs: ParetoKnobs,
+    },
+    /// Fixed-schedule or joint scope: the problem verbatim.
+    Exact {
+        /// Index-set bounds.
+        mu: Vec<i64>,
+        /// Dependence columns.
+        deps: Vec<Vec<i64>>,
+        /// Pinned schedule, if the scope is fixed-schedule.
+        schedule: Option<Vec<i64>>,
+        /// Deterministic knobs.
+        knobs: ParetoKnobs,
+    },
+}
+
+/// What the frontier cache stores. Under a `Canonical` key the point
+/// schedules (and space rows) are in canonical coordinates; each
+/// requester de-canonicalizes with its own permutation on the way out.
+#[derive(Clone, Debug)]
+struct CachedFrontier {
+    points: Vec<ParetoPointWire>,
+    dominated_pruned: u64,
+    candidates_examined: u64,
 }
 
 /// Aggregate search-effort counters across every solve the engine has
@@ -125,6 +184,15 @@ impl Default for SolverPolicy {
 /// The shared solver state behind every worker thread.
 pub struct Engine {
     cache: Arc<ShardedLruCache<CacheKey, CachedOutcome>>,
+    /// Frontier cache: one entry per (problem identity, knob set).
+    pareto_cache: Arc<ShardedLruCache<ParetoCacheKey, CachedFrontier>>,
+    /// Per-point simulator re-verification time on fresh frontiers.
+    pareto_verify: Arc<Histogram>,
+    /// Fresh frontier searches run (cache hits excluded).
+    pareto_solves: Arc<Counter>,
+    /// Size of the most recently solved frontier (the
+    /// `cfmap_pareto_frontier_size` gauge reads this).
+    pareto_frontier_size: Arc<std::sync::atomic::AtomicI64>,
     /// Schedule-family catalogue: certificates answer whole μ-families
     /// with zero search (see [`crate::family_store`]).
     family: Arc<FamilyStore>,
@@ -297,8 +365,44 @@ impl Engine {
             "Searches that degraded because their request deadline passed",
             &[],
         );
+        // Pareto-frontier observability: dominated-pruned is process-wide
+        // (the core search counts it), frontier size tracks the latest
+        // fresh solve, and the verify histogram times the per-point
+        // simulator re-check that gates caching.
+        let pareto_cache = Arc::new(ShardedLruCache::new(cache_capacity, shards));
+        metrics.gauge_fn(
+            "cfmap_pareto_dominated_pruned_total",
+            "Accepted designs discarded as Pareto-dominated or duplicate",
+            &[],
+            || i64::try_from(PARETO_DOMINATED_PRUNED.get()).unwrap_or(i64::MAX),
+        );
+        let pareto_frontier_size = Arc::new(std::sync::atomic::AtomicI64::new(0));
+        {
+            let size = Arc::clone(&pareto_frontier_size);
+            metrics.gauge_fn(
+                "cfmap_pareto_frontier_size",
+                "Points on the most recently solved Pareto frontier",
+                &[],
+                move || size.load(std::sync::atomic::Ordering::Relaxed),
+            );
+        }
+        let pareto_verify = metrics.histogram(
+            "cfmap_pareto_verify_duration_seconds",
+            "Per-point simulator re-verification time on fresh frontiers",
+            &[],
+            DEFAULT_LATENCY_BUCKETS_US,
+        );
+        let pareto_solves = metrics.counter(
+            "cfmap_pareto_solves_total",
+            "Fresh Pareto-frontier searches run (cache hits excluded)",
+            &[],
+        );
         Engine {
             cache,
+            pareto_cache,
+            pareto_verify,
+            pareto_solves,
+            pareto_frontier_size,
             family,
             metrics,
             solve_latency,
@@ -571,6 +675,127 @@ impl Engine {
         (out, solves)
     }
 
+    /// Resolve a Pareto-frontier request: the exact non-dominated set
+    /// over time × processors × wires (× peak bandwidth when tracked).
+    ///
+    /// Fixed-space requests are solved in canonical coordinates so the
+    /// cached frontier serves every axis-permuted equivalent, mirroring
+    /// the design cache. Fresh frontiers are re-verified point by point
+    /// on the cycle-level simulator (conflict-free, within the
+    /// bandwidth budget) before they are cached or served; a point that
+    /// fails is an engine bug surfaced as [`CfmapError::Internal`], not
+    /// a silently wrong answer.
+    pub fn pareto(&self, req: &ParetoRequest) -> ParetoResponse {
+        let (alg, space, schedule) = match build_pareto_problem(req) {
+            Ok(p) => p,
+            Err(msg) => return ParetoResponse::BadRequest { msg },
+        };
+        let knobs = ParetoKnobs {
+            cap: req.cap,
+            entry_bound: req.entry_bound,
+            include_bandwidth: req.include_bandwidth,
+            max_processors: req.max_processors,
+            max_wires: req.max_wires,
+            max_bandwidth: req.max_bandwidth,
+        };
+        let canon = space.as_ref().map(|s| canonicalize(&alg, s));
+        let key = match &canon {
+            Some(c) => ParetoCacheKey::Canonical { problem: c.problem.clone(), knobs },
+            None => ParetoCacheKey::Exact {
+                mu: alg.index_set.mu().to_vec(),
+                deps: alg.deps.columns_i64(),
+                schedule: schedule.as_ref().map(|pi| pi.as_slice().to_vec()),
+                knobs,
+            },
+        };
+        if let Some(hit) = self.pareto_cache.get(&key) {
+            return respond_pareto(&hit, canon.as_ref(), req.space.as_deref(), true);
+        }
+        // Fixed-space scope solves the canonical problem; the other
+        // scopes solve the request verbatim.
+        let (solve_alg, solve_space) = match &canon {
+            Some(c) => (c.problem.uda("canonical"), Some(c.problem.space_map())),
+            None => (alg, None),
+        };
+        let model = ResourceModel {
+            max_processors: req
+                .max_processors
+                .map(|p| usize::try_from(p).unwrap_or(usize::MAX)),
+            max_wires: req.max_wires,
+            max_bandwidth: req.max_bandwidth,
+            include_bandwidth: req.include_bandwidth,
+        };
+        let tracks_bandwidth = model.tracks_bandwidth();
+        let probe = |m: &MappingMatrix| peak_link_load(&solve_alg, m);
+        let mut search = ParetoSearch::new(&solve_alg).resources(model).memo(self.policy.memo);
+        if let Some(s) = &solve_space {
+            search = search.fixed_space(s);
+        }
+        if let Some(pi) = &schedule {
+            search = search.fixed_schedule(pi);
+        }
+        if let Some(cap) = req.cap {
+            search = search.max_objective(cap);
+        }
+        if let Some(b) = req.entry_bound {
+            search = search.entry_bound(b);
+        }
+        if self.policy.quotient {
+            search = search.symmetry(SymmetryMode::Quotient);
+        }
+        if tracks_bandwidth {
+            search = search.bandwidth_probe(&probe);
+        }
+        let frontier = match search.solve() {
+            Ok(f) => f,
+            Err(e) => return ParetoResponse::Error(e),
+        };
+        self.pareto_solves.inc();
+        // Independent re-verification: every point must place its
+        // computations conflict-free on the simulated array, and its
+        // probed bandwidth must reproduce and respect the budget.
+        for p in &frontier.points {
+            let started = Instant::now();
+            let verdict = Simulator::new(&solve_alg, &p.mapping).run();
+            self.pareto_verify.observe(started.elapsed());
+            let clean = match verdict {
+                Ok(report) => report.conflicts.is_empty(),
+                Err(e) => return ParetoResponse::Error(e),
+            };
+            let bandwidth_ok = !tracks_bandwidth
+                || (peak_link_load(&solve_alg, &p.mapping) == p.bandwidth
+                    && req.max_bandwidth.is_none_or(|b| p.bandwidth.is_some_and(|x| x <= b)));
+            if !clean || !bandwidth_ok {
+                return ParetoResponse::Error(CfmapError::Internal {
+                    context: "pareto frontier verification".into(),
+                });
+            }
+        }
+        let points: Vec<ParetoPointWire> = frontier
+            .points
+            .iter()
+            .map(|p| ParetoPointWire {
+                space: p.space_rows(),
+                schedule: p.schedule.as_slice().to_vec(),
+                total_time: p.total_time,
+                processors: p.processors as u64,
+                wires: p.wires,
+                bandwidth: p.bandwidth,
+            })
+            .collect();
+        let cached = CachedFrontier {
+            points,
+            dominated_pruned: frontier.dominated_pruned,
+            candidates_examined: frontier.candidates_examined,
+        };
+        self.pareto_frontier_size.store(
+            i64::try_from(cached.points.len()).unwrap_or(i64::MAX),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        self.pareto_cache.insert(key, cached.clone());
+        respond_pareto(&cached, canon.as_ref(), req.space.as_deref(), false)
+    }
+
     /// Cache lookup falling back to a fresh search. Returns the outcome
     /// and whether it came from the cache.
     fn lookup_or_solve(
@@ -752,6 +977,54 @@ fn respond(outcome: &CachedOutcome, canon: &Canonicalization, cached: bool) -> M
     }
 }
 
+/// The affinity identity of a Pareto request, for the routing tier.
+/// Fixed-space requests canonicalize exactly the way the engine's
+/// frontier cache keys them, so permuted-but-equivalent requests land
+/// on the same backend; the other scopes return `Ok(None)` and the
+/// router falls back to hashing the raw body (identical requests still
+/// co-locate). Malformed requests are rejected with the message a
+/// backend would produce.
+pub fn pareto_affinity_problem(
+    req: &ParetoRequest,
+) -> Result<Option<CanonicalProblem>, String> {
+    let (alg, space, _schedule) = build_pareto_problem(req)?;
+    Ok(space.as_ref().map(|s| canonicalize(&alg, s).problem))
+}
+
+/// Build the wire response for a frontier, translating each point back
+/// into the caller's axis order when the cache entry is canonical (the
+/// point order is preserved: every objective axis is invariant under
+/// the canonicalizing permutation, so ascending-vector order is too).
+fn respond_pareto(
+    cached: &CachedFrontier,
+    canon: Option<&Canonicalization>,
+    original_space: Option<&[Vec<i64>]>,
+    from_cache: bool,
+) -> ParetoResponse {
+    let points: Vec<ParetoPointWire> = cached
+        .points
+        .iter()
+        .map(|p| {
+            let mut q = p.clone();
+            if let Some(c) = canon {
+                q.schedule = c.schedule_to_original(&p.schedule);
+                if let Some(rows) = original_space {
+                    q.space = rows.to_vec();
+                }
+            }
+            q
+        })
+        .collect();
+    ParetoResponse::Ok(ParetoOutcome {
+        frontier_size: points.len() as u64,
+        points,
+        dominated_pruned: cached.dominated_pruned,
+        candidates_examined: cached.candidates_examined,
+        cached: from_cache,
+        verified: true,
+    })
+}
+
 /// Largest magnitude accepted for any `mu`/`deps`/`space` entry. Real
 /// mapping problems use entries a few orders of magnitude above 1; the
 /// bound keeps extreme wire values (up to `i64::MIN`, which cannot even
@@ -785,42 +1058,50 @@ pub fn canonical_problem(req: &MapRequest) -> Result<CanonicalProblem, String> {
 /// Materialize `(J, D, S)` from a request, or explain why it is
 /// malformed (wire analogue of the CLI's usage errors).
 fn build_problem(req: &MapRequest) -> Result<(Uda, SpaceMap), String> {
-    check_magnitude(&req.mu, "\"mu\"")?;
-    for col in req.deps.iter().flatten() {
+    let alg = build_algorithm(req.algorithm.as_deref(), &req.mu, req.deps.as_deref())?;
+    let space = build_space(&alg, &req.space)?;
+    Ok((alg, space))
+}
+
+/// Materialize the algorithm half of a request — named workload or
+/// structural `(μ, D)` — with the wire-level magnitude and dimension
+/// guards. Shared by the `/map` and `/pareto` builders.
+fn build_algorithm(
+    algorithm: Option<&str>,
+    mu: &[i64],
+    deps: Option<&[Vec<i64>]>,
+) -> Result<Uda, String> {
+    check_magnitude(mu, "\"mu\"")?;
+    for col in deps.iter().copied().flatten() {
         check_magnitude(col, "\"deps\"")?;
     }
-    for row in &req.space {
-        check_magnitude(row, "\"space\"")?;
-    }
-    let alg = match &req.algorithm {
+    match algorithm {
         Some(name) => {
-            if req.deps.is_some() {
+            if deps.is_some() {
                 return Err("give either \"algorithm\" or \"deps\", not both".into());
             }
-            if req.mu.len() != 1 {
+            if mu.len() != 1 {
                 return Err("named workloads take a single size: \"mu\": [n]".into());
             }
-            let mu = req.mu[0];
+            let mu = mu[0];
             if mu < 1 {
                 return Err("\"mu\" must be ≥ 1".into());
             }
-            named_algorithm(name, mu)?
+            named_algorithm(name, mu)
         }
         None => {
-            let n = req.mu.len();
+            let n = mu.len();
             if n == 0 {
                 return Err("\"mu\" must not be empty".into());
             }
             if n > MAX_DIMS {
                 return Err(format!("problems beyond n = {MAX_DIMS} axes are not served (got {n})"));
             }
-            if req.mu.iter().any(|&m| m < 1) {
+            if mu.iter().any(|&m| m < 1) {
                 return Err("every \"mu\" entry must be ≥ 1".into());
             }
-            let deps = req
-                .deps
-                .as_ref()
-                .ok_or("structural requests need \"deps\" (or name an \"algorithm\")")?;
+            let deps =
+                deps.ok_or("structural requests need \"deps\" (or name an \"algorithm\")")?;
             if deps.is_empty() {
                 return Err("\"deps\" must contain at least one column".into());
             }
@@ -833,24 +1114,27 @@ fn build_problem(req: &MapRequest) -> Result<(Uda, SpaceMap), String> {
                 }
             }
             let refs: Vec<&[i64]> = deps.iter().map(Vec::as_slice).collect();
-            Uda::new(
-                "request",
-                IndexSet::new(&req.mu),
-                DependenceMatrix::from_columns(&refs),
-            )
+            Ok(Uda::new("request", IndexSet::new(mu), DependenceMatrix::from_columns(&refs)))
         }
-    };
+    }
+}
+
+/// Validate wire-supplied space rows against `alg` and build the map.
+fn build_space(alg: &Uda, rows: &[Vec<i64>]) -> Result<SpaceMap, String> {
+    for row in rows {
+        check_magnitude(row, "\"space\"")?;
+    }
     let n = alg.dim();
-    if req.space.is_empty() {
+    if rows.is_empty() {
         return Err("\"space\" must contain at least one row".into());
     }
-    if req.space.len() >= n {
+    if rows.len() >= n {
         return Err(format!(
             "\"space\" has {} rows; a (k−1)-dimensional array needs fewer than n = {n}",
-            req.space.len()
+            rows.len()
         ));
     }
-    for (i, row) in req.space.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
         if row.len() != n {
             return Err(format!(
                 "space row {i} has {} entries, the algorithm has n = {n}",
@@ -861,8 +1145,43 @@ fn build_problem(req: &MapRequest) -> Result<(Uda, SpaceMap), String> {
             return Err(format!("space row {i} is all zeros"));
         }
     }
-    let refs: Vec<&[i64]> = req.space.iter().map(Vec::as_slice).collect();
-    Ok((alg, SpaceMap::from_rows(&refs)))
+    let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+    Ok(SpaceMap::from_rows(&refs))
+}
+
+/// Materialize a Pareto request's problem: the algorithm plus at most
+/// one pinned side. Scope falls out of what is pinned — `space` →
+/// frontier over schedules, `schedule` → frontier over 1-row space
+/// maps, neither → joint.
+fn build_pareto_problem(
+    req: &ParetoRequest,
+) -> Result<(Uda, Option<SpaceMap>, Option<LinearSchedule>), String> {
+    if req.space.is_some() && req.schedule.is_some() {
+        return Err("pin at most one of \"space\" and \"schedule\"".into());
+    }
+    if req.entry_bound.is_some_and(|b| b < 1) {
+        return Err("\"entry_bound\" must be ≥ 1".into());
+    }
+    if req.cap.is_some_and(|c| c < 1) {
+        return Err("\"cap\" must be ≥ 1".into());
+    }
+    let alg = build_algorithm(req.algorithm.as_deref(), &req.mu, req.deps.as_deref())?;
+    let space = req.space.as_ref().map(|rows| build_space(&alg, rows)).transpose()?;
+    let schedule = match &req.schedule {
+        None => None,
+        Some(pi) => {
+            check_magnitude(pi, "\"schedule\"")?;
+            if pi.len() != alg.dim() {
+                return Err(format!(
+                    "\"schedule\" has {} entries, the algorithm has n = {}",
+                    pi.len(),
+                    alg.dim()
+                ));
+            }
+            Some(LinearSchedule::new(pi))
+        }
+    };
+    Ok((alg, space, schedule))
 }
 
 /// The named-workload table (kept in lockstep with the `cfmap` CLI).
@@ -1264,6 +1583,105 @@ mod tests {
         }
         assert_eq!(engine.family_stats().observing, 0);
         assert!(!engine.family_fit_step());
+    }
+
+    fn pareto_matmul() -> ParetoRequest {
+        ParetoRequest {
+            space: Some(vec![vec![1, 1, -1]]),
+            ..ParetoRequest::named("matmul", 4)
+        }
+    }
+
+    #[test]
+    fn pareto_fixed_space_corner_matches_the_map_route() {
+        let engine = Engine::new(64, 4);
+        let resp = engine.pareto(&pareto_matmul());
+        let ParetoResponse::Ok(o) = &resp else { panic!("expected ok, got {resp:?}") };
+        assert!(!o.cached);
+        assert!(o.verified);
+        assert_eq!(o.frontier_size as usize, o.points.len());
+        assert!(!o.points.is_empty());
+        // The time corner is the front point, and it is the /map answer.
+        let MapResponse::Ok(m) = engine.resolve(&matmul_request()) else { panic!("map ok") };
+        assert_eq!(o.points[0].total_time, m.total_time);
+        assert_eq!(o.points[0].schedule, m.schedule);
+        assert_eq!(o.points[0].space, vec![vec![1, 1, -1]]);
+        // Second call hits the frontier cache.
+        let ParetoResponse::Ok(again) = engine.pareto(&pareto_matmul()) else { panic!("ok") };
+        assert!(again.cached);
+        assert_eq!(again.points, o.points);
+        let text = engine.metrics().render_prometheus();
+        assert!(text.contains("cfmap_pareto_solves_total 1"), "{text}");
+        assert!(text.contains("cfmap_pareto_frontier_size"), "{text}");
+        assert!(text.contains("cfmap_pareto_dominated_pruned_total"), "{text}");
+        assert!(text.contains("cfmap_pareto_verify_duration_seconds_count"), "{text}");
+    }
+
+    #[test]
+    fn pareto_permuted_fixed_space_hits_the_canonical_entry() {
+        let engine = Engine::new(64, 4);
+        let ParetoResponse::Ok(base) = engine.pareto(&pareto_matmul()) else { panic!("ok") };
+        // The same problem with axes relabeled by σ = [2, 0, 1].
+        let alg = algorithms::matmul(4).permuted_axes(&[2, 0, 1]);
+        let permuted = ParetoRequest {
+            algorithm: None,
+            mu: alg.index_set.mu().to_vec(),
+            deps: Some(alg.deps.columns_i64()),
+            space: Some(vec![vec![-1, 1, 1]]),
+            ..ParetoRequest::named("matmul", 4)
+        };
+        let ParetoResponse::Ok(p) = engine.pareto(&permuted) else { panic!("ok") };
+        assert!(p.cached, "permuted variant must hit the canonical frontier entry");
+        assert_eq!(p.frontier_size, base.frontier_size);
+        for (a, b) in base.points.iter().zip(&p.points) {
+            assert_eq!(a.total_time, b.total_time);
+            assert_eq!(a.processors, b.processors);
+            assert_eq!(a.wires, b.wires);
+            assert_eq!(b.space, vec![vec![-1, 1, 1]], "requester keeps its own rows");
+            let expected: Vec<i64> = [2usize, 0, 1].iter().map(|&c| a.schedule[c]).collect();
+            assert_eq!(b.schedule, expected, "Π translated through σ");
+        }
+    }
+
+    #[test]
+    fn pareto_bandwidth_axis_is_probed_and_budgeted() {
+        let engine = Engine::new(64, 4);
+        let req = ParetoRequest { include_bandwidth: true, ..pareto_matmul() };
+        let ParetoResponse::Ok(o) = engine.pareto(&req) else { panic!("ok") };
+        assert!(!o.points.is_empty());
+        assert!(o.points.iter().all(|p| p.bandwidth.is_some()), "{:?}", o.points);
+        // A zero-bandwidth budget on a moving-data design empties the frontier.
+        let starved =
+            ParetoRequest { max_bandwidth: Some(0), include_bandwidth: true, ..pareto_matmul() };
+        let ParetoResponse::Ok(empty) = engine.pareto(&starved) else { panic!("ok") };
+        assert!(empty.points.is_empty(), "ok-with-empty-frontier, not an error");
+    }
+
+    #[test]
+    fn pareto_malformed_requests_are_bad_requests() {
+        let engine = Engine::new(8, 1);
+        let cases = vec![
+            // Pinning both sides.
+            ParetoRequest { schedule: Some(vec![1, 4, 1]), ..pareto_matmul() },
+            ParetoRequest { entry_bound: Some(0), ..pareto_matmul() },
+            ParetoRequest { cap: Some(0), ..pareto_matmul() },
+            ParetoRequest { mu: vec![], ..pareto_matmul() },
+            ParetoRequest { algorithm: Some("nope".into()), ..pareto_matmul() },
+            ParetoRequest { space: Some(vec![vec![0, 0, 0]]), ..pareto_matmul() },
+            // Schedule length must match n.
+            ParetoRequest {
+                space: None,
+                schedule: Some(vec![1, 4]),
+                ..ParetoRequest::named("matmul", 4)
+            },
+        ];
+        for req in cases {
+            let resp = engine.pareto(&req);
+            assert!(
+                matches!(resp, ParetoResponse::BadRequest { .. }),
+                "expected bad_request for {req:?}, got {resp:?}"
+            );
+        }
     }
 
     #[test]

@@ -78,4 +78,7 @@ pub use family_store::{FamilyStats, FamilyStore};
 pub use snapshot::Snapshot;
 pub use router::{CfmapRouter, Circuit, RouterConfig};
 pub use server::{CfmapServer, ServerConfig, ShutdownHandle};
-pub use wire::{MapOutcome, MapRequest, MapResponse, RouterReject, RouterRejectKind, WireError};
+pub use wire::{
+    MapOutcome, MapRequest, MapResponse, ParetoOutcome, ParetoPointWire, ParetoRequest,
+    ParetoResponse, RouterReject, RouterRejectKind, WireError,
+};

@@ -40,6 +40,7 @@
 //! | route | behavior |
 //! |---|---|
 //! | `POST /map` | canonicalize, ring-route, forward with failover |
+//! | `POST /pareto` | canonicalize when space-pinned (else raw-body hash), ring-route, forward |
 //! | `POST /batch` | ring-route by the first canonicalizable member |
 //! | `GET /healthz` | router liveness + backend up-counts |
 //! | `GET /readyz` | `200` while ≥ 1 backend is routable, else `503` |
@@ -47,10 +48,10 @@
 //! | `GET /metrics` | the router's own Prometheus registry |
 //! | `POST /shutdown` | drain and exit |
 
-use crate::engine::canonical_problem;
+use crate::engine::{canonical_problem, pareto_affinity_problem};
 use crate::http::{read_request, write_response_extra, ReadError, Response};
 use crate::json::{parse, Json};
-use crate::wire::{MapRequest, RouterReject, RouterRejectKind};
+use crate::wire::{MapRequest, ParetoRequest, RouterReject, RouterRejectKind};
 use crate::server::ShutdownHandle;
 use cfmap_core::metrics::{Counter, Gauge, Histogram, Registry, DEFAULT_LATENCY_BUCKETS_US};
 use cfmap_core::CanonicalProblem;
@@ -416,10 +417,12 @@ fn canonical_key(p: &CanonicalProblem) -> String {
 /// router-level 400 [`RouterReject`].
 enum AffinityError {
     /// `/map` body every backend would reject with a 400.
-    BadMap(String),
+    Map(String),
     /// `/batch` body with an empty or wholly non-canonicalizable
     /// `requests` array.
-    BadBatch(String),
+    Batch(String),
+    /// `/pareto` body every backend would reject with a 400.
+    Pareto(String),
 }
 
 /// Shared router state behind every worker and the prober.
@@ -445,15 +448,26 @@ impl RouterCore {
     /// produces the authoritative 400.
     fn affinity_hash(&self, path: &str, body: &str) -> Result<u64, AffinityError> {
         if path == "/map" {
-            let req = MapRequest::from_str(body).map_err(|e| AffinityError::BadMap(e.msg))?;
-            let problem = canonical_problem(&req).map_err(AffinityError::BadMap)?;
+            let req = MapRequest::from_str(body).map_err(|e| AffinityError::Map(e.msg))?;
+            let problem = canonical_problem(&req).map_err(AffinityError::Map)?;
             return Ok(fnv1a64(canonical_key(&problem).as_bytes()));
+        }
+        if path == "/pareto" {
+            // Fixed-space frontiers canonicalize like the engine's
+            // frontier cache; other scopes hash the raw body, so
+            // identical requests still co-locate with their entry.
+            let req =
+                ParetoRequest::from_str(body).map_err(|e| AffinityError::Pareto(e.msg))?;
+            return match pareto_affinity_problem(&req).map_err(AffinityError::Pareto)? {
+                Some(problem) => Ok(fnv1a64(canonical_key(&problem).as_bytes())),
+                None => Ok(fnv1a64(body.as_bytes())),
+            };
         }
         // /batch: first member that parses and canonicalizes wins.
         if let Ok(json) = parse(body) {
             if let Some(arr) = json.get("requests").and_then(Json::as_arr) {
                 if arr.is_empty() {
-                    return Err(AffinityError::BadBatch(
+                    return Err(AffinityError::Batch(
                         "batch \"requests\" array is empty".into(),
                     ));
                 }
@@ -464,7 +478,7 @@ impl RouterCore {
                         }
                     }
                 }
-                return Err(AffinityError::BadBatch(format!(
+                return Err(AffinityError::Batch(format!(
                     "none of the {} batch members parses into a canonicalizable request",
                     arr.len()
                 )));
@@ -534,13 +548,17 @@ impl RouterCore {
         }
         let hash = match self.affinity_hash(path, body) {
             Ok(h) => h,
-            Err(AffinityError::BadMap(msg)) => {
+            Err(AffinityError::Map(msg)) => {
                 // The router rejects what every backend would reject,
                 // with the same body shape, without a round-trip.
                 let resp = crate::wire::MapResponse::BadRequest { msg };
                 return (resp.http_status(), resp.to_json().serialize(), Vec::new());
             }
-            Err(AffinityError::BadBatch(message)) => {
+            Err(AffinityError::Pareto(msg)) => {
+                let resp = crate::wire::ParetoResponse::BadRequest { msg };
+                return (resp.http_status(), resp.to_json().serialize(), Vec::new());
+            }
+            Err(AffinityError::Batch(message)) => {
                 // A provably unusable batch gets a router-level 400:
                 // there is no member to echo a backend-shaped answer
                 // for, so the reject carries the router body shape.
@@ -933,7 +951,7 @@ fn dispatch(
     body: &str,
 ) -> (u16, &'static str, String, Vec<(String, String)>) {
     match (method, path) {
-        ("POST", "/map") | ("POST", "/batch") => {
+        ("POST", "/map") | ("POST", "/pareto") | ("POST", "/batch") => {
             let (status, body, headers) = core.forward(method, path, body);
             (status, CT_JSON, body, headers)
         }

@@ -21,6 +21,7 @@
 //! | route | body | answer |
 //! |---|---|---|
 //! | `POST /map` | a `MapRequest` | a `MapResponse` |
+//! | `POST /pareto` | a `ParetoRequest` | a `ParetoResponse` (the non-dominated set) |
 //! | `POST /batch` | `{"requests": […]}` | `{"responses": […], "distinct_solves": n}` |
 //! | `GET /stats` | — | cache + search + server counters |
 //! | `GET /metrics` | — | Prometheus text exposition of the registry |
@@ -53,7 +54,7 @@ use crate::engine::Engine;
 use crate::http::{read_request, write_response_extra, ReadError};
 use crate::json::{parse, Json};
 use crate::snapshot::{certificate_json, write_atomic};
-use crate::wire::{MapRequest, MapResponse};
+use crate::wire::{MapRequest, MapResponse, ParetoRequest, ParetoResponse};
 use cfmap_core::budget::clock;
 use cfmap_core::metrics::{Counter, Gauge, Histogram, DEFAULT_LATENCY_BUCKETS_US};
 use std::io::BufReader;
@@ -412,6 +413,7 @@ fn shed_connection(stream: TcpStream) {
 fn route_label(method: &str, path: &str) -> &'static str {
     match (method, path) {
         ("POST", "/map") => "/map",
+        ("POST", "/pareto") => "/pareto",
         ("POST", "/batch") => "/batch",
         ("GET", "/stats") => "/stats",
         ("GET", "/metrics") => "/metrics",
@@ -607,6 +609,16 @@ fn dispatch(
             }
             Err(e) => {
                 let resp = MapResponse::BadRequest { msg: e.msg };
+                (resp.http_status(), CT_JSON, resp.to_json().serialize())
+            }
+        },
+        ("POST", "/pareto") => match ParetoRequest::from_str(body) {
+            Ok(req) => {
+                let resp = engine.pareto(&req);
+                (resp.http_status(), CT_JSON, resp.to_json().serialize())
+            }
+            Err(e) => {
+                let resp = ParetoResponse::BadRequest { msg: e.msg };
                 (resp.http_status(), CT_JSON, resp.to_json().serialize())
             }
         },

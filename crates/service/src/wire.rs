@@ -422,6 +422,342 @@ impl std::str::FromStr for RouterReject {
     }
 }
 
+/// A Pareto-frontier request (`POST /pareto`). The problem is named or
+/// structural exactly like a [`MapRequest`]; the scope is chosen by
+/// which side is pinned: `space` (frontier over schedules), `schedule`
+/// (frontier over 1-row space maps), or neither (joint). Pinning both
+/// is rejected. Budgets and `include_bandwidth` populate the engine's
+/// `ResourceModel`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParetoRequest {
+    /// Named workload, as in [`MapRequest::algorithm`].
+    pub algorithm: Option<String>,
+    /// Index-set bounds, as in [`MapRequest::mu`].
+    pub mu: Vec<i64>,
+    /// Dependence columns (structural requests only).
+    pub deps: Option<Vec<Vec<i64>>>,
+    /// Pinned space-map rows (fixed-space scope), if any.
+    pub space: Option<Vec<Vec<i64>>>,
+    /// Pinned schedule (fixed-schedule scope), if any.
+    pub schedule: Option<Vec<i64>>,
+    /// Objective cap override for the schedule scan.
+    pub cap: Option<i64>,
+    /// Bound on `|s_i|` for enumerated space rows (default 2).
+    pub entry_bound: Option<i64>,
+    /// Track peak link bandwidth as a fourth objective axis.
+    pub include_bandwidth: bool,
+    /// Processor budget, if any.
+    pub max_processors: Option<u64>,
+    /// Wire-length budget, if any.
+    pub max_wires: Option<i64>,
+    /// Peak-bandwidth budget, if any (implies the bandwidth axis).
+    pub max_bandwidth: Option<u64>,
+}
+
+impl ParetoRequest {
+    /// A named-workload joint-scope request with no knobs.
+    pub fn named(algorithm: &str, mu: i64) -> ParetoRequest {
+        ParetoRequest {
+            algorithm: Some(algorithm.to_string()),
+            mu: vec![mu],
+            deps: None,
+            space: None,
+            schedule: None,
+            cap: None,
+            entry_bound: None,
+            include_bandwidth: false,
+            max_processors: None,
+            max_wires: None,
+            max_bandwidth: None,
+        }
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(alg) = &self.algorithm {
+            fields.push(("algorithm".into(), Json::Str(alg.clone())));
+        }
+        fields.push(("mu".into(), Json::ints(&self.mu)));
+        if let Some(deps) = &self.deps {
+            fields.push(("deps".into(), Json::int_rows(deps)));
+        }
+        if let Some(space) = &self.space {
+            fields.push(("space".into(), Json::int_rows(space)));
+        }
+        if let Some(pi) = &self.schedule {
+            fields.push(("schedule".into(), Json::ints(pi)));
+        }
+        if let Some(cap) = self.cap {
+            fields.push(("cap".into(), Json::Int(cap)));
+        }
+        if let Some(b) = self.entry_bound {
+            fields.push(("entry_bound".into(), Json::Int(b)));
+        }
+        if self.include_bandwidth {
+            fields.push(("include_bandwidth".into(), Json::Bool(true)));
+        }
+        if let Some(p) = self.max_processors {
+            fields.push(("max_processors".into(), Json::Int(clamp_u64(p))));
+        }
+        if let Some(w) = self.max_wires {
+            fields.push(("max_wires".into(), Json::Int(w)));
+        }
+        if let Some(b) = self.max_bandwidth {
+            fields.push(("max_bandwidth".into(), Json::Int(clamp_u64(b))));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Parse from a JSON value.
+    pub fn from_json(v: &Json) -> Result<ParetoRequest, WireError> {
+        let Json::Obj(_) = v else { return Err(bad("request must be an object")) };
+        let algorithm = match v.get("algorithm") {
+            None => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(bad("\"algorithm\" must be a string")),
+        };
+        let mu = int_vec(v.get("mu").ok_or_else(|| bad("missing \"mu\""))?, "mu")?;
+        let deps = match v.get("deps") {
+            None => None,
+            Some(d) => Some(int_matrix(d, "deps")?),
+        };
+        let space = match v.get("space") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(int_matrix(s, "space")?),
+        };
+        let schedule = match v.get("schedule") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(int_vec(s, "schedule")?),
+        };
+        let cap = opt_int(v, "cap")?;
+        let entry_bound = opt_int(v, "entry_bound")?;
+        let include_bandwidth = match v.get("include_bandwidth") {
+            None | Some(Json::Null) => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(bad("\"include_bandwidth\" must be a boolean")),
+        };
+        let max_processors = opt_int(v, "max_processors")?
+            .map(|n| u64::try_from(n).map_err(|_| bad("\"max_processors\" must be ≥ 0")))
+            .transpose()?;
+        let max_wires = opt_int(v, "max_wires")?;
+        let max_bandwidth = opt_int(v, "max_bandwidth")?
+            .map(|n| u64::try_from(n).map_err(|_| bad("\"max_bandwidth\" must be ≥ 0")))
+            .transpose()?;
+        Ok(ParetoRequest {
+            algorithm,
+            mu,
+            deps,
+            space,
+            schedule,
+            cap,
+            entry_bound,
+            include_bandwidth,
+            max_processors,
+            max_wires,
+            max_bandwidth,
+        })
+    }
+}
+
+impl std::str::FromStr for ParetoRequest {
+    type Err = WireError;
+
+    /// Parse from request-body text.
+    fn from_str(body: &str) -> Result<ParetoRequest, WireError> {
+        ParetoRequest::from_json(&parse(body)?)
+    }
+}
+
+/// One frontier point on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParetoPointWire {
+    /// The space-map rows of the design.
+    pub space: Vec<Vec<i64>>,
+    /// The schedule, in the caller's axis order.
+    pub schedule: Vec<i64>,
+    /// Makespan `1 + Σ|π_i|μ_i`.
+    pub total_time: i64,
+    /// Processor (site) count.
+    pub processors: u64,
+    /// Total wire length.
+    pub wires: i64,
+    /// Peak link bandwidth; present iff the request tracked it.
+    pub bandwidth: Option<u64>,
+}
+
+impl ParetoPointWire {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("space".into(), Json::int_rows(&self.space)),
+            ("schedule".into(), Json::ints(&self.schedule)),
+            ("total_time".into(), Json::Int(self.total_time)),
+            ("processors".into(), Json::Int(clamp_u64(self.processors))),
+            ("wires".into(), Json::Int(self.wires)),
+        ];
+        if let Some(bw) = self.bandwidth {
+            fields.push(("bandwidth".into(), Json::Int(clamp_u64(bw))));
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(v: &Json) -> Result<ParetoPointWire, WireError> {
+        Ok(ParetoPointWire {
+            space: int_matrix(v.get("space").ok_or_else(|| bad("missing \"space\""))?, "space")?,
+            schedule: int_vec(
+                v.get("schedule").ok_or_else(|| bad("missing \"schedule\""))?,
+                "schedule",
+            )?,
+            total_time: req_int(v, "total_time")?,
+            processors: req_u64(v, "processors")?,
+            wires: req_int(v, "wires")?,
+            bandwidth: opt_int(v, "bandwidth")?
+                .map(|n| u64::try_from(n).map_err(|_| bad("\"bandwidth\" must be ≥ 0")))
+                .transpose()?,
+        })
+    }
+}
+
+/// The successful payload of a [`ParetoResponse`]. An empty frontier
+/// (`points: []`) is a successful answer: the model admits no design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParetoOutcome {
+    /// The non-dominated set, ascending by objective vector.
+    pub points: Vec<ParetoPointWire>,
+    /// `points.len()` as reported by the engine.
+    pub frontier_size: u64,
+    /// Accepted designs pruned as dominated or duplicate.
+    pub dominated_pruned: u64,
+    /// Candidates screened across the whole search.
+    pub candidates_examined: u64,
+    /// Whether the answer came from the frontier cache.
+    pub cached: bool,
+    /// Every point was re-verified by the cycle-level simulator
+    /// (conflict-free, within the bandwidth budget) before caching.
+    pub verified: bool,
+}
+
+/// A Pareto-frontier response, mirroring [`MapResponse`]'s taxonomy
+/// minus the `infeasible` class (an empty frontier is an `ok`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParetoResponse {
+    /// Exit class 0: the exact non-dominated set (possibly empty).
+    Ok(ParetoOutcome),
+    /// Exit class 2: the request itself was malformed.
+    BadRequest {
+        /// What was wrong.
+        msg: String,
+    },
+    /// Exit class 3: a structured library failure.
+    Error(CfmapError),
+}
+
+impl ParetoResponse {
+    /// The CLI exit-code class this response corresponds to.
+    pub fn exit_class(&self) -> u8 {
+        match self {
+            ParetoResponse::Ok(_) => 0,
+            ParetoResponse::BadRequest { .. } => 2,
+            ParetoResponse::Error(_) => 3,
+        }
+    }
+
+    /// The HTTP status code the server answers with (same mapping as
+    /// [`MapResponse::http_status`]).
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ParetoResponse::Ok(_) => 200,
+            ParetoResponse::BadRequest { .. } => 400,
+            ParetoResponse::Error(CfmapError::Internal { .. }) => 500,
+            ParetoResponse::Error(_) => 422,
+        }
+    }
+
+    /// Serialize to a JSON value. `exit_class` is emitted as a derived
+    /// convenience field and ignored on parse.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        match self {
+            ParetoResponse::Ok(o) => {
+                fields.push(("status".into(), Json::Str("ok".into())));
+                fields.push((
+                    "points".into(),
+                    Json::Arr(o.points.iter().map(ParetoPointWire::to_json).collect()),
+                ));
+                fields.push(("frontier_size".into(), Json::Int(clamp_u64(o.frontier_size))));
+                fields
+                    .push(("dominated_pruned".into(), Json::Int(clamp_u64(o.dominated_pruned))));
+                fields.push((
+                    "candidates_examined".into(),
+                    Json::Int(clamp_u64(o.candidates_examined)),
+                ));
+                fields.push(("cached".into(), Json::Bool(o.cached)));
+                fields.push(("verified".into(), Json::Bool(o.verified)));
+            }
+            ParetoResponse::BadRequest { msg } => {
+                fields.push(("status".into(), Json::Str("bad_request".into())));
+                fields.push(("message".into(), Json::Str(msg.clone())));
+            }
+            ParetoResponse::Error(e) => {
+                fields.push(("status".into(), Json::Str("error".into())));
+                fields.push(("error".into(), error_to_json(e)));
+            }
+        }
+        fields.push(("exit_class".into(), Json::Int(i64::from(self.exit_class()))));
+        Json::Obj(fields)
+    }
+
+    /// Parse from a JSON value.
+    pub fn from_json(v: &Json) -> Result<ParetoResponse, WireError> {
+        let status = v
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing \"status\""))?;
+        match status {
+            "ok" => Ok(ParetoResponse::Ok(ParetoOutcome {
+                points: v
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing \"points\""))?
+                    .iter()
+                    .map(ParetoPointWire::from_json)
+                    .collect::<Result<_, _>>()?,
+                frontier_size: req_u64(v, "frontier_size")?,
+                dominated_pruned: req_u64(v, "dominated_pruned")?,
+                candidates_examined: req_u64(v, "candidates_examined")?,
+                cached: v
+                    .get("cached")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("missing \"cached\""))?,
+                verified: v
+                    .get("verified")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("missing \"verified\""))?,
+            })),
+            "bad_request" => Ok(ParetoResponse::BadRequest {
+                msg: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing \"message\""))?
+                    .to_string(),
+            }),
+            "error" => Ok(ParetoResponse::Error(error_from_json(
+                v.get("error").ok_or_else(|| bad("missing \"error\""))?,
+            )?)),
+            other => Err(bad(format!("unknown status {other:?}"))),
+        }
+    }
+}
+
+impl std::str::FromStr for ParetoResponse {
+    type Err = WireError;
+
+    /// Parse from response-body text.
+    fn from_str(body: &str) -> Result<ParetoResponse, WireError> {
+        ParetoResponse::from_json(&parse(body)?)
+    }
+}
+
 /// Encode a [`Certification`].
 pub fn certification_to_json(c: &Certification) -> Json {
     match c {

@@ -4,7 +4,10 @@
 
 use cfmap_core::{BudgetLimit, Certification, CfmapError};
 use cfmap_service::json::{parse, Json};
-use cfmap_service::wire::{MapOutcome, MapRequest, MapResponse, RouterReject, RouterRejectKind};
+use cfmap_service::wire::{
+    MapOutcome, MapRequest, MapResponse, ParetoOutcome, ParetoPointWire, ParetoRequest,
+    ParetoResponse, RouterReject, RouterRejectKind,
+};
 use std::str::FromStr;
 
 /// Characters exercised in generated strings: escapes, quotes, non-ASCII
@@ -196,6 +199,97 @@ cfmap_testkit::props! {
             fields[1].1 = Json::Str("slow_tuesday".into());
         }
         assert!(RouterReject::from_json(&bad_kind).is_err());
+    }
+
+    /// Pareto requests round-trip with every scope (joint, fixed-space,
+    /// fixed-schedule) and any combination of knobs and budgets.
+    fn pareto_requests_round_trip(
+        mu in cfmap_testkit::gen::vec(1i64..=9, 1..5),
+        dep_entries in cfmap_testkit::gen::vec(-3i64..=3, 1..5),
+        pin_entries in cfmap_testkit::gen::vec(-2i64..=2, 1..5),
+        knobs in cfmap_testkit::gen::vec(0i64..=1, 6..7),
+        scope in 0i64..=2,
+        named in cfmap_testkit::gen::bools(),
+    ) {
+        let n = mu.len();
+        let pin: Vec<i64> = pin_entries.iter().cycle().take(n).copied().collect();
+        let req = ParetoRequest {
+            algorithm: if named { Some("matmul".into()) } else { None },
+            mu: if named { vec![4] } else { mu.clone() },
+            deps: if named {
+                None
+            } else {
+                Some(vec![dep_entries.iter().cycle().take(n).copied().collect()])
+            },
+            space: (scope == 1).then(|| vec![pin.clone()]),
+            schedule: (scope == 2).then(|| pin.clone()),
+            cap: (knobs[0] == 1).then_some(42),
+            entry_bound: (knobs[1] == 1).then_some(3),
+            include_bandwidth: knobs[2] == 1,
+            max_processors: (knobs[3] == 1).then_some(64),
+            max_wires: (knobs[4] == 1).then_some(128),
+            max_bandwidth: (knobs[5] == 1).then_some(4),
+        };
+        let text = req.to_json().serialize();
+        assert_eq!(ParetoRequest::from_str(&text).unwrap(), req, "{text}");
+    }
+
+    /// Pareto responses round-trip: frontiers with and without the
+    /// bandwidth axis (empty frontiers included — they are `ok`, not an
+    /// error), bad_request with hostile strings, and structured errors.
+    fn pareto_responses_round_trip(
+        variant in 0i64..=2,
+        rows in cfmap_testkit::gen::vec(-9i64..=9, 1..6),
+        npoints in 0i64..=4,
+        counts in cfmap_testkit::gen::vec(0i64..=1_000_000, 2..3),
+        with_bw in cfmap_testkit::gen::bools(),
+        cached in cfmap_testkit::gen::bools(),
+        text_tokens in cfmap_testkit::gen::vec(i64::MIN..=i64::MAX, 0..10),
+    ) {
+        let resp = match variant {
+            0 => {
+                let points: Vec<ParetoPointWire> = (0..npoints)
+                    .map(|i| ParetoPointWire {
+                        space: vec![rows.clone()],
+                        schedule: rows.iter().map(|&v| v + i).collect(),
+                        total_time: 1 + i * 7,
+                        processors: (i as u64 + 1) * 3,
+                        wires: 10 - i,
+                        bandwidth: with_bw.then_some(i as u64 + 1),
+                    })
+                    .collect();
+                ParetoResponse::Ok(ParetoOutcome {
+                    frontier_size: points.len() as u64,
+                    points,
+                    dominated_pruned: counts[0] as u64,
+                    candidates_examined: counts[1] as u64,
+                    cached,
+                    verified: true,
+                })
+            }
+            1 => ParetoResponse::BadRequest { msg: string_from(&text_tokens) },
+            _ => ParetoResponse::Error(CfmapError::Overflow {
+                context: string_from(&text_tokens),
+            }),
+        };
+        let body = resp.to_json().serialize();
+        assert_eq!(ParetoResponse::from_str(&body).unwrap(), resp, "{body}");
+        let expected_class = match &resp {
+            ParetoResponse::Ok(_) => 0,
+            ParetoResponse::BadRequest { .. } => 2,
+            ParetoResponse::Error(_) => 3,
+        };
+        assert_eq!(resp.exit_class(), expected_class);
+        let expected_status = match &resp {
+            ParetoResponse::Ok(_) => 200,
+            ParetoResponse::BadRequest { .. } => 400,
+            ParetoResponse::Error(_) => 422,
+        };
+        assert_eq!(resp.http_status(), expected_status);
+        // A frontier body is not a MapResponse: the `ok` shapes differ.
+        if matches!(resp, ParetoResponse::Ok(_)) {
+            assert!(MapResponse::from_str(&body).is_err(), "{body}");
+        }
     }
 
     /// Success / infeasible responses round-trip for every certification.

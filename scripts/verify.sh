@@ -57,6 +57,7 @@ cargo build --offline --examples --workspace
 echo "== smoke: CLI exit codes"
 CFMAP=target/release/cfmap
 "$CFMAP" map --alg matmul --mu 4 --space 1,1,-1 > /dev/null
+"$CFMAP" pareto --alg matmul --mu 4 --space 1,1,-1 > /dev/null
 set +e
 "$CFMAP" map --alg matmul --mu 4 --space 1,1,-1 --cap 2 > /dev/null 2>&1
 [ $? -eq 1 ] || { echo "expected exit 1 for infeasible"; exit 1; }
@@ -120,6 +121,33 @@ MEMO_HITS=$(printf '%s\n' "$POST_METRICS" \
     || { echo "cfmap_conflict_memo_hits_total = '${MEMO_HITS:-missing}', want > 0"; exit 1; }
 printf '%s\n' "$POST_METRICS" | grep -q '^cfmap_intlin_bigint_spills_total 0$' \
     || { echo "bigint spills after the quotient/memo solves, want 0"; exit 1; }
+# Pareto gate (ISSUE 10): the fixed-space frontier for matmul mu=4 on
+# S = [1,1,-1] is a single point whose time corner must agree with the
+# Procedure 5.1 answer /map gives for the identical body — same t = 25
+# and the exact same pulled-back schedule witness.
+PARETO_BODY='{"algorithm":"matmul","mu":[4],"space":[[1,1,-1]]}'
+MAP_SCHED=$("$CFMAP" client --addr "$ADDR" --post /map --body "$PARETO_BODY" \
+    | sed -n 's/.*"schedule":\(\[[0-9,-]*\]\).*/\1/p')
+[ -n "$MAP_SCHED" ] || { echo "/map gave no schedule to compare the corner against"; exit 1; }
+PARETO=$("$CFMAP" client --addr "$ADDR" --post /pareto --body "$PARETO_BODY")
+printf '%s\n' "$PARETO" | grep -q '"status":"ok"' \
+    || { echo "/pareto did not answer ok: $PARETO"; exit 1; }
+printf '%s\n' "$PARETO" | grep -q '"frontier_size":1' \
+    || { echo "/pareto frontier is not the expected single point: $PARETO"; exit 1; }
+printf '%s\n' "$PARETO" | grep -q '"total_time":25' \
+    || { echo "/pareto time corner disagrees with Procedure 5.1: $PARETO"; exit 1; }
+printf '%s\n' "$PARETO" | grep -qF "\"schedule\":$MAP_SCHED" \
+    || { echo "/pareto corner witness differs from /map's ($MAP_SCHED): $PARETO"; exit 1; }
+printf '%s\n' "$PARETO" | grep -q '"verified":true' \
+    || { echo "/pareto answered without simulator verification: $PARETO"; exit 1; }
+PARETO_METRICS=$("$CFMAP" client --addr "$ADDR" --get /metrics)
+printf '%s\n' "$PARETO_METRICS" | grep -q '^cfmap_pareto_frontier_size 1$' \
+    || { echo "/metrics is missing the pareto frontier-size gauge"; exit 1; }
+printf '%s\n' "$PARETO_METRICS" | grep -q '^cfmap_pareto_solves_total 1$' \
+    || { echo "/metrics is missing the pareto solve counter"; exit 1; }
+printf '%s\n' "$PARETO_METRICS" \
+    | grep -q 'cfmapd_requests_total{route="/pareto",status="200"} 1' \
+    || { echo "/metrics is missing the /pareto request counter"; exit 1; }
 exec 9>&-          # close stdin: the daemon drains and exits
 wait "$CFMAPD_PID" || { echo "cfmapd did not exit cleanly"; exit 1; }
 CFMAPD_PID=
@@ -257,7 +285,7 @@ CFMAP_BENCH_MS=5 cargo bench --offline -p cfmap-bench --bench e13_hot_path > /de
 
 echo "== smoke: bench.sh writes experiment JSON"
 SMOKE_START=$(date +%s)
-CFMAP_BENCH_MS=5 BENCH_OUT=/tmp/cfmap_bench_smoke_$$.json scripts/bench.sh E13 E14 E15 E16 > /dev/null
+CFMAP_BENCH_MS=5 BENCH_OUT=/tmp/cfmap_bench_smoke_$$.json scripts/bench.sh E13 E14 E15 E16 E17 > /dev/null
 SMOKE_ELAPSED=$(( $(date +%s) - SMOKE_START ))
 grep -q '"commit":"' "/tmp/cfmap_bench_smoke_$$.json" \
     || { echo "bench.sh JSON header is missing the commit stamp"; exit 1; }
@@ -271,6 +299,8 @@ grep -q '"id":"E15"' "/tmp/cfmap_bench_smoke_$$.json" \
     || { echo "bench.sh produced no E15 report"; exit 1; }
 grep -q '"id":"E16"' "/tmp/cfmap_bench_smoke_$$.json" \
     || { echo "bench.sh produced no E16 report"; exit 1; }
+grep -q '"id":"E17"' "/tmp/cfmap_bench_smoke_$$.json" \
+    || { echo "bench.sh produced no E17 report"; exit 1; }
 grep -q 'hybrid-ilp' "/tmp/cfmap_bench_smoke_$$.json" \
     || { echo "E15 shows no enumeration→ILP crossover"; exit 1; }
 # E16 gates: the smoke run must stay under a wall-clock ceiling (the

@@ -97,6 +97,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&opts),
         "simulate" => cmd_simulate(&opts),
         "space-opt" => cmd_space_opt(&opts),
+        "pareto" => cmd_pareto(&opts),
         "joint" => cmd_joint(&opts),
         "bounds" => cmd_bounds(&opts),
         "client" => cmd_client(&opts),
@@ -124,10 +125,13 @@ USAGE:
   cfmap analyze   --alg <name> --mu <n> --space <row> --pi <row> conflict analysis of T = [S; Π]
   cfmap simulate  --alg <name> --mu <n> --space <row> --pi <row> [--diagram] cycle-level simulation
   cfmap space-opt --alg <name> --mu <n> --pi <row> [--trace]     find S° (Problem 6.1)
+  cfmap pareto    --alg <name> --mu <n> [--space <row> | --pi <row>] [--bandwidth]
+                  [--max-pes N] [--max-wires N] [--max-bandwidth N]   Pareto frontier
   cfmap joint     --alg <name> --mu <n> [--criterion time|space] [--trace] find (S°, Π°) (Problem 6.2)
   cfmap bounds    --alg <name> --mu <n>                          absolute lower bounds
   cfmap client    --addr host:port --alg <name> --mu <n> --space <row>  ask a running cfmapd
   cfmap client    --addr host:port --get /metrics               scrape one daemon route
+  cfmap client    --addr host:port --post /pareto --body '<json>'  POST a raw body to a route
   cfmap list                                                     available workloads
 
 CLIENT OPTIONS:
@@ -151,7 +155,11 @@ OPTIONS:
   --max-candidates  search budget: stop after examining N candidates (best-effort result)
   --timeout-ms      search budget: stop after N milliseconds of wall clock
   --diagram   print the space-time diagram (linear arrays)
+  --bandwidth pareto: track peak link bandwidth as a fourth objective axis
+  --max-pes / --max-wires / --max-bandwidth   pareto: resource budgets
+  --entry-bound  pareto/space-opt: bound on |s_i| for enumerated rows (default 2)
   --get       client: GET a daemon route (/metrics, /stats, /healthz) and print the body
+  --post      client: POST --body to a daemon route (/pareto, /map) and print the body
   --trace     after the mapping, print the per-stage search trace
               (candidates per screening gate, conflict rules hit, timing)
 
@@ -168,7 +176,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("expected --option, got {a:?}"));
         };
-        if key == "diagram" || key == "trace" {
+        if key == "diagram" || key == "trace" || key == "bandwidth" {
             map.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -464,6 +472,20 @@ fn cmd_client(opts: &Opts) -> Result<(), CliError> {
         print!("{}", reply.body);
         return Ok(());
     }
+    // `--post PATH --body JSON` is the raw escape hatch for routes the
+    // CLI has no dedicated verbs for (/pareto, /batch): the body is
+    // forwarded verbatim and the daemon's answer printed as-is.
+    if let Some(path) = opts.get("post") {
+        let body = opts.get("body").ok_or("--post needs --body '<json>'")?;
+        let reply = client
+            .post(path, body)
+            .map_err(|e| CliError::Usage(format!("cfmapd at {addr}: {e}")))?;
+        println!("{}", reply.body);
+        if reply.status >= 400 {
+            return Err(CliError::Usage(format!("POST {path}: HTTP {}", reply.status)));
+        }
+        return Ok(());
+    }
     let name = opts.get("alg").ok_or("--alg required")?.clone();
     let mu: i64 = opts.get("mu").ok_or("--mu required")?.parse().map_err(|_| "bad --mu")?;
     let spec = opts.get("space").ok_or("--space required")?;
@@ -537,5 +559,93 @@ fn cmd_space_opt(opts: &Opts) -> Result<(), CliError> {
     println!("wire length   : {}", sol.wire_length);
     println!("combined cost : {}", sol.cost);
     println!("certified     : {certification}");
+    Ok(())
+}
+
+/// `cfmap pareto` — the exact non-dominated set over time × PEs × wires
+/// (× peak link bandwidth with `--bandwidth`). Pin `--space` to sweep
+/// schedules, `--pi` to sweep 1-row space maps, or neither for the
+/// joint sweep. Exit 1 when the budgets admit no design at all.
+fn cmd_pareto(opts: &Opts) -> Result<(), CliError> {
+    let alg = get_alg(opts)?;
+    if opts.contains_key("space") && opts.contains_key("pi") {
+        return Err("pin at most one of --space and --pi".into());
+    }
+    let space = opts.contains_key("space").then(|| get_space(opts, alg.dim())).transpose()?;
+    let pi = opts.contains_key("pi").then(|| get_pi(opts, alg.dim())).transpose()?;
+    let parse_u64 = |key: &str| -> Result<Option<u64>, CliError> {
+        opts.get(key)
+            .map(|v| v.parse::<u64>().map_err(|_| CliError::Usage(format!("bad --{key}"))))
+            .transpose()
+    };
+    let model = ResourceModel {
+        max_processors: parse_u64("max-pes")?.map(|p| usize::try_from(p).unwrap_or(usize::MAX)),
+        max_wires: opts
+            .get("max-wires")
+            .map(|v| v.parse::<i64>().map_err(|_| CliError::Usage("bad --max-wires".into())))
+            .transpose()?,
+        max_bandwidth: parse_u64("max-bandwidth")?,
+        include_bandwidth: opts.contains_key("bandwidth"),
+    };
+    let tracks_bandwidth = model.tracks_bandwidth();
+    let probe = |m: &MappingMatrix| cfmap::systolic::peak_link_load(&alg, m);
+    let mut search = ParetoSearch::new(&alg).resources(model);
+    if let Some(s) = &space {
+        search = search.fixed_space(s);
+    }
+    if let Some(p) = &pi {
+        search = search.fixed_schedule(p);
+    }
+    if let Some(cap) = opts.get("cap") {
+        search = search.max_objective(cap.parse().map_err(|_| "bad --cap")?);
+    }
+    if let Some(b) = opts.get("entry-bound") {
+        search = search.entry_bound(b.parse().map_err(|_| "bad --entry-bound")?);
+    }
+    if tracks_bandwidth {
+        search = search.bandwidth_probe(&probe);
+    }
+    let started = std::time::Instant::now();
+    let frontier = search.solve().map_err(CliError::Failed)?;
+    let elapsed = started.elapsed();
+    println!("algorithm : {}", alg.name);
+    println!(
+        "frontier  : {} points ({} dominated/duplicate pruned, {} candidates, {} µs)",
+        frontier.len(),
+        frontier.dominated_pruned,
+        frontier.candidates_examined,
+        elapsed.as_micros()
+    );
+    if frontier.is_empty() {
+        return Err(CliError::Infeasible(
+            "the resource budgets admit no conflict-free design".into(),
+        ));
+    }
+    let bw_header = if tracks_bandwidth { "  bandwidth" } else { "" };
+    println!("{:>6}  {:>5}  {:>5}{}  schedule / space rows", "time", "PEs", "wires", bw_header);
+    for p in &frontier.points {
+        let bw = match p.bandwidth {
+            Some(b) if tracks_bandwidth => format!("  {b:>9}"),
+            _ => String::new(),
+        };
+        let rows: Vec<String> = p
+            .space_rows()
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(i64::to_string).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        let sched: Vec<String> = p.schedule.as_slice().iter().map(i64::to_string).collect();
+        println!(
+            "{:>6}  {:>5}  {:>5}{}  Π=[{}] S={}",
+            p.total_time,
+            p.processors,
+            p.wires,
+            bw,
+            sched.join(","),
+            rows.join(";")
+        );
+    }
     Ok(())
 }

@@ -67,8 +67,8 @@ pub mod prelude {
     pub use cfmap_core::{
         diagnose, BudgetLimit, CancelToken, Certification, CfmapError, Check, Deadline,
         InterconnectionPrimitives, JointCriterion, JointOptimal, JointSearch, MappingDiagnosis,
-        MappingMatrix, OptimalMapping, Procedure51, SearchBudget, SearchOutcome, SpaceMap,
-        TieBreak,
+        MappingMatrix, OptimalMapping, ParetoFrontier, ParetoPoint, ParetoSearch, Procedure51,
+        ResourceModel, SearchBudget, SearchOutcome, SpaceMap, TieBreak,
         SpaceOptimalMapping, SpaceSearch,
     };
     pub use cfmap_systolic::rtl::{execute_rtl, RtlResult};
